@@ -1,0 +1,90 @@
+//! Real wall-clock: fused binary convolution against a float convolution of
+//! the same shape on the host — the end-to-end operator-level speedup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phonebit_gpusim::{CommandQueue, DeviceProfile, ExecutorClass};
+use phonebit_nn::act::Activation;
+use phonebit_nn::fuse::FusedBn;
+use phonebit_nn::kernels::bconv::compute_bconv_fused;
+use phonebit_nn::kernels::fconv::compute_fconv;
+use phonebit_tensor::bits::BitTensor;
+use phonebit_tensor::pack::{pack_f32, pack_filters};
+use phonebit_tensor::shape::{ConvGeometry, FilterShape, Layout, Shape4};
+use phonebit_tensor::tensor::{Filters, Tensor};
+
+fn bench_bconv(c: &mut Criterion) {
+    // YOLO conv4-like: 52x52 input, 128 -> 128 channels, 3x3.
+    let shape = Shape4::new(1, 52, 52, 128);
+    let fshape = FilterShape::new(128, 3, 3, 128);
+    let input = Tensor::from_fn(shape, |_, h, w, ch| {
+        if (h * 7 + w * 3 + ch) % 3 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    let filters = Filters::from_fn(fshape, |k, i, j, ch| {
+        if (k + i + j + ch) % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    let geom = ConvGeometry::square(3, 1, 1);
+    let packed_in = pack_f32::<u64>(&input);
+    let packed_f = pack_filters::<u64>(&filters);
+    let fused = FusedBn::identity(128);
+    let bias = vec![0.0f32; 128];
+
+    let mut group = c.benchmark_group("conv_128x128_52x52");
+    group.sample_size(20);
+    group.bench_function("binary_fused", |b| {
+        b.iter(|| {
+            let mut out = BitTensor::<u64>::zeros(Shape4::new(1, 52, 52, 128));
+            compute_bconv_fused(
+                black_box(&packed_in),
+                black_box(&packed_f),
+                &fused,
+                &geom,
+                &mut out,
+            );
+            out
+        });
+    });
+    group.bench_function("float_direct", |b| {
+        b.iter(|| {
+            let mut out = Tensor::<f32>::zeros(Shape4::new(1, 52, 52, 128), Layout::Nhwc);
+            compute_fconv(
+                black_box(&input),
+                black_box(&filters),
+                &bias,
+                Activation::Linear,
+                &geom,
+                &mut out,
+            );
+            out
+        });
+    });
+    group.finish();
+
+    // Full simulated dispatch overhead check (launch + modeled accounting).
+    let mut group = c.benchmark_group("dispatch_overhead");
+    group.bench_function("queue_launch_fused", |b| {
+        let mut q = CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl);
+        b.iter(|| {
+            let out = phonebit_nn::kernels::bconv::bconv_fused(
+                &mut q,
+                black_box(&packed_in),
+                black_box(&packed_f),
+                &fused,
+                &geom,
+            );
+            q.reset();
+            out
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bconv);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates **Fig 5**: per-layer acceleration of PhoneBit's integrated
+//! binary layers over CNNdroid's float operators (GPU execution) for
+//! YOLOv2-Tiny on the Snapdragon 855 platform.
+//!
+//! Run: `cargo run --release -p phonebit-bench --bin figure5`
+
+use phonebit_baselines::common::Framework;
+use phonebit_baselines::CnnDroid;
+use phonebit_bench::paper::FIG5_SPEEDUPS;
+use phonebit_core::estimate_arch;
+use phonebit_gpusim::Phone;
+use phonebit_models::zoo::{self, Variant};
+
+fn main() {
+    let phone = Phone::xiaomi_9();
+    let pb = estimate_arch(&phone, &zoo::yolov2_tiny(Variant::Binary));
+    let cd = CnnDroid::gpu()
+        .estimate(&phone, &zoo::yolov2_tiny(Variant::Float))
+        .expect("YOLOv2-Tiny fits CNNdroid");
+
+    println!("Fig 5: PhoneBit speedup over CNNdroid (GPU) per YOLOv2-Tiny layer, {}\n", phone.soc);
+    println!(
+        "{:<8} {:>14} {:>14} {:>10} {:>10}",
+        "layer", "CNNdroid(ms)", "PhoneBit(ms)", "measured", "paper"
+    );
+    let mut measured = Vec::new();
+    for i in 1..=9 {
+        let name = format!("conv{i}");
+        let t_cd = cd.layer_time_s(&name).expect("cnndroid layer");
+        let t_pb = pb.layer_time_s(&name).expect("phonebit layer");
+        let speedup = t_cd / t_pb;
+        measured.push(speedup);
+        println!(
+            "{:<8} {:>14.3} {:>14.3} {:>9.0}x {:>9.0}x",
+            name,
+            t_cd * 1e3,
+            t_pb * 1e3,
+            speedup,
+            FIG5_SPEEDUPS[i - 1]
+        );
+    }
+    let mid_avg: f64 = measured[1..8].iter().sum::<f64>() / 7.0;
+    println!(
+        "\nconv2..conv8 average: {:.0}x measured vs 45x paper; conv1 {:.0}x vs 23x; conv9 {:.0}x vs 3x",
+        mid_avg, measured[0], measured[8]
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table I**: the evaluation mobile devices.
+//!
+//! Run: `cargo run --release -p phonebit-bench --bin table1`
+
+use phonebit_gpusim::Phone;
+
+fn main() {
+    println!("Table I: mobile devices\n");
+    println!(
+        "{:<10} {:<16} {:>8} {:<14} {:>8} {:>12}",
+        "Device", "SOC", "Memory", "OS", "OpenCL", "ALUs in GPU"
+    );
+    for phone in Phone::all() {
+        println!(
+            "{:<10} {:<16} {:>5} GB {:<14} {:>8} {:>12}",
+            phone.name,
+            phone.soc,
+            phone.ram_mib / 1024,
+            phone.os,
+            phone.opencl,
+            phone.gpu.total_alus()
+        );
+    }
+    println!("\npaper: Xiaomi 5 | Snapdragon 820 | 3GB | Android 7.0 | 2.0 | 256");
+    println!("paper: Xiaomi 9 | Snapdragon 855 | 8GB | Android 9.0 | 2.0 | 384");
+    println!("\nSimulated device detail:");
+    for phone in Phone::all() {
+        println!("  {} / {}", phone.gpu, phone.cpu);
+    }
+}

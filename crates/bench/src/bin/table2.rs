@@ -1,0 +1,65 @@
+//! Regenerates **Table II**: model size (MB) and precision (%) of the three
+//! benchmark networks, full precision vs binarized.
+//!
+//! Sizes are computed exactly from the architectures. The paper's accuracy
+//! numbers come from CIFAR-10/VOC training runs that cannot be repeated
+//! here; the harness reproduces the accuracy-gap *shape* by training a
+//! float and a binary network of identical architecture on a synthetic
+//! task with the `phonebit-train` substrate (straight-through estimator),
+//! alongside the paper's reported values.
+//!
+//! Run: `cargo run --release -p phonebit-bench --bin table2`
+
+use phonebit_core::convert;
+use phonebit_models::size::table2_text;
+use phonebit_models::zoo::{self, Variant};
+use phonebit_models::fill_weights;
+use phonebit_train::accuracy_gap_experiment;
+
+fn main() {
+    println!("Table II: model size (MB) and precision (%)\n");
+    println!("{}", table2_text());
+
+    // Deployed-size cross-check: actually convert a model and measure the
+    // .pbit payload (YOLOv2-Tiny is small enough to materialize here).
+    let def = fill_weights(&zoo::yolov2_tiny(Variant::Binary), 7);
+    let model = convert(&def);
+    let payload = phonebit_core::format::write_model(&model);
+    println!(
+        "deployed YOLOv2-Tiny .pbit payload: {:.2} MB (analytic {:.2} MB, paper 2.4 MB)\n",
+        payload.len() as f64 / 1e6,
+        def.arch.binary_bytes() as f64 / 1e6
+    );
+
+    println!("accuracy-gap experiment (synthetic task, phonebit-train, 3 seeds):");
+    println!("{:<6} {:>10} {:>10} {:>8}", "seed", "float(%)", "binary(%)", "gap(pp)");
+    let mut gaps = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let (float_acc, binary_acc) = accuracy_gap_experiment(seed);
+        gaps.push((float_acc - binary_acc) * 100.0);
+        println!(
+            "{:<6} {:>10.1} {:>10.1} {:>8.1}",
+            seed,
+            float_acc * 100.0,
+            binary_acc * 100.0,
+            (float_acc - binary_acc) * 100.0
+        );
+    }
+    let avg_gap = gaps.iter().sum::<f32>() / gaps.len() as f32;
+    println!(
+        "\nmean gap {avg_gap:.1} pp — paper's gaps: AlexNet 1.8 pp, YOLOv2-Tiny 5.4 pp, VGG16 4.7 pp"
+    );
+
+    // Same experiment with a convolutional network (the paper's models are
+    // CNNs): two conv+BN blocks, float head, 8x8 synthetic images.
+    let data = phonebit_train::cluster_dataset(1200, 64, 4, 0.9, 11);
+    let (tr, te) = data.split(0.75);
+    let (_, cnn_float) = phonebit_train::train_convnet(&tr, &te, 8, 8, 1, false, 15, 0.05, 2);
+    let (_, cnn_bin) = phonebit_train::train_convnet(&tr, &te, 8, 8, 1, true, 15, 0.02, 2);
+    println!(
+        "CNN variant: float {:.1}% vs binary {:.1}% (gap {:.1} pp)",
+        cnn_float * 100.0,
+        cnn_bin * 100.0,
+        (cnn_float - cnn_bin) * 100.0
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Table III**: average runtime (ms) of AlexNet, YOLOv2-Tiny
+//! and VGG16 under CNNdroid (CPU/GPU), TFLite (CPU/GPU/Quant) and PhoneBit
+//! on both evaluation phones, including the OOM/CRASH cells.
+//!
+//! Run: `cargo run --release -p phonebit-bench --bin table3`
+
+use phonebit_bench::harness::{render_block, run_row, speedups};
+use phonebit_bench::paper::{TABLE3_SD820, TABLE3_SD855};
+use phonebit_gpusim::Phone;
+
+fn main() {
+    println!("Table III: average runtime (ms) — measured on the simulator vs paper\n");
+    for (phone, paper) in
+        [(Phone::xiaomi_5(), &TABLE3_SD820), (Phone::xiaomi_9(), &TABLE3_SD855)]
+    {
+        let measured: Vec<_> = (0..3).map(|m| run_row(&phone, m)).collect();
+        println!("{}", render_block(&phone, &measured, paper));
+        // Headline speedups, paper-style.
+        for (m, row) in measured.iter().enumerate() {
+            let name = phonebit_bench::paper::MODELS[m];
+            let parts: Vec<String> = speedups(row)
+                .into_iter()
+                .map(|(f, s)| match s {
+                    Some(s) => format!("{f}: {s:.0}x"),
+                    None => format!("{f}: n/a"),
+                })
+                .collect();
+            println!("  {name} PhoneBit speedups -> {}", parts.join(", "));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table IV**: power (mW) and energy efficiency (FPS/W) per
+//! image frame for the YOLOv2-Tiny network on the Snapdragon 820 platform,
+//! across all six executors, measured with the Trepn-like profiler.
+//!
+//! Run: `cargo run --release -p phonebit-bench --bin table4`
+
+use phonebit_bench::harness::run_row;
+use phonebit_bench::paper::TABLE4_SD820;
+use phonebit_gpusim::Phone;
+use phonebit_profiler::EnergyReport;
+
+fn main() {
+    let phone = Phone::xiaomi_5();
+    println!("Table IV: energy per frame, YOLOv2-Tiny on {} ({})\n", phone.name, phone.soc);
+    println!(
+        "{:<14} {:>12} {:>12} | {:>12} {:>12}",
+        "framework", "mW", "FPS/W", "paper mW", "paper FPS/W"
+    );
+    let row = run_row(&phone, 1); // YOLOv2-Tiny
+    for (cell, &(paper_name, paper_mw, paper_fpw)) in row.iter().zip(TABLE4_SD820.iter()) {
+        assert_eq!(cell.framework, paper_name, "column order");
+        match &cell.result {
+            Ok(report) => {
+                let er = EnergyReport::from_frame(
+                    cell.framework.clone(),
+                    report.total_s,
+                    report.energy_j,
+                );
+                println!(
+                    "{:<14} {:>12.1} {:>12.2} | {:>12.1} {:>12.2}",
+                    er.framework,
+                    er.power_mw(),
+                    er.fps_per_watt,
+                    paper_mw,
+                    paper_fpw
+                );
+            }
+            Err(e) => println!("{:<14} {:>12} {:>12} | (paper: {paper_mw} mW)", cell.framework, e.cell(), "-"),
+        }
+    }
+    println!("\npaper headline: PhoneBit draws ~226 mW and reaches 105 FPS/W —");
+    println!("24x-5263x better FPS/W than the compared frameworks.");
+}

@@ -1,0 +1,127 @@
+//! The paper's reported numbers, kept verbatim for side-by-side printing
+//! in every harness and for shape assertions in the integration tests.
+
+/// A Table III cell: a runtime in milliseconds, or a failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    /// Average runtime in ms.
+    Ms(f64),
+    /// Out of memory.
+    Oom,
+    /// Framework crash.
+    Crash,
+}
+
+impl Cell {
+    /// Renders like the paper's table.
+    pub fn text(&self) -> String {
+        match self {
+            Cell::Ms(v) => {
+                if *v >= 100.0 {
+                    format!("{v:.0}")
+                } else {
+                    format!("{v:.1}")
+                }
+            }
+            Cell::Oom => "OOM".into(),
+            Cell::Crash => "CRASH".into(),
+        }
+    }
+
+    /// The runtime if this is a numeric cell.
+    pub fn ms(&self) -> Option<f64> {
+        match self {
+            Cell::Ms(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Framework column order used throughout (matches
+/// `ExecutorClass::ALL`): CNNdroid CPU, CNNdroid GPU, TFLite CPU,
+/// TFLite GPU, TFLite Quant, PhoneBit.
+pub const FRAMEWORKS: [&str; 6] =
+    ["CNNdroid CPU", "CNNdroid GPU", "TFLite CPU", "TFLite GPU", "TFLite Quant", "PhoneBit"];
+
+/// Model row order: AlexNet, YOLOv2-Tiny, VGG16.
+pub const MODELS: [&str; 3] = ["AlexNet", "YOLOv2-Tiny", "VGG16"];
+
+/// Table III, Snapdragon 820 (Xiaomi 5): rows = models, cols = frameworks.
+pub const TABLE3_SD820: [[Cell; 6]; 3] = [
+    [Cell::Ms(8243.0), Cell::Ms(766.0), Cell::Ms(143.0), Cell::Crash, Cell::Ms(103.0), Cell::Ms(22.9)],
+    [Cell::Ms(51313.0), Cell::Ms(1483.0), Cell::Ms(669.0), Cell::Ms(468.0), Cell::Ms(503.0), Cell::Ms(42.1)],
+    [Cell::Oom, Cell::Oom, Cell::Ms(2607.0), Cell::Crash, Cell::Ms(1907.0), Cell::Ms(152.3)],
+];
+
+/// Table III, Snapdragon 855 (Xiaomi 9).
+pub const TABLE3_SD855: [[Cell; 6]; 3] = [
+    [Cell::Ms(5621.0), Cell::Ms(369.0), Cell::Ms(87.0), Cell::Crash, Cell::Ms(24.0), Cell::Ms(9.8)],
+    [Cell::Ms(23144.0), Cell::Ms(845.0), Cell::Ms(306.0), Cell::Ms(430.0), Cell::Ms(88.0), Cell::Ms(22.6)],
+    [Cell::Oom, Cell::Oom, Cell::Ms(932.0), Cell::Crash, Cell::Ms(252.0), Cell::Ms(73.8)],
+];
+
+/// Table IV (YOLOv2-Tiny on Snapdragon 820): `(framework, mW, FPS/W)`.
+pub const TABLE4_SD820: [(&str, f64, f64); 6] = [
+    ("CNNdroid CPU", 914.0, 0.02),
+    ("CNNdroid GPU", 573.0, 1.18),
+    ("TFLite CPU", 626.0, 2.39),
+    ("TFLite GPU", 540.0, 3.97),
+    ("TFLite Quant", 452.0, 4.40),
+    ("PhoneBit", 225.67, 105.26),
+];
+
+/// Fig 5: per-layer speedup of PhoneBit over CNNdroid GPU for YOLOv2-Tiny
+/// conv1..conv9 on Snapdragon 855.
+pub const FIG5_SPEEDUPS: [f64; 9] = [23.0, 38.0, 62.0, 34.0, 43.0, 60.0, 42.0, 41.0, 3.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_rendering() {
+        assert_eq!(Cell::Ms(9.8).text(), "9.8");
+        assert_eq!(Cell::Ms(5621.0).text(), "5621");
+        assert_eq!(Cell::Oom.text(), "OOM");
+        assert_eq!(Cell::Crash.text(), "CRASH");
+        assert_eq!(Cell::Ms(9.8).ms(), Some(9.8));
+        assert_eq!(Cell::Oom.ms(), None);
+    }
+
+    #[test]
+    fn paper_tables_have_expected_failures() {
+        // VGG16 row: CNNdroid OOM both targets, TFLite GPU crash.
+        for table in [&TABLE3_SD820, &TABLE3_SD855] {
+            assert_eq!(table[2][0], Cell::Oom);
+            assert_eq!(table[2][1], Cell::Oom);
+            assert_eq!(table[2][3], Cell::Crash);
+            // AlexNet: TFLite GPU crash.
+            assert_eq!(table[0][3], Cell::Crash);
+            // YOLO runs everywhere.
+            assert!(table[1].iter().all(|c| c.ms().is_some()));
+        }
+    }
+
+    #[test]
+    fn phonebit_wins_every_numeric_cell() {
+        for table in [&TABLE3_SD820, &TABLE3_SD855] {
+            for row in table.iter() {
+                let pb = row[5].ms().unwrap();
+                for cell in &row[..5] {
+                    if let Some(ms) = cell.ms() {
+                        assert!(pb < ms);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_shape() {
+        // Middle layers conv2..conv8 all exceed conv1; conv9 is smallest.
+        for &s in &FIG5_SPEEDUPS[1..8] {
+            assert!(s > FIG5_SPEEDUPS[8]);
+        }
+        assert!(FIG5_SPEEDUPS[0] < FIG5_SPEEDUPS[2]);
+    }
+}

@@ -1,0 +1,82 @@
+//! The `pbit` command-line entry point. All logic lives in `phonebit_cli`
+//! so it can be unit-tested; this file only parses arguments.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use phonebit_cli::{cmd_bench, cmd_gen, cmd_info, cmd_run, CliError, USAGE};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    // Arguments that are not flags and not flag values.
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn dispatch(args: Vec<String>) -> Result<String, CliError> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    let pos = positional(rest);
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|s| s.parse().map_err(|_| CliError::Usage(format!("bad seed `{s}`"))))
+        .transpose()?
+        .unwrap_or(42);
+    let phone = flag_value(rest, "--phone").unwrap_or_else(|| "x9".into());
+    match cmd {
+        "gen" => {
+            let [model, out] = pos[..] else {
+                return Err(CliError::Usage("gen needs <model> <out.pbit>".into()));
+            };
+            cmd_gen(model, &PathBuf::from(out), seed)
+        }
+        "info" => {
+            let [path] = pos[..] else {
+                return Err(CliError::Usage("info needs <model.pbit>".into()));
+            };
+            cmd_info(&PathBuf::from(path))
+        }
+        "run" => {
+            let [path] = pos[..] else {
+                return Err(CliError::Usage("run needs <model.pbit>".into()));
+            };
+            cmd_run(&PathBuf::from(path), &phone, seed)
+        }
+        "bench" => {
+            let [model] = pos[..] else {
+                return Err(CliError::Usage("bench needs <model>".into()));
+            };
+            cmd_bench(model, &phone)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(args) {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

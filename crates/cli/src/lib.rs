@@ -1,0 +1,234 @@
+//! # phonebit-cli
+//!
+//! Implementation of the `pbit` command-line tool: generate models from the
+//! zoo, inspect `.pbit` files, run inference on a simulated phone and
+//! benchmark frames-per-second / energy.
+//!
+//! The binary lives in `src/bin/pbit.rs`; this library holds the testable
+//! command implementations.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use phonebit_core::format::{load_file, save_file};
+use phonebit_core::{convert, estimate_arch, PbitLayer, PbitModel, Session};
+use phonebit_gpusim::Phone;
+use phonebit_models::zoo::{self, Variant};
+use phonebit_models::{fill_weights, synthetic_image};
+use phonebit_nn::graph::NetworkArch;
+use phonebit_profiler::EnergyReport;
+
+/// Errors surfaced by CLI commands.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown model/phone name or bad flag value.
+    Usage(String),
+    /// Filesystem or format problem.
+    Io(std::io::Error),
+    /// Engine failure (OOM, shape mismatch).
+    Engine(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Resolves a zoo model name (binary variant).
+pub fn arch_by_name(name: &str) -> Result<NetworkArch, CliError> {
+    Ok(match name {
+        "alexnet" => zoo::alexnet(Variant::Binary),
+        "yolov2-tiny" | "yolo" => zoo::yolov2_tiny(Variant::Binary),
+        "vgg16" => zoo::vgg16(Variant::Binary),
+        "alexnet-micro" => zoo::alexnet_micro(Variant::Binary),
+        "yolo-micro" => zoo::yolo_micro(Variant::Binary),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown model `{other}` (expected alexnet|yolov2-tiny|vgg16|alexnet-micro|yolo-micro)"
+            )))
+        }
+    })
+}
+
+/// Resolves a phone name.
+pub fn phone_by_name(name: &str) -> Result<Phone, CliError> {
+    Ok(match name {
+        "x5" | "xiaomi5" | "sd820" => Phone::xiaomi_5(),
+        "x9" | "xiaomi9" | "sd855" => Phone::xiaomi_9(),
+        other => {
+            return Err(CliError::Usage(format!("unknown phone `{other}` (expected x5|x9)")))
+        }
+    })
+}
+
+/// `pbit gen <model> <out.pbit> [seed]`: generate a seeded synthetic
+/// checkpoint, convert it, write the deployable file. Returns a summary.
+pub fn cmd_gen(model: &str, out: &Path, seed: u64) -> Result<String, CliError> {
+    let arch = arch_by_name(model)?;
+    let def = fill_weights(&arch, seed);
+    let converted = convert(&def);
+    save_file(&converted, out)?;
+    Ok(format!(
+        "wrote {} ({} layers, {:.3} MB deployed, {:.1}x smaller than f32)",
+        out.display(),
+        converted.len(),
+        converted.size_bytes() as f64 / 1e6,
+        arch.float_bytes() as f64 / converted.size_bytes() as f64
+    ))
+}
+
+/// `pbit info <model.pbit>`: layer-by-layer description.
+pub fn cmd_info(path: &Path) -> Result<String, CliError> {
+    let model = load_file(path)?;
+    Ok(describe(&model))
+}
+
+/// Renders a layer table for a model.
+pub fn describe(model: &PbitModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "model `{}`  input {}  {} layers  {:.3} MB",
+        model.name, model.input, model.len(), model.size_bytes() as f64 / 1e6);
+    let _ = writeln!(out, "{:<12} {:<22} {:>12}", "layer", "kind", "params(B)");
+    for layer in &model.layers {
+        let kind = match layer {
+            PbitLayer::BConvInput8 { .. } => "binary conv (8-bit in)",
+            PbitLayer::BConv { .. } => "binary conv (fused)",
+            PbitLayer::FConv { .. } => "float conv",
+            PbitLayer::MaxPoolBits { .. } => "maxpool (packed OR)",
+            PbitLayer::MaxPoolF32 { .. } => "maxpool (float)",
+            PbitLayer::DenseBin { .. } => "binary dense (fused)",
+            PbitLayer::DenseFloat { .. } => "float dense",
+            PbitLayer::Softmax => "softmax",
+        };
+        let _ = writeln!(out, "{:<12} {:<22} {:>12}", layer.name(), kind, layer.param_bytes());
+    }
+    out
+}
+
+/// `pbit run <model.pbit> <phone> [seed]`: one synthetic-input inference
+/// with the per-layer report.
+pub fn cmd_run(path: &Path, phone: &str, seed: u64) -> Result<String, CliError> {
+    let model = load_file(path)?;
+    let phone = phone_by_name(phone)?;
+    let input_shape = model.input;
+    let takes_u8 = model.takes_u8_input();
+    let mut session =
+        Session::new(model, &phone).map_err(|e| CliError::Engine(e.to_string()))?;
+    let report = if takes_u8 {
+        let img = synthetic_image(input_shape, seed);
+        session.run_u8(&img).map_err(|e| CliError::Engine(e.to_string()))?
+    } else {
+        let img = phonebit_models::to_float_input(&synthetic_image(input_shape, seed));
+        session.run_f32(&img).map_err(|e| CliError::Engine(e.to_string()))?
+    };
+    Ok(format!("ran on {} ({})\n{}", phone.name, phone.gpu.name, report.to_table()))
+}
+
+/// `pbit bench <model> <phone>`: full-scale modeled latency/energy of a zoo
+/// architecture (no weights materialized), Table III/IV style.
+pub fn cmd_bench(model: &str, phone: &str) -> Result<String, CliError> {
+    let arch = arch_by_name(model)?;
+    let phone = phone_by_name(phone)?;
+    let report = estimate_arch(&phone, &arch);
+    let er = EnergyReport::from_frame(arch.name.clone(), report.total_s, report.energy_j);
+    Ok(format!(
+        "{} on {} ({}): {:.2} ms/frame, {:.1} FPS, {:.1} mW, {:.1} FPS/W, peak {:.1} MiB",
+        arch.name,
+        phone.name,
+        phone.soc,
+        report.total_ms(),
+        report.fps(),
+        er.power_mw(),
+        er.fps_per_watt,
+        report.peak_bytes as f64 / (1024.0 * 1024.0)
+    ))
+}
+
+/// The usage string shown by `pbit help`.
+pub const USAGE: &str = "pbit — PhoneBit model tool (simulated mobile GPU)
+
+USAGE:
+    pbit gen   <model> <out.pbit> [--seed N]   generate + convert a zoo model
+    pbit info  <model.pbit>                    describe a deployed model
+    pbit run   <model.pbit> [--phone x9] [--seed N]
+                                               run one inference, per-layer report
+    pbit bench <model> [--phone x9]            full-scale modeled latency/energy
+    pbit help                                  this text
+
+MODELS: alexnet | yolov2-tiny | vgg16 | alexnet-micro | yolo-micro
+PHONES: x5 (Snapdragon 820) | x9 (Snapdragon 855)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("phonebit_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn gen_info_run_round_trip() {
+        let path = tmp("micro.pbit");
+        let gen = cmd_gen("yolo-micro", &path, 3).unwrap();
+        assert!(gen.contains("wrote"));
+        let info = cmd_info(&path).unwrap();
+        assert!(info.contains("binary conv (8-bit in)"));
+        assert!(info.contains("float conv"));
+        let run = cmd_run(&path, "x9", 5).unwrap();
+        assert!(run.contains("Xiaomi 9"));
+        assert!(run.contains("conv1"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_all_zoo_models() {
+        for model in ["alexnet", "yolov2-tiny", "vgg16"] {
+            for phone in ["x5", "x9"] {
+                let out = cmd_bench(model, phone).unwrap();
+                assert!(out.contains("FPS/W"), "{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_usage_errors() {
+        assert!(matches!(arch_by_name("resnet"), Err(CliError::Usage(_))));
+        assert!(matches!(phone_by_name("pixel"), Err(CliError::Usage(_))));
+        let e = cmd_bench("alexnet", "pixel").unwrap_err();
+        assert!(e.to_string().contains("unknown phone"));
+    }
+
+    #[test]
+    fn info_on_missing_file_is_io_error() {
+        let e = cmd_info(Path::new("/nonexistent/x.pbit")).unwrap_err();
+        assert!(matches!(e, CliError::Io(_)));
+    }
+
+    #[test]
+    fn describe_names_all_layer_kinds() {
+        let path = tmp("alexmicro.pbit");
+        cmd_gen("alexnet-micro", &path, 1).unwrap();
+        let model = load_file(&path).unwrap();
+        let text = describe(&model);
+        assert!(text.contains("binary dense (fused)"));
+        assert!(text.contains("softmax"));
+        std::fs::remove_file(&path).ok();
+    }
+}

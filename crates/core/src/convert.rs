@@ -1,0 +1,262 @@
+//! Checkpoint conversion: trained float network → deployable PhoneBit model.
+//!
+//! This is the paper's offline preparation stage (Fig 2): binarize weights
+//! at sign, pack them along channels, and precompute the fused thresholds
+//! `ξ = µ − βσ/γ − b` (Eqn 6) so no batch-norm arithmetic survives at
+//! runtime. Full-precision layers pass through unchanged.
+
+use phonebit_nn::fuse::FusedBn;
+use phonebit_nn::graph::{LayerPrecision, LayerSpec, LayerWeights, NetworkDef, PoolKind};
+use phonebit_nn::kernels::pool::PoolGeometry;
+use phonebit_tensor::bits::PackedFilters;
+use phonebit_tensor::pack::pack_filters;
+use phonebit_tensor::shape::FilterShape;
+
+use crate::model::{PbitLayer, PbitModel};
+
+/// Converts a validated float checkpoint into a deployable [`PbitModel`].
+///
+/// Binary conv/dense layers get sign-binarized packed weights plus fused
+/// thresholds; `BinaryInput8` first layers are treated identically (their
+/// input handling differs at runtime, not in the stored weights). Pooling
+/// after a binary layer becomes bitwise pooling; pooling after a float
+/// layer stays float.
+///
+/// # Panics
+///
+/// Panics if the checkpoint fails [`NetworkDef::validate`] or a binary
+/// layer lacks batch-norm parameters (binarization without BN never trains
+/// to useful accuracy, and the fused form requires γ and ξ).
+pub fn convert(def: &NetworkDef) -> PbitModel {
+    def.validate();
+    let infos = def.arch.infer();
+    let mut layers = Vec::with_capacity(def.arch.layers.len());
+    // Tracks whether the activation stream is packed bits at this point.
+    let mut bits_domain = false;
+    for ((spec, weights), info) in
+        def.arch.layers.iter().zip(def.weights.iter()).zip(infos.iter())
+    {
+        match (spec, weights) {
+            (LayerSpec::Conv(c), LayerWeights::Conv(w)) => match c.precision {
+                LayerPrecision::Binary | LayerPrecision::BinaryInput8 => {
+                    let bn = w.bn.as_ref().unwrap_or_else(|| {
+                        panic!("{}: binary layer requires batch-norm for fusion", c.name)
+                    });
+                    let fused = FusedBn::precompute(bn, &w.bias);
+                    let filters: PackedFilters<u64> = pack_filters(&w.filters);
+                    layers.push(if c.precision == LayerPrecision::BinaryInput8 {
+                        PbitLayer::BConvInput8 {
+                            name: c.name.clone(),
+                            geom: c.geom,
+                            filters,
+                            fused,
+                        }
+                    } else {
+                        PbitLayer::BConv { name: c.name.clone(), geom: c.geom, filters, fused }
+                    });
+                    bits_domain = true;
+                }
+                LayerPrecision::Float => {
+                    layers.push(PbitLayer::FConv {
+                        name: c.name.clone(),
+                        geom: c.geom,
+                        filters: w.filters.clone(),
+                        bias: w.bias.clone(),
+                        activation: c.activation,
+                    });
+                    bits_domain = false;
+                }
+            },
+            (LayerSpec::Pool(p), LayerWeights::None) => {
+                assert_eq!(
+                    p.kind,
+                    PoolKind::Max,
+                    "{}: only max pooling is supported in deployed models",
+                    p.name
+                );
+                let geom = PoolGeometry::new(p.size, p.stride);
+                layers.push(if bits_domain {
+                    PbitLayer::MaxPoolBits { name: p.name.clone(), geom }
+                } else {
+                    PbitLayer::MaxPoolF32 { name: p.name.clone(), geom }
+                });
+            }
+            (LayerSpec::Dense(d), LayerWeights::Dense(w)) => match d.precision {
+                LayerPrecision::Binary => {
+                    let bn = w.bn.as_ref().unwrap_or_else(|| {
+                        panic!("{}: binary layer requires batch-norm for fusion", d.name)
+                    });
+                    let fused = FusedBn::precompute(bn, &w.bias);
+                    let in_features = info.input.h * info.input.w * info.input.c;
+                    let mut packed =
+                        PackedFilters::<u64>::zeros(FilterShape::new(d.out_features, 1, 1, in_features));
+                    for k in 0..d.out_features {
+                        for c in 0..in_features {
+                            if w.weights[k * in_features + c] >= 0.0 {
+                                packed.set_bit(k, 0, 0, c, true);
+                            }
+                        }
+                    }
+                    layers.push(PbitLayer::DenseBin { name: d.name.clone(), weights: packed, fused });
+                    bits_domain = true;
+                }
+                LayerPrecision::BinaryInput8 => {
+                    panic!("{}: BinaryInput8 is only meaningful for the first conv", d.name)
+                }
+                LayerPrecision::Float => {
+                    layers.push(PbitLayer::DenseFloat {
+                        name: d.name.clone(),
+                        weights: w.weights.clone(),
+                        bias: w.bias.clone(),
+                        activation: d.activation,
+                    });
+                    bits_domain = false;
+                }
+            },
+            (LayerSpec::Softmax, LayerWeights::None) => layers.push(PbitLayer::Softmax),
+            (spec, w) => {
+                panic!("{}: inconsistent layer/weights ({spec:?} vs {w:?})", def.arch.name)
+            }
+        }
+    }
+    PbitModel { name: def.arch.name.clone(), input: def.arch.input, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonebit_nn::act::Activation;
+    use phonebit_nn::fuse::BnParams;
+    use phonebit_nn::graph::{ConvWeights, DenseWeights, NetworkArch};
+    use phonebit_tensor::shape::Shape4;
+    use phonebit_tensor::tensor::Filters;
+
+    fn small_def() -> NetworkDef {
+        let arch = NetworkArch::new("small", Shape4::new(1, 8, 8, 3))
+            .conv("conv1", 16, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
+            .maxpool("pool1", 2, 2)
+            .conv("conv2", 32, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
+            .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
+            .softmax();
+        let infos = arch.infer();
+        let mut weights = Vec::new();
+        for (layer, info) in arch.layers.iter().zip(infos.iter()) {
+            weights.push(match layer {
+                LayerSpec::Conv(c) => LayerWeights::Conv(ConvWeights {
+                    filters: Filters::from_fn(
+                        FilterShape::new(c.out_channels, 3, 3, info.input.c),
+                        |k, i, j, ch| ((k + i + j + ch) % 3) as f32 - 1.0,
+                    ),
+                    bias: (0..c.out_channels).map(|i| i as f32 * 0.1).collect(),
+                    bn: c.has_bn.then(|| BnParams {
+                        gamma: (0..c.out_channels)
+                            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                            .collect(),
+                        beta: vec![0.1; c.out_channels],
+                        mu: vec![1.0; c.out_channels],
+                        sigma: vec![2.0; c.out_channels],
+                    }),
+                }),
+                LayerSpec::Dense(d) => {
+                    let in_f = info.input.h * info.input.w * info.input.c;
+                    LayerWeights::Dense(DenseWeights {
+                        weights: (0..in_f * d.out_features)
+                            .map(|i| (i % 7) as f32 - 3.0)
+                            .collect(),
+                        bias: vec![0.0; d.out_features],
+                        bn: None,
+                    })
+                }
+                _ => LayerWeights::None,
+            });
+        }
+        NetworkDef { arch, weights }
+    }
+
+    #[test]
+    fn convert_produces_expected_layer_kinds() {
+        let model = convert(&small_def());
+        assert_eq!(model.layers.len(), 5);
+        assert!(matches!(model.layers[0], PbitLayer::BConvInput8 { .. }));
+        assert!(matches!(model.layers[1], PbitLayer::MaxPoolBits { .. }));
+        assert!(matches!(model.layers[2], PbitLayer::BConv { .. }));
+        assert!(matches!(model.layers[3], PbitLayer::DenseFloat { .. }));
+        assert!(matches!(model.layers[4], PbitLayer::Softmax));
+        assert!(model.takes_u8_input());
+    }
+
+    #[test]
+    fn fused_thresholds_match_eqn6() {
+        let def = small_def();
+        let model = convert(&def);
+        let (bn, bias) = match &def.weights[0] {
+            LayerWeights::Conv(w) => (w.bn.as_ref().unwrap(), &w.bias),
+            _ => unreachable!(),
+        };
+        match &model.layers[0] {
+            PbitLayer::BConvInput8 { fused, .. } => {
+                for i in 0..fused.len() {
+                    let expect = bn.mu[i] - bn.beta[i] * bn.sigma[i] / bn.gamma[i] - bias[i];
+                    assert!((fused.xi[i] - expect).abs() < 1e-6);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn packed_weights_are_sign_of_floats() {
+        let def = small_def();
+        let model = convert(&def);
+        let floats = match &def.weights[2] {
+            LayerWeights::Conv(w) => &w.filters,
+            _ => unreachable!(),
+        };
+        match &model.layers[2] {
+            PbitLayer::BConv { filters, .. } => {
+                let fs = filters.shape();
+                for k in 0..fs.k {
+                    for i in 0..fs.kh {
+                        for j in 0..fs.kw {
+                            for c in 0..fs.c {
+                                assert_eq!(
+                                    filters.get_bit(k, i, j, c),
+                                    floats.at(k, i, j, c) >= 0.0
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn converted_size_is_smaller_than_checkpoint() {
+        let def = small_def();
+        let model = convert(&def);
+        let checkpoint_bytes = def.arch.float_bytes();
+        assert!(model.size_bytes() < checkpoint_bytes);
+        // And matches the analytic estimate to within BN bookkeeping.
+        let analytic = def.arch.binary_bytes() as f64;
+        let actual = model.size_bytes() as f64;
+        assert!(
+            (actual - analytic).abs() / analytic < 0.35,
+            "deployed {actual} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires batch-norm")]
+    fn binary_layer_without_bn_panics() {
+        let mut def = small_def();
+        if let LayerWeights::Conv(w) = &mut def.weights[2] {
+            w.bn = None;
+        }
+        if let LayerSpec::Conv(c) = &mut def.arch.layers[2] {
+            c.has_bn = false;
+        }
+        convert(&def);
+    }
+}

@@ -1,0 +1,522 @@
+//! The PhoneBit inference engine: runs a deployed model on a simulated
+//! phone GPU, layer by layer, with per-layer timing and energy.
+
+use phonebit_gpusim::buffer::{Buffer, Context, SimError};
+use phonebit_gpusim::queue::{CommandQueue, ExecMode};
+use phonebit_gpusim::ExecutorClass;
+use phonebit_gpusim::Phone;
+use phonebit_nn::kernels::{self, bconv, bitplane, dense, fconv, pool};
+use phonebit_nn::workload::INTEGRATION_CHANNEL_LIMIT;
+use phonebit_tensor::bits::BitTensor;
+use phonebit_tensor::shape::{Layout, Shape4};
+use phonebit_tensor::tensor::Tensor;
+
+use crate::model::{PbitLayer, PbitModel};
+use crate::stats::{LayerRun, RunReport};
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Device memory exhausted while staging weights or activations.
+    OutOfMemory(SimError),
+    /// The supplied input does not match the model input.
+    InputMismatch {
+        /// What the model wants.
+        expected: String,
+        /// What the caller passed.
+        got: String,
+    },
+    /// A layer received data in the wrong domain (bits vs floats); indicates
+    /// a malformed model.
+    DomainMismatch {
+        /// Offending layer name.
+        layer: String,
+        /// Expected activation domain.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::OutOfMemory(e) => write!(f, "engine out of memory: {e}"),
+            EngineError::InputMismatch { expected, got } => {
+                write!(f, "input mismatch: model expects {expected}, got {got}")
+            }
+            EngineError::DomainMismatch { layer, expected } => {
+                write!(f, "layer {layer} expected {expected} activations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::OutOfMemory(e)
+    }
+}
+
+/// Activation data flowing between layers.
+#[derive(Debug, Clone)]
+pub enum ActivationData {
+    /// 8-bit integer image (network input only).
+    Bytes(Tensor<u8>),
+    /// Full-precision activations.
+    Floats(Tensor<f32>),
+    /// Channel-packed binary activations.
+    Bits(BitTensor<u64>),
+}
+
+impl ActivationData {
+    /// Logical shape of the activations.
+    pub fn shape(&self) -> Shape4 {
+        match self {
+            ActivationData::Bytes(t) => t.shape(),
+            ActivationData::Floats(t) => t.shape(),
+            ActivationData::Bits(t) => t.shape(),
+        }
+    }
+
+    /// Device bytes this activation occupies (packed bits are ~32x smaller
+    /// than floats — the paper's "minimal memory footprint").
+    pub fn byte_len(&self) -> usize {
+        match self {
+            ActivationData::Bytes(t) => t.byte_len(),
+            ActivationData::Floats(t) => t.byte_len(),
+            ActivationData::Bits(t) => t.byte_len(),
+        }
+    }
+
+    /// Extracts float activations, if that is what this is.
+    pub fn into_floats(self) -> Option<Tensor<f32>> {
+        match self {
+            ActivationData::Floats(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An inference session: a model staged on a phone's GPU.
+///
+/// # Examples
+///
+/// See the crate-level documentation and `examples/quickstart.rs`.
+#[derive(Debug)]
+pub struct Session {
+    model: PbitModel,
+    queue: CommandQueue,
+    ctx: Context,
+    _weight_residency: Vec<Buffer<u8>>,
+}
+
+impl Session {
+    /// Stages a model on the given phone's GPU.
+    ///
+    /// Weight buffers are allocated against the phone's app memory budget:
+    /// staging fails with [`EngineError::OutOfMemory`] if the deployed
+    /// model cannot fit (PhoneBit's packed models always fit the paper's
+    /// phones — unlike CNNdroid's float VGG16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when the weights exceed the
+    /// app budget.
+    pub fn new(model: PbitModel, phone: &Phone) -> Result<Self, EngineError> {
+        let ctx = Context::new(phone.gpu.clone(), phone.app_budget_bytes());
+        let queue = CommandQueue::new(phone.gpu.clone(), ExecutorClass::PhoneBitOpenCl);
+        let mut weight_residency = Vec::new();
+        for layer in &model.layers {
+            let bytes = layer.param_bytes();
+            if bytes > 0 {
+                weight_residency.push(ctx.alloc::<u8>(bytes)?);
+            }
+        }
+        Ok(Self { model, queue, ctx, _weight_residency: weight_residency })
+    }
+
+    /// Switches the dispatch mode (estimate-only skips host compute).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.queue = self.queue.with_mode(mode);
+        self
+    }
+
+    /// The staged model.
+    pub fn model(&self) -> &PbitModel {
+        &self.model
+    }
+
+    /// Device memory currently allocated (weights resident), bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.ctx.used_bytes()
+    }
+
+    /// The dispatch timeline of the most recent run — input to the
+    /// Trepn-like power profiler (`phonebit-profiler`).
+    pub fn timeline(&self) -> &[phonebit_gpusim::LaunchEvent] {
+        self.queue.timeline()
+    }
+
+    /// Runs inference on an 8-bit image (models whose first layer is
+    /// [`PbitLayer::BConvInput8`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when the model takes float
+    /// input, or shape/memory errors.
+    pub fn run_u8(&mut self, input: &Tensor<u8>) -> Result<RunReport, EngineError> {
+        if !self.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "f32 input".into(),
+                got: "u8 image".into(),
+            });
+        }
+        self.check_shape(input.shape())?;
+        self.run_data(ActivationData::Bytes(input.clone()))
+    }
+
+    /// Runs inference on float input (models whose first layer is already
+    /// binary or float).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when the model takes `u8`
+    /// input, or shape/memory errors.
+    pub fn run_f32(&mut self, input: &Tensor<f32>) -> Result<RunReport, EngineError> {
+        if self.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "u8 image".into(),
+                got: "f32 tensor".into(),
+            });
+        }
+        self.check_shape(input.shape())?;
+        self.run_data(ActivationData::Floats(input.clone()))
+    }
+
+    fn check_shape(&self, got: Shape4) -> Result<(), EngineError> {
+        if got != self.model.input {
+            return Err(EngineError::InputMismatch {
+                expected: self.model.input.to_string(),
+                got: got.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn run_data(&mut self, input: ActivationData) -> Result<RunReport, EngineError> {
+        self.queue.reset();
+        self.queue.host_delay(self.queue.per_run_overhead_s());
+        let mut cur = input;
+        let mut cur_residency = self.ctx.alloc::<u8>(cur.byte_len())?;
+        let mut per_layer = Vec::with_capacity(self.model.len());
+        let layers = self.model.layers.clone();
+        for layer in &layers {
+            let t0 = self.queue.elapsed_s();
+            let e0 = self.queue.timeline().len();
+            let next = self.step(layer, cur)?;
+            // Ping-pong residency: output allocated, then input released.
+            let next_residency = self.ctx.alloc::<u8>(next.byte_len())?;
+            drop(cur_residency);
+            cur_residency = next_residency;
+            let time_s = self.queue.elapsed_s() - t0;
+            let energy_j: f64 = self.queue.timeline()[e0..]
+                .iter()
+                .map(|ev| ev.stats.energy_j)
+                .sum();
+            per_layer.push(LayerRun {
+                name: layer.name().to_string(),
+                output_shape: next.shape(),
+                time_s,
+                energy_j,
+            });
+            cur = next;
+        }
+        drop(cur_residency);
+        Ok(RunReport {
+            model: self.model.name.clone(),
+            total_s: self.queue.elapsed_s(),
+            energy_j: self.queue.energy_j(),
+            peak_bytes: self.ctx.peak_bytes(),
+            per_layer,
+            output: Some(cur),
+        })
+    }
+
+    fn step(&mut self, layer: &PbitLayer, input: ActivationData) -> Result<ActivationData, EngineError> {
+        let q = &mut self.queue;
+        Ok(match layer {
+            PbitLayer::BConvInput8 { name, geom, filters, fused } => {
+                let img = match input {
+                    ActivationData::Bytes(t) => t,
+                    _ => return Err(domain(name, "u8")),
+                };
+                let planes = bitplane::bitplane_split::<u64>(q, &img);
+                ActivationData::Bits(bitplane::bitplane_conv_fused(q, &planes, filters, fused, geom))
+            }
+            PbitLayer::BConv { name, geom, filters, fused } => {
+                let bits = match input {
+                    ActivationData::Bits(b) => b,
+                    ActivationData::Floats(f) => kernels::pack_input::<u64>(q, &f),
+                    _ => return Err(domain(name, "bits")),
+                };
+                // §VI-B: integrate packing when channels permit, otherwise
+                // accumulate + pack separately.
+                if bits.shape().c <= INTEGRATION_CHANNEL_LIMIT {
+                    ActivationData::Bits(bconv::bconv_fused(q, &bits, filters, fused, geom))
+                } else {
+                    let accum = bconv::bconv_accum(q, &bits, filters, geom);
+                    ActivationData::Bits(bconv::binarize_pack(q, &accum, fused))
+                }
+            }
+            PbitLayer::FConv { name, geom, filters, bias, activation } => {
+                let floats = match input {
+                    ActivationData::Floats(f) => f,
+                    ActivationData::Bits(b) => kernels::unpack_bits(q, &b),
+                    _ => return Err(domain(name, "floats")),
+                };
+                ActivationData::Floats(fconv::fconv(q, &floats, filters, bias, *activation, geom))
+            }
+            PbitLayer::MaxPoolBits { name, geom } => {
+                let bits = match input {
+                    ActivationData::Bits(b) => b,
+                    _ => return Err(domain(name, "bits")),
+                };
+                ActivationData::Bits(pool::maxpool_bits(q, &bits, geom))
+            }
+            PbitLayer::MaxPoolF32 { name, geom } => {
+                let floats = match input {
+                    ActivationData::Floats(f) => f,
+                    ActivationData::Bits(b) => kernels::unpack_bits(q, &b),
+                    _ => return Err(domain(name, "floats")),
+                };
+                ActivationData::Floats(pool::maxpool_f32(q, &floats, geom))
+            }
+            PbitLayer::DenseBin { name, weights, fused } => {
+                let bits = match input {
+                    ActivationData::Bits(b) => b,
+                    ActivationData::Floats(f) => kernels::pack_input::<u64>(q, &f),
+                    _ => return Err(domain(name, "bits")),
+                };
+                let flat = dense::flatten_bits(&bits);
+                ActivationData::Bits(dense::dense_bin(q, &flat, weights, fused))
+            }
+            PbitLayer::DenseFloat { name, weights, bias, activation } => {
+                let floats = match input {
+                    ActivationData::Floats(f) => f,
+                    ActivationData::Bits(b) => kernels::unpack_bits(q, &b),
+                    _ => return Err(domain(name, "floats")),
+                };
+                let s = floats.shape();
+                let flat: Vec<f32> = floats.into_vec();
+                let mut out_all = Vec::new();
+                let features = s.h * s.w * s.c;
+                for n in 0..s.n {
+                    let row = &flat[n * features..(n + 1) * features];
+                    let y = dense::dense_float(q, row, weights, bias, *activation);
+                    out_all.extend(y);
+                }
+                let out_shape = Shape4::new(s.n, 1, 1, bias.len());
+                ActivationData::Floats(Tensor::from_vec(out_shape, Layout::Nhwc, out_all))
+            }
+            PbitLayer::Softmax => {
+                let mut floats = match input {
+                    ActivationData::Floats(f) => f,
+                    ActivationData::Bits(b) => kernels::unpack_bits(q, &b),
+                    _ => return Err(domain("softmax", "floats")),
+                };
+                let s = floats.shape();
+                let features = s.h * s.w * s.c;
+                {
+                    let data = floats.as_mut_slice();
+                    for n in 0..s.n {
+                        kernels::softmax(q, &mut data[n * features..(n + 1) * features]);
+                    }
+                }
+                ActivationData::Floats(floats)
+            }
+        })
+    }
+}
+
+fn domain(layer: &str, expected: &'static str) -> EngineError {
+    EngineError::DomainMismatch { layer: layer.to_string(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert;
+    use phonebit_nn::act::Activation;
+    use phonebit_nn::fuse::BnParams;
+    use phonebit_nn::graph::{
+        ConvWeights, DenseWeights, LayerPrecision, LayerSpec, LayerWeights, NetworkArch,
+        NetworkDef,
+    };
+    use phonebit_tensor::shape::FilterShape;
+    use phonebit_tensor::tensor::Filters;
+
+    fn small_def() -> NetworkDef {
+        let arch = NetworkArch::new("small", Shape4::new(1, 8, 8, 3))
+            .conv("conv1", 16, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
+            .maxpool("pool1", 2, 2)
+            .conv("conv2", 24, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
+            .maxpool("pool2", 2, 2)
+            .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
+            .softmax();
+        let infos = arch.infer();
+        let mut weights = Vec::new();
+        for (layer, info) in arch.layers.iter().zip(infos.iter()) {
+            weights.push(match layer {
+                LayerSpec::Conv(c) => LayerWeights::Conv(ConvWeights {
+                    filters: Filters::from_fn(
+                        FilterShape::new(c.out_channels, 3, 3, info.input.c),
+                        |k, i, j, ch| (((k * 31 + i * 7 + j * 3 + ch) % 5) as f32) - 2.0,
+                    ),
+                    bias: (0..c.out_channels).map(|i| (i % 3) as f32 * 0.2 - 0.2).collect(),
+                    bn: Some(BnParams {
+                        gamma: (0..c.out_channels)
+                            .map(|i| if i % 5 == 0 { -0.8 } else { 1.2 })
+                            .collect(),
+                        beta: (0..c.out_channels).map(|i| (i % 4) as f32 * 0.1).collect(),
+                        mu: (0..c.out_channels).map(|i| (i % 7) as f32 * 3.0).collect(),
+                        sigma: vec![5.0; c.out_channels],
+                    }),
+                }),
+                LayerSpec::Dense(d) => {
+                    let in_f = info.input.h * info.input.w * info.input.c;
+                    LayerWeights::Dense(DenseWeights {
+                        weights: (0..in_f * d.out_features)
+                            .map(|i| ((i * 13) % 9) as f32 - 4.0)
+                            .collect(),
+                        bias: (0..d.out_features).map(|i| i as f32 * 0.01).collect(),
+                        bn: None,
+                    })
+                }
+                _ => LayerWeights::None,
+            });
+        }
+        NetworkDef { arch, weights }
+    }
+
+    fn image() -> Tensor<u8> {
+        Tensor::from_fn(Shape4::new(1, 8, 8, 3), |_, h, w, c| {
+            ((h * 37 + w * 11 + c * 101) % 256) as u8
+        })
+    }
+
+    #[test]
+    fn session_runs_end_to_end() {
+        let model = convert(&small_def());
+        let mut session = Session::new(model, &Phone::xiaomi_9()).unwrap();
+        let report = session.run_u8(&image()).unwrap();
+        assert_eq!(report.per_layer.len(), 6);
+        assert!(report.total_s > 0.0);
+        assert!(report.energy_j > 0.0);
+        // Softmax output sums to 1.
+        let out = report.output.clone().unwrap().into_floats().unwrap();
+        let sum: f32 = out.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "softmax sum {sum}");
+        assert_eq!(out.shape(), Shape4::new(1, 1, 1, 10));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let model = convert(&small_def());
+        let mut session = Session::new(model, &Phone::xiaomi_9()).unwrap();
+        let a = session.run_u8(&image()).unwrap();
+        let b = session.run_u8(&image()).unwrap();
+        let ta = a.output.unwrap().into_floats().unwrap();
+        let tb = b.output.unwrap().into_floats().unwrap();
+        assert_eq!(ta, tb);
+        assert!((a.total_s - b.total_s).abs() < 1e-12, "modeled time is deterministic");
+    }
+
+    #[test]
+    fn estimate_mode_times_without_computing() {
+        let model = convert(&small_def());
+        let mut exec = Session::new(model.clone(), &Phone::xiaomi_9()).unwrap();
+        let real = exec.run_u8(&image()).unwrap();
+        let mut est = Session::new(model, &Phone::xiaomi_9())
+            .unwrap()
+            .with_mode(ExecMode::EstimateOnly);
+        let modeled = est.run_u8(&image()).unwrap();
+        // Same modeled time whether or not the host computed results.
+        assert!((real.total_s - modeled.total_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_on_newer_phone() {
+        let model = convert(&small_def());
+        let mut s5 = Session::new(model.clone(), &Phone::xiaomi_5()).unwrap();
+        let mut s9 = Session::new(model, &Phone::xiaomi_9()).unwrap();
+        let t5 = s5.run_u8(&image()).unwrap().total_s;
+        let t9 = s9.run_u8(&image()).unwrap().total_s;
+        assert!(t9 < t5, "SD855 ({t9}) must beat SD820 ({t5})");
+    }
+
+    #[test]
+    fn wrong_input_kind_is_reported() {
+        let model = convert(&small_def());
+        let mut session = Session::new(model, &Phone::xiaomi_9()).unwrap();
+        let f32_input = Tensor::<f32>::zeros(Shape4::new(1, 8, 8, 3), Layout::Nhwc);
+        let err = session.run_f32(&f32_input).unwrap_err();
+        assert!(matches!(err, EngineError::InputMismatch { .. }));
+    }
+
+    #[test]
+    fn wrong_input_shape_is_reported() {
+        let model = convert(&small_def());
+        let mut session = Session::new(model, &Phone::xiaomi_9()).unwrap();
+        let bad = Tensor::<u8>::zeros(Shape4::new(1, 9, 9, 3), Layout::Nhwc);
+        let err = session.run_u8(&bad).unwrap_err();
+        assert!(matches!(err, EngineError::InputMismatch { .. }));
+    }
+
+    #[test]
+    fn per_layer_times_sum_close_to_total() {
+        let model = convert(&small_def());
+        let mut session = Session::new(model, &Phone::xiaomi_9()).unwrap();
+        let report = session.run_u8(&image()).unwrap();
+        let layer_sum: f64 = report.per_layer.iter().map(|l| l.time_s).sum();
+        // Total additionally includes the per-run overhead.
+        assert!(layer_sum <= report.total_s);
+        assert!(report.total_s - layer_sum < 1e-3);
+    }
+
+    #[test]
+    fn timeline_is_exposed_for_profiling() {
+        let model = convert(&small_def());
+        let mut session = Session::new(model, &Phone::xiaomi_9()).unwrap();
+        assert!(session.timeline().is_empty());
+        let report = session.run_u8(&image()).unwrap();
+        let events = session.timeline();
+        assert!(!events.is_empty());
+        // Timeline dispatch time is bounded by the report total (which adds
+        // the per-run host overhead).
+        let busy: f64 = events.iter().map(|e| e.stats.time_s).sum();
+        assert!(busy <= report.total_s + 1e-12);
+        // Power sampling over the real timeline works end to end.
+        use phonebit_gpusim::calib::EnergyParams;
+        use phonebit_gpusim::DeviceKind;
+        let trace_avg = {
+            // Downstream crates use phonebit-profiler; here we check the
+            // inputs are sane: every event has positive time and energy.
+            assert!(events.iter().all(|e| e.stats.time_s > 0.0 && e.stats.energy_j > 0.0));
+            EnergyParams::for_kind(DeviceKind::Gpu).p_static_w
+        };
+        assert!(trace_avg > 0.0);
+    }
+
+    #[test]
+    fn peak_memory_is_modest_for_packed_model() {
+        let model = convert(&small_def());
+        let expected_weights: usize = model.size_bytes();
+        let mut session = Session::new(model, &Phone::xiaomi_9()).unwrap();
+        assert!(session.resident_bytes() >= expected_weights);
+        let report = session.run_u8(&image()).unwrap();
+        // Peak = weights + transient activations; for this tiny model well
+        // under a megabyte.
+        assert!(report.peak_bytes < 1 << 20, "peak {} B", report.peak_bytes);
+    }
+}

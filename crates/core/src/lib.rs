@@ -1,0 +1,40 @@
+//! # phonebit-core
+//!
+//! The PhoneBit inference engine — the paper's primary contribution
+//! (Chen et al., *PhoneBit*, DATE 2020), built on the `phonebit-gpusim`
+//! simulated mobile GPU and the `phonebit-nn` operator library.
+//!
+//! The deployment pipeline mirrors the paper's Fig 2:
+//!
+//! 1. A trained float checkpoint ([`phonebit_nn::graph::NetworkDef`]) is
+//!    [`convert`]ed: weights sign-binarized and channel-packed, batch-norms
+//!    fused into per-channel thresholds `ξ = µ − βσ/γ − b` (Eqn 6).
+//! 2. The result — a [`model::PbitModel`] — serializes to the compressed
+//!    `.pbit` [`format`](mod@crate::format) module.
+//! 3. On the phone, a [`engine::Session`] stages the model against the
+//!    device's memory budget and runs inference with per-layer timing.
+//!
+//! [`estimate::estimate_arch`] reproduces the engine's exact dispatch
+//! sequence from shapes alone, for full-scale benchmarking; [`planner`]
+//! computes deployed memory footprints; [`builder::NetworkBuilder`] is the
+//! Fig-3-style construction API.
+//!
+//! [`convert`]: convert::convert
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod convert;
+pub mod engine;
+pub mod estimate;
+pub mod format;
+pub mod model;
+pub mod planner;
+pub mod stats;
+
+pub use builder::NetworkBuilder;
+pub use convert::convert;
+pub use engine::{ActivationData, EngineError, Session};
+pub use estimate::{estimate_arch, estimate_arch_opts, EstimateOptions};
+pub use model::{PbitLayer, PbitModel};
+pub use stats::{LayerRun, RunReport};

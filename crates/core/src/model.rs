@@ -1,0 +1,223 @@
+//! The deployable PhoneBit model: binarized, packed, fusion-precomputed.
+//!
+//! This is what the paper's "compressed PhoneBit format" holds after the
+//! conversion scripts run (Fig 2): packed binary weights, fused thresholds
+//! ξ with γ signs, and the few full-precision layers kept as floats.
+
+use phonebit_nn::act::Activation;
+use phonebit_nn::fuse::FusedBn;
+use phonebit_nn::kernels::pool::PoolGeometry;
+use phonebit_tensor::bits::PackedFilters;
+use phonebit_tensor::shape::{ConvGeometry, Shape4};
+use phonebit_tensor::tensor::Filters;
+
+/// One deployable layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbitLayer {
+    /// First-layer convolution over 8-bit input bit-planes (Eqn 2), fused
+    /// with BN + binarize.
+    BConvInput8 {
+        /// Layer name.
+        name: String,
+        /// Convolution geometry.
+        geom: ConvGeometry,
+        /// Packed binary filters.
+        filters: PackedFilters<u64>,
+        /// Fused BN thresholds.
+        fused: FusedBn,
+    },
+    /// Binary convolution fused with BN + binarize + pack (§V-B).
+    BConv {
+        /// Layer name.
+        name: String,
+        /// Convolution geometry.
+        geom: ConvGeometry,
+        /// Packed binary filters.
+        filters: PackedFilters<u64>,
+        /// Fused BN thresholds.
+        fused: FusedBn,
+    },
+    /// Full-precision convolution (the last layer, via `dot()` SIMD).
+    FConv {
+        /// Layer name.
+        name: String,
+        /// Convolution geometry.
+        geom: ConvGeometry,
+        /// Float filters.
+        filters: Filters,
+        /// Per-filter bias.
+        bias: Vec<f32>,
+        /// Activation applied after bias.
+        activation: Activation,
+    },
+    /// Max pooling over packed binary activations (bitwise OR).
+    MaxPoolBits {
+        /// Layer name.
+        name: String,
+        /// Pool window.
+        geom: PoolGeometry,
+    },
+    /// Max pooling over float activations.
+    MaxPoolF32 {
+        /// Layer name.
+        name: String,
+        /// Pool window.
+        geom: PoolGeometry,
+    },
+    /// Fused binary dense layer.
+    DenseBin {
+        /// Layer name.
+        name: String,
+        /// Packed weights: `out x 1 x 1 x in`.
+        weights: PackedFilters<u64>,
+        /// Fused BN thresholds.
+        fused: FusedBn,
+    },
+    /// Full-precision dense layer.
+    DenseFloat {
+        /// Layer name.
+        name: String,
+        /// Row-major `[out x in]` weights.
+        weights: Vec<f32>,
+        /// Per-output bias.
+        bias: Vec<f32>,
+        /// Activation applied after bias.
+        activation: Activation,
+    },
+    /// Softmax epilogue.
+    Softmax,
+}
+
+impl PbitLayer {
+    /// Layer display name.
+    pub fn name(&self) -> &str {
+        match self {
+            PbitLayer::BConvInput8 { name, .. }
+            | PbitLayer::BConv { name, .. }
+            | PbitLayer::FConv { name, .. }
+            | PbitLayer::MaxPoolBits { name, .. }
+            | PbitLayer::MaxPoolF32 { name, .. }
+            | PbitLayer::DenseBin { name, .. }
+            | PbitLayer::DenseFloat { name, .. } => name,
+            PbitLayer::Softmax => "softmax",
+        }
+    }
+
+    /// Bytes this layer's parameters occupy in deployed form.
+    pub fn param_bytes(&self) -> usize {
+        match self {
+            PbitLayer::BConvInput8 { filters, fused, .. }
+            | PbitLayer::BConv { filters, fused, .. } => {
+                filters.byte_len() + fused.len() * 5
+            }
+            PbitLayer::FConv { filters, bias, .. } => {
+                filters.shape().len() * 4 + bias.len() * 4
+            }
+            PbitLayer::DenseBin { weights, fused, .. } => {
+                weights.byte_len() + fused.len() * 5
+            }
+            PbitLayer::DenseFloat { weights, bias, .. } => (weights.len() + bias.len()) * 4,
+            PbitLayer::MaxPoolBits { .. } | PbitLayer::MaxPoolF32 { .. } | PbitLayer::Softmax => 0,
+        }
+    }
+}
+
+/// A deployable model: input description plus packed layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PbitModel {
+    /// Model name.
+    pub name: String,
+    /// Input shape. When the first layer is [`PbitLayer::BConvInput8`], the
+    /// input tensor is `u8`; otherwise `f32`.
+    pub input: Shape4,
+    /// Layers in execution order.
+    pub layers: Vec<PbitLayer>,
+}
+
+impl PbitModel {
+    /// Total parameter bytes of the deployed model (Table II BNN column).
+    pub fn size_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.param_bytes()).sum()
+    }
+
+    /// Whether the model consumes 8-bit integer input.
+    pub fn takes_u8_input(&self) -> bool {
+        matches!(self.layers.first(), Some(PbitLayer::BConvInput8 { .. }))
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonebit_tensor::shape::FilterShape;
+
+    #[test]
+    fn param_bytes_binary_vs_float() {
+        let packed = PackedFilters::<u64>::zeros(FilterShape::new(8, 3, 3, 64));
+        let bin = PbitLayer::BConv {
+            name: "c".into(),
+            geom: ConvGeometry::square(3, 1, 1),
+            filters: packed.clone(),
+            fused: FusedBn::identity(8),
+        };
+        // 8 filters x 9 taps x 1 u64 word = 576 bytes + 8 * 5 fused bytes.
+        assert_eq!(bin.param_bytes(), 8 * 9 * 8 + 40);
+        let flo = PbitLayer::FConv {
+            name: "c".into(),
+            geom: ConvGeometry::square(3, 1, 1),
+            filters: Filters::zeros(FilterShape::new(8, 3, 3, 64)),
+            bias: vec![0.0; 8],
+            activation: Activation::Linear,
+        };
+        assert_eq!(flo.param_bytes(), (8 * 9 * 64 + 8) * 4);
+        assert!(flo.param_bytes() > bin.param_bytes() * 20);
+    }
+
+    #[test]
+    fn model_size_sums_layers() {
+        let m = PbitModel {
+            name: "m".into(),
+            input: Shape4::new(1, 8, 8, 3),
+            layers: vec![
+                PbitLayer::MaxPoolBits { name: "p".into(), geom: PoolGeometry::new(2, 2) },
+                PbitLayer::Softmax,
+            ],
+        };
+        assert_eq!(m.size_bytes(), 0);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert!(!m.takes_u8_input());
+    }
+
+    #[test]
+    fn u8_input_detection() {
+        let m = PbitModel {
+            name: "m".into(),
+            input: Shape4::new(1, 8, 8, 3),
+            layers: vec![PbitLayer::BConvInput8 {
+                name: "conv1".into(),
+                geom: ConvGeometry::square(3, 1, 1),
+                filters: PackedFilters::<u64>::zeros(FilterShape::new(4, 3, 3, 3)),
+                fused: FusedBn::identity(4),
+            }],
+        };
+        assert!(m.takes_u8_input());
+    }
+
+    #[test]
+    fn layer_names() {
+        assert_eq!(PbitLayer::Softmax.name(), "softmax");
+        let p = PbitLayer::MaxPoolF32 { name: "pool3".into(), geom: PoolGeometry::new(2, 2) };
+        assert_eq!(p.name(), "pool3");
+    }
+}

@@ -1,0 +1,182 @@
+//! Memory planning: what a deployed PhoneBit model occupies at runtime.
+//!
+//! The engine ping-pongs two activation buffers (input and output of the
+//! current layer) over resident packed weights — the "minimal memory
+//! footprint during run-time" of the paper's §I. This module computes that
+//! footprint analytically so harnesses can check a model against a phone's
+//! app budget without staging it.
+
+use phonebit_gpusim::Phone;
+use phonebit_nn::graph::{LayerPrecision, LayerSpec, NetworkArch};
+
+/// Activation representation at a layer boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// 8-bit input image.
+    Bytes,
+    /// Channel-packed binary, 1 bit per value (stored as u64 words).
+    Bits,
+    /// Full-precision floats.
+    Floats,
+}
+
+impl ActivationKind {
+    /// Bytes for a given element count and channel count (packing granularity
+    /// matters for bits: whole u64 words per pixel).
+    pub fn bytes(self, pixels: usize, channels: usize) -> usize {
+        match self {
+            ActivationKind::Bytes => pixels * channels,
+            ActivationKind::Bits => pixels * channels.div_ceil(64) * 8,
+            ActivationKind::Floats => pixels * channels * 4,
+        }
+    }
+}
+
+/// Footprint of one layer boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerFootprint {
+    /// Layer name.
+    pub name: String,
+    /// Input activation bytes.
+    pub in_bytes: usize,
+    /// Output activation bytes.
+    pub out_bytes: usize,
+    /// Transient scratch the layer needs (e.g. 8 bit-planes for the first
+    /// layer, the int32 accumulator on the unfused path).
+    pub scratch_bytes: usize,
+}
+
+/// A deployment memory plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPlan {
+    /// Resident packed weight bytes.
+    pub weights_bytes: usize,
+    /// Peak transient activation bytes (live input + output + scratch).
+    pub peak_activation_bytes: usize,
+    /// Peak total = weights + peak activations.
+    pub peak_bytes: usize,
+    /// Per-layer breakdown.
+    pub per_layer: Vec<LayerFootprint>,
+}
+
+impl MemoryPlan {
+    /// Whether the plan fits a phone's app memory budget.
+    pub fn fits(&self, phone: &Phone) -> bool {
+        self.peak_bytes <= phone.app_budget_bytes()
+    }
+}
+
+/// Plans the deployed footprint of an architecture under PhoneBit's
+/// binarized execution.
+pub fn plan(arch: &NetworkArch) -> MemoryPlan {
+    let infos = arch.infer();
+    let weights_bytes = arch.binary_bytes();
+    let mut per_layer = Vec::with_capacity(arch.layers.len());
+    let mut domain = match arch.layers.first() {
+        Some(LayerSpec::Conv(c)) if c.precision == LayerPrecision::BinaryInput8 => {
+            ActivationKind::Bytes
+        }
+        _ => ActivationKind::Floats,
+    };
+    let mut peak_act = 0usize;
+    for (layer, info) in arch.layers.iter().zip(infos.iter()) {
+        let (out_domain, scratch) = match layer {
+            LayerSpec::Conv(c) => match c.precision {
+                LayerPrecision::BinaryInput8 => {
+                    // 8 packed planes of the input live during the layer.
+                    let planes =
+                        8 * ActivationKind::Bits.bytes(info.input.pixels(), info.input.c);
+                    (ActivationKind::Bits, planes)
+                }
+                LayerPrecision::Binary => {
+                    let scratch = if info.input.c > 256 {
+                        // Unfused path: int32 accumulator round-trip.
+                        info.output.len() * 4
+                    } else {
+                        0
+                    };
+                    (ActivationKind::Bits, scratch)
+                }
+                LayerPrecision::Float => (ActivationKind::Floats, 0),
+            },
+            LayerSpec::Pool(_) => (domain, 0),
+            LayerSpec::Dense(d) => match d.precision {
+                LayerPrecision::Float => (ActivationKind::Floats, 0),
+                _ => (ActivationKind::Bits, 0),
+            },
+            LayerSpec::Softmax => (ActivationKind::Floats, 0),
+        };
+        let in_bytes = domain.bytes(info.input.pixels(), info.input.c);
+        let out_bytes = out_domain.bytes(info.output.pixels(), info.output.c);
+        peak_act = peak_act.max(in_bytes + out_bytes + scratch);
+        per_layer.push(LayerFootprint {
+            name: layer.name().to_string(),
+            in_bytes,
+            out_bytes,
+            scratch_bytes: scratch,
+        });
+        domain = out_domain;
+    }
+    MemoryPlan {
+        weights_bytes,
+        peak_activation_bytes: peak_act,
+        peak_bytes: weights_bytes + peak_act,
+        per_layer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonebit_nn::act::Activation;
+    use phonebit_tensor::shape::Shape4;
+
+    fn arch() -> NetworkArch {
+        NetworkArch::new("plan", Shape4::new(1, 32, 32, 3))
+            .conv("conv1", 64, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
+            .maxpool("pool1", 2, 2)
+            .conv("conv2", 512, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
+            .conv("conv3", 64, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
+            .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
+    }
+
+    #[test]
+    fn packed_activations_are_32x_smaller_than_float() {
+        let bits = ActivationKind::Bits.bytes(100, 256);
+        let floats = ActivationKind::Floats.bytes(100, 256);
+        assert_eq!(floats, bits * 32);
+    }
+
+    #[test]
+    fn bits_round_up_to_words() {
+        // 1 channel still costs one u64 word per pixel.
+        assert_eq!(ActivationKind::Bits.bytes(10, 1), 80);
+        assert_eq!(ActivationKind::Bits.bytes(10, 64), 80);
+        assert_eq!(ActivationKind::Bits.bytes(10, 65), 160);
+    }
+
+    #[test]
+    fn plan_reports_scratch_where_expected() {
+        let p = plan(&arch());
+        // conv1 (BinaryInput8) has bit-plane scratch.
+        assert!(p.per_layer[0].scratch_bytes > 0);
+        // conv2 reads 64-channel input (fused, no scratch).
+        assert_eq!(p.per_layer[2].scratch_bytes, 0);
+        // conv3 reads 512-channel input (> 256): unfused accumulator.
+        assert!(p.per_layer[3].scratch_bytes > 0);
+    }
+
+    #[test]
+    fn peak_includes_weights() {
+        let p = plan(&arch());
+        assert_eq!(p.peak_bytes, p.weights_bytes + p.peak_activation_bytes);
+        assert!(p.weights_bytes > 0);
+    }
+
+    #[test]
+    fn small_model_fits_both_phones() {
+        let p = plan(&arch());
+        assert!(p.fits(&Phone::xiaomi_5()));
+        assert!(p.fits(&Phone::xiaomi_9()));
+    }
+}

@@ -1,0 +1,142 @@
+//! Run reports: per-layer timing and energy for one inference.
+
+use phonebit_tensor::shape::Shape4;
+
+use crate::engine::ActivationData;
+
+/// Timing/energy of one layer within a run.
+#[derive(Debug, Clone)]
+pub struct LayerRun {
+    /// Layer name (e.g. `"conv3"`).
+    pub name: String,
+    /// Output shape produced.
+    pub output_shape: Shape4,
+    /// Modeled time for all kernels the layer dispatched, seconds.
+    pub time_s: f64,
+    /// Modeled energy, joules.
+    pub energy_j: f64,
+}
+
+/// The result of one inference.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Model name.
+    pub model: String,
+    /// End-to-end modeled latency, seconds (includes framework overhead).
+    pub total_s: f64,
+    /// Total modeled energy, joules.
+    pub energy_j: f64,
+    /// Peak device memory during the run, bytes.
+    pub peak_bytes: usize,
+    /// Per-layer breakdown in execution order.
+    pub per_layer: Vec<LayerRun>,
+    /// Final activations (`None` for pure timing reports).
+    pub output: Option<ActivationData>,
+}
+
+impl RunReport {
+    /// End-to-end latency in milliseconds (the unit of Table III).
+    pub fn total_ms(&self) -> f64 {
+        self.total_s * 1e3
+    }
+
+    /// Frames per second at this latency.
+    pub fn fps(&self) -> f64 {
+        1.0 / self.total_s
+    }
+
+    /// Average power over the run, watts (the unit of Table IV).
+    pub fn avg_power_w(&self) -> f64 {
+        self.energy_j / self.total_s
+    }
+
+    /// Energy efficiency in frames per second per watt (Table IV's metric).
+    pub fn fps_per_watt(&self) -> f64 {
+        self.fps() / self.avg_power_w()
+    }
+
+    /// Time of one named layer, if present.
+    pub fn layer_time_s(&self, name: &str) -> Option<f64> {
+        self.per_layer.iter().find(|l| l.name == name).map(|l| l.time_s)
+    }
+
+    /// Renders a per-layer table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>12} {:>12}\n",
+            "layer", "output", "time(ms)", "energy(mJ)"
+        ));
+        for l in &self.per_layer {
+            out.push_str(&format!(
+                "{:<12} {:>14} {:>12.4} {:>12.4}\n",
+                l.name,
+                l.output_shape.to_string(),
+                l.time_s * 1e3,
+                l.energy_j * 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "total {:.3} ms | {:.1} FPS | {:.1} mW | {:.1} FPS/W | peak {:.2} MiB\n",
+            self.total_ms(),
+            self.fps(),
+            self.avg_power_w() * 1e3,
+            self.fps_per_watt(),
+            self.peak_bytes as f64 / (1024.0 * 1024.0)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            model: "m".into(),
+            total_s: 0.020,
+            energy_j: 0.005,
+            peak_bytes: 1024,
+            per_layer: vec![
+                LayerRun {
+                    name: "conv1".into(),
+                    output_shape: Shape4::new(1, 8, 8, 16),
+                    time_s: 0.012,
+                    energy_j: 0.003,
+                },
+                LayerRun {
+                    name: "fc".into(),
+                    output_shape: Shape4::new(1, 1, 1, 10),
+                    time_s: 0.008,
+                    energy_j: 0.002,
+                },
+            ],
+            output: None,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.total_ms() - 20.0).abs() < 1e-9);
+        assert!((r.fps() - 50.0).abs() < 1e-9);
+        assert!((r.avg_power_w() - 0.25).abs() < 1e-9);
+        assert!((r.fps_per_watt() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_lookup() {
+        let r = report();
+        assert_eq!(r.layer_time_s("conv1"), Some(0.012));
+        assert_eq!(r.layer_time_s("missing"), None);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = report().to_table();
+        assert!(t.contains("conv1"));
+        assert!(t.contains("total"));
+        assert!(t.contains("FPS/W"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Host-side parallel execution of kernel bodies.
+//!
+//! Functional kernel execution is embarrassingly parallel over output
+//! elements (each work item writes disjoint outputs). This module provides
+//! the one primitive kernels need: run a function over disjoint index ranges
+//! on a crossbeam thread pool. Results are bit-identical to sequential
+//! execution because ranges never overlap and the function is pure per
+//! range.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of host worker threads used for kernel bodies.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over `0..n` split into contiguous ranges across host threads.
+///
+/// `min_chunk` bounds splitting so tiny workloads stay sequential. `f` must
+/// be safe to call concurrently on disjoint ranges.
+pub fn par_for(n: usize, min_chunk: usize, f: impl Fn(Range<usize>) + Sync) {
+    let threads = host_threads();
+    if n == 0 {
+        return;
+    }
+    let chunk = (n.div_ceil(threads)).max(min_chunk.max(1));
+    if chunk >= n {
+        f(0..n);
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(n.div_ceil(chunk)) {
+            s.spawn(|_| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                f(start..end);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Runs `f` over mutable, equally-sized chunks of `out` in parallel, passing
+/// the chunk index. The final chunk may be shorter.
+///
+/// This is the "each work item writes its own output rows" pattern: `out`
+/// is split by `chunk_len` so no two threads alias.
+pub fn par_chunks_mut<T: Send>(
+    out: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let chunks: Vec<(usize, &mut [T])> = out.chunks_mut(chunk_len).enumerate().collect();
+    let n = chunks.len();
+    if n <= 1 || host_threads() == 1 {
+        for (i, c) in chunks {
+            f(i, c);
+        }
+        return;
+    }
+    type Slot<'a, T> = parking_lot::Mutex<Option<(usize, &'a mut [T])>>;
+    let work: Vec<Slot<'_, T>> =
+        chunks.into_iter().map(|c| parking_lot::Mutex::new(Some(c))).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..host_threads().min(n) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if let Some((idx, slice)) = work[i].lock().take() {
+                    f(idx, slice);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for(n, 16, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_empty_is_noop() {
+        par_for(0, 1, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_for_small_runs_sequential() {
+        let sum = AtomicU64::new(0);
+        par_for(10, 100, |range| {
+            sum.fetch_add(range.map(|i| i as u64).sum(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint() {
+        let mut data = vec![0usize; 1000];
+        par_chunks_mut(&mut data, 64, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v = idx + 1;
+            }
+        });
+        // Every element written exactly once with its chunk id.
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 64 + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential() {
+        let mut a = vec![0f32; 513];
+        let mut b = vec![0f32; 513];
+        let f = |idx: usize, chunk: &mut [f32]| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = (idx * 1000 + off) as f32;
+            }
+        };
+        par_chunks_mut(&mut a, 32, f);
+        for (i, c) in b.chunks_mut(32).enumerate() {
+            f(i, c);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len")]
+    fn zero_chunk_panics() {
+        let mut data = [0u8; 4];
+        par_chunks_mut(&mut data, 0, |_, _| {});
+    }
+}

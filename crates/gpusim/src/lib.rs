@@ -1,0 +1,62 @@
+//! # phonebit-gpusim
+//!
+//! An OpenCL-shaped **mobile GPU simulator** — the hardware substrate of the
+//! PhoneBit reproduction (Chen et al., DATE 2020).
+//!
+//! The paper runs on physical Adreno 530/640 GPUs through OpenCL. This crate
+//! replaces that testbed with:
+//!
+//! - [`device`] — profiles of the paper's Table I phones (Snapdragon 820 /
+//!   855, with GPU ALU counts straight from the paper).
+//! - [`buffer`] — budgeted device memory, reproducing Android OOM behaviour.
+//! - [`ndrange`] / [`kernel`] / [`queue`] — OpenCL-style dispatch: kernels
+//!   run **functionally** on the host (bit-exact) while an analytic cost
+//!   model places them on a simulated timeline.
+//! - [`cost`] — the latency/energy model; [`calib`] holds every fitted
+//!   constant with its paper anchor.
+//! - [`vector`] — OpenCL vector types (`uchar2`…`ulong16`) for kernels.
+//! - [`counters`] — per-kernel aggregation of a timeline.
+//! - [`exec`] — crossbeam-based parallel execution of kernel bodies.
+//!
+//! # Examples
+//!
+//! ```
+//! use phonebit_gpusim::{
+//!     calib::ExecutorClass, device::DeviceProfile, kernel::KernelProfile,
+//!     ndrange::NdRange, queue::CommandQueue,
+//! };
+//!
+//! let mut queue = CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl);
+//! let mut out = vec![0u32; 1024];
+//! let profile = KernelProfile::new("double", NdRange::linear(1024))
+//!     .int_ops(1024.0)
+//!     .reads(4096.0)
+//!     .writes(4096.0);
+//! queue.launch(profile, || {
+//!     for (i, v) in out.iter_mut().enumerate() {
+//!         *v = (i as u32) * 2;
+//!     }
+//! });
+//! assert_eq!(out[7], 14);
+//! assert!(queue.elapsed_s() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod calib;
+pub mod cost;
+pub mod counters;
+pub mod device;
+pub mod exec;
+pub mod kernel;
+pub mod ndrange;
+pub mod queue;
+pub mod vector;
+
+pub use buffer::{Buffer, Context, SimError};
+pub use calib::ExecutorClass;
+pub use device::{DeviceKind, DeviceProfile, Phone};
+pub use kernel::{KernelProfile, LaunchEvent, LaunchStats};
+pub use ndrange::NdRange;
+pub use queue::{CommandQueue, ExecMode};

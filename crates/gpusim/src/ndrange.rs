@@ -1,0 +1,122 @@
+//! NDRange geometry — the OpenCL work decomposition the simulator dispatches.
+
+use std::fmt;
+
+/// A 1–3 dimensional index space of work items, optionally blocked into
+/// work groups (the OpenCL `global_work_size` / `local_work_size` pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    /// Global work size per dimension.
+    pub global: [usize; 3],
+    /// Work-group (local) size per dimension.
+    pub local: [usize; 3],
+}
+
+impl NdRange {
+    /// One-dimensional range with an automatically chosen work group.
+    pub fn linear(n: usize) -> Self {
+        Self { global: [n, 1, 1], local: [n.clamp(1, 64), 1, 1] }
+    }
+
+    /// Two-dimensional range.
+    pub fn d2(x: usize, y: usize) -> Self {
+        Self { global: [x, y, 1], local: [x.clamp(1, 8), y.clamp(1, 8), 1] }
+    }
+
+    /// Three-dimensional range.
+    pub fn d3(x: usize, y: usize, z: usize) -> Self {
+        Self { global: [x, y, z], local: [x.clamp(1, 8), y.clamp(1, 8), z.clamp(1, 4)] }
+    }
+
+    /// Explicit global and local sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any local size is zero.
+    pub fn with_local(global: [usize; 3], local: [usize; 3]) -> Self {
+        assert!(local.iter().all(|&l| l > 0), "local work size must be non-zero");
+        Self { global, local }
+    }
+
+    /// Total number of work items.
+    pub fn work_items(&self) -> usize {
+        self.global.iter().product()
+    }
+
+    /// Work items per work group.
+    pub fn group_size(&self) -> usize {
+        self.local.iter().product()
+    }
+
+    /// Number of work groups (rounding partial groups up, as OpenCL 2.0
+    /// non-uniform work groups do).
+    pub fn work_groups(&self) -> usize {
+        self.global
+            .iter()
+            .zip(self.local.iter())
+            .map(|(&g, &l)| g.div_ceil(l))
+            .product()
+    }
+
+    /// Number of hardware waves needed for one group on a device with the
+    /// given wave width.
+    pub fn waves_per_group(&self, wave_size: usize) -> usize {
+        self.group_size().div_ceil(wave_size.max(1))
+    }
+}
+
+impl fmt::Display for NdRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "global [{}, {}, {}] local [{}, {}, {}]",
+            self.global[0], self.global[1], self.global[2],
+            self.local[0], self.local[1], self.local[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range() {
+        let r = NdRange::linear(1000);
+        assert_eq!(r.work_items(), 1000);
+        assert_eq!(r.group_size(), 64);
+        assert_eq!(r.work_groups(), 1000usize.div_ceil(64));
+    }
+
+    #[test]
+    fn d2_and_d3_products() {
+        assert_eq!(NdRange::d2(13, 13).work_items(), 169);
+        assert_eq!(NdRange::d3(13, 13, 16).work_items(), 13 * 13 * 16);
+    }
+
+    #[test]
+    fn partial_groups_round_up() {
+        let r = NdRange::with_local([10, 1, 1], [4, 1, 1]);
+        assert_eq!(r.work_groups(), 3);
+    }
+
+    #[test]
+    fn waves_per_group() {
+        let r = NdRange::with_local([256, 1, 1], [128, 1, 1]);
+        assert_eq!(r.waves_per_group(64), 2);
+        assert_eq!(r.waves_per_group(1), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_local_panics() {
+        NdRange::with_local([8, 1, 1], [0, 1, 1]);
+    }
+
+    #[test]
+    fn small_linear_range_clamps_local() {
+        let r = NdRange::linear(3);
+        assert_eq!(r.group_size(), 3);
+        assert_eq!(r.work_groups(), 1);
+    }
+}

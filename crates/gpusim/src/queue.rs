@@ -1,0 +1,216 @@
+//! Command queues: dispatch kernels, accumulate a simulated timeline.
+
+use crate::calib::{CostParams, EnergyParams, ExecutorClass};
+use crate::cost::estimate;
+use crate::device::DeviceProfile;
+use crate::kernel::{KernelProfile, LaunchEvent, LaunchStats};
+
+/// Whether dispatches run their functional bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Execute kernels functionally (bit-exact results) *and* model cost.
+    #[default]
+    Execute,
+    /// Model cost only; kernel bodies are skipped and outputs stay at their
+    /// initialized values. Used for full-scale timing of networks too large
+    /// to compute on the host in a benchmark loop.
+    EstimateOnly,
+}
+
+/// An in-order command queue bound to a device and an executor class.
+///
+/// Every [`CommandQueue::launch`] appends to a simulated timeline; the
+/// profiler crate consumes the timeline to integrate power.
+#[derive(Debug)]
+pub struct CommandQueue {
+    device: DeviceProfile,
+    class: ExecutorClass,
+    params: CostParams,
+    energy: EnergyParams,
+    mode: ExecMode,
+    now_s: f64,
+    events: Vec<LaunchEvent>,
+}
+
+impl CommandQueue {
+    /// Creates a queue for `device` executing under `class` efficiency.
+    pub fn new(device: DeviceProfile, class: ExecutorClass) -> Self {
+        let params = CostParams::for_executor(class);
+        let energy = EnergyParams::for_kind(class.device_kind());
+        Self { device, class, params, energy, mode: ExecMode::Execute, now_s: 0.0, events: Vec::new() }
+    }
+
+    /// Sets the execution mode (builder style).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the cost parameters — used by ablation benches that probe a
+    /// single knob (e.g. `overlap = 0`).
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The device this queue dispatches to.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The executor class.
+    pub fn executor(&self) -> ExecutorClass {
+        self.class
+    }
+
+    /// The active cost parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// The current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Dispatches a kernel: models its cost, advances simulated time, and —
+    /// in [`ExecMode::Execute`] — runs `body` to produce real results.
+    ///
+    /// Returns the dispatch statistics (also recorded on the timeline).
+    pub fn launch<F: FnOnce()>(&mut self, profile: KernelProfile, body: F) -> LaunchStats {
+        if self.mode == ExecMode::Execute {
+            body();
+        }
+        let stats = estimate(&profile, &self.device, &self.params, &self.energy);
+        let event = LaunchEvent { stats: stats.clone(), start_s: self.now_s };
+        self.now_s += stats.time_s;
+        self.events.push(event);
+        stats
+    }
+
+    /// Adds a fixed host-side delay (framework overhead between dispatches).
+    pub fn host_delay(&mut self, seconds: f64) {
+        self.now_s += seconds;
+    }
+
+    /// Simulated time elapsed since queue creation, seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Completed dispatches in submission order.
+    pub fn timeline(&self) -> &[LaunchEvent] {
+        &self.events
+    }
+
+    /// Sum of modeled dispatch times, seconds (excludes host delays).
+    pub fn busy_s(&self) -> f64 {
+        self.events.iter().map(|e| e.stats.time_s).sum()
+    }
+
+    /// Total modeled energy over the timeline, joules. Host-delay intervals
+    /// are charged at static power only.
+    pub fn energy_j(&self) -> f64 {
+        let dispatch: f64 = self.events.iter().map(|e| e.stats.energy_j).sum();
+        let idle = (self.now_s - self.busy_s()).max(0.0);
+        dispatch + idle * self.energy.p_static_w
+    }
+
+    /// Clears the timeline and resets simulated time (e.g. between benchmark
+    /// iterations).
+    pub fn reset(&mut self) {
+        self.now_s = 0.0;
+        self.events.clear();
+    }
+
+    /// Per-run overhead of the executor's framework, applied once per
+    /// inference by engines.
+    pub fn per_run_overhead_s(&self) -> f64 {
+        self.params.per_run_overhead_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndrange::NdRange;
+
+    fn queue() -> CommandQueue {
+        CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl)
+    }
+
+    fn profile(ops: f64) -> KernelProfile {
+        KernelProfile::new("k", NdRange::linear(64)).f32_ops(ops)
+    }
+
+    #[test]
+    fn launch_executes_body_in_execute_mode() {
+        let mut q = queue();
+        let mut hit = false;
+        q.launch(profile(1e6), || hit = true);
+        assert!(hit);
+        assert_eq!(q.timeline().len(), 1);
+        assert!(q.elapsed_s() > 0.0);
+    }
+
+    #[test]
+    fn estimate_mode_skips_body_but_models_time() {
+        let mut q = queue().with_mode(ExecMode::EstimateOnly);
+        let mut hit = false;
+        let stats = q.launch(profile(1e9), || hit = true);
+        assert!(!hit, "body must not run in estimate mode");
+        assert!(stats.time_s > 0.0);
+        assert_eq!(q.timeline().len(), 1);
+    }
+
+    #[test]
+    fn timeline_is_ordered_and_contiguous() {
+        let mut q = queue();
+        q.launch(profile(1e6), || {});
+        q.launch(profile(2e6), || {});
+        q.launch(profile(3e6), || {});
+        let tl = q.timeline();
+        assert_eq!(tl.len(), 3);
+        for pair in tl.windows(2) {
+            assert!((pair[1].start_s - pair[0].end_s()).abs() < 1e-15);
+        }
+        assert!((q.elapsed_s() - tl.last().unwrap().end_s()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn host_delay_advances_clock_without_events() {
+        let mut q = queue();
+        q.host_delay(0.5);
+        assert_eq!(q.timeline().len(), 0);
+        assert!((q.elapsed_s() - 0.5).abs() < 1e-15);
+        // Idle time is charged at static power.
+        let e = q.energy_j();
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut q = queue();
+        q.launch(profile(1e6), || {});
+        q.reset();
+        assert_eq!(q.timeline().len(), 0);
+        assert_eq!(q.elapsed_s(), 0.0);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut q = queue();
+        q.launch(profile(1e8), || {});
+        let e1 = q.energy_j();
+        q.launch(profile(1e8), || {});
+        assert!(q.energy_j() > e1);
+    }
+
+    #[test]
+    fn executor_and_device_accessors() {
+        let q = queue();
+        assert_eq!(q.executor(), ExecutorClass::PhoneBitOpenCl);
+        assert_eq!(q.device().name, "Adreno 640");
+        assert!(q.per_run_overhead_s() > 0.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Synthetic detection scenes and evaluation metrics.
+//!
+//! The paper evaluates YOLOv2-Tiny on VOC2007; the dataset is not available
+//! here, so this module provides the substitute: seeded scenes with known
+//! ground-truth boxes (bright rectangular "objects" on textured background)
+//! and the standard detection metrics (IoU matching, precision/recall,
+//! 11-point interpolated average precision, mAP) used to score them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use phonebit_tensor::shape::{Layout, Shape4};
+use phonebit_tensor::tensor::Tensor;
+
+use crate::yolo::Detection;
+
+/// A ground-truth object in a synthetic scene, normalized coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    /// Box center x in `[0, 1]`.
+    pub x: f32,
+    /// Box center y in `[0, 1]`.
+    pub y: f32,
+    /// Box width in `[0, 1]`.
+    pub w: f32,
+    /// Box height in `[0, 1]`.
+    pub h: f32,
+    /// Class index.
+    pub class_id: usize,
+}
+
+impl GroundTruth {
+    fn as_detection(&self) -> Detection {
+        Detection {
+            x: self.x,
+            y: self.y,
+            w: self.w,
+            h: self.h,
+            score: 1.0,
+            class_id: self.class_id,
+        }
+    }
+}
+
+/// A synthetic scene: an image plus its ground-truth boxes.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// The 8-bit image.
+    pub image: Tensor<u8>,
+    /// Ground-truth objects.
+    pub objects: Vec<GroundTruth>,
+}
+
+/// Generates a seeded scene of `size x size x 3` with 1–4 bright objects on
+/// textured background; object intensity encodes its class.
+pub fn generate_scene(size: usize, classes: usize, seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut image = Tensor::from_vec(
+        Shape4::new(1, size, size, 3),
+        Layout::Nhwc,
+        (0..size * size * 3).map(|i| ((i * 37 + seed as usize) % 64) as u8).collect(),
+    );
+    let count = rng.gen_range(1..=4usize);
+    let mut objects = Vec::with_capacity(count);
+    for _ in 0..count {
+        let w = rng.gen_range(0.1..0.35f32);
+        let h = rng.gen_range(0.1..0.35f32);
+        let x = rng.gen_range(w / 2.0..1.0 - w / 2.0);
+        let y = rng.gen_range(h / 2.0..1.0 - h / 2.0);
+        let class_id = rng.gen_range(0..classes);
+        // Paint the object: class-dependent brightness band.
+        let base = 128 + (class_id * 97 % 120) as u8;
+        let (px0, px1) = (
+            ((x - w / 2.0) * size as f32) as usize,
+            (((x + w / 2.0) * size as f32) as usize).min(size - 1),
+        );
+        let (py0, py1) = (
+            ((y - h / 2.0) * size as f32) as usize,
+            (((y + h / 2.0) * size as f32) as usize).min(size - 1),
+        );
+        for py in py0..=py1 {
+            for px in px0..=px1 {
+                for c in 0..3 {
+                    image.set(0, py, px, c, base.saturating_add((c * 13) as u8));
+                }
+            }
+        }
+        objects.push(GroundTruth { x, y, w, h, class_id });
+    }
+    Scene { image, objects }
+}
+
+/// Matches detections to ground truth at an IoU threshold and returns
+/// `(true_positives, false_positives, false_negatives)`. Each ground truth
+/// matches at most one detection (highest score first), VOC-style.
+pub fn match_detections(
+    detections: &[Detection],
+    truths: &[GroundTruth],
+    iou_threshold: f32,
+) -> (usize, usize, usize) {
+    let mut sorted: Vec<&Detection> = detections.iter().collect();
+    sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    let mut used = vec![false; truths.len()];
+    let mut tp = 0;
+    let mut fp = 0;
+    for det in sorted {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, gt) in truths.iter().enumerate() {
+            if used[i] || gt.class_id != det.class_id {
+                continue;
+            }
+            let iou = det.iou(&gt.as_detection());
+            if iou >= iou_threshold && best.map(|(_, b)| iou > b).unwrap_or(true) {
+                best = Some((i, iou));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                used[i] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+    }
+    let fn_count = used.iter().filter(|&&u| !u).count();
+    (tp, fp, fn_count)
+}
+
+/// Precision and recall from match counts.
+pub fn precision_recall(tp: usize, fp: usize, fn_count: usize) -> (f32, f32) {
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f32 / (tp + fp) as f32 };
+    let recall = if tp + fn_count == 0 { 0.0 } else { tp as f32 / (tp + fn_count) as f32 };
+    (precision, recall)
+}
+
+/// VOC 11-point interpolated average precision for one class over a set of
+/// scored detections (`(score, is_true_positive)`) and a total ground-truth
+/// count.
+pub fn average_precision(mut scored: Vec<(f32, bool)>, total_truths: usize) -> f32 {
+    if total_truths == 0 {
+        return 0.0;
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    // Cumulative precision/recall curve.
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut curve: Vec<(f32, f32)> = Vec::with_capacity(scored.len()); // (recall, precision)
+    for (_, is_tp) in &scored {
+        if *is_tp {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        curve.push((tp as f32 / total_truths as f32, tp as f32 / (tp + fp) as f32));
+    }
+    // 11-point interpolation at recall = 0.0, 0.1 ... 1.0.
+    let mut ap = 0.0f32;
+    for i in 0..=10 {
+        let r = i as f32 / 10.0;
+        let p = curve
+            .iter()
+            .filter(|(rec, _)| *rec >= r)
+            .map(|(_, prec)| *prec)
+            .fold(0.0f32, f32::max);
+        ap += p / 11.0;
+    }
+    ap
+}
+
+/// Mean average precision over classes for per-scene detection results.
+///
+/// `results` pairs each scene's detections with its ground truths.
+pub fn mean_average_precision(
+    results: &[(Vec<Detection>, Vec<GroundTruth>)],
+    classes: usize,
+    iou_threshold: f32,
+) -> f32 {
+    let mut aps = Vec::new();
+    for class in 0..classes {
+        let mut scored = Vec::new();
+        let mut total_truths = 0usize;
+        for (dets, truths) in results {
+            let class_truths: Vec<&GroundTruth> =
+                truths.iter().filter(|t| t.class_id == class).collect();
+            total_truths += class_truths.len();
+            let mut used = vec![false; class_truths.len()];
+            let mut class_dets: Vec<&Detection> =
+                dets.iter().filter(|d| d.class_id == class).collect();
+            class_dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+            for det in class_dets {
+                let mut best: Option<(usize, f32)> = None;
+                for (i, gt) in class_truths.iter().enumerate() {
+                    if used[i] {
+                        continue;
+                    }
+                    let iou = det.iou(&gt.as_detection());
+                    if iou >= iou_threshold && best.map(|(_, b)| iou > b).unwrap_or(true) {
+                        best = Some((i, iou));
+                    }
+                }
+                match best {
+                    Some((i, _)) => {
+                        used[i] = true;
+                        scored.push((det.score, true));
+                    }
+                    None => scored.push((det.score, false)),
+                }
+            }
+        }
+        if total_truths > 0 {
+            aps.push(average_precision(scored, total_truths));
+        }
+    }
+    if aps.is_empty() {
+        0.0
+    } else {
+        aps.iter().sum::<f32>() / aps.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(x: f32, y: f32, w: f32, h: f32, class_id: usize) -> GroundTruth {
+        GroundTruth { x, y, w, h, class_id }
+    }
+
+    fn det(x: f32, y: f32, w: f32, h: f32, score: f32, class_id: usize) -> Detection {
+        Detection { x, y, w, h, score, class_id }
+    }
+
+    #[test]
+    fn scenes_are_seeded_and_bounded() {
+        let a = generate_scene(64, 5, 7);
+        let b = generate_scene(64, 5, 7);
+        assert_eq!(a.objects, b.objects);
+        assert_eq!(a.image, b.image);
+        assert!(!a.objects.is_empty() && a.objects.len() <= 4);
+        for o in &a.objects {
+            assert!(o.x - o.w / 2.0 >= -1e-6 && o.x + o.w / 2.0 <= 1.0 + 1e-6);
+            assert!(o.class_id < 5);
+        }
+        let c = generate_scene(64, 5, 8);
+        assert_ne!(a.objects, c.objects);
+    }
+
+    #[test]
+    fn perfect_detections_match_all() {
+        let truths = vec![gt(0.3, 0.3, 0.2, 0.2, 1), gt(0.7, 0.7, 0.2, 0.2, 2)];
+        let dets = vec![det(0.3, 0.3, 0.2, 0.2, 0.9, 1), det(0.7, 0.7, 0.2, 0.2, 0.8, 2)];
+        let (tp, fp, fn_c) = match_detections(&dets, &truths, 0.5);
+        assert_eq!((tp, fp, fn_c), (2, 0, 0));
+        let (p, r) = precision_recall(tp, fp, fn_c);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn wrong_class_is_a_false_positive() {
+        let truths = vec![gt(0.3, 0.3, 0.2, 0.2, 1)];
+        let dets = vec![det(0.3, 0.3, 0.2, 0.2, 0.9, 2)];
+        let (tp, fp, fn_c) = match_detections(&dets, &truths, 0.5);
+        assert_eq!((tp, fp, fn_c), (0, 1, 1));
+    }
+
+    #[test]
+    fn duplicate_detections_count_once() {
+        let truths = vec![gt(0.3, 0.3, 0.2, 0.2, 1)];
+        let dets = vec![
+            det(0.3, 0.3, 0.2, 0.2, 0.9, 1),
+            det(0.31, 0.3, 0.2, 0.2, 0.8, 1),
+        ];
+        let (tp, fp, fn_c) = match_detections(&dets, &truths, 0.5);
+        assert_eq!((tp, fp, fn_c), (1, 1, 0));
+    }
+
+    #[test]
+    fn ap_is_one_for_perfect_ranking() {
+        let scored = vec![(0.9, true), (0.8, true), (0.7, true)];
+        let ap = average_precision(scored, 3);
+        assert!((ap - 1.0).abs() < 1e-6, "ap {ap}");
+    }
+
+    #[test]
+    fn ap_decreases_with_false_positives_on_top() {
+        let good = average_precision(vec![(0.9, true), (0.5, false)], 1);
+        let bad = average_precision(vec![(0.9, false), (0.5, true)], 1);
+        assert!(good > bad, "{good} vs {bad}");
+        assert_eq!(average_precision(vec![], 0), 0.0);
+    }
+
+    #[test]
+    fn map_perfect_is_one() {
+        let truths = vec![gt(0.3, 0.3, 0.2, 0.2, 0), gt(0.7, 0.7, 0.2, 0.2, 1)];
+        let dets = vec![det(0.3, 0.3, 0.2, 0.2, 0.9, 0), det(0.7, 0.7, 0.2, 0.2, 0.9, 1)];
+        let map = mean_average_precision(&[(dets, truths)], 2, 0.5);
+        assert!((map - 1.0).abs() < 1e-6, "mAP {map}");
+    }
+
+    #[test]
+    fn map_zero_for_no_overlap() {
+        let truths = vec![gt(0.2, 0.2, 0.1, 0.1, 0)];
+        let dets = vec![det(0.8, 0.8, 0.1, 0.1, 0.9, 0)];
+        let map = mean_average_precision(&[(dets, truths)], 1, 0.5);
+        assert_eq!(map, 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Activation functions for the full-precision layers and baselines.
+//!
+//! Binary layers never need these — binarization *is* their nonlinearity —
+//! but the first/last full-precision layers and the float baseline networks
+//! do (AlexNet/VGG use ReLU, YOLOv2-Tiny uses leaky ReLU).
+
+/// An elementwise activation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// `max(0, x)`.
+    Relu,
+    /// `x` if positive else `alpha * x` (YOLO convention `alpha = 0.1`).
+    Leaky(f32),
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Leaky(a) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    a * x
+                }
+            }
+        }
+    }
+
+    /// Applies the activation in place over a slice.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        if self == Activation::Linear {
+            return;
+        }
+        for x in xs.iter_mut() {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Useful f32 operations per element charged by the cost model.
+    pub fn ops_per_element(self) -> f64 {
+        match self {
+            Activation::Linear => 0.0,
+            Activation::Relu => 1.0,
+            Activation::Leaky(_) => 2.0,
+        }
+    }
+}
+
+/// Numerically stable softmax over a slice, in place.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn softmax(xs: &mut [f32]) {
+    assert!(!xs.is_empty(), "softmax of empty slice");
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Sigmoid, used by the YOLO detection head decoding.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn leaky_scales_negatives() {
+        let a = Activation::Leaky(0.1);
+        assert_eq!(a.apply(10.0), 10.0);
+        assert!((a.apply(-10.0) + 1.0).abs() < 1e-6);
+        // x = 0 goes through the alpha branch but stays 0.
+        assert_eq!(a.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        assert_eq!(Activation::Linear.apply(-7.5), -7.5);
+        assert_eq!(Activation::Linear.ops_per_element(), 0.0);
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut v = vec![-1.0f32, 0.0, 2.0, -3.0];
+        Activation::Leaky(0.5).apply_slice(&mut v);
+        assert_eq!(v, vec![-0.5, 0.0, 2.0, -1.5]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut v = vec![1.0f32, 2.0, 3.0];
+        softmax(&mut v);
+        let sum: f32 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![1000.0f32, 1001.0];
+        softmax(&mut a);
+        let mut b = vec![0.0f32, 1.0];
+        softmax(&mut b);
+        assert!((a[0] - b[0]).abs() < 1e-6);
+        assert!(a.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn softmax_empty_panics() {
+        softmax(&mut []);
+    }
+}

@@ -1,0 +1,279 @@
+//! Layer integration: fusing binary convolution + bias + batch-norm +
+//! binarization into one operator (paper §V-B).
+//!
+//! Let `x1` be the raw binary-convolution accumulator, `b` the bias, and
+//! `(γ, β, µ, σ)` the batch-norm parameters. Then:
+//!
+//! ```text
+//! x2 = x1 + b                         (Eqn 3)
+//! x3 = γ (x2 − µ)/σ + β               (Eqn 4)
+//!    = γ/σ · (x1 − ξ)                 (Eqn 5)
+//! ξ  = µ − β σ/γ − b                  (Eqn 6)
+//! x4 = 1 if x3 ≥ 0 else 0             (Eqn 7)
+//! ```
+//!
+//! Because `γ/σ` only contributes its sign (σ > 0), the whole chain reduces
+//! to comparing `x1` against the precomputed threshold `ξ` (Eqn 8), and the
+//! four-way divergent check simplifies — via truth table and Karnaugh map —
+//! to the branch-free logic of Eqn 9:
+//!
+//! ```text
+//! x4 = (A xor B) or C,   A = (x1 < ξ), B = (γ > 0), C = (x1 = ξ)
+//! ```
+
+/// Per-channel batch-normalization parameters as trained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnParams {
+    /// Scale γ (one per output channel). Channels with γ = 0 are assumed
+    /// pruned (paper footnote 2, citing network slimming) and rejected.
+    pub gamma: Vec<f32>,
+    /// Shift β.
+    pub beta: Vec<f32>,
+    /// Running mean µ.
+    pub mu: Vec<f32>,
+    /// Running standard deviation σ (must be positive).
+    pub sigma: Vec<f32>,
+}
+
+impl BnParams {
+    /// Identity batch-norm for `n` channels (γ=1, β=0, µ=0, σ=1).
+    pub fn identity(n: usize) -> Self {
+        Self { gamma: vec![1.0; n], beta: vec![0.0; n], mu: vec![0.0; n], sigma: vec![1.0; n] }
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Whether there are no channels.
+    pub fn is_empty(&self) -> bool {
+        self.gamma.is_empty()
+    }
+
+    /// Validates invariants: equal lengths, σ > 0, γ ≠ 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when an invariant is violated.
+    pub fn validate(&self) {
+        let n = self.gamma.len();
+        assert!(
+            self.beta.len() == n && self.mu.len() == n && self.sigma.len() == n,
+            "batch-norm parameter lengths disagree"
+        );
+        for (i, &s) in self.sigma.iter().enumerate() {
+            assert!(s > 0.0, "sigma[{i}] = {s} must be positive");
+        }
+        for (i, &g) in self.gamma.iter().enumerate() {
+            assert!(g != 0.0, "gamma[{i}] = 0; pruned channels are not supported (paper fn. 2)");
+        }
+    }
+
+    /// Applies the batch-norm transform in float (Eqn 4) — the reference
+    /// path the fused operator is tested against.
+    pub fn apply(&self, channel: usize, x2: f32) -> f32 {
+        self.gamma[channel] * (x2 - self.mu[channel]) / self.sigma[channel] + self.beta[channel]
+    }
+}
+
+/// The fused conv+BN+binarize operator parameters: one threshold and one
+/// sign per output channel, precomputed offline (Eqn 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedBn {
+    /// Thresholds ξ per output channel.
+    pub xi: Vec<f32>,
+    /// `γ > 0` per output channel.
+    pub gamma_pos: Vec<bool>,
+}
+
+impl FusedBn {
+    /// Precomputes ξ = µ − βσ/γ − b for every channel (the offline stage of
+    /// §V-B: "ξ can be computed in the off-line stage without increasing the
+    /// runtime computation burden").
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameter lengths disagree or BN invariants fail.
+    pub fn precompute(bn: &BnParams, bias: &[f32]) -> Self {
+        bn.validate();
+        assert_eq!(bn.len(), bias.len(), "bias length must match channel count");
+        let xi = (0..bn.len())
+            .map(|i| bn.mu[i] - bn.beta[i] * bn.sigma[i] / bn.gamma[i] - bias[i])
+            .collect();
+        let gamma_pos = bn.gamma.iter().map(|&g| g > 0.0).collect();
+        Self { xi, gamma_pos }
+    }
+
+    /// Identity fusion (γ=1, ξ=0): binarize at zero, for `n` channels.
+    pub fn identity(n: usize) -> Self {
+        Self { xi: vec![0.0; n], gamma_pos: vec![true; n] }
+    }
+
+    /// Number of output channels.
+    pub fn len(&self) -> usize {
+        self.xi.len()
+    }
+
+    /// Whether there are no channels.
+    pub fn is_empty(&self) -> bool {
+        self.xi.is_empty()
+    }
+
+    /// The divergent four-case decision of Eqn 8 (reference implementation).
+    #[inline]
+    pub fn decide_branchy(&self, channel: usize, x1: f32) -> bool {
+        let xi = self.xi[channel];
+        if self.gamma_pos[channel] {
+            x1 >= xi
+        } else { x1 <= xi }
+    }
+
+    /// The branch-free decision of Eqn 9: `(A xor B) or C` with
+    /// `A = isless(x1, ξ)`, `B = (γ > 0)`, `C = isequal(x1, ξ)` — the form
+    /// PhoneBit executes to avoid wave divergence (§VI-C).
+    #[inline]
+    pub fn decide_logic(&self, channel: usize, x1: f32) -> bool {
+        let xi = self.xi[channel];
+        let a = x1 < xi; // isless
+        let b = self.gamma_pos[channel]; // isgreater(gamma, 0)
+        let c = x1 == xi; // isequal
+        (a ^ b) | c
+    }
+
+    /// The float batch-norm output (Eqn 5) for layers that must produce real
+    /// values instead of bits; requires the original BN parameters.
+    pub fn bn_output(bn: &BnParams, bias: &[f32], channel: usize, x1: f32) -> f32 {
+        bn.apply(channel, x1 + bias[channel])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arbitrary_bn() -> (BnParams, Vec<f32>) {
+        let bn = BnParams {
+            gamma: vec![0.5, -1.25, 2.0, -0.01],
+            beta: vec![0.1, -0.2, 0.0, 3.0],
+            mu: vec![1.0, -5.0, 0.5, 100.0],
+            sigma: vec![0.9, 2.0, 1.5, 10.0],
+        };
+        let bias = vec![0.0, 1.0, -2.0, 0.5];
+        (bn, bias)
+    }
+
+    #[test]
+    fn xi_formula_matches_eqn6() {
+        let (bn, bias) = arbitrary_bn();
+        let f = FusedBn::precompute(&bn, &bias);
+        for i in 0..4 {
+            let expect = bn.mu[i] - bn.beta[i] * bn.sigma[i] / bn.gamma[i] - bias[i];
+            assert!((f.xi[i] - expect).abs() < 1e-6);
+            assert_eq!(f.gamma_pos[i], bn.gamma[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn fused_equals_unfused_reference() {
+        // The fused decision must equal sign(BN(conv + bias)) for both signs
+        // of gamma across a sweep of accumulator values.
+        let (bn, bias) = arbitrary_bn();
+        let fused = FusedBn::precompute(&bn, &bias);
+        for ch in 0..4 {
+            for raw in -200..=200 {
+                let x1 = raw as f32 * 0.5;
+                let x3 = FusedBn::bn_output(&bn, &bias, ch, x1);
+                let reference = x3 >= 0.0;
+                assert_eq!(
+                    fused.decide_branchy(ch, x1),
+                    reference,
+                    "branchy mismatch ch={ch} x1={x1} x3={x3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eqn9_equals_eqn8_truth_table() {
+        // Exhaustive truth table: A (x1<xi), B (gamma>0), C (x1=xi). C and A
+        // are mutually exclusive; enumerate all consistent combinations.
+        let f = FusedBn { xi: vec![0.0, 0.0], gamma_pos: vec![true, false] };
+        for ch in 0..2 {
+            for x1 in [-1.0f32, 0.0, 1.0] {
+                assert_eq!(
+                    f.decide_logic(ch, x1),
+                    f.decide_branchy(ch, x1),
+                    "ch={ch} x1={x1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eqn9_equals_eqn8_randomized() {
+        let (bn, bias) = arbitrary_bn();
+        let f = FusedBn::precompute(&bn, &bias);
+        for ch in 0..4 {
+            for raw in -1000..1000 {
+                let x1 = raw as f32 * 0.37;
+                assert_eq!(f.decide_logic(ch, x1), f.decide_branchy(ch, x1));
+            }
+            // Exactly at the threshold.
+            let xi = f.xi[ch];
+            assert_eq!(f.decide_logic(ch, xi), f.decide_branchy(ch, xi));
+            assert!(f.decide_logic(ch, xi), "x1 = xi must binarize to 1 for either gamma sign");
+        }
+    }
+
+    #[test]
+    fn negative_gamma_flips_comparison() {
+        let bn = BnParams {
+            gamma: vec![-1.0],
+            beta: vec![0.0],
+            mu: vec![0.0],
+            sigma: vec![1.0],
+        };
+        let f = FusedBn::precompute(&bn, &[0.0]);
+        // gamma < 0: output 1 iff x1 <= xi = 0.
+        assert!(f.decide_logic(0, -3.0));
+        assert!(f.decide_logic(0, 0.0));
+        assert!(!f.decide_logic(0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn non_positive_sigma_rejected() {
+        let bn = BnParams { gamma: vec![1.0], beta: vec![0.0], mu: vec![0.0], sigma: vec![0.0] };
+        FusedBn::precompute(&bn, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn zero_gamma_rejected() {
+        let bn = BnParams { gamma: vec![0.0], beta: vec![0.0], mu: vec![0.0], sigma: vec![1.0] };
+        FusedBn::precompute(&bn, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn bias_length_mismatch_rejected() {
+        FusedBn::precompute(&BnParams::identity(3), &[0.0; 2]);
+    }
+
+    #[test]
+    fn identity_binarizes_at_zero() {
+        let f = FusedBn::identity(2);
+        assert!(f.decide_logic(0, 0.0));
+        assert!(f.decide_logic(1, 5.0));
+        assert!(!f.decide_logic(0, -0.25));
+    }
+
+    #[test]
+    fn bn_identity_apply_is_identity() {
+        let bn = BnParams::identity(1);
+        assert_eq!(bn.apply(0, 3.25), 3.25);
+        assert_eq!(bn.len(), 1);
+        assert!(!bn.is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! Lowered binary convolution: binary im2col + binary GEMM — the strategy
+//! of Espresso (Pedersoli et al., ICLR 2018), which the paper contrasts
+//! with PhoneBit's direct fused kernels (§II: Espresso optimizes "binary
+//! matrix multiplication kernels" but lacks layer integration).
+//!
+//! The lowering materializes each output pixel's window bits as one packed
+//! row ("bit-im2col"), then multiplies rows against flattened filters with
+//! xnor-popcount. Numerically identical to the direct path (tested), but it
+//! pays the materialization round trip PhoneBit's §V-A layout avoids —
+//! which is exactly what the lowering ablation measures.
+
+use phonebit_gpusim::exec::par_chunks_mut;
+use phonebit_gpusim::queue::CommandQueue;
+use phonebit_gpusim::vector::xor_popcount_vec;
+use phonebit_gpusim::{KernelProfile, NdRange};
+use phonebit_tensor::bits::{BitTensor, BitWord, PackedFilters};
+use phonebit_tensor::shape::{ConvGeometry, FilterShape, Shape4};
+
+use crate::fuse::FusedBn;
+use crate::kernels::profiles::{PACKED_COALESCING, VEC_LANES_128};
+
+/// Flattens packed filters so each filter's `(kh, kw, c)` bits occupy one
+/// contiguous span (the GEMM's weight rows).
+pub fn flatten_filters<W: BitWord>(filters: &PackedFilters<W>) -> PackedFilters<W> {
+    let s = filters.shape();
+    let window = s.kh * s.kw * s.c;
+    let mut out = PackedFilters::<W>::zeros(FilterShape::new(s.k, 1, 1, window));
+    for k in 0..s.k {
+        let mut idx = 0;
+        for i in 0..s.kh {
+            for j in 0..s.kw {
+                for c in 0..s.c {
+                    if filters.get_bit(k, i, j, c) {
+                        out.set_bit(k, 0, 0, idx, true);
+                    }
+                    idx += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Materializes the binary im2col: one packed row of `kh*kw*c` window bits
+/// per output pixel, out-of-bounds taps contributing 0-bits (−1), matching
+/// the direct path's padding semantics.
+pub fn pack_windows<W: BitWord>(
+    input: &BitTensor<W>,
+    geom: &ConvGeometry,
+) -> BitTensor<W> {
+    let s = input.shape();
+    let (oh, ow) = geom.output_hw(s.h, s.w);
+    let window = geom.taps() * s.c;
+    let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, window));
+    for n in 0..s.n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut idx = 0;
+                for i in 0..geom.kh {
+                    let iy = (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
+                    for j in 0..geom.kw {
+                        let ix = (ox * geom.stride_w + j) as isize - geom.pad_w as isize;
+                        if iy >= 0 && (iy as usize) < s.h && ix >= 0 && (ix as usize) < s.w {
+                            for c in 0..s.c {
+                                if input.get_bit(n, iy as usize, ix as usize, c) {
+                                    out.set_bit(n, oy, ox, idx + c, true);
+                                }
+                            }
+                        }
+                        idx += s.c;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Profile of the bit-im2col materialization kernel.
+pub fn pack_windows_profile(
+    out_pixels: usize,
+    in_channels: usize,
+    geom: &ConvGeometry,
+) -> KernelProfile {
+    let window_bytes = (geom.taps() * in_channels) as f64 / 8.0;
+    KernelProfile::new("bgemm_pack_windows", NdRange::linear(out_pixels))
+        .word_ops(out_pixels as f64 * geom.taps() as f64 * (in_channels as f64 / 32.0).max(0.25))
+        .reads(out_pixels as f64 * (geom.stride_h * geom.stride_w) as f64 * in_channels as f64 / 8.0)
+        .writes(out_pixels as f64 * window_bytes)
+        .coalescing(PACKED_COALESCING)
+        .vector_lanes(VEC_LANES_128)
+}
+
+/// Profile of the binary GEMM over materialized window rows: same useful
+/// dot-product work as the direct kernel, plus re-reading the materialized
+/// rows from DRAM.
+pub fn bgemm_profile(
+    out_pixels: usize,
+    out_channels: usize,
+    in_channels: usize,
+    geom: &ConvGeometry,
+) -> KernelProfile {
+    let window_bits = geom.taps() * in_channels;
+    let outputs = out_pixels as f64 * out_channels as f64;
+    let words32 = (window_bits as f64 / 32.0).max(0.25);
+    let window_bytes = window_bits as f64 / 8.0;
+    let filter_bytes = out_channels as f64 * window_bytes;
+    KernelProfile::new("bgemm_fused", NdRange::linear(out_pixels * out_channels.div_ceil(8)))
+        .word_ops(outputs * words32 * 2.0)
+        .int_ops(outputs * 4.0)
+        .reads(out_pixels as f64 * window_bytes + filter_bytes)
+        .writes(out_pixels as f64 * out_channels as f64 / 8.0)
+        .coalescing(PACKED_COALESCING)
+        .vector_lanes(VEC_LANES_128)
+}
+
+/// Dispatches the full lowered convolution: bit-im2col, then fused binary
+/// GEMM + binarize + pack. Two kernels, one DRAM round trip of window rows.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (channels, fusion length).
+pub fn bconv_lowered<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    filters: &PackedFilters<W>,
+    fused: &FusedBn,
+    geom: &ConvGeometry,
+) -> BitTensor<W> {
+    let s = input.shape();
+    let fs = filters.shape();
+    assert_eq!(s.c, fs.c, "input channels {} != filter channels {}", s.c, fs.c);
+    assert_eq!(fused.len(), fs.k, "fusion params must cover every filter");
+    let (oh, ow) = geom.output_hw(s.h, s.w);
+    let out_pixels = s.n * oh * ow;
+
+    // Kernel 1: materialize window rows.
+    let mut windows = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, geom.taps() * s.c));
+    q.launch(pack_windows_profile(out_pixels, s.c, geom), || {
+        windows = pack_windows(input, geom);
+    });
+
+    // Kernel 2: row x filter xnor-popcount GEMM with fused binarization.
+    let flat = flatten_filters(filters);
+    let window_bits = geom.taps() * s.c;
+    let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, fs.k));
+    let k_total = fs.k;
+    q.launch(bgemm_profile(out_pixels, fs.k, s.c, geom), || {
+        let wpp = out.words_per_pixel();
+        let windows = &windows;
+        let flat = &flat;
+        par_chunks_mut(out.as_mut_words(), wpp, |pixel, span| {
+            let n = pixel / (oh * ow);
+            let rem = pixel % (oh * ow);
+            let (oy, ox) = (rem / ow, rem % ow);
+            let row = windows.pixel_words(n, oy, ox);
+            for k in 0..k_total {
+                let w = flat.tap_words(k, 0, 0);
+                let disagree = xor_popcount_vec::<W, 2>(row, w);
+                let x1 = window_bits as i32 - 2 * disagree as i32;
+                if fused.decide_logic(k, x1 as f32) {
+                    span[k / W::BITS] = span[k / W::BITS].with_bit(k % W::BITS, true);
+                }
+            }
+        });
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse::BnParams;
+    use crate::kernels::bconv::bconv_fused;
+    use phonebit_gpusim::{CommandQueue, DeviceProfile, ExecutorClass};
+    use phonebit_tensor::pack::{pack_f32, pack_filters};
+    use phonebit_tensor::tensor::{Filters, Tensor};
+
+    fn queue() -> CommandQueue {
+        CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl)
+    }
+
+    fn pm1_tensor(shape: Shape4, seed: usize) -> Tensor<f32> {
+        Tensor::from_fn(shape, |n, h, w, c| {
+            if (n * 3 + h * 11 + w * 5 + c * 13 + seed).is_multiple_of(3) {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+
+    fn test_bn(k: usize) -> (BnParams, Vec<f32>) {
+        let bn = BnParams {
+            gamma: (0..k).map(|i| if i % 3 == 0 { -1.1 } else { 0.9 }).collect(),
+            beta: (0..k).map(|i| (i % 4) as f32 * 0.2 - 0.3).collect(),
+            mu: (0..k).map(|i| (i % 5) as f32 - 2.0).collect(),
+            sigma: vec![1.5; k],
+        };
+        (bn, (0..k).map(|i| (i % 2) as f32 - 0.5).collect())
+    }
+
+    #[test]
+    fn lowered_equals_direct_exactly() {
+        for (c, k, pad, stride) in [(16usize, 8usize, 1usize, 1usize), (40, 24, 0, 2), (64, 16, 1, 1)] {
+            let t = pm1_tensor(Shape4::new(1, 7, 8, c), c);
+            let f = pm1_tensor(Shape4::new(1, 1, 1, 1), 0); // unused, silence
+            let _ = f;
+            let filters = Filters::from_fn(FilterShape::new(k, 3, 3, c), |a, b, d, e| {
+                if (a + b * 2 + d + e * 3) % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            });
+            let geom = ConvGeometry::square(3, stride, pad);
+            let (bn, bias) = test_bn(k);
+            let fused = FusedBn::precompute(&bn, &bias);
+            let packed_in = pack_f32::<u64>(&t);
+            let packed_f = pack_filters::<u64>(&filters);
+            let mut q = queue();
+            let direct = bconv_fused(&mut q, &packed_in, &packed_f, &fused, &geom);
+            let lowered = bconv_lowered(&mut q, &packed_in, &packed_f, &fused, &geom);
+            assert_eq!(direct, lowered, "c={c} k={k} pad={pad} stride={stride}");
+        }
+    }
+
+    #[test]
+    fn flatten_preserves_bits_in_raster_order() {
+        let mut f = PackedFilters::<u8>::zeros(FilterShape::new(2, 2, 2, 3));
+        f.set_bit(1, 1, 0, 2, true);
+        let flat = flatten_filters(&f);
+        // Index of (i=1, j=0, c=2) in raster order = ((1*2)+0)*3 + 2 = 8.
+        assert!(flat.get_bit(1, 0, 0, 8));
+        assert_eq!(flat.shape().c, 12);
+        assert!(flat.tail_is_clean());
+    }
+
+    #[test]
+    fn pack_windows_padding_is_zero_bits() {
+        let t = pm1_tensor(Shape4::new(1, 2, 2, 4), 1);
+        let packed = pack_f32::<u8>(&t);
+        let geom = ConvGeometry::square(3, 1, 1);
+        let windows = pack_windows(&packed, &geom);
+        assert_eq!(windows.shape(), Shape4::new(1, 2, 2, 36));
+        // Window at (0,0): tap (0,0) falls entirely in padding.
+        for c in 0..4 {
+            assert!(!windows.get_bit(0, 0, 0, c), "padding tap bit {c}");
+        }
+        assert!(windows.tail_is_clean());
+    }
+
+    #[test]
+    fn lowered_dispatches_two_kernels_with_more_traffic() {
+        let t = pm1_tensor(Shape4::new(1, 13, 13, 128), 2);
+        let filters = Filters::from_fn(FilterShape::new(64, 3, 3, 128), |a, _, _, e| {
+            if (a + e) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        let geom = ConvGeometry::square(3, 1, 1);
+        let fused = FusedBn::identity(64);
+        let packed_in = pack_f32::<u64>(&t);
+        let packed_f = pack_filters::<u64>(&filters);
+        let mut q = queue();
+        let _ = bconv_fused(&mut q, &packed_in, &packed_f, &fused, &geom);
+        let direct_time = q.elapsed_s();
+        let direct_bytes: f64 = q.timeline().iter().map(|e| e.stats.dram_bytes).sum();
+        q.reset();
+        let _ = bconv_lowered(&mut q, &packed_in, &packed_f, &fused, &geom);
+        let lowered_time = q.elapsed_s();
+        let lowered_bytes: f64 = q.timeline().iter().map(|e| e.stats.dram_bytes).sum();
+        assert_eq!(q.timeline().len(), 2, "pack + gemm");
+        assert!(
+            lowered_bytes > direct_bytes,
+            "lowering must move more DRAM: {lowered_bytes} vs {direct_bytes}"
+        );
+        assert!(lowered_time > direct_time, "direct fused path wins in the model");
+    }
+}

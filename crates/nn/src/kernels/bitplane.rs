@@ -1,0 +1,299 @@
+//! First-layer kernels: bit-plane split and bit-plane convolution (Eqn 2).
+//!
+//! The first convolution layer receives 8-bit integer images. Following
+//! §III-B, the input is split into 8 bit-planes and the output accumulates
+//! `s = Σ_n 2^(n−1) <I_n · W>` where each `<·>` is a `{0,1} × {±1}` binary
+//! convolution computed with masked popcounts. The split and recombination
+//! are the extra work behind conv1's lower speedup in Fig 5.
+
+use phonebit_gpusim::exec::par_chunks_mut;
+use phonebit_gpusim::queue::CommandQueue;
+use phonebit_tensor::bitplane::BitPlanes;
+use phonebit_tensor::bits::{BitTensor, BitWord, PackedFilters};
+use phonebit_tensor::shape::{ConvGeometry, Layout, Shape4};
+use phonebit_tensor::tensor::Tensor;
+
+use crate::fuse::FusedBn;
+use crate::kernels::profiles;
+use crate::workload::WorkloadPolicy;
+
+/// Dispatches the bit-plane split of an 8-bit input image (§III-B).
+pub fn bitplane_split<W: BitWord>(q: &mut CommandQueue, input: &Tensor<u8>) -> BitPlanes<W> {
+    let s = input.shape();
+    let mut planes = BitPlanes::<W>::split(&Tensor::zeros(s, Layout::Nhwc));
+    let profile = profiles::bitplane_split(s.pixels(), s.c);
+    q.launch(profile, || {
+        planes = BitPlanes::<W>::split(input);
+    });
+    planes
+}
+
+/// Masked `{0,1} x {±1}` dot of one window of one plane against one filter:
+/// out-of-bounds plane bits are 0 and contribute nothing.
+#[inline]
+fn plane_window_dot<W: BitWord>(
+    plane: &BitTensor<W>,
+    filters: &PackedFilters<W>,
+    geom: &ConvGeometry,
+    n: usize,
+    oy: usize,
+    ox: usize,
+    k: usize,
+) -> i32 {
+    let s = plane.shape();
+    let mut pos = 0u32;
+    let mut total = 0u32;
+    for i in 0..geom.kh {
+        let iy = (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
+        if iy < 0 || iy as usize >= s.h {
+            continue;
+        }
+        for j in 0..geom.kw {
+            let ix = (ox * geom.stride_w + j) as isize - geom.pad_w as isize;
+            if ix < 0 || ix as usize >= s.w {
+                continue;
+            }
+            let a = plane.pixel_words(n, iy as usize, ix as usize);
+            let w = filters.tap_words(k, i, j);
+            for (&x, &y) in a.iter().zip(w.iter()) {
+                pos += x.and(y).popcount();
+                total += x.popcount();
+            }
+        }
+    }
+    2 * pos as i32 - total as i32
+}
+
+/// The Eqn (2) accumulator for one output element across all 8 planes.
+#[inline]
+pub fn bitplane_window_dot<W: BitWord>(
+    planes: &BitPlanes<W>,
+    filters: &PackedFilters<W>,
+    geom: &ConvGeometry,
+    n: usize,
+    oy: usize,
+    ox: usize,
+    k: usize,
+) -> i32 {
+    planes
+        .iter_weighted()
+        .map(|(weight, plane)| weight * plane_window_dot(plane, filters, geom, n, oy, ox, k))
+        .sum()
+}
+
+fn output_shape<W: BitWord>(
+    planes: &BitPlanes<W>,
+    filters: &PackedFilters<W>,
+    geom: &ConvGeometry,
+) -> Shape4 {
+    let s = planes.shape();
+    let fs = filters.shape();
+    assert_eq!(s.c, fs.c, "plane channels {} != filter channels {}", s.c, fs.c);
+    let (oh, ow) = geom.output_hw(s.h, s.w);
+    Shape4::new(s.n, oh, ow, fs.k)
+}
+
+/// Functional body of the fused bit-plane convolution.
+pub fn compute_bitplane_conv_fused<W: BitWord>(
+    planes: &BitPlanes<W>,
+    filters: &PackedFilters<W>,
+    fused: &FusedBn,
+    geom: &ConvGeometry,
+    out: &mut BitTensor<W>,
+) {
+    let os = out.shape();
+    let k_total = filters.shape().k;
+    let (oh, ow) = (os.h, os.w);
+    let wpp = out.words_per_pixel();
+    par_chunks_mut(out.as_mut_words(), wpp, |pixel, span| {
+        let n = pixel / (oh * ow);
+        let rem = pixel % (oh * ow);
+        let (oy, ox) = (rem / ow, rem % ow);
+        for k in 0..k_total {
+            let s = bitplane_window_dot(planes, filters, geom, n, oy, ox, k);
+            if fused.decide_logic(k, s as f32) {
+                span[k / W::BITS] = span[k / W::BITS].with_bit(k % W::BITS, true);
+            }
+        }
+    });
+}
+
+/// Dispatches the fused first-layer convolution: Eqn (2) accumulation +
+/// batch-norm + binarize + pack.
+///
+/// # Panics
+///
+/// Panics on channel mismatches or when `fused.len() != filters.k`.
+pub fn bitplane_conv_fused<W: BitWord>(
+    q: &mut CommandQueue,
+    planes: &BitPlanes<W>,
+    filters: &PackedFilters<W>,
+    fused: &FusedBn,
+    geom: &ConvGeometry,
+) -> BitTensor<W> {
+    let os = output_shape(planes, filters, geom);
+    assert_eq!(fused.len(), filters.shape().k, "fusion params must cover every filter");
+    let mut out = BitTensor::<W>::zeros(os);
+    let policy = WorkloadPolicy::for_channels(planes.shape().c);
+    let profile =
+        profiles::bitplane_conv_fused(os.pixels(), os.c, planes.shape().c, geom, &policy);
+    q.launch(profile, || compute_bitplane_conv_fused(planes, filters, fused, geom, &mut out));
+    out
+}
+
+/// Dispatches the first-layer convolution producing raw integer
+/// accumulators (for tests and for heads that need real values).
+pub fn bitplane_conv_accum<W: BitWord>(
+    q: &mut CommandQueue,
+    planes: &BitPlanes<W>,
+    filters: &PackedFilters<W>,
+    geom: &ConvGeometry,
+) -> Tensor<i32> {
+    let os = output_shape(planes, filters, geom);
+    let mut out = Tensor::<i32>::zeros(os, Layout::Nhwc);
+    let policy = WorkloadPolicy::for_channels(planes.shape().c);
+    let mut profile =
+        profiles::bitplane_conv_fused(os.pixels(), os.c, planes.shape().c, geom, &policy);
+    profile.name = "bitplane_conv_accum".into();
+    let k_total = os.c;
+    let (oh, ow) = (os.h, os.w);
+    q.launch(profile, || {
+        par_chunks_mut(out.as_mut_slice(), k_total, |pixel, row| {
+            let n = pixel / (oh * ow);
+            let rem = pixel % (oh * ow);
+            let (oy, ox) = (rem / ow, rem % ow);
+            for (k, slot) in row.iter_mut().enumerate() {
+                *slot = bitplane_window_dot(planes, filters, geom, n, oy, ox, k);
+            }
+        });
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonebit_gpusim::{DeviceProfile, ExecutorClass};
+    use phonebit_tensor::pack::{pack_filters, unpack_f32};
+    use phonebit_tensor::shape::FilterShape;
+    use phonebit_tensor::tensor::Filters;
+
+    use crate::fuse::BnParams;
+
+    fn queue() -> CommandQueue {
+        CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl)
+    }
+
+    fn image(shape: Shape4) -> Tensor<u8> {
+        Tensor::from_fn(shape, |n, h, w, c| ((n * 157 + h * 83 + w * 19 + c * 7) % 256) as u8)
+    }
+
+    fn pm1_filters(shape: FilterShape) -> Filters {
+        Filters::from_fn(shape, |k, i, j, c| if (k + i * 2 + j + c) % 2 == 0 { 1.0 } else { -1.0 })
+    }
+
+    /// Integer reference: direct u8 x (+-1) convolution with zero padding.
+    fn reference_accum(
+        img: &Tensor<u8>,
+        filters: &Filters,
+        geom: &ConvGeometry,
+    ) -> Tensor<i32> {
+        let s = img.shape();
+        let fs = filters.shape();
+        let (oh, ow) = geom.output_hw(s.h, s.w);
+        Tensor::from_fn(Shape4::new(s.n, oh, ow, fs.k), |n, oy, ox, k| {
+            let mut acc = 0i32;
+            for i in 0..fs.kh {
+                for j in 0..fs.kw {
+                    let iy = (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
+                    let ix = (ox * geom.stride_w + j) as isize - geom.pad_w as isize;
+                    if iy >= 0 && (iy as usize) < s.h && ix >= 0 && (ix as usize) < s.w {
+                        for c in 0..fs.c {
+                            acc += img.at(n, iy as usize, ix as usize, c) as i32
+                                * filters.at(k, i, j, c) as i32;
+                        }
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn accum_matches_integer_reference() {
+        let img = image(Shape4::new(1, 6, 6, 3));
+        let f = pm1_filters(FilterShape::new(4, 3, 3, 3));
+        let geom = ConvGeometry::square(3, 1, 1);
+        let mut q = queue();
+        let planes = bitplane_split::<u8>(&mut q, &img);
+        let got = bitplane_conv_accum(&mut q, &planes, &pack_filters::<u8>(&f), &geom);
+        let expect = reference_accum(&img, &f, &geom);
+        assert_eq!(got.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn accum_matches_reference_with_stride() {
+        let img = image(Shape4::new(2, 9, 9, 3));
+        let f = pm1_filters(FilterShape::new(8, 3, 3, 3));
+        let geom = ConvGeometry::square(3, 2, 0);
+        let mut q = queue();
+        let planes = bitplane_split::<u64>(&mut q, &img);
+        let got = bitplane_conv_accum(&mut q, &planes, &pack_filters::<u64>(&f), &geom);
+        assert_eq!(got.as_slice(), reference_accum(&img, &f, &geom).as_slice());
+    }
+
+    #[test]
+    fn fused_matches_accum_then_threshold() {
+        let img = image(Shape4::new(1, 8, 8, 3));
+        let f = pm1_filters(FilterShape::new(16, 3, 3, 3));
+        let geom = ConvGeometry::square(3, 1, 1);
+        let bn = BnParams {
+            gamma: (0..16).map(|i| if i % 4 == 0 { -1.0 } else { 0.8 }).collect(),
+            beta: (0..16).map(|i| i as f32 * 0.05).collect(),
+            mu: (0..16).map(|i| 100.0 + i as f32 * 10.0).collect(),
+            sigma: vec![50.0; 16],
+        };
+        let bias = vec![0.5; 16];
+        let fused = FusedBn::precompute(&bn, &bias);
+
+        let mut q = queue();
+        let planes = bitplane_split::<u64>(&mut q, &img);
+        let packed_f = pack_filters::<u64>(&f);
+        let bits = bitplane_conv_fused(&mut q, &planes, &packed_f, &fused, &geom);
+        let accum = bitplane_conv_accum(&mut q, &planes, &packed_f, &geom);
+
+        let got = unpack_f32(&bits);
+        let s = accum.shape();
+        for n in 0..s.n {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    for c in 0..s.c {
+                        let x3 = bn.apply(c, accum.at(n, h, w, c) as f32 + bias[c]);
+                        let expect = if x3 >= 0.0 { 1.0 } else { -1.0 };
+                        assert_eq!(got.at(n, h, w, c), expect, "at ({n},{h},{w},{c})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_kernel_is_on_timeline() {
+        let img = image(Shape4::new(1, 4, 4, 3));
+        let mut q = queue();
+        let planes = bitplane_split::<u8>(&mut q, &img);
+        assert_eq!(q.timeline().len(), 1);
+        assert_eq!(q.timeline()[0].stats.name, "bitplane_split");
+        assert_eq!(planes.reconstruct(), img);
+    }
+
+    #[test]
+    fn zero_image_gives_zero_accum() {
+        let img = Tensor::<u8>::zeros(Shape4::new(1, 4, 4, 3), Layout::Nhwc);
+        let f = pm1_filters(FilterShape::new(2, 3, 3, 3));
+        let mut q = queue();
+        let planes = bitplane_split::<u32>(&mut q, &img);
+        let accum = bitplane_conv_accum(&mut q, &planes, &pack_filters::<u32>(&f), &ConvGeometry::square(3, 1, 1));
+        assert!(accum.as_slice().iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Dense (fully connected) kernels, binary and float, plus the bit-preserving
+//! flatten that connects convolutional features to them.
+
+use phonebit_gpusim::queue::CommandQueue;
+use phonebit_gpusim::vector::xor_popcount_vec;
+use phonebit_tensor::bits::{BitTensor, BitWord, PackedFilters};
+use phonebit_tensor::shape::Shape4;
+
+use crate::act::Activation;
+use crate::fuse::FusedBn;
+use crate::kernels::profiles;
+
+/// Flattens a packed feature map `(n, h, w, c)` into `(n, 1, 1, h*w*c)`
+/// keeping `(h, w, c)` raster order — the order dense weights are stored in.
+///
+/// When the channel count is word-aligned the packed words are already
+/// contiguous and the flatten is a plain copy; otherwise bits are re-packed
+/// to remove per-pixel tail gaps.
+pub fn flatten_bits<W: BitWord>(input: &BitTensor<W>) -> BitTensor<W> {
+    let s = input.shape();
+    let flat = Shape4::new(s.n, 1, 1, s.h * s.w * s.c);
+    let mut out = BitTensor::<W>::zeros(flat);
+    if s.c.is_multiple_of(W::BITS) {
+        out.as_mut_words().copy_from_slice(input.as_words());
+        return out;
+    }
+    for n in 0..s.n {
+        let mut idx = 0usize;
+        for h in 0..s.h {
+            for w in 0..s.w {
+                for c in 0..s.c {
+                    if input.get_bit(n, h, w, c) {
+                        out.set_bit(n, 0, 0, idx, true);
+                    }
+                    idx += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Functional body of the fused binary dense layer.
+pub fn compute_dense_bin<W: BitWord>(
+    input: &BitTensor<W>,
+    weights: &PackedFilters<W>,
+    fused: &FusedBn,
+    out: &mut BitTensor<W>,
+) {
+    let s = input.shape();
+    let k_total = weights.shape().k;
+    let features = s.c;
+    for n in 0..s.n {
+        let x = input.pixel_words(n, 0, 0);
+        for k in 0..k_total {
+            let w = weights.tap_words(k, 0, 0);
+            let disagree = xor_popcount_vec::<W, 2>(x, w);
+            let x1 = features as i32 - 2 * disagree as i32;
+            if fused.decide_logic(k, x1 as f32) {
+                out.set_bit(n, 0, 0, k, true);
+            }
+        }
+    }
+}
+
+/// Dispatches the fused binary dense layer: xnor-popcount matvec + BN +
+/// binarize + pack.
+///
+/// # Panics
+///
+/// Panics when the input is not flattened (`h = w = 1`) or shapes disagree.
+pub fn dense_bin<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    weights: &PackedFilters<W>,
+    fused: &FusedBn,
+) -> BitTensor<W> {
+    let s = input.shape();
+    let ws = weights.shape();
+    assert!(s.h == 1 && s.w == 1, "dense input must be flattened, got {s}");
+    assert_eq!(ws.kh, 1, "dense weights must be 1x1 taps");
+    assert_eq!(ws.kw, 1, "dense weights must be 1x1 taps");
+    assert_eq!(s.c, ws.c, "input features {} != weight features {}", s.c, ws.c);
+    assert_eq!(fused.len(), ws.k, "fusion params must cover every output");
+    let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, 1, 1, ws.k));
+    let profile = profiles::dense_bin(ws.k, s.c);
+    q.launch(profile, || compute_dense_bin(input, weights, fused, &mut out));
+    out
+}
+
+/// Functional body of the float dense layer: `y = act(Wx + b)`.
+///
+/// `weights` is row-major `[out_features x in_features]`.
+pub fn compute_dense_float(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    act: Activation,
+    out: &mut [f32],
+) {
+    let in_features = input.len();
+    for (k, slot) in out.iter_mut().enumerate() {
+        let row = &weights[k * in_features..(k + 1) * in_features];
+        let mut acc = bias[k];
+        for (x, w) in input.iter().zip(row.iter()) {
+            acc += x * w;
+        }
+        *slot = act.apply(acc);
+    }
+}
+
+/// Dispatches the full-precision dense layer (the final classifier the
+/// paper keeps in float).
+///
+/// # Panics
+///
+/// Panics when `weights.len() != out * in` or `bias.len() != out`.
+pub fn dense_float(
+    q: &mut CommandQueue,
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    act: Activation,
+) -> Vec<f32> {
+    let out_features = bias.len();
+    assert_eq!(
+        weights.len(),
+        out_features * input.len(),
+        "weight matrix must be out x in"
+    );
+    let mut out = vec![0.0f32; out_features];
+    let profile = profiles::dense_float(out_features, input.len());
+    q.launch(profile, || compute_dense_float(input, weights, bias, act, &mut out));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonebit_gpusim::{DeviceProfile, ExecutorClass};
+    use phonebit_tensor::pack::{pack_f32, unpack_f32};
+    use phonebit_tensor::shape::FilterShape;
+    use phonebit_tensor::tensor::Tensor;
+
+    use crate::fuse::BnParams;
+
+    fn queue() -> CommandQueue {
+        CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl)
+    }
+
+    #[test]
+    fn flatten_word_aligned_is_copy() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 2, 64), |_, h, w, c| {
+            if (h + w + c) % 3 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        let packed = pack_f32::<u64>(&t);
+        let flat = flatten_bits(&packed);
+        assert_eq!(flat.shape(), Shape4::new(1, 1, 1, 256));
+        assert_eq!(flat.as_words(), packed.as_words());
+    }
+
+    #[test]
+    fn flatten_unaligned_repacks() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 2, 5), |_, h, w, c| {
+            if (h * 4 + w * 2 + c) % 3 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        let packed = pack_f32::<u8>(&t);
+        let flat = flatten_bits(&packed);
+        assert_eq!(flat.shape().c, 20);
+        assert!(flat.tail_is_clean());
+        // Bit order is (h, w, c) raster.
+        let mut idx = 0;
+        for h in 0..2 {
+            for w in 0..2 {
+                for c in 0..5 {
+                    assert_eq!(flat.get_bit(0, 0, 0, idx), packed.get_bit(0, h, w, c));
+                    idx += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_bin_matches_float_reference() {
+        let features = 100usize;
+        let outputs = 17usize;
+        let x = Tensor::from_fn(Shape4::new(1, 1, 1, features), |_, _, _, c| {
+            if c % 3 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        let mut w = PackedFilters::<u64>::zeros(FilterShape::new(outputs, 1, 1, features));
+        let mut wf = vec![vec![-1.0f32; features]; outputs];
+        for k in 0..outputs {
+            for c in 0..features {
+                if (k * 7 + c) % 2 == 0 {
+                    w.set_bit(k, 0, 0, c, true);
+                    wf[k][c] = 1.0;
+                }
+            }
+        }
+        let bn = BnParams {
+            gamma: (0..outputs).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+            beta: vec![0.3; outputs],
+            mu: vec![2.0; outputs],
+            sigma: vec![1.5; outputs],
+        };
+        let bias = vec![1.0; outputs];
+        let fused = FusedBn::precompute(&bn, &bias);
+        let mut q = queue();
+        let y = dense_bin(&mut q, &pack_f32::<u64>(&x), &w, &fused);
+        let got = unpack_f32(&y);
+        for k in 0..outputs {
+            let dot: f32 = (0..features)
+                .map(|c| x.at(0, 0, 0, c) * wf[k][c])
+                .sum();
+            let x3 = bn.apply(k, dot + bias[k]);
+            let expect = if x3 >= 0.0 { 1.0 } else { -1.0 };
+            assert_eq!(got.at(0, 0, 0, k), expect, "output {k}");
+        }
+    }
+
+    #[test]
+    fn dense_float_matvec() {
+        let x = [1.0f32, 2.0, -1.0];
+        let w = [
+            1.0, 0.0, 0.0, // row 0 -> 1
+            0.0, 1.0, 1.0, // row 1 -> 1
+        ];
+        let mut q = queue();
+        let y = dense_float(&mut q, &x, &w, &[10.0, -10.0], Activation::Linear);
+        assert_eq!(y, vec![11.0, -9.0]);
+    }
+
+    #[test]
+    fn dense_float_relu() {
+        let x = [1.0f32];
+        let w = [-5.0f32];
+        let mut q = queue();
+        let y = dense_float(&mut q, &x, &w, &[0.0], Activation::Relu);
+        assert_eq!(y, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flattened")]
+    fn non_flat_input_panics() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 2, 8), |_, _, _, _| 1.0);
+        let w = PackedFilters::<u64>::zeros(FilterShape::new(4, 1, 1, 32));
+        let mut q = queue();
+        let _ = dense_bin(&mut q, &pack_f32::<u64>(&t), &w, &FusedBn::identity(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out x in")]
+    fn dense_float_shape_mismatch_panics() {
+        let mut q = queue();
+        let _ = dense_float(&mut q, &[1.0, 2.0], &[1.0, 2.0, 3.0], &[0.0, 0.0], Activation::Linear);
+    }
+}

@@ -1,0 +1,166 @@
+//! Full-precision convolution — PhoneBit's own float path.
+//!
+//! The paper keeps the last layer in full precision (e.g. YOLOv2-Tiny's
+//! conv9) and implements it with the OpenCL `dot()` SIMD builtin, which is
+//! why Fig 5 still shows a ~3x win over CNNdroid there. The same functional
+//! body is reused by the baseline frameworks with their own cost profiles.
+
+use phonebit_gpusim::exec::par_chunks_mut;
+use phonebit_gpusim::queue::CommandQueue;
+use phonebit_tensor::shape::{ConvGeometry, Layout, Shape4};
+use phonebit_tensor::tensor::{Filters, Tensor};
+
+use crate::act::Activation;
+use crate::kernels::profiles;
+
+/// Functional body of direct float convolution over NHWC with zero padding,
+/// bias and activation.
+pub fn compute_fconv(
+    input: &Tensor<f32>,
+    filters: &Filters,
+    bias: &[f32],
+    act: Activation,
+    geom: &ConvGeometry,
+    out: &mut Tensor<f32>,
+) {
+    let s = input.shape();
+    let fs = filters.shape();
+    let os = out.shape();
+    let (oh, ow) = (os.h, os.w);
+    let k_total = fs.k;
+    par_chunks_mut(out.as_mut_slice(), k_total, |pixel, row| {
+        let n = pixel / (oh * ow);
+        let rem = pixel % (oh * ow);
+        let (oy, ox) = (rem / ow, rem % ow);
+        for (k, slot) in row.iter_mut().enumerate() {
+            let mut acc = bias[k];
+            for i in 0..fs.kh {
+                let iy = (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
+                if iy < 0 || iy as usize >= s.h {
+                    continue;
+                }
+                for j in 0..fs.kw {
+                    let ix = (ox * geom.stride_w + j) as isize - geom.pad_w as isize;
+                    if ix < 0 || ix as usize >= s.w {
+                        continue;
+                    }
+                    for c in 0..fs.c {
+                        acc += input.at(n, iy as usize, ix as usize, c) * filters.at(k, i, j, c);
+                    }
+                }
+            }
+            *slot = act.apply(acc);
+        }
+    });
+}
+
+/// Dispatches PhoneBit's full-precision convolution (`dot()` SIMD profile).
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `bias.len() != filters.k`.
+pub fn fconv(
+    q: &mut CommandQueue,
+    input: &Tensor<f32>,
+    filters: &Filters,
+    bias: &[f32],
+    act: Activation,
+    geom: &ConvGeometry,
+) -> Tensor<f32> {
+    let s = input.shape();
+    let fs = filters.shape();
+    assert_eq!(s.c, fs.c, "input channels {} != filter channels {}", s.c, fs.c);
+    assert_eq!(bias.len(), fs.k, "bias length must equal filter count");
+    let (oh, ow) = geom.output_hw(s.h, s.w);
+    let os = Shape4::new(s.n, oh, ow, fs.k);
+    let mut out = Tensor::<f32>::zeros(os, Layout::Nhwc);
+    let mut profile = profiles::fconv(os.pixels(), fs.k, s.c, geom);
+    profile.f32_ops += os.len() as f64 * act.ops_per_element();
+    q.launch(profile, || compute_fconv(input, filters, bias, act, geom, &mut out));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonebit_gpusim::{DeviceProfile, ExecutorClass};
+    use phonebit_tensor::shape::FilterShape;
+
+    fn queue() -> CommandQueue {
+        CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl)
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 conv with identity matrix weights = channel copy.
+        let t = Tensor::from_fn(Shape4::new(1, 3, 3, 2), |_, h, w, c| (h * 10 + w + c) as f32);
+        let mut f = Filters::zeros(FilterShape::new(2, 1, 1, 2));
+        f.set(0, 0, 0, 0, 1.0);
+        f.set(1, 0, 0, 1, 1.0);
+        let mut q = queue();
+        let out = fconv(&mut q, &t, &f, &[0.0, 0.0], Activation::Linear, &ConvGeometry::square(1, 1, 0));
+        assert_eq!(out.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn bias_and_activation_applied() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 2, 1), |_, _, _, _| -1.0);
+        let mut f = Filters::zeros(FilterShape::new(1, 1, 1, 1));
+        f.set(0, 0, 0, 0, 2.0);
+        let mut q = queue();
+        // -1*2 + 0.5 = -1.5, ReLU -> 0.
+        let out = fconv(&mut q, &t, &f, &[0.5], Activation::Relu, &ConvGeometry::square(1, 1, 0));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        // Leaky keeps -0.15.
+        let out = fconv(&mut q, &t, &f, &[0.5], Activation::Leaky(0.1), &ConvGeometry::square(1, 1, 0));
+        for &v in out.as_slice() {
+            assert!((v + 0.15).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn padding_counts_zeros() {
+        // All-ones image and 3x3 all-ones kernel: corner output = 4, edge = 6,
+        // interior = 9.
+        let t = Tensor::from_fn(Shape4::new(1, 3, 3, 1), |_, _, _, _| 1.0);
+        let f = Filters::from_fn(FilterShape::new(1, 3, 3, 1), |_, _, _, _| 1.0);
+        let mut q = queue();
+        let out = fconv(&mut q, &t, &f, &[0.0], Activation::Linear, &ConvGeometry::square(3, 1, 1));
+        assert_eq!(out.at(0, 0, 0, 0), 4.0);
+        assert_eq!(out.at(0, 0, 1, 0), 6.0);
+        assert_eq!(out.at(0, 1, 1, 0), 9.0);
+    }
+
+    #[test]
+    fn matches_im2col_gemm_reference() {
+        use phonebit_tensor::im2col::im2col_nhwc;
+        let shape = Shape4::new(2, 5, 6, 3);
+        let t = Tensor::from_fn(shape, |n, h, w, c| ((n * 31 + h * 17 + w * 5 + c) % 11) as f32 - 5.0);
+        let fs = FilterShape::new(4, 3, 3, 3);
+        let f = Filters::from_fn(fs, |k, i, j, c| ((k * 7 + i + j * 2 + c * 3) % 5) as f32 - 2.0);
+        let geom = ConvGeometry::square(3, 1, 1);
+        let mut q = queue();
+        let direct = fconv(&mut q, &t, &f, &[0.0; 4], Activation::Linear, &geom);
+        let unrolled = im2col_nhwc(&t, &geom);
+        let (oh, ow) = geom.output_hw(shape.h, shape.w);
+        for n in 0..shape.n {
+            for r in 0..oh * ow {
+                for k in 0..fs.k {
+                    let dot: f32 =
+                        unrolled.row(n, r).iter().zip(f.filter(k)).map(|(a, b)| a * b).sum();
+                    let got = direct.at(n, r / ow, r % ow, k);
+                    assert!((dot - got).abs() < 1e-3, "n={n} r={r} k={k}: {dot} vs {got}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn bias_mismatch_panics() {
+        let t = Tensor::<f32>::zeros(Shape4::new(1, 2, 2, 1), Layout::Nhwc);
+        let f = Filters::zeros(FilterShape::new(2, 1, 1, 1));
+        let mut q = queue();
+        let _ = fconv(&mut q, &t, &f, &[0.0], Activation::Linear, &ConvGeometry::square(1, 1, 0));
+    }
+}

@@ -1,0 +1,81 @@
+//! PhoneBit's GPU kernels.
+//!
+//! Each kernel exposes a `compute_*` functional body (pure host math,
+//! reusable by baselines and tests) and a dispatch wrapper that launches it
+//! on a [`phonebit_gpusim::CommandQueue`] with the matching cost profile
+//! from [`profiles`].
+
+pub mod bconv;
+pub mod bgemm;
+pub mod bitplane;
+pub mod dense;
+pub mod fconv;
+pub mod pool;
+pub mod profiles;
+
+use phonebit_gpusim::queue::CommandQueue;
+use phonebit_tensor::bits::{BitTensor, BitWord};
+use phonebit_tensor::pack::pack_f32;
+use phonebit_tensor::tensor::Tensor;
+
+/// Dispatches input binarization: a float tensor is sign-binarized and
+/// channel-packed (used when a network's first layer is already binary).
+pub fn pack_input<W: BitWord>(q: &mut CommandQueue, input: &Tensor<f32>) -> BitTensor<W> {
+    let s = input.shape();
+    let mut out = BitTensor::<W>::zeros(s);
+    let profile = profiles::pack_input(s.pixels(), s.c);
+    q.launch(profile, || {
+        out = pack_f32::<W>(input);
+    });
+    out
+}
+
+/// Dispatches the softmax epilogue over a logit vector.
+pub fn softmax(q: &mut CommandQueue, logits: &mut [f32]) {
+    let profile = profiles::softmax(logits.len());
+    q.launch(profile, || crate::act::softmax(logits));
+}
+
+/// Dispatches bit unpacking: a packed binary tensor becomes ±1.0 floats.
+///
+/// Needed where a full-precision layer consumes a binary layer's output
+/// (e.g. YOLOv2-Tiny's float conv9 after binary conv8).
+pub fn unpack_bits<W: BitWord>(q: &mut CommandQueue, input: &BitTensor<W>) -> Tensor<f32> {
+    let s = input.shape();
+    let mut out = Tensor::<f32>::zeros(s, phonebit_tensor::Layout::Nhwc);
+    let profile = profiles::unpack_bits(s.pixels(), s.c);
+    q.launch(profile, || {
+        out = phonebit_tensor::pack::unpack_f32(input);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonebit_gpusim::{DeviceProfile, ExecutorClass};
+    use phonebit_tensor::shape::Shape4;
+
+    fn queue() -> CommandQueue {
+        CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl)
+    }
+
+    #[test]
+    fn pack_input_matches_direct_pack() {
+        let t = Tensor::from_fn(Shape4::new(1, 3, 3, 20), |_, h, w, c| {
+            ((h * 5 + w * 3 + c) % 7) as f32 - 3.0
+        });
+        let mut q = queue();
+        let packed = pack_input::<u32>(&mut q, &t);
+        assert_eq!(packed, pack_f32::<u32>(&t));
+        assert_eq!(q.timeline()[0].stats.name, "pack_input");
+    }
+
+    #[test]
+    fn softmax_kernel_normalizes() {
+        let mut q = queue();
+        let mut logits = vec![0.0f32, 1.0, 2.0];
+        softmax(&mut q, &mut logits);
+        assert!((logits.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+}

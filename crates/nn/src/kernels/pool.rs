@@ -1,0 +1,249 @@
+//! Pooling kernels.
+//!
+//! Binary max pooling exploits the packed representation: with bits encoding
+//! `{−1, +1}`, `max` over a window is simply the bitwise **OR** of the packed
+//! words — no unpacking needed. This is why pooling stays cheap between
+//! PhoneBit's fused convolutions (Fig 3 shows `pool.forward_S` calls between
+//! the `bforward` layers).
+
+use phonebit_gpusim::queue::CommandQueue;
+use phonebit_tensor::bits::{BitTensor, BitWord};
+use phonebit_tensor::shape::{ConvGeometry, Layout, Shape4};
+use phonebit_tensor::tensor::Tensor;
+
+use crate::kernels::profiles;
+
+/// Pooling window geometry (kernel size + stride, no padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolGeometry {
+    /// Window edge length.
+    pub size: usize,
+    /// Stride between windows.
+    pub stride: usize,
+}
+
+impl PoolGeometry {
+    /// Square pooling window.
+    pub fn new(size: usize, stride: usize) -> Self {
+        assert!(size > 0 && stride > 0, "pool size and stride must be positive");
+        Self { size, stride }
+    }
+
+    /// Output spatial size.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        ConvGeometry::square(self.size, self.stride, 0).output_hw(h, w)
+    }
+}
+
+/// Functional body of binary max pooling: OR-reduce packed words.
+pub fn compute_maxpool_bits<W: BitWord>(
+    input: &BitTensor<W>,
+    geom: &PoolGeometry,
+    out: &mut BitTensor<W>,
+) {
+    let s = input.shape();
+    let os = out.shape();
+    let wpp = input.words_per_pixel();
+    for n in 0..os.n {
+        for oy in 0..os.h {
+            for ox in 0..os.w {
+                let base = out.pixel_offset(n, oy, ox);
+                for i in 0..geom.size {
+                    for j in 0..geom.size {
+                        let iy = oy * geom.stride + i;
+                        let ix = ox * geom.stride + j;
+                        if iy >= s.h || ix >= s.w {
+                            continue;
+                        }
+                        let src = input.pixel_offset(n, iy, ix);
+                        for t in 0..wpp {
+                            let merged = out.as_words()[base + t].or(input.as_words()[src + t]);
+                            out.as_mut_words()[base + t] = merged;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches binary max pooling.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the input.
+pub fn maxpool_bits<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    geom: &PoolGeometry,
+) -> BitTensor<W> {
+    let s = input.shape();
+    let (oh, ow) = geom.output_hw(s.h, s.w);
+    let os = Shape4::new(s.n, oh, ow, s.c);
+    let mut out = BitTensor::<W>::zeros(os);
+    let profile = profiles::maxpool_bits(os.pixels(), s.c, geom.size);
+    q.launch(profile, || compute_maxpool_bits(input, geom, &mut out));
+    out
+}
+
+/// Functional body of float max pooling.
+pub fn compute_maxpool_f32(input: &Tensor<f32>, geom: &PoolGeometry, out: &mut Tensor<f32>) {
+    let s = input.shape();
+    let os = out.shape();
+    for n in 0..os.n {
+        for oy in 0..os.h {
+            for ox in 0..os.w {
+                for c in 0..os.c {
+                    let mut m = f32::NEG_INFINITY;
+                    for i in 0..geom.size {
+                        for j in 0..geom.size {
+                            let iy = oy * geom.stride + i;
+                            let ix = ox * geom.stride + j;
+                            if iy < s.h && ix < s.w {
+                                m = m.max(input.at(n, iy, ix, c));
+                            }
+                        }
+                    }
+                    out.set(n, oy, ox, c, m);
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches float max pooling.
+pub fn maxpool_f32(
+    q: &mut CommandQueue,
+    input: &Tensor<f32>,
+    geom: &PoolGeometry,
+) -> Tensor<f32> {
+    let s = input.shape();
+    let (oh, ow) = geom.output_hw(s.h, s.w);
+    let os = Shape4::new(s.n, oh, ow, s.c);
+    let mut out = Tensor::<f32>::zeros(os, Layout::Nhwc);
+    let profile = profiles::maxpool_f32(os.pixels(), s.c, geom.size);
+    q.launch(profile, || compute_maxpool_f32(input, geom, &mut out));
+    out
+}
+
+/// Functional body of float average pooling (global or windowed).
+pub fn compute_avgpool_f32(input: &Tensor<f32>, geom: &PoolGeometry, out: &mut Tensor<f32>) {
+    let s = input.shape();
+    let os = out.shape();
+    for n in 0..os.n {
+        for oy in 0..os.h {
+            for ox in 0..os.w {
+                for c in 0..os.c {
+                    let mut sum = 0.0;
+                    let mut cnt = 0usize;
+                    for i in 0..geom.size {
+                        for j in 0..geom.size {
+                            let iy = oy * geom.stride + i;
+                            let ix = ox * geom.stride + j;
+                            if iy < s.h && ix < s.w {
+                                sum += input.at(n, iy, ix, c);
+                                cnt += 1;
+                            }
+                        }
+                    }
+                    out.set(n, oy, ox, c, sum / cnt as f32);
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches float average pooling.
+pub fn avgpool_f32(
+    q: &mut CommandQueue,
+    input: &Tensor<f32>,
+    geom: &PoolGeometry,
+) -> Tensor<f32> {
+    let s = input.shape();
+    let (oh, ow) = geom.output_hw(s.h, s.w);
+    let os = Shape4::new(s.n, oh, ow, s.c);
+    let mut out = Tensor::<f32>::zeros(os, Layout::Nhwc);
+    let mut profile = profiles::maxpool_f32(os.pixels(), s.c, geom.size);
+    profile.name = "avgpool_f32".into();
+    q.launch(profile, || compute_avgpool_f32(input, geom, &mut out));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonebit_gpusim::{DeviceProfile, ExecutorClass};
+    use phonebit_tensor::pack::{pack_f32, unpack_f32};
+
+    fn queue() -> CommandQueue {
+        CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl)
+    }
+
+    fn pm1(shape: Shape4, seed: usize) -> Tensor<f32> {
+        Tensor::from_fn(shape, |n, h, w, c| {
+            if (n + h * 3 + w * 7 + c * 11 + seed).is_multiple_of(4) {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+
+    #[test]
+    fn bit_maxpool_equals_float_maxpool_on_binarized() {
+        // The key pooling identity: OR on packed bits == max on +-1 floats.
+        for (h, w, c) in [(4, 4, 5), (6, 8, 33), (5, 5, 64)] {
+            let t = pm1(Shape4::new(1, h, w, c), h + w + c);
+            let geom = PoolGeometry::new(2, 2);
+            let mut q = queue();
+            let bits = maxpool_bits(&mut q, &pack_f32::<u64>(&t), &geom);
+            let floats = maxpool_f32(&mut q, &t, &geom);
+            assert_eq!(unpack_f32(&bits).as_slice(), floats.as_slice(), "h={h} w={w} c={c}");
+            assert!(bits.tail_is_clean());
+        }
+    }
+
+    #[test]
+    fn stride_one_pooling_keeps_size_minus_window() {
+        // YOLOv2-Tiny pool6: 2x2 window, stride 1 over 13x13 -> 12x12.
+        let t = pm1(Shape4::new(1, 13, 13, 8), 0);
+        let geom = PoolGeometry::new(2, 1);
+        let mut q = queue();
+        let out = maxpool_bits(&mut q, &pack_f32::<u8>(&t), &geom);
+        assert_eq!(out.shape().h, 12);
+        assert_eq!(out.shape().w, 12);
+    }
+
+    #[test]
+    fn float_maxpool_values() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 2, 1), |_, h, w, _| (h * 2 + w) as f32);
+        let mut q = queue();
+        let out = maxpool_f32(&mut q, &t, &PoolGeometry::new(2, 2));
+        assert_eq!(out.shape(), Shape4::new(1, 1, 1, 1));
+        assert_eq!(out.at(0, 0, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 2, 1), |_, h, w, _| (h * 2 + w) as f32);
+        let mut q = queue();
+        let out = avgpool_f32(&mut q, &t, &PoolGeometry::new(2, 2));
+        assert_eq!(out.at(0, 0, 0, 0), 1.5);
+    }
+
+    #[test]
+    fn pool_kernels_reach_timeline() {
+        let t = pm1(Shape4::new(1, 4, 4, 16), 1);
+        let mut q = queue();
+        let _ = maxpool_bits(&mut q, &pack_f32::<u16>(&t), &PoolGeometry::new(2, 2));
+        let _ = maxpool_f32(&mut q, &t, &PoolGeometry::new(2, 2));
+        let names: Vec<_> = q.timeline().iter().map(|e| e.stats.name.clone()).collect();
+        assert_eq!(names, vec!["maxpool_bits", "maxpool_f32"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pool_size_panics() {
+        PoolGeometry::new(0, 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Bit-plane decomposition of 8-bit integer inputs (paper §III-B).
+//!
+//! The first convolution layer of a BNN receives images as 8-bit integers,
+//! which conflicts with the binary-input requirement. Following the paper
+//! (and Courbariaux et al.), the input `I` is split into bit-planes
+//! `I_1 .. I_8` (LSB first) and the layer output is the weighted sum of
+//! binary convolutions:
+//!
+//! ```text
+//! s = Σ_{n=1..8} 2^(n−1) · <I_n · W>          (Eqn 2)
+//! ```
+//!
+//! where each `<I_n · W>` is a `{0,1} × {±1}` convolution computed with
+//! masked popcounts ([`crate::bits::dot_u1_pm1`]).
+
+use crate::bits::{BitTensor, BitWord};
+use crate::shape::Shape4;
+use crate::tensor::Tensor;
+
+/// The 8 bit-planes of an unsigned 8-bit image, LSB plane first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPlanes<W: BitWord = u64> {
+    planes: Vec<BitTensor<W>>,
+    shape: Shape4,
+}
+
+impl<W: BitWord> BitPlanes<W> {
+    /// Splits an NHWC `u8` tensor into 8 channel-packed bit-planes.
+    pub fn split(t: &Tensor<u8>) -> Self {
+        let s = t.shape();
+        let mut planes: Vec<BitTensor<W>> = (0..8).map(|_| BitTensor::zeros(s)).collect();
+        for n in 0..s.n {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    for c in 0..s.c {
+                        let v = t.at(n, h, w, c);
+                        for (b, plane) in planes.iter_mut().enumerate() {
+                            if (v >> b) & 1 == 1 {
+                                plane.set_bit(n, h, w, c, true);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self { planes, shape: s }
+    }
+
+    /// The shape shared by every plane.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Plane `n` (0 = least significant bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn plane(&self, n: usize) -> &BitTensor<W> {
+        &self.planes[n]
+    }
+
+    /// Iterates `(weight, plane)` pairs with `weight = 2^n` per Eqn (2).
+    pub fn iter_weighted(&self) -> impl Iterator<Item = (i32, &BitTensor<W>)> {
+        self.planes.iter().enumerate().map(|(n, p)| (1i32 << n, p))
+    }
+
+    /// Reconstructs the original `u8` tensor (inverse of [`BitPlanes::split`]).
+    pub fn reconstruct(&self) -> Tensor<u8> {
+        let s = self.shape;
+        Tensor::from_fn(s, |n, h, w, c| {
+            let mut v = 0u8;
+            for (b, plane) in self.planes.iter().enumerate() {
+                if plane.get_bit(n, h, w, c) {
+                    v |= 1 << b;
+                }
+            }
+            v
+        })
+    }
+
+    /// Total packed bytes across all 8 planes.
+    pub fn byte_len(&self) -> usize {
+        self.planes.iter().map(|p| p.byte_len()).sum()
+    }
+}
+
+/// Combines per-plane binary-convolution results into the integer output of
+/// Eqn (2): `s = Σ 2^n · partial[n]`.
+///
+/// # Panics
+///
+/// Panics if `partials` does not hold exactly 8 values.
+#[inline]
+pub fn combine_planes(partials: &[i32; 8]) -> i32 {
+    partials.iter().enumerate().map(|(n, &p)| (1i32 << n) * p).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::dot_u1_pm1;
+    use crate::bits::PackedFilters;
+    use crate::shape::FilterShape;
+
+    fn image(shape: Shape4) -> Tensor<u8> {
+        Tensor::from_fn(shape, |n, h, w, c| ((n * 131 + h * 37 + w * 11 + c * 3) % 256) as u8)
+    }
+
+    #[test]
+    fn split_reconstruct_round_trip() {
+        let t = image(Shape4::new(1, 5, 5, 3));
+        let planes = BitPlanes::<u8>::split(&t);
+        assert_eq!(planes.reconstruct(), t);
+    }
+
+    #[test]
+    fn plane_zero_is_lsb() {
+        let mut t = Tensor::<u8>::zeros(Shape4::new(1, 1, 1, 1), crate::shape::Layout::Nhwc);
+        t.set(0, 0, 0, 0, 0b0000_0101);
+        let planes = BitPlanes::<u64>::split(&t);
+        assert!(planes.plane(0).get_bit(0, 0, 0, 0));
+        assert!(!planes.plane(1).get_bit(0, 0, 0, 0));
+        assert!(planes.plane(2).get_bit(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn weighted_plane_dot_equals_integer_dot() {
+        // Eqn (2): the weighted sum of per-plane {0,1}x{+-1} dots equals the
+        // direct integer dot product of u8 values with +-1 weights.
+        let t = image(Shape4::new(1, 1, 1, 13));
+        let planes = BitPlanes::<u16>::split(&t);
+        let mut wf = PackedFilters::<u16>::zeros(FilterShape::new(1, 1, 1, 13));
+        let signs: Vec<i32> = (0..13).map(|c| if c % 3 == 0 { 1 } else { -1 }).collect();
+        for (c, &s) in signs.iter().enumerate() {
+            wf.set_bit(0, 0, 0, c, s > 0);
+        }
+        // Direct integer reference.
+        let expect: i32 = (0..13).map(|c| t.at(0, 0, 0, c) as i32 * signs[c]).sum();
+        // Plane-wise Eqn (2).
+        let mut partials = [0i32; 8];
+        for (n, p) in partials.iter_mut().enumerate() {
+            *p = dot_u1_pm1(planes.plane(n).pixel_words(0, 0, 0), wf.tap_words(0, 0, 0), 13);
+        }
+        assert_eq!(combine_planes(&partials), expect);
+    }
+
+    #[test]
+    fn combine_planes_weights_are_powers_of_two() {
+        let mut partials = [0i32; 8];
+        partials[0] = 1;
+        partials[7] = 1;
+        assert_eq!(combine_planes(&partials), 1 + 128);
+        let partials = [1i32; 8];
+        assert_eq!(combine_planes(&partials), 255);
+    }
+
+    #[test]
+    fn iter_weighted_yields_increasing_powers() {
+        let t = image(Shape4::new(1, 1, 1, 2));
+        let planes = BitPlanes::<u8>::split(&t);
+        let ws: Vec<i32> = planes.iter_weighted().map(|(w, _)| w).collect();
+        assert_eq!(ws, vec![1, 2, 4, 8, 16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn byte_len_is_eight_planes() {
+        let t = image(Shape4::new(1, 4, 4, 3));
+        let planes = BitPlanes::<u8>::split(&t);
+        // 3 channels -> 1 byte per pixel per plane; 16 pixels; 8 planes.
+        assert_eq!(planes.byte_len(), 16 * 8);
+    }
+}

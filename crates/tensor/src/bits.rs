@@ -1,0 +1,579 @@
+//! Channel-packed binary tensors.
+//!
+//! PhoneBit packs binarized activations and weights along the **channel**
+//! dimension into machine words (paper §V-A: `uchar`/`ushort`/`uint`/`ulong`,
+//! i.e. 8/16/32/64-bit), then performs convolution directly on the compressed
+//! representation with `xor` + `popcount` (Eqn (1)).
+//!
+//! Bit convention: **bit = 1 encodes +1, bit = 0 encodes −1**. Two equal bits
+//! multiply to +1, two different bits to −1, so for vectors of logical length
+//! `Len`:
+//!
+//! ```text
+//! A · B = Len − 2 · popcount(xor(A, B))          (Eqn 1)
+//! ```
+//!
+//! # Tail invariant
+//!
+//! When the channel count is not a multiple of the word width, the unused
+//! high bits of the final word of each span are kept **zero**. Because the
+//! invariant holds for both operands, those bits cancel in `xor` and never
+//! perturb a popcount. Constructors and setters maintain the invariant;
+//! [`BitTensor::tail_is_clean`] verifies it in tests.
+
+use crate::shape::{FilterShape, Shape4};
+
+/// A machine word usable as a container of packed channel bits.
+///
+/// Implemented for `u8`, `u16`, `u32` and `u64`, mirroring the OpenCL scalar
+/// types `uchar`, `ushort`, `uint` and `ulong` the paper packs into.
+pub trait BitWord:
+    Copy
+    + Default
+    + PartialEq
+    + Eq
+    + std::fmt::Debug
+    + std::fmt::Binary
+    + Send
+    + Sync
+    + 'static
+{
+    /// Number of bits in the word.
+    const BITS: usize;
+    /// Short OpenCL-style name (`uchar`, `ushort`, `uint`, `ulong`).
+    const CL_NAME: &'static str;
+
+    /// The all-zeros word.
+    fn zero() -> Self;
+    /// Bitwise exclusive or.
+    fn xor(self, other: Self) -> Self;
+    /// Bitwise and.
+    fn and(self, other: Self) -> Self;
+    /// Bitwise or.
+    fn or(self, other: Self) -> Self;
+    /// Bitwise complement.
+    fn not(self) -> Self;
+    /// Number of set bits.
+    fn popcount(self) -> u32;
+    /// Tests bit `i` (LSB first).
+    fn bit(self, i: usize) -> bool;
+    /// Returns the word with bit `i` set to `v`.
+    fn with_bit(self, i: usize, v: bool) -> Self;
+    /// Mask with the low `n` bits set (`n <= BITS`).
+    fn low_mask(n: usize) -> Self;
+}
+
+macro_rules! impl_bit_word {
+    ($t:ty, $bits:expr, $name:expr) => {
+        impl BitWord for $t {
+            const BITS: usize = $bits;
+            const CL_NAME: &'static str = $name;
+
+            #[inline]
+            fn zero() -> Self {
+                0
+            }
+            #[inline]
+            fn xor(self, other: Self) -> Self {
+                self ^ other
+            }
+            #[inline]
+            fn and(self, other: Self) -> Self {
+                self & other
+            }
+            #[inline]
+            fn or(self, other: Self) -> Self {
+                self | other
+            }
+            #[inline]
+            fn not(self) -> Self {
+                !self
+            }
+            #[inline]
+            fn popcount(self) -> u32 {
+                self.count_ones()
+            }
+            #[inline]
+            fn bit(self, i: usize) -> bool {
+                debug_assert!(i < $bits);
+                (self >> i) & 1 == 1
+            }
+            #[inline]
+            fn with_bit(self, i: usize, v: bool) -> Self {
+                debug_assert!(i < $bits);
+                if v {
+                    self | (1 << i)
+                } else {
+                    self & !(1 << i)
+                }
+            }
+            #[inline]
+            fn low_mask(n: usize) -> Self {
+                debug_assert!(n <= $bits);
+                if n == $bits {
+                    <$t>::MAX
+                } else {
+                    (1 as $t).wrapping_shl(n as u32).wrapping_sub(1)
+                }
+            }
+        }
+    };
+}
+
+impl_bit_word!(u8, 8, "uchar");
+impl_bit_word!(u16, 16, "ushort");
+impl_bit_word!(u32, 32, "uint");
+impl_bit_word!(u64, 64, "ulong");
+
+/// Packing word width chosen per layer ("PhoneBit selects the optimal bit
+/// packing strategy and computing kernel according to channel dimensions",
+/// paper §V-A.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackWidth {
+    /// 8-bit words (`uchar`).
+    W8,
+    /// 16-bit words (`ushort`).
+    W16,
+    /// 32-bit words (`uint`).
+    W32,
+    /// 64-bit words (`ulong`).
+    W64,
+}
+
+impl PackWidth {
+    /// All widths, narrowest first.
+    pub const ALL: [PackWidth; 4] = [PackWidth::W8, PackWidth::W16, PackWidth::W32, PackWidth::W64];
+
+    /// Bits per word.
+    pub fn bits(self) -> usize {
+        match self {
+            PackWidth::W8 => 8,
+            PackWidth::W16 => 16,
+            PackWidth::W32 => 32,
+            PackWidth::W64 => 64,
+        }
+    }
+
+    /// OpenCL scalar type name.
+    pub fn cl_name(self) -> &'static str {
+        match self {
+            PackWidth::W8 => "uchar",
+            PackWidth::W16 => "ushort",
+            PackWidth::W32 => "uint",
+            PackWidth::W64 => "ulong",
+        }
+    }
+
+    /// Selects the widest word that does not waste more than half of its
+    /// bits on the given channel count — the strategy the paper describes
+    /// for matching the packing kernel to the channel dimension.
+    ///
+    /// Channel counts of 64 and above always use `ulong` words.
+    pub fn select(channels: usize) -> Self {
+        if channels >= 64 || channels > 32 {
+            PackWidth::W64
+        } else if channels > 16 {
+            PackWidth::W32
+        } else if channels > 8 {
+            PackWidth::W16
+        } else {
+            PackWidth::W8
+        }
+    }
+
+    /// Words required to hold `channels` bits.
+    pub fn words_for(self, channels: usize) -> usize {
+        channels.div_ceil(self.bits())
+    }
+}
+
+/// A rank-4 binary tensor with channel bits packed into words of type `W`.
+///
+/// Physical order is NHWC with each pixel's channel bits occupying
+/// `words_per_pixel()` consecutive words, so the innermost packed dimension
+/// is contiguous — the "locality-friendly data layout" of §V-A.1.
+///
+/// # Examples
+///
+/// ```
+/// use phonebit_tensor::{bits::BitTensor, shape::Shape4};
+/// let mut t = BitTensor::<u64>::zeros(Shape4::new(1, 1, 1, 70));
+/// t.set_bit(0, 0, 0, 69, true);
+/// assert!(t.get_bit(0, 0, 0, 69));
+/// assert_eq!(t.words_per_pixel(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitTensor<W: BitWord = u64> {
+    shape: Shape4,
+    words_per_pixel: usize,
+    data: Vec<W>,
+}
+
+impl<W: BitWord> BitTensor<W> {
+    /// Creates an all-zeros (all −1 semantics) packed tensor.
+    pub fn zeros(shape: Shape4) -> Self {
+        let words_per_pixel = shape.c.div_ceil(W::BITS);
+        let data = vec![W::zero(); shape.pixels() * words_per_pixel];
+        Self { shape, words_per_pixel, data }
+    }
+
+    /// Logical shape (the channel extent counts bits, not words).
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Packed words covering one pixel's channels.
+    pub fn words_per_pixel(&self) -> usize {
+        self.words_per_pixel
+    }
+
+    /// Total packed words.
+    pub fn word_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes occupied by the packed payload.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * std::mem::size_of::<W>()
+    }
+
+    /// Raw packed words.
+    pub fn as_words(&self) -> &[W] {
+        &self.data
+    }
+
+    /// Mutable raw packed words.
+    ///
+    /// Callers must preserve the tail invariant (unused high bits zero);
+    /// [`BitTensor::tail_is_clean`] can be used to verify.
+    pub fn as_mut_words(&mut self) -> &mut [W] {
+        &mut self.data
+    }
+
+    /// Index of the first word of pixel `(n, h, w)`.
+    #[inline]
+    pub fn pixel_offset(&self, n: usize, h: usize, w: usize) -> usize {
+        let s = self.shape;
+        debug_assert!(n < s.n && h < s.h && w < s.w);
+        ((n * s.h + h) * s.w + w) * self.words_per_pixel
+    }
+
+    /// The packed word span of pixel `(n, h, w)`.
+    #[inline]
+    pub fn pixel_words(&self, n: usize, h: usize, w: usize) -> &[W] {
+        let off = self.pixel_offset(n, h, w);
+        &self.data[off..off + self.words_per_pixel]
+    }
+
+    /// Mutable packed word span of pixel `(n, h, w)`.
+    #[inline]
+    pub fn pixel_words_mut(&mut self, n: usize, h: usize, w: usize) -> &mut [W] {
+        let off = self.pixel_offset(n, h, w);
+        let wpp = self.words_per_pixel;
+        &mut self.data[off..off + wpp]
+    }
+
+    /// Reads the channel bit at `(n, h, w, c)`.
+    #[inline]
+    pub fn get_bit(&self, n: usize, h: usize, w: usize, c: usize) -> bool {
+        debug_assert!(c < self.shape.c);
+        let off = self.pixel_offset(n, h, w);
+        self.data[off + c / W::BITS].bit(c % W::BITS)
+    }
+
+    /// Writes the channel bit at `(n, h, w, c)`.
+    #[inline]
+    pub fn set_bit(&mut self, n: usize, h: usize, w: usize, c: usize, v: bool) {
+        debug_assert!(c < self.shape.c);
+        let off = self.pixel_offset(n, h, w);
+        let i = off + c / W::BITS;
+        self.data[i] = self.data[i].with_bit(c % W::BITS, v);
+    }
+
+    /// Verifies the tail invariant: all bits beyond the channel count are 0.
+    pub fn tail_is_clean(&self) -> bool {
+        let rem = self.shape.c % W::BITS;
+        if rem == 0 || self.words_per_pixel == 0 {
+            return true;
+        }
+        let mask = W::low_mask(rem).not();
+        (0..self.shape.pixels()).all(|p| {
+            let last = self.data[p * self.words_per_pixel + self.words_per_pixel - 1];
+            last.and(mask) == W::zero()
+        })
+    }
+
+    /// Counts set bits (+1 channels) in the whole tensor.
+    pub fn count_ones(&self) -> usize {
+        self.data.iter().map(|w| w.popcount() as usize).sum()
+    }
+}
+
+/// Binary dot product of two packed spans under the ±1 convention (Eqn (1)).
+///
+/// `len` is the logical bit count; both spans must obey the tail invariant.
+///
+/// # Panics
+///
+/// Panics in debug builds if the spans have different word counts or cannot
+/// hold `len` bits.
+#[inline]
+pub fn dot_pm1<W: BitWord>(a: &[W], b: &[W], len: usize) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len() * W::BITS >= len);
+    let mut disagree = 0u32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        disagree += x.xor(y).popcount();
+    }
+    len as i32 - 2 * disagree as i32
+}
+
+/// Dot product of a `{0,1}`-valued span (a bit-plane, §III-B) with a
+/// ±1-valued span (binary weights).
+///
+/// Each plane bit of value 1 contributes the weight's ±1; plane bits of 0
+/// contribute nothing:
+///
+/// ```text
+/// a · w = 2 · popcount(a & w) − popcount(a)
+/// ```
+///
+/// Tail bits of `a` must be zero (the tail of `w` is then irrelevant).
+#[inline]
+pub fn dot_u1_pm1<W: BitWord>(a: &[W], w: &[W], _len: usize) -> i32 {
+    debug_assert_eq!(a.len(), w.len());
+    let mut pos = 0u32;
+    let mut total = 0u32;
+    for (&x, &y) in a.iter().zip(w.iter()) {
+        pos += x.and(y).popcount();
+        total += x.popcount();
+    }
+    2 * pos as i32 - total as i32
+}
+
+/// Binary filter bank packed along the channel dimension.
+///
+/// Each filter tap `(k, i, j)` owns a span of `words_per_tap()` words, so
+/// a convolution window walks filter taps and activation pixels in lockstep,
+/// one packed span at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedFilters<W: BitWord = u64> {
+    shape: FilterShape,
+    words_per_tap: usize,
+    data: Vec<W>,
+}
+
+impl<W: BitWord> PackedFilters<W> {
+    /// Creates an all-zeros (all −1) packed filter bank.
+    pub fn zeros(shape: FilterShape) -> Self {
+        let words_per_tap = shape.c.div_ceil(W::BITS);
+        let data = vec![W::zero(); shape.k * shape.kh * shape.kw * words_per_tap];
+        Self { shape, words_per_tap, data }
+    }
+
+    /// The logical filter-bank shape.
+    pub fn shape(&self) -> FilterShape {
+        self.shape
+    }
+
+    /// Packed words covering one tap's channels.
+    pub fn words_per_tap(&self) -> usize {
+        self.words_per_tap
+    }
+
+    /// Bytes occupied by the packed payload.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * std::mem::size_of::<W>()
+    }
+
+    /// Index of the first word of tap `(k, i, j)`.
+    #[inline]
+    pub fn tap_offset(&self, k: usize, i: usize, j: usize) -> usize {
+        let s = self.shape;
+        debug_assert!(k < s.k && i < s.kh && j < s.kw);
+        ((k * s.kh + i) * s.kw + j) * self.words_per_tap
+    }
+
+    /// The packed word span of tap `(k, i, j)`.
+    #[inline]
+    pub fn tap_words(&self, k: usize, i: usize, j: usize) -> &[W] {
+        let off = self.tap_offset(k, i, j);
+        &self.data[off..off + self.words_per_tap]
+    }
+
+    /// Reads the weight bit at `(k, i, j, c)`.
+    #[inline]
+    pub fn get_bit(&self, k: usize, i: usize, j: usize, c: usize) -> bool {
+        debug_assert!(c < self.shape.c);
+        let off = self.tap_offset(k, i, j);
+        self.data[off + c / W::BITS].bit(c % W::BITS)
+    }
+
+    /// Writes the weight bit at `(k, i, j, c)`.
+    #[inline]
+    pub fn set_bit(&mut self, k: usize, i: usize, j: usize, c: usize, v: bool) {
+        debug_assert!(c < self.shape.c);
+        let off = self.tap_offset(k, i, j);
+        let idx = off + c / W::BITS;
+        self.data[idx] = self.data[idx].with_bit(c % W::BITS, v);
+    }
+
+    /// Raw packed words.
+    pub fn as_words(&self) -> &[W] {
+        &self.data
+    }
+
+    /// Verifies the tail invariant on every tap span.
+    pub fn tail_is_clean(&self) -> bool {
+        let rem = self.shape.c % W::BITS;
+        if rem == 0 || self.words_per_tap == 0 {
+            return true;
+        }
+        let taps = self.shape.k * self.shape.kh * self.shape.kw;
+        let mask = W::low_mask(rem).not();
+        (0..taps).all(|t| {
+            let last = self.data[t * self.words_per_tap + self.words_per_tap - 1];
+            last.and(mask) == W::zero()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_word_basics() {
+        assert_eq!(u8::BITS as usize, <u8 as BitWord>::BITS);
+        assert_eq!(<u64 as BitWord>::CL_NAME, "ulong");
+        assert_eq!(0b1010u8.xor(0b0110), 0b1100);
+        assert_eq!(0b1010u8.and(0b0110), 0b0010);
+        assert_eq!(0b1010u8.or(0b0110), 0b1110);
+        assert_eq!(0xF0u8.not(), 0x0F);
+        assert_eq!(0xFFu8.popcount(), 8);
+        assert!(0b100u8.bit(2));
+        assert!(!0b100u8.bit(1));
+        assert_eq!(0u8.with_bit(3, true), 8);
+        assert_eq!(8u8.with_bit(3, false), 0);
+        assert_eq!(u8::low_mask(3), 0b111);
+        assert_eq!(u8::low_mask(8), 0xFF);
+        assert_eq!(u64::low_mask(64), u64::MAX);
+        assert_eq!(u64::low_mask(0), 0);
+    }
+
+    #[test]
+    fn pack_width_select_matches_channel_dim() {
+        assert_eq!(PackWidth::select(3), PackWidth::W8);
+        assert_eq!(PackWidth::select(8), PackWidth::W8);
+        assert_eq!(PackWidth::select(16), PackWidth::W16);
+        assert_eq!(PackWidth::select(24), PackWidth::W32);
+        assert_eq!(PackWidth::select(32), PackWidth::W32);
+        assert_eq!(PackWidth::select(64), PackWidth::W64);
+        assert_eq!(PackWidth::select(1024), PackWidth::W64);
+    }
+
+    #[test]
+    fn pack_width_words_for() {
+        assert_eq!(PackWidth::W8.words_for(8), 1);
+        assert_eq!(PackWidth::W8.words_for(9), 2);
+        assert_eq!(PackWidth::W64.words_for(128), 2);
+        assert_eq!(PackWidth::W64.words_for(1), 1);
+    }
+
+    #[test]
+    fn bit_tensor_set_get_round_trip() {
+        let mut t = BitTensor::<u8>::zeros(Shape4::new(1, 2, 2, 10));
+        assert_eq!(t.words_per_pixel(), 2);
+        t.set_bit(0, 1, 1, 9, true);
+        t.set_bit(0, 1, 1, 0, true);
+        assert!(t.get_bit(0, 1, 1, 9));
+        assert!(t.get_bit(0, 1, 1, 0));
+        assert!(!t.get_bit(0, 1, 1, 5));
+        t.set_bit(0, 1, 1, 9, false);
+        assert!(!t.get_bit(0, 1, 1, 9));
+        assert!(t.tail_is_clean());
+    }
+
+    #[test]
+    fn tail_invariant_detects_dirt() {
+        let mut t = BitTensor::<u8>::zeros(Shape4::new(1, 1, 1, 5));
+        assert!(t.tail_is_clean());
+        // Manually smudge a tail bit beyond channel 5.
+        t.as_mut_words()[0] = 0b1000_0000;
+        assert!(!t.tail_is_clean());
+    }
+
+    #[test]
+    fn dot_pm1_matches_float_reference() {
+        // 10 channels: a = +-+-+-+-+-, b = ++++++++++
+        let mut a = BitTensor::<u16>::zeros(Shape4::new(1, 1, 1, 10));
+        let mut b = BitTensor::<u16>::zeros(Shape4::new(1, 1, 1, 10));
+        let mut expect = 0i32;
+        for c in 0..10 {
+            let av = c % 2 == 0;
+            let bv = true;
+            a.set_bit(0, 0, 0, c, av);
+            b.set_bit(0, 0, 0, c, bv);
+            let af = if av { 1 } else { -1 };
+            let bf = if bv { 1 } else { -1 };
+            expect += af * bf;
+        }
+        assert_eq!(dot_pm1(a.pixel_words(0, 0, 0), b.pixel_words(0, 0, 0), 10), expect);
+        assert_eq!(expect, 0);
+    }
+
+    #[test]
+    fn dot_pm1_extremes() {
+        let a = BitTensor::<u64>::zeros(Shape4::new(1, 1, 1, 70));
+        let b = BitTensor::<u64>::zeros(Shape4::new(1, 1, 1, 70));
+        // all -1 . all -1 = +70
+        assert_eq!(dot_pm1(a.pixel_words(0, 0, 0), b.pixel_words(0, 0, 0), 70), 70);
+        let mut b2 = b.clone();
+        for c in 0..70 {
+            b2.set_bit(0, 0, 0, c, true);
+        }
+        // all -1 . all +1 = -70
+        assert_eq!(dot_pm1(a.pixel_words(0, 0, 0), b2.pixel_words(0, 0, 0), 70), -70);
+    }
+
+    #[test]
+    fn dot_u1_pm1_masks_zero_plane_bits() {
+        // plane a = 1,0,1 ; weights w = +1,-1,-1  =>  a.w = 1*1 + 0 + 1*(-1) = 0
+        let mut a = BitTensor::<u8>::zeros(Shape4::new(1, 1, 1, 3));
+        a.set_bit(0, 0, 0, 0, true);
+        a.set_bit(0, 0, 0, 2, true);
+        let mut w = PackedFilters::<u8>::zeros(FilterShape::new(1, 1, 1, 3));
+        w.set_bit(0, 0, 0, 0, true);
+        assert_eq!(dot_u1_pm1(a.pixel_words(0, 0, 0), w.tap_words(0, 0, 0), 3), 0);
+    }
+
+    #[test]
+    fn packed_filters_round_trip() {
+        let mut f = PackedFilters::<u32>::zeros(FilterShape::new(2, 3, 3, 40));
+        assert_eq!(f.words_per_tap(), 2);
+        f.set_bit(1, 2, 2, 39, true);
+        assert!(f.get_bit(1, 2, 2, 39));
+        assert!(!f.get_bit(1, 2, 2, 38));
+        assert!(f.tail_is_clean());
+        assert_eq!(f.byte_len(), 2 * 3 * 3 * 2 * 4);
+    }
+
+    #[test]
+    fn pixel_words_are_contiguous_nhwc() {
+        // NHWC contiguity: consecutive w pixels are adjacent word spans.
+        let t = BitTensor::<u8>::zeros(Shape4::new(1, 2, 3, 9));
+        assert_eq!(t.pixel_offset(0, 0, 0), 0);
+        assert_eq!(t.pixel_offset(0, 0, 1), 2);
+        assert_eq!(t.pixel_offset(0, 0, 2), 4);
+        assert_eq!(t.pixel_offset(0, 1, 0), 6);
+        assert_eq!(t.word_len(), 12);
+    }
+
+    #[test]
+    fn count_ones_counts_whole_tensor() {
+        let mut t = BitTensor::<u64>::zeros(Shape4::new(1, 2, 2, 3));
+        t.set_bit(0, 0, 0, 0, true);
+        t.set_bit(0, 1, 1, 2, true);
+        assert_eq!(t.count_ones(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Binarization and channel packing between float tensors and packed form.
+//!
+//! The sign convention follows Eqn (7) of the paper: a value binarizes to
+//! bit 1 (+1) when it is `>= 0` and to bit 0 (−1) otherwise. Packing walks
+//! NHWC order so the channel bits of one pixel land in consecutive words.
+
+use crate::bits::{BitTensor, BitWord, PackedFilters};
+use crate::shape::Layout;
+use crate::tensor::{Filters, Tensor};
+
+/// Binarizes a float tensor with threshold 0 and packs channel bits.
+///
+/// Input may be in either layout; packing is always performed in NHWC
+/// channel-innermost order (the engine converts layouts up front so this is
+/// a straight sweep in the hot path).
+pub fn pack_f32<W: BitWord>(t: &Tensor<f32>) -> BitTensor<W> {
+    let s = t.shape();
+    let mut out = BitTensor::<W>::zeros(s);
+    if t.layout() == Layout::Nhwc {
+        // Fast path: walk words directly over the contiguous channel runs.
+        let src = t.as_slice();
+        let wpp = out.words_per_pixel();
+        let c = s.c;
+        let words = out.as_mut_words();
+        for p in 0..s.pixels() {
+            let base = p * c;
+            for wi in 0..wpp {
+                let lo = wi * W::BITS;
+                let hi = (lo + W::BITS).min(c);
+                let mut word = W::zero();
+                for (bit, &v) in src[base + lo..base + hi].iter().enumerate() {
+                    if v >= 0.0 {
+                        word = word.with_bit(bit, true);
+                    }
+                }
+                words[p * wpp + wi] = word;
+            }
+        }
+    } else {
+        for n in 0..s.n {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    for c in 0..s.c {
+                        out.set_bit(n, h, w, c, t.at(n, h, w, c) >= 0.0);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Unpacks a bit tensor back to ±1.0 floats in NHWC.
+pub fn unpack_f32<W: BitWord>(t: &BitTensor<W>) -> Tensor<f32> {
+    let s = t.shape();
+    Tensor::from_fn(s, |n, h, w, c| if t.get_bit(n, h, w, c) { 1.0 } else { -1.0 })
+}
+
+/// Binarizes float filters with threshold 0 and packs channel bits per tap.
+pub fn pack_filters<W: BitWord>(f: &Filters) -> PackedFilters<W> {
+    let s = f.shape();
+    let mut out = PackedFilters::<W>::zeros(s);
+    for k in 0..s.k {
+        for i in 0..s.kh {
+            for j in 0..s.kw {
+                for c in 0..s.c {
+                    out.set_bit(k, i, j, c, f.at(k, i, j, c) >= 0.0);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Unpacks packed filters back to ±1.0 float filters.
+pub fn unpack_filters<W: BitWord>(f: &PackedFilters<W>) -> Filters {
+    let s = f.shape();
+    Filters::from_fn(s, |k, i, j, c| if f.get_bit(k, i, j, c) { 1.0 } else { -1.0 })
+}
+
+/// Packs a boolean channel-major slice (one pixel) into words.
+///
+/// Helper for kernels that binarize-and-pack in private memory before a
+/// single store (paper Fig 4: "one thread computes 8 filters, binarizes 8
+/// results and packs into one byte").
+#[inline]
+pub fn pack_bools<W: BitWord>(bits: &[bool], out: &mut [W]) {
+    debug_assert!(out.len() * W::BITS >= bits.len());
+    for w in out.iter_mut() {
+        *w = W::zero();
+    }
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            let w = i / W::BITS;
+            out[w] = out[w].with_bit(i % W::BITS, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{FilterShape, Shape4};
+
+    fn ramp_tensor(shape: Shape4) -> Tensor<f32> {
+        // Values alternate sign pseudo-deterministically.
+        Tensor::from_fn(shape, |n, h, w, c| {
+            let i = ((n * 31 + h * 17 + w * 7 + c * 3) % 11) as f32 - 5.0;
+            i + 0.25
+        })
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_u64() {
+        let t = ramp_tensor(Shape4::new(2, 3, 3, 70));
+        let packed = pack_f32::<u64>(&t);
+        assert!(packed.tail_is_clean());
+        let back = unpack_f32(&packed);
+        for ((n, h, w, c), v) in t.iter_indexed() {
+            let expect = if v >= 0.0 { 1.0 } else { -1.0 };
+            assert_eq!(back.at(n, h, w, c), expect, "at ({n},{h},{w},{c})");
+        }
+    }
+
+    #[test]
+    fn pack_from_nchw_matches_nhwc() {
+        let t = ramp_tensor(Shape4::new(1, 4, 4, 19));
+        let nchw = t.to_layout(Layout::Nchw);
+        let a = pack_f32::<u16>(&t);
+        let b = pack_f32::<u16>(&nchw);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pack_all_widths_agree() {
+        let t = ramp_tensor(Shape4::new(1, 2, 2, 37));
+        let p8 = pack_f32::<u8>(&t);
+        let p64 = pack_f32::<u64>(&t);
+        for ((n, h, w, c), _) in t.iter_indexed() {
+            assert_eq!(p8.get_bit(n, h, w, c), p64.get_bit(n, h, w, c));
+        }
+    }
+
+    #[test]
+    fn zero_binarizes_to_plus_one() {
+        let t = Tensor::from_vec(Shape4::new(1, 1, 1, 2), Layout::Nhwc, vec![0.0, -1e-30]);
+        let p = pack_f32::<u8>(&t);
+        assert!(p.get_bit(0, 0, 0, 0));
+        assert!(!p.get_bit(0, 0, 0, 1));
+    }
+
+    #[test]
+    fn filter_pack_round_trip() {
+        let shape = FilterShape::new(3, 3, 3, 21);
+        let f = Filters::from_fn(shape, |k, i, j, c| ((k + i + j + c) % 3) as f32 - 1.0);
+        let packed = pack_filters::<u32>(&f);
+        assert!(packed.tail_is_clean());
+        let back = unpack_filters(&packed);
+        for k in 0..shape.k {
+            for i in 0..shape.kh {
+                for j in 0..shape.kw {
+                    for c in 0..shape.c {
+                        let expect = if f.at(k, i, j, c) >= 0.0 { 1.0 } else { -1.0 };
+                        assert_eq!(back.at(k, i, j, c), expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_bools_sets_expected_words() {
+        let bits = [true, false, false, true, true, false, false, false, true];
+        let mut out = [0u8; 2];
+        pack_bools(&bits, &mut out);
+        assert_eq!(out[0], 0b0001_1001);
+        assert_eq!(out[1], 0b0000_0001);
+    }
+
+    #[test]
+    fn packed_size_is_32x_smaller_than_f32() {
+        let t = ramp_tensor(Shape4::new(1, 8, 8, 256));
+        let packed = pack_f32::<u64>(&t);
+        assert_eq!(t.byte_len(), packed.byte_len() * 32);
+    }
+}

@@ -1,0 +1,164 @@
+//! Synthetic classification datasets for the accuracy-gap experiment.
+//!
+//! CIFAR-10/VOC-scale training is out of reach here, so Table II's accuracy
+//! column is reproduced *in shape* on a seeded synthetic task: Gaussian
+//! class clusters with partial overlap, hard enough that binarization costs
+//! a few points of accuracy — the paper's qualitative result.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled dataset of flat feature vectors.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature vectors, one per sample.
+    pub x: Vec<Vec<f32>>,
+    /// Class labels in `0..classes`.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.first().map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Splits into (train, test) with the given train fraction.
+    pub fn split(self, train_fraction: f32) -> (Dataset, Dataset) {
+        let n_train = (self.len() as f32 * train_fraction) as usize;
+        let classes = self.classes;
+        let (xa, xb): (Vec<_>, Vec<_>) = {
+            let mut xa = self.x;
+            let xb = xa.split_off(n_train);
+            (xa, xb)
+        };
+        let (ya, yb) = {
+            let mut ya = self.y;
+            let yb = ya.split_off(n_train);
+            (ya, yb)
+        };
+        (Dataset { x: xa, y: ya, classes }, Dataset { x: xb, y: yb, classes })
+    }
+}
+
+/// Approximate standard normal sample.
+fn gauss(rng: &mut StdRng) -> f32 {
+    let sum: f32 = (0..6).map(|_| rng.gen::<f32>()).sum();
+    (sum - 3.0) * 1.41
+}
+
+/// Generates a clustered classification problem: `classes` Gaussian blobs
+/// in `dim` dimensions with prototype separation `sep` and unit noise,
+/// shuffled, `n` samples total.
+pub fn cluster_dataset(n: usize, dim: usize, classes: usize, sep: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prototypes: Vec<Vec<f32>> =
+        (0..classes).map(|_| (0..dim).map(|_| gauss(&mut rng) * sep).collect()).collect();
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        let proto = &prototypes[class];
+        x.push(proto.iter().map(|&p| p + gauss(&mut rng)).collect());
+        y.push(class);
+    }
+    // Deterministic Fisher-Yates shuffle so classes interleave in splits.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        x.swap(i, j);
+        y.swap(i, j);
+    }
+    Dataset { x, y, classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = cluster_dataset(100, 8, 4, 2.0, 7);
+        let b = cluster_dataset(100, 8, 4, 2.0, 7);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+        let c = cluster_dataset(100, 8, 4, 2.0, 8);
+        assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn balanced_classes() {
+        let d = cluster_dataset(400, 8, 4, 2.0, 1);
+        for class in 0..4 {
+            let count = d.y.iter().filter(|&&y| y == class).count();
+            assert_eq!(count, 100);
+        }
+        assert_eq!(d.dim(), 8);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = cluster_dataset(100, 4, 2, 2.0, 3);
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        // Both splits see both classes (shuffled).
+        assert!(test.y.contains(&0));
+        assert!(test.y.contains(&1));
+    }
+
+    #[test]
+    fn separation_controls_difficulty() {
+        // Wide separation: nearest-prototype classification is near-perfect;
+        // tiny separation: near chance. Verify with a 1-NN-to-centroid probe.
+        let acc = |sep: f32| {
+            let d = cluster_dataset(600, 16, 3, sep, 5);
+            let (train, test) = d.split(0.5);
+            // Centroids from train.
+            let dim = train.dim();
+            let mut centroids = vec![vec![0.0f32; dim]; 3];
+            let mut counts = [0usize; 3];
+            for (x, &y) in train.x.iter().zip(&train.y) {
+                counts[y] += 1;
+                for (c, v) in centroids[y].iter_mut().zip(x) {
+                    *c += v;
+                }
+            }
+            for (c, n) in centroids.iter_mut().zip(counts) {
+                for v in c.iter_mut() {
+                    *v /= n as f32;
+                }
+            }
+            let mut hit = 0;
+            for (x, &y) in test.x.iter().zip(&test.y) {
+                let best = (0..3)
+                    .min_by(|&a, &b| {
+                        let da: f32 =
+                            x.iter().zip(&centroids[a]).map(|(u, v)| (u - v) * (u - v)).sum();
+                        let db: f32 =
+                            x.iter().zip(&centroids[b]).map(|(u, v)| (u - v) * (u - v)).sum();
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                if best == y {
+                    hit += 1;
+                }
+            }
+            hit as f32 / test.len() as f32
+        };
+        assert!(acc(3.0) > 0.9);
+        assert!(acc(0.05) < 0.6);
+    }
+}

@@ -1,0 +1,214 @@
+//! A minimal row-major matrix for the training substrate.
+//!
+//! Training needs only a handful of operations (matmul, transpose-matmul,
+//! row/column reductions); this type keeps them explicit and testable
+//! without pulling in a linear-algebra dependency.
+
+/// A dense row-major `rows x cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw data, row-major.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data, row-major.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self @ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dims {} vs {}", self.cols, other.rows);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row =
+                    &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other`.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul row dims");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.at(r, i);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    *out.at_mut(i, j) += a * other.at(r, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T`.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t col dims");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            for j in 0..other.rows {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.at(r, k) * other.at(j, k);
+                }
+                *out.at_mut(r, j) = acc;
+            }
+        }
+        out
+    }
+
+    /// Elementwise map, consuming self.
+    pub fn map(mut self, f: impl Fn(f32) -> f32) -> Matrix {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+        self
+    }
+
+    /// Column means (over rows).
+    pub fn col_mean(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= self.rows as f32;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let i = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + 2 * c) as f32 + 0.5);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 - 3.0);
+        // a^T (2x3) @ b (3x4).
+        let at = Matrix::from_fn(2, 3, |r, c| a.at(c, r));
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+        // a (3x2) @ c^T where c is (5x2).
+        let c = Matrix::from_fn(5, 2, |r, q| (r * 2 + q) as f32 * 0.25);
+        let ct = Matrix::from_fn(2, 5, |r, q| c.at(q, r));
+        assert_eq!(a.matmul_t(&c), a.matmul(&ct));
+    }
+
+    #[test]
+    fn col_mean() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 10.0, 3.0, 30.0]);
+        assert_eq!(a.col_mean(), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let a = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]).map(|v| v * 2.0);
+        assert_eq!(a.as_slice(), &[-2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        let _ = a.matmul(&b);
+    }
+}

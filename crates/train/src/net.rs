@@ -1,0 +1,464 @@
+//! Hand-rolled differentiable layers: dense (float or binary with
+//! straight-through estimator), batch norm, sign/ReLU activations, and
+//! softmax cross-entropy.
+//!
+//! Binary training follows Courbariaux et al. (the paper's reference \[3\]):
+//! latent float weights are binarized by sign on the forward pass; the
+//! backward pass passes gradients straight through wherever the latent
+//! weight (or pre-activation) lies in `[-1, 1]`, and latent weights are
+//! clipped to that box after each update.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Sign with the +1-at-zero convention used across the engine.
+#[inline]
+fn sign(v: f32) -> f32 {
+    if v >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// A dense layer `y = x W^T`, optionally binarized.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Latent weights, `out x in`.
+    pub w: Matrix,
+    /// Accumulated gradient, same shape.
+    pub grad_w: Matrix,
+    momentum: Matrix,
+    binary: bool,
+    cache_x: Option<Matrix>,
+}
+
+impl Dense {
+    /// Random-initialized layer (scaled uniform).
+    pub fn new(in_features: usize, out_features: usize, binary: bool, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (6.0 / (in_features + out_features) as f32).sqrt();
+        let w = Matrix::from_fn(out_features, in_features, |_, _| {
+            (rng.gen::<f32>() * 2.0 - 1.0) * scale
+        });
+        Self {
+            grad_w: Matrix::zeros(out_features, in_features),
+            momentum: Matrix::zeros(out_features, in_features),
+            w,
+            binary,
+            cache_x: None,
+        }
+    }
+
+    /// The weights used on the forward pass (sign of latent if binary).
+    pub fn effective_weights(&self) -> Matrix {
+        if self.binary {
+            self.w.clone().map(sign)
+        } else {
+            self.w.clone()
+        }
+    }
+
+    /// Forward: `x` is `batch x in`, returns `batch x out`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let wb = self.effective_weights();
+        self.cache_x = Some(x.clone());
+        x.matmul_t(&wb)
+    }
+
+    /// Backward: consumes upstream `batch x out` gradient, accumulates
+    /// weight gradients, returns `batch x in` gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_y: &Matrix) -> Matrix {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        // grad_wb = grad_y^T @ x, shape out x in.
+        let mut grad_w = grad_y.t_matmul(x);
+        if self.binary {
+            // STE: gradient flows only where the latent weight is in [-1,1].
+            for (g, &w) in grad_w.as_mut_slice().iter_mut().zip(self.w.as_slice()) {
+                if w.abs() > 1.0 {
+                    *g = 0.0;
+                }
+            }
+        }
+        self.grad_w = grad_w;
+        let wb = self.effective_weights();
+        grad_y.matmul(&wb)
+    }
+
+    /// SGD-with-momentum update; binary layers clip latent weights to
+    /// `[-1, 1]` afterwards.
+    pub fn update(&mut self, lr: f32, momentum: f32) {
+        for i in 0..self.w.as_slice().len() {
+            let g = self.grad_w.as_slice()[i];
+            let m = momentum * self.momentum.as_slice()[i] + g;
+            self.momentum.as_mut_slice()[i] = m;
+            let w = &mut self.w.as_mut_slice()[i];
+            *w -= lr * m;
+            if self.binary {
+                *w = w.clamp(-1.0, 1.0);
+            }
+        }
+    }
+}
+
+/// 1-D batch normalization over features with running statistics.
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    /// Scale per feature.
+    pub gamma: Vec<f32>,
+    /// Shift per feature.
+    pub beta: Vec<f32>,
+    /// Running mean (inference).
+    pub running_mean: Vec<f32>,
+    /// Running variance (inference).
+    pub running_var: Vec<f32>,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    eps: f32,
+    momentum: f32,
+    cache: Option<(Matrix, Vec<f32>, Vec<f32>)>, // xhat, mean, inv_std
+}
+
+impl BatchNorm1d {
+    /// Identity-initialized batch norm over `features`.
+    pub fn new(features: usize) -> Self {
+        Self {
+            gamma: vec![1.0; features],
+            beta: vec![0.0; features],
+            running_mean: vec![0.0; features],
+            running_var: vec![1.0; features],
+            grad_gamma: vec![0.0; features],
+            grad_beta: vec![0.0; features],
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Forward in training mode (batch statistics, running stats updated).
+    pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
+        let n = x.rows() as f32;
+        let mean = x.col_mean();
+        let mut var = vec![0.0f32; x.cols()];
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let d = x.at(r, c) - mean[c];
+                var[c] += d * d;
+            }
+        }
+        for v in &mut var {
+            *v /= n;
+        }
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = Matrix::zeros(x.rows(), x.cols());
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let h = (x.at(r, c) - mean[c]) * inv_std[c];
+                *xhat.at_mut(r, c) = h;
+                *out.at_mut(r, c) = self.gamma[c] * h + self.beta[c];
+            }
+        }
+        for c in 0..x.cols() {
+            self.running_mean[c] =
+                (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+            self.running_var[c] =
+                (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+        }
+        self.cache = Some((xhat, mean, inv_std));
+        out
+    }
+
+    /// Forward in inference mode (running statistics).
+    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let inv = 1.0 / (self.running_var[c] + self.eps).sqrt();
+                *out.at_mut(r, c) =
+                    self.gamma[c] * (x.at(r, c) - self.running_mean[c]) * inv + self.beta[c];
+            }
+        }
+        out
+    }
+
+    /// Backward pass; returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward_train`.
+    pub fn backward(&mut self, grad_y: &Matrix) -> Matrix {
+        let (xhat, _mean, inv_std) = self.cache.as_ref().expect("backward before forward");
+        let n = grad_y.rows() as f32;
+        let cols = grad_y.cols();
+        let mut sum_dy = vec![0.0f32; cols];
+        let mut sum_dy_xhat = vec![0.0f32; cols];
+        for r in 0..grad_y.rows() {
+            for c in 0..cols {
+                sum_dy[c] += grad_y.at(r, c);
+                sum_dy_xhat[c] += grad_y.at(r, c) * xhat.at(r, c);
+            }
+        }
+        self.grad_gamma = sum_dy_xhat.clone();
+        self.grad_beta = sum_dy.clone();
+        let mut dx = Matrix::zeros(grad_y.rows(), cols);
+        for r in 0..grad_y.rows() {
+            for c in 0..cols {
+                let dxhat = grad_y.at(r, c) * self.gamma[c];
+                let term = n * dxhat - sum_dy[c] * self.gamma[c]
+                    - xhat.at(r, c) * sum_dy_xhat[c] * self.gamma[c];
+                *dx.at_mut(r, c) = term * inv_std[c] / n;
+            }
+        }
+        dx
+    }
+
+    /// Gradient-descent update of γ and β.
+    pub fn update(&mut self, lr: f32) {
+        for c in 0..self.gamma.len() {
+            self.gamma[c] -= lr * self.grad_gamma[c];
+            self.beta[c] -= lr * self.grad_beta[c];
+        }
+    }
+}
+
+/// Activation nonlinearity between hidden layers.
+#[derive(Debug, Clone)]
+pub enum HiddenAct {
+    /// ReLU (float networks).
+    Relu {
+        /// Cached pre-activations for the backward pass.
+        cache: Option<Matrix>,
+    },
+    /// Binarizing sign with straight-through gradient (binary networks).
+    SignSte {
+        /// Cached pre-activations for the backward pass.
+        cache: Option<Matrix>,
+    },
+}
+
+impl HiddenAct {
+    /// A fresh ReLU.
+    pub fn relu() -> Self {
+        HiddenAct::Relu { cache: None }
+    }
+
+    /// A fresh sign-STE.
+    pub fn sign_ste() -> Self {
+        HiddenAct::SignSte { cache: None }
+    }
+
+    /// Forward pass (caches pre-activations).
+    pub fn forward(&mut self, x: Matrix) -> Matrix {
+        match self {
+            HiddenAct::Relu { cache } => {
+                *cache = Some(x.clone());
+                x.map(|v| v.max(0.0))
+            }
+            HiddenAct::SignSte { cache } => {
+                *cache = Some(x.clone());
+                x.map(sign)
+            }
+        }
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&self, grad_y: &Matrix) -> Matrix {
+        match self {
+            HiddenAct::Relu { cache } => {
+                let x = cache.as_ref().expect("backward before forward");
+                Matrix::from_fn(grad_y.rows(), grad_y.cols(), |r, c| {
+                    if x.at(r, c) > 0.0 {
+                        grad_y.at(r, c)
+                    } else {
+                        0.0
+                    }
+                })
+            }
+            HiddenAct::SignSte { cache } => {
+                // Straight-through with hard-tanh clipping: gradient passes
+                // where |pre-activation| <= 1.
+                let x = cache.as_ref().expect("backward before forward");
+                Matrix::from_fn(grad_y.rows(), grad_y.cols(), |r, c| {
+                    if x.at(r, c).abs() <= 1.0 {
+                        grad_y.at(r, c)
+                    } else {
+                        0.0
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// Softmax cross-entropy: returns `(mean loss, probabilities)`.
+pub fn softmax_ce(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    let mut probs = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0f32;
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for c in 0..logits.cols() {
+            *probs.at_mut(r, c) = exps[c] / sum;
+        }
+        loss -= (probs.at(r, labels[r]).max(1e-12)).ln();
+    }
+    (loss / logits.rows() as f32, probs)
+}
+
+/// Gradient of softmax cross-entropy w.r.t. logits: `(p - onehot) / batch`.
+pub fn softmax_ce_grad(probs: &Matrix, labels: &[usize]) -> Matrix {
+    let n = probs.rows() as f32;
+    Matrix::from_fn(probs.rows(), probs.cols(), |r, c| {
+        let y = if labels[r] == c { 1.0 } else { 0.0 };
+        (probs.at(r, c) - y) / n
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let mut d = Dense::new(3, 2, false, 1);
+        d.w = Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        let x = Matrix::from_vec(1, 3, vec![2.0, 4.0, 6.0]);
+        let y = d.forward(&x);
+        assert_eq!(y.as_slice(), &[2.0 - 6.0, 1.0 + 2.0 + 3.0]);
+    }
+
+    #[test]
+    fn binary_dense_uses_signs() {
+        let mut d = Dense::new(2, 1, true, 2);
+        d.w = Matrix::from_vec(1, 2, vec![0.3, -0.7]);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        // sign(0.3) + sign(-0.7) applied: 1 - 1 = 0.
+        assert_eq!(d.forward(&x).as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn float_dense_gradient_check() {
+        // Finite-difference check of dL/dw for the float path.
+        let mut d = Dense::new(4, 3, false, 3);
+        let x = Matrix::from_fn(5, 4, |r, c| ((r * 4 + c) as f32 * 0.13).sin());
+        let labels = vec![0usize, 1, 2, 0, 1];
+        let loss_of = |d: &Dense| {
+            let wb = d.effective_weights();
+            let y = x.matmul_t(&wb);
+            softmax_ce(&y, &labels).0
+        };
+        let y = d.forward(&x);
+        let (_, probs) = softmax_ce(&y, &labels);
+        let grad_y = softmax_ce_grad(&probs, &labels);
+        d.backward(&grad_y);
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11] {
+            let orig = d.w.as_slice()[idx];
+            d.w.as_mut_slice()[idx] = orig + eps;
+            let lp = loss_of(&d);
+            d.w.as_mut_slice()[idx] = orig - eps;
+            let lm = loss_of(&d);
+            d.w.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = d.grad_w.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "grad check idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn batchnorm_normalizes_batch() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Matrix::from_vec(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        let y = bn.forward_train(&x);
+        let mean = y.col_mean();
+        assert!(mean.iter().all(|&m| m.abs() < 1e-5), "normalized mean {mean:?}");
+        // Unit variance.
+        for c in 0..2 {
+            let var: f32 = (0..4).map(|r| y.at(r, c) * y.at(r, c)).sum::<f32>() / 4.0;
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradient_check() {
+        let mut bn = BatchNorm1d::new(3);
+        bn.gamma = vec![1.5, -0.5, 2.0];
+        bn.beta = vec![0.1, 0.2, -0.3];
+        let x = Matrix::from_fn(6, 3, |r, c| ((r + c * 2) as f32 * 0.7).cos() * 2.0);
+        let labels = vec![0usize, 1, 2, 1, 0, 2];
+        let loss_of = |bn: &mut BatchNorm1d, x: &Matrix| {
+            let y = bn.forward_train(x);
+            softmax_ce(&y, &labels).0
+        };
+        let y = bn.forward_train(&x);
+        let (_, probs) = softmax_ce(&y, &labels);
+        let grad_y = softmax_ce_grad(&probs, &labels);
+        let dx = bn.backward(&grad_y);
+        let eps = 1e-2;
+        for idx in [0usize, 7, 17] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let lp = loss_of(&mut bn.clone(), &xp);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lm = loss_of(&mut bn.clone(), &xm);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dx.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-3,
+                "bn grad idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_ce_perfect_prediction_low_loss() {
+        let logits = Matrix::from_vec(1, 3, vec![10.0, -10.0, -10.0]);
+        let (loss, probs) = softmax_ce(&logits, &[0]);
+        assert!(loss < 1e-3);
+        assert!(probs.at(0, 0) > 0.99);
+        let (bad_loss, _) = softmax_ce(&logits, &[2]);
+        assert!(bad_loss > 5.0);
+    }
+
+    #[test]
+    fn relu_and_sign_backward_masks() {
+        let mut relu = HiddenAct::relu();
+        let y = relu.forward(Matrix::from_vec(1, 3, vec![-1.0, 0.5, 2.0]));
+        assert_eq!(y.as_slice(), &[0.0, 0.5, 2.0]);
+        let g = relu.backward(&Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 1.0]);
+
+        let mut ste = HiddenAct::sign_ste();
+        let y = ste.forward(Matrix::from_vec(1, 3, vec![-0.5, 0.5, 3.0]));
+        assert_eq!(y.as_slice(), &[-1.0, 1.0, 1.0]);
+        let g = ste.backward(&Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]));
+        // Gradient clipped where |x| > 1.
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn update_clips_binary_weights() {
+        let mut d = Dense::new(2, 1, true, 5);
+        d.w = Matrix::from_vec(1, 2, vec![0.99, -0.99]);
+        d.grad_w = Matrix::from_vec(1, 2, vec![-5.0, 5.0]);
+        d.update(1.0, 0.0);
+        assert_eq!(d.w.as_slice(), &[1.0, -1.0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! The offline preparation stage of Fig 2: take a trained float checkpoint,
+//! binarize + fuse + pack it, write the compressed `.pbit` file, load it
+//! back, and verify the round trip bit-for-bit.
+//!
+//! Run: `cargo run --release --example convert_model`
+
+use phonebit::core::format::{load_file, save_file};
+use phonebit::core::{convert, Session};
+use phonebit::gpusim::Phone;
+use phonebit::models::zoo::{self, Variant};
+use phonebit::models::{fill_weights, synthetic_image};
+use phonebit::tensor::shape::Shape4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A "trained" checkpoint (seeded synthetic weights standing in for the
+    // real training artifact — see DESIGN.md substitutions).
+    let def = fill_weights(&zoo::yolo_micro(Variant::Binary), 7);
+    println!(
+        "checkpoint: {} ({:.2} MB of f32 weights)",
+        def.arch.name,
+        def.arch.float_bytes() as f64 / 1e6
+    );
+
+    // Convert: sign-binarize, precompute xi = mu - beta*sigma/gamma - b,
+    // pack channel bits into u64 words.
+    let model = convert(&def);
+    println!(
+        "converted: {} layers, {:.3} MB deployed ({:.1}x smaller)",
+        model.len(),
+        model.size_bytes() as f64 / 1e6,
+        def.arch.float_bytes() as f64 / model.size_bytes() as f64
+    );
+
+    // Write the .pbit file.
+    let dir = std::env::temp_dir().join("phonebit-example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("yolo_micro.pbit");
+    save_file(&model, &path)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("wrote {} ({bytes} bytes)", path.display());
+
+    // Load it back and verify.
+    let loaded = load_file(&path)?;
+    assert_eq!(loaded, model, "round trip must be lossless");
+    println!("reloaded and verified bit-for-bit");
+
+    // Inference outputs agree between the in-memory and reloaded models.
+    let phone = Phone::xiaomi_9();
+    let img = synthetic_image(Shape4::new(1, 64, 64, 3), 3);
+    let out_a = Session::new(model, &phone)?.run_u8(&img)?;
+    let out_b = Session::new(loaded, &phone)?.run_u8(&img)?;
+    let a = out_a.output.expect("out").into_floats().expect("floats");
+    let b = out_b.output.expect("out").into_floats().expect("floats");
+    assert_eq!(a, b, "deployed model outputs must match after serialization");
+    println!("inference on the reloaded model matches exactly");
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Image classification with binary AlexNet (micro variant) on synthetic
+//! CIFAR-10-like images — the paper's AlexNet-on-CIFAR-10 workload at a
+//! scale that runs functionally in seconds.
+//!
+//! Demonstrates the full deployment pipeline of Fig 2: checkpoint →
+//! convert → deploy → classify a batch, and compares the engine's output
+//! against the TFLite-like float baseline on the same checkpoint.
+//!
+//! Run: `cargo run --release --example image_classify`
+
+use phonebit::baselines::common::Framework;
+use phonebit::baselines::TfLite;
+use phonebit::core::{convert, Session};
+use phonebit::gpusim::Phone;
+use phonebit::models::zoo::{self, Variant};
+use phonebit::models::{fill_weights, synthetic_image, to_float_input};
+use phonebit::tensor::shape::Shape4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let phone = Phone::xiaomi_9();
+
+    // Checkpoint -> converted PhoneBit model.
+    let binary_def = fill_weights(&zoo::alexnet_micro(Variant::Binary), 42);
+    let model = convert(&binary_def);
+    println!(
+        "AlexNet-micro: checkpoint {:.2} MB -> deployed {:.3} MB ({:.1}x compression)",
+        binary_def.arch.float_bytes() as f64 / 1e6,
+        model.size_bytes() as f64 / 1e6,
+        binary_def.arch.float_bytes() as f64 / model.size_bytes() as f64
+    );
+    let mut session = Session::new(model, &phone)?;
+
+    // The float twin of the same architecture for the baseline comparison.
+    let float_def = fill_weights(&zoo::alexnet_micro(Variant::Float), 42);
+    let tflite = TfLite::cpu();
+
+    println!("\n{:<8} {:>10} {:>12} | {:>10} {:>12}", "image", "BNN class", "BNN ms", "TFLite cls", "TFLite ms");
+    let mut agreements = 0;
+    let count = 8;
+    for i in 0..count {
+        let img = synthetic_image(Shape4::new(1, 32, 32, 3), i);
+        let bnn = session.run_u8(&img)?;
+        let bnn_probs = bnn.output.clone().expect("output").into_floats().expect("floats");
+        let bnn_class = argmax(bnn_probs.as_slice());
+
+        let float_img = to_float_input(&img);
+        let base = tflite.run(&phone, &float_def, &float_img).expect("tflite runs");
+        let base_probs = base.output.clone().expect("output").into_floats().expect("floats");
+        let base_class = argmax(base_probs.as_slice());
+
+        if bnn_class == base_class {
+            agreements += 1;
+        }
+        println!(
+            "{:<8} {:>10} {:>12.3} | {:>10} {:>12.3}",
+            i,
+            bnn_class,
+            bnn.total_ms(),
+            base_class,
+            base.total_s * 1e3
+        );
+    }
+    println!(
+        "\nnote: weights are random (untrained), so class agreement ({agreements}/{count}) is
+incidental — the point is the pipeline and the latency gap. Train for accuracy
+with `phonebit-train` (see `cargo run --release -p phonebit-bench --bin table2`)."
+    );
+    Ok(())
+}
+
+fn argmax(v: &[f32]) -> usize {
+    v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap()
+}

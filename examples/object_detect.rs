@@ -1,0 +1,81 @@
+//! Object detection with a binary YOLO-style network on a synthetic VOC
+//! frame — the paper's YOLOv2-Tiny workload, with the full detection head:
+//! decode the 125-channel output map into boxes, filter by confidence and
+//! apply non-maximum suppression.
+//!
+//! Run: `cargo run --release --example object_detect`
+
+use phonebit::core::{convert, Session};
+use phonebit::gpusim::Phone;
+use phonebit::models::scene::{generate_scene, match_detections, precision_recall};
+use phonebit::models::yolo::{decode, nms};
+use phonebit::models::zoo::{self, Variant};
+use phonebit::models::fill_weights;
+use phonebit::tensor::shape::Shape4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let phone = Phone::xiaomi_9();
+
+    // Deploy the micro YOLO (same nine-conv pattern as YOLOv2-Tiny at a
+    // functional-test scale; swap in `zoo::yolov2_tiny` for the full net).
+    let def = fill_weights(&zoo::yolo_micro(Variant::Binary), 123);
+    let model = convert(&def);
+    println!(
+        "{}: deployed {:.3} MB on {}",
+        model.name,
+        model.size_bytes() as f64 / 1e6,
+        phone.name
+    );
+    let mut session = Session::new(model, &phone)?;
+
+    // A synthetic VOC-like scene with known ground-truth boxes.
+    let scene = generate_scene(64, 20, 99);
+    assert_eq!(scene.image.shape(), Shape4::new(1, 64, 64, 3));
+    let report = session.run_u8(&scene.image)?;
+    println!(
+        "inference: {:.2} ms modeled on {} ({:.1} FPS)",
+        report.total_ms(),
+        phone.gpu.name,
+        report.fps()
+    );
+
+    // Decode the detection head.
+    let head = report.output.clone().expect("output").into_floats().expect("float head");
+    println!("head shape: {} (5 anchors x 25 values)", head.shape());
+    let raw = decode(&head, 0.25);
+    let kept = nms(raw.clone(), 0.45);
+    println!("{} raw candidates above confidence 0.25, {} after NMS", raw.len(), kept.len());
+    for (i, d) in kept.iter().take(10).enumerate() {
+        println!(
+            "  #{i}: {} p={:.2} box=({:.2}, {:.2}, {:.2}, {:.2})",
+            d.class_name(),
+            d.score,
+            d.x,
+            d.y,
+            d.w,
+            d.h
+        );
+    }
+    // Score against the scene's ground truth (untrained weights, so the
+    // numbers are arbitrary — this demonstrates the evaluation pipeline).
+    let (tp, fp, fn_c) = match_detections(&kept, &scene.objects, 0.5);
+    let (p, r) = precision_recall(tp, fp, fn_c);
+    println!(
+        "vs ground truth ({} objects): {} TP, {} FP, {} FN -> precision {:.2}, recall {:.2}",
+        scene.objects.len(),
+        tp,
+        fp,
+        fn_c,
+        p,
+        r
+    );
+    println!(
+        "\nnote: random weights produce arbitrary detections; the pipeline —
+binary conv tower, float conv9, sigmoid/softmax decode, NMS, IoU matching —
+is the paper's full deployment + evaluation path for VOC2007 frames."
+    );
+
+    // Per-layer profile like Fig 5's instrumentation.
+    println!("\nper-layer timing:\n{}", report.to_table());
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a tiny binary network with the Fig-3-style builder,
+//! deploy it on a simulated phone, and run one inference.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use phonebit::core::{NetworkBuilder, Session};
+use phonebit::gpusim::Phone;
+use phonebit::nn::act::Activation;
+use phonebit::nn::fuse::BnParams;
+use phonebit::tensor::shape::{FilterShape, Shape4};
+use phonebit::tensor::{Filters, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Construct a small BNN: 8-bit input conv -> pool -> binary conv ->
+    //    pool -> float classifier (the paper's first/last-layer policy).
+    let seeded = |k: usize, kernel: usize, c: usize, phase: usize| {
+        Filters::from_fn(FilterShape::new(k, kernel, kernel, c), move |a, b, d, e| {
+            if (a * 7 + b * 3 + d * 5 + e + phase).is_multiple_of(3) {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    };
+    let model = NetworkBuilder::new("quickstart", Shape4::new(1, 32, 32, 3))
+        .bconv_input8("conv1", seeded(16, 3, 3, 0), vec![0.0; 16], BnParams::identity(16), 1, 1)
+        .maxpool("pool1", 2, 2)
+        .bconv("conv2", seeded(32, 3, 16, 1), vec![0.0; 32], BnParams::identity(32), 1, 1)
+        .maxpool("pool2", 2, 2)
+        .dense_float("fc", vec![0.01; 8 * 8 * 32 * 10], vec![0.0; 10], Activation::Linear)
+        .softmax()
+        .build();
+    println!("built `{}`: {} layers, {} bytes deployed", model.name, model.len(), model.size_bytes());
+
+    // 2. Stage it on the Snapdragon 855 phone.
+    let phone = Phone::xiaomi_9();
+    let mut session = Session::new(model, &phone)?;
+    println!("staged on {} ({})", phone.name, phone.gpu);
+
+    // 3. Run one 8-bit image through it.
+    let image = Tensor::from_fn(Shape4::new(1, 32, 32, 3), |_, h, w, c| {
+        ((h * 8 + w * 3 + c * 40) % 256) as u8
+    });
+    let report = session.run_u8(&image)?;
+    println!("\nper-layer report:\n{}", report.to_table());
+
+    let probs = report.output.expect("output present").into_floats().expect("float output");
+    let (best, p) = probs
+        .as_slice()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!("predicted class {best} with probability {p:.3}");
+    Ok(())
+}

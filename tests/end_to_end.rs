@@ -1,0 +1,190 @@
+//! Cross-crate integration: the full Fig-2 pipeline (checkpoint → convert →
+//! serialize → deploy → infer) and the agreement between the engine, the
+//! estimate path, and the baseline frameworks.
+
+use phonebit::baselines::common::Framework;
+use phonebit::baselines::{CnnDroid, TfLite};
+use phonebit::core::format::{read_model, write_model};
+use phonebit::core::{convert, estimate_arch, Session};
+use phonebit::gpusim::{ExecMode, Phone};
+use phonebit::models::zoo::{self, Variant};
+use phonebit::models::{fill_weights, synthetic_image, to_float_input};
+use phonebit::tensor::shape::Shape4;
+
+#[test]
+fn checkpoint_to_inference_pipeline() {
+    let def = fill_weights(&zoo::alexnet_micro(Variant::Binary), 3);
+    let model = convert(&def);
+    // Serialize, reload, deploy the reloaded model.
+    let payload = write_model(&model);
+    let reloaded = read_model(&payload).expect("round trip");
+    assert_eq!(model, reloaded);
+
+    let mut session = Session::new(reloaded, &Phone::xiaomi_9()).expect("fits");
+    let img = synthetic_image(Shape4::new(1, 32, 32, 3), 1);
+    let report = session.run_u8(&img).expect("runs");
+    let probs = report.output.expect("output").into_floats().expect("floats");
+    let sum: f32 = probs.as_slice().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-4, "softmax sums to 1: {sum}");
+    assert!(report.total_s > 0.0);
+    assert_eq!(report.per_layer.len(), def.arch.layers.len());
+}
+
+#[test]
+fn engine_timing_equals_estimate_path() {
+    // The functional engine and the shape-only estimate must model the
+    // exact same dispatch sequence.
+    let arch = zoo::alexnet_micro(Variant::Binary);
+    let def = fill_weights(&arch, 9);
+    let model = convert(&def);
+    let phone = Phone::xiaomi_9();
+    let mut session =
+        Session::new(model, &phone).expect("fits").with_mode(ExecMode::EstimateOnly);
+    let img = synthetic_image(Shape4::new(1, 32, 32, 3), 5);
+    let run = session.run_u8(&img).expect("runs");
+    let est = estimate_arch(&phone, &arch);
+    assert!(
+        (run.total_s - est.total_s).abs() < 1e-9,
+        "engine {} vs estimate {}",
+        run.total_s,
+        est.total_s
+    );
+    // Layer counts line up (engine reports per arch layer too).
+    assert_eq!(run.per_layer.len(), est.per_layer.len());
+    for (a, b) in run.per_layer.iter().zip(est.per_layer.iter()) {
+        assert_eq!(a.name, b.name);
+        assert!((a.time_s - b.time_s).abs() < 1e-12, "layer {} timing", a.name);
+    }
+}
+
+#[test]
+fn baselines_agree_functionally_with_each_other() {
+    // CNNdroid and TFLite-CPU run the same float math; outputs must agree
+    // to float tolerance (TFLite GPU rounds through fp16, quant through
+    // int8 — looser).
+    let arch = zoo::alexnet_micro(Variant::Float);
+    let def = fill_weights(&arch, 77);
+    let img = to_float_input(&synthetic_image(Shape4::new(1, 32, 32, 3), 8));
+    let phone = Phone::xiaomi_9();
+    let a = CnnDroid::gpu().run(&phone, &def, &img).unwrap();
+    let b = TfLite::cpu().run(&phone, &def, &img).unwrap();
+    let ta = a.output.unwrap().into_floats().unwrap();
+    let tb = b.output.unwrap().into_floats().unwrap();
+    assert!(ta.max_abs_diff(&tb) < 1e-4, "float baselines diverged");
+}
+
+#[test]
+fn binarized_engine_matches_binarized_reference_semantics() {
+    // Run the engine, then recompute the same binarized network naively in
+    // floats and compare final logits exactly.
+    use phonebit::nn::fuse::FusedBn;
+    use phonebit::nn::graph::{LayerSpec, LayerWeights};
+    use phonebit::tensor::pad::pad_f32_with;
+    use phonebit::tensor::Tensor;
+
+    let arch = zoo::yolo_micro(Variant::Binary);
+    let def = fill_weights(&arch, 31);
+    let model = convert(&def);
+    let phone = Phone::xiaomi_9();
+    let img = synthetic_image(Shape4::new(1, 64, 64, 3), 17);
+    let mut session = Session::new(model, &phone).expect("fits");
+    let engine_out = session
+        .run_u8(&img)
+        .expect("runs")
+        .output
+        .expect("output")
+        .into_floats()
+        .expect("floats");
+
+    // Naive float reference of the binarized semantics.
+    let infos = arch.infer();
+    let mut cur: Tensor<f32> = Tensor::from_fn(img.shape(), |n, h, w, c| img.at(n, h, w, c) as f32);
+    let mut binary_domain = false;
+    for ((layer, weights), info) in arch.layers.iter().zip(def.weights.iter()).zip(infos.iter()) {
+        match (layer, weights) {
+            (LayerSpec::Conv(c), LayerWeights::Conv(w)) => {
+                use phonebit::nn::graph::LayerPrecision;
+                let binarize_out = c.precision != LayerPrecision::Float;
+                let filters = if binarize_out { w.filters.signum() } else { w.filters.clone() };
+                // Binary layers pad with -1 after the first (u8 pads with 0).
+                let pad_val = if binary_domain { -1.0 } else { 0.0 };
+                let padded = pad_f32_with(&cur, c.geom.pad_h, c.geom.pad_w, pad_val);
+                let fused = w.bn.as_ref().map(|bn| FusedBn::precompute(bn, &w.bias));
+                let mut out = Tensor::zeros(info.output, phonebit::tensor::Layout::Nhwc);
+                for n in 0..info.output.n {
+                    for oy in 0..info.output.h {
+                        for ox in 0..info.output.w {
+                            for k in 0..info.output.c {
+                                let mut acc = 0.0f32;
+                                for i in 0..c.geom.kh {
+                                    for j in 0..c.geom.kw {
+                                        for ch in 0..info.input.c {
+                                            acc += padded.at(
+                                                n,
+                                                oy * c.geom.stride_h + i,
+                                                ox * c.geom.stride_w + j,
+                                                ch,
+                                            ) * filters.at(k, i, j, ch);
+                                        }
+                                    }
+                                }
+                                let v = if binarize_out {
+                                    let f = fused.as_ref().expect("bn");
+                                    if f.decide_logic(k, acc) {
+                                        1.0
+                                    } else {
+                                        -1.0
+                                    }
+                                } else {
+                                    c.activation.apply(acc + w.bias[k])
+                                };
+                                out.set(n, oy, ox, k, v);
+                            }
+                        }
+                    }
+                }
+                cur = out;
+                binary_domain = binarize_out;
+            }
+            (LayerSpec::Pool(p), _) => {
+                let geom = phonebit::nn::kernels::pool::PoolGeometry::new(p.size, p.stride);
+                let mut out = Tensor::zeros(info.output, phonebit::tensor::Layout::Nhwc);
+                phonebit::nn::kernels::pool::compute_maxpool_f32(&cur, &geom, &mut out);
+                cur = out;
+            }
+            _ => unreachable!("yolo_micro has only conv/pool layers"),
+        }
+    }
+    assert_eq!(engine_out.shape(), cur.shape());
+    let diff = engine_out.max_abs_diff(&cur);
+    assert!(diff < 1e-2, "engine vs naive binarized reference: max diff {diff}");
+}
+
+#[test]
+fn phone_budgets_stage_all_binarized_models() {
+    // PhoneBit deploys AlexNet, YOLO and VGG16 on both phones — unlike
+    // CNNdroid, which OOMs on VGG16 (Table III).
+    for arch in zoo::all(Variant::Binary) {
+        for phone in Phone::all() {
+            let plan = phonebit::core::planner::plan(&arch);
+            assert!(plan.fits(&phone), "{} should fit {}", arch.name, phone.name);
+        }
+    }
+}
+
+trait Signum {
+    fn signum(&self) -> Self;
+}
+
+impl Signum for phonebit::tensor::Filters {
+    fn signum(&self) -> Self {
+        let shape = self.shape();
+        phonebit::tensor::Filters::from_fn(shape, |k, i, j, c| {
+            if self.at(k, i, j, c) >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+}

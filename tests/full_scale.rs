@@ -1,0 +1,53 @@
+//! Full-scale functional runs of the paper's actual networks (not the micro
+//! variants). Expensive, so `#[ignore]`d by default — run with
+//! `cargo test --release --test full_scale -- --ignored`.
+
+use phonebit::core::{convert, estimate_arch, Session};
+use phonebit::gpusim::Phone;
+use phonebit::models::zoo::{self, Variant};
+use phonebit::models::{fill_weights, synthetic_image};
+
+#[test]
+#[ignore = "materializes the full 63 MB YOLOv2-Tiny and runs 3.5 GMACs functionally"]
+fn yolov2_tiny_full_scale_functional() {
+    let arch = zoo::yolov2_tiny(Variant::Binary);
+    let def = fill_weights(&arch, 2020);
+    let model = convert(&def);
+    // Deployed size matches Table II (~2.5 MB).
+    let mb = model.size_bytes() as f64 / 1e6;
+    assert!((2.0..3.2).contains(&mb), "deployed {mb} MB");
+
+    let phone = Phone::xiaomi_9();
+    let mut session = Session::new(model, &phone).expect("fits");
+    let img = synthetic_image(arch.input, 1);
+    let report = session.run_u8(&img).expect("runs");
+
+    // Functional output has the detection-head shape and finite values.
+    let head = report.output.clone().expect("out").into_floats().expect("floats");
+    assert_eq!(head.shape().c, 125);
+    assert!(head.as_slice().iter().all(|v| v.is_finite()));
+    // Boxes decode without panicking.
+    let dets = phonebit::models::yolo::decode(&head, 0.5);
+    let _ = phonebit::models::yolo::nms(dets, 0.45);
+
+    // The functional run's modeled time equals the estimate path at full
+    // scale — the guarantee Table III relies on.
+    let est = estimate_arch(&phone, &arch);
+    assert!((report.total_s - est.total_s).abs() < 1e-9);
+}
+
+#[test]
+#[ignore = "materializes the full 244 MB AlexNet checkpoint"]
+fn alexnet_full_scale_functional() {
+    let arch = zoo::alexnet(Variant::Binary);
+    let def = fill_weights(&arch, 7);
+    let model = convert(&def);
+    let phone = Phone::xiaomi_9();
+    let mut session = Session::new(model, &phone).expect("fits");
+    let img = synthetic_image(arch.input, 3);
+    let report = session.run_u8(&img).expect("runs");
+    let probs = report.output.expect("out").into_floats().expect("floats");
+    assert_eq!(probs.shape().c, 1000);
+    let sum: f32 = probs.as_slice().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-3, "softmax sum {sum}");
+}
