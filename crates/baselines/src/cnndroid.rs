@@ -39,12 +39,16 @@ pub struct CnnDroid {
 impl CnnDroid {
     /// CPU-execution CNNdroid.
     pub fn cpu() -> Self {
-        Self { target: CnnDroidTarget::Cpu }
+        Self {
+            target: CnnDroidTarget::Cpu,
+        }
     }
 
     /// GPU-execution CNNdroid (RenderScript).
     pub fn gpu() -> Self {
-        Self { target: CnnDroidTarget::Gpu }
+        Self {
+            target: CnnDroidTarget::Gpu,
+        }
     }
 
     /// Bytes the framework keeps live for a model: the serialized model,
@@ -63,25 +67,26 @@ impl CnnDroid {
 
     fn queue(&self, phone: &Phone) -> CommandQueue {
         match self.target {
-            CnnDroidTarget::Cpu => {
-                CommandQueue::new(phone.cpu.clone(), ExecutorClass::CnnDroidCpu)
-            }
-            CnnDroidTarget::Gpu => {
-                CommandQueue::new(phone.gpu.clone(), ExecutorClass::CnnDroidGpu)
-            }
+            CnnDroidTarget::Cpu => CommandQueue::new(phone.cpu.clone(), ExecutorClass::CnnDroidCpu),
+            CnnDroidTarget::Gpu => CommandQueue::new(phone.gpu.clone(), ExecutorClass::CnnDroidGpu),
         }
     }
 
     fn check_memory(&self, phone: &Phone, arch: &NetworkArch) -> Result<(), FrameworkError> {
         let needed = Self::memory_required(arch);
         if needed > phone.app_budget_bytes() {
-            return Err(FrameworkError::OutOfMemory { needed, budget: phone.app_budget_bytes() });
+            return Err(FrameworkError::OutOfMemory {
+                needed,
+                budget: phone.app_budget_bytes(),
+            });
         }
         Ok(())
     }
 
     fn style(&self) -> CnnDroidStyle {
-        CnnDroidStyle { gpu: self.target == CnnDroidTarget::Gpu }
+        CnnDroidStyle {
+            gpu: self.target == CnnDroidTarget::Gpu,
+        }
     }
 }
 
@@ -118,8 +123,7 @@ impl CostStyle for CnnDroidStyle {
         KernelProfile::new("cnndroid_conv", NdRange::linear(info.output.len()))
             .f32_ops(info.macs * 2.0 + out_elems * (act.ops_per_element() + 4.0))
             .reads(
-                info.macs * 4.0 * Self::CACHE_DISCOUNT * locality
-                    + info.weight_params as f64 * 4.0,
+                info.macs * 4.0 * Self::CACHE_DISCOUNT * locality + info.weight_params as f64 * 4.0,
             )
             .writes(out_elems * 4.0)
             .divergence(lane_waste)
@@ -178,7 +182,13 @@ impl Framework for CnnDroid {
         let mut queue = self.queue(phone);
         let style = self.style();
         let per_layer = estimate_float(&mut queue, arch, &style);
-        Ok(report_from(&self.label(), &queue, per_layer, Self::memory_required(arch), None))
+        Ok(report_from(
+            &self.label(),
+            &queue,
+            per_layer,
+            Self::memory_required(arch),
+            None,
+        ))
     }
 }
 
@@ -203,7 +213,10 @@ mod tests {
 
     #[test]
     fn alexnet_and_yolo_fit() {
-        for arch in [zoo::alexnet(Variant::Float), zoo::yolov2_tiny(Variant::Float)] {
+        for arch in [
+            zoo::alexnet(Variant::Float),
+            zoo::yolov2_tiny(Variant::Float),
+        ] {
             for phone in Phone::all() {
                 assert!(
                     CnnDroid::gpu().estimate(&phone, &arch).is_ok(),
@@ -234,7 +247,10 @@ mod tests {
         let out = report.output.unwrap().into_floats().unwrap();
         assert_eq!(out.shape().c, 10);
         let sum: f32 = out.as_slice().iter().sum();
-        assert!((sum - 1.0).abs() < 1e-4, "softmax output sums to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-4,
+            "softmax output sums to 1, got {sum}"
+        );
         assert!(report.total_s > 0.0);
     }
 
@@ -259,6 +275,9 @@ mod tests {
         assert!(big > 100 * small);
         // AlexNet: 3 x ~244 MB ~ 730 MB.
         let mb = big as f64 / 1e6;
-        assert!((650.0..850.0).contains(&mb), "AlexNet CNNdroid footprint {mb} MB");
+        assert!(
+            (650.0..850.0).contains(&mb),
+            "AlexNet CNNdroid footprint {mb} MB"
+        );
     }
 }

@@ -46,7 +46,12 @@ impl std::fmt::Display for FrameworkError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrameworkError::OutOfMemory { needed, budget } => {
-                write!(f, "out of memory: needs {} MiB, budget {} MiB", needed >> 20, budget >> 20)
+                write!(
+                    f,
+                    "out of memory: needs {} MiB, budget {} MiB",
+                    needed >> 20,
+                    budget >> 20
+                )
             }
             FrameworkError::DelegateCrash { layer, reason } => {
                 write!(f, "delegate crash at {layer}: {reason}")
@@ -126,7 +131,10 @@ pub fn estimate_float(
                 queue.launch(style.softmax(info.input.c), || {});
             }
         }
-        let energy_j: f64 = queue.timeline()[e0..].iter().map(|e| e.stats.energy_j).sum();
+        let energy_j: f64 = queue.timeline()[e0..]
+            .iter()
+            .map(|e| e.stats.energy_j)
+            .sum();
         per_layer.push(LayerRun {
             name: layer.name().to_string(),
             output_shape: info.output,
@@ -153,8 +161,12 @@ pub fn execute_float(
     let infos = def.arch.infer();
     let mut cur = input.clone();
     let mut per_layer = Vec::with_capacity(def.arch.layers.len());
-    for ((layer, weights), info) in
-        def.arch.layers.iter().zip(def.weights.iter()).zip(infos.iter())
+    for ((layer, weights), info) in def
+        .arch
+        .layers
+        .iter()
+        .zip(def.weights.iter())
+        .zip(infos.iter())
     {
         let t0 = queue.elapsed_s();
         let e0 = queue.timeline().len();
@@ -167,7 +179,14 @@ pub fn execute_float(
                 // Fold batch-norm into the functional path when present
                 // (baselines run BN in float after the conv).
                 queue.launch(style.conv(info, &c.geom, c.activation), || {
-                    fconv::compute_fconv(&cur, &filters, &w.bias, Activation::Linear, &c.geom, &mut out);
+                    fconv::compute_fconv(
+                        &cur,
+                        &filters,
+                        &w.bias,
+                        Activation::Linear,
+                        &c.geom,
+                        &mut out,
+                    );
                     if let Some(bn) = &w.bn {
                         let s = out.shape();
                         for p in 0..s.pixels() {
@@ -201,18 +220,27 @@ pub fn execute_float(
                     for n in 0..s.n {
                         let row = &flat[n * features..(n + 1) * features];
                         let mut y = vec![0.0f32; d.out_features];
-                        dense::compute_dense_float(row, &mapped, &w.bias, Activation::Linear, &mut y);
+                        dense::compute_dense_float(
+                            row,
+                            &mapped,
+                            &w.bias,
+                            Activation::Linear,
+                            &mut y,
+                        );
                         if let Some(bn) = &w.bn {
                             for (ch, v) in y.iter_mut().enumerate() {
                                 *v = bn.apply(ch, *v);
                             }
                         }
                         d.activation.apply_slice(&mut y);
-                        out_all[n * d.out_features..(n + 1) * d.out_features]
-                            .copy_from_slice(&y);
+                        out_all[n * d.out_features..(n + 1) * d.out_features].copy_from_slice(&y);
                     }
                 });
-                Tensor::from_vec(Shape4::new(s.n, 1, 1, d.out_features), Layout::Nhwc, out_all)
+                Tensor::from_vec(
+                    Shape4::new(s.n, 1, 1, d.out_features),
+                    Layout::Nhwc,
+                    out_all,
+                )
             }
             (LayerSpec::Softmax, LayerWeights::None) => {
                 let mut t = cur.clone();
@@ -228,7 +256,10 @@ pub fn execute_float(
             }
             (spec, w) => panic!("inconsistent layer/weights: {spec:?} vs {w:?}"),
         };
-        let energy_j: f64 = queue.timeline()[e0..].iter().map(|e| e.stats.energy_j).sum();
+        let energy_j: f64 = queue.timeline()[e0..]
+            .iter()
+            .map(|e| e.stats.energy_j)
+            .sum();
         per_layer.push(LayerRun {
             name: layer.name().to_string(),
             output_shape: info.output,
@@ -263,9 +294,15 @@ mod tests {
 
     #[test]
     fn error_cells_match_table3_vocabulary() {
-        let oom = FrameworkError::OutOfMemory { needed: 2 << 30, budget: 1 << 30 };
+        let oom = FrameworkError::OutOfMemory {
+            needed: 2 << 30,
+            budget: 1 << 30,
+        };
         assert_eq!(oom.cell(), "OOM");
-        let crash = FrameworkError::DelegateCrash { layer: "fc6".into(), reason: "x".into() };
+        let crash = FrameworkError::DelegateCrash {
+            layer: "fc6".into(),
+            reason: "x".into(),
+        };
         assert_eq!(crash.cell(), "CRASH");
         assert!(oom.to_string().contains("MiB"));
         assert!(crash.to_string().contains("fc6"));

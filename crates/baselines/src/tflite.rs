@@ -46,17 +46,23 @@ pub struct TfLite {
 impl TfLite {
     /// CPU float configuration.
     pub fn cpu() -> Self {
-        Self { mode: TfLiteMode::Cpu }
+        Self {
+            mode: TfLiteMode::Cpu,
+        }
     }
 
     /// GPU delegate configuration.
     pub fn gpu() -> Self {
-        Self { mode: TfLiteMode::Gpu }
+        Self {
+            mode: TfLiteMode::Gpu,
+        }
     }
 
     /// Quantized CPU configuration.
     pub fn quant() -> Self {
-        Self { mode: TfLiteMode::QuantCpu }
+        Self {
+            mode: TfLiteMode::QuantCpu,
+        }
     }
 
     /// Weight element size in bytes for this mode.
@@ -71,16 +77,14 @@ impl TfLite {
     /// Bytes the framework needs: the model file (at mode precision) plus
     /// the tensor arena (two live activations + the largest im2col buffer).
     pub fn memory_required(&self, arch: &NetworkArch) -> usize {
-        let weights =
-            (arch.total_params() as f64 * self.weight_elem_bytes()) as usize;
+        let weights = (arch.total_params() as f64 * self.weight_elem_bytes()) as usize;
         let infos = arch.infer();
         let mut max_act = 0usize;
         let mut max_im2col = 0usize;
         for (layer, info) in arch.layers.iter().zip(infos.iter()) {
             max_act = max_act.max(info.output.len() * 4);
             if let LayerSpec::Conv(c) = layer {
-                let im2col =
-                    info.output.pixels() * c.geom.taps() * info.input.c * 4;
+                let im2col = info.output.pixels() * c.geom.taps() * info.input.c * 4;
                 max_im2col = max_im2col.max(im2col);
             }
         }
@@ -107,7 +111,10 @@ impl TfLite {
     fn check_memory(&self, phone: &Phone, arch: &NetworkArch) -> Result<(), FrameworkError> {
         let needed = self.memory_required(arch);
         if needed > phone.app_budget_bytes() {
-            return Err(FrameworkError::OutOfMemory { needed, budget: phone.app_budget_bytes() });
+            return Err(FrameworkError::OutOfMemory {
+                needed,
+                budget: phone.app_budget_bytes(),
+            });
         }
         Ok(())
     }
@@ -199,8 +206,7 @@ impl TfLiteStyle {
 impl CostStyle for TfLiteStyle {
     fn conv(&self, info: &LayerInfo, geom: &ConvGeometry, act: Activation) -> KernelProfile {
         let out_elems = info.output.len() as f64;
-        let im2col =
-            info.output.pixels() as f64 * geom.taps() as f64 * info.input.c as f64;
+        let im2col = info.output.pixels() as f64 * geom.taps() as f64 * info.input.c as f64;
         let eb = self.elem_bytes();
         let traffic = im2col * eb * 2.0 + info.weight_params as f64 * eb + out_elems * eb;
         let ops = info.macs * 2.0 + out_elems * (act.ops_per_element() + 2.0);
@@ -278,7 +284,13 @@ impl Framework for TfLite {
         let mut queue = self.queue(phone);
         let style = self.style();
         let per_layer = estimate_float(&mut queue, arch, &style);
-        Ok(report_from(&self.label(), &queue, per_layer, self.memory_required(arch), None))
+        Ok(report_from(
+            &self.label(),
+            &queue,
+            per_layer,
+            self.memory_required(arch),
+            None,
+        ))
     }
 }
 
@@ -296,8 +308,14 @@ mod tests {
         let alexnet = zoo::alexnet(Variant::Float);
         let vgg = zoo::vgg16(Variant::Float);
         let yolo = zoo::yolov2_tiny(Variant::Float);
-        assert_eq!(TfLite::gpu().estimate(&phone, &alexnet).unwrap_err().cell(), "CRASH");
-        assert_eq!(TfLite::gpu().estimate(&phone, &vgg).unwrap_err().cell(), "CRASH");
+        assert_eq!(
+            TfLite::gpu().estimate(&phone, &alexnet).unwrap_err().cell(),
+            "CRASH"
+        );
+        assert_eq!(
+            TfLite::gpu().estimate(&phone, &vgg).unwrap_err().cell(),
+            "CRASH"
+        );
         assert!(TfLite::gpu().estimate(&phone, &yolo).is_ok());
     }
 
@@ -306,8 +324,16 @@ mod tests {
         // Table III: TFLite CPU and Quant produce numbers everywhere.
         for arch in zoo::all(Variant::Float) {
             for phone in Phone::all() {
-                assert!(TfLite::cpu().estimate(&phone, &arch).is_ok(), "{}", arch.name);
-                assert!(TfLite::quant().estimate(&phone, &arch).is_ok(), "{}", arch.name);
+                assert!(
+                    TfLite::cpu().estimate(&phone, &arch).is_ok(),
+                    "{}",
+                    arch.name
+                );
+                assert!(
+                    TfLite::quant().estimate(&phone, &arch).is_ok(),
+                    "{}",
+                    arch.name
+                );
             }
         }
     }
@@ -326,10 +352,22 @@ mod tests {
         // Table III: AlexNet Quant = 103 ms (SD820) vs 24 ms (SD855) while
         // float CPU only improves 143 -> 87: the SDOT effect.
         let arch = zoo::alexnet(Variant::Float);
-        let q820 = TfLite::quant().estimate(&Phone::xiaomi_5(), &arch).unwrap().total_s;
-        let q855 = TfLite::quant().estimate(&Phone::xiaomi_9(), &arch).unwrap().total_s;
-        let f820 = TfLite::cpu().estimate(&Phone::xiaomi_5(), &arch).unwrap().total_s;
-        let f855 = TfLite::cpu().estimate(&Phone::xiaomi_9(), &arch).unwrap().total_s;
+        let q820 = TfLite::quant()
+            .estimate(&Phone::xiaomi_5(), &arch)
+            .unwrap()
+            .total_s;
+        let q855 = TfLite::quant()
+            .estimate(&Phone::xiaomi_9(), &arch)
+            .unwrap()
+            .total_s;
+        let f820 = TfLite::cpu()
+            .estimate(&Phone::xiaomi_5(), &arch)
+            .unwrap()
+            .total_s;
+        let f855 = TfLite::cpu()
+            .estimate(&Phone::xiaomi_9(), &arch)
+            .unwrap()
+            .total_s;
         let quant_gain = q820 / q855;
         let float_gain = f820 / f855;
         assert!(
@@ -362,7 +400,10 @@ mod tests {
         let tq = q.output.unwrap().into_floats().unwrap();
         let diff = tf.max_abs_diff(&tq);
         assert!(diff > 0.0, "quantization must introduce some noise");
-        assert!(diff < 0.3, "quantized softmax within 0.3 of float, got {diff}");
+        assert!(
+            diff < 0.3,
+            "quantized softmax within 0.3 of float, got {diff}"
+        );
     }
 
     #[test]

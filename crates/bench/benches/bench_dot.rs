@@ -7,11 +7,25 @@ use phonebit_gpusim::vector::xor_popcount_vec;
 use phonebit_tensor::bits::dot_pm1;
 
 fn make_words(n: usize, seed: u64) -> Vec<u64> {
-    (0..n).map(|i| (i as u64).wrapping_mul(seed).wrapping_add(0x9E3779B97F4A7C15)).collect()
+    (0..n)
+        .map(|i| {
+            (i as u64)
+                .wrapping_mul(seed)
+                .wrapping_add(0x9E3779B97F4A7C15)
+        })
+        .collect()
 }
 
 fn make_floats(n: usize, seed: u64) -> Vec<f32> {
-    (0..n).map(|i| if (i as u64 * seed).is_multiple_of(3) { 1.0 } else { -1.0 }).collect()
+    (0..n)
+        .map(|i| {
+            if (i as u64 * seed).is_multiple_of(3) {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect()
 }
 
 fn bench_dot(c: &mut Criterion) {
@@ -22,14 +36,22 @@ fn bench_dot(c: &mut Criterion) {
         let b = make_words(words, 7);
         let fa = make_floats(len, 3);
         let fb = make_floats(len, 7);
-        group.bench_with_input(BenchmarkId::new("binary_xnor_popcount", len), &len, |bch, _| {
-            bch.iter(|| dot_pm1(black_box(&a), black_box(&b), len));
-        });
-        group.bench_with_input(BenchmarkId::new("binary_vectorized_u64x4", len), &len, |bch, _| {
-            bch.iter(|| {
-                len as i32 - 2 * xor_popcount_vec::<u64, 4>(black_box(&a), black_box(&b)) as i32
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("binary_xnor_popcount", len),
+            &len,
+            |bch, _| {
+                bch.iter(|| dot_pm1(black_box(&a), black_box(&b), len));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary_vectorized_u64x4", len),
+            &len,
+            |bch, _| {
+                bch.iter(|| {
+                    len as i32 - 2 * xor_popcount_vec::<u64, 4>(black_box(&a), black_box(&b)) as i32
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("float_mul_add", len), &len, |bch, _| {
             bch.iter(|| {
                 black_box(&fa)

@@ -4,7 +4,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use phonebit_nn::fuse::{BnParams, FusedBn};
-use phonebit_nn::kernels::bconv::{compute_bconv_accum, compute_bconv_fused, compute_binarize_pack};
+use phonebit_nn::kernels::bconv::{
+    compute_bconv_accum, compute_bconv_fused, compute_binarize_pack,
+};
 use phonebit_tensor::bits::BitTensor;
 use phonebit_tensor::pack::{pack_f32, pack_filters};
 use phonebit_tensor::shape::{ConvGeometry, FilterShape, Layout, Shape4};
@@ -31,7 +33,9 @@ fn bench_fusion(c: &mut Criterion) {
     let packed_in = pack_f32::<u64>(&input);
     let packed_f = pack_filters::<u64>(&filters);
     let bn = BnParams {
-        gamma: (0..256).map(|i| if i % 4 == 0 { -1.0 } else { 1.0 }).collect(),
+        gamma: (0..256)
+            .map(|i| if i % 4 == 0 { -1.0 } else { 1.0 })
+            .collect(),
         beta: vec![0.1; 256],
         mu: vec![1.0; 256],
         sigma: vec![2.0; 256],

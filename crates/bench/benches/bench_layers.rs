@@ -18,13 +18,16 @@ use phonebit_tensor::tensor::Tensor;
 fn bench_layers(c: &mut Criterion) {
     // Pooling: 104x104x64 -> 52x52x64 (YOLO pool3 shape).
     let shape = Shape4::new(1, 104, 104, 64);
-    let t = Tensor::from_fn(shape, |_, h, w, ch| {
-        if (h + w * 3 + ch) % 3 == 0 {
-            1.0
-        } else {
-            -1.0
-        }
-    });
+    let t = Tensor::from_fn(
+        shape,
+        |_, h, w, ch| {
+            if (h + w * 3 + ch) % 3 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        },
+    );
     let bits = pack_f32::<u64>(&t);
     let geom = PoolGeometry::new(2, 2);
     let mut group = c.benchmark_group("maxpool_104x104x64");
@@ -46,13 +49,16 @@ fn bench_layers(c: &mut Criterion) {
 
     // Binary dense 4096 -> 4096 (AlexNet fc7 shape).
     let features = 4096usize;
-    let x = pack_f32::<u64>(&Tensor::from_fn(Shape4::new(1, 1, 1, features), |_, _, _, ch| {
-        if ch % 3 == 0 {
-            1.0
-        } else {
-            -1.0
-        }
-    }));
+    let x = pack_f32::<u64>(&Tensor::from_fn(
+        Shape4::new(1, 1, 1, features),
+        |_, _, _, ch| {
+            if ch % 3 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        },
+    ));
     let mut w = PackedFilters::<u64>::zeros(FilterShape::new(features, 1, 1, features));
     for k in 0..features {
         for ch in (k % 7..features).step_by(7) {

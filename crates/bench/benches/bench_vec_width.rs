@@ -6,13 +6,12 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use phonebit_gpusim::vector::xor_popcount_vec;
 use phonebit_tensor::bits::BitWord;
 
-fn words<W: BitWord>(n: usize, seed: u64) -> Vec<W>
-where
-    W: TryFrom<u64>,
-{
+fn words<W: BitWord + TryFrom<u64>>(n: usize, seed: u64) -> Vec<W> {
     (0..n)
         .map(|i| {
-            let v = (i as u64).wrapping_mul(seed).wrapping_add(0x2545F4914F6CDD1D);
+            let v = (i as u64)
+                .wrapping_mul(seed)
+                .wrapping_add(0x2545F4914F6CDD1D);
             W::try_from(v & (u64::MAX >> (64 - W::BITS as u32))).unwrap_or_else(|_| W::zero())
         })
         .collect()
@@ -28,16 +27,24 @@ fn bench_widths(c: &mut Criterion) {
     let mut group = c.benchmark_group("word_width_scalar");
     let a8 = words::<u8>(BITS / 8, 3);
     let b8 = words::<u8>(BITS / 8, 7);
-    group.bench_function("u8", |b| b.iter(|| scalar_dot(black_box(&a8), black_box(&b8))));
+    group.bench_function("u8", |b| {
+        b.iter(|| scalar_dot(black_box(&a8), black_box(&b8)))
+    });
     let a16 = words::<u16>(BITS / 16, 3);
     let b16 = words::<u16>(BITS / 16, 7);
-    group.bench_function("u16", |b| b.iter(|| scalar_dot(black_box(&a16), black_box(&b16))));
+    group.bench_function("u16", |b| {
+        b.iter(|| scalar_dot(black_box(&a16), black_box(&b16)))
+    });
     let a32 = words::<u32>(BITS / 32, 3);
     let b32 = words::<u32>(BITS / 32, 7);
-    group.bench_function("u32", |b| b.iter(|| scalar_dot(black_box(&a32), black_box(&b32))));
+    group.bench_function("u32", |b| {
+        b.iter(|| scalar_dot(black_box(&a32), black_box(&b32)))
+    });
     let a64 = words::<u64>(BITS / 64, 3);
     let b64 = words::<u64>(BITS / 64, 7);
-    group.bench_function("u64", |b| b.iter(|| scalar_dot(black_box(&a64), black_box(&b64))));
+    group.bench_function("u64", |b| {
+        b.iter(|| scalar_dot(black_box(&a64), black_box(&b64)))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("vector_lanes_u64");

@@ -1,0 +1,175 @@
+//! Before/after report for the tiled binary-convolution hot path.
+//!
+//! Measures host wall-clock medians of the seed reference kernel and the
+//! tiled kernel on the paper's 3×3 layer shapes, prints the speedup table,
+//! verifies bit-exact equality while doing so, and writes
+//! `BENCH_bconv.json` (shape, path, median ns — plus ns/pixel) so future
+//! PRs have a perf trajectory to compare against.
+//!
+//! Run: `cargo run --release -p phonebit-bench --bin bconv_report`
+//! (`-- --out <path>` to redirect the JSON; `-- --quick` for CI smoke;
+//! `-- --min-speedup X` to exit nonzero if any shape's tiled-vs-reference
+//! speedup falls below `X` — the CI guard that keeps the hot path from
+//! rotting.)
+
+use std::time::Instant;
+
+use phonebit_nn::fuse::FusedBn;
+use phonebit_nn::kernels::bconv::{compute_bconv_fused, compute_bconv_fused_reference};
+use phonebit_tensor::bits::BitTensor;
+use phonebit_tensor::pack::{pack_f32, pack_filters};
+use phonebit_tensor::shape::{ConvGeometry, FilterShape, Shape4};
+use phonebit_tensor::tensor::{Filters, Tensor};
+
+struct Measurement {
+    shape: String,
+    path: &'static str,
+    median_ns: f64,
+    ns_per_pixel: f64,
+}
+
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_bconv.json")
+        .to_string();
+    let min_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-speedup")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("error: --min-speedup expects a number, got `{s}`");
+                std::process::exit(2);
+            })
+        });
+    let samples = if quick { 3 } else { 15 };
+
+    // The paper's YOLOv2-Tiny 3x3 binary layers with C >= 64, plus an odd
+    // channel count to keep the tail-word path honest.
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("conv3_104x104_c64_k64", 104, 64, 64),
+        ("conv4_52x52_c128_k128", 52, 128, 128),
+        ("conv5_26x26_c128_k256", 26, 128, 256),
+        ("odd_30x30_c100_k36", 30, 100, 36),
+    ];
+    let geom = ConvGeometry::square(3, 1, 1);
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>9}  (median of {samples}, ns/pixel)",
+        "shape", "reference", "tiled", "speedup"
+    );
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut worst_speedup = f64::INFINITY;
+    for &(name, hw, cin, k) in shapes {
+        let input = Tensor::from_fn(Shape4::new(1, hw, hw, cin), |_, h, w, ch| {
+            if (h * 7 + w * 3 + ch) % 3 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        let filters = Filters::from_fn(FilterShape::new(k, 3, 3, cin), |kk, i, j, ch| {
+            if (kk + i + j + ch) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        let packed_in = pack_f32::<u64>(&input);
+        let packed_f = pack_filters::<u64>(&filters);
+        let fused = FusedBn::identity(k);
+        let out_shape = Shape4::new(1, hw, hw, k);
+        let pixels = (hw * hw) as f64;
+
+        // Equality first: the tiled kernel must be bit-exact vs the seed.
+        let mut a = BitTensor::<u64>::zeros(out_shape);
+        let mut b = BitTensor::<u64>::zeros(out_shape);
+        compute_bconv_fused_reference(&packed_in, &packed_f, &fused, &geom, &mut a);
+        compute_bconv_fused(&packed_in, &packed_f, &fused, &geom, &mut b);
+        assert_eq!(a, b, "tiled kernel diverged from reference on {name}");
+
+        let t_ref = median_ns(samples, || {
+            let mut out = BitTensor::<u64>::zeros(out_shape);
+            compute_bconv_fused_reference(&packed_in, &packed_f, &fused, &geom, &mut out);
+            std::hint::black_box(&out);
+        });
+        let t_tiled = median_ns(samples, || {
+            let mut out = BitTensor::<u64>::zeros(out_shape);
+            compute_bconv_fused(&packed_in, &packed_f, &fused, &geom, &mut out);
+            std::hint::black_box(&out);
+        });
+        let speedup = t_ref / t_tiled;
+        worst_speedup = worst_speedup.min(speedup);
+        println!(
+            "{:<26} {:>14.1} {:>14.1} {:>8.2}x",
+            name,
+            t_ref / pixels,
+            t_tiled / pixels,
+            speedup
+        );
+        results.push(Measurement {
+            shape: name.into(),
+            path: "reference",
+            median_ns: t_ref,
+            ns_per_pixel: t_ref / pixels,
+        });
+        results.push(Measurement {
+            shape: name.into(),
+            path: "tiled",
+            median_ns: t_tiled,
+            ns_per_pixel: t_tiled / pixels,
+        });
+    }
+    println!("\nworst-case speedup: {worst_speedup:.2}x");
+
+    let mut json =
+        String::from("{\n  \"bench\": \"bconv\",\n  \"unit\": \"ns\",\n  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"path\": \"{}\", \"median_ns\": {:.0}, \"ns_per_pixel\": {:.1}}}{}\n",
+            json_escape(&m.shape),
+            m.path,
+            m.median_ns,
+            m.ns_per_pixel,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if let Some(floor) = min_speedup {
+        if worst_speedup < floor {
+            eprintln!(
+                "error: worst-case tiled speedup {worst_speedup:.2}x is below the required {floor:.2}x floor"
+            );
+            std::process::exit(1);
+        }
+        println!("speedup floor {floor:.2}x satisfied");
+    }
+}

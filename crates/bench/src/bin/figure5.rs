@@ -18,7 +18,10 @@ fn main() {
         .estimate(&phone, &zoo::yolov2_tiny(Variant::Float))
         .expect("YOLOv2-Tiny fits CNNdroid");
 
-    println!("Fig 5: PhoneBit speedup over CNNdroid (GPU) per YOLOv2-Tiny layer, {}\n", phone.soc);
+    println!(
+        "Fig 5: PhoneBit speedup over CNNdroid (GPU) per YOLOv2-Tiny layer, {}\n",
+        phone.soc
+    );
     println!(
         "{:<8} {:>14} {:>14} {:>10} {:>10}",
         "layer", "CNNdroid(ms)", "PhoneBit(ms)", "measured", "paper"

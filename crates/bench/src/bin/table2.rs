@@ -11,9 +11,9 @@
 //! Run: `cargo run --release -p phonebit-bench --bin table2`
 
 use phonebit_core::convert;
+use phonebit_models::fill_weights;
 use phonebit_models::size::table2_text;
 use phonebit_models::zoo::{self, Variant};
-use phonebit_models::fill_weights;
 use phonebit_train::accuracy_gap_experiment;
 
 fn main() {
@@ -32,7 +32,10 @@ fn main() {
     );
 
     println!("accuracy-gap experiment (synthetic task, phonebit-train, 3 seeds):");
-    println!("{:<6} {:>10} {:>10} {:>8}", "seed", "float(%)", "binary(%)", "gap(pp)");
+    println!(
+        "{:<6} {:>10} {:>10} {:>8}",
+        "seed", "float(%)", "binary(%)", "gap(pp)"
+    );
     let mut gaps = Vec::new();
     for seed in [1u64, 2, 3] {
         let (float_acc, binary_acc) = accuracy_gap_experiment(seed);

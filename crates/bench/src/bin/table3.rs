@@ -10,9 +10,10 @@ use phonebit_gpusim::Phone;
 
 fn main() {
     println!("Table III: average runtime (ms) — measured on the simulator vs paper\n");
-    for (phone, paper) in
-        [(Phone::xiaomi_5(), &TABLE3_SD820), (Phone::xiaomi_9(), &TABLE3_SD855)]
-    {
+    for (phone, paper) in [
+        (Phone::xiaomi_5(), &TABLE3_SD820),
+        (Phone::xiaomi_9(), &TABLE3_SD855),
+    ] {
         let measured: Vec<_> = (0..3).map(|m| run_row(&phone, m)).collect();
         println!("{}", render_block(&phone, &measured, paper));
         // Headline speedups, paper-style.

@@ -11,7 +11,10 @@ use phonebit_profiler::EnergyReport;
 
 fn main() {
     let phone = Phone::xiaomi_5();
-    println!("Table IV: energy per frame, YOLOv2-Tiny on {} ({})\n", phone.name, phone.soc);
+    println!(
+        "Table IV: energy per frame, YOLOv2-Tiny on {} ({})\n",
+        phone.name, phone.soc
+    );
     println!(
         "{:<14} {:>12} {:>12} | {:>12} {:>12}",
         "framework", "mW", "FPS/W", "paper mW", "paper FPS/W"
@@ -35,7 +38,12 @@ fn main() {
                     paper_fpw
                 );
             }
-            Err(e) => println!("{:<14} {:>12} {:>12} | (paper: {paper_mw} mW)", cell.framework, e.cell(), "-"),
+            Err(e) => println!(
+                "{:<14} {:>12} {:>12} | (paper: {paper_mw} mW)",
+                cell.framework,
+                e.cell(),
+                "-"
+            ),
         }
     }
     println!("\npaper headline: PhoneBit draws ~226 mW and reaches 105 FPS/W —");

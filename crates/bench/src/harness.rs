@@ -43,11 +43,26 @@ pub fn run_row(phone: &Phone, model_idx: usize) -> Vec<MeasuredCell> {
         _ => zoo::vgg16(Variant::Binary),
     };
     let baselines: Vec<(String, Result<RunReport, FrameworkError>)> = vec![
-        (CnnDroid::cpu().label(), CnnDroid::cpu().estimate(phone, &float_arch)),
-        (CnnDroid::gpu().label(), CnnDroid::gpu().estimate(phone, &float_arch)),
-        (TfLite::cpu().label(), TfLite::cpu().estimate(phone, &float_arch)),
-        (TfLite::gpu().label(), TfLite::gpu().estimate(phone, &float_arch)),
-        (TfLite::quant().label(), TfLite::quant().estimate(phone, &float_arch)),
+        (
+            CnnDroid::cpu().label(),
+            CnnDroid::cpu().estimate(phone, &float_arch),
+        ),
+        (
+            CnnDroid::gpu().label(),
+            CnnDroid::gpu().estimate(phone, &float_arch),
+        ),
+        (
+            TfLite::cpu().label(),
+            TfLite::cpu().estimate(phone, &float_arch),
+        ),
+        (
+            TfLite::gpu().label(),
+            TfLite::gpu().estimate(phone, &float_arch),
+        ),
+        (
+            TfLite::quant().label(),
+            TfLite::quant().estimate(phone, &float_arch),
+        ),
     ];
     let mut cells: Vec<MeasuredCell> = baselines
         .into_iter()

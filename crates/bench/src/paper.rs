@@ -40,24 +40,72 @@ impl Cell {
 /// Framework column order used throughout (matches
 /// `ExecutorClass::ALL`): CNNdroid CPU, CNNdroid GPU, TFLite CPU,
 /// TFLite GPU, TFLite Quant, PhoneBit.
-pub const FRAMEWORKS: [&str; 6] =
-    ["CNNdroid CPU", "CNNdroid GPU", "TFLite CPU", "TFLite GPU", "TFLite Quant", "PhoneBit"];
+pub const FRAMEWORKS: [&str; 6] = [
+    "CNNdroid CPU",
+    "CNNdroid GPU",
+    "TFLite CPU",
+    "TFLite GPU",
+    "TFLite Quant",
+    "PhoneBit",
+];
 
 /// Model row order: AlexNet, YOLOv2-Tiny, VGG16.
 pub const MODELS: [&str; 3] = ["AlexNet", "YOLOv2-Tiny", "VGG16"];
 
 /// Table III, Snapdragon 820 (Xiaomi 5): rows = models, cols = frameworks.
 pub const TABLE3_SD820: [[Cell; 6]; 3] = [
-    [Cell::Ms(8243.0), Cell::Ms(766.0), Cell::Ms(143.0), Cell::Crash, Cell::Ms(103.0), Cell::Ms(22.9)],
-    [Cell::Ms(51313.0), Cell::Ms(1483.0), Cell::Ms(669.0), Cell::Ms(468.0), Cell::Ms(503.0), Cell::Ms(42.1)],
-    [Cell::Oom, Cell::Oom, Cell::Ms(2607.0), Cell::Crash, Cell::Ms(1907.0), Cell::Ms(152.3)],
+    [
+        Cell::Ms(8243.0),
+        Cell::Ms(766.0),
+        Cell::Ms(143.0),
+        Cell::Crash,
+        Cell::Ms(103.0),
+        Cell::Ms(22.9),
+    ],
+    [
+        Cell::Ms(51313.0),
+        Cell::Ms(1483.0),
+        Cell::Ms(669.0),
+        Cell::Ms(468.0),
+        Cell::Ms(503.0),
+        Cell::Ms(42.1),
+    ],
+    [
+        Cell::Oom,
+        Cell::Oom,
+        Cell::Ms(2607.0),
+        Cell::Crash,
+        Cell::Ms(1907.0),
+        Cell::Ms(152.3),
+    ],
 ];
 
 /// Table III, Snapdragon 855 (Xiaomi 9).
 pub const TABLE3_SD855: [[Cell; 6]; 3] = [
-    [Cell::Ms(5621.0), Cell::Ms(369.0), Cell::Ms(87.0), Cell::Crash, Cell::Ms(24.0), Cell::Ms(9.8)],
-    [Cell::Ms(23144.0), Cell::Ms(845.0), Cell::Ms(306.0), Cell::Ms(430.0), Cell::Ms(88.0), Cell::Ms(22.6)],
-    [Cell::Oom, Cell::Oom, Cell::Ms(932.0), Cell::Crash, Cell::Ms(252.0), Cell::Ms(73.8)],
+    [
+        Cell::Ms(5621.0),
+        Cell::Ms(369.0),
+        Cell::Ms(87.0),
+        Cell::Crash,
+        Cell::Ms(24.0),
+        Cell::Ms(9.8),
+    ],
+    [
+        Cell::Ms(23144.0),
+        Cell::Ms(845.0),
+        Cell::Ms(306.0),
+        Cell::Ms(430.0),
+        Cell::Ms(88.0),
+        Cell::Ms(22.6),
+    ],
+    [
+        Cell::Oom,
+        Cell::Oom,
+        Cell::Ms(932.0),
+        Cell::Crash,
+        Cell::Ms(252.0),
+        Cell::Ms(73.8),
+    ],
 ];
 
 /// Table IV (YOLOv2-Tiny on Snapdragon 820): `(framework, mW, FPS/W)`.
@@ -122,6 +170,7 @@ mod tests {
         for &s in &FIG5_SPEEDUPS[1..8] {
             assert!(s > FIG5_SPEEDUPS[8]);
         }
-        assert!(FIG5_SPEEDUPS[0] < FIG5_SPEEDUPS[2]);
+        let speedups: &[f64] = &FIG5_SPEEDUPS;
+        assert!(speedups[0] < speedups[2]);
     }
 }

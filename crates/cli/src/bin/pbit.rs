@@ -7,7 +7,10 @@ use std::process::ExitCode;
 use phonebit_cli::{cmd_bench, cmd_gen, cmd_info, cmd_run, CliError, USAGE};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -33,7 +36,10 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
     let rest = &args[1.min(args.len())..];
     let pos = positional(rest);
     let seed: u64 = flag_value(rest, "--seed")
-        .map(|s| s.parse().map_err(|_| CliError::Usage(format!("bad seed `{s}`"))))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage(format!("bad seed `{s}`")))
+        })
         .transpose()?
         .unwrap_or(42);
     let phone = flag_value(rest, "--phone").unwrap_or_else(|| "x9".into());
@@ -63,7 +69,9 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
             cmd_bench(model, &phone)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 

@@ -59,8 +59,8 @@ pub fn arch_by_name(name: &str) -> Result<NetworkArch, CliError> {
         "yolo-micro" => zoo::yolo_micro(Variant::Binary),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown model `{other}` (expected alexnet|yolov2-tiny|vgg16|alexnet-micro|yolo-micro)"
-            )))
+            "unknown model `{other}` (expected alexnet|yolov2-tiny|vgg16|alexnet-micro|yolo-micro)"
+        )))
         }
     })
 }
@@ -71,7 +71,9 @@ pub fn phone_by_name(name: &str) -> Result<Phone, CliError> {
         "x5" | "xiaomi5" | "sd820" => Phone::xiaomi_5(),
         "x9" | "xiaomi9" | "sd855" => Phone::xiaomi_9(),
         other => {
-            return Err(CliError::Usage(format!("unknown phone `{other}` (expected x5|x9)")))
+            return Err(CliError::Usage(format!(
+                "unknown phone `{other}` (expected x5|x9)"
+            )))
         }
     })
 }
@@ -101,8 +103,14 @@ pub fn cmd_info(path: &Path) -> Result<String, CliError> {
 /// Renders a layer table for a model.
 pub fn describe(model: &PbitModel) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "model `{}`  input {}  {} layers  {:.3} MB",
-        model.name, model.input, model.len(), model.size_bytes() as f64 / 1e6);
+    let _ = writeln!(
+        out,
+        "model `{}`  input {}  {} layers  {:.3} MB",
+        model.name,
+        model.input,
+        model.len(),
+        model.size_bytes() as f64 / 1e6
+    );
     let _ = writeln!(out, "{:<12} {:<22} {:>12}", "layer", "kind", "params(B)");
     for layer in &model.layers {
         let kind = match layer {
@@ -115,7 +123,13 @@ pub fn describe(model: &PbitModel) -> String {
             PbitLayer::DenseFloat { .. } => "float dense",
             PbitLayer::Softmax => "softmax",
         };
-        let _ = writeln!(out, "{:<12} {:<22} {:>12}", layer.name(), kind, layer.param_bytes());
+        let _ = writeln!(
+            out,
+            "{:<12} {:<22} {:>12}",
+            layer.name(),
+            kind,
+            layer.param_bytes()
+        );
     }
     out
 }
@@ -127,16 +141,24 @@ pub fn cmd_run(path: &Path, phone: &str, seed: u64) -> Result<String, CliError> 
     let phone = phone_by_name(phone)?;
     let input_shape = model.input;
     let takes_u8 = model.takes_u8_input();
-    let mut session =
-        Session::new(model, &phone).map_err(|e| CliError::Engine(e.to_string()))?;
+    let mut session = Session::new(model, &phone).map_err(|e| CliError::Engine(e.to_string()))?;
     let report = if takes_u8 {
         let img = synthetic_image(input_shape, seed);
-        session.run_u8(&img).map_err(|e| CliError::Engine(e.to_string()))?
+        session
+            .run_u8(&img)
+            .map_err(|e| CliError::Engine(e.to_string()))?
     } else {
         let img = phonebit_models::to_float_input(&synthetic_image(input_shape, seed));
-        session.run_f32(&img).map_err(|e| CliError::Engine(e.to_string()))?
+        session
+            .run_f32(&img)
+            .map_err(|e| CliError::Engine(e.to_string()))?
     };
-    Ok(format!("ran on {} ({})\n{}", phone.name, phone.gpu.name, report.to_table()))
+    Ok(format!(
+        "ran on {} ({})\n{}",
+        phone.name,
+        phone.gpu.name,
+        report.to_table()
+    ))
 }
 
 /// `pbit bench <model> <phone>`: full-scale modeled latency/energy of a zoo

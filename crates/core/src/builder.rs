@@ -61,7 +61,10 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a network for the given input shape.
     pub fn new(name: impl Into<String>, input: Shape4) -> Self {
-        Self { arch: NetworkArch::new(name, input), weights: Vec::new() }
+        Self {
+            arch: NetworkArch::new(name, input),
+            weights: Vec::new(),
+        }
     }
 
     /// Adds the 8-bit-input binary first layer (`bforward_S` in Fig 3).
@@ -84,7 +87,11 @@ impl NetworkBuilder {
             LayerPrecision::BinaryInput8,
             Activation::Linear,
         );
-        self.weights.push(LayerWeights::Conv(ConvWeights { filters, bias, bn: Some(bn) }));
+        self.weights.push(LayerWeights::Conv(ConvWeights {
+            filters,
+            bias,
+            bn: Some(bn),
+        }));
         self
     }
 
@@ -108,7 +115,11 @@ impl NetworkBuilder {
             LayerPrecision::Binary,
             Activation::Linear,
         );
-        self.weights.push(LayerWeights::Conv(ConvWeights { filters, bias, bn: Some(bn) }));
+        self.weights.push(LayerWeights::Conv(ConvWeights {
+            filters,
+            bias,
+            bn: Some(bn),
+        }));
         self
     }
 
@@ -123,9 +134,20 @@ impl NetworkBuilder {
         pad: usize,
     ) -> Self {
         let fs = filters.shape();
-        self.arch =
-            self.arch.conv(name, fs.k, fs.kh, stride, pad, LayerPrecision::Float, activation);
-        self.weights.push(LayerWeights::Conv(ConvWeights { filters, bias, bn: None }));
+        self.arch = self.arch.conv(
+            name,
+            fs.k,
+            fs.kh,
+            stride,
+            pad,
+            LayerPrecision::Float,
+            activation,
+        );
+        self.weights.push(LayerWeights::Conv(ConvWeights {
+            filters,
+            bias,
+            bn: None,
+        }));
         self
     }
 
@@ -145,8 +167,17 @@ impl NetworkBuilder {
         bias: Vec<f32>,
         bn: BnParams,
     ) -> Self {
-        self.arch = self.arch.dense(name, out_features, LayerPrecision::Binary, Activation::Linear);
-        self.weights.push(LayerWeights::Dense(DenseWeights { weights, bias, bn: Some(bn) }));
+        self.arch = self.arch.dense(
+            name,
+            out_features,
+            LayerPrecision::Binary,
+            Activation::Linear,
+        );
+        self.weights.push(LayerWeights::Dense(DenseWeights {
+            weights,
+            bias,
+            bn: Some(bn),
+        }));
         self
     }
 
@@ -159,8 +190,14 @@ impl NetworkBuilder {
         activation: Activation,
     ) -> Self {
         let out_features = bias.len();
-        self.arch = self.arch.dense(name, out_features, LayerPrecision::Float, activation);
-        self.weights.push(LayerWeights::Dense(DenseWeights { weights, bias, bn: None }));
+        self.arch = self
+            .arch
+            .dense(name, out_features, LayerPrecision::Float, activation);
+        self.weights.push(LayerWeights::Dense(DenseWeights {
+            weights,
+            bias,
+            bn: None,
+        }));
         self
     }
 
@@ -178,7 +215,10 @@ impl NetworkBuilder {
 
     /// Finishes the checkpoint without converting (for baselines/training).
     pub fn into_def(self) -> NetworkDef {
-        let def = NetworkDef { arch: self.arch, weights: self.weights };
+        let def = NetworkDef {
+            arch: self.arch,
+            weights: self.weights,
+        };
         def.validate();
         def
     }
@@ -210,11 +250,32 @@ mod tests {
     fn fig3_style_network_builds() {
         // The YOLO-like shape of Fig 3: conv -> pool -> conv -> pool ...
         let model = NetworkBuilder::new("fig3", Shape4::new(1, 16, 16, 3))
-            .bconv_input8("conv1", filters(16, 3, 3), vec![0.0; 16], BnParams::identity(16), 1, 1)
+            .bconv_input8(
+                "conv1",
+                filters(16, 3, 3),
+                vec![0.0; 16],
+                BnParams::identity(16),
+                1,
+                1,
+            )
             .maxpool("pool1", 2, 2)
-            .bconv("conv2", filters(32, 3, 16), vec![0.0; 32], BnParams::identity(32), 1, 1)
+            .bconv(
+                "conv2",
+                filters(32, 3, 16),
+                vec![0.0; 32],
+                BnParams::identity(32),
+                1,
+                1,
+            )
             .maxpool("pool2", 2, 2)
-            .fconv("conv3", filters(10, 1, 32), vec![0.0; 10], Activation::Linear, 1, 0)
+            .fconv(
+                "conv3",
+                filters(10, 1, 32),
+                vec![0.0; 10],
+                Activation::Linear,
+                1,
+                0,
+            )
             .build();
         assert_eq!(model.layers.len(), 5);
         assert!(matches!(model.layers[0], PbitLayer::BConvInput8 { .. }));
@@ -246,8 +307,22 @@ mod tests {
     fn inconsistent_channels_panic_at_build() {
         // conv2 filters expect 99 input channels but conv1 outputs 16.
         let _ = NetworkBuilder::new("bad", Shape4::new(1, 8, 8, 3))
-            .bconv_input8("conv1", filters(16, 3, 3), vec![0.0; 16], BnParams::identity(16), 1, 1)
-            .bconv("conv2", filters(8, 3, 99), vec![0.0; 8], BnParams::identity(8), 1, 1)
+            .bconv_input8(
+                "conv1",
+                filters(16, 3, 3),
+                vec![0.0; 16],
+                BnParams::identity(16),
+                1,
+                1,
+            )
+            .bconv(
+                "conv2",
+                filters(8, 3, 99),
+                vec![0.0; 8],
+                BnParams::identity(8),
+                1,
+                1,
+            )
             .build();
     }
 

@@ -33,8 +33,12 @@ pub fn convert(def: &NetworkDef) -> PbitModel {
     let mut layers = Vec::with_capacity(def.arch.layers.len());
     // Tracks whether the activation stream is packed bits at this point.
     let mut bits_domain = false;
-    for ((spec, weights), info) in
-        def.arch.layers.iter().zip(def.weights.iter()).zip(infos.iter())
+    for ((spec, weights), info) in def
+        .arch
+        .layers
+        .iter()
+        .zip(def.weights.iter())
+        .zip(infos.iter())
     {
         match (spec, weights) {
             (LayerSpec::Conv(c), LayerWeights::Conv(w)) => match c.precision {
@@ -52,7 +56,12 @@ pub fn convert(def: &NetworkDef) -> PbitModel {
                             fused,
                         }
                     } else {
-                        PbitLayer::BConv { name: c.name.clone(), geom: c.geom, filters, fused }
+                        PbitLayer::BConv {
+                            name: c.name.clone(),
+                            geom: c.geom,
+                            filters,
+                            fused,
+                        }
                     });
                     bits_domain = true;
                 }
@@ -76,9 +85,15 @@ pub fn convert(def: &NetworkDef) -> PbitModel {
                 );
                 let geom = PoolGeometry::new(p.size, p.stride);
                 layers.push(if bits_domain {
-                    PbitLayer::MaxPoolBits { name: p.name.clone(), geom }
+                    PbitLayer::MaxPoolBits {
+                        name: p.name.clone(),
+                        geom,
+                    }
                 } else {
-                    PbitLayer::MaxPoolF32 { name: p.name.clone(), geom }
+                    PbitLayer::MaxPoolF32 {
+                        name: p.name.clone(),
+                        geom,
+                    }
                 });
             }
             (LayerSpec::Dense(d), LayerWeights::Dense(w)) => match d.precision {
@@ -88,8 +103,12 @@ pub fn convert(def: &NetworkDef) -> PbitModel {
                     });
                     let fused = FusedBn::precompute(bn, &w.bias);
                     let in_features = info.input.h * info.input.w * info.input.c;
-                    let mut packed =
-                        PackedFilters::<u64>::zeros(FilterShape::new(d.out_features, 1, 1, in_features));
+                    let mut packed = PackedFilters::<u64>::zeros(FilterShape::new(
+                        d.out_features,
+                        1,
+                        1,
+                        in_features,
+                    ));
                     for k in 0..d.out_features {
                         for c in 0..in_features {
                             if w.weights[k * in_features + c] >= 0.0 {
@@ -97,11 +116,18 @@ pub fn convert(def: &NetworkDef) -> PbitModel {
                             }
                         }
                     }
-                    layers.push(PbitLayer::DenseBin { name: d.name.clone(), weights: packed, fused });
+                    layers.push(PbitLayer::DenseBin {
+                        name: d.name.clone(),
+                        weights: packed,
+                        fused,
+                    });
                     bits_domain = true;
                 }
                 LayerPrecision::BinaryInput8 => {
-                    panic!("{}: BinaryInput8 is only meaningful for the first conv", d.name)
+                    panic!(
+                        "{}: BinaryInput8 is only meaningful for the first conv",
+                        d.name
+                    )
                 }
                 LayerPrecision::Float => {
                     layers.push(PbitLayer::DenseFloat {
@@ -115,11 +141,18 @@ pub fn convert(def: &NetworkDef) -> PbitModel {
             },
             (LayerSpec::Softmax, LayerWeights::None) => layers.push(PbitLayer::Softmax),
             (spec, w) => {
-                panic!("{}: inconsistent layer/weights ({spec:?} vs {w:?})", def.arch.name)
+                panic!(
+                    "{}: inconsistent layer/weights ({spec:?} vs {w:?})",
+                    def.arch.name
+                )
             }
         }
     }
-    PbitModel { name: def.arch.name.clone(), input: def.arch.input, layers }
+    PbitModel {
+        name: def.arch.name.clone(),
+        input: def.arch.input,
+        layers,
+    }
 }
 
 #[cfg(test)]
@@ -133,9 +166,25 @@ mod tests {
 
     fn small_def() -> NetworkDef {
         let arch = NetworkArch::new("small", Shape4::new(1, 8, 8, 3))
-            .conv("conv1", 16, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
+            .conv(
+                "conv1",
+                16,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
             .maxpool("pool1", 2, 2)
-            .conv("conv2", 32, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
+            .conv(
+                "conv2",
+                32,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
             .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
             .softmax();
         let infos = arch.infer();
@@ -195,6 +244,7 @@ mod tests {
         };
         match &model.layers[0] {
             PbitLayer::BConvInput8 { fused, .. } => {
+                #[allow(clippy::needless_range_loop)] // indexes four parallel arrays
                 for i in 0..fused.len() {
                     let expect = bn.mu[i] - bn.beta[i] * bn.sigma[i] / bn.gamma[i] - bias[i];
                     assert!((fused.xi[i] - expect).abs() < 1e-6);

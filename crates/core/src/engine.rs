@@ -6,7 +6,6 @@ use phonebit_gpusim::queue::{CommandQueue, ExecMode};
 use phonebit_gpusim::ExecutorClass;
 use phonebit_gpusim::Phone;
 use phonebit_nn::kernels::{self, bconv, bitplane, dense, fconv, pool};
-use phonebit_nn::workload::INTEGRATION_CHANNEL_LIMIT;
 use phonebit_tensor::bits::BitTensor;
 use phonebit_tensor::shape::{Layout, Shape4};
 use phonebit_tensor::tensor::Tensor;
@@ -98,6 +97,16 @@ impl ActivationData {
     }
 }
 
+/// Per-layer kernel-path decision staged once at [`Session::new`]: the
+/// planner's choice plus, for GEMM-routed layers, the pre-flattened filter
+/// bank — so per-inference runs pay neither the cost model nor the
+/// flatten again.
+#[derive(Debug, Clone)]
+struct ConvRoute {
+    path: crate::planner::ConvPath,
+    flat: Option<phonebit_tensor::bits::PackedFilters<u64>>,
+}
+
 /// An inference session: a model staged on a phone's GPU.
 ///
 /// # Examples
@@ -109,6 +118,8 @@ pub struct Session {
     queue: CommandQueue,
     ctx: Context,
     _weight_residency: Vec<Buffer<u8>>,
+    /// One entry per model layer; `Some` only for [`PbitLayer::BConv`].
+    conv_routes: Vec<Option<ConvRoute>>,
 }
 
 impl Session {
@@ -133,7 +144,14 @@ impl Session {
                 weight_residency.push(ctx.alloc::<u8>(bytes)?);
             }
         }
-        Ok(Self { model, queue, ctx, _weight_residency: weight_residency })
+        let conv_routes = plan_conv_routes(&model, &phone.gpu);
+        Ok(Self {
+            model,
+            queue,
+            ctx,
+            _weight_residency: weight_residency,
+            conv_routes,
+        })
     }
 
     /// Switches the dispatch mode (estimate-only skips host compute).
@@ -211,10 +229,10 @@ impl Session {
         let mut cur_residency = self.ctx.alloc::<u8>(cur.byte_len())?;
         let mut per_layer = Vec::with_capacity(self.model.len());
         let layers = self.model.layers.clone();
-        for layer in &layers {
+        for (idx, layer) in layers.iter().enumerate() {
             let t0 = self.queue.elapsed_s();
             let e0 = self.queue.timeline().len();
-            let next = self.step(layer, cur)?;
+            let next = self.step(idx, layer, cur)?;
             // Ping-pong residency: output allocated, then input released.
             let next_residency = self.ctx.alloc::<u8>(next.byte_len())?;
             drop(cur_residency);
@@ -243,33 +261,71 @@ impl Session {
         })
     }
 
-    fn step(&mut self, layer: &PbitLayer, input: ActivationData) -> Result<ActivationData, EngineError> {
+    fn step(
+        &mut self,
+        idx: usize,
+        layer: &PbitLayer,
+        input: ActivationData,
+    ) -> Result<ActivationData, EngineError> {
+        // Field borrows are disjoint: the route is read-only cache, the
+        // queue is the mutable dispatch state.
+        let route = self.conv_routes.get(idx).and_then(|r| r.as_ref());
         let q = &mut self.queue;
         Ok(match layer {
-            PbitLayer::BConvInput8 { name, geom, filters, fused } => {
+            PbitLayer::BConvInput8 {
+                name,
+                geom,
+                filters,
+                fused,
+            } => {
                 let img = match input {
                     ActivationData::Bytes(t) => t,
                     _ => return Err(domain(name, "u8")),
                 };
                 let planes = bitplane::bitplane_split::<u64>(q, &img);
-                ActivationData::Bits(bitplane::bitplane_conv_fused(q, &planes, filters, fused, geom))
+                ActivationData::Bits(bitplane::bitplane_conv_fused(
+                    q, &planes, filters, fused, geom,
+                ))
             }
-            PbitLayer::BConv { name, geom, filters, fused } => {
+            PbitLayer::BConv {
+                name,
+                geom,
+                filters,
+                fused,
+            } => {
                 let bits = match input {
                     ActivationData::Bits(b) => b,
                     ActivationData::Floats(f) => kernels::pack_input::<u64>(q, &f),
                     _ => return Err(domain(name, "bits")),
                 };
-                // §VI-B: integrate packing when channels permit, otherwise
-                // accumulate + pack separately.
-                if bits.shape().c <= INTEGRATION_CHANNEL_LIMIT {
-                    ActivationData::Bits(bconv::bconv_fused(q, &bits, filters, fused, geom))
-                } else {
-                    let accum = bconv::bconv_accum(q, &bits, filters, geom);
-                    ActivationData::Bits(bconv::binarize_pack(q, &accum, fused))
+                // The planner cost-modeled direct-tiled vs. lowered-GEMM
+                // on this device once at staging time (the §VI-B C > 256
+                // integration limit folds into the direct-path choice);
+                // inference only follows the cached route.
+                let route = route.expect("BConv layer must have a staged route");
+                match route.path {
+                    crate::planner::ConvPath::LoweredGemm => {
+                        let flat = route.flat.as_ref().expect("GEMM route carries a flat bank");
+                        ActivationData::Bits(kernels::bgemm::bconv_lowered_with(
+                            q, &bits, filters, flat, fused, geom,
+                        ))
+                    }
+                    crate::planner::ConvPath::DirectFused => {
+                        ActivationData::Bits(bconv::bconv_fused(q, &bits, filters, fused, geom))
+                    }
+                    crate::planner::ConvPath::DirectUnfused => {
+                        let accum = bconv::bconv_accum(q, &bits, filters, geom);
+                        ActivationData::Bits(bconv::binarize_pack(q, &accum, fused))
+                    }
                 }
             }
-            PbitLayer::FConv { name, geom, filters, bias, activation } => {
+            PbitLayer::FConv {
+                name,
+                geom,
+                filters,
+                bias,
+                activation,
+            } => {
                 let floats = match input {
                     ActivationData::Floats(f) => f,
                     ActivationData::Bits(b) => kernels::unpack_bits(q, &b),
@@ -292,7 +348,11 @@ impl Session {
                 };
                 ActivationData::Floats(pool::maxpool_f32(q, &floats, geom))
             }
-            PbitLayer::DenseBin { name, weights, fused } => {
+            PbitLayer::DenseBin {
+                name,
+                weights,
+                fused,
+            } => {
                 let bits = match input {
                     ActivationData::Bits(b) => b,
                     ActivationData::Floats(f) => kernels::pack_input::<u64>(q, &f),
@@ -301,7 +361,12 @@ impl Session {
                 let flat = dense::flatten_bits(&bits);
                 ActivationData::Bits(dense::dense_bin(q, &flat, weights, fused))
             }
-            PbitLayer::DenseFloat { name, weights, bias, activation } => {
+            PbitLayer::DenseFloat {
+                name,
+                weights,
+                bias,
+                activation,
+            } => {
                 let floats = match input {
                     ActivationData::Floats(f) => f,
                     ActivationData::Bits(b) => kernels::unpack_bits(q, &b),
@@ -339,8 +404,60 @@ impl Session {
     }
 }
 
+/// Walks the model's layer shapes once and runs the planner for every
+/// binary convolution, pre-flattening filters for GEMM-routed layers.
+fn plan_conv_routes(
+    model: &PbitModel,
+    device: &phonebit_gpusim::DeviceProfile,
+) -> Vec<Option<ConvRoute>> {
+    let mut cur = model.input;
+    let mut routes = Vec::with_capacity(model.layers.len());
+    for layer in &model.layers {
+        let (route, next) = match layer {
+            PbitLayer::BConv { geom, filters, .. } => {
+                let (oh, ow) = geom.output_hw(cur.h, cur.w);
+                let k = filters.shape().k;
+                let plan =
+                    crate::planner::select_conv_path(device, cur.n * oh * ow, k, cur.c, geom);
+                let flat = (plan.path == crate::planner::ConvPath::LoweredGemm)
+                    .then(|| kernels::bgemm::flatten_filters(filters));
+                (
+                    Some(ConvRoute {
+                        path: plan.path,
+                        flat,
+                    }),
+                    Shape4::new(cur.n, oh, ow, k),
+                )
+            }
+            PbitLayer::BConvInput8 { geom, filters, .. } => {
+                let (oh, ow) = geom.output_hw(cur.h, cur.w);
+                (None, Shape4::new(cur.n, oh, ow, filters.shape().k))
+            }
+            PbitLayer::FConv { geom, filters, .. } => {
+                let (oh, ow) = geom.output_hw(cur.h, cur.w);
+                (None, Shape4::new(cur.n, oh, ow, filters.shape().k))
+            }
+            PbitLayer::MaxPoolBits { geom, .. } | PbitLayer::MaxPoolF32 { geom, .. } => {
+                let (oh, ow) = geom.output_hw(cur.h, cur.w);
+                (None, Shape4::new(cur.n, oh, ow, cur.c))
+            }
+            PbitLayer::DenseBin { weights, .. } => {
+                (None, Shape4::new(cur.n, 1, 1, weights.shape().k))
+            }
+            PbitLayer::DenseFloat { bias, .. } => (None, Shape4::new(cur.n, 1, 1, bias.len())),
+            PbitLayer::Softmax => (None, cur),
+        };
+        routes.push(route);
+        cur = next;
+    }
+    routes
+}
+
 fn domain(layer: &str, expected: &'static str) -> EngineError {
-    EngineError::DomainMismatch { layer: layer.to_string(), expected }
+    EngineError::DomainMismatch {
+        layer: layer.to_string(),
+        expected,
+    }
 }
 
 #[cfg(test)]
@@ -350,17 +467,32 @@ mod tests {
     use phonebit_nn::act::Activation;
     use phonebit_nn::fuse::BnParams;
     use phonebit_nn::graph::{
-        ConvWeights, DenseWeights, LayerPrecision, LayerSpec, LayerWeights, NetworkArch,
-        NetworkDef,
+        ConvWeights, DenseWeights, LayerPrecision, LayerSpec, LayerWeights, NetworkArch, NetworkDef,
     };
     use phonebit_tensor::shape::FilterShape;
     use phonebit_tensor::tensor::Filters;
 
     fn small_def() -> NetworkDef {
         let arch = NetworkArch::new("small", Shape4::new(1, 8, 8, 3))
-            .conv("conv1", 16, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
+            .conv(
+                "conv1",
+                16,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
             .maxpool("pool1", 2, 2)
-            .conv("conv2", 24, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
+            .conv(
+                "conv2",
+                24,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
             .maxpool("pool2", 2, 2)
             .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
             .softmax();
@@ -373,7 +505,9 @@ mod tests {
                         FilterShape::new(c.out_channels, 3, 3, info.input.c),
                         |k, i, j, ch| (((k * 31 + i * 7 + j * 3 + ch) % 5) as f32) - 2.0,
                     ),
-                    bias: (0..c.out_channels).map(|i| (i % 3) as f32 * 0.2 - 0.2).collect(),
+                    bias: (0..c.out_channels)
+                        .map(|i| (i % 3) as f32 * 0.2 - 0.2)
+                        .collect(),
                     bn: Some(BnParams {
                         gamma: (0..c.out_channels)
                             .map(|i| if i % 5 == 0 { -0.8 } else { 1.2 })
@@ -429,7 +563,10 @@ mod tests {
         let ta = a.output.unwrap().into_floats().unwrap();
         let tb = b.output.unwrap().into_floats().unwrap();
         assert_eq!(ta, tb);
-        assert!((a.total_s - b.total_s).abs() < 1e-12, "modeled time is deterministic");
+        assert!(
+            (a.total_s - b.total_s).abs() < 1e-12,
+            "modeled time is deterministic"
+        );
     }
 
     #[test]
@@ -453,6 +590,99 @@ mod tests {
         let t5 = s5.run_u8(&image()).unwrap().total_s;
         let t9 = s9.run_u8(&image()).unwrap().total_s;
         assert!(t9 < t5, "SD855 ({t9}) must beat SD820 ({t5})");
+    }
+
+    #[test]
+    fn wide_conv_follows_cached_planner_route() {
+        use phonebit_tensor::bits::PackedFilters;
+        use phonebit_tensor::pack::pack_f32;
+        use phonebit_tensor::shape::{ConvGeometry, FilterShape};
+
+        // C = 512 (> integration limit), K = 512: the planner weighs the
+        // int32 round trip against the im2col round trip. Whatever it
+        // picks at staging time, inference must follow the cached route
+        // and stay bit-exact with the direct fused kernel.
+        let (c, k) = (512usize, 512usize);
+        let geom = ConvGeometry::square(3, 1, 1);
+        let mut filters = PackedFilters::<u64>::zeros(FilterShape::new(k, 3, 3, c));
+        for kk in 0..k {
+            for i in 0..3 {
+                for j in 0..3 {
+                    for ch in 0..c {
+                        filters.set_bit(kk, i, j, ch, (kk * 7 + i + j * 3 + ch).is_multiple_of(3));
+                    }
+                }
+            }
+        }
+        let fused = phonebit_nn::fuse::FusedBn::identity(k);
+        let model = PbitModel {
+            name: "wide".into(),
+            input: Shape4::new(1, 6, 6, c),
+            layers: vec![PbitLayer::BConv {
+                name: "conv".into(),
+                geom,
+                filters: filters.clone(),
+                fused: fused.clone(),
+            }],
+        };
+        let input = Tensor::from_fn(Shape4::new(1, 6, 6, c), |_, h, w, ch| {
+            if (h * 5 + w * 3 + ch).is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+
+        let plan = crate::planner::select_conv_path(&Phone::xiaomi_9().gpu, 36, k, c, &geom);
+        let mut session = Session::new(model, &Phone::xiaomi_9()).unwrap();
+        let report = session.run_f32(&input).unwrap();
+
+        // The dispatched kernels match the staged route.
+        let names: Vec<&str> = session
+            .timeline()
+            .iter()
+            .map(|e| e.stats.name.as_str())
+            .collect();
+        match plan.path {
+            crate::planner::ConvPath::LoweredGemm => {
+                assert!(
+                    names.contains(&"bgemm_fused"),
+                    "route {:?}: {names:?}",
+                    plan.path
+                )
+            }
+            crate::planner::ConvPath::DirectFused => {
+                assert!(
+                    names.contains(&"bconv_fused"),
+                    "route {:?}: {names:?}",
+                    plan.path
+                )
+            }
+            crate::planner::ConvPath::DirectUnfused => {
+                assert!(
+                    names.contains(&"bconv_accum"),
+                    "route {:?}: {names:?}",
+                    plan.path
+                )
+            }
+        }
+
+        // Bit-exact against the direct fused kernel.
+        let mut q = CommandQueue::new(
+            Phone::xiaomi_9().gpu,
+            phonebit_gpusim::ExecutorClass::PhoneBitOpenCl,
+        );
+        let direct = phonebit_nn::kernels::bconv::bconv_fused(
+            &mut q,
+            &pack_f32::<u64>(&input),
+            &filters,
+            &fused,
+            &geom,
+        );
+        match report.output.unwrap() {
+            ActivationData::Bits(bits) => assert_eq!(bits, direct),
+            other => panic!("expected packed bits, got {other:?}"),
+        }
     }
 
     #[test]
@@ -502,7 +732,9 @@ mod tests {
         let trace_avg = {
             // Downstream crates use phonebit-profiler; here we check the
             // inputs are sane: every event has positive time and energy.
-            assert!(events.iter().all(|e| e.stats.time_s > 0.0 && e.stats.energy_j > 0.0));
+            assert!(events
+                .iter()
+                .all(|e| e.stats.time_s > 0.0 && e.stats.energy_j > 0.0));
             EnergyParams::for_kind(DeviceKind::Gpu).p_static_w
         };
         assert!(trace_avg > 0.0);

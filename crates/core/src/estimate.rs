@@ -14,7 +14,9 @@ use phonebit_gpusim::queue::CommandQueue;
 use phonebit_gpusim::{ExecutorClass, Phone};
 use phonebit_nn::graph::{LayerPrecision, LayerSpec, NetworkArch, PoolKind};
 use phonebit_nn::kernels::profiles;
-use phonebit_nn::workload::{WorkloadPolicy, INTEGRATION_CHANNEL_LIMIT};
+use phonebit_nn::workload::WorkloadPolicy;
+
+use crate::planner::ConvPath;
 
 use crate::stats::{LayerRun, RunReport};
 
@@ -92,71 +94,100 @@ pub fn estimate_arch_opts(phone: &Phone, arch: &NetworkArch, opts: EstimateOptio
                 }
                 LayerPrecision::Binary => {
                     if domain == Domain::Floats {
-                        q.launch(profiles::pack_input(info.input.pixels(), info.input.c), || {});
+                        q.launch(
+                            profiles::pack_input(info.input.pixels(), info.input.c),
+                            || {},
+                        );
                     }
                     let policy = if opts.force_unfused {
                         WorkloadPolicy::never_integrated()
                     } else {
                         WorkloadPolicy::for_channels(info.input.c)
                     };
-                    if opts.lowered_gemm {
-                        q.launch(
-                            phonebit_nn::kernels::bgemm::pack_windows_profile(
-                                info.output.pixels(),
-                                info.input.c,
-                                &c.geom,
-                            ),
-                            || {},
-                        );
-                        q.launch(
-                            phonebit_nn::kernels::bgemm::bgemm_profile(
-                                info.output.pixels(),
-                                info.output.c,
-                                info.input.c,
-                                &c.geom,
-                            ),
-                            || {},
-                        );
-                    } else if info.input.c <= INTEGRATION_CHANNEL_LIMIT && !opts.force_unfused {
-                        let profile = if opts.divergent_binarize {
-                            profiles::bconv_fused_divergent(
-                                info.output.pixels(),
-                                info.output.c,
-                                info.input.c,
-                                &c.geom,
-                                &policy,
-                            )
-                        } else {
-                            profiles::bconv_fused(
-                                info.output.pixels(),
-                                info.output.c,
-                                info.input.c,
-                                &c.geom,
-                                &policy,
-                            )
-                        };
-                        q.launch(profile, || {});
+                    // Default routing mirrors the engine: the planner
+                    // cost-models direct-tiled vs. lowered-GEMM per layer.
+                    // Ablation options override the choice.
+                    let path = if opts.lowered_gemm {
+                        ConvPath::LoweredGemm
+                    } else if opts.force_unfused {
+                        ConvPath::DirectUnfused
                     } else {
-                        q.launch(
-                            profiles::bconv_accum(
-                                info.output.pixels(),
-                                info.output.c,
-                                info.input.c,
-                                &c.geom,
-                                &policy,
-                            ),
-                            || {},
-                        );
-                        q.launch(
-                            profiles::binarize_pack(info.output.pixels(), info.output.c),
-                            || {},
-                        );
+                        crate::planner::select_conv_path(
+                            q.device(),
+                            info.output.pixels(),
+                            info.output.c,
+                            info.input.c,
+                            &c.geom,
+                        )
+                        .path
+                    };
+                    match path {
+                        ConvPath::LoweredGemm => {
+                            if !c.geom.is_pointwise() {
+                                q.launch(
+                                    phonebit_nn::kernels::bgemm::pack_windows_profile(
+                                        info.output.pixels(),
+                                        info.input.c,
+                                        &c.geom,
+                                    ),
+                                    || {},
+                                );
+                            }
+                            q.launch(
+                                phonebit_nn::kernels::bgemm::bgemm_profile(
+                                    info.output.pixels(),
+                                    info.output.c,
+                                    info.input.c,
+                                    &c.geom,
+                                ),
+                                || {},
+                            );
+                        }
+                        ConvPath::DirectFused => {
+                            let profile = if opts.divergent_binarize {
+                                profiles::bconv_fused_divergent(
+                                    info.output.pixels(),
+                                    info.output.c,
+                                    info.input.c,
+                                    &c.geom,
+                                    &policy,
+                                )
+                            } else {
+                                profiles::bconv_fused(
+                                    info.output.pixels(),
+                                    info.output.c,
+                                    info.input.c,
+                                    &c.geom,
+                                    &policy,
+                                )
+                            };
+                            q.launch(profile, || {});
+                        }
+                        ConvPath::DirectUnfused => {
+                            q.launch(
+                                profiles::bconv_accum(
+                                    info.output.pixels(),
+                                    info.output.c,
+                                    info.input.c,
+                                    &c.geom,
+                                    &policy,
+                                ),
+                                || {},
+                            );
+                            q.launch(
+                                profiles::binarize_pack(info.output.pixels(), info.output.c),
+                                || {},
+                            );
+                        }
                     }
                     domain = Domain::Bits;
                 }
                 LayerPrecision::Float => {
                     if domain == Domain::Bits {
-                        q.launch(profiles::unpack_bits(info.input.pixels(), info.input.c), || {});
+                        q.launch(
+                            profiles::unpack_bits(info.input.pixels(), info.input.c),
+                            || {},
+                        );
                     }
                     let mut p =
                         profiles::fconv(info.output.pixels(), info.output.c, info.input.c, &c.geom);
@@ -216,8 +247,7 @@ pub fn estimate_arch_opts(phone: &Phone, arch: &NetworkArch, opts: EstimateOptio
                 domain = Domain::Floats;
             }
         }
-        let energy_j: f64 =
-            q.timeline()[e0..].iter().map(|ev| ev.stats.energy_j).sum();
+        let energy_j: f64 = q.timeline()[e0..].iter().map(|ev| ev.stats.energy_j).sum();
         per_layer.push(LayerRun {
             name: layer.name().to_string(),
             output_shape: info.output,
@@ -243,11 +273,43 @@ mod tests {
 
     fn arch() -> NetworkArch {
         NetworkArch::new("est", Shape4::new(1, 16, 16, 3))
-            .conv("conv1", 16, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
+            .conv(
+                "conv1",
+                16,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
             .maxpool("pool1", 2, 2)
-            .conv("conv2", 512, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
-            .conv("conv3", 512, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
-            .conv("conv4", 10, 1, 1, 0, LayerPrecision::Float, Activation::Linear)
+            .conv(
+                "conv2",
+                512,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
+            .conv(
+                "conv3",
+                512,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
+            .conv(
+                "conv4",
+                10,
+                1,
+                1,
+                0,
+                LayerPrecision::Float,
+                Activation::Linear,
+            )
             .softmax()
     }
 

@@ -151,21 +151,37 @@ pub fn write_model(model: &PbitModel) -> Vec<u8> {
     out.put_u32_le(model.layers.len() as u32);
     for layer in &model.layers {
         match layer {
-            PbitLayer::BConvInput8 { name, geom, filters, fused } => {
+            PbitLayer::BConvInput8 {
+                name,
+                geom,
+                filters,
+                fused,
+            } => {
                 out.put_u8(1);
                 put_string(&mut out, name);
                 put_geom(&mut out, geom);
                 put_packed(&mut out, filters);
                 put_fused(&mut out, fused);
             }
-            PbitLayer::BConv { name, geom, filters, fused } => {
+            PbitLayer::BConv {
+                name,
+                geom,
+                filters,
+                fused,
+            } => {
                 out.put_u8(2);
                 put_string(&mut out, name);
                 put_geom(&mut out, geom);
                 put_packed(&mut out, filters);
                 put_fused(&mut out, fused);
             }
-            PbitLayer::FConv { name, geom, filters, bias, activation } => {
+            PbitLayer::FConv {
+                name,
+                geom,
+                filters,
+                bias,
+                activation,
+            } => {
                 out.put_u8(3);
                 put_string(&mut out, name);
                 put_geom(&mut out, geom);
@@ -185,13 +201,22 @@ pub fn write_model(model: &PbitModel) -> Vec<u8> {
                 out.put_u32_le(geom.size as u32);
                 out.put_u32_le(geom.stride as u32);
             }
-            PbitLayer::DenseBin { name, weights, fused } => {
+            PbitLayer::DenseBin {
+                name,
+                weights,
+                fused,
+            } => {
                 out.put_u8(6);
                 put_string(&mut out, name);
                 put_packed(&mut out, weights);
                 put_fused(&mut out, fused);
             }
-            PbitLayer::DenseFloat { name, weights, bias, activation } => {
+            PbitLayer::DenseFloat {
+                name,
+                weights,
+                bias,
+                activation,
+            } => {
                 out.put_u8(7);
                 put_string(&mut out, name);
                 out.put_u32_le(bias.len() as u32);
@@ -254,7 +279,12 @@ impl<'a> Reader<'a> {
     }
 
     fn shape(&mut self) -> Result<Shape4, FormatError> {
-        Ok(Shape4::new(self.u32()?, self.u32()?, self.u32()?, self.u32()?))
+        Ok(Shape4::new(
+            self.u32()?,
+            self.u32()?,
+            self.u32()?,
+            self.u32()?,
+        ))
     }
 
     fn geom(&mut self) -> Result<ConvGeometry, FormatError> {
@@ -310,7 +340,9 @@ impl<'a> Reader<'a> {
             }
         }
         if !p.tail_is_clean() {
-            return Err(FormatError::BadData("dirty tail bits in packed filters".into()));
+            return Err(FormatError::BadData(
+                "dirty tail bits in packed filters".into(),
+            ));
         }
         Ok(p)
     }
@@ -407,7 +439,11 @@ pub fn read_model(payload: &[u8]) -> Result<PbitModel, FormatError> {
                 name: r.string()?,
                 geom: PoolGeometry::new(r.u32()?, r.u32()?),
             },
-            6 => PbitLayer::DenseBin { name: r.string()?, weights: r.packed()?, fused: r.fused()? },
+            6 => PbitLayer::DenseBin {
+                name: r.string()?,
+                weights: r.packed()?,
+                fused: r.fused()?,
+            },
             7 => {
                 let name = r.string()?;
                 let _out = r.u32()?;
@@ -422,7 +458,11 @@ pub fn read_model(payload: &[u8]) -> Result<PbitModel, FormatError> {
             t => return Err(FormatError::BadTag(t)),
         });
     }
-    Ok(PbitModel { name, input, layers })
+    Ok(PbitModel {
+        name,
+        input,
+        layers,
+    })
 }
 
 /// Writes a model to a file.
@@ -475,7 +515,10 @@ mod tests {
                     filters: filters.clone(),
                     fused: fused.clone(),
                 },
-                PbitLayer::MaxPoolBits { name: "pool1".into(), geom: PoolGeometry::new(2, 2) },
+                PbitLayer::MaxPoolBits {
+                    name: "pool1".into(),
+                    geom: PoolGeometry::new(2, 2),
+                },
                 PbitLayer::BConv {
                     name: "conv2".into(),
                     geom: ConvGeometry::square(3, 2, 1),
@@ -492,7 +535,11 @@ mod tests {
                     bias: vec![0.1, -0.2],
                     activation: Activation::Leaky(0.1),
                 },
-                PbitLayer::DenseBin { name: "fc1".into(), weights: dense_w, fused },
+                PbitLayer::DenseBin {
+                    name: "fc1".into(),
+                    weights: dense_w,
+                    fused,
+                },
                 PbitLayer::DenseFloat {
                     name: "fc2".into(),
                     weights: vec![1.0, -2.0, 3.0, -4.0],
@@ -534,7 +581,10 @@ mod tests {
         let mut payload = write_model(&sample_model());
         payload[4] = 0xFF;
         payload[5] = 0xFF;
-        assert_eq!(read_model(&payload), Err(FormatError::UnsupportedVersion(0xFFFF)));
+        assert_eq!(
+            read_model(&payload),
+            Err(FormatError::UnsupportedVersion(0xFFFF))
+        );
     }
 
     #[test]

@@ -37,4 +37,5 @@ pub use convert::convert;
 pub use engine::{ActivationData, EngineError, Session};
 pub use estimate::{estimate_arch, estimate_arch_opts, EstimateOptions};
 pub use model::{PbitLayer, PbitModel};
+pub use planner::{plan, select_conv_path, ConvPath, ConvPlan, MemoryPlan};
 pub use stats::{LayerRun, RunReport};

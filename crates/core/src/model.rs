@@ -107,15 +107,9 @@ impl PbitLayer {
     pub fn param_bytes(&self) -> usize {
         match self {
             PbitLayer::BConvInput8 { filters, fused, .. }
-            | PbitLayer::BConv { filters, fused, .. } => {
-                filters.byte_len() + fused.len() * 5
-            }
-            PbitLayer::FConv { filters, bias, .. } => {
-                filters.shape().len() * 4 + bias.len() * 4
-            }
-            PbitLayer::DenseBin { weights, fused, .. } => {
-                weights.byte_len() + fused.len() * 5
-            }
+            | PbitLayer::BConv { filters, fused, .. } => filters.byte_len() + fused.len() * 5,
+            PbitLayer::FConv { filters, bias, .. } => filters.shape().len() * 4 + bias.len() * 4,
+            PbitLayer::DenseBin { weights, fused, .. } => weights.byte_len() + fused.len() * 5,
             PbitLayer::DenseFloat { weights, bias, .. } => (weights.len() + bias.len()) * 4,
             PbitLayer::MaxPoolBits { .. } | PbitLayer::MaxPoolF32 { .. } | PbitLayer::Softmax => 0,
         }
@@ -189,7 +183,10 @@ mod tests {
             name: "m".into(),
             input: Shape4::new(1, 8, 8, 3),
             layers: vec![
-                PbitLayer::MaxPoolBits { name: "p".into(), geom: PoolGeometry::new(2, 2) },
+                PbitLayer::MaxPoolBits {
+                    name: "p".into(),
+                    geom: PoolGeometry::new(2, 2),
+                },
                 PbitLayer::Softmax,
             ],
         };
@@ -217,7 +214,10 @@ mod tests {
     #[test]
     fn layer_names() {
         assert_eq!(PbitLayer::Softmax.name(), "softmax");
-        let p = PbitLayer::MaxPoolF32 { name: "pool3".into(), geom: PoolGeometry::new(2, 2) };
+        let p = PbitLayer::MaxPoolF32 {
+            name: "pool3".into(),
+            geom: PoolGeometry::new(2, 2),
+        };
         assert_eq!(p.name(), "pool3");
     }
 }

@@ -1,13 +1,26 @@
-//! Memory planning: what a deployed PhoneBit model occupies at runtime.
+//! Deployment planning: memory footprint and per-layer kernel-path choice.
 //!
-//! The engine ping-pongs two activation buffers (input and output of the
-//! current layer) over resident packed weights — the "minimal memory
-//! footprint during run-time" of the paper's §I. This module computes that
-//! footprint analytically so harnesses can check a model against a phone's
-//! app budget without staging it.
+//! **Memory**: the engine ping-pongs two activation buffers (input and
+//! output of the current layer) over resident packed weights — the "minimal
+//! memory footprint during run-time" of the paper's §I. [`plan`] computes
+//! that footprint analytically so harnesses can check a model against a
+//! phone's app budget without staging it.
+//!
+//! **Kernel path**: each binary convolution can run three ways — the
+//! direct tiled fused kernel, the direct tiled accumulate + separate pack
+//! (when `C > 256` private memory forbids integration), or the
+//! Espresso-style bit-im2col + bit-GEMM lowering. [`select_conv_path`]
+//! cost-models all of them on the target device and picks the fastest;
+//! the engine and the full-scale estimator both route through it, and the
+//! ablation binary prints the per-layer decisions.
 
-use phonebit_gpusim::Phone;
+use phonebit_gpusim::calib::{CostParams, EnergyParams};
+use phonebit_gpusim::cost::estimate;
+use phonebit_gpusim::{DeviceKind, DeviceProfile, ExecutorClass, Phone};
 use phonebit_nn::graph::{LayerPrecision, LayerSpec, NetworkArch};
+use phonebit_nn::kernels::{bgemm, profiles};
+use phonebit_nn::workload::{WorkloadPolicy, INTEGRATION_CHANNEL_LIMIT};
+use phonebit_tensor::shape::ConvGeometry;
 
 /// Activation representation at a layer boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +79,105 @@ impl MemoryPlan {
     }
 }
 
+/// How a binary convolution layer is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvPath {
+    /// Direct tiled kernel with integrated binarize+pack (`C ≤ 256`).
+    DirectFused,
+    /// Direct tiled accumulate + separate binarize/pack kernel (the §VI-B
+    /// private-memory fallback for `C > 256`).
+    DirectUnfused,
+    /// Bit-im2col + register-tiled bit-GEMM (Espresso-style lowering; for
+    /// 1×1/s1/p0 convolutions the im2col is a zero-cost view, so this *is*
+    /// the natural kernel).
+    LoweredGemm,
+}
+
+impl std::fmt::Display for ConvPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvPath::DirectFused => write!(f, "direct-tiled"),
+            ConvPath::DirectUnfused => write!(f, "direct-tiled+pack"),
+            ConvPath::LoweredGemm => write!(f, "lowered-bgemm"),
+        }
+    }
+}
+
+/// A per-layer kernel-path decision with the modeled costs behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvPlan {
+    /// The chosen path.
+    pub path: ConvPath,
+    /// Modeled seconds on the direct (tiled) path.
+    pub direct_s: f64,
+    /// Modeled seconds on the lowered bit-GEMM path.
+    pub lowered_s: f64,
+}
+
+/// Cost-models the direct-tiled and lowered-GEMM executions of one binary
+/// convolution on `device` and picks the faster.
+///
+/// A 1×1 stride-1 unpadded convolution *is* a GEMM — each window row
+/// aliases the input pixel row, so the lowering skips materialization and
+/// wins structurally. Everything else compares modeled dispatch times:
+/// direct pays either one fused kernel (`C ≤ 256`) or the
+/// accumulate + pack pair, lowered pays the bit-im2col round trip plus the
+/// GEMM.
+pub fn select_conv_path(
+    device: &DeviceProfile,
+    out_pixels: usize,
+    out_channels: usize,
+    in_channels: usize,
+    geom: &ConvGeometry,
+) -> ConvPlan {
+    let params = CostParams::for_executor(ExecutorClass::PhoneBitOpenCl);
+    let energy = EnergyParams::for_kind(DeviceKind::Gpu);
+    let time = |p| estimate(&p, device, &params, &energy).time_s;
+
+    let policy = WorkloadPolicy::for_channels(in_channels);
+    let direct_s = if in_channels <= INTEGRATION_CHANNEL_LIMIT {
+        time(profiles::bconv_fused(
+            out_pixels,
+            out_channels,
+            in_channels,
+            geom,
+            &policy,
+        ))
+    } else {
+        time(profiles::bconv_accum(
+            out_pixels,
+            out_channels,
+            in_channels,
+            geom,
+            &policy,
+        )) + time(profiles::binarize_pack(out_pixels, out_channels))
+    };
+
+    let gemm_is_view = geom.is_pointwise();
+    let mut lowered_s = time(bgemm::bgemm_profile(
+        out_pixels,
+        out_channels,
+        in_channels,
+        geom,
+    ));
+    if !gemm_is_view {
+        lowered_s += time(bgemm::pack_windows_profile(out_pixels, in_channels, geom));
+    }
+
+    let path = if gemm_is_view || lowered_s < direct_s {
+        ConvPath::LoweredGemm
+    } else if in_channels <= INTEGRATION_CHANNEL_LIMIT {
+        ConvPath::DirectFused
+    } else {
+        ConvPath::DirectUnfused
+    };
+    ConvPlan {
+        path,
+        direct_s,
+        lowered_s,
+    }
+}
+
 /// Plans the deployed footprint of an architecture under PhoneBit's
 /// binarized execution.
 pub fn plan(arch: &NetworkArch) -> MemoryPlan {
@@ -84,8 +196,7 @@ pub fn plan(arch: &NetworkArch) -> MemoryPlan {
             LayerSpec::Conv(c) => match c.precision {
                 LayerPrecision::BinaryInput8 => {
                     // 8 packed planes of the input live during the layer.
-                    let planes =
-                        8 * ActivationKind::Bits.bytes(info.input.pixels(), info.input.c);
+                    let planes = 8 * ActivationKind::Bits.bytes(info.input.pixels(), info.input.c);
                     (ActivationKind::Bits, planes)
                 }
                 LayerPrecision::Binary => {
@@ -133,10 +244,34 @@ mod tests {
 
     fn arch() -> NetworkArch {
         NetworkArch::new("plan", Shape4::new(1, 32, 32, 3))
-            .conv("conv1", 64, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
+            .conv(
+                "conv1",
+                64,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
             .maxpool("pool1", 2, 2)
-            .conv("conv2", 512, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
-            .conv("conv3", 64, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
+            .conv(
+                "conv2",
+                512,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
+            .conv(
+                "conv3",
+                64,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
             .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
     }
 
@@ -178,5 +313,58 @@ mod tests {
         let p = plan(&arch());
         assert!(p.fits(&Phone::xiaomi_5()));
         assert!(p.fits(&Phone::xiaomi_9()));
+    }
+
+    #[test]
+    fn planner_picks_direct_for_paper_3x3_layers() {
+        // The paper's flagship shapes (3x3, C in 64..256) must stay on the
+        // direct tiled kernel: the lowering pays the im2col DRAM round trip.
+        let dev = phonebit_gpusim::DeviceProfile::adreno_640();
+        for (pixels, k, c) in [
+            (52 * 52, 128, 128),
+            (26 * 26, 256, 128),
+            (104 * 104, 32, 16),
+        ] {
+            let plan = select_conv_path(&dev, pixels, k, c, &ConvGeometry::square(3, 1, 1));
+            assert_eq!(plan.path, ConvPath::DirectFused, "k={k} c={c}");
+            assert!(plan.lowered_s > plan.direct_s, "k={k} c={c}");
+        }
+    }
+
+    #[test]
+    fn planner_weighs_round_trips_above_channel_limit() {
+        // Above C = 256 the direct path pays an int32 accumulator round
+        // trip (4 B/output); the lowering pays a packed-window round trip
+        // (taps*C/8 bits/pixel). Wide layers (K large) favor the GEMM,
+        // narrow compression layers (K small) keep the direct fallback.
+        let dev = phonebit_gpusim::DeviceProfile::adreno_640();
+        let g = ConvGeometry::square(3, 1, 1);
+        let wide = select_conv_path(&dev, 13 * 13, 512, 512, &g);
+        assert_eq!(wide.path, ConvPath::LoweredGemm);
+        assert!(wide.lowered_s < wide.direct_s);
+        let narrow = select_conv_path(&dev, 13 * 13, 16, 512, &g);
+        assert_eq!(narrow.path, ConvPath::DirectUnfused);
+        assert!(narrow.direct_s < narrow.lowered_s);
+    }
+
+    #[test]
+    fn planner_routes_pointwise_conv_to_gemm_view() {
+        // 1x1/s1/p0: every window row aliases the input row, so the lowering
+        // is a pure bit-GEMM with no materialization kernel.
+        let dev = phonebit_gpusim::DeviceProfile::adreno_640();
+        let plan = select_conv_path(&dev, 26 * 26, 256, 128, &ConvGeometry::square(1, 1, 0));
+        assert_eq!(plan.path, ConvPath::LoweredGemm);
+        // A padded or strided 1x1 still needs materialization and is judged
+        // on modeled time like any other shape.
+        let strided = ConvGeometry::square(1, 2, 0);
+        let p2 = select_conv_path(&dev, 13 * 13, 256, 128, &strided);
+        assert!(p2.lowered_s > 0.0 && p2.direct_s > 0.0);
+    }
+
+    #[test]
+    fn conv_path_display_names_are_stable() {
+        assert_eq!(ConvPath::DirectFused.to_string(), "direct-tiled");
+        assert_eq!(ConvPath::DirectUnfused.to_string(), "direct-tiled+pack");
+        assert_eq!(ConvPath::LoweredGemm.to_string(), "lowered-bgemm");
     }
 }

@@ -57,7 +57,10 @@ impl RunReport {
 
     /// Time of one named layer, if present.
     pub fn layer_time_s(&self, name: &str) -> Option<f64> {
-        self.per_layer.iter().find(|l| l.name == name).map(|l| l.time_s)
+        self.per_layer
+            .iter()
+            .find(|l| l.name == name)
+            .map(|l| l.time_s)
     }
 
     /// Renders a per-layer table.

@@ -29,7 +29,11 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::OutOfMemory { requested, in_use, budget } => write!(
+            SimError::OutOfMemory {
+                requested,
+                in_use,
+                budget,
+            } => write!(
                 f,
                 "out of memory: requested {requested} B with {in_use} B in use (budget {budget} B)"
             ),
@@ -58,7 +62,11 @@ pub struct Context {
 impl Context {
     /// Creates a context with the given budget in bytes.
     pub fn new(device: DeviceProfile, budget_bytes: usize) -> Self {
-        Self { device, budget: budget_bytes, mem: Arc::new(MemAccounting::default()) }
+        Self {
+            device,
+            budget: budget_bytes,
+            mem: Arc::new(MemAccounting::default()),
+        }
     }
 
     /// Creates a context with an effectively unlimited budget.
@@ -127,7 +135,11 @@ impl Context {
                 Err(actual) => cur = actual,
             }
         }
-        Ok(Buffer { data, bytes, mem: Arc::clone(&self.mem) })
+        Ok(Buffer {
+            data,
+            bytes,
+            mem: Arc::clone(&self.mem),
+        })
     }
 
     /// Checks whether an additional `bytes` would fit without allocating.
@@ -220,7 +232,11 @@ mod tests {
         let c = ctx(100);
         let err = c.alloc::<f32>(100).unwrap_err();
         match err {
-            SimError::OutOfMemory { requested, in_use, budget } => {
+            SimError::OutOfMemory {
+                requested,
+                in_use,
+                budget,
+            } => {
                 assert_eq!(requested, 400);
                 assert_eq!(in_use, 0);
                 assert_eq!(budget, 100);
@@ -262,7 +278,11 @@ mod tests {
 
     #[test]
     fn display_of_oom_error() {
-        let e = SimError::OutOfMemory { requested: 4, in_use: 2, budget: 5 };
+        let e = SimError::OutOfMemory {
+            requested: 4,
+            in_use: 2,
+            budget: 5,
+        };
         let s = e.to_string();
         assert!(s.contains("out of memory") && s.contains("4 B"));
     }

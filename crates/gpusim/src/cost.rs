@@ -59,11 +59,23 @@ pub fn estimate(
             / int_rate)
         * profile.divergence;
 
-    let units = if params.single_core { 1 } else { device.compute_units };
-    let lanes = if params.uses_simd { device.alus_per_cu } else { 1 };
+    let units = if params.single_core {
+        1
+    } else {
+        device.compute_units
+    };
+    let lanes = if params.uses_simd {
+        device.alus_per_cu
+    } else {
+        1
+    };
     let compute_rate =
         (units * lanes) as f64 * occupancy * device.clock_mhz * 1e6 * params.issue_eff;
-    let t_compute = if executed_cycles > 0.0 { executed_cycles / compute_rate } else { 0.0 };
+    let t_compute = if executed_cycles > 0.0 {
+        executed_cycles / compute_rate
+    } else {
+        0.0
+    };
 
     let bytes = profile.total_bytes();
     let mem_rate = device.dram_gbps * 1e9 * profile.coalescing * params.mem_eff;
@@ -115,7 +127,9 @@ mod tests {
     }
 
     fn basic_profile(ops: f64, bytes: f64) -> KernelProfile {
-        KernelProfile::new("k", NdRange::linear(1024)).f32_ops(ops).reads(bytes)
+        KernelProfile::new("k", NdRange::linear(1024))
+            .f32_ops(ops)
+            .reads(bytes)
     }
 
     #[test]
@@ -146,11 +160,18 @@ mod tests {
     #[test]
     fn poor_coalescing_slows_memory() {
         let (d, p, e) = setup();
-        let good = KernelProfile::new("k", NdRange::linear(64)).reads(1e8).coalescing(1.0);
-        let bad = KernelProfile::new("k", NdRange::linear(64)).reads(1e8).coalescing(0.25);
+        let good = KernelProfile::new("k", NdRange::linear(64))
+            .reads(1e8)
+            .coalescing(1.0);
+        let bad = KernelProfile::new("k", NdRange::linear(64))
+            .reads(1e8)
+            .coalescing(0.25);
         let tg = estimate(&good, &d, &p, &e).time_s;
         let tb = estimate(&bad, &d, &p, &e).time_s;
-        assert!(tb > 3.0 * tg, "coalescing 0.25 should be ~4x slower: {tb} vs {tg}");
+        assert!(
+            tb > 3.0 * tg,
+            "coalescing 0.25 should be ~4x slower: {tb} vs {tg}"
+        );
     }
 
     #[test]
@@ -166,8 +187,12 @@ mod tests {
     #[test]
     fn wide_vectors_beat_scalar_words() {
         let (d, p, e) = setup();
-        let scalar = KernelProfile::new("k", NdRange::linear(64)).word_ops(1e9).vector_lanes(1);
-        let wide = KernelProfile::new("k", NdRange::linear(64)).word_ops(1e9).vector_lanes(16);
+        let scalar = KernelProfile::new("k", NdRange::linear(64))
+            .word_ops(1e9)
+            .vector_lanes(1);
+        let wide = KernelProfile::new("k", NdRange::linear(64))
+            .word_ops(1e9)
+            .vector_lanes(16);
         let ts = estimate(&scalar, &d, &p, &e).compute_time_s;
         let tw = estimate(&wide, &d, &p, &e).compute_time_s;
         assert!(ts > 1.5 * tw);

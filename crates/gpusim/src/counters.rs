@@ -116,7 +116,11 @@ mod tests {
 
     #[test]
     fn aggregates_by_name() {
-        let tl = vec![event("a", 1.0, 0.1), event("b", 2.0, 0.2), event("a", 3.0, 0.3)];
+        let tl = vec![
+            event("a", 1.0, 0.1),
+            event("b", 2.0, 0.2),
+            event("a", 3.0, 0.3),
+        ];
         let r = StatsReport::from_timeline(&tl);
         assert_eq!(r.len(), 2);
         let a = r.get("a").unwrap();

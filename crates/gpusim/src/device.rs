@@ -155,7 +155,11 @@ impl fmt::Display for DeviceProfile {
         write!(
             f,
             "{} ({}, {} CUs x {} ALUs @ {} MHz, {:.1} GB/s)",
-            self.name, self.kind, self.compute_units, self.alus_per_cu, self.clock_mhz,
+            self.name,
+            self.kind,
+            self.compute_units,
+            self.alus_per_cu,
+            self.clock_mhz,
             self.dram_gbps
         )
     }
@@ -232,7 +236,11 @@ impl Phone {
 
 impl fmt::Display for Phone {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, {} MiB RAM, {})", self.name, self.soc, self.ram_mib, self.os)
+        write!(
+            f,
+            "{} ({}, {} MiB RAM, {})",
+            self.name, self.soc, self.ram_mib, self.os
+        )
     }
 }
 

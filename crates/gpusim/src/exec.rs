@@ -3,16 +3,18 @@
 //! Functional kernel execution is embarrassingly parallel over output
 //! elements (each work item writes disjoint outputs). This module provides
 //! the one primitive kernels need: run a function over disjoint index ranges
-//! on a crossbeam thread pool. Results are bit-identical to sequential
-//! execution because ranges never overlap and the function is pure per
-//! range.
+//! on scoped std threads. Results are bit-identical to sequential execution
+//! because ranges never overlap and the function is pure per range.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of host worker threads used for kernel bodies.
 pub fn host_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `f` over `0..n` split into contiguous ranges across host threads.
@@ -30,9 +32,9 @@ pub fn par_for(n: usize, min_chunk: usize, f: impl Fn(Range<usize>) + Sync) {
         return;
     }
     let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads.min(n.div_ceil(chunk)) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let start = next.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
@@ -41,8 +43,7 @@ pub fn par_for(n: usize, min_chunk: usize, f: impl Fn(Range<usize>) + Sync) {
                 f(start..end);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Runs `f` over mutable, equally-sized chunks of `out` in parallel, passing
@@ -64,24 +65,22 @@ pub fn par_chunks_mut<T: Send>(
         }
         return;
     }
-    type Slot<'a, T> = parking_lot::Mutex<Option<(usize, &'a mut [T])>>;
-    let work: Vec<Slot<'_, T>> =
-        chunks.into_iter().map(|c| parking_lot::Mutex::new(Some(c))).collect();
+    type WorkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+    let work: Vec<WorkSlot<'_, T>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
     let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..host_threads().min(n) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                if let Some((idx, slice)) = work[i].lock().take() {
+                if let Some((idx, slice)) = work[i].lock().expect("poisoned work slot").take() {
                     f(idx, slice);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

@@ -244,7 +244,10 @@ mod tests {
             occupancy: 1.0,
         };
         assert!(!stats.memory_bound());
-        let ev = LaunchEvent { stats, start_s: 1.0 };
+        let ev = LaunchEvent {
+            stats,
+            start_s: 1.0,
+        };
         assert_eq!(ev.end_s(), 3.0);
     }
 }

@@ -16,7 +16,7 @@
 //!   constant with its paper anchor.
 //! - [`vector`] — OpenCL vector types (`uchar2`…`ulong16`) for kernels.
 //! - [`counters`] — per-kernel aggregation of a timeline.
-//! - [`exec`] — crossbeam-based parallel execution of kernel bodies.
+//! - [`exec`] — scoped-thread parallel execution of kernel bodies.
 //!
 //! # Examples
 //!

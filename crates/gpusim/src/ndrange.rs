@@ -15,17 +15,26 @@ pub struct NdRange {
 impl NdRange {
     /// One-dimensional range with an automatically chosen work group.
     pub fn linear(n: usize) -> Self {
-        Self { global: [n, 1, 1], local: [n.clamp(1, 64), 1, 1] }
+        Self {
+            global: [n, 1, 1],
+            local: [n.clamp(1, 64), 1, 1],
+        }
     }
 
     /// Two-dimensional range.
     pub fn d2(x: usize, y: usize) -> Self {
-        Self { global: [x, y, 1], local: [x.clamp(1, 8), y.clamp(1, 8), 1] }
+        Self {
+            global: [x, y, 1],
+            local: [x.clamp(1, 8), y.clamp(1, 8), 1],
+        }
     }
 
     /// Three-dimensional range.
     pub fn d3(x: usize, y: usize, z: usize) -> Self {
-        Self { global: [x, y, z], local: [x.clamp(1, 8), y.clamp(1, 8), z.clamp(1, 4)] }
+        Self {
+            global: [x, y, z],
+            local: [x.clamp(1, 8), y.clamp(1, 8), z.clamp(1, 4)],
+        }
     }
 
     /// Explicit global and local sizes.
@@ -34,7 +43,10 @@ impl NdRange {
     ///
     /// Panics if any local size is zero.
     pub fn with_local(global: [usize; 3], local: [usize; 3]) -> Self {
-        assert!(local.iter().all(|&l| l > 0), "local work size must be non-zero");
+        assert!(
+            local.iter().all(|&l| l > 0),
+            "local work size must be non-zero"
+        );
         Self { global, local }
     }
 
@@ -70,8 +82,12 @@ impl fmt::Display for NdRange {
         write!(
             f,
             "global [{}, {}, {}] local [{}, {}, {}]",
-            self.global[0], self.global[1], self.global[2],
-            self.local[0], self.local[1], self.local[2]
+            self.global[0],
+            self.global[1],
+            self.global[2],
+            self.local[0],
+            self.local[1],
+            self.local[2]
         )
     }
 }

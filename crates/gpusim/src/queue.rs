@@ -37,7 +37,15 @@ impl CommandQueue {
     pub fn new(device: DeviceProfile, class: ExecutorClass) -> Self {
         let params = CostParams::for_executor(class);
         let energy = EnergyParams::for_kind(class.device_kind());
-        Self { device, class, params, energy, mode: ExecMode::Execute, now_s: 0.0, events: Vec::new() }
+        Self {
+            device,
+            class,
+            params,
+            energy,
+            mode: ExecMode::Execute,
+            now_s: 0.0,
+            events: Vec::new(),
+        }
     }
 
     /// Sets the execution mode (builder style).
@@ -82,7 +90,10 @@ impl CommandQueue {
             body();
         }
         let stats = estimate(&profile, &self.device, &self.params, &self.energy);
-        let event = LaunchEvent { stats: stats.clone(), start_s: self.now_s };
+        let event = LaunchEvent {
+            stats: stats.clone(),
+            start_s: self.now_s,
+        };
         self.now_s += stats.time_s;
         self.events.push(event);
         stats

@@ -102,8 +102,10 @@ impl<W: BitWord, const N: usize> ClVec<W, N> {
         Self(out)
     }
 
-    /// Lane-wise complement.
+    /// Lane-wise complement (named after the OpenCL builtin, like
+    /// [`BitWord::not`], rather than the `std::ops::Not` trait).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         let mut out = self.0;
         for a in out.iter_mut() {
@@ -201,8 +203,12 @@ mod tests {
 
     #[test]
     fn xor_popcount_vec_matches_scalar() {
-        let a: Vec<u64> = (0..37).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
-        let b: Vec<u64> = (0..37).map(|i| (i as u64).wrapping_mul(0xBF58476D1CE4E5B9)).collect();
+        let a: Vec<u64> = (0..37)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let b: Vec<u64> = (0..37)
+            .map(|i| (i as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+            .collect();
         let scalar: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
         assert_eq!(xor_popcount_vec::<u64, 2>(&a, &b), scalar);
         assert_eq!(xor_popcount_vec::<u64, 4>(&a, &b), scalar);

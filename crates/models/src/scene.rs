@@ -58,7 +58,9 @@ pub fn generate_scene(size: usize, classes: usize, seed: u64) -> Scene {
     let mut image = Tensor::from_vec(
         Shape4::new(1, size, size, 3),
         Layout::Nhwc,
-        (0..size * size * 3).map(|i| ((i * 37 + seed as usize) % 64) as u8).collect(),
+        (0..size * size * 3)
+            .map(|i| ((i * 37 + seed as usize) % 64) as u8)
+            .collect(),
     );
     let count = rng.gen_range(1..=4usize);
     let mut objects = Vec::with_capacity(count);
@@ -85,7 +87,13 @@ pub fn generate_scene(size: usize, classes: usize, seed: u64) -> Scene {
                 }
             }
         }
-        objects.push(GroundTruth { x, y, w, h, class_id });
+        objects.push(GroundTruth {
+            x,
+            y,
+            w,
+            h,
+            class_id,
+        });
     }
     Scene { image, objects }
 }
@@ -128,8 +136,16 @@ pub fn match_detections(
 
 /// Precision and recall from match counts.
 pub fn precision_recall(tp: usize, fp: usize, fn_count: usize) -> (f32, f32) {
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f32 / (tp + fp) as f32 };
-    let recall = if tp + fn_count == 0 { 0.0 } else { tp as f32 / (tp + fn_count) as f32 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f32 / (tp + fp) as f32
+    };
+    let recall = if tp + fn_count == 0 {
+        0.0
+    } else {
+        tp as f32 / (tp + fn_count) as f32
+    };
     (precision, recall)
 }
 
@@ -151,7 +167,10 @@ pub fn average_precision(mut scored: Vec<(f32, bool)>, total_truths: usize) -> f
         } else {
             fp += 1;
         }
-        curve.push((tp as f32 / total_truths as f32, tp as f32 / (tp + fp) as f32));
+        curve.push((
+            tp as f32 / total_truths as f32,
+            tp as f32 / (tp + fp) as f32,
+        ));
     }
     // 11-point interpolation at recall = 0.0, 0.1 ... 1.0.
     let mut ap = 0.0f32;
@@ -223,11 +242,24 @@ mod tests {
     use super::*;
 
     fn gt(x: f32, y: f32, w: f32, h: f32, class_id: usize) -> GroundTruth {
-        GroundTruth { x, y, w, h, class_id }
+        GroundTruth {
+            x,
+            y,
+            w,
+            h,
+            class_id,
+        }
     }
 
     fn det(x: f32, y: f32, w: f32, h: f32, score: f32, class_id: usize) -> Detection {
-        Detection { x, y, w, h, score, class_id }
+        Detection {
+            x,
+            y,
+            w,
+            h,
+            score,
+            class_id,
+        }
     }
 
     #[test]
@@ -248,7 +280,10 @@ mod tests {
     #[test]
     fn perfect_detections_match_all() {
         let truths = vec![gt(0.3, 0.3, 0.2, 0.2, 1), gt(0.7, 0.7, 0.2, 0.2, 2)];
-        let dets = vec![det(0.3, 0.3, 0.2, 0.2, 0.9, 1), det(0.7, 0.7, 0.2, 0.2, 0.8, 2)];
+        let dets = vec![
+            det(0.3, 0.3, 0.2, 0.2, 0.9, 1),
+            det(0.7, 0.7, 0.2, 0.2, 0.8, 2),
+        ];
         let (tp, fp, fn_c) = match_detections(&dets, &truths, 0.5);
         assert_eq!((tp, fp, fn_c), (2, 0, 0));
         let (p, r) = precision_recall(tp, fp, fn_c);
@@ -292,7 +327,10 @@ mod tests {
     #[test]
     fn map_perfect_is_one() {
         let truths = vec![gt(0.3, 0.3, 0.2, 0.2, 0), gt(0.7, 0.7, 0.2, 0.2, 1)];
-        let dets = vec![det(0.3, 0.3, 0.2, 0.2, 0.9, 0), det(0.7, 0.7, 0.2, 0.2, 0.9, 1)];
+        let dets = vec![
+            det(0.3, 0.3, 0.2, 0.2, 0.9, 0),
+            det(0.7, 0.7, 0.2, 0.2, 0.9, 1),
+        ];
         let map = mean_average_precision(&[(dets, truths)], 2, 0.5);
         assert!((map - 1.0).abs() < 1e-6, "mAP {map}");
     }

@@ -39,7 +39,11 @@ pub const PAPER_TABLE2: [(&str, f64, f64, f64, f64); 3] = [
 
 /// Computes all Table II rows: measured sizes next to paper values.
 pub fn table2_rows() -> Vec<SizeRow> {
-    let archs = [zoo::alexnet(Variant::Binary), zoo::yolov2_tiny(Variant::Binary), zoo::vgg16(Variant::Binary)];
+    let archs = [
+        zoo::alexnet(Variant::Binary),
+        zoo::yolov2_tiny(Variant::Binary),
+        zoo::vgg16(Variant::Binary),
+    ];
     archs
         .iter()
         .zip(PAPER_TABLE2.iter())
@@ -124,7 +128,13 @@ mod tests {
                 r.float_mb
             );
             let rel = (r.bnn_mb - r.paper_bnn_mb).abs() / r.paper_bnn_mb;
-            assert!(rel < 1.0, "{}: BNN {} MB vs paper {} MB", r.model, r.bnn_mb, r.paper_bnn_mb);
+            assert!(
+                rel < 1.0,
+                "{}: BNN {} MB vs paper {} MB",
+                r.model,
+                r.bnn_mb,
+                r.paper_bnn_mb
+            );
         }
     }
 

@@ -79,7 +79,10 @@ pub fn fill_weights(arch: &NetworkArch, seed: u64) -> NetworkDef {
             _ => LayerWeights::None,
         });
     }
-    let def = NetworkDef { arch: arch.clone(), weights };
+    let def = NetworkDef {
+        arch: arch.clone(),
+        weights,
+    };
     def.validate();
     def
 }
@@ -92,14 +95,16 @@ pub fn synthetic_image(shape: Shape4, seed: u64) -> Tensor<u8> {
     let freq = 1 + (seed % 5) as usize;
     Tensor::from_fn(shape, |n, h, w, c| {
         let base = (h * freq + phase) * 7 + (w * freq) * 5 + c * 37 + n * 11;
-        let noise = rng.gen_range(0..32);
+        let noise: usize = rng.gen_range(0..32);
         ((base % 224) + noise) as u8
     })
 }
 
 /// A batch of synthetic images with per-index seeds.
 pub fn synthetic_batch(shape: Shape4, count: usize, seed: u64) -> Vec<Tensor<u8>> {
-    (0..count).map(|i| synthetic_image(shape, seed.wrapping_add(i as u64))).collect()
+    (0..count)
+        .map(|i| synthetic_image(shape, seed.wrapping_add(i as u64)))
+        .collect()
 }
 
 /// Converts an 8-bit image to normalized floats in `[0, 1]` (the baselines'
@@ -117,9 +122,25 @@ mod tests {
 
     fn arch() -> NetworkArch {
         NetworkArch::new("syn", Shape4::new(1, 8, 8, 3))
-            .conv("c1", 8, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
+            .conv(
+                "c1",
+                8,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
             .maxpool("p1", 2, 2)
-            .conv("c2", 16, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
+            .conv(
+                "c2",
+                16,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
             .dense("fc", 4, LayerPrecision::Float, Activation::Linear)
     }
 
@@ -139,7 +160,10 @@ mod tests {
         if let LayerWeights::Conv(w) = &def.weights[0] {
             let pos = w.filters.as_slice().iter().filter(|&&v| v >= 0.0).count();
             let total = w.filters.as_slice().len();
-            assert!(pos > total / 5 && pos < total * 4 / 5, "signs should mix: {pos}/{total}");
+            assert!(
+                pos > total / 5 && pos < total * 4 / 5,
+                "signs should mix: {pos}/{total}"
+            );
             let bn = w.bn.as_ref().unwrap();
             assert!(bn.sigma.iter().all(|&s| s > 0.0));
             assert!(bn.gamma.iter().all(|&g| g != 0.0));

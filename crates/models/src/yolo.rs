@@ -11,14 +11,36 @@ use phonebit_tensor::tensor::Tensor;
 
 /// The VOC2007 class names, index-aligned with the 20 class logits.
 pub const VOC_CLASSES: [&str; 20] = [
-    "aeroplane", "bicycle", "bird", "boat", "bottle", "bus", "car", "cat", "chair", "cow",
-    "diningtable", "dog", "horse", "motorbike", "person", "pottedplant", "sheep", "sofa",
-    "train", "tvmonitor",
+    "aeroplane",
+    "bicycle",
+    "bird",
+    "boat",
+    "bottle",
+    "bus",
+    "car",
+    "cat",
+    "chair",
+    "cow",
+    "diningtable",
+    "dog",
+    "horse",
+    "motorbike",
+    "person",
+    "pottedplant",
+    "sheep",
+    "sofa",
+    "train",
+    "tvmonitor",
 ];
 
 /// The five anchor boxes of tiny-yolo-voc, in grid-cell units.
-pub const ANCHORS: [(f32, f32); 5] =
-    [(1.08, 1.19), (3.42, 4.41), (6.63, 11.38), (9.42, 5.11), (16.62, 10.52)];
+pub const ANCHORS: [(f32, f32); 5] = [
+    (1.08, 1.19),
+    (3.42, 4.41),
+    (6.63, 11.38),
+    (9.42, 5.11),
+    (16.62, 10.52),
+];
 
 /// One decoded detection, coordinates normalized to `[0, 1]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +67,14 @@ impl Detection {
 
     /// Intersection-over-union with another detection.
     pub fn iou(&self, other: &Detection) -> f32 {
-        let half = |d: &Detection| (d.x - d.w / 2.0, d.y - d.h / 2.0, d.x + d.w / 2.0, d.y + d.h / 2.0);
+        let half = |d: &Detection| {
+            (
+                d.x - d.w / 2.0,
+                d.y - d.h / 2.0,
+                d.x + d.w / 2.0,
+                d.y + d.h / 2.0,
+            )
+        };
         let (ax0, ay0, ax1, ay1) = half(self);
         let (bx0, by0, bx1, by1) = half(other);
         let iw = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
@@ -81,7 +110,7 @@ pub fn decode(output: &Tensor<f32>, conf_threshold: f32) -> Vec<Detection> {
     let mut dets = Vec::new();
     for gy in 0..s.h {
         for gx in 0..s.w {
-            for a in 0..num_anchors {
+            for (a, &(aw, ah)) in ANCHORS.iter().enumerate().take(num_anchors) {
                 let base = a * per_anchor;
                 let at = |off: usize| output.at(0, gy, gx, base + off);
                 let objectness = sigmoid(at(4));
@@ -97,7 +126,6 @@ pub fn decode(output: &Tensor<f32>, conf_threshold: f32) -> Vec<Detection> {
                 if score < conf_threshold {
                     continue;
                 }
-                let (aw, ah) = ANCHORS[a];
                 dets.push(Detection {
                     x: (gx as f32 + sigmoid(at(0))) / s.w as f32,
                     y: (gy as f32 + sigmoid(at(1))) / s.h as f32,
@@ -175,17 +203,52 @@ mod tests {
 
     #[test]
     fn iou_of_identical_boxes_is_one() {
-        let d = Detection { x: 0.5, y: 0.5, w: 0.2, h: 0.2, score: 1.0, class_id: 0 };
+        let d = Detection {
+            x: 0.5,
+            y: 0.5,
+            w: 0.2,
+            h: 0.2,
+            score: 1.0,
+            class_id: 0,
+        };
         assert!((d.iou(&d.clone()) - 1.0).abs() < 1e-6);
-        let far = Detection { x: 0.1, y: 0.1, w: 0.05, h: 0.05, score: 1.0, class_id: 0 };
+        let far = Detection {
+            x: 0.1,
+            y: 0.1,
+            w: 0.05,
+            h: 0.05,
+            score: 1.0,
+            class_id: 0,
+        };
         assert_eq!(d.iou(&far), 0.0);
     }
 
     #[test]
     fn nms_suppresses_overlaps_keeps_best() {
-        let a = Detection { x: 0.5, y: 0.5, w: 0.2, h: 0.2, score: 0.9, class_id: 3 };
-        let b = Detection { x: 0.51, y: 0.5, w: 0.2, h: 0.2, score: 0.7, class_id: 3 };
-        let c = Detection { x: 0.9, y: 0.9, w: 0.1, h: 0.1, score: 0.5, class_id: 3 };
+        let a = Detection {
+            x: 0.5,
+            y: 0.5,
+            w: 0.2,
+            h: 0.2,
+            score: 0.9,
+            class_id: 3,
+        };
+        let b = Detection {
+            x: 0.51,
+            y: 0.5,
+            w: 0.2,
+            h: 0.2,
+            score: 0.7,
+            class_id: 3,
+        };
+        let c = Detection {
+            x: 0.9,
+            y: 0.9,
+            w: 0.1,
+            h: 0.1,
+            score: 0.5,
+            class_id: 3,
+        };
         let kept = nms(vec![b.clone(), a.clone(), c.clone()], 0.5);
         assert_eq!(kept.len(), 2);
         assert_eq!(kept[0], a);
@@ -194,8 +257,22 @@ mod tests {
 
     #[test]
     fn nms_keeps_different_classes() {
-        let a = Detection { x: 0.5, y: 0.5, w: 0.2, h: 0.2, score: 0.9, class_id: 1 };
-        let b = Detection { x: 0.5, y: 0.5, w: 0.2, h: 0.2, score: 0.8, class_id: 2 };
+        let a = Detection {
+            x: 0.5,
+            y: 0.5,
+            w: 0.2,
+            h: 0.2,
+            score: 0.9,
+            class_id: 1,
+        };
+        let b = Detection {
+            x: 0.5,
+            y: 0.5,
+            w: 0.2,
+            h: 0.2,
+            score: 0.8,
+            class_id: 2,
+        };
         assert_eq!(nms(vec![a, b], 0.5).len(), 2);
     }
 

@@ -90,7 +90,15 @@ pub fn yolov2_tiny(variant: Variant) -> NetworkArch {
         .maxpool("pool6", 2, 1)
         .conv("conv7", 1024, 3, 1, 1, v.mid(), v.act(leaky))
         .conv("conv8", 1024, 3, 1, 1, v.mid(), v.act(leaky))
-        .conv("conv9", 125, 1, 1, 0, LayerPrecision::Float, Activation::Linear)
+        .conv(
+            "conv9",
+            125,
+            1,
+            1,
+            0,
+            LayerPrecision::Float,
+            Activation::Linear,
+        )
 }
 
 /// VGG16 (1000-class, 224x224 — the 553.4 MB float checkpoint of Table II;
@@ -158,7 +166,15 @@ pub fn yolo_micro(variant: Variant) -> NetworkArch {
         .maxpool("pool3", 2, 2)
         .conv("conv4", 64, 3, 1, 1, v.mid(), v.act(leaky))
         .conv("conv5", 64, 3, 1, 1, v.mid(), v.act(leaky))
-        .conv("conv9", 125, 1, 1, 0, LayerPrecision::Float, Activation::Linear)
+        .conv(
+            "conv9",
+            125,
+            1,
+            1,
+            0,
+            LayerPrecision::Float,
+            Activation::Linear,
+        )
 }
 
 #[cfg(test)]
@@ -196,7 +212,10 @@ mod tests {
             .filter(|l| l.name().starts_with("conv"))
             .map(|l| l.name().to_string())
             .collect();
-        assert_eq!(convs, (1..=9).map(|i| format!("conv{i}")).collect::<Vec<_>>());
+        assert_eq!(
+            convs,
+            (1..=9).map(|i| format!("conv{i}")).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -237,7 +256,10 @@ mod tests {
         let a = alexnet(Variant::Binary).compression_ratio();
         let y = yolov2_tiny(Variant::Binary).compression_ratio();
         let v = vgg16(Variant::Binary).compression_ratio();
-        assert!(y > a && y > v, "YOLO compresses hardest (no big float head): {a:.1} {y:.1} {v:.1}");
+        assert!(
+            y > a && y > v,
+            "YOLO compresses hardest (no big float head): {a:.1} {y:.1} {v:.1}"
+        );
         assert!((10.0..32.0).contains(&a));
         assert!((18.0..32.0).contains(&y));
         assert!((10.0..32.0).contains(&v));

@@ -38,7 +38,12 @@ pub struct BnParams {
 impl BnParams {
     /// Identity batch-norm for `n` channels (γ=1, β=0, µ=0, σ=1).
     pub fn identity(n: usize) -> Self {
-        Self { gamma: vec![1.0; n], beta: vec![0.0; n], mu: vec![0.0; n], sigma: vec![1.0; n] }
+        Self {
+            gamma: vec![1.0; n],
+            beta: vec![0.0; n],
+            mu: vec![0.0; n],
+            sigma: vec![1.0; n],
+        }
     }
 
     /// Number of channels.
@@ -66,7 +71,10 @@ impl BnParams {
             assert!(s > 0.0, "sigma[{i}] = {s} must be positive");
         }
         for (i, &g) in self.gamma.iter().enumerate() {
-            assert!(g != 0.0, "gamma[{i}] = 0; pruned channels are not supported (paper fn. 2)");
+            assert!(
+                g != 0.0,
+                "gamma[{i}] = 0; pruned channels are not supported (paper fn. 2)"
+            );
         }
     }
 
@@ -107,7 +115,10 @@ impl FusedBn {
 
     /// Identity fusion (γ=1, ξ=0): binarize at zero, for `n` channels.
     pub fn identity(n: usize) -> Self {
-        Self { xi: vec![0.0; n], gamma_pos: vec![true; n] }
+        Self {
+            xi: vec![0.0; n],
+            gamma_pos: vec![true; n],
+        }
     }
 
     /// Number of output channels.
@@ -126,7 +137,9 @@ impl FusedBn {
         let xi = self.xi[channel];
         if self.gamma_pos[channel] {
             x1 >= xi
-        } else { x1 <= xi }
+        } else {
+            x1 <= xi
+        }
     }
 
     /// The branch-free decision of Eqn 9: `(A xor B) or C` with
@@ -167,6 +180,7 @@ mod tests {
     fn xi_formula_matches_eqn6() {
         let (bn, bias) = arbitrary_bn();
         let f = FusedBn::precompute(&bn, &bias);
+        #[allow(clippy::needless_range_loop)] // indexes four parallel arrays
         for i in 0..4 {
             let expect = bn.mu[i] - bn.beta[i] * bn.sigma[i] / bn.gamma[i] - bias[i];
             assert!((f.xi[i] - expect).abs() < 1e-6);
@@ -198,7 +212,10 @@ mod tests {
     fn eqn9_equals_eqn8_truth_table() {
         // Exhaustive truth table: A (x1<xi), B (gamma>0), C (x1=xi). C and A
         // are mutually exclusive; enumerate all consistent combinations.
-        let f = FusedBn { xi: vec![0.0, 0.0], gamma_pos: vec![true, false] };
+        let f = FusedBn {
+            xi: vec![0.0, 0.0],
+            gamma_pos: vec![true, false],
+        };
         for ch in 0..2 {
             for x1 in [-1.0f32, 0.0, 1.0] {
                 assert_eq!(
@@ -222,7 +239,10 @@ mod tests {
             // Exactly at the threshold.
             let xi = f.xi[ch];
             assert_eq!(f.decide_logic(ch, xi), f.decide_branchy(ch, xi));
-            assert!(f.decide_logic(ch, xi), "x1 = xi must binarize to 1 for either gamma sign");
+            assert!(
+                f.decide_logic(ch, xi),
+                "x1 = xi must binarize to 1 for either gamma sign"
+            );
         }
     }
 
@@ -244,14 +264,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "sigma")]
     fn non_positive_sigma_rejected() {
-        let bn = BnParams { gamma: vec![1.0], beta: vec![0.0], mu: vec![0.0], sigma: vec![0.0] };
+        let bn = BnParams {
+            gamma: vec![1.0],
+            beta: vec![0.0],
+            mu: vec![0.0],
+            sigma: vec![0.0],
+        };
         FusedBn::precompute(&bn, &[0.0]);
     }
 
     #[test]
     #[should_panic(expected = "gamma")]
     fn zero_gamma_rejected() {
-        let bn = BnParams { gamma: vec![0.0], beta: vec![0.0], mu: vec![0.0], sigma: vec![1.0] };
+        let bn = BnParams {
+            gamma: vec![0.0],
+            beta: vec![0.0],
+            mu: vec![0.0],
+            sigma: vec![1.0],
+        };
         FusedBn::precompute(&bn, &[0.0]);
     }
 

@@ -139,7 +139,11 @@ pub struct NetworkArch {
 impl NetworkArch {
     /// Creates an empty architecture for the given input shape.
     pub fn new(name: impl Into<String>, input: Shape4) -> Self {
-        Self { name: name.into(), input, layers: Vec::new() }
+        Self {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
     }
 
     /// Appends a convolution layer (builder style).
@@ -287,7 +291,10 @@ impl NetworkArch {
 
     /// Total weight parameters.
     pub fn total_params(&self) -> usize {
-        self.infer().iter().map(|i| i.weight_params + i.aux_params).sum()
+        self.infer()
+            .iter()
+            .map(|i| i.weight_params + i.aux_params)
+            .sum()
     }
 
     /// Model size in bytes at full (f32) precision.
@@ -386,17 +393,17 @@ impl NetworkDef {
             self.arch.name
         );
         let infos = self.arch.infer();
-        for ((layer, weights), info) in
-            self.arch.layers.iter().zip(self.weights.iter()).zip(infos.iter())
+        for ((layer, weights), info) in self
+            .arch
+            .layers
+            .iter()
+            .zip(self.weights.iter())
+            .zip(infos.iter())
         {
             match (layer, weights) {
                 (LayerSpec::Conv(c), LayerWeights::Conv(w)) => {
-                    let expect = FilterShape::new(
-                        c.out_channels,
-                        c.geom.kh,
-                        c.geom.kw,
-                        info.input.c,
-                    );
+                    let expect =
+                        FilterShape::new(c.out_channels, c.geom.kh, c.geom.kw, info.input.c);
                     assert_eq!(w.filters.shape(), expect, "{}: filter shape", c.name);
                     assert_eq!(w.bias.len(), c.out_channels, "{}: bias length", c.name);
                     assert_eq!(c.has_bn, w.bn.is_some(), "{}: bn presence", c.name);
@@ -432,9 +439,25 @@ mod tests {
 
     fn tiny_arch() -> NetworkArch {
         NetworkArch::new("tiny", Shape4::new(1, 8, 8, 3))
-            .conv("conv1", 16, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
+            .conv(
+                "conv1",
+                16,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
             .maxpool("pool1", 2, 2)
-            .conv("conv2", 32, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
+            .conv(
+                "conv2",
+                32,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
             .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
             .softmax()
     }
@@ -477,9 +500,33 @@ mod tests {
         // A binary-weight-dominated net (like the paper's models, where the
         // float head is a small fraction) compresses by >10x.
         let arch = NetworkArch::new("deep", Shape4::new(1, 16, 16, 64))
-            .conv("conv1", 256, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
-            .conv("conv2", 256, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
-            .conv("conv3", 10, 1, 1, 0, LayerPrecision::Float, Activation::Linear);
+            .conv(
+                "conv1",
+                256,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
+            .conv(
+                "conv2",
+                256,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
+            .conv(
+                "conv3",
+                10,
+                1,
+                1,
+                0,
+                LayerPrecision::Float,
+                Activation::Linear,
+            );
         assert!(arch.float_bytes() > 10 * arch.binary_bytes());
         assert!(arch.compression_ratio() > 10.0);
         // The float-head-dominated tiny net still compresses, just less.
@@ -498,7 +545,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "weight count")]
     fn validate_rejects_missing_weights() {
-        let def = NetworkDef { arch: tiny_arch(), weights: vec![] };
+        let def = NetworkDef {
+            arch: tiny_arch(),
+            weights: vec![],
+        };
         def.validate();
     }
 

@@ -3,13 +3,20 @@
 //! Three kernels implement the paper's binary convolution paths:
 //!
 //! - [`bconv_fused`] — the flagship integrated operator: binary convolution
-//!   + batch-norm + binarization + channel packing in one kernel (§V-B,
+//!   with batch-norm + binarization + channel packing in one kernel (§V-B,
 //!   Fig 4). Output is a packed [`BitTensor`].
 //! - [`bconv_accum`] — convolution only, producing an `i32` accumulator
 //!   tensor: the fallback when channels exceed the private-memory limit,
 //!   and the reference path for the fusion ablation.
 //! - [`binarize_pack`] — the standalone binarize+pack pass that follows
 //!   [`bconv_accum`] on the unfused path.
+//!
+//! Both direct kernels run on the **tiled hot path** of
+//! [`crate::kernels::tiled`]: per-row window gathers reused across all
+//! filters, an interior/border split, and the 4-filter × 2-pixel bit-GEMM
+//! microkernel. The seed per-tap kernel survives as
+//! [`compute_bconv_fused_reference`] — the bit-exactness oracle and the
+//! "before" side of `bench_bconv`.
 //!
 //! Padding semantics: out-of-bounds activation bits are 0 (−1), matching
 //! [`phonebit_tensor::pad::pad_bits`]; tests validate fused-vs-reference
@@ -24,6 +31,7 @@ use phonebit_tensor::tensor::Tensor;
 
 use crate::fuse::FusedBn;
 use crate::kernels::profiles;
+use crate::kernels::tiled::{conv_row_tiled, WindowGather};
 use crate::workload::WorkloadPolicy;
 
 /// Validates the shape agreement of a binary convolution and returns the
@@ -39,9 +47,21 @@ fn conv_output_shape<W: BitWord>(
 ) -> Shape4 {
     let s = input.shape();
     let fs = filters.shape();
-    assert_eq!(s.c, fs.c, "input channels {} != filter channels {}", s.c, fs.c);
-    assert_eq!(geom.kh, fs.kh, "geometry kh {} != filter kh {}", geom.kh, fs.kh);
-    assert_eq!(geom.kw, fs.kw, "geometry kw {} != filter kw {}", geom.kw, fs.kw);
+    assert_eq!(
+        s.c, fs.c,
+        "input channels {} != filter channels {}",
+        s.c, fs.c
+    );
+    assert_eq!(
+        geom.kh, fs.kh,
+        "geometry kh {} != filter kh {}",
+        geom.kh, fs.kh
+    );
+    assert_eq!(
+        geom.kw, fs.kw,
+        "geometry kw {} != filter kw {}",
+        geom.kw, fs.kw
+    );
     let (oh, ow) = geom.output_hw(s.h, s.w);
     Shape4::new(s.n, oh, ow, fs.k)
 }
@@ -80,8 +100,43 @@ pub fn window_dot<W: BitWord>(
     (geom.taps() * fs.c) as i32 - 2 * disagree as i32
 }
 
-/// Functional body of the fused kernel, writing packed output bits.
+/// Functional body of the fused kernel, writing packed output bits — the
+/// tiled hot path.
+///
+/// Work decomposes by **output row**: each row task owns one
+/// [`WindowGather`] scratch buffer, gathers every interior window once and
+/// reuses it across all `K` filters through the 4×2 microkernel; border
+/// pixels dot their valid segments and read the padding contribution from
+/// the filters' tap-popcount tables. Binarize+pack stays fused: each raw
+/// dot value feeds Eqn (9) logic and lands as one bit in the row span.
 pub fn compute_bconv_fused<W: BitWord>(
+    input: &BitTensor<W>,
+    filters: &PackedFilters<W>,
+    fused: &FusedBn,
+    geom: &ConvGeometry,
+    out: &mut BitTensor<W>,
+) {
+    let os = out.shape();
+    let (ow, oh) = (os.w, os.h);
+    let wpp = out.words_per_pixel();
+    par_chunks_mut(out.as_mut_words(), ow * wpp, |row_idx, row_span| {
+        let n = row_idx / oh;
+        let oy = row_idx % oh;
+        let mut gather = WindowGather::new(geom, filters.words_per_tap());
+        conv_row_tiled(input, filters, geom, &mut gather, n, oy, ow, |ox, k, x1| {
+            if fused.decide_logic(k, x1 as f32) {
+                let slot = ox * wpp + k / W::BITS;
+                row_span[slot] = row_span[slot].with_bit(k % W::BITS, true);
+            }
+        });
+    });
+}
+
+/// The seed (pre-tiling) fused kernel: per-output-pixel, per-filter
+/// [`window_dot`] with per-tap bounds checks. Kept as the bit-exactness
+/// oracle for the tiled path and as the "before" baseline in
+/// `bench_bconv` / the ablation binary.
+pub fn compute_bconv_fused_reference<W: BitWord>(
     input: &BitTensor<W>,
     filters: &PackedFilters<W>,
     fused: &FusedBn,
@@ -125,16 +180,23 @@ pub fn bconv_fused<W: BitWord>(
     geom: &ConvGeometry,
 ) -> BitTensor<W> {
     let os = conv_output_shape(input, filters, geom);
-    assert_eq!(fused.len(), filters.shape().k, "fusion params must cover every filter");
+    assert_eq!(
+        fused.len(),
+        filters.shape().k,
+        "fusion params must cover every filter"
+    );
     let mut out = BitTensor::<W>::zeros(os);
     let policy = WorkloadPolicy::for_channels(input.shape().c);
-    let profile =
-        profiles::bconv_fused(os.pixels(), os.c, input.shape().c, geom, &policy);
-    q.launch(profile, || compute_bconv_fused(input, filters, fused, geom, &mut out));
+    let profile = profiles::bconv_fused(os.pixels(), os.c, input.shape().c, geom, &policy);
+    q.launch(profile, || {
+        compute_bconv_fused(input, filters, fused, geom, &mut out)
+    });
     out
 }
 
-/// Functional body of the accumulate-only kernel.
+/// Functional body of the accumulate-only kernel, on the same tiled row
+/// driver as [`compute_bconv_fused`] — only the emit step differs (raw
+/// `i32` accumulators instead of fused binarize+pack).
 pub fn compute_bconv_accum<W: BitWord>(
     input: &BitTensor<W>,
     filters: &PackedFilters<W>,
@@ -144,13 +206,13 @@ pub fn compute_bconv_accum<W: BitWord>(
     let os = out.shape();
     let k_total = os.c;
     let (oh, ow) = (os.h, os.w);
-    par_chunks_mut(out.as_mut_slice(), k_total, |pixel, row| {
-        let n = pixel / (oh * ow);
-        let rem = pixel % (oh * ow);
-        let (oy, ox) = (rem / ow, rem % ow);
-        for (k, slot) in row.iter_mut().enumerate() {
-            *slot = window_dot(input, filters, geom, n, oy, ox, k);
-        }
+    par_chunks_mut(out.as_mut_slice(), ow * k_total, |row_idx, row| {
+        let n = row_idx / oh;
+        let oy = row_idx % oh;
+        let mut gather = WindowGather::new(geom, filters.words_per_tap());
+        conv_row_tiled(input, filters, geom, &mut gather, n, oy, ow, |ox, k, x1| {
+            row[ox * k_total + k] = x1;
+        });
     });
 }
 
@@ -165,31 +227,48 @@ pub fn bconv_accum<W: BitWord>(
     let os = conv_output_shape(input, filters, geom);
     let mut out = Tensor::<i32>::zeros(os, Layout::Nhwc);
     let policy = WorkloadPolicy::for_channels(input.shape().c);
-    let profile =
-        profiles::bconv_accum(os.pixels(), os.c, input.shape().c, geom, &policy);
-    q.launch(profile, || compute_bconv_accum(input, filters, geom, &mut out));
+    let profile = profiles::bconv_accum(os.pixels(), os.c, input.shape().c, geom, &policy);
+    q.launch(profile, || {
+        compute_bconv_accum(input, filters, geom, &mut out)
+    });
     out
 }
 
 /// Functional body of the standalone binarize+pack kernel.
+///
+/// Packs **word-at-a-time**: each output word accumulates its `W::BITS`
+/// channel decisions in a register and is stored once, instead of one
+/// read-modify-write per channel — the host analogue of the paper's
+/// pack-in-private-memory-then-store (Fig 4). Requires the accumulator in
+/// NHWC so each pixel's channel run is contiguous.
 pub fn compute_binarize_pack<W: BitWord>(
     accum: &Tensor<i32>,
     fused: &FusedBn,
     out: &mut BitTensor<W>,
 ) {
     let s = accum.shape();
-    for n in 0..s.n {
-        for h in 0..s.h {
-            for w in 0..s.w {
-                for c in 0..s.c {
-                    let x1 = accum.at(n, h, w, c) as f32;
-                    if fused.decide_logic(c, x1) {
-                        out.set_bit(n, h, w, c, true);
-                    }
+    assert_eq!(
+        accum.layout(),
+        Layout::Nhwc,
+        "binarize_pack expects NHWC accumulators"
+    );
+    let c_total = s.c;
+    let wpp = out.words_per_pixel();
+    let src = accum.as_slice();
+    par_chunks_mut(out.as_mut_words(), wpp, |pixel, span| {
+        let base = pixel * c_total;
+        for (wi, slot) in span.iter_mut().enumerate() {
+            let c0 = wi * W::BITS;
+            let bits = W::BITS.min(c_total - c0);
+            let mut word = W::zero();
+            for (b, &x1) in src[base + c0..base + c0 + bits].iter().enumerate() {
+                if fused.decide_logic(c0 + b, x1 as f32) {
+                    word = word.with_bit(b, true);
                 }
             }
+            *slot = word;
         }
-    }
+    });
 }
 
 /// Dispatches the standalone binarize+pack pass over an accumulator tensor.
@@ -278,7 +357,9 @@ mod tests {
 
     fn test_bn(k: usize) -> (BnParams, Vec<f32>) {
         let bn = BnParams {
-            gamma: (0..k).map(|i| if i % 3 == 0 { -0.7 } else { 1.3 }).collect(),
+            gamma: (0..k)
+                .map(|i| if i % 3 == 0 { -0.7 } else { 1.3 })
+                .collect(),
             beta: (0..k).map(|i| (i as f32 - 2.0) * 0.11).collect(),
             mu: (0..k).map(|i| (i % 5) as f32 - 2.0).collect(),
             sigma: (0..k).map(|i| 0.5 + (i % 4) as f32 * 0.3).collect(),
@@ -369,7 +450,7 @@ mod tests {
         let geom = ConvGeometry::square(3, 1, 1);
         let mut q = queue();
         let accum = bconv_accum(&mut q, &packed_in, &packed_f, &geom);
-        let bound = (3 * 3 * 8);
+        let bound = 3 * 3 * 8;
         for &v in accum.as_slice() {
             assert!(v.abs() <= bound);
             // Parity: dot of +-1 vectors has the parity of the length.
@@ -394,7 +475,13 @@ mod tests {
         let (bn, bias) = test_bn(3);
         let fused = FusedBn::precompute(&bn, &bias);
         let mut q = queue();
-        let out = bconv_fused(&mut q, &pack_f32::<u16>(&t), &pack_filters::<u16>(&f), &fused, &geom);
+        let out = bconv_fused(
+            &mut q,
+            &pack_f32::<u16>(&t),
+            &pack_filters::<u16>(&f),
+            &fused,
+            &geom,
+        );
         let expect = reference_fused(&t, &f, &bias, &bn, &geom);
         assert_eq!(unpack_f32(&out).as_slice(), expect.as_slice());
     }
@@ -405,7 +492,12 @@ mod tests {
         let t = pm1_tensor(Shape4::new(1, 4, 4, 8), 0);
         let f = pm1_filters(FilterShape::new(2, 3, 3, 16), 0);
         let mut q = queue();
-        let _ = bconv_accum(&mut q, &pack_f32::<u64>(&t), &pack_filters::<u64>(&f), &ConvGeometry::square(3, 1, 1));
+        let _ = bconv_accum(
+            &mut q,
+            &pack_f32::<u64>(&t),
+            &pack_filters::<u64>(&f),
+            &ConvGeometry::square(3, 1, 1),
+        );
     }
 
     #[test]

@@ -11,20 +11,32 @@
 
 use phonebit_gpusim::exec::par_chunks_mut;
 use phonebit_gpusim::queue::CommandQueue;
-use phonebit_gpusim::vector::xor_popcount_vec;
 use phonebit_gpusim::{KernelProfile, NdRange};
 use phonebit_tensor::bits::{BitTensor, BitWord, PackedFilters};
 use phonebit_tensor::shape::{ConvGeometry, FilterShape, Shape4};
 
 use crate::fuse::FusedBn;
 use crate::kernels::profiles::{PACKED_COALESCING, VEC_LANES_128};
+use crate::kernels::tiled::{tile_filters, TILE_PIXELS};
 
 /// Flattens packed filters so each filter's `(kh, kw, c)` bits occupy one
 /// contiguous span (the GEMM's weight rows).
+///
+/// When `c` fills its words exactly, each filter's flat row *is* its
+/// contiguous [`PackedFilters::filter_words`] window span, so the flatten
+/// is one bulk word copy per filter; odd channel counts fall back to the
+/// bit walk. Either way this is staging-time work — `Session` caches the
+/// result per layer rather than re-flattening per inference.
 pub fn flatten_filters<W: BitWord>(filters: &PackedFilters<W>) -> PackedFilters<W> {
     let s = filters.shape();
     let window = s.kh * s.kw * s.c;
     let mut out = PackedFilters::<W>::zeros(FilterShape::new(s.k, 1, 1, window));
+    if s.c.is_multiple_of(W::BITS) {
+        for k in 0..s.k {
+            out.set_tap_words(k, 0, 0, filters.filter_words(k));
+        }
+        return out;
+    }
     for k in 0..s.k {
         let mut idx = 0;
         for i in 0..s.kh {
@@ -44,17 +56,42 @@ pub fn flatten_filters<W: BitWord>(filters: &PackedFilters<W>) -> PackedFilters<
 /// Materializes the binary im2col: one packed row of `kh*kw*c` window bits
 /// per output pixel, out-of-bounds taps contributing 0-bits (−1), matching
 /// the direct path's padding semantics.
-pub fn pack_windows<W: BitWord>(
-    input: &BitTensor<W>,
-    geom: &ConvGeometry,
-) -> BitTensor<W> {
+///
+/// When the channel count fills its packed words exactly
+/// (`c % W::BITS == 0`), every tap lands word-aligned in the row and the
+/// materialization is `kh*kw` word copies per pixel; otherwise it falls
+/// back to the bit walk.
+pub fn pack_windows<W: BitWord>(input: &BitTensor<W>, geom: &ConvGeometry) -> BitTensor<W> {
     let s = input.shape();
     let (oh, ow) = geom.output_hw(s.h, s.w);
     let window = geom.taps() * s.c;
     let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, window));
+    let aligned = s.c.is_multiple_of(W::BITS);
+    let wpt = s.c.div_ceil(W::BITS);
     for n in 0..s.n {
         for oy in 0..oh {
             for ox in 0..ow {
+                if aligned {
+                    let base = out.pixel_offset(n, oy, ox);
+                    for i in 0..geom.kh {
+                        let iy = (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
+                        if iy < 0 || iy as usize >= s.h {
+                            continue;
+                        }
+                        for j in 0..geom.kw {
+                            let ix = (ox * geom.stride_w + j) as isize - geom.pad_w as isize;
+                            if ix < 0 || ix as usize >= s.w {
+                                continue;
+                            }
+                            let src = input.pixel_offset(n, iy as usize, ix as usize);
+                            let dst = base + (i * geom.kw + j) * wpt;
+                            let (words, src_words) =
+                                (out.as_mut_words(), &input.as_words()[src..src + wpt]);
+                            words[dst..dst + wpt].copy_from_slice(src_words);
+                        }
+                    }
+                    continue;
+                }
                 let mut idx = 0;
                 for i in 0..geom.kh {
                     let iy = (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
@@ -85,7 +122,9 @@ pub fn pack_windows_profile(
     let window_bytes = (geom.taps() * in_channels) as f64 / 8.0;
     KernelProfile::new("bgemm_pack_windows", NdRange::linear(out_pixels))
         .word_ops(out_pixels as f64 * geom.taps() as f64 * (in_channels as f64 / 32.0).max(0.25))
-        .reads(out_pixels as f64 * (geom.stride_h * geom.stride_w) as f64 * in_channels as f64 / 8.0)
+        .reads(
+            out_pixels as f64 * (geom.stride_h * geom.stride_w) as f64 * in_channels as f64 / 8.0,
+        )
         .writes(out_pixels as f64 * window_bytes)
         .coalescing(PACKED_COALESCING)
         .vector_lanes(VEC_LANES_128)
@@ -105,17 +144,24 @@ pub fn bgemm_profile(
     let words32 = (window_bits as f64 / 32.0).max(0.25);
     let window_bytes = window_bits as f64 / 8.0;
     let filter_bytes = out_channels as f64 * window_bytes;
-    KernelProfile::new("bgemm_fused", NdRange::linear(out_pixels * out_channels.div_ceil(8)))
-        .word_ops(outputs * words32 * 2.0)
-        .int_ops(outputs * 4.0)
-        .reads(out_pixels as f64 * window_bytes + filter_bytes)
-        .writes(out_pixels as f64 * out_channels as f64 / 8.0)
-        .coalescing(PACKED_COALESCING)
-        .vector_lanes(VEC_LANES_128)
+    KernelProfile::new(
+        "bgemm_fused",
+        NdRange::linear(out_pixels * out_channels.div_ceil(8)),
+    )
+    .word_ops(outputs * words32 * 2.0)
+    .int_ops(outputs * 4.0)
+    .reads(out_pixels as f64 * window_bytes + filter_bytes)
+    .writes(out_pixels as f64 * out_channels as f64 / 8.0)
+    .coalescing(PACKED_COALESCING)
+    .vector_lanes(VEC_LANES_128)
 }
 
 /// Dispatches the full lowered convolution: bit-im2col, then fused binary
 /// GEMM + binarize + pack. Two kernels, one DRAM round trip of window rows.
+///
+/// Flattens the filters on the spot; callers with resident weights (the
+/// engine) should flatten once at staging time and use
+/// [`bconv_lowered_with`] instead.
 ///
 /// # Panics
 ///
@@ -127,41 +173,83 @@ pub fn bconv_lowered<W: BitWord>(
     fused: &FusedBn,
     geom: &ConvGeometry,
 ) -> BitTensor<W> {
+    bconv_lowered_with(q, input, filters, &flatten_filters(filters), fused, geom)
+}
+
+/// [`bconv_lowered`] with a pre-flattened filter bank (the output of
+/// [`flatten_filters`] for the same `filters`), so per-inference callers
+/// skip the staging-time flatten.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (channels, fusion length, flat window width).
+pub fn bconv_lowered_with<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    filters: &PackedFilters<W>,
+    flat: &PackedFilters<W>,
+    fused: &FusedBn,
+    geom: &ConvGeometry,
+) -> BitTensor<W> {
     let s = input.shape();
     let fs = filters.shape();
-    assert_eq!(s.c, fs.c, "input channels {} != filter channels {}", s.c, fs.c);
+    assert_eq!(
+        s.c, fs.c,
+        "input channels {} != filter channels {}",
+        s.c, fs.c
+    );
     assert_eq!(fused.len(), fs.k, "fusion params must cover every filter");
     let (oh, ow) = geom.output_hw(s.h, s.w);
     let out_pixels = s.n * oh * ow;
 
-    // Kernel 1: materialize window rows.
-    let mut windows = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, geom.taps() * s.c));
-    q.launch(pack_windows_profile(out_pixels, s.c, geom), || {
-        windows = pack_windows(input, geom);
-    });
+    // Kernel 1: materialize window rows — unless the convolution is
+    // 1x1/stride-1/unpadded, where every "window row" is exactly the input
+    // pixel row already (the GEMM view is free; this is why the planner
+    // routes such layers here).
+    let gemm_is_view = geom.is_pointwise();
+    let materialized;
+    let windows: &BitTensor<W> = if gemm_is_view {
+        input
+    } else {
+        let mut packed = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, geom.taps() * s.c));
+        q.launch(pack_windows_profile(out_pixels, s.c, geom), || {
+            packed = pack_windows(input, geom);
+        });
+        materialized = packed;
+        &materialized
+    };
 
-    // Kernel 2: row x filter xnor-popcount GEMM with fused binarization.
-    let flat = flatten_filters(filters);
+    // Kernel 2: row x filter xnor-popcount GEMM with fused binarization,
+    // register-tiled TILE_PIXELS x TILE_FILTERS through the same
+    // microkernel as the direct path.
+    assert_eq!(
+        flat.shape(),
+        FilterShape::new(fs.k, 1, 1, geom.taps() * s.c),
+        "flat bank does not match filters/geometry"
+    );
     let window_bits = geom.taps() * s.c;
     let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, fs.k));
-    let k_total = fs.k;
     q.launch(bgemm_profile(out_pixels, fs.k, s.c, geom), || {
         let wpp = out.words_per_pixel();
-        let windows = &windows;
-        let flat = &flat;
-        par_chunks_mut(out.as_mut_words(), wpp, |pixel, span| {
-            let n = pixel / (oh * ow);
-            let rem = pixel % (oh * ow);
-            let (oy, ox) = (rem / ow, rem % ow);
-            let row = windows.pixel_words(n, oy, ox);
-            for k in 0..k_total {
-                let w = flat.tap_words(k, 0, 0);
-                let disagree = xor_popcount_vec::<W, 2>(row, w);
+        let row_wpp = windows.words_per_pixel();
+        par_chunks_mut(out.as_mut_words(), TILE_PIXELS * wpp, |tile, span| {
+            let p0 = tile * TILE_PIXELS;
+            let pixels = span.len() / wpp;
+            let all_rows = windows.as_words();
+            let mut emit = |p: usize, k: usize, disagree: u32| {
                 let x1 = window_bits as i32 - 2 * disagree as i32;
                 if fused.decide_logic(k, x1 as f32) {
-                    span[k / W::BITS] = span[k / W::BITS].with_bit(k % W::BITS, true);
+                    let slot = p * wpp + k / W::BITS;
+                    span[slot] = span[slot].with_bit(k % W::BITS, true);
                 }
-            }
+            };
+            let row = |p: usize| {
+                let off = (p0 + p) * row_wpp;
+                &all_rows[off..off + row_wpp]
+            };
+            // Unused slots alias the last row; they are sliced off.
+            let rows: [&[W]; TILE_PIXELS] = std::array::from_fn(|p| row(p.min(pixels - 1)));
+            tile_filters(&rows[..pixels], flat, &mut emit);
         });
     });
     out
@@ -192,7 +280,9 @@ mod tests {
 
     fn test_bn(k: usize) -> (BnParams, Vec<f32>) {
         let bn = BnParams {
-            gamma: (0..k).map(|i| if i % 3 == 0 { -1.1 } else { 0.9 }).collect(),
+            gamma: (0..k)
+                .map(|i| if i % 3 == 0 { -1.1 } else { 0.9 })
+                .collect(),
             beta: (0..k).map(|i| (i % 4) as f32 * 0.2 - 0.3).collect(),
             mu: (0..k).map(|i| (i % 5) as f32 - 2.0).collect(),
             sigma: vec![1.5; k],
@@ -202,7 +292,11 @@ mod tests {
 
     #[test]
     fn lowered_equals_direct_exactly() {
-        for (c, k, pad, stride) in [(16usize, 8usize, 1usize, 1usize), (40, 24, 0, 2), (64, 16, 1, 1)] {
+        for (c, k, pad, stride) in [
+            (16usize, 8usize, 1usize, 1usize),
+            (40, 24, 0, 2),
+            (64, 16, 1, 1),
+        ] {
             let t = pm1_tensor(Shape4::new(1, 7, 8, c), c);
             let f = pm1_tensor(Shape4::new(1, 1, 1, 1), 0); // unused, silence
             let _ = f;
@@ -277,6 +371,9 @@ mod tests {
             lowered_bytes > direct_bytes,
             "lowering must move more DRAM: {lowered_bytes} vs {direct_bytes}"
         );
-        assert!(lowered_time > direct_time, "direct fused path wins in the model");
+        assert!(
+            lowered_time > direct_time,
+            "direct fused path wins in the model"
+        );
     }
 }

@@ -88,7 +88,11 @@ fn output_shape<W: BitWord>(
 ) -> Shape4 {
     let s = planes.shape();
     let fs = filters.shape();
-    assert_eq!(s.c, fs.c, "plane channels {} != filter channels {}", s.c, fs.c);
+    assert_eq!(
+        s.c, fs.c,
+        "plane channels {} != filter channels {}",
+        s.c, fs.c
+    );
     let (oh, ow) = geom.output_hw(s.h, s.w);
     Shape4::new(s.n, oh, ow, fs.k)
 }
@@ -132,12 +136,17 @@ pub fn bitplane_conv_fused<W: BitWord>(
     geom: &ConvGeometry,
 ) -> BitTensor<W> {
     let os = output_shape(planes, filters, geom);
-    assert_eq!(fused.len(), filters.shape().k, "fusion params must cover every filter");
+    assert_eq!(
+        fused.len(),
+        filters.shape().k,
+        "fusion params must cover every filter"
+    );
     let mut out = BitTensor::<W>::zeros(os);
     let policy = WorkloadPolicy::for_channels(planes.shape().c);
-    let profile =
-        profiles::bitplane_conv_fused(os.pixels(), os.c, planes.shape().c, geom, &policy);
-    q.launch(profile, || compute_bitplane_conv_fused(planes, filters, fused, geom, &mut out));
+    let profile = profiles::bitplane_conv_fused(os.pixels(), os.c, planes.shape().c, geom, &policy);
+    q.launch(profile, || {
+        compute_bitplane_conv_fused(planes, filters, fused, geom, &mut out)
+    });
     out
 }
 
@@ -185,19 +194,23 @@ mod tests {
     }
 
     fn image(shape: Shape4) -> Tensor<u8> {
-        Tensor::from_fn(shape, |n, h, w, c| ((n * 157 + h * 83 + w * 19 + c * 7) % 256) as u8)
+        Tensor::from_fn(shape, |n, h, w, c| {
+            ((n * 157 + h * 83 + w * 19 + c * 7) % 256) as u8
+        })
     }
 
     fn pm1_filters(shape: FilterShape) -> Filters {
-        Filters::from_fn(shape, |k, i, j, c| if (k + i * 2 + j + c) % 2 == 0 { 1.0 } else { -1.0 })
+        Filters::from_fn(shape, |k, i, j, c| {
+            if (k + i * 2 + j + c) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
     }
 
     /// Integer reference: direct u8 x (+-1) convolution with zero padding.
-    fn reference_accum(
-        img: &Tensor<u8>,
-        filters: &Filters,
-        geom: &ConvGeometry,
-    ) -> Tensor<i32> {
+    fn reference_accum(img: &Tensor<u8>, filters: &Filters, geom: &ConvGeometry) -> Tensor<i32> {
         let s = img.shape();
         let fs = filters.shape();
         let (oh, ow) = geom.output_hw(s.h, s.w);
@@ -248,7 +261,9 @@ mod tests {
         let f = pm1_filters(FilterShape::new(16, 3, 3, 3));
         let geom = ConvGeometry::square(3, 1, 1);
         let bn = BnParams {
-            gamma: (0..16).map(|i| if i % 4 == 0 { -1.0 } else { 0.8 }).collect(),
+            gamma: (0..16)
+                .map(|i| if i % 4 == 0 { -1.0 } else { 0.8 })
+                .collect(),
             beta: (0..16).map(|i| i as f32 * 0.05).collect(),
             mu: (0..16).map(|i| 100.0 + i as f32 * 10.0).collect(),
             sigma: vec![50.0; 16],
@@ -267,6 +282,7 @@ mod tests {
         for n in 0..s.n {
             for h in 0..s.h {
                 for w in 0..s.w {
+                    #[allow(clippy::needless_range_loop)] // c indexes both tensors and bias
                     for c in 0..s.c {
                         let x3 = bn.apply(c, accum.at(n, h, w, c) as f32 + bias[c]);
                         let expect = if x3 >= 0.0 { 1.0 } else { -1.0 };
@@ -293,7 +309,12 @@ mod tests {
         let f = pm1_filters(FilterShape::new(2, 3, 3, 3));
         let mut q = queue();
         let planes = bitplane_split::<u32>(&mut q, &img);
-        let accum = bitplane_conv_accum(&mut q, &planes, &pack_filters::<u32>(&f), &ConvGeometry::square(3, 1, 1));
+        let accum = bitplane_conv_accum(
+            &mut q,
+            &planes,
+            &pack_filters::<u32>(&f),
+            &ConvGeometry::square(3, 1, 1),
+        );
         assert!(accum.as_slice().iter().all(|&v| v == 0));
     }
 }

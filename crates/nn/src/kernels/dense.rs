@@ -77,14 +77,23 @@ pub fn dense_bin<W: BitWord>(
 ) -> BitTensor<W> {
     let s = input.shape();
     let ws = weights.shape();
-    assert!(s.h == 1 && s.w == 1, "dense input must be flattened, got {s}");
+    assert!(
+        s.h == 1 && s.w == 1,
+        "dense input must be flattened, got {s}"
+    );
     assert_eq!(ws.kh, 1, "dense weights must be 1x1 taps");
     assert_eq!(ws.kw, 1, "dense weights must be 1x1 taps");
-    assert_eq!(s.c, ws.c, "input features {} != weight features {}", s.c, ws.c);
+    assert_eq!(
+        s.c, ws.c,
+        "input features {} != weight features {}",
+        s.c, ws.c
+    );
     assert_eq!(fused.len(), ws.k, "fusion params must cover every output");
     let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, 1, 1, ws.k));
     let profile = profiles::dense_bin(ws.k, s.c);
-    q.launch(profile, || compute_dense_bin(input, weights, fused, &mut out));
+    q.launch(profile, || {
+        compute_dense_bin(input, weights, fused, &mut out)
+    });
     out
 }
 
@@ -130,7 +139,9 @@ pub fn dense_float(
     );
     let mut out = vec![0.0f32; out_features];
     let profile = profiles::dense_float(out_features, input.len());
-    q.launch(profile, || compute_dense_float(input, weights, bias, act, &mut out));
+    q.launch(profile, || {
+        compute_dense_float(input, weights, bias, act, &mut out)
+    });
     out
 }
 
@@ -201,6 +212,7 @@ mod tests {
         });
         let mut w = PackedFilters::<u64>::zeros(FilterShape::new(outputs, 1, 1, features));
         let mut wf = vec![vec![-1.0f32; features]; outputs];
+        #[allow(clippy::needless_range_loop)] // fills packed + float mirrors together
         for k in 0..outputs {
             for c in 0..features {
                 if (k * 7 + c) % 2 == 0 {
@@ -210,7 +222,9 @@ mod tests {
             }
         }
         let bn = BnParams {
-            gamma: (0..outputs).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+            gamma: (0..outputs)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
             beta: vec![0.3; outputs],
             mu: vec![2.0; outputs],
             sigma: vec![1.5; outputs],
@@ -221,9 +235,7 @@ mod tests {
         let y = dense_bin(&mut q, &pack_f32::<u64>(&x), &w, &fused);
         let got = unpack_f32(&y);
         for k in 0..outputs {
-            let dot: f32 = (0..features)
-                .map(|c| x.at(0, 0, 0, c) * wf[k][c])
-                .sum();
+            let dot: f32 = (0..features).map(|c| x.at(0, 0, 0, c) * wf[k][c]).sum();
             let x3 = bn.apply(k, dot + bias[k]);
             let expect = if x3 >= 0.0 { 1.0 } else { -1.0 };
             assert_eq!(got.at(0, 0, 0, k), expect, "output {k}");
@@ -264,6 +276,12 @@ mod tests {
     #[should_panic(expected = "out x in")]
     fn dense_float_shape_mismatch_panics() {
         let mut q = queue();
-        let _ = dense_float(&mut q, &[1.0, 2.0], &[1.0, 2.0, 3.0], &[0.0, 0.0], Activation::Linear);
+        let _ = dense_float(
+            &mut q,
+            &[1.0, 2.0],
+            &[1.0, 2.0, 3.0],
+            &[0.0, 0.0],
+            Activation::Linear,
+        );
     }
 }

@@ -69,14 +69,20 @@ pub fn fconv(
 ) -> Tensor<f32> {
     let s = input.shape();
     let fs = filters.shape();
-    assert_eq!(s.c, fs.c, "input channels {} != filter channels {}", s.c, fs.c);
+    assert_eq!(
+        s.c, fs.c,
+        "input channels {} != filter channels {}",
+        s.c, fs.c
+    );
     assert_eq!(bias.len(), fs.k, "bias length must equal filter count");
     let (oh, ow) = geom.output_hw(s.h, s.w);
     let os = Shape4::new(s.n, oh, ow, fs.k);
     let mut out = Tensor::<f32>::zeros(os, Layout::Nhwc);
     let mut profile = profiles::fconv(os.pixels(), fs.k, s.c, geom);
     profile.f32_ops += os.len() as f64 * act.ops_per_element();
-    q.launch(profile, || compute_fconv(input, filters, bias, act, geom, &mut out));
+    q.launch(profile, || {
+        compute_fconv(input, filters, bias, act, geom, &mut out)
+    });
     out
 }
 
@@ -93,12 +99,21 @@ mod tests {
     #[test]
     fn identity_kernel_passes_through() {
         // 1x1 conv with identity matrix weights = channel copy.
-        let t = Tensor::from_fn(Shape4::new(1, 3, 3, 2), |_, h, w, c| (h * 10 + w + c) as f32);
+        let t = Tensor::from_fn(Shape4::new(1, 3, 3, 2), |_, h, w, c| {
+            (h * 10 + w + c) as f32
+        });
         let mut f = Filters::zeros(FilterShape::new(2, 1, 1, 2));
         f.set(0, 0, 0, 0, 1.0);
         f.set(1, 0, 0, 1, 1.0);
         let mut q = queue();
-        let out = fconv(&mut q, &t, &f, &[0.0, 0.0], Activation::Linear, &ConvGeometry::square(1, 1, 0));
+        let out = fconv(
+            &mut q,
+            &t,
+            &f,
+            &[0.0, 0.0],
+            Activation::Linear,
+            &ConvGeometry::square(1, 1, 0),
+        );
         assert_eq!(out.as_slice(), t.as_slice());
     }
 
@@ -109,10 +124,24 @@ mod tests {
         f.set(0, 0, 0, 0, 2.0);
         let mut q = queue();
         // -1*2 + 0.5 = -1.5, ReLU -> 0.
-        let out = fconv(&mut q, &t, &f, &[0.5], Activation::Relu, &ConvGeometry::square(1, 1, 0));
+        let out = fconv(
+            &mut q,
+            &t,
+            &f,
+            &[0.5],
+            Activation::Relu,
+            &ConvGeometry::square(1, 1, 0),
+        );
         assert!(out.as_slice().iter().all(|&v| v == 0.0));
         // Leaky keeps -0.15.
-        let out = fconv(&mut q, &t, &f, &[0.5], Activation::Leaky(0.1), &ConvGeometry::square(1, 1, 0));
+        let out = fconv(
+            &mut q,
+            &t,
+            &f,
+            &[0.5],
+            Activation::Leaky(0.1),
+            &ConvGeometry::square(1, 1, 0),
+        );
         for &v in out.as_slice() {
             assert!((v + 0.15).abs() < 1e-6);
         }
@@ -125,7 +154,14 @@ mod tests {
         let t = Tensor::from_fn(Shape4::new(1, 3, 3, 1), |_, _, _, _| 1.0);
         let f = Filters::from_fn(FilterShape::new(1, 3, 3, 1), |_, _, _, _| 1.0);
         let mut q = queue();
-        let out = fconv(&mut q, &t, &f, &[0.0], Activation::Linear, &ConvGeometry::square(3, 1, 1));
+        let out = fconv(
+            &mut q,
+            &t,
+            &f,
+            &[0.0],
+            Activation::Linear,
+            &ConvGeometry::square(3, 1, 1),
+        );
         assert_eq!(out.at(0, 0, 0, 0), 4.0);
         assert_eq!(out.at(0, 0, 1, 0), 6.0);
         assert_eq!(out.at(0, 1, 1, 0), 9.0);
@@ -135,9 +171,13 @@ mod tests {
     fn matches_im2col_gemm_reference() {
         use phonebit_tensor::im2col::im2col_nhwc;
         let shape = Shape4::new(2, 5, 6, 3);
-        let t = Tensor::from_fn(shape, |n, h, w, c| ((n * 31 + h * 17 + w * 5 + c) % 11) as f32 - 5.0);
+        let t = Tensor::from_fn(shape, |n, h, w, c| {
+            ((n * 31 + h * 17 + w * 5 + c) % 11) as f32 - 5.0
+        });
         let fs = FilterShape::new(4, 3, 3, 3);
-        let f = Filters::from_fn(fs, |k, i, j, c| ((k * 7 + i + j * 2 + c * 3) % 5) as f32 - 2.0);
+        let f = Filters::from_fn(fs, |k, i, j, c| {
+            ((k * 7 + i + j * 2 + c * 3) % 5) as f32 - 2.0
+        });
         let geom = ConvGeometry::square(3, 1, 1);
         let mut q = queue();
         let direct = fconv(&mut q, &t, &f, &[0.0; 4], Activation::Linear, &geom);
@@ -146,10 +186,17 @@ mod tests {
         for n in 0..shape.n {
             for r in 0..oh * ow {
                 for k in 0..fs.k {
-                    let dot: f32 =
-                        unrolled.row(n, r).iter().zip(f.filter(k)).map(|(a, b)| a * b).sum();
+                    let dot: f32 = unrolled
+                        .row(n, r)
+                        .iter()
+                        .zip(f.filter(k))
+                        .map(|(a, b)| a * b)
+                        .sum();
                     let got = direct.at(n, r / ow, r % ow, k);
-                    assert!((dot - got).abs() < 1e-3, "n={n} r={r} k={k}: {dot} vs {got}");
+                    assert!(
+                        (dot - got).abs() < 1e-3,
+                        "n={n} r={r} k={k}: {dot} vs {got}"
+                    );
                 }
             }
         }
@@ -161,6 +208,13 @@ mod tests {
         let t = Tensor::<f32>::zeros(Shape4::new(1, 2, 2, 1), Layout::Nhwc);
         let f = Filters::zeros(FilterShape::new(2, 1, 1, 1));
         let mut q = queue();
-        let _ = fconv(&mut q, &t, &f, &[0.0], Activation::Linear, &ConvGeometry::square(1, 1, 0));
+        let _ = fconv(
+            &mut q,
+            &t,
+            &f,
+            &[0.0],
+            Activation::Linear,
+            &ConvGeometry::square(1, 1, 0),
+        );
     }
 }

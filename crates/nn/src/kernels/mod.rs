@@ -12,6 +12,7 @@ pub mod dense;
 pub mod fconv;
 pub mod pool;
 pub mod profiles;
+pub mod tiled;
 
 use phonebit_gpusim::queue::CommandQueue;
 use phonebit_tensor::bits::{BitTensor, BitWord};

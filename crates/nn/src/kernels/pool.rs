@@ -25,7 +25,10 @@ pub struct PoolGeometry {
 impl PoolGeometry {
     /// Square pooling window.
     pub fn new(size: usize, stride: usize) -> Self {
-        assert!(size > 0 && stride > 0, "pool size and stride must be positive");
+        assert!(
+            size > 0 && stride > 0,
+            "pool size and stride must be positive"
+        );
         Self { size, stride }
     }
 
@@ -112,11 +115,7 @@ pub fn compute_maxpool_f32(input: &Tensor<f32>, geom: &PoolGeometry, out: &mut T
 }
 
 /// Dispatches float max pooling.
-pub fn maxpool_f32(
-    q: &mut CommandQueue,
-    input: &Tensor<f32>,
-    geom: &PoolGeometry,
-) -> Tensor<f32> {
+pub fn maxpool_f32(q: &mut CommandQueue, input: &Tensor<f32>, geom: &PoolGeometry) -> Tensor<f32> {
     let s = input.shape();
     let (oh, ow) = geom.output_hw(s.h, s.w);
     let os = Shape4::new(s.n, oh, ow, s.c);
@@ -154,11 +153,7 @@ pub fn compute_avgpool_f32(input: &Tensor<f32>, geom: &PoolGeometry, out: &mut T
 }
 
 /// Dispatches float average pooling.
-pub fn avgpool_f32(
-    q: &mut CommandQueue,
-    input: &Tensor<f32>,
-    geom: &PoolGeometry,
-) -> Tensor<f32> {
+pub fn avgpool_f32(q: &mut CommandQueue, input: &Tensor<f32>, geom: &PoolGeometry) -> Tensor<f32> {
     let s = input.shape();
     let (oh, ow) = geom.output_hw(s.h, s.w);
     let os = Shape4::new(s.n, oh, ow, s.c);
@@ -198,7 +193,11 @@ mod tests {
             let mut q = queue();
             let bits = maxpool_bits(&mut q, &pack_f32::<u64>(&t), &geom);
             let floats = maxpool_f32(&mut q, &t, &geom);
-            assert_eq!(unpack_f32(&bits).as_slice(), floats.as_slice(), "h={h} w={w} c={c}");
+            assert_eq!(
+                unpack_f32(&bits).as_slice(),
+                floats.as_slice(),
+                "h={h} w={w} c={c}"
+            );
             assert!(bits.tail_is_clean());
         }
     }

@@ -40,7 +40,10 @@ fn words32(channels: usize) -> f64 {
 }
 
 /// Profile of the fused binary convolution (conv + BN + binarize + pack in
-/// one kernel, §V-B + §VI-B).
+/// one kernel, §V-B + §VI-B), as implemented by the **tiled** hot path:
+/// gathered windows are reused across all filters, so input traffic is the
+/// compulsory minimum (every packed byte fetched once) and the
+/// interior/border split keeps the wave branch-free (divergence 1.0).
 #[allow(clippy::too_many_arguments)]
 pub fn bconv_fused(
     out_pixels: usize,
@@ -52,7 +55,10 @@ pub fn bconv_fused(
     let taps = geom.taps() as f64;
     let outputs = out_pixels as f64 * out_channels as f64;
     let word_ops = outputs * taps * words32(in_channels) * 2.0; // xor + popcount
-    let int_ops = outputs * (taps + 3.0); // accumulate + threshold + pack
+                                                                // Per-output integer work is just threshold + pack + loop bookkeeping:
+                                                                // the tiled kernel accumulates inside the word stream (counted above),
+                                                                // not one add per tap.
+    let int_ops = outputs * 4.0;
     let input_bytes = compulsory_input_bytes(out_pixels, in_channels, geom);
     let filter_bytes = out_channels as f64 * taps * (in_channels as f64 / 8.0);
     let out_bytes = out_pixels as f64 * (out_channels as f64 / 8.0);
@@ -69,6 +75,32 @@ pub fn bconv_fused(
     .private_bytes(policy.private_bytes(geom, in_channels))
 }
 
+/// Profile of the seed **untiled** fused kernel, kept for the tiling
+/// ablation: without the window gather every 8-filter thread re-fetches its
+/// pixel's window from global memory, so window traffic scales with
+/// `ceil(K / filters_per_thread)` instead of being paid once, and every tap
+/// costs a bounds check whose border cases diverge the wave slightly.
+pub fn bconv_fused_untiled(
+    out_pixels: usize,
+    out_channels: usize,
+    in_channels: usize,
+    geom: &ConvGeometry,
+    policy: &WorkloadPolicy,
+) -> KernelProfile {
+    let taps = geom.taps() as f64;
+    let outputs = out_pixels as f64 * out_channels as f64;
+    let filter_groups = (out_channels as f64 / policy.filters_per_thread as f64).ceil();
+    let mut p = bconv_fused(out_pixels, out_channels, in_channels, geom, policy);
+    p.name = "bconv_fused_untiled".into();
+    // Re-read the window once per filter group rather than once per pixel.
+    let input_once = compulsory_input_bytes(out_pixels, in_channels, geom);
+    p.dram_read_bytes += input_once * (filter_groups - 1.0);
+    // One accumulate per tap span plus a bounds check per tap, and border
+    // taps mask part of the wave.
+    p.int_ops = outputs * (2.0 * taps + 3.0);
+    p.divergence(1.05)
+}
+
 /// Profile of the divergent (Eqn 8) variant of the fused kernel, for the
 /// branch-divergence ablation: same work, four-way divergent tail.
 pub fn bconv_fused_divergent(
@@ -81,8 +113,7 @@ pub fn bconv_fused_divergent(
     // Divergent checks mask part of each wave during the binarize tail.
     // The tail is short relative to the dot product, so the inflation is
     // modest but measurable — the paper replaces it with Eqn (9) logic ops.
-    let mut p = bconv_fused(out_pixels, out_channels, in_channels, geom, policy)
-        .divergence(1.18);
+    let mut p = bconv_fused(out_pixels, out_channels, in_channels, geom, policy).divergence(1.18);
     p.name = "bconv_fused_eqn8".into();
     p
 }
@@ -107,7 +138,9 @@ pub fn bconv_accum(
     let taps = geom.taps() as f64;
     let outputs = out_pixels as f64 * out_channels as f64;
     let word_ops = outputs * taps * words32(in_channels) * 2.0;
-    let int_ops = outputs * (taps + 1.0);
+    // Tiled accumulation happens in the word stream; per output there is
+    // only the final subtraction and the int32 store.
+    let int_ops = outputs * 2.0;
     let input_bytes = compulsory_input_bytes(out_pixels, in_channels, geom);
     let filter_bytes = out_channels as f64 * taps * (in_channels as f64 / 8.0);
     let out_bytes = outputs * 4.0; // int32 intermediate hits DRAM
@@ -129,12 +162,15 @@ pub fn bconv_accum(
 /// from DRAM.
 pub fn binarize_pack(pixels: usize, channels: usize) -> KernelProfile {
     let elems = pixels as f64 * channels as f64;
-    KernelProfile::new("binarize_pack", NdRange::linear(pixels * channels.div_ceil(8)))
-        .int_ops(elems * 3.0)
-        .reads(elems * 4.0)
-        .writes(pixels as f64 * (channels as f64 / 8.0))
-        .coalescing(PACKED_COALESCING)
-        .vector_lanes(VEC_LANES_128)
+    KernelProfile::new(
+        "binarize_pack",
+        NdRange::linear(pixels * channels.div_ceil(8)),
+    )
+    .int_ops(elems * 3.0)
+    .reads(elems * 4.0)
+    .writes(pixels as f64 * (channels as f64 / 8.0))
+    .coalescing(PACKED_COALESCING)
+    .vector_lanes(VEC_LANES_128)
 }
 
 /// Profile of the bit-plane split of an 8-bit input (§III-B): one pass over
@@ -196,12 +232,9 @@ pub fn fconv(
     geom: &ConvGeometry,
 ) -> KernelProfile {
     let macs = out_pixels as f64 * out_channels as f64 * geom.taps() as f64 * in_channels as f64;
-    let input_bytes = out_pixels as f64
-        * (geom.stride_h * geom.stride_w) as f64
-        * in_channels as f64
-        * 4.0;
-    let filter_bytes =
-        out_channels as f64 * geom.taps() as f64 * in_channels as f64 * 4.0;
+    let input_bytes =
+        out_pixels as f64 * (geom.stride_h * geom.stride_w) as f64 * in_channels as f64 * 4.0;
+    let filter_bytes = out_channels as f64 * geom.taps() as f64 * in_channels as f64 * 4.0;
     let out_bytes = out_pixels as f64 * out_channels as f64 * 4.0;
     KernelProfile::new("fconv_dot", NdRange::linear(out_pixels * out_channels))
         .f32_ops(macs * 2.0)
@@ -329,6 +362,20 @@ mod tests {
         let plain3 = bconv_fused(208 * 208, 16, 3, &geom3(), &p3);
         let planes3 = bitplane_conv_fused(208 * 208, 16, 3, &geom3(), &p3);
         assert!(planes3.word_ops / plain3.word_ops < 8.0);
+    }
+
+    #[test]
+    fn untiled_kernel_moves_more_dram_than_tiled() {
+        // The whole point of the window gather: tiled traffic is the
+        // compulsory minimum, the seed kernel re-reads per filter group.
+        let policy = WorkloadPolicy::for_channels(128);
+        let tiled = bconv_fused(52 * 52, 128, 128, &geom3(), &policy);
+        let untiled = bconv_fused_untiled(52 * 52, 128, 128, &geom3(), &policy);
+        assert!(untiled.dram_read_bytes > 10.0 * tiled.dram_read_bytes);
+        // Same useful bitwise work; only overhead differs.
+        assert_eq!(untiled.word_ops, tiled.word_ops);
+        assert!(untiled.int_ops > tiled.int_ops);
+        assert!(untiled.divergence > tiled.divergence);
     }
 
     #[test]

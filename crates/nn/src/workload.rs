@@ -1,4 +1,4 @@
-//! Workload optimization (paper §VI-B).
+//! Workload optimization (paper §VI-B) plus the tiled decomposition.
 //!
 //! PhoneBit assigns each GPU thread the computation of **8 convolution
 //! filters**, binarizing the 8 results and packing them into one byte in
@@ -7,8 +7,17 @@
 //! pressure: "when the channel number is too large, private memory of one
 //! thread cannot load the required data" — so for channel counts above 256
 //! the packing runs as a separate kernel instead.
+//!
+//! The tiled hot path ([`crate::kernels::tiled`]) additionally gives each
+//! integrated thread [`crate::kernels::tiled::TILE_PIXELS`] output pixels:
+//! the gathered windows live in private memory and are reused across every
+//! filter the thread computes, which this policy accounts for in
+//! [`WorkloadPolicy::private_bytes`] (occupancy) and
+//! [`WorkloadPolicy::work_items`] (thread counts).
 
 use phonebit_tensor::shape::ConvGeometry;
+
+use crate::kernels::tiled::TILE_PIXELS;
 
 /// The channel-count threshold above which packing is split out of the
 /// convolution kernel (paper §VI-B).
@@ -19,6 +28,9 @@ pub const INTEGRATION_CHANNEL_LIMIT: usize = 256;
 pub struct WorkloadPolicy {
     /// Filters computed (and packed) by one thread.
     pub filters_per_thread: usize,
+    /// Output pixels whose gathered windows one thread holds and reuses
+    /// (the tiled kernels' pixel-tile width; 1 = untiled).
+    pub pixels_per_thread: usize,
     /// Whether binarize+pack happens inside the convolution kernel
     /// (integrated) or in a separate kernel afterwards.
     pub integrated_packing: bool,
@@ -27,38 +39,57 @@ pub struct WorkloadPolicy {
 impl WorkloadPolicy {
     /// The paper's policy: integrate 8 filters per thread when the input
     /// channel count allows it, otherwise fall back to one filter per thread
-    /// with a separate packing kernel.
+    /// with a separate packing kernel. Integrated threads run the tiled
+    /// kernel and hold [`TILE_PIXELS`] gathered windows; the fallback keeps
+    /// one pixel per thread so large-channel windows still fit.
     pub fn for_channels(in_channels: usize) -> Self {
         if in_channels <= INTEGRATION_CHANNEL_LIMIT {
-            Self { filters_per_thread: 8, integrated_packing: true }
+            Self {
+                filters_per_thread: 8,
+                pixels_per_thread: TILE_PIXELS,
+                integrated_packing: true,
+            }
         } else {
-            Self { filters_per_thread: 1, integrated_packing: false }
+            Self {
+                filters_per_thread: 1,
+                pixels_per_thread: 1,
+                integrated_packing: false,
+            }
         }
     }
 
     /// A policy that always integrates (for the ablation bench).
     pub fn always_integrated() -> Self {
-        Self { filters_per_thread: 8, integrated_packing: true }
+        Self {
+            filters_per_thread: 8,
+            pixels_per_thread: TILE_PIXELS,
+            integrated_packing: true,
+        }
     }
 
     /// A policy that never integrates (for the ablation bench).
     pub fn never_integrated() -> Self {
-        Self { filters_per_thread: 1, integrated_packing: false }
+        Self {
+            filters_per_thread: 1,
+            pixels_per_thread: 1,
+            integrated_packing: false,
+        }
     }
 
     /// Estimated private-memory bytes one thread needs under this policy:
-    /// the activation window it caches, its accumulators, and vector
-    /// registers. Drives the simulator's occupancy throttling.
+    /// the gathered activation windows it caches (one per tiled pixel), its
+    /// accumulator tile, and vector registers. Drives the simulator's
+    /// occupancy throttling.
     pub fn private_bytes(&self, geom: &ConvGeometry, in_channels: usize) -> usize {
         let window_bytes = geom.kh * geom.kw * in_channels.div_ceil(8);
-        let accumulators = self.filters_per_thread * 4;
+        let accumulators = self.filters_per_thread * self.pixels_per_thread * 4;
         let vector_regs = 64;
-        window_bytes + accumulators + vector_regs
+        self.pixels_per_thread * window_bytes + accumulators + vector_regs
     }
 
     /// Number of threads (work items) for a given output size.
     pub fn work_items(&self, out_pixels: usize, out_channels: usize) -> usize {
-        out_pixels * out_channels.div_ceil(self.filters_per_thread)
+        out_pixels.div_ceil(self.pixels_per_thread) * out_channels.div_ceil(self.filters_per_thread)
     }
 }
 
@@ -70,18 +101,21 @@ mod tests {
     fn paper_rule_at_256() {
         let small = WorkloadPolicy::for_channels(256);
         assert_eq!(small.filters_per_thread, 8);
+        assert_eq!(small.pixels_per_thread, TILE_PIXELS);
         assert!(small.integrated_packing);
         let big = WorkloadPolicy::for_channels(257);
         assert_eq!(big.filters_per_thread, 1);
+        assert_eq!(big.pixels_per_thread, 1);
         assert!(!big.integrated_packing);
     }
 
     #[test]
     fn work_items_round_up() {
         let p = WorkloadPolicy::always_integrated();
-        // 20 filters in groups of 8 -> 3 groups per pixel.
-        assert_eq!(p.work_items(100, 20), 300);
-        assert_eq!(p.work_items(1, 8), 1);
+        // 20 filters in groups of 8 -> 3 groups; 100 pixels in pairs -> 50.
+        assert_eq!(p.work_items(100, 20), 150);
+        assert_eq!(p.work_items(2, 8), 1);
+        assert_eq!(p.work_items(3, 8), 2, "odd pixel tail gets its own thread");
         let q = WorkloadPolicy::never_integrated();
         assert_eq!(q.work_items(100, 20), 2000);
     }
@@ -93,11 +127,27 @@ mod tests {
         let small = p.private_bytes(&g, 64);
         let big = p.private_bytes(&g, 1024);
         assert!(big > small);
-        // 3x3x1024 bits = 1152 bytes of window alone: exceeds the 1 KiB
+        // 3x3x1024 bits = 1152 bytes per window alone: exceeds the 1 KiB
         // register budget of the Adreno profiles -> occupancy throttling.
         assert!(big > 1024);
-        // The paper's limit keeps the integrated window within budget.
+        // The paper's limit keeps the integrated (two-window) tile within
+        // budget.
         let at_limit = p.private_bytes(&g, INTEGRATION_CHANNEL_LIMIT);
-        assert!(at_limit <= 1024, "window at the 256-channel limit fits private memory");
+        assert!(
+            at_limit <= 1024,
+            "window tile at the 256-channel limit fits private memory ({at_limit} B)"
+        );
+    }
+
+    #[test]
+    fn tiled_policy_doubles_window_residency() {
+        let g = ConvGeometry::square(3, 1, 1);
+        let tiled = WorkloadPolicy::always_integrated();
+        let untiled = WorkloadPolicy::never_integrated();
+        let window = 3 * 3 * 64 / 8;
+        assert_eq!(
+            tiled.private_bytes(&g, 64) - untiled.private_bytes(&g, 64),
+            window + (tiled.filters_per_thread * tiled.pixels_per_thread - 1) * 4
+        );
     }
 }

@@ -1,0 +1,225 @@
+//! Exhaustive equality coverage for the tiled binary-convolution hot path.
+//!
+//! Every combination of packing width (`u8`/`u16`/`u32`/`u64`), channel
+//! count (including odd counts exercising the tail-word invariant), and
+//! stride/pad geometry (including asymmetric ones) is checked three ways:
+//!
+//! 1. tiled fused kernel == float reference (sign conv + BN semantics);
+//! 2. tiled fused kernel == seed per-tap reference kernel, bit for bit;
+//! 3. `tail_is_clean()` on every packed output.
+
+use phonebit_gpusim::{CommandQueue, DeviceProfile, ExecutorClass};
+use phonebit_nn::fuse::{BnParams, FusedBn};
+use phonebit_nn::kernels::bconv::{
+    bconv_accum, bconv_fused, binarize_pack, compute_bconv_fused_reference,
+};
+use phonebit_nn::kernels::bgemm::bconv_lowered;
+use phonebit_tensor::bits::{BitTensor, BitWord};
+use phonebit_tensor::pack::{pack_f32, pack_filters, unpack_f32};
+use phonebit_tensor::pad::pad_f32_with;
+use phonebit_tensor::shape::{ConvGeometry, FilterShape, Shape4};
+use phonebit_tensor::tensor::{Filters, Tensor};
+
+fn queue() -> CommandQueue {
+    CommandQueue::new(DeviceProfile::adreno_640(), ExecutorClass::PhoneBitOpenCl)
+}
+
+/// Float reference: conv (pad −1) → +bias → BN → sign.
+fn reference_fused(
+    input: &Tensor<f32>,
+    filters: &Filters,
+    bias: &[f32],
+    bn: &BnParams,
+    geom: &ConvGeometry,
+) -> Tensor<f32> {
+    let padded = pad_f32_with(input, geom.pad_h, geom.pad_w, -1.0);
+    let fs = filters.shape();
+    let (oh, ow) = geom.output_hw(input.shape().h, input.shape().w);
+    Tensor::from_fn(
+        Shape4::new(input.shape().n, oh, ow, fs.k),
+        |n, oy, ox, k| {
+            let mut acc = 0.0f32;
+            for i in 0..fs.kh {
+                for j in 0..fs.kw {
+                    for c in 0..fs.c {
+                        acc += padded.at(n, oy * geom.stride_h + i, ox * geom.stride_w + j, c)
+                            * filters.at(k, i, j, c);
+                    }
+                }
+            }
+            let x3 = bn.apply(k, acc + bias[k]);
+            if x3 >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        },
+    )
+}
+
+fn pm1_tensor(shape: Shape4, seed: usize) -> Tensor<f32> {
+    Tensor::from_fn(shape, |n, h, w, c| {
+        if (n * 7 + h * 13 + w * 29 + c * 31 + seed).is_multiple_of(3) {
+            1.0
+        } else {
+            -1.0
+        }
+    })
+}
+
+fn pm1_filters(shape: FilterShape, seed: usize) -> Filters {
+    Filters::from_fn(shape, |k, i, j, c| {
+        if (k * 11 + i * 3 + j * 5 + c * 17 + seed).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        }
+    })
+}
+
+fn test_bn(k: usize) -> (BnParams, Vec<f32>) {
+    let bn = BnParams {
+        gamma: (0..k)
+            .map(|i| if i % 3 == 0 { -0.7 } else { 1.3 })
+            .collect(),
+        beta: (0..k).map(|i| (i as f32 - 2.0) * 0.11).collect(),
+        mu: (0..k).map(|i| (i % 5) as f32 - 2.0).collect(),
+        sigma: (0..k).map(|i| 0.5 + (i % 4) as f32 * 0.3).collect(),
+    };
+    let bias = (0..k).map(|i| (i % 3) as f32 - 1.0).collect();
+    (bn, bias)
+}
+
+/// The geometry grid: symmetric, strided, asymmetric stride, asymmetric
+/// pad, rectangular kernels.
+fn geometries() -> Vec<ConvGeometry> {
+    vec![
+        ConvGeometry::square(3, 1, 1),
+        ConvGeometry::square(3, 2, 0),
+        ConvGeometry::square(2, 1, 1),
+        ConvGeometry {
+            kh: 3,
+            kw: 3,
+            stride_h: 1,
+            stride_w: 2,
+            pad_h: 2,
+            pad_w: 1,
+        },
+        ConvGeometry {
+            kh: 1,
+            kw: 3,
+            stride_h: 2,
+            stride_w: 1,
+            pad_h: 0,
+            pad_w: 1,
+        },
+        ConvGeometry {
+            kh: 3,
+            kw: 1,
+            stride_h: 1,
+            stride_w: 1,
+            pad_h: 1,
+            pad_w: 0,
+        },
+    ]
+}
+
+/// Runs the full equality grid at one packing width.
+fn exhaustive_for_width<W: BitWord>() {
+    // Odd channel counts straddle word boundaries at every width; 2*BITS+1
+    // forces a multi-word span with a dirty-prone tail.
+    let channels = [1, 3, W::BITS - 1, W::BITS, W::BITS + 1, 2 * W::BITS + 5];
+    // Filter counts: non-multiple of the 4-filter tile and of W::BITS.
+    let ks = [1usize, 5, 9];
+    for geom in geometries() {
+        for &c in &channels {
+            for &k in &ks {
+                let shape = Shape4::new(2, 5, 6, c);
+                if shape.h + 2 * geom.pad_h < geom.kh || shape.w + 2 * geom.pad_w < geom.kw {
+                    continue;
+                }
+                let fshape = FilterShape::new(k, geom.kh, geom.kw, c);
+                let t = pm1_tensor(shape, c + k);
+                let f = pm1_filters(fshape, c ^ k);
+                let (bn, bias) = test_bn(k);
+                let fused = FusedBn::precompute(&bn, &bias);
+                let packed_in = pack_f32::<W>(&t);
+                let packed_f = pack_filters::<W>(&f);
+                let mut q = queue();
+
+                let out = bconv_fused(&mut q, &packed_in, &packed_f, &fused, &geom);
+                let ctx = format!("W={} c={c} k={k} geom={geom:?}", std::any::type_name::<W>());
+
+                // 1. Float reference equality.
+                let expect = reference_fused(&t, &f, &bias, &bn, &geom);
+                assert_eq!(
+                    unpack_f32(&out).as_slice(),
+                    expect.as_slice(),
+                    "tiled fused != float reference ({ctx})"
+                );
+
+                // 2. Bit-exact vs the seed kernel.
+                let mut seed_out = BitTensor::<W>::zeros(out.shape());
+                compute_bconv_fused_reference(&packed_in, &packed_f, &fused, &geom, &mut seed_out);
+                assert_eq!(out, seed_out, "tiled fused != seed kernel ({ctx})");
+
+                // 3. Tail invariant on the packed output.
+                assert!(out.tail_is_clean(), "dirty tail ({ctx})");
+
+                // 4. The unfused pair and the lowered GEMM agree too (same
+                // microkernel, different drivers).
+                let accum = bconv_accum(&mut q, &packed_in, &packed_f, &geom);
+                let unfused: BitTensor<W> = binarize_pack(&mut q, &accum, &fused);
+                assert_eq!(out, unfused, "accum+pack != fused ({ctx})");
+                assert!(unfused.tail_is_clean(), "dirty unfused tail ({ctx})");
+                let lowered = bconv_lowered(&mut q, &packed_in, &packed_f, &fused, &geom);
+                assert_eq!(out, lowered, "lowered != fused ({ctx})");
+                assert!(lowered.tail_is_clean(), "dirty lowered tail ({ctx})");
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_u8() {
+    exhaustive_for_width::<u8>();
+}
+
+#[test]
+fn exhaustive_u16() {
+    exhaustive_for_width::<u16>();
+}
+
+#[test]
+fn exhaustive_u32() {
+    exhaustive_for_width::<u32>();
+}
+
+#[test]
+fn exhaustive_u64() {
+    exhaustive_for_width::<u64>();
+}
+
+#[test]
+fn wide_interior_exercises_pixel_pairs_and_filter_tail() {
+    // A wider image so interior rows run several 2-pixel microkernel steps
+    // plus an odd trailing pixel, with K = 7 leaving a 3-filter tail.
+    let shape = Shape4::new(1, 8, 23, 70);
+    let fshape = FilterShape::new(7, 3, 3, 70);
+    let t = pm1_tensor(shape, 3);
+    let f = pm1_filters(fshape, 8);
+    let (bn, bias) = test_bn(7);
+    let fused = FusedBn::precompute(&bn, &bias);
+    let geom = ConvGeometry::square(3, 1, 1);
+    let mut q = queue();
+    let out = bconv_fused(
+        &mut q,
+        &pack_f32::<u64>(&t),
+        &pack_filters::<u64>(&f),
+        &fused,
+        &geom,
+    );
+    let expect = reference_fused(&t, &f, &bias, &bn, &geom);
+    assert_eq!(unpack_f32(&out).as_slice(), expect.as_slice());
+    assert!(out.tail_is_clean());
+}

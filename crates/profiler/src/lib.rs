@@ -43,7 +43,10 @@ impl PowerTrace {
             samples.push((t, instantaneous_power(events, energy, t)));
             t += interval_s;
         }
-        Self { samples, interval_s }
+        Self {
+            samples,
+            interval_s,
+        }
     }
 
     /// Mean power over the trace, watts.
@@ -171,7 +174,11 @@ mod tests {
         let events = vec![event(0.0, 0.4, 0.2), event(0.4, 0.6, 0.5)];
         let trace = PowerTrace::sample(&events, &e, 10_000.0);
         // Total energy = 0.7 J over 1 s -> ~0.7 W average.
-        assert!((trace.avg_power_w() - 0.7).abs() < 0.01, "avg {}", trace.avg_power_w());
+        assert!(
+            (trace.avg_power_w() - 0.7).abs() < 0.01,
+            "avg {}",
+            trace.avg_power_w()
+        );
         assert!(trace.peak_power_w() >= trace.avg_power_w());
     }
 

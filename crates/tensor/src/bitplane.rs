@@ -93,7 +93,11 @@ impl<W: BitWord> BitPlanes<W> {
 /// Panics if `partials` does not hold exactly 8 values.
 #[inline]
 pub fn combine_planes(partials: &[i32; 8]) -> i32 {
-    partials.iter().enumerate().map(|(n, &p)| (1i32 << n) * p).sum()
+    partials
+        .iter()
+        .enumerate()
+        .map(|(n, &p)| (1i32 << n) * p)
+        .sum()
 }
 
 #[cfg(test)]
@@ -104,7 +108,9 @@ mod tests {
     use crate::shape::FilterShape;
 
     fn image(shape: Shape4) -> Tensor<u8> {
-        Tensor::from_fn(shape, |n, h, w, c| ((n * 131 + h * 37 + w * 11 + c * 3) % 256) as u8)
+        Tensor::from_fn(shape, |n, h, w, c| {
+            ((n * 131 + h * 37 + w * 11 + c * 3) % 256) as u8
+        })
     }
 
     #[test]
@@ -140,7 +146,11 @@ mod tests {
         // Plane-wise Eqn (2).
         let mut partials = [0i32; 8];
         for (n, p) in partials.iter_mut().enumerate() {
-            *p = dot_u1_pm1(planes.plane(n).pixel_words(0, 0, 0), wf.tap_words(0, 0, 0), 13);
+            *p = dot_u1_pm1(
+                planes.plane(n).pixel_words(0, 0, 0),
+                wf.tap_words(0, 0, 0),
+                13,
+            );
         }
         assert_eq!(combine_planes(&partials), expect);
     }

@@ -72,7 +72,13 @@ pub fn im2col_nhwc(t: &Tensor<f32>, g: &ConvGeometry) -> Im2col {
             }
         }
     }
-    Im2col { data, rows, cols, batch: s.n, out_hw: (oh, ow) }
+    Im2col {
+        data,
+        rows,
+        cols,
+        batch: s.n,
+        out_hw: (oh, ow),
+    }
 }
 
 /// Size in bytes an im2col buffer would occupy for the given input shape and
@@ -113,9 +119,13 @@ mod tests {
     #[test]
     fn im2col_gemm_matches_direct_conv() {
         let shape = Shape4::new(2, 6, 5, 3);
-        let t = Tensor::from_fn(shape, |n, h, w, c| ((n * 97 + h * 31 + w * 7 + c) % 13) as f32 - 6.0);
+        let t = Tensor::from_fn(shape, |n, h, w, c| {
+            ((n * 97 + h * 31 + w * 7 + c) % 13) as f32 - 6.0
+        });
         let fs = FilterShape::new(4, 3, 3, 3);
-        let f = Filters::from_fn(fs, |k, i, j, c| ((k * 11 + i * 5 + j * 3 + c) % 7) as f32 - 3.0);
+        let f = Filters::from_fn(fs, |k, i, j, c| {
+            ((k * 11 + i * 5 + j * 3 + c) % 7) as f32 - 3.0
+        });
         let g = ConvGeometry::square(3, 1, 1);
         let unrolled = im2col_nhwc(&t, &g);
         let reference = direct_conv(&t, &f, &g);

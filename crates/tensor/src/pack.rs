@@ -53,7 +53,10 @@ pub fn pack_f32<W: BitWord>(t: &Tensor<f32>) -> BitTensor<W> {
 /// Unpacks a bit tensor back to ±1.0 floats in NHWC.
 pub fn unpack_f32<W: BitWord>(t: &BitTensor<W>) -> Tensor<f32> {
     let s = t.shape();
-    Tensor::from_fn(s, |n, h, w, c| if t.get_bit(n, h, w, c) { 1.0 } else { -1.0 })
+    Tensor::from_fn(
+        s,
+        |n, h, w, c| if t.get_bit(n, h, w, c) { 1.0 } else { -1.0 },
+    )
 }
 
 /// Binarizes float filters with threshold 0 and packs channel bits per tap.
@@ -75,7 +78,10 @@ pub fn pack_filters<W: BitWord>(f: &Filters) -> PackedFilters<W> {
 /// Unpacks packed filters back to ±1.0 float filters.
 pub fn unpack_filters<W: BitWord>(f: &PackedFilters<W>) -> Filters {
     let s = f.shape();
-    Filters::from_fn(s, |k, i, j, c| if f.get_bit(k, i, j, c) { 1.0 } else { -1.0 })
+    Filters::from_fn(
+        s,
+        |k, i, j, c| if f.get_bit(k, i, j, c) { 1.0 } else { -1.0 },
+    )
 }
 
 /// Packs a boolean channel-major slice (one pixel) into words.

@@ -77,7 +77,9 @@ mod tests {
 
     #[test]
     fn pad_f32_places_interior() {
-        let t = Tensor::<f32>::from_fn(Shape4::new(1, 2, 2, 1), |_, h, w, _| (h * 2 + w) as f32 + 1.0);
+        let t = Tensor::<f32>::from_fn(Shape4::new(1, 2, 2, 1), |_, h, w, _| {
+            (h * 2 + w) as f32 + 1.0
+        });
         let p = pad_f32(&t, 1, 1);
         assert_eq!(p.shape(), Shape4::new(1, 4, 4, 1));
         assert_eq!(p.at(0, 0, 0, 0), 0.0);
@@ -98,7 +100,8 @@ mod tests {
 
     #[test]
     fn pad_zero_is_identity() {
-        let t = Tensor::<f32>::from_fn(Shape4::new(2, 3, 3, 4), |n, h, w, c| (n + h + w + c) as f32);
+        let t =
+            Tensor::<f32>::from_fn(Shape4::new(2, 3, 3, 4), |n, h, w, c| (n + h + w + c) as f32);
         assert_eq!(pad_f32(&t, 0, 0), t);
     }
 

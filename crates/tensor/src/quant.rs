@@ -26,7 +26,10 @@ impl QuantParams {
     ///
     /// Panics if `min > max` or either bound is non-finite.
     pub fn from_range(min: f32, max: f32) -> Self {
-        assert!(min.is_finite() && max.is_finite() && min <= max, "invalid range [{min}, {max}]");
+        assert!(
+            min.is_finite() && max.is_finite() && min <= max,
+            "invalid range [{min}, {max}]"
+        );
         let min = min.min(0.0);
         let max = max.max(0.0);
         let span = (max - min).max(f32::EPSILON);
@@ -92,13 +95,20 @@ impl QuantTensor {
     /// Quantizes with externally supplied parameters.
     pub fn quantize_with(t: &Tensor<f32>, params: QuantParams) -> Self {
         let data: Vec<i8> = t.as_slice().iter().map(|&v| params.quantize(v)).collect();
-        Self { values: Tensor::from_vec(t.shape(), t.layout(), data), params }
+        Self {
+            values: Tensor::from_vec(t.shape(), t.layout(), data),
+            params,
+        }
     }
 
     /// Dequantizes back to floats.
     pub fn dequantize(&self) -> Tensor<f32> {
-        let data: Vec<f32> =
-            self.values.as_slice().iter().map(|&q| self.params.dequantize(q)).collect();
+        let data: Vec<f32> = self
+            .values
+            .as_slice()
+            .iter()
+            .map(|&q| self.params.dequantize(q))
+            .collect();
         Tensor::from_vec(self.values.shape(), self.values.layout(), data)
     }
 
@@ -142,7 +152,12 @@ mod tests {
         let q = QuantTensor::quantize(&t);
         let back = q.dequantize();
         let bound = q.max_error_bound() * 1.0001; // float rounding headroom
-        assert!(t.max_abs_diff(&back) <= bound, "{} > {}", t.max_abs_diff(&back), bound);
+        assert!(
+            t.max_abs_diff(&back) <= bound,
+            "{} > {}",
+            t.max_abs_diff(&back),
+            bound
+        );
     }
 
     #[test]
@@ -177,7 +192,10 @@ mod tests {
         let approx = ap.scale * bp.scale * acc as f32;
         let exact: f32 = a_real.iter().zip(&b_real).map(|(x, y)| x * y).sum();
         // Error bounded by the per-element quantization steps.
-        assert!((approx - exact).abs() < 0.2, "approx {approx} vs exact {exact}");
+        assert!(
+            (approx - exact).abs() < 0.2,
+            "approx {approx} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -90,8 +90,10 @@ impl Shape4 {
     /// Panics in debug builds if any coordinate is out of bounds.
     #[inline]
     pub fn index(&self, layout: Layout, n: usize, h: usize, w: usize, c: usize) -> usize {
-        debug_assert!(n < self.n && h < self.h && w < self.w && c < self.c,
-            "index ({n},{h},{w},{c}) out of bounds for {self}");
+        debug_assert!(
+            n < self.n && h < self.h && w < self.w && c < self.c,
+            "index ({n},{h},{w},{c}) out of bounds for {self}"
+        );
         match layout {
             Layout::Nhwc => ((n * self.h + h) * self.w + w) * self.c + c,
             Layout::Nchw => ((n * self.c + c) * self.h + h) * self.w + w,
@@ -195,7 +197,14 @@ pub struct ConvGeometry {
 impl ConvGeometry {
     /// Square kernel with equal stride and padding on both axes.
     pub fn square(k: usize, stride: usize, pad: usize) -> Self {
-        Self { kh: k, kw: k, stride_h: stride, stride_w: stride, pad_h: pad, pad_w: pad }
+        Self {
+            kh: k,
+            kw: k,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+        }
     }
 
     /// Output spatial size for an input of `h x w`.
@@ -208,9 +217,30 @@ impl ConvGeometry {
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
         let ph = h + 2 * self.pad_h;
         let pw = w + 2 * self.pad_w;
-        assert!(ph >= self.kh && pw >= self.kw,
-            "kernel {}x{} does not fit padded input {}x{}", self.kh, self.kw, ph, pw);
-        ((ph - self.kh) / self.stride_h + 1, (pw - self.kw) / self.stride_w + 1)
+        assert!(
+            ph >= self.kh && pw >= self.kw,
+            "kernel {}x{} does not fit padded input {}x{}",
+            self.kh,
+            self.kw,
+            ph,
+            pw
+        );
+        (
+            (ph - self.kh) / self.stride_h + 1,
+            (pw - self.kw) / self.stride_w + 1,
+        )
+    }
+
+    /// Whether this is a pointwise (1x1, stride-1, unpadded) convolution —
+    /// the case where a bit-im2col "window row" aliases the input pixel row
+    /// exactly, so the GEMM lowering needs no materialization.
+    pub fn is_pointwise(&self) -> bool {
+        self.kh == 1
+            && self.kw == 1
+            && self.stride_h == 1
+            && self.stride_w == 1
+            && self.pad_h == 0
+            && self.pad_w == 0
     }
 
     /// Number of multiply-accumulate positions per output element per channel.

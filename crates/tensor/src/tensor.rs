@@ -49,7 +49,11 @@ pub struct Tensor<T: Element> {
 impl<T: Element> Tensor<T> {
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: Shape4, layout: Layout) -> Self {
-        Self { shape, layout, data: vec![T::default(); shape.len()] }
+        Self {
+            shape,
+            layout,
+            data: vec![T::default(); shape.len()],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -65,7 +69,11 @@ impl<T: Element> Tensor<T> {
             data.len(),
             T::NAME
         );
-        Self { shape, layout, data }
+        Self {
+            shape,
+            layout,
+            data,
+        }
     }
 
     /// Builds an NHWC tensor by evaluating `f(n, h, w, c)` at every site.
@@ -147,9 +155,8 @@ impl<T: Element> Tensor<T> {
         let s = self.shape;
         (0..s.n).flat_map(move |n| {
             (0..s.h).flat_map(move |h| {
-                (0..s.w).flat_map(move |w| {
-                    (0..s.c).map(move |c| ((n, h, w, c), self.at(n, h, w, c)))
-                })
+                (0..s.w)
+                    .flat_map(move |w| (0..s.c).map(move |c| ((n, h, w, c), self.at(n, h, w, c))))
             })
         })
     }
@@ -206,7 +213,10 @@ pub struct Filters {
 impl Filters {
     /// Creates a zero-filled filter bank.
     pub fn zeros(shape: crate::shape::FilterShape) -> Self {
-        Self { shape, data: vec![0.0; shape.len()] }
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
     }
 
     /// Creates a filter bank from raw data.
@@ -215,7 +225,11 @@ impl Filters {
     ///
     /// Panics if `data.len() != shape.len()`.
     pub fn from_vec(shape: crate::shape::FilterShape, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), shape.len(), "filter buffer does not match {shape}");
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "filter buffer does not match {shape}"
+        );
         Self { shape, data }
     }
 
@@ -306,7 +320,9 @@ mod tests {
 
     #[test]
     fn iter_indexed_covers_all() {
-        let t = Tensor::<u8>::from_fn(Shape4::new(1, 2, 2, 2), |_, h, w, c| (h * 4 + w * 2 + c) as u8);
+        let t = Tensor::<u8>::from_fn(Shape4::new(1, 2, 2, 2), |_, h, w, c| {
+            (h * 4 + w * 2 + c) as u8
+        });
         let collected: Vec<u8> = t.iter_indexed().map(|(_, v)| v).collect();
         assert_eq!(collected, vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }

@@ -76,7 +76,9 @@ impl Conv2d {
         let mut rng = StdRng::seed_from_u64(seed);
         let fan = shape.window();
         let scale = (2.0 / fan as f32).sqrt();
-        let w = Matrix::from_fn(shape.c_out, fan, |_, _| (rng.gen::<f32>() * 2.0 - 1.0) * scale);
+        let w = Matrix::from_fn(shape.c_out, fan, |_, _| {
+            (rng.gen::<f32>() * 2.0 - 1.0) * scale
+        });
         Self {
             grad_w: Matrix::zeros(shape.c_out, fan),
             momentum: Matrix::zeros(shape.c_out, fan),
@@ -227,7 +229,15 @@ mod tests {
     use crate::net::{softmax_ce, softmax_ce_grad};
 
     fn shape() -> Conv2dShape {
-        Conv2dShape { h: 6, w: 6, c_in: 2, c_out: 3, k: 3, stride: 1, pad: 1 }
+        Conv2dShape {
+            h: 6,
+            w: 6,
+            c_in: 2,
+            c_out: 3,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     #[test]
@@ -236,14 +246,26 @@ mod tests {
         assert_eq!(s.out_hw(), (6, 6));
         assert_eq!(s.in_features(), 72);
         assert_eq!(s.out_features(), 108);
-        let strided = Conv2dShape { stride: 2, pad: 0, ..s };
+        let strided = Conv2dShape {
+            stride: 2,
+            pad: 0,
+            ..s
+        };
         assert_eq!(strided.out_hw(), (2, 2));
     }
 
     #[test]
     fn identity_kernel_copies_channel() {
         // 1x1 kernel selecting channel 0.
-        let s = Conv2dShape { h: 3, w: 3, c_in: 2, c_out: 1, k: 1, stride: 1, pad: 0 };
+        let s = Conv2dShape {
+            h: 3,
+            w: 3,
+            c_in: 2,
+            c_out: 1,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        };
         let mut conv = Conv2d::new(s, false, 1);
         conv.w = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
         let x = Matrix::from_fn(1, 18, |_, i| i as f32);
@@ -257,7 +279,9 @@ mod tests {
     fn conv_gradient_check_float() {
         let s = shape();
         let mut conv = Conv2d::new(s, false, 7);
-        let x = Matrix::from_fn(2, s.in_features(), |r, c| ((r * 37 + c) as f32 * 0.31).sin());
+        let x = Matrix::from_fn(2, s.in_features(), |r, c| {
+            ((r * 37 + c) as f32 * 0.31).sin()
+        });
         let labels: Vec<usize> = (0..2 * s.out_features()).map(|i| i % 2).collect();
         let labels = labels[..2].to_vec();
         // Head: mean over features per class slot is awkward; instead take
@@ -316,7 +340,15 @@ mod tests {
 
     #[test]
     fn binary_conv_uses_signs_and_clips() {
-        let s = Conv2dShape { h: 2, w: 2, c_in: 1, c_out: 1, k: 1, stride: 1, pad: 0 };
+        let s = Conv2dShape {
+            h: 2,
+            w: 2,
+            c_in: 1,
+            c_out: 1,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        };
         let mut conv = Conv2d::new(s, true, 3);
         conv.w = Matrix::from_vec(1, 1, vec![0.3]);
         let x = Matrix::from_vec(1, 4, vec![1.0, -2.0, 3.0, -4.0]);

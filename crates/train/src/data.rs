@@ -49,7 +49,18 @@ impl Dataset {
             let yb = ya.split_off(n_train);
             (ya, yb)
         };
-        (Dataset { x: xa, y: ya, classes }, Dataset { x: xb, y: yb, classes })
+        (
+            Dataset {
+                x: xa,
+                y: ya,
+                classes,
+            },
+            Dataset {
+                x: xb,
+                y: yb,
+                classes,
+            },
+        )
     }
 }
 
@@ -64,8 +75,9 @@ fn gauss(rng: &mut StdRng) -> f32 {
 /// shuffled, `n` samples total.
 pub fn cluster_dataset(n: usize, dim: usize, classes: usize, sep: f32, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let prototypes: Vec<Vec<f32>> =
-        (0..classes).map(|_| (0..dim).map(|_| gauss(&mut rng) * sep).collect()).collect();
+    let prototypes: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..dim).map(|_| gauss(&mut rng) * sep).collect())
+        .collect();
     let mut x = Vec::with_capacity(n);
     let mut y = Vec::with_capacity(n);
     for i in 0..n {
@@ -145,10 +157,16 @@ mod tests {
             for (x, &y) in test.x.iter().zip(&test.y) {
                 let best = (0..3)
                     .min_by(|&a, &b| {
-                        let da: f32 =
-                            x.iter().zip(&centroids[a]).map(|(u, v)| (u - v) * (u - v)).sum();
-                        let db: f32 =
-                            x.iter().zip(&centroids[b]).map(|(u, v)| (u - v) * (u - v)).sum();
+                        let da: f32 = x
+                            .iter()
+                            .zip(&centroids[a])
+                            .map(|(u, v)| (u - v) * (u - v))
+                            .sum();
+                        let db: f32 = x
+                            .iter()
+                            .zip(&centroids[b])
+                            .map(|(u, v)| (u - v) * (u - v))
+                            .sum();
                         da.partial_cmp(&db).unwrap()
                     })
                     .unwrap();

@@ -19,4 +19,6 @@ pub mod net;
 pub mod trainer;
 
 pub use data::{cluster_dataset, Dataset};
-pub use trainer::{accuracy_gap_experiment, train, train_convnet, ConvNet, Mlp, TrainConfig, TrainOutcome};
+pub use trainer::{
+    accuracy_gap_experiment, train, train_convnet, ConvNet, Mlp, TrainConfig, TrainOutcome,
+};

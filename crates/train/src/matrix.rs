@@ -15,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a closure over `(row, col)`.
@@ -84,7 +88,11 @@ impl Matrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul inner dims {} vs {}", self.cols, other.rows);
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dims {} vs {}",
+            self.cols, other.rows
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {
@@ -93,8 +101,7 @@ impl Matrix {
                     continue;
                 }
                 let orow = other.row(k);
-                let out_row =
-                    &mut out.data[r * other.cols..(r + 1) * other.cols];
+                let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
                     *o += a * b;
                 }

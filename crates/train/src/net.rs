@@ -211,7 +211,8 @@ impl BatchNorm1d {
         for r in 0..grad_y.rows() {
             for c in 0..cols {
                 let dxhat = grad_y.at(r, c) * self.gamma[c];
-                let term = n * dxhat - sum_dy[c] * self.gamma[c]
+                let term = n * dxhat
+                    - sum_dy[c] * self.gamma[c]
                     - xhat.at(r, c) * sum_dy_xhat[c] * self.gamma[c];
                 *dx.at_mut(r, c) = term * inv_std[c] / n;
             }
@@ -305,15 +306,15 @@ impl HiddenAct {
 pub fn softmax_ce(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
     let mut probs = Matrix::zeros(logits.rows(), logits.cols());
     let mut loss = 0.0f32;
-    for r in 0..logits.rows() {
+    for (r, &label) in labels.iter().enumerate() {
         let row = logits.row(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        for c in 0..logits.cols() {
-            *probs.at_mut(r, c) = exps[c] / sum;
+        for (c, &e) in exps.iter().enumerate() {
+            *probs.at_mut(r, c) = e / sum;
         }
-        loss -= (probs.at(r, labels[r]).max(1e-12)).ln();
+        loss -= (probs.at(r, label).max(1e-12)).ln();
     }
     (loss / logits.rows() as f32, probs)
 }
@@ -387,7 +388,10 @@ mod tests {
         let x = Matrix::from_vec(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
         let y = bn.forward_train(&x);
         let mean = y.col_mean();
-        assert!(mean.iter().all(|&m| m.abs() < 1e-5), "normalized mean {mean:?}");
+        assert!(
+            mean.iter().all(|&m| m.abs() < 1e-5),
+            "normalized mean {mean:?}"
+        );
         // Unit variance.
         for c in 0..2 {
             let var: f32 = (0..4).map(|r| y.at(r, c) * y.at(r, c)).sum::<f32>() / 4.0;

@@ -58,13 +58,21 @@ impl Mlp {
         for (i, &width) in cfg.hidden.iter().enumerate() {
             let dense = Dense::new(prev, width, cfg.binary, cfg.seed.wrapping_add(i as u64));
             let bn = BatchNorm1d::new(width);
-            let act = if cfg.binary { HiddenAct::sign_ste() } else { HiddenAct::relu() };
+            let act = if cfg.binary {
+                HiddenAct::sign_ste()
+            } else {
+                HiddenAct::relu()
+            };
             hidden.push((dense, bn, act));
             prev = width;
         }
         // Full-precision classifier head, like the deployed models.
         let head = Dense::new(prev, classes, false, cfg.seed.wrapping_add(999));
-        Self { hidden, head, binary: cfg.binary }
+        Self {
+            hidden,
+            head,
+            binary: cfg.binary,
+        }
     }
 
     /// Whether hidden layers are binarized.
@@ -195,8 +203,17 @@ pub fn train(train_set: &Dataset, test_set: &Dataset, cfg: &TrainConfig) -> Trai
 pub fn accuracy_gap_experiment(seed: u64) -> (f32, f32) {
     let data = crate::data::cluster_dataset(2400, 32, 6, 0.55, seed);
     let (train_set, test_set) = data.split(0.75);
-    let float_cfg = TrainConfig { binary: false, epochs: 40, ..Default::default() };
-    let binary_cfg = TrainConfig { binary: true, lr: 0.02, epochs: 40, ..Default::default() };
+    let float_cfg = TrainConfig {
+        binary: false,
+        epochs: 40,
+        ..Default::default()
+    };
+    let binary_cfg = TrainConfig {
+        binary: true,
+        lr: 0.02,
+        epochs: 40,
+        ..Default::default()
+    };
     let float_run = train(&train_set, &test_set, &float_cfg);
     let binary_run = train(&train_set, &test_set, &binary_cfg);
     (float_run.test_acc, binary_run.test_acc)
@@ -220,10 +237,32 @@ impl ConvNet {
     /// Builds the network for `h x w x c` images and `classes` outputs.
     pub fn new(h: usize, w: usize, c: usize, classes: usize, binary: bool, seed: u64) -> Self {
         use crate::conv::{Conv2d, Conv2dShape};
-        let s1 = Conv2dShape { h, w, c_in: c, c_out: 8, k: 3, stride: 2, pad: 1 };
+        let s1 = Conv2dShape {
+            h,
+            w,
+            c_in: c,
+            c_out: 8,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
         let (h1, w1) = s1.out_hw();
-        let s2 = Conv2dShape { h: h1, w: w1, c_in: 8, c_out: 16, k: 3, stride: 2, pad: 1 };
-        let act = || if binary { HiddenAct::sign_ste() } else { HiddenAct::relu() };
+        let s2 = Conv2dShape {
+            h: h1,
+            w: w1,
+            c_in: 8,
+            c_out: 16,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let act = || {
+            if binary {
+                HiddenAct::sign_ste()
+            } else {
+                HiddenAct::relu()
+            }
+        };
         Self {
             conv1: Conv2d::new(s1, binary, seed),
             bn1: BatchNorm1d::new(s1.out_features()),
@@ -287,6 +326,7 @@ impl ConvNet {
 }
 
 /// Trains the small CNN; returns `(train_acc, test_acc)`.
+#[allow(clippy::too_many_arguments)] // mirrors the experiment script flags one-to-one
 pub fn train_convnet(
     train_set: &Dataset,
     test_set: &Dataset,
@@ -298,7 +338,11 @@ pub fn train_convnet(
     lr: f32,
     seed: u64,
 ) -> (f32, f32) {
-    assert_eq!(train_set.dim(), h * w * c, "dataset must hold flattened h*w*c images");
+    assert_eq!(
+        train_set.dim(),
+        h * w * c,
+        "dataset must hold flattened h*w*c images"
+    );
     let mut net = ConvNet::new(h, w, c, train_set.classes, binary, seed);
     let batch = 32;
     let n = train_set.len();
@@ -332,7 +376,10 @@ mod tests {
     fn float_training_reduces_loss_and_learns() {
         let data = cluster_dataset(800, 16, 4, 1.5, 11);
         let (tr, te) = data.split(0.75);
-        let cfg = TrainConfig { epochs: 20, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            ..Default::default()
+        };
         let out = train(&tr, &te, &cfg);
         assert!(
             out.loss_history.first().unwrap() > out.loss_history.last().unwrap(),
@@ -346,9 +393,18 @@ mod tests {
     fn binary_training_learns_above_chance() {
         let data = cluster_dataset(800, 16, 4, 1.5, 13);
         let (tr, te) = data.split(0.75);
-        let cfg = TrainConfig { binary: true, lr: 0.02, epochs: 25, ..Default::default() };
+        let cfg = TrainConfig {
+            binary: true,
+            lr: 0.02,
+            epochs: 25,
+            ..Default::default()
+        };
         let out = train(&tr, &te, &cfg);
-        assert!(out.test_acc > 0.6, "binary test acc {} should beat chance 0.25", out.test_acc);
+        assert!(
+            out.test_acc > 0.6,
+            "binary test acc {} should beat chance 0.25",
+            out.test_acc
+        );
     }
 
     #[test]
@@ -385,13 +441,20 @@ mod tests {
         let (_, float_acc) = train_convnet(&tr, &te, 8, 8, 1, false, 8, 0.05, 5);
         let (_, bin_acc) = train_convnet(&tr, &te, 8, 8, 1, true, 8, 0.02, 5);
         assert!(float_acc > 0.6, "float CNN test acc {float_acc}");
-        assert!(bin_acc > 0.45, "binary CNN test acc {bin_acc} vs chance 0.33");
+        assert!(
+            bin_acc > 0.45,
+            "binary CNN test acc {bin_acc} vs chance 0.33"
+        );
     }
 
     #[test]
     fn eval_mode_is_deterministic() {
         let data = cluster_dataset(200, 8, 2, 2.0, 19);
-        let cfg = TrainConfig { hidden: vec![8], epochs: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            hidden: vec![8],
+            epochs: 1,
+            ..Default::default()
+        };
         let net = Mlp::new(data.dim(), data.classes, &cfg);
         let a = net.accuracy(&data);
         let b = net.accuracy(&data);

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_b = Session::new(loaded, &phone)?.run_u8(&img)?;
     let a = out_a.output.expect("out").into_floats().expect("floats");
     let b = out_b.output.expect("out").into_floats().expect("floats");
-    assert_eq!(a, b, "deployed model outputs must match after serialization");
+    assert_eq!(
+        a, b,
+        "deployed model outputs must match after serialization"
+    );
     println!("inference on the reloaded model matches exactly");
 
     std::fs::remove_file(&path).ok();

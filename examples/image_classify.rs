@@ -34,18 +34,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let float_def = fill_weights(&zoo::alexnet_micro(Variant::Float), 42);
     let tflite = TfLite::cpu();
 
-    println!("\n{:<8} {:>10} {:>12} | {:>10} {:>12}", "image", "BNN class", "BNN ms", "TFLite cls", "TFLite ms");
+    println!(
+        "\n{:<8} {:>10} {:>12} | {:>10} {:>12}",
+        "image", "BNN class", "BNN ms", "TFLite cls", "TFLite ms"
+    );
     let mut agreements = 0;
     let count = 8;
     for i in 0..count {
         let img = synthetic_image(Shape4::new(1, 32, 32, 3), i);
         let bnn = session.run_u8(&img)?;
-        let bnn_probs = bnn.output.clone().expect("output").into_floats().expect("floats");
+        let bnn_probs = bnn
+            .output
+            .clone()
+            .expect("output")
+            .into_floats()
+            .expect("floats");
         let bnn_class = argmax(bnn_probs.as_slice());
 
         let float_img = to_float_input(&img);
-        let base = tflite.run(&phone, &float_def, &float_img).expect("tflite runs");
-        let base_probs = base.output.clone().expect("output").into_floats().expect("floats");
+        let base = tflite
+            .run(&phone, &float_def, &float_img)
+            .expect("tflite runs");
+        let base_probs = base
+            .output
+            .clone()
+            .expect("output")
+            .into_floats()
+            .expect("floats");
         let base_class = argmax(base_probs.as_slice());
 
         if bnn_class == base_class {
@@ -69,5 +84,9 @@ with `phonebit-train` (see `cargo run --release -p phonebit-bench --bin table2`)
 }
 
 fn argmax(v: &[f32]) -> usize {
-    v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap()
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap()
 }

@@ -47,7 +47,10 @@ fn main() {
     println!("time breakdown on {}:", phone.soc);
     println!("  convolutions {:.1}%", conv / total * 100.0);
     println!("  pooling      {:.1}%", pool / total * 100.0);
-    println!("  other/glue   {:.1}%", (other + (total - conv - pool - other)) / total * 100.0);
+    println!(
+        "  other/glue   {:.1}%",
+        (other + (total - conv - pool - other)) / total * 100.0
+    );
 
     // A Trepn-style sampled power trace over a real functional run.
     let def = fill_weights(&zoo::yolo_micro(Variant::Binary), 1);

@@ -7,10 +7,10 @@
 
 use phonebit::core::{convert, Session};
 use phonebit::gpusim::Phone;
+use phonebit::models::fill_weights;
 use phonebit::models::scene::{generate_scene, match_detections, precision_recall};
 use phonebit::models::yolo::{decode, nms};
 use phonebit::models::zoo::{self, Variant};
-use phonebit::models::fill_weights;
 use phonebit::tensor::shape::Shape4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,11 +40,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Decode the detection head.
-    let head = report.output.clone().expect("output").into_floats().expect("float head");
+    let head = report
+        .output
+        .clone()
+        .expect("output")
+        .into_floats()
+        .expect("float head");
     println!("head shape: {} (5 anchors x 25 values)", head.shape());
     let raw = decode(&head, 0.25);
     let kept = nms(raw.clone(), 0.45);
-    println!("{} raw candidates above confidence 0.25, {} after NMS", raw.len(), kept.len());
+    println!(
+        "{} raw candidates above confidence 0.25, {} after NMS",
+        raw.len(),
+        kept.len()
+    );
     for (i, d) in kept.iter().take(10).enumerate() {
         println!(
             "  #{i}: {} p={:.2} box=({:.2}, {:.2}, {:.2}, {:.2})",

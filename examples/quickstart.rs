@@ -23,14 +23,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
     };
     let model = NetworkBuilder::new("quickstart", Shape4::new(1, 32, 32, 3))
-        .bconv_input8("conv1", seeded(16, 3, 3, 0), vec![0.0; 16], BnParams::identity(16), 1, 1)
+        .bconv_input8(
+            "conv1",
+            seeded(16, 3, 3, 0),
+            vec![0.0; 16],
+            BnParams::identity(16),
+            1,
+            1,
+        )
         .maxpool("pool1", 2, 2)
-        .bconv("conv2", seeded(32, 3, 16, 1), vec![0.0; 32], BnParams::identity(32), 1, 1)
+        .bconv(
+            "conv2",
+            seeded(32, 3, 16, 1),
+            vec![0.0; 32],
+            BnParams::identity(32),
+            1,
+            1,
+        )
         .maxpool("pool2", 2, 2)
-        .dense_float("fc", vec![0.01; 8 * 8 * 32 * 10], vec![0.0; 10], Activation::Linear)
+        .dense_float(
+            "fc",
+            vec![0.01; 8 * 8 * 32 * 10],
+            vec![0.0; 10],
+            Activation::Linear,
+        )
         .softmax()
         .build();
-    println!("built `{}`: {} layers, {} bytes deployed", model.name, model.len(), model.size_bytes());
+    println!(
+        "built `{}`: {} layers, {} bytes deployed",
+        model.name,
+        model.len(),
+        model.size_bytes()
+    );
 
     // 2. Stage it on the Snapdragon 855 phone.
     let phone = Phone::xiaomi_9();
@@ -44,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = session.run_u8(&image)?;
     println!("\nper-layer report:\n{}", report.to_table());
 
-    let probs = report.output.expect("output present").into_floats().expect("float output");
+    let probs = report
+        .output
+        .expect("output present")
+        .into_floats()
+        .expect("float output");
     let (best, p) = probs
         .as_slice()
         .iter()

@@ -23,7 +23,11 @@ fn checkpoint_to_inference_pipeline() {
     let mut session = Session::new(reloaded, &Phone::xiaomi_9()).expect("fits");
     let img = synthetic_image(Shape4::new(1, 32, 32, 3), 1);
     let report = session.run_u8(&img).expect("runs");
-    let probs = report.output.expect("output").into_floats().expect("floats");
+    let probs = report
+        .output
+        .expect("output")
+        .into_floats()
+        .expect("floats");
     let sum: f32 = probs.as_slice().iter().sum();
     assert!((sum - 1.0).abs() < 1e-4, "softmax sums to 1: {sum}");
     assert!(report.total_s > 0.0);
@@ -38,8 +42,9 @@ fn engine_timing_equals_estimate_path() {
     let def = fill_weights(&arch, 9);
     let model = convert(&def);
     let phone = Phone::xiaomi_9();
-    let mut session =
-        Session::new(model, &phone).expect("fits").with_mode(ExecMode::EstimateOnly);
+    let mut session = Session::new(model, &phone)
+        .expect("fits")
+        .with_mode(ExecMode::EstimateOnly);
     let img = synthetic_image(Shape4::new(1, 32, 32, 3), 5);
     let run = session.run_u8(&img).expect("runs");
     let est = estimate_arch(&phone, &arch);
@@ -53,7 +58,11 @@ fn engine_timing_equals_estimate_path() {
     assert_eq!(run.per_layer.len(), est.per_layer.len());
     for (a, b) in run.per_layer.iter().zip(est.per_layer.iter()) {
         assert_eq!(a.name, b.name);
-        assert!((a.time_s - b.time_s).abs() < 1e-12, "layer {} timing", a.name);
+        assert!(
+            (a.time_s - b.time_s).abs() < 1e-12,
+            "layer {} timing",
+            a.name
+        );
     }
 }
 
@@ -105,7 +114,11 @@ fn binarized_engine_matches_binarized_reference_semantics() {
             (LayerSpec::Conv(c), LayerWeights::Conv(w)) => {
                 use phonebit::nn::graph::LayerPrecision;
                 let binarize_out = c.precision != LayerPrecision::Float;
-                let filters = if binarize_out { w.filters.signum() } else { w.filters.clone() };
+                let filters = if binarize_out {
+                    w.filters.signum()
+                } else {
+                    w.filters.clone()
+                };
                 // Binary layers pad with -1 after the first (u8 pads with 0).
                 let pad_val = if binary_domain { -1.0 } else { 0.0 };
                 let padded = pad_f32_with(&cur, c.geom.pad_h, c.geom.pad_w, pad_val);
@@ -157,7 +170,10 @@ fn binarized_engine_matches_binarized_reference_semantics() {
     }
     assert_eq!(engine_out.shape(), cur.shape());
     let diff = engine_out.max_abs_diff(&cur);
-    assert!(diff < 1e-2, "engine vs naive binarized reference: max diff {diff}");
+    assert!(
+        diff < 1e-2,
+        "engine vs naive binarized reference: max diff {diff}"
+    );
 }
 
 #[test]

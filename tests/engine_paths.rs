@@ -17,9 +17,33 @@ use phonebit::tensor::shape::Shape4;
 /// limit, forcing the engine through bconv_accum + binarize_pack.
 fn wide_channel_arch() -> NetworkArch {
     NetworkArch::new("wide", Shape4::new(1, 12, 12, 3))
-        .conv("conv1", 320, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
-        .conv("conv2", 32, 3, 1, 1, LayerPrecision::Binary, Activation::Linear)
-        .conv("conv3", 10, 1, 1, 0, LayerPrecision::Float, Activation::Linear)
+        .conv(
+            "conv1",
+            320,
+            3,
+            1,
+            1,
+            LayerPrecision::BinaryInput8,
+            Activation::Linear,
+        )
+        .conv(
+            "conv2",
+            32,
+            3,
+            1,
+            1,
+            LayerPrecision::Binary,
+            Activation::Linear,
+        )
+        .conv(
+            "conv3",
+            10,
+            1,
+            1,
+            0,
+            LayerPrecision::Float,
+            Activation::Linear,
+        )
         .softmax()
 }
 
@@ -47,19 +71,52 @@ fn batch_inference_processes_every_image() {
     // Batch = 3 through a binary net; per-image slices must equal three
     // independent runs.
     let single = NetworkArch::new("b1", Shape4::new(1, 8, 8, 3))
-        .conv("conv1", 16, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
-        .conv("conv2", 8, 1, 1, 0, LayerPrecision::Float, Activation::Linear);
+        .conv(
+            "conv1",
+            16,
+            3,
+            1,
+            1,
+            LayerPrecision::BinaryInput8,
+            Activation::Linear,
+        )
+        .conv(
+            "conv2",
+            8,
+            1,
+            1,
+            0,
+            LayerPrecision::Float,
+            Activation::Linear,
+        );
     let batch3 = NetworkArch::new("b3", Shape4::new(3, 8, 8, 3))
-        .conv("conv1", 16, 3, 1, 1, LayerPrecision::BinaryInput8, Activation::Linear)
-        .conv("conv2", 8, 1, 1, 0, LayerPrecision::Float, Activation::Linear);
+        .conv(
+            "conv1",
+            16,
+            3,
+            1,
+            1,
+            LayerPrecision::BinaryInput8,
+            Activation::Linear,
+        )
+        .conv(
+            "conv2",
+            8,
+            1,
+            1,
+            0,
+            LayerPrecision::Float,
+            Activation::Linear,
+        );
     let def1 = fill_weights(&single, 9);
     let def3 = fill_weights(&batch3, 9);
     let phone = Phone::xiaomi_9();
     let mut s1 = Session::new(convert(&def1), &phone).unwrap();
     let mut s3 = Session::new(convert(&def3), &phone).unwrap();
 
-    let imgs: Vec<_> =
-        (0..3).map(|i| synthetic_image(Shape4::new(1, 8, 8, 3), 100 + i)).collect();
+    let imgs: Vec<_> = (0..3)
+        .map(|i| synthetic_image(Shape4::new(1, 8, 8, 3), 100 + i))
+        .collect();
     let mut batch = phonebit::tensor::Tensor::<u8>::zeros(
         Shape4::new(3, 8, 8, 3),
         phonebit::tensor::Layout::Nhwc,
@@ -73,10 +130,21 @@ fn batch_inference_processes_every_image() {
             }
         }
     }
-    let batch_out =
-        s3.run_u8(&batch).unwrap().output.unwrap().into_floats().unwrap();
+    let batch_out = s3
+        .run_u8(&batch)
+        .unwrap()
+        .output
+        .unwrap()
+        .into_floats()
+        .unwrap();
     for (n, img) in imgs.iter().enumerate() {
-        let solo = s1.run_u8(img).unwrap().output.unwrap().into_floats().unwrap();
+        let solo = s1
+            .run_u8(img)
+            .unwrap()
+            .output
+            .unwrap()
+            .into_floats()
+            .unwrap();
         let s = solo.shape();
         for h in 0..s.h {
             for w in 0..s.w {
@@ -169,7 +237,19 @@ fn lowered_gemm_available_as_alternative() {
         phonebit::gpusim::DeviceProfile::adreno_640(),
         phonebit::gpusim::ExecutorClass::PhoneBitOpenCl,
     );
-    let a = bconv_fused(&mut q, &pack_f32::<u64>(&t), &pack_filters::<u64>(&f), &fused, &geom);
-    let b = bconv_lowered(&mut q, &pack_f32::<u64>(&t), &pack_filters::<u64>(&f), &fused, &geom);
+    let a = bconv_fused(
+        &mut q,
+        &pack_f32::<u64>(&t),
+        &pack_filters::<u64>(&f),
+        &fused,
+        &geom,
+    );
+    let b = bconv_lowered(
+        &mut q,
+        &pack_f32::<u64>(&t),
+        &pack_filters::<u64>(&f),
+        &fused,
+        &geom,
+    );
     assert_eq!(a, b);
 }

@@ -23,7 +23,12 @@ fn yolov2_tiny_full_scale_functional() {
     let report = session.run_u8(&img).expect("runs");
 
     // Functional output has the detection-head shape and finite values.
-    let head = report.output.clone().expect("out").into_floats().expect("floats");
+    let head = report
+        .output
+        .clone()
+        .expect("out")
+        .into_floats()
+        .expect("floats");
     assert_eq!(head.shape().c, 125);
     assert!(head.as_slice().iter().all(|v| v.is_finite()));
     // Boxes decode without panicking.

@@ -17,10 +17,21 @@ fn table2_shape() {
     for r in &rows {
         // Float sizes match the paper within 8% (pure architecture math).
         let rel = (r.float_mb - r.paper_float_mb).abs() / r.paper_float_mb;
-        assert!(rel < 0.08, "{}: float {} vs paper {}", r.model, r.float_mb, r.paper_float_mb);
+        assert!(
+            rel < 0.08,
+            "{}: float {} vs paper {}",
+            r.model,
+            r.float_mb,
+            r.paper_float_mb
+        );
         // Compression is an order of magnitude, as Table II reports
         // ("on average 19.6x smaller").
-        assert!(r.ratio > 8.0 && r.ratio < 32.0, "{}: ratio {}", r.model, r.ratio);
+        assert!(
+            r.ratio > 8.0 && r.ratio < 32.0,
+            "{}: ratio {}",
+            r.model,
+            r.ratio
+        );
     }
     // YOLO compresses hardest (smallest float head), per the paper.
     assert!(rows[1].ratio > rows[0].ratio);
@@ -33,8 +44,16 @@ fn table2_shape() {
 fn table3_shape() {
     for phone in Phone::all() {
         for (idx, arch_f, arch_b) in [
-            (0, zoo::alexnet(Variant::Float), zoo::alexnet(Variant::Binary)),
-            (1, zoo::yolov2_tiny(Variant::Float), zoo::yolov2_tiny(Variant::Binary)),
+            (
+                0,
+                zoo::alexnet(Variant::Float),
+                zoo::alexnet(Variant::Binary),
+            ),
+            (
+                1,
+                zoo::yolov2_tiny(Variant::Float),
+                zoo::yolov2_tiny(Variant::Binary),
+            ),
             (2, zoo::vgg16(Variant::Float), zoo::vgg16(Variant::Binary)),
         ] {
             let pb = estimate_arch(&phone, &arch_b).total_s;
@@ -81,8 +100,14 @@ fn table3_speedup_magnitudes() {
     // Paper: 37x (845/22.6) GPU, 1024x (23144/22.6) CPU for this cell.
     let gpu_speedup = cd_gpu / pb;
     let cpu_speedup = cd_cpu / pb;
-    assert!((15.0..200.0).contains(&gpu_speedup), "GPU speedup {gpu_speedup:.0}x");
-    assert!((300.0..4000.0).contains(&cpu_speedup), "CPU speedup {cpu_speedup:.0}x");
+    assert!(
+        (15.0..200.0).contains(&gpu_speedup),
+        "GPU speedup {gpu_speedup:.0}x"
+    );
+    assert!(
+        (300.0..4000.0).contains(&cpu_speedup),
+        "CPU speedup {cpu_speedup:.0}x"
+    );
 }
 
 /// Fig 5: conv1 gains less than the middle binary layers (bit-plane
@@ -92,17 +117,29 @@ fn table3_speedup_magnitudes() {
 fn figure5_shape() {
     let phone = Phone::xiaomi_9();
     let pb = estimate_arch(&phone, &zoo::yolov2_tiny(Variant::Binary));
-    let cd = CnnDroid::gpu().estimate(&phone, &zoo::yolov2_tiny(Variant::Float)).unwrap();
-    let speedup = |name: &str| {
-        cd.layer_time_s(name).unwrap() / pb.layer_time_s(name).unwrap()
-    };
+    let cd = CnnDroid::gpu()
+        .estimate(&phone, &zoo::yolov2_tiny(Variant::Float))
+        .unwrap();
+    let speedup = |name: &str| cd.layer_time_s(name).unwrap() / pb.layer_time_s(name).unwrap();
     let conv1 = speedup("conv1");
     let conv9 = speedup("conv9");
     let mids: Vec<f64> = (2..=8).map(|i| speedup(&format!("conv{i}"))).collect();
     for (i, &m) in mids.iter().enumerate() {
-        assert!(m > conv1, "conv{} ({m:.0}x) must beat conv1 ({conv1:.0}x)", i + 2);
-        assert!(m > conv9, "conv{} ({m:.0}x) must beat conv9 ({conv9:.0}x)", i + 2);
-        assert!(m > 20.0, "middle layers gain tens-of-x, conv{}: {m:.0}x", i + 2);
+        assert!(
+            m > conv1,
+            "conv{} ({m:.0}x) must beat conv1 ({conv1:.0}x)",
+            i + 2
+        );
+        assert!(
+            m > conv9,
+            "conv{} ({m:.0}x) must beat conv9 ({conv9:.0}x)",
+            i + 2
+        );
+        assert!(
+            m > 20.0,
+            "middle layers gain tens-of-x, conv{}: {m:.0}x",
+            i + 2
+        );
     }
     // conv9 is a single-digit multiple (paper: 3x).
     assert!((1.0..10.0).contains(&conv9), "conv9 {conv9:.1}x");
@@ -125,7 +162,10 @@ fn table4_shape() {
     let cd_gpu = report(CnnDroid::gpu().estimate(&phone, &yolo_f).unwrap(), "cd-gpu");
     let tf_cpu = report(TfLite::cpu().estimate(&phone, &yolo_f).unwrap(), "tf-cpu");
     let tf_gpu = report(TfLite::gpu().estimate(&phone, &yolo_f).unwrap(), "tf-gpu");
-    let tf_q = report(TfLite::quant().estimate(&phone, &yolo_f).unwrap(), "tf-quant");
+    let tf_q = report(
+        TfLite::quant().estimate(&phone, &yolo_f).unwrap(),
+        "tf-quant",
+    );
 
     // PhoneBit draws the least power (paper: 226 mW vs 452-914 mW).
     for other in [&cd_cpu, &cd_gpu, &tf_cpu, &tf_gpu, &tf_q] {
@@ -158,22 +198,34 @@ fn ablations_all_help() {
     let unfused = estimate_arch_opts(
         &phone,
         &arch,
-        EstimateOptions { force_unfused: true, ..Default::default() },
+        EstimateOptions {
+            force_unfused: true,
+            ..Default::default()
+        },
     )
     .total_s;
     let divergent = estimate_arch_opts(
         &phone,
         &arch,
-        EstimateOptions { divergent_binarize: true, ..Default::default() },
+        EstimateOptions {
+            divergent_binarize: true,
+            ..Default::default()
+        },
     )
     .total_s;
     let serial = estimate_arch_opts(
         &phone,
         &arch,
-        EstimateOptions { no_latency_hiding: true, ..Default::default() },
+        EstimateOptions {
+            no_latency_hiding: true,
+            ..Default::default()
+        },
     )
     .total_s;
-    assert!(unfused > base, "layer integration helps: {unfused} vs {base}");
+    assert!(
+        unfused > base,
+        "layer integration helps: {unfused} vs {base}"
+    );
     assert!(divergent > base, "Eqn(9) helps: {divergent} vs {base}");
     assert!(serial > base, "latency hiding helps: {serial} vs {base}");
 }

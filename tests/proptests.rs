@@ -33,7 +33,7 @@ proptest! {
             let v = seed
                 .wrapping_mul(0x9E3779B97F4A7C15)
                 .wrapping_add((y * 31 + x * 7 + ch) as u64);
-            if v % 3 == 0 { 1.0 } else { -1.0 }
+            if v.is_multiple_of(3) { 1.0 } else { -1.0 }
         });
         let packed = pack_f32::<u64>(&t);
         prop_assert!(packed.tail_is_clean());
@@ -195,11 +195,11 @@ proptest! {
         use phonebit::tensor::Filters;
         let t = Tensor::from_fn(Shape4::new(1, h, w, c), |_, y, x, ch| {
             let v = seed.wrapping_add((y * 131 + x * 37 + ch * 11) as u64);
-            if v % 3 == 0 { 1.0 } else { -1.0 }
+            if v.is_multiple_of(3) { 1.0 } else { -1.0 }
         });
         let f = Filters::from_fn(FilterShape::new(k, 3, 3, c), |a, b, d, e| {
             let v = seed.wrapping_mul(31).wrapping_add((a * 53 + b * 7 + d * 3 + e) as u64);
-            if v % 2 == 0 { 1.0 } else { -1.0 }
+            if v.is_multiple_of(2) { 1.0 } else { -1.0 }
         });
         let geom = ConvGeometry::square(3, 1, pad);
         if h + 2 * pad < 3 || w + 2 * pad < 3 {
