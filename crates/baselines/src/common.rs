@@ -136,7 +136,7 @@ pub fn estimate_float(
             .map(|e| e.stats.energy_j)
             .sum();
         per_layer.push(LayerRun {
-            name: layer.name().to_string(),
+            name: layer.name().into(),
             output_shape: info.output,
             time_s: queue.elapsed_s() - t0,
             energy_j,
@@ -261,7 +261,7 @@ pub fn execute_float(
             .map(|e| e.stats.energy_j)
             .sum();
         per_layer.push(LayerRun {
-            name: layer.name().to_string(),
+            name: layer.name().into(),
             output_shape: info.output,
             time_s: queue.elapsed_s() - t0,
             energy_j,

@@ -5,12 +5,14 @@
 //!
 //! Run: `cargo run --release -p phonebit-bench --bin ablation`
 
-use phonebit_core::{estimate_arch, estimate_arch_opts, select_conv_path, EstimateOptions};
+use phonebit_core::plan::StepOp;
+use phonebit_core::{
+    estimate_arch, estimate_arch_opts, select_conv_path, EstimateOptions, ExecutionPlan,
+};
 use phonebit_gpusim::calib::{CostParams, EnergyParams};
 use phonebit_gpusim::cost::estimate;
 use phonebit_gpusim::{DeviceProfile, ExecutorClass, KernelProfile, NdRange, Phone};
 use phonebit_models::zoo::{self, Variant};
-use phonebit_nn::graph::{LayerPrecision, LayerSpec};
 use phonebit_nn::kernels::profiles;
 use phonebit_nn::workload::WorkloadPolicy;
 use phonebit_tensor::shape::ConvGeometry;
@@ -25,36 +27,35 @@ fn main() {
         base * 1e3
     );
 
-    // Per-layer kernel-path planning: the planner cost-models direct-tiled
-    // vs. lowered-GEMM for every binary conv and the engine follows it.
-    println!("planner kernel-path choices (binary conv layers):");
+    // Per-layer kernel-path planning, read straight from the one
+    // ExecutionPlan the engine and estimator both consume: the planner
+    // cost-models direct-tiled vs. lowered-GEMM per binary conv, trading
+    // modeled latency against each path's arena footprint.
+    let plan = ExecutionPlan::for_arch(&arch, &phone.gpu);
+    println!("execution-plan kernel routes (binary conv layers):");
     println!(
-        "  {:<8} {:>14} {:>6} {:>12} {:>12}  chosen",
-        "layer", "out shape", "C", "direct(ms)", "lowered(ms)"
+        "  {:<8} {:>14} {:>6} {:>12} {:>12} {:>12} {:>12}  chosen",
+        "layer", "out shape", "C", "direct(ms)", "lowered(ms)", "direct(KB)", "lowered(KB)"
     );
-    let infos = arch.infer();
-    for (layer, info) in arch.layers.iter().zip(infos.iter()) {
-        if let LayerSpec::Conv(c) = layer {
-            if c.precision != LayerPrecision::Binary {
-                continue;
-            }
-            let plan = select_conv_path(
-                &phone.gpu,
-                info.output.pixels(),
-                info.output.c,
-                info.input.c,
-                &c.geom,
-            );
-            println!(
-                "  {:<8} {:>14} {:>6} {:>12.3} {:>12.3}  {}",
-                c.name,
-                format!("{}x{}x{}", info.output.h, info.output.w, info.output.c),
-                info.input.c,
-                plan.direct_s * 1e3,
-                plan.lowered_s * 1e3,
-                plan.path
-            );
+    for (step, route) in plan.routes() {
+        let Some(r) = route else { continue };
+        if !matches!(step.op, StepOp::BConv { .. }) {
+            continue;
         }
+        println!(
+            "  {:<8} {:>14} {:>6} {:>12.3} {:>12.3} {:>12.1} {:>12.1}  {}",
+            step.name,
+            format!(
+                "{}x{}x{}",
+                step.out_shape.h, step.out_shape.w, step.out_shape.c
+            ),
+            step.in_shape.c,
+            r.direct_s * 1e3,
+            r.lowered_s * 1e3,
+            r.direct_arena_bytes as f64 / 1e3,
+            r.lowered_arena_bytes as f64 / 1e3,
+            r.path
+        );
     }
     // A pointwise projection layer (not in YOLOv2-Tiny) routes to the pure
     // GEMM view — shown so all three paths are visible.
@@ -66,15 +67,22 @@ fn main() {
         &ConvGeometry::square(1, 1, 0),
     );
     println!(
-        "  {:<8} {:>14} {:>6} {:>12.3} {:>12.3}  {}  (synthetic 1x1)",
+        "  {:<8} {:>14} {:>6} {:>12.3} {:>12.3} {:>12.1} {:>12.1}  {}  (synthetic 1x1)",
         "pw-1x1",
         "26x26x256",
         128,
         pw.direct_s * 1e3,
         pw.lowered_s * 1e3,
+        pw.direct_arena_bytes as f64 / 1e3,
+        pw.lowered_arena_bytes as f64 / 1e3,
         pw.path
     );
-    println!();
+    println!(
+        "  arena: {} slots, {:.1} KB total ({:.1} KB weights resident)\n",
+        plan.slots.len(),
+        plan.arena_bytes() as f64 / 1e3,
+        plan.weights_bytes as f64 / 1e3
+    );
 
     println!("network-level (one optimization disabled at a time):");
     let cases = [

@@ -9,8 +9,11 @@
 //! Run: `cargo run --release -p phonebit-bench --bin bconv_report`
 //! (`-- --out <path>` to redirect the JSON; `-- --quick` for CI smoke;
 //! `-- --min-speedup X` to exit nonzero if any shape's tiled-vs-reference
-//! speedup falls below `X` — the CI guard that keeps the hot path from
-//! rotting.)
+//! speedup falls below `X`; `-- --check-baseline <path>` to diff this
+//! run against a committed `BENCH_bconv.json` — same shape/path entries
+//! required, and each tiled median may regress at most
+//! `--max-regression` × (default 5, sized for noisy shared runners) —
+//! the CI guards that keep the hot path from rotting.)
 
 use std::time::Instant;
 
@@ -44,6 +47,71 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Minimal parser for the `BENCH_bconv.json` this binary writes: extracts
+/// `(shape, path, ns_per_pixel)` triplets by scanning the known keys — no
+/// JSON crate in the offline workspace.
+fn parse_baseline(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let field = |key: &str| -> Option<String> {
+            let tag = format!("\"{key}\": ");
+            let start = line.find(&tag)? + tag.len();
+            let rest = &line[start..];
+            let rest = rest.strip_prefix('"').unwrap_or(rest);
+            let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].to_string())
+        };
+        if let (Some(shape), Some(path), Some(ns)) =
+            (field("shape"), field("path"), field("ns_per_pixel"))
+        {
+            if let Ok(ns) = ns.parse::<f64>() {
+                out.push((shape, path, ns));
+            }
+        }
+    }
+    out
+}
+
+/// Diffs this run against the committed baseline: the entry sets must
+/// match exactly, and no tiled measurement may regress beyond
+/// `max_regression`×. Returns the human-readable failures.
+fn diff_against_baseline(
+    baseline: &[(String, String, f64)],
+    results: &[Measurement],
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for m in results {
+        let Some((_, _, base_ns)) = baseline
+            .iter()
+            .find(|(s, p, _)| s == &m.shape && p == m.path)
+        else {
+            failures.push(format!(
+                "entry {}/{} missing from baseline — regenerate and commit BENCH_bconv.json",
+                m.shape, m.path
+            ));
+            continue;
+        };
+        if m.path == "tiled" && m.ns_per_pixel > base_ns * max_regression {
+            failures.push(format!(
+                "{}: tiled {:.1} ns/px regressed beyond {:.1}x of baseline {:.1} ns/px",
+                m.shape, m.ns_per_pixel, max_regression, base_ns
+            ));
+        }
+    }
+    for (shape, path, _) in baseline {
+        if !results
+            .iter()
+            .any(|m| &m.shape == shape && m.path == path.as_str())
+        {
+            failures.push(format!(
+                "baseline entry {shape}/{path} no longer measured — shape coverage shrank"
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -54,16 +122,24 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_bconv.json")
         .to_string();
-    let min_speedup: Option<f64> = args
-        .iter()
-        .position(|a| a == "--min-speedup")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| {
-            s.parse().unwrap_or_else(|_| {
-                eprintln!("error: --min-speedup expects a number, got `{s}`");
-                std::process::exit(2);
+    let numeric_flag = |flag: &str| -> Option<f64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("error: {flag} expects a number, got `{s}`");
+                    std::process::exit(2);
+                })
             })
-        });
+    };
+    let min_speedup: Option<f64> = numeric_flag("--min-speedup");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--check-baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let max_regression = numeric_flag("--max-regression").unwrap_or(5.0);
     let samples = if quick { 3 } else { 15 };
 
     // The paper's YOLOv2-Tiny 3x3 binary layers with C >= 64, plus an odd
@@ -171,5 +247,28 @@ fn main() {
             std::process::exit(1);
         }
         println!("speedup floor {floor:.2}x satisfied");
+    }
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            eprintln!("error: baseline {path} holds no parsable entries");
+            std::process::exit(1);
+        }
+        let failures = diff_against_baseline(&baseline, &results, max_regression);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("baseline diff: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "baseline diff vs {path}: {} entries matched, no regression beyond {max_regression:.1}x",
+            baseline.len()
+        );
     }
 }

@@ -3,30 +3,26 @@
 //! The functional engine needs real weights, which for VGG16-sized
 //! checkpoints means hundreds of host megabytes. Timing does not: every
 //! kernel's cost profile is a closed form in layer shapes. This module
-//! dispatches the exact same profile sequence the engine would — including
-//! the packing/unpacking glue and the §VI-B `C > 256` fallback — in
-//! estimate-only mode, so Table III can be regenerated at full scale.
+//! lowers the architecture to the **same [`ExecutionPlan`] the engine
+//! stages** — identical kernel routes, domain conversions, and arena
+//! assignment — and dispatches that plan's exact profile sequence in
+//! estimate-only mode, so Table III can be regenerated at full scale and
+//! the reported peak memory is the arena-true footprint a `Session` would
+//! hold.
 //!
-//! `Session` runs and `estimate_arch` agree exactly; an integration test
-//! pins that equivalence on a small network.
+//! `Session` runs and `estimate_arch` agree exactly; integration tests pin
+//! that equivalence (timing and per-layer breakdown) on small networks
+//! covering every kernel route.
 
 use phonebit_gpusim::queue::CommandQueue;
 use phonebit_gpusim::{ExecutorClass, Phone};
-use phonebit_nn::graph::{LayerPrecision, LayerSpec, NetworkArch, PoolKind};
-use phonebit_nn::kernels::profiles;
+use phonebit_nn::graph::{LayerSpec, NetworkArch};
+use phonebit_nn::kernels::{bgemm, profiles};
 use phonebit_nn::workload::WorkloadPolicy;
 
+use crate::plan::{ExecutionPlan, RouteOverrides, StepOp};
 use crate::planner::ConvPath;
-
 use crate::stats::{LayerRun, RunReport};
-
-/// Activation domain flowing through the estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Domain {
-    Bytes,
-    Bits,
-    Floats,
-}
 
 /// Knobs for the design-choice ablations (DESIGN.md): each disables one of
 /// the paper's optimizations so its contribution can be measured.
@@ -61,196 +57,133 @@ pub fn estimate_arch_opts(phone: &Phone, arch: &NetworkArch, opts: EstimateOptio
         q = q.with_params(params);
     }
     q.host_delay(q.per_run_overhead_s());
-    let infos = arch.infer();
-    let mut domain = if matches!(
-        arch.layers.first(),
-        Some(LayerSpec::Conv(c)) if c.precision == LayerPrecision::BinaryInput8
-    ) {
-        Domain::Bytes
-    } else {
-        Domain::Floats
-    };
-    let mut per_layer = Vec::with_capacity(arch.layers.len());
-    for (layer, info) in arch.layers.iter().zip(infos.iter()) {
+
+    // One lowering, shared with the engine: routes, conversions and the
+    // arena all come from the plan; the ablation knobs force routes at
+    // lowering time.
+    let plan = ExecutionPlan::for_arch_with(
+        arch,
+        q.device(),
+        RouteOverrides {
+            force_unfused: opts.force_unfused,
+            lowered_gemm: opts.lowered_gemm,
+        },
+    );
+
+    let mut per_layer = Vec::with_capacity(plan.steps.len());
+    for (step, layer) in plan.steps.iter().zip(arch.layers.iter()) {
         let t0 = q.elapsed_s();
         let e0 = q.timeline().len();
-        match layer {
-            LayerSpec::Conv(c) => match c.precision {
-                LayerPrecision::BinaryInput8 => {
-                    let in_pixels = info.input.pixels();
-                    q.launch(profiles::bitplane_split(in_pixels, info.input.c), || {});
-                    let policy = WorkloadPolicy::for_channels(info.input.c);
-                    q.launch(
-                        profiles::bitplane_conv_fused(
-                            info.output.pixels(),
-                            info.output.c,
-                            info.input.c,
-                            &c.geom,
-                            &policy,
-                        ),
-                        || {},
-                    );
-                    domain = Domain::Bits;
+        let in_shape = step.in_shape;
+        let out_shape = step.out_shape;
+        let in_c = in_shape.c;
+
+        // Explicit domain conversion, exactly where the engine packs or
+        // unpacks.
+        if step.convert.is_some() {
+            match step.op {
+                StepOp::BConv { .. } | StepOp::DenseBin { .. } => {
+                    q.launch(profiles::pack_input(in_shape.pixels(), in_c), || {});
                 }
-                LayerPrecision::Binary => {
-                    if domain == Domain::Floats {
-                        q.launch(
-                            profiles::pack_input(info.input.pixels(), info.input.c),
-                            || {},
-                        );
-                    }
-                    let policy = if opts.force_unfused {
-                        WorkloadPolicy::never_integrated()
-                    } else {
-                        WorkloadPolicy::for_channels(info.input.c)
-                    };
-                    // Default routing mirrors the engine: the planner
-                    // cost-models direct-tiled vs. lowered-GEMM per layer.
-                    // Ablation options override the choice.
-                    let path = if opts.lowered_gemm {
-                        ConvPath::LoweredGemm
-                    } else if opts.force_unfused {
-                        ConvPath::DirectUnfused
-                    } else {
-                        crate::planner::select_conv_path(
-                            q.device(),
-                            info.output.pixels(),
-                            info.output.c,
-                            info.input.c,
-                            &c.geom,
-                        )
-                        .path
-                    };
-                    match path {
-                        ConvPath::LoweredGemm => {
-                            if !c.geom.is_pointwise() {
-                                q.launch(
-                                    phonebit_nn::kernels::bgemm::pack_windows_profile(
-                                        info.output.pixels(),
-                                        info.input.c,
-                                        &c.geom,
-                                    ),
-                                    || {},
-                                );
-                            }
+                _ => {
+                    q.launch(profiles::unpack_bits(in_shape.pixels(), in_c), || {});
+                }
+            }
+        }
+
+        match &step.op {
+            StepOp::BConvInput8 { geom, k } => {
+                q.launch(profiles::bitplane_split(in_shape.pixels(), in_c), || {});
+                let policy = WorkloadPolicy::for_channels(in_c);
+                q.launch(
+                    profiles::bitplane_conv_fused(out_shape.pixels(), *k, in_c, geom, &policy),
+                    || {},
+                );
+            }
+            StepOp::BConv { geom, k } => {
+                let policy = if opts.force_unfused {
+                    WorkloadPolicy::never_integrated()
+                } else {
+                    WorkloadPolicy::for_channels(in_c)
+                };
+                let route = step.route.expect("BConv step carries a route");
+                match route.path {
+                    ConvPath::LoweredGemm => {
+                        if !geom.is_pointwise() {
                             q.launch(
-                                phonebit_nn::kernels::bgemm::bgemm_profile(
-                                    info.output.pixels(),
-                                    info.output.c,
-                                    info.input.c,
-                                    &c.geom,
-                                ),
+                                bgemm::pack_windows_profile(out_shape.pixels(), in_c, geom),
                                 || {},
                             );
                         }
-                        ConvPath::DirectFused => {
-                            let profile = if opts.divergent_binarize {
-                                profiles::bconv_fused_divergent(
-                                    info.output.pixels(),
-                                    info.output.c,
-                                    info.input.c,
-                                    &c.geom,
-                                    &policy,
-                                )
-                            } else {
-                                profiles::bconv_fused(
-                                    info.output.pixels(),
-                                    info.output.c,
-                                    info.input.c,
-                                    &c.geom,
-                                    &policy,
-                                )
-                            };
-                            q.launch(profile, || {});
-                        }
-                        ConvPath::DirectUnfused => {
-                            q.launch(
-                                profiles::bconv_accum(
-                                    info.output.pixels(),
-                                    info.output.c,
-                                    info.input.c,
-                                    &c.geom,
-                                    &policy,
-                                ),
-                                || {},
-                            );
-                            q.launch(
-                                profiles::binarize_pack(info.output.pixels(), info.output.c),
-                                || {},
-                            );
-                        }
-                    }
-                    domain = Domain::Bits;
-                }
-                LayerPrecision::Float => {
-                    if domain == Domain::Bits {
                         q.launch(
-                            profiles::unpack_bits(info.input.pixels(), info.input.c),
+                            bgemm::bgemm_profile(out_shape.pixels(), *k, in_c, geom),
                             || {},
                         );
                     }
-                    let mut p =
-                        profiles::fconv(info.output.pixels(), info.output.c, info.input.c, &c.geom);
-                    p.f32_ops += info.output.len() as f64 * c.activation.ops_per_element();
-                    q.launch(p, || {});
-                    domain = Domain::Floats;
-                }
-            },
-            LayerSpec::Pool(p) => {
-                assert_eq!(p.kind, PoolKind::Max, "only max pooling is deployed");
-                match domain {
-                    Domain::Bits => {
-                        q.launch(
-                            profiles::maxpool_bits(info.output.pixels(), info.output.c, p.size),
-                            || {},
-                        );
+                    ConvPath::DirectFused => {
+                        let profile = if opts.divergent_binarize {
+                            profiles::bconv_fused_divergent(
+                                out_shape.pixels(),
+                                *k,
+                                in_c,
+                                geom,
+                                &policy,
+                            )
+                        } else {
+                            profiles::bconv_fused(out_shape.pixels(), *k, in_c, geom, &policy)
+                        };
+                        q.launch(profile, || {});
                     }
-                    _ => {
+                    ConvPath::DirectUnfused => {
                         q.launch(
-                            profiles::maxpool_f32(info.output.pixels(), info.output.c, p.size),
+                            profiles::bconv_accum(out_shape.pixels(), *k, in_c, geom, &policy),
                             || {},
                         );
+                        q.launch(profiles::binarize_pack(out_shape.pixels(), *k), || {});
                     }
                 }
             }
-            LayerSpec::Dense(d) => {
-                let in_features = info.input.h * info.input.w * info.input.c;
-                match d.precision {
-                    LayerPrecision::Binary => {
-                        if domain == Domain::Floats {
-                            q.launch(
-                                profiles::pack_input(info.input.pixels(), info.input.c),
-                                || {},
-                            );
-                        }
-                        q.launch(profiles::dense_bin(d.out_features, in_features), || {});
-                        domain = Domain::Bits;
-                    }
-                    LayerPrecision::Float => {
-                        if domain == Domain::Bits {
-                            q.launch(
-                                profiles::unpack_bits(info.input.pixels(), info.input.c),
-                                || {},
-                            );
-                        }
-                        q.launch(profiles::dense_float(d.out_features, in_features), || {});
-                        domain = Domain::Floats;
-                    }
-                    LayerPrecision::BinaryInput8 => {
-                        unreachable!("BinaryInput8 dense layers are rejected at conversion")
-                    }
+            StepOp::FConv { geom, k } => {
+                let mut p = profiles::fconv(out_shape.pixels(), *k, in_c, geom);
+                if let LayerSpec::Conv(c) = layer {
+                    p.f32_ops += out_shape.len() as f64 * c.activation.ops_per_element();
+                }
+                q.launch(p, || {});
+            }
+            StepOp::MaxPoolBits { size, .. } => {
+                q.launch(
+                    profiles::maxpool_bits(out_shape.pixels(), out_shape.c, *size),
+                    || {},
+                );
+            }
+            StepOp::MaxPoolF32 { size, .. } => {
+                q.launch(
+                    profiles::maxpool_f32(out_shape.pixels(), out_shape.c, *size),
+                    || {},
+                );
+            }
+            StepOp::DenseBin { out_features } => {
+                let in_features = in_shape.h * in_shape.w * in_shape.c;
+                q.launch(profiles::dense_bin(*out_features, in_features), || {});
+            }
+            StepOp::DenseFloat { out_features } => {
+                // The engine dispatches one matvec per batch image.
+                let in_features = in_shape.h * in_shape.w * in_shape.c;
+                for _ in 0..in_shape.n {
+                    q.launch(profiles::dense_float(*out_features, in_features), || {});
                 }
             }
-            LayerSpec::Softmax => {
-                let features = info.input.h * info.input.w * info.input.c;
-                q.launch(profiles::softmax(features), || {});
-                domain = Domain::Floats;
+            StepOp::Softmax => {
+                let features = in_shape.h * in_shape.w * in_shape.c;
+                for _ in 0..in_shape.n {
+                    q.launch(profiles::softmax(features), || {});
+                }
             }
         }
         let energy_j: f64 = q.timeline()[e0..].iter().map(|ev| ev.stats.energy_j).sum();
         per_layer.push(LayerRun {
-            name: layer.name().to_string(),
-            output_shape: info.output,
+            name: step.name.clone(),
+            output_shape: out_shape,
             time_s: q.elapsed_s() - t0,
             energy_j,
         });
@@ -259,7 +192,7 @@ pub fn estimate_arch_opts(phone: &Phone, arch: &NetworkArch, opts: EstimateOptio
         model: arch.name.clone(),
         total_s: q.elapsed_s(),
         energy_j: q.energy_j(),
-        peak_bytes: crate::planner::plan(arch).peak_bytes,
+        peak_bytes: plan.peak_bytes(),
         per_layer,
         output: None,
     }
@@ -269,6 +202,7 @@ pub fn estimate_arch_opts(phone: &Phone, arch: &NetworkArch, opts: EstimateOptio
 mod tests {
     use super::*;
     use phonebit_nn::act::Activation;
+    use phonebit_nn::graph::LayerPrecision;
     use phonebit_tensor::shape::Shape4;
 
     fn arch() -> NetworkArch {
@@ -323,11 +257,9 @@ mod tests {
 
     #[test]
     fn large_channel_layer_uses_unfused_path() {
-        // conv3 has 512 input channels (> 256): accum + pack = 2 dispatches,
-        // so its time exceeds what a single fused dispatch would take on the
-        // same shape with fused traffic. We check the relative effect: the
-        // same conv with c=256 via fused path has fewer modeled seconds per
-        // MAC.
+        // conv3 reads 512 channels (> 256): its route avoids the fused
+        // kernel, so the layer still shows positive modeled time through
+        // whichever fallback the planner picked.
         let r = estimate_arch(&Phone::xiaomi_9(), &arch());
         let conv3 = r.layer_time_s("conv3").unwrap();
         assert!(conv3 > 0.0);
@@ -348,5 +280,16 @@ mod tests {
         let r2 = estimate_arch(&Phone::xiaomi_9(), &a);
         assert_eq!(r1.total_s, r2.total_s);
         assert_eq!(r1.energy_j, r2.energy_j);
+    }
+
+    #[test]
+    fn peak_bytes_is_arena_true() {
+        // The estimate's peak is weights + arena of the same plan the
+        // engine would stage, for the same device.
+        let a = arch();
+        let phone = Phone::xiaomi_9();
+        let r = estimate_arch(&phone, &a);
+        let plan = ExecutionPlan::for_arch(&a, &phone.gpu);
+        assert_eq!(r.peak_bytes, plan.peak_bytes());
     }
 }

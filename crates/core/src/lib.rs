@@ -29,6 +29,7 @@ pub mod engine;
 pub mod estimate;
 pub mod format;
 pub mod model;
+pub mod plan;
 pub mod planner;
 pub mod stats;
 
@@ -37,5 +38,6 @@ pub use convert::convert;
 pub use engine::{ActivationData, EngineError, Session};
 pub use estimate::{estimate_arch, estimate_arch_opts, EstimateOptions};
 pub use model::{PbitLayer, PbitModel};
-pub use planner::{plan, select_conv_path, ConvPath, ConvPlan, MemoryPlan};
+pub use plan::{ExecutionPlan, PlanStep, PlanValue, RouteOverrides, StepOp, ValueKind, ValueRole};
+pub use planner::{plan, plan_on, select_conv_path, ConvPath, ConvPlan, MemoryPlan};
 pub use stats::{LayerRun, RunReport};

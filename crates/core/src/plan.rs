@@ -1,0 +1,982 @@
+//! The staged `ExecutionPlan` IR: one lowering pass from a network (either
+//! a shape-level [`NetworkArch`] or a deployed [`PbitModel`]) and a target
+//! device to everything the inference path needs decided ahead of time.
+//!
+//! PhoneBit's second pillar (after bit-packing) is *memory-flow
+//! optimization*: intermediate activations are staged once and reused so
+//! the engine never allocates or copies on the inference path. This module
+//! is where that staging is planned. Lowering produces, per layer:
+//!
+//! - the resolved [`StepOp`] (domains made explicit: pools become
+//!   bit-OR or float pooling, conversions between packed bits and floats
+//!   become explicit `convert` values);
+//! - for binary convolutions, the [`ConvPlan`] route chosen by
+//!   [`select_conv_path`] — direct-tiled fused, direct + separate pack, or
+//!   the Espresso-style lowered bit-GEMM — including both candidates'
+//!   modeled latency *and* arena-footprint terms;
+//! - a set of [`PlanValue`]s — the network input, every layer output, and
+//!   every transient (bit-plane sets, im2col window rows, int32
+//!   accumulators, domain conversions) — each with its packed byte size
+//!   and live interval over the layer chain;
+//! - an **arena assignment**: a liveness analysis maps every value onto a
+//!   small set of reusable slots sized at plan time, so steady-state
+//!   inference performs zero heap allocation and the device footprint is
+//!   the *sum of slots*, not the sum of layers.
+//!
+//! The engine (`Session`), the full-scale estimator
+//! ([`estimate_arch_opts`](crate::estimate::estimate_arch_opts)), the
+//! memory planner ([`planner::plan`](crate::planner::plan)) and the
+//! `ablation` binary all consume this one plan, so the estimator walks the
+//! exact steps the engine executes and `resident_bytes` reports arena-true
+//! peaks.
+//!
+//! # Liveness model
+//!
+//! Step `i` reads its input value (born at step `i − 1`), optionally writes
+//! a conversion value and a scratch value (both live only during step `i`),
+//! and writes its output (consumed at step `i + 1`). Two values may share
+//! an arena slot exactly when their inclusive live intervals do not
+//! overlap — which is what lets a chain of `L` layers run in a handful of
+//! slots instead of `2·L` ping-pong buffers.
+
+use std::sync::Arc;
+
+use phonebit_gpusim::DeviceProfile;
+use phonebit_nn::graph::{LayerPrecision, LayerSpec, NetworkArch, PoolKind};
+use phonebit_tensor::shape::{ConvGeometry, Shape4};
+
+use crate::model::{PbitLayer, PbitModel};
+use crate::planner::{select_conv_path, ConvPath, ConvPlan};
+
+/// Storage class of a planned value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// 8-bit integer image (network input only).
+    Bytes,
+    /// Channel-packed binary activations (`u64` words).
+    Bits,
+    /// Full-precision activations.
+    Floats,
+    /// Raw `i32` convolution accumulators (the §VI-B unfused fallback).
+    Accum32,
+    /// The 8 packed bit-planes of the first layer's `u8` input (§III-B).
+    Planes8,
+}
+
+impl ValueKind {
+    /// Device bytes a value of this kind occupies at `shape` (bits pack
+    /// whole `u64` words per pixel).
+    pub fn bytes(self, shape: Shape4) -> usize {
+        let px = shape.pixels();
+        let packed = px * shape.c.div_ceil(64) * 8;
+        match self {
+            ValueKind::Bytes => px * shape.c,
+            ValueKind::Bits => packed,
+            ValueKind::Floats | ValueKind::Accum32 => px * shape.c * 4,
+            ValueKind::Planes8 => 8 * packed,
+        }
+    }
+}
+
+/// Why a value exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueRole {
+    /// The network input, staged before step 0.
+    NetworkInput,
+    /// A layer's output activation.
+    LayerOutput,
+    /// A domain conversion (pack bits / unpack floats) feeding its step.
+    Convert,
+    /// Step-local scratch: bit-planes, window rows, or an accumulator.
+    Scratch,
+}
+
+/// One planned intermediate: what it is, how big, when it is live, and
+/// which arena slot holds it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanValue {
+    /// Storage class.
+    pub kind: ValueKind,
+    /// Logical shape.
+    pub shape: Shape4,
+    /// Device bytes ([`ValueKind::bytes`] of the shape).
+    pub bytes: usize,
+    /// First step (inclusive) during which the value is resident.
+    pub born: usize,
+    /// Last step (inclusive) during which the value is resident.
+    pub dies: usize,
+    /// Arena slot assigned by the liveness scan.
+    pub slot: usize,
+    /// Why the value exists.
+    pub role: ValueRole,
+}
+
+/// The resolved operation of one plan step (domains made explicit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOp {
+    /// First-layer bit-plane convolution over `u8` input.
+    BConvInput8 {
+        /// Convolution geometry.
+        geom: ConvGeometry,
+        /// Output channels.
+        k: usize,
+    },
+    /// Binary convolution (route in [`PlanStep::route`]).
+    BConv {
+        /// Convolution geometry.
+        geom: ConvGeometry,
+        /// Output channels.
+        k: usize,
+    },
+    /// Full-precision convolution.
+    FConv {
+        /// Convolution geometry.
+        geom: ConvGeometry,
+        /// Output channels.
+        k: usize,
+    },
+    /// Bitwise-OR max pooling over packed activations.
+    MaxPoolBits {
+        /// Window edge length.
+        size: usize,
+        /// Window stride.
+        stride: usize,
+    },
+    /// Float max pooling.
+    MaxPoolF32 {
+        /// Window edge length.
+        size: usize,
+        /// Window stride.
+        stride: usize,
+    },
+    /// Fused binary dense layer.
+    DenseBin {
+        /// Output features.
+        out_features: usize,
+    },
+    /// Full-precision dense layer.
+    DenseFloat {
+        /// Output features.
+        out_features: usize,
+    },
+    /// Softmax epilogue.
+    Softmax,
+}
+
+/// One lowered layer: the op, its shapes, its value bindings and (for
+/// binary convolutions) the chosen kernel route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// Position in the layer chain.
+    pub index: usize,
+    /// Layer name (shared, clone-cheap — per-run reports reuse it without
+    /// allocating).
+    pub name: Arc<str>,
+    /// The resolved operation.
+    pub op: StepOp,
+    /// Input activation shape.
+    pub in_shape: Shape4,
+    /// Output activation shape.
+    pub out_shape: Shape4,
+    /// Value id of the consumed activation.
+    pub input: usize,
+    /// Value id of the domain conversion feeding the op, if any.
+    pub convert: Option<usize>,
+    /// Value id of the step-local scratch, if any.
+    pub scratch: Option<usize>,
+    /// Value id of the produced activation.
+    pub output: usize,
+    /// The planner's route decision (binary convolutions only).
+    pub route: Option<ConvPlan>,
+}
+
+/// Route decisions forced by the ablation harness instead of cost-modeled
+/// (the estimator's design-choice knobs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteOverrides {
+    /// Every binary convolution runs accumulate + separate pack (§V-B
+    /// ablation).
+    pub force_unfused: bool,
+    /// Every binary convolution routes through the Espresso-style lowering
+    /// (§II ablation).
+    pub lowered_gemm: bool,
+}
+
+/// A domain inconsistency found at lowering time (e.g. a bitwise pool fed
+/// float activations) — the plan-time form of the engine's
+/// `DomainMismatch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanDomainError {
+    /// Offending layer name.
+    pub layer: String,
+    /// Expected activation domain.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for PlanDomainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "layer {} expected {} activations",
+            self.layer, self.expected
+        )
+    }
+}
+
+impl std::error::Error for PlanDomainError {}
+
+/// The staged execution plan: steps, values, and the arena that holds them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// Network name.
+    pub name: String,
+    /// Network input shape.
+    pub input: Shape4,
+    /// Value id of the staged network input.
+    pub input_value: usize,
+    /// Lowered steps, one per layer.
+    pub steps: Vec<PlanStep>,
+    /// Every planned value, in birth order.
+    pub values: Vec<PlanValue>,
+    /// Arena slot sizes in bytes (each slot is the max over the values it
+    /// hosts).
+    pub slots: Vec<usize>,
+    /// Resident packed weight bytes.
+    pub weights_bytes: usize,
+}
+
+impl ExecutionPlan {
+    /// Lowers a shape-level architecture for `device` with cost-modeled
+    /// routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the architecture's layer chain is domain-inconsistent
+    /// (mirrors [`NetworkArch::infer`]'s panic-on-malformed contract).
+    pub fn for_arch(arch: &NetworkArch, device: &DeviceProfile) -> Self {
+        Self::for_arch_with(arch, device, RouteOverrides::default())
+    }
+
+    /// [`ExecutionPlan::for_arch`] with explicit route overrides (the
+    /// ablation knobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the architecture is domain-inconsistent.
+    pub fn for_arch_with(
+        arch: &NetworkArch,
+        device: &DeviceProfile,
+        overrides: RouteOverrides,
+    ) -> Self {
+        let infos = arch.infer();
+        let descs: Vec<LayerDesc> = arch
+            .layers
+            .iter()
+            .zip(infos.iter())
+            .map(|(layer, info)| match layer {
+                LayerSpec::Conv(c) => {
+                    let op = match c.precision {
+                        LayerPrecision::BinaryInput8 => OpDesc::ConvBinInput8,
+                        LayerPrecision::Binary => OpDesc::ConvBin,
+                        LayerPrecision::Float => OpDesc::ConvFloat,
+                    };
+                    LayerDesc {
+                        name: c.name.clone(),
+                        op,
+                        geom: c.geom,
+                        k: info.output.c,
+                        pool: (0, 0),
+                        pool_bits: None,
+                    }
+                }
+                LayerSpec::Pool(p) => {
+                    assert_eq!(p.kind, PoolKind::Max, "only max pooling is deployed");
+                    LayerDesc {
+                        name: p.name.clone(),
+                        op: OpDesc::Pool,
+                        geom: ConvGeometry::square(1, 1, 0),
+                        k: 0,
+                        pool: (p.size, p.stride),
+                        pool_bits: None,
+                    }
+                }
+                LayerSpec::Dense(d) => LayerDesc {
+                    name: d.name.clone(),
+                    op: match d.precision {
+                        LayerPrecision::Float => OpDesc::DenseFloat,
+                        _ => OpDesc::DenseBin,
+                    },
+                    geom: ConvGeometry::square(1, 1, 0),
+                    k: d.out_features,
+                    pool: (0, 0),
+                    pool_bits: None,
+                },
+                LayerSpec::Softmax => LayerDesc {
+                    name: "softmax".into(),
+                    op: OpDesc::Softmax,
+                    geom: ConvGeometry::square(1, 1, 0),
+                    k: 0,
+                    pool: (0, 0),
+                    pool_bits: None,
+                },
+            })
+            .collect();
+        lower(
+            arch.name.clone(),
+            arch.input,
+            &descs,
+            arch.binary_bytes(),
+            device,
+            overrides,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", arch.name))
+    }
+
+    /// Lowers a deployed model for `device` with cost-modeled routes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanDomainError`] when the model's layer chain is
+    /// domain-inconsistent (the engine surfaces this as `DomainMismatch`
+    /// at staging time instead of mid-inference).
+    pub fn for_model(model: &PbitModel, device: &DeviceProfile) -> Result<Self, PlanDomainError> {
+        let descs: Vec<LayerDesc> = model
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                PbitLayer::BConvInput8 {
+                    name,
+                    geom,
+                    filters,
+                    ..
+                } => LayerDesc {
+                    name: name.clone(),
+                    op: OpDesc::ConvBinInput8,
+                    geom: *geom,
+                    k: filters.shape().k,
+                    pool: (0, 0),
+                    pool_bits: None,
+                },
+                PbitLayer::BConv {
+                    name,
+                    geom,
+                    filters,
+                    ..
+                } => LayerDesc {
+                    name: name.clone(),
+                    op: OpDesc::ConvBin,
+                    geom: *geom,
+                    k: filters.shape().k,
+                    pool: (0, 0),
+                    pool_bits: None,
+                },
+                PbitLayer::FConv {
+                    name,
+                    geom,
+                    filters,
+                    ..
+                } => LayerDesc {
+                    name: name.clone(),
+                    op: OpDesc::ConvFloat,
+                    geom: *geom,
+                    k: filters.shape().k,
+                    pool: (0, 0),
+                    pool_bits: None,
+                },
+                PbitLayer::MaxPoolBits { name, geom } => LayerDesc {
+                    name: name.clone(),
+                    op: OpDesc::Pool,
+                    geom: ConvGeometry::square(1, 1, 0),
+                    k: 0,
+                    pool: (geom.size, geom.stride),
+                    pool_bits: Some(true),
+                },
+                PbitLayer::MaxPoolF32 { name, geom } => LayerDesc {
+                    name: name.clone(),
+                    op: OpDesc::Pool,
+                    geom: ConvGeometry::square(1, 1, 0),
+                    k: 0,
+                    pool: (geom.size, geom.stride),
+                    pool_bits: Some(false),
+                },
+                PbitLayer::DenseBin { name, weights, .. } => LayerDesc {
+                    name: name.clone(),
+                    op: OpDesc::DenseBin,
+                    geom: ConvGeometry::square(1, 1, 0),
+                    k: weights.shape().k,
+                    pool: (0, 0),
+                    pool_bits: None,
+                },
+                PbitLayer::DenseFloat { name, bias, .. } => LayerDesc {
+                    name: name.clone(),
+                    op: OpDesc::DenseFloat,
+                    geom: ConvGeometry::square(1, 1, 0),
+                    k: bias.len(),
+                    pool: (0, 0),
+                    pool_bits: None,
+                },
+                PbitLayer::Softmax => LayerDesc {
+                    name: "softmax".into(),
+                    op: OpDesc::Softmax,
+                    geom: ConvGeometry::square(1, 1, 0),
+                    k: 0,
+                    pool: (0, 0),
+                    pool_bits: None,
+                },
+            })
+            .collect();
+        lower(
+            model.name.clone(),
+            model.input,
+            &descs,
+            model.size_bytes(),
+            device,
+            RouteOverrides::default(),
+        )
+    }
+
+    /// Total arena bytes: the sum of slot sizes — the steady-state
+    /// activation footprint of one inference.
+    pub fn arena_bytes(&self) -> usize {
+        self.slots.iter().sum()
+    }
+
+    /// Peak device footprint: resident weights plus the arena.
+    pub fn peak_bytes(&self) -> usize {
+        self.weights_bytes + self.arena_bytes()
+    }
+
+    /// Value id holding the network output (the last step's output, or the
+    /// input for an empty plan).
+    pub fn output_value(&self) -> usize {
+        self.steps.last().map_or(self.input_value, |s| s.output)
+    }
+
+    /// The per-step conv routes, `None` for non-binary-conv layers (what
+    /// the ablation binary prints).
+    pub fn routes(&self) -> impl Iterator<Item = (&PlanStep, Option<&ConvPlan>)> {
+        self.steps.iter().map(|s| (s, s.route.as_ref()))
+    }
+}
+
+/// Activation domain flowing between lowered layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Domain {
+    Bytes,
+    Bits,
+    Floats,
+}
+
+impl Domain {
+    fn kind(self) -> ValueKind {
+        match self {
+            Domain::Bytes => ValueKind::Bytes,
+            Domain::Bits => ValueKind::Bits,
+            Domain::Floats => ValueKind::Floats,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpDesc {
+    ConvBinInput8,
+    ConvBin,
+    ConvFloat,
+    Pool,
+    DenseBin,
+    DenseFloat,
+    Softmax,
+}
+
+/// Source-agnostic layer description shared by the arch and model fronts.
+struct LayerDesc {
+    name: String,
+    op: OpDesc,
+    geom: ConvGeometry,
+    k: usize,
+    pool: (usize, usize),
+    /// `Some(bits)` when the source (a deployed model) declares the pool
+    /// domain; `None` infers it from the flowing domain.
+    pool_bits: Option<bool>,
+}
+
+fn lower(
+    name: String,
+    input: Shape4,
+    descs: &[LayerDesc],
+    weights_bytes: usize,
+    device: &DeviceProfile,
+    overrides: RouteOverrides,
+) -> Result<ExecutionPlan, PlanDomainError> {
+    let mut values: Vec<PlanValue> = Vec::new();
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(descs.len());
+    let last = descs.len().saturating_sub(1);
+
+    let push = |values: &mut Vec<PlanValue>,
+                kind: ValueKind,
+                shape: Shape4,
+                born: usize,
+                dies: usize,
+                role: ValueRole| {
+        values.push(PlanValue {
+            kind,
+            shape,
+            bytes: kind.bytes(shape),
+            born,
+            dies,
+            slot: usize::MAX,
+            role,
+        });
+        values.len() - 1
+    };
+
+    let mut domain = match descs.first().map(|d| d.op) {
+        Some(OpDesc::ConvBinInput8) => Domain::Bytes,
+        _ => Domain::Floats,
+    };
+    let input_value = push(
+        &mut values,
+        domain.kind(),
+        input,
+        0,
+        0,
+        ValueRole::NetworkInput,
+    );
+    let mut cur_val = input_value;
+    let mut cur_shape = input;
+
+    let err = |desc: &LayerDesc, expected: &'static str| PlanDomainError {
+        layer: desc.name.clone(),
+        expected,
+    };
+
+    for (i, desc) in descs.iter().enumerate() {
+        let in_shape = cur_shape;
+        let mut convert = None;
+        let mut scratch = None;
+        let mut route = None;
+        let (op, out_shape, out_domain) = match desc.op {
+            OpDesc::ConvBinInput8 => {
+                if domain != Domain::Bytes {
+                    return Err(err(desc, "u8"));
+                }
+                let (oh, ow) = desc.geom.output_hw(in_shape.h, in_shape.w);
+                scratch = Some(push(
+                    &mut values,
+                    ValueKind::Planes8,
+                    in_shape,
+                    i,
+                    i,
+                    ValueRole::Scratch,
+                ));
+                (
+                    StepOp::BConvInput8 {
+                        geom: desc.geom,
+                        k: desc.k,
+                    },
+                    Shape4::new(in_shape.n, oh, ow, desc.k),
+                    Domain::Bits,
+                )
+            }
+            OpDesc::ConvBin => {
+                if domain == Domain::Bytes {
+                    return Err(err(desc, "bits"));
+                }
+                if domain == Domain::Floats {
+                    convert = Some(push(
+                        &mut values,
+                        ValueKind::Bits,
+                        in_shape,
+                        i,
+                        i,
+                        ValueRole::Convert,
+                    ));
+                }
+                let (oh, ow) = desc.geom.output_hw(in_shape.h, in_shape.w);
+                let out_shape = Shape4::new(in_shape.n, oh, ow, desc.k);
+                let mut plan =
+                    select_conv_path(device, out_shape.pixels(), desc.k, in_shape.c, &desc.geom);
+                if overrides.lowered_gemm {
+                    plan.path = ConvPath::LoweredGemm;
+                } else if overrides.force_unfused {
+                    plan.path = ConvPath::DirectUnfused;
+                }
+                match plan.path {
+                    ConvPath::LoweredGemm if !desc.geom.is_pointwise() => {
+                        scratch = Some(push(
+                            &mut values,
+                            ValueKind::Bits,
+                            Shape4::new(in_shape.n, oh, ow, desc.geom.taps() * in_shape.c),
+                            i,
+                            i,
+                            ValueRole::Scratch,
+                        ));
+                    }
+                    ConvPath::DirectUnfused => {
+                        scratch = Some(push(
+                            &mut values,
+                            ValueKind::Accum32,
+                            out_shape,
+                            i,
+                            i,
+                            ValueRole::Scratch,
+                        ));
+                    }
+                    _ => {}
+                }
+                route = Some(plan);
+                (
+                    StepOp::BConv {
+                        geom: desc.geom,
+                        k: desc.k,
+                    },
+                    out_shape,
+                    Domain::Bits,
+                )
+            }
+            OpDesc::ConvFloat => {
+                if domain == Domain::Bytes {
+                    return Err(err(desc, "floats"));
+                }
+                if domain == Domain::Bits {
+                    convert = Some(push(
+                        &mut values,
+                        ValueKind::Floats,
+                        in_shape,
+                        i,
+                        i,
+                        ValueRole::Convert,
+                    ));
+                }
+                let (oh, ow) = desc.geom.output_hw(in_shape.h, in_shape.w);
+                (
+                    StepOp::FConv {
+                        geom: desc.geom,
+                        k: desc.k,
+                    },
+                    Shape4::new(in_shape.n, oh, ow, desc.k),
+                    Domain::Floats,
+                )
+            }
+            OpDesc::Pool => {
+                let (size, stride) = desc.pool;
+                let (oh, ow) =
+                    ConvGeometry::square(size, stride, 0).output_hw(in_shape.h, in_shape.w);
+                let bits = desc.pool_bits.unwrap_or(domain == Domain::Bits);
+                if bits {
+                    if domain != Domain::Bits {
+                        return Err(err(desc, "bits"));
+                    }
+                    (
+                        StepOp::MaxPoolBits { size, stride },
+                        Shape4::new(in_shape.n, oh, ow, in_shape.c),
+                        Domain::Bits,
+                    )
+                } else {
+                    if domain == Domain::Bytes {
+                        return Err(err(desc, "floats"));
+                    }
+                    if domain == Domain::Bits {
+                        convert = Some(push(
+                            &mut values,
+                            ValueKind::Floats,
+                            in_shape,
+                            i,
+                            i,
+                            ValueRole::Convert,
+                        ));
+                    }
+                    (
+                        StepOp::MaxPoolF32 { size, stride },
+                        Shape4::new(in_shape.n, oh, ow, in_shape.c),
+                        Domain::Floats,
+                    )
+                }
+            }
+            OpDesc::DenseBin => {
+                if domain == Domain::Bytes {
+                    return Err(err(desc, "bits"));
+                }
+                if domain == Domain::Floats {
+                    convert = Some(push(
+                        &mut values,
+                        ValueKind::Bits,
+                        in_shape,
+                        i,
+                        i,
+                        ValueRole::Convert,
+                    ));
+                }
+                // The bit-preserving flatten staging the matvec's row.
+                scratch = Some(push(
+                    &mut values,
+                    ValueKind::Bits,
+                    Shape4::new(in_shape.n, 1, 1, in_shape.h * in_shape.w * in_shape.c),
+                    i,
+                    i,
+                    ValueRole::Scratch,
+                ));
+                (
+                    StepOp::DenseBin {
+                        out_features: desc.k,
+                    },
+                    Shape4::new(in_shape.n, 1, 1, desc.k),
+                    Domain::Bits,
+                )
+            }
+            OpDesc::DenseFloat => {
+                if domain == Domain::Bytes {
+                    return Err(err(desc, "floats"));
+                }
+                if domain == Domain::Bits {
+                    convert = Some(push(
+                        &mut values,
+                        ValueKind::Floats,
+                        in_shape,
+                        i,
+                        i,
+                        ValueRole::Convert,
+                    ));
+                }
+                (
+                    StepOp::DenseFloat {
+                        out_features: desc.k,
+                    },
+                    Shape4::new(in_shape.n, 1, 1, desc.k),
+                    Domain::Floats,
+                )
+            }
+            OpDesc::Softmax => {
+                if domain == Domain::Bytes {
+                    return Err(err(desc, "floats"));
+                }
+                if domain == Domain::Bits {
+                    convert = Some(push(
+                        &mut values,
+                        ValueKind::Floats,
+                        in_shape,
+                        i,
+                        i,
+                        ValueRole::Convert,
+                    ));
+                }
+                (StepOp::Softmax, in_shape, Domain::Floats)
+            }
+        };
+        // The output feeds step i+1; the final output just outlives the run.
+        let dies = if i == last { i } else { i + 1 };
+        let output = push(
+            &mut values,
+            out_domain.kind(),
+            out_shape,
+            i,
+            dies,
+            ValueRole::LayerOutput,
+        );
+        steps.push(PlanStep {
+            index: i,
+            name: Arc::from(desc.name.as_str()),
+            op,
+            in_shape,
+            out_shape,
+            input: cur_val,
+            convert,
+            scratch,
+            output,
+            route,
+        });
+        domain = out_domain;
+        cur_val = output;
+        cur_shape = out_shape;
+    }
+
+    let slots = assign_slots(&mut values);
+    Ok(ExecutionPlan {
+        name,
+        input,
+        input_value,
+        steps,
+        values,
+        slots,
+        weights_bytes,
+    })
+}
+
+/// Greedy linear-scan slot assignment over value live intervals: values are
+/// visited in birth order; each takes the smallest free slot that already
+/// fits it, else the largest free slot (grown to fit), else a new slot.
+/// Deterministic, and overlap-free by construction (a slot is free only
+/// when its last tenant died before the candidate was born).
+fn assign_slots(values: &mut [PlanValue]) -> Vec<usize> {
+    // (bytes, dies-of-last-tenant)
+    let mut slots: Vec<(usize, usize)> = Vec::new();
+    for v in values.iter_mut() {
+        let mut best: Option<usize> = None;
+        for (i, &(bytes, busy_until)) in slots.iter().enumerate() {
+            if v.born <= busy_until {
+                continue;
+            }
+            best = Some(match best {
+                None => i,
+                Some(b) => {
+                    let best_bytes = slots[b].0;
+                    let (fits, best_fits) = (bytes >= v.bytes, best_bytes >= v.bytes);
+                    match (fits, best_fits) {
+                        (true, true) => {
+                            if bytes < best_bytes {
+                                i
+                            } else {
+                                b
+                            }
+                        }
+                        (true, false) => i,
+                        (false, true) => b,
+                        (false, false) => {
+                            if bytes > best_bytes {
+                                i
+                            } else {
+                                b
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let slot = match best {
+            Some(s) => {
+                slots[s] = (slots[s].0.max(v.bytes), v.dies);
+                s
+            }
+            None => {
+                slots.push((v.bytes, v.dies));
+                slots.len() - 1
+            }
+        };
+        v.slot = slot;
+    }
+    slots.into_iter().map(|(bytes, _)| bytes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonebit_nn::act::Activation;
+
+    fn device() -> DeviceProfile {
+        DeviceProfile::adreno_640()
+    }
+
+    fn small_arch() -> NetworkArch {
+        NetworkArch::new("plan-ir", Shape4::new(1, 16, 16, 3))
+            .conv(
+                "conv1",
+                16,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
+            .maxpool("pool1", 2, 2)
+            .conv(
+                "conv2",
+                32,
+                3,
+                1,
+                1,
+                LayerPrecision::Binary,
+                Activation::Linear,
+            )
+            .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
+            .softmax()
+    }
+
+    #[test]
+    fn lowering_resolves_domains_and_converts() {
+        let plan = ExecutionPlan::for_arch(&small_arch(), &device());
+        assert_eq!(plan.steps.len(), 5);
+        assert!(matches!(plan.steps[0].op, StepOp::BConvInput8 { .. }));
+        assert!(matches!(plan.steps[1].op, StepOp::MaxPoolBits { .. }));
+        assert!(matches!(plan.steps[2].op, StepOp::BConv { .. }));
+        assert!(matches!(plan.steps[3].op, StepOp::DenseFloat { .. }));
+        // The float dense layer after binary conv needs an unpack convert.
+        assert!(plan.steps[3].convert.is_some());
+        assert!(
+            plan.steps[4].convert.is_none(),
+            "softmax input already float"
+        );
+        // Bit-plane scratch on the first layer.
+        let scr = plan.steps[0].scratch.expect("planes scratch");
+        assert_eq!(plan.values[scr].kind, ValueKind::Planes8);
+    }
+
+    #[test]
+    fn overlapping_values_never_share_a_slot() {
+        let plan = ExecutionPlan::for_arch(&small_arch(), &device());
+        for (i, a) in plan.values.iter().enumerate() {
+            assert_ne!(a.slot, usize::MAX, "value {i} unassigned");
+            assert!(plan.slots[a.slot] >= a.bytes, "slot smaller than value {i}");
+            for (j, b) in plan.values.iter().enumerate().skip(i + 1) {
+                let overlap = a.born <= b.dies && b.born <= a.dies;
+                if overlap {
+                    assert_ne!(a.slot, b.slot, "live values {i} and {j} share a slot");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuses_slots_across_the_chain() {
+        let plan = ExecutionPlan::for_arch(&small_arch(), &device());
+        let total: usize = plan.values.iter().map(|v| v.bytes).sum();
+        assert!(plan.values.len() > plan.slots.len(), "slots must be reused");
+        assert!(plan.arena_bytes() < total, "arena must beat sum-of-values");
+        assert_eq!(plan.peak_bytes(), plan.weights_bytes + plan.arena_bytes());
+    }
+
+    #[test]
+    fn route_overrides_force_paths() {
+        let arch = small_arch();
+        let lowered = ExecutionPlan::for_arch_with(
+            &arch,
+            &device(),
+            RouteOverrides {
+                lowered_gemm: true,
+                ..Default::default()
+            },
+        );
+        let unfused = ExecutionPlan::for_arch_with(
+            &arch,
+            &device(),
+            RouteOverrides {
+                force_unfused: true,
+                ..Default::default()
+            },
+        );
+        let conv2 = |p: &ExecutionPlan| p.steps[2].route.expect("route").path;
+        assert_eq!(conv2(&lowered), ConvPath::LoweredGemm);
+        assert_eq!(conv2(&unfused), ConvPath::DirectUnfused);
+        // The forced paths carry matching scratch values.
+        let scr = lowered.steps[2].scratch.expect("windows scratch");
+        assert_eq!(lowered.values[scr].kind, ValueKind::Bits);
+        let scr = unfused.steps[2].scratch.expect("accumulator scratch");
+        assert_eq!(unfused.values[scr].kind, ValueKind::Accum32);
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let a = ExecutionPlan::for_arch(&small_arch(), &device());
+        let b = ExecutionPlan::for_arch(&small_arch(), &device());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn value_kind_bytes_match_packing_rules() {
+        let s = Shape4::new(1, 4, 4, 100);
+        assert_eq!(ValueKind::Bytes.bytes(s), 16 * 100);
+        assert_eq!(ValueKind::Bits.bytes(s), 16 * 2 * 8);
+        assert_eq!(ValueKind::Floats.bytes(s), 16 * 400);
+        assert_eq!(ValueKind::Accum32.bytes(s), 16 * 400);
+        assert_eq!(ValueKind::Planes8.bytes(s), 8 * 16 * 2 * 8);
+    }
+}

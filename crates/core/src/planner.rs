@@ -17,7 +17,7 @@
 use phonebit_gpusim::calib::{CostParams, EnergyParams};
 use phonebit_gpusim::cost::estimate;
 use phonebit_gpusim::{DeviceKind, DeviceProfile, ExecutorClass, Phone};
-use phonebit_nn::graph::{LayerPrecision, LayerSpec, NetworkArch};
+use phonebit_nn::graph::NetworkArch;
 use phonebit_nn::kernels::{bgemm, profiles};
 use phonebit_nn::workload::{WorkloadPolicy, INTEGRATION_CHANNEL_LIMIT};
 use phonebit_tensor::shape::ConvGeometry;
@@ -59,15 +59,21 @@ pub struct LayerFootprint {
     pub scratch_bytes: usize,
 }
 
-/// A deployment memory plan.
+/// A deployment memory plan, derived from the staged
+/// [`ExecutionPlan`](crate::plan::ExecutionPlan)'s arena assignment: the
+/// activation peak is the **sum of arena slots** the engine actually
+/// stages, not a sum-of-layers upper bound.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemoryPlan {
     /// Resident packed weight bytes.
     pub weights_bytes: usize,
-    /// Peak transient activation bytes (live input + output + scratch).
+    /// Peak transient activation bytes: the arena total (every live
+    /// activation, conversion and scratch value fits these slots).
     pub peak_activation_bytes: usize,
-    /// Peak total = weights + peak activations.
+    /// Peak total = weights + arena.
     pub peak_bytes: usize,
+    /// Arena slot sizes in bytes, as staged by the engine.
+    pub arena_slots: Vec<usize>,
     /// Per-layer breakdown.
     pub per_layer: Vec<LayerFootprint>,
 }
@@ -103,6 +109,14 @@ impl std::fmt::Display for ConvPath {
     }
 }
 
+/// Weight of the arena-footprint term in the route score: each candidate
+/// path's staged scratch bytes are charged at this fraction of the time it
+/// would take to stream them over DRAM once. Small enough that latency
+/// dominates on the paper's flagship shapes, large enough that a
+/// memory-hungry path must buy real time to justify its arena slot (the §I
+/// minimal-footprint claim becomes a term the planner can trade against).
+pub const ARENA_TRADEOFF_WEIGHT: f64 = 0.25;
+
 /// A per-layer kernel-path decision with the modeled costs behind it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConvPlan {
@@ -112,17 +126,35 @@ pub struct ConvPlan {
     pub direct_s: f64,
     /// Modeled seconds on the lowered bit-GEMM path.
     pub lowered_s: f64,
+    /// Arena scratch bytes the direct path stages (the int32 accumulator
+    /// when `C > 256`, else none).
+    pub direct_arena_bytes: usize,
+    /// Arena scratch bytes the lowered path stages (the materialized
+    /// bit-im2col window rows, unless the GEMM is a pointwise view).
+    pub lowered_arena_bytes: usize,
+}
+
+impl ConvPlan {
+    /// Arena scratch bytes of the chosen path.
+    pub fn arena_bytes(&self) -> usize {
+        match self.path {
+            ConvPath::LoweredGemm => self.lowered_arena_bytes,
+            _ => self.direct_arena_bytes,
+        }
+    }
 }
 
 /// Cost-models the direct-tiled and lowered-GEMM executions of one binary
-/// convolution on `device` and picks the faster.
+/// convolution on `device` and picks the cheaper under a combined
+/// latency + arena-footprint score.
 ///
 /// A 1×1 stride-1 unpadded convolution *is* a GEMM — each window row
 /// aliases the input pixel row, so the lowering skips materialization and
-/// wins structurally. Everything else compares modeled dispatch times:
-/// direct pays either one fused kernel (`C ≤ 256`) or the
-/// accumulate + pack pair, lowered pays the bit-im2col round trip plus the
-/// GEMM.
+/// wins structurally. Everything else compares modeled dispatch times plus
+/// an [`ARENA_TRADEOFF_WEIGHT`]-scaled penalty for each path's staged
+/// scratch: direct pays either one fused kernel (`C ≤ 256`) or the
+/// accumulate + pack pair with its int32 accumulator slot, lowered pays the
+/// bit-im2col round trip, the GEMM, and the materialized window rows.
 pub fn select_conv_path(
     device: &DeviceProfile,
     out_pixels: usize,
@@ -135,22 +167,28 @@ pub fn select_conv_path(
     let time = |p| estimate(&p, device, &params, &energy).time_s;
 
     let policy = WorkloadPolicy::for_channels(in_channels);
-    let direct_s = if in_channels <= INTEGRATION_CHANNEL_LIMIT {
-        time(profiles::bconv_fused(
-            out_pixels,
-            out_channels,
-            in_channels,
-            geom,
-            &policy,
-        ))
+    let (direct_s, direct_arena_bytes) = if in_channels <= INTEGRATION_CHANNEL_LIMIT {
+        (
+            time(profiles::bconv_fused(
+                out_pixels,
+                out_channels,
+                in_channels,
+                geom,
+                &policy,
+            )),
+            0,
+        )
     } else {
-        time(profiles::bconv_accum(
-            out_pixels,
-            out_channels,
-            in_channels,
-            geom,
-            &policy,
-        )) + time(profiles::binarize_pack(out_pixels, out_channels))
+        (
+            time(profiles::bconv_accum(
+                out_pixels,
+                out_channels,
+                in_channels,
+                geom,
+                &policy,
+            )) + time(profiles::binarize_pack(out_pixels, out_channels)),
+            out_pixels * out_channels * 4,
+        )
     };
 
     let gemm_is_view = geom.is_pointwise();
@@ -160,11 +198,18 @@ pub fn select_conv_path(
         in_channels,
         geom,
     ));
+    let mut lowered_arena_bytes = 0;
     if !gemm_is_view {
         lowered_s += time(bgemm::pack_windows_profile(out_pixels, in_channels, geom));
+        lowered_arena_bytes = out_pixels * (geom.taps() * in_channels).div_ceil(64) * 8;
     }
 
-    let path = if gemm_is_view || lowered_s < direct_s {
+    // Footprint term: bytes charged at a fraction of one DRAM pass.
+    let arena_s = |bytes: usize| ARENA_TRADEOFF_WEIGHT * bytes as f64 / (device.dram_gbps * 1e9);
+    let direct_score = direct_s + arena_s(direct_arena_bytes);
+    let lowered_score = lowered_s + arena_s(lowered_arena_bytes);
+
+    let path = if gemm_is_view || lowered_score < direct_score {
         ConvPath::LoweredGemm
     } else if in_channels <= INTEGRATION_CHANNEL_LIMIT {
         ConvPath::DirectFused
@@ -175,63 +220,42 @@ pub fn select_conv_path(
         path,
         direct_s,
         lowered_s,
+        direct_arena_bytes,
+        lowered_arena_bytes,
     }
 }
 
 /// Plans the deployed footprint of an architecture under PhoneBit's
-/// binarized execution.
+/// binarized execution, on the default flagship device (Adreno 640 —
+/// kernel routes, and therefore scratch, are device-dependent; use
+/// [`plan_on`] to target a specific GPU).
 pub fn plan(arch: &NetworkArch) -> MemoryPlan {
-    let infos = arch.infer();
-    let weights_bytes = arch.binary_bytes();
-    let mut per_layer = Vec::with_capacity(arch.layers.len());
-    let mut domain = match arch.layers.first() {
-        Some(LayerSpec::Conv(c)) if c.precision == LayerPrecision::BinaryInput8 => {
-            ActivationKind::Bytes
-        }
-        _ => ActivationKind::Floats,
-    };
-    let mut peak_act = 0usize;
-    for (layer, info) in arch.layers.iter().zip(infos.iter()) {
-        let (out_domain, scratch) = match layer {
-            LayerSpec::Conv(c) => match c.precision {
-                LayerPrecision::BinaryInput8 => {
-                    // 8 packed planes of the input live during the layer.
-                    let planes = 8 * ActivationKind::Bits.bytes(info.input.pixels(), info.input.c);
-                    (ActivationKind::Bits, planes)
-                }
-                LayerPrecision::Binary => {
-                    let scratch = if info.input.c > 256 {
-                        // Unfused path: int32 accumulator round-trip.
-                        info.output.len() * 4
-                    } else {
-                        0
-                    };
-                    (ActivationKind::Bits, scratch)
-                }
-                LayerPrecision::Float => (ActivationKind::Floats, 0),
-            },
-            LayerSpec::Pool(_) => (domain, 0),
-            LayerSpec::Dense(d) => match d.precision {
-                LayerPrecision::Float => (ActivationKind::Floats, 0),
-                _ => (ActivationKind::Bits, 0),
-            },
-            LayerSpec::Softmax => (ActivationKind::Floats, 0),
-        };
-        let in_bytes = domain.bytes(info.input.pixels(), info.input.c);
-        let out_bytes = out_domain.bytes(info.output.pixels(), info.output.c);
-        peak_act = peak_act.max(in_bytes + out_bytes + scratch);
-        per_layer.push(LayerFootprint {
-            name: layer.name().to_string(),
-            in_bytes,
-            out_bytes,
-            scratch_bytes: scratch,
-        });
-        domain = out_domain;
-    }
+    plan_on(arch, &DeviceProfile::adreno_640())
+}
+
+/// [`plan`] for a specific device: lowers the architecture to its
+/// [`ExecutionPlan`](crate::plan::ExecutionPlan) and reports the arena-true
+/// footprint the engine would stage there.
+pub fn plan_on(arch: &NetworkArch, device: &DeviceProfile) -> MemoryPlan {
+    let ep = crate::plan::ExecutionPlan::for_arch(arch, device);
+    let per_layer = ep
+        .steps
+        .iter()
+        .map(|step| {
+            let bytes = |id: usize| ep.values[id].bytes;
+            LayerFootprint {
+                name: step.name.to_string(),
+                in_bytes: bytes(step.input),
+                out_bytes: bytes(step.output),
+                scratch_bytes: step.convert.map_or(0, bytes) + step.scratch.map_or(0, bytes),
+            }
+        })
+        .collect();
     MemoryPlan {
-        weights_bytes,
-        peak_activation_bytes: peak_act,
-        peak_bytes: weights_bytes + peak_act,
+        weights_bytes: ep.weights_bytes,
+        peak_activation_bytes: ep.arena_bytes(),
+        peak_bytes: ep.peak_bytes(),
+        arena_slots: ep.slots,
         per_layer,
     }
 }
@@ -240,6 +264,7 @@ pub fn plan(arch: &NetworkArch) -> MemoryPlan {
 mod tests {
     use super::*;
     use phonebit_nn::act::Activation;
+    use phonebit_nn::graph::LayerPrecision;
     use phonebit_tensor::shape::Shape4;
 
     fn arch() -> NetworkArch {
@@ -359,6 +384,30 @@ mod tests {
         let strided = ConvGeometry::square(1, 2, 0);
         let p2 = select_conv_path(&dev, 13 * 13, 256, 128, &strided);
         assert!(p2.lowered_s > 0.0 && p2.direct_s > 0.0);
+    }
+
+    #[test]
+    fn route_scores_carry_arena_terms() {
+        let dev = phonebit_gpusim::DeviceProfile::adreno_640();
+        let g = ConvGeometry::square(3, 1, 1);
+        // C <= 256: direct stages nothing, the lowering stages window rows.
+        let p = select_conv_path(&dev, 26 * 26, 256, 128, &g);
+        assert_eq!(p.direct_arena_bytes, 0);
+        assert_eq!(
+            p.lowered_arena_bytes,
+            26 * 26 * (9usize * 128).div_ceil(64) * 8
+        );
+        assert_eq!(p.arena_bytes(), 0, "direct choice carries no scratch");
+        // C > 256: direct stages the int32 accumulator; the wide layer
+        // routes to the GEMM whose window rows are the smaller slot.
+        let wide = select_conv_path(&dev, 13 * 13, 512, 512, &g);
+        assert_eq!(wide.direct_arena_bytes, 13 * 13 * 512 * 4);
+        assert!(wide.lowered_arena_bytes < wide.direct_arena_bytes);
+        assert_eq!(wide.arena_bytes(), wide.lowered_arena_bytes);
+        // Pointwise views materialize nothing.
+        let pw = select_conv_path(&dev, 26 * 26, 256, 128, &ConvGeometry::square(1, 1, 0));
+        assert_eq!(pw.lowered_arena_bytes, 0);
+        assert_eq!(pw.arena_bytes(), 0);
     }
 
     #[test]

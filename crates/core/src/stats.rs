@@ -1,5 +1,7 @@
 //! Run reports: per-layer timing and energy for one inference.
 
+use std::sync::Arc;
+
 use phonebit_tensor::shape::Shape4;
 
 use crate::engine::ActivationData;
@@ -7,8 +9,9 @@ use crate::engine::ActivationData;
 /// Timing/energy of one layer within a run.
 #[derive(Debug, Clone)]
 pub struct LayerRun {
-    /// Layer name (e.g. `"conv3"`).
-    pub name: String,
+    /// Layer name (e.g. `"conv3"`). Shared so steady-state runs report
+    /// without allocating per layer.
+    pub name: Arc<str>,
     /// Output shape produced.
     pub output_shape: Shape4,
     /// Modeled time for all kernels the layer dispatched, seconds.
@@ -59,7 +62,7 @@ impl RunReport {
     pub fn layer_time_s(&self, name: &str) -> Option<f64> {
         self.per_layer
             .iter()
-            .find(|l| l.name == name)
+            .find(|l| l.name.as_ref() == name)
             .map(|l| l.time_s)
     }
 

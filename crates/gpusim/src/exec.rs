@@ -8,7 +8,6 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Number of host worker threads used for kernel bodies.
 pub fn host_threads() -> usize {
@@ -50,35 +49,40 @@ pub fn par_for(n: usize, min_chunk: usize, f: impl Fn(Range<usize>) + Sync) {
 /// the chunk index. The final chunk may be shorter.
 ///
 /// This is the "each work item writes its own output rows" pattern: `out`
-/// is split by `chunk_len` so no two threads alias.
+/// is split by `chunk_len` so no two threads alias. Work is partitioned
+/// statically — each worker owns one contiguous run of chunks — so the
+/// dispatch allocates nothing proportional to the chunk count (the engine's
+/// steady-state zero-allocation contract extends through kernel bodies);
+/// results are bit-identical to sequential execution either way.
 pub fn par_chunks_mut<T: Send>(
     out: &mut [T],
     chunk_len: usize,
     f: impl Fn(usize, &mut [T]) + Sync,
 ) {
     assert!(chunk_len > 0, "chunk_len must be positive");
-    let chunks: Vec<(usize, &mut [T])> = out.chunks_mut(chunk_len).enumerate().collect();
-    let n = chunks.len();
-    if n <= 1 || host_threads() == 1 {
-        for (i, c) in chunks {
+    let n = out.len().div_ceil(chunk_len);
+    let threads = host_threads();
+    if n <= 1 || threads == 1 {
+        for (i, c) in out.chunks_mut(chunk_len).enumerate() {
             f(i, c);
         }
         return;
     }
-    type WorkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
-    let work: Vec<WorkSlot<'_, T>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let next = AtomicUsize::new(0);
+    let per_worker = n.div_ceil(threads);
     std::thread::scope(|s| {
-        for _ in 0..host_threads().min(n) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                if let Some((idx, slice)) = work[i].lock().expect("poisoned work slot").take() {
-                    f(idx, slice);
+        let mut rest = out;
+        let mut first_chunk = 0;
+        while !rest.is_empty() {
+            let take = (per_worker * chunk_len).min(rest.len());
+            let (region, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            s.spawn(move || {
+                for (j, c) in region.chunks_mut(chunk_len).enumerate() {
+                    f(first_chunk + j, c);
                 }
             });
+            first_chunk += per_worker;
         }
     });
 }

@@ -179,19 +179,33 @@ pub fn bconv_fused<W: BitWord>(
     fused: &FusedBn,
     geom: &ConvGeometry,
 ) -> BitTensor<W> {
+    let mut out = BitTensor::<W>::zeros(Shape4::new(0, 0, 0, 0));
+    bconv_fused_into(q, input, filters, fused, geom, &mut out);
+    out
+}
+
+/// [`bconv_fused`] into a caller-provided tensor (reset to the output
+/// shape), reusing its storage — the engine's arena path.
+pub fn bconv_fused_into<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    filters: &PackedFilters<W>,
+    fused: &FusedBn,
+    geom: &ConvGeometry,
+    out: &mut BitTensor<W>,
+) {
     let os = conv_output_shape(input, filters, geom);
     assert_eq!(
         fused.len(),
         filters.shape().k,
         "fusion params must cover every filter"
     );
-    let mut out = BitTensor::<W>::zeros(os);
+    out.reset(os);
     let policy = WorkloadPolicy::for_channels(input.shape().c);
     let profile = profiles::bconv_fused(os.pixels(), os.c, input.shape().c, geom, &policy);
     q.launch(profile, || {
-        compute_bconv_fused(input, filters, fused, geom, &mut out)
+        compute_bconv_fused(input, filters, fused, geom, out)
     });
-    out
 }
 
 /// Functional body of the accumulate-only kernel, on the same tiled row
@@ -224,14 +238,25 @@ pub fn bconv_accum<W: BitWord>(
     filters: &PackedFilters<W>,
     geom: &ConvGeometry,
 ) -> Tensor<i32> {
+    let mut out = Tensor::<i32>::zeros(Shape4::new(0, 0, 0, 0), Layout::Nhwc);
+    bconv_accum_into(q, input, filters, geom, &mut out);
+    out
+}
+
+/// [`bconv_accum`] into a caller-provided accumulator (reset to the output
+/// shape in NHWC), reusing its storage — the engine's arena path.
+pub fn bconv_accum_into<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    filters: &PackedFilters<W>,
+    geom: &ConvGeometry,
+    out: &mut Tensor<i32>,
+) {
     let os = conv_output_shape(input, filters, geom);
-    let mut out = Tensor::<i32>::zeros(os, Layout::Nhwc);
+    out.reset(os, Layout::Nhwc);
     let policy = WorkloadPolicy::for_channels(input.shape().c);
     let profile = profiles::bconv_accum(os.pixels(), os.c, input.shape().c, geom, &policy);
-    q.launch(profile, || {
-        compute_bconv_accum(input, filters, geom, &mut out)
-    });
-    out
+    q.launch(profile, || compute_bconv_accum(input, filters, geom, out));
 }
 
 /// Functional body of the standalone binarize+pack kernel.
@@ -281,12 +306,24 @@ pub fn binarize_pack<W: BitWord>(
     accum: &Tensor<i32>,
     fused: &FusedBn,
 ) -> BitTensor<W> {
+    let mut out = BitTensor::<W>::zeros(Shape4::new(0, 0, 0, 0));
+    binarize_pack_into(q, accum, fused, &mut out);
+    out
+}
+
+/// [`binarize_pack`] into a caller-provided tensor (reset to the
+/// accumulator's shape), reusing its storage — the engine's arena path.
+pub fn binarize_pack_into<W: BitWord>(
+    q: &mut CommandQueue,
+    accum: &Tensor<i32>,
+    fused: &FusedBn,
+    out: &mut BitTensor<W>,
+) {
     let s = accum.shape();
     assert_eq!(fused.len(), s.c, "fusion params must cover every channel");
-    let mut out = BitTensor::<W>::zeros(s);
+    out.reset(s);
     let profile = profiles::binarize_pack(s.pixels(), s.c);
-    q.launch(profile, || compute_binarize_pack(accum, fused, &mut out));
-    out
+    q.launch(profile, || compute_binarize_pack(accum, fused, out));
 }
 
 #[cfg(test)]

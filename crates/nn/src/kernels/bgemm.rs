@@ -12,7 +12,7 @@
 use phonebit_gpusim::exec::par_chunks_mut;
 use phonebit_gpusim::queue::CommandQueue;
 use phonebit_gpusim::{KernelProfile, NdRange};
-use phonebit_tensor::bits::{BitTensor, BitWord, PackedFilters};
+use phonebit_tensor::bits::{merge_bits, BitTensor, BitWord, PackedFilters};
 use phonebit_tensor::shape::{ConvGeometry, FilterShape, Shape4};
 
 use crate::fuse::FusedBn;
@@ -24,9 +24,10 @@ use crate::kernels::tiled::{tile_filters, TILE_PIXELS};
 ///
 /// When `c` fills its words exactly, each filter's flat row *is* its
 /// contiguous [`PackedFilters::filter_words`] window span, so the flatten
-/// is one bulk word copy per filter; odd channel counts fall back to the
-/// bit walk. Either way this is staging-time work — `Session` caches the
-/// result per layer rather than re-flattening per inference.
+/// is one bulk word copy per filter; odd channel counts merge each tap span
+/// into the row with shifted word ORs ([`merge_bits`]) — never a per-bit
+/// walk. Either way this is staging-time work — the execution plan caches
+/// the result per layer rather than re-flattening per inference.
 pub fn flatten_filters<W: BitWord>(filters: &PackedFilters<W>) -> PackedFilters<W> {
     let s = filters.shape();
     let window = s.kh * s.kw * s.c;
@@ -37,18 +38,20 @@ pub fn flatten_filters<W: BitWord>(filters: &PackedFilters<W>) -> PackedFilters<
         }
         return out;
     }
+    let mut row = vec![W::zero(); window.div_ceil(W::BITS)];
     for k in 0..s.k {
-        let mut idx = 0;
+        row.iter_mut().for_each(|w| *w = W::zero());
         for i in 0..s.kh {
             for j in 0..s.kw {
-                for c in 0..s.c {
-                    if filters.get_bit(k, i, j, c) {
-                        out.set_bit(k, 0, 0, idx, true);
-                    }
-                    idx += 1;
-                }
+                merge_bits(
+                    &mut row,
+                    (i * s.kw + j) * s.c,
+                    filters.tap_words(k, i, j),
+                    s.c,
+                );
             }
         }
+        out.set_tap_words(k, 0, 0, &row);
     }
     out
 }
@@ -59,58 +62,66 @@ pub fn flatten_filters<W: BitWord>(filters: &PackedFilters<W>) -> PackedFilters<
 ///
 /// When the channel count fills its packed words exactly
 /// (`c % W::BITS == 0`), every tap lands word-aligned in the row and the
-/// materialization is `kh*kw` word copies per pixel; otherwise it falls
-/// back to the bit walk.
+/// materialization is `kh*kw` word copies per pixel; otherwise each tap
+/// span is merged into the row with shifted word ORs ([`merge_bits`]), so
+/// odd channel counts stay word-at-a-time instead of walking bits.
 pub fn pack_windows<W: BitWord>(input: &BitTensor<W>, geom: &ConvGeometry) -> BitTensor<W> {
     let s = input.shape();
     let (oh, ow) = geom.output_hw(s.h, s.w);
-    let window = geom.taps() * s.c;
-    let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, window));
+    let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, geom.taps() * s.c));
+    pack_windows_into(input, geom, &mut out);
+    out
+}
+
+/// [`pack_windows`] into a caller-provided tensor (reset to the window
+/// shape), reusing its storage — the engine's arena path.
+pub fn pack_windows_into<W: BitWord>(
+    input: &BitTensor<W>,
+    geom: &ConvGeometry,
+    out: &mut BitTensor<W>,
+) {
+    let s = input.shape();
+    let (oh, ow) = geom.output_hw(s.h, s.w);
+    out.reset(Shape4::new(s.n, oh, ow, geom.taps() * s.c));
     let aligned = s.c.is_multiple_of(W::BITS);
     let wpt = s.c.div_ceil(W::BITS);
+    let row_words = out.words_per_pixel();
     for n in 0..s.n {
         for oy in 0..oh {
             for ox in 0..ow {
-                if aligned {
-                    let base = out.pixel_offset(n, oy, ox);
-                    for i in 0..geom.kh {
-                        let iy = (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
-                        if iy < 0 || iy as usize >= s.h {
+                let base = out.pixel_offset(n, oy, ox);
+                for i in 0..geom.kh {
+                    let iy = (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
+                    if iy < 0 || iy as usize >= s.h {
+                        continue;
+                    }
+                    for j in 0..geom.kw {
+                        let ix = (ox * geom.stride_w + j) as isize - geom.pad_w as isize;
+                        if ix < 0 || ix as usize >= s.w {
                             continue;
                         }
-                        for j in 0..geom.kw {
-                            let ix = (ox * geom.stride_w + j) as isize - geom.pad_w as isize;
-                            if ix < 0 || ix as usize >= s.w {
-                                continue;
-                            }
-                            let src = input.pixel_offset(n, iy as usize, ix as usize);
-                            let dst = base + (i * geom.kw + j) * wpt;
+                        let src = input.pixel_offset(n, iy as usize, ix as usize);
+                        let tap = i * geom.kw + j;
+                        if aligned {
+                            let dst = base + tap * wpt;
                             let (words, src_words) =
                                 (out.as_mut_words(), &input.as_words()[src..src + wpt]);
                             words[dst..dst + wpt].copy_from_slice(src_words);
+                        } else {
+                            let (words, src_words) =
+                                (out.as_mut_words(), &input.as_words()[src..src + wpt]);
+                            merge_bits(
+                                &mut words[base..base + row_words],
+                                tap * s.c,
+                                src_words,
+                                s.c,
+                            );
                         }
-                    }
-                    continue;
-                }
-                let mut idx = 0;
-                for i in 0..geom.kh {
-                    let iy = (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
-                    for j in 0..geom.kw {
-                        let ix = (ox * geom.stride_w + j) as isize - geom.pad_w as isize;
-                        if iy >= 0 && (iy as usize) < s.h && ix >= 0 && (ix as usize) < s.w {
-                            for c in 0..s.c {
-                                if input.get_bit(n, iy as usize, ix as usize, c) {
-                                    out.set_bit(n, oy, ox, idx + c, true);
-                                }
-                            }
-                        }
-                        idx += s.c;
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Profile of the bit-im2col materialization kernel.
@@ -191,6 +202,42 @@ pub fn bconv_lowered_with<W: BitWord>(
     fused: &FusedBn,
     geom: &ConvGeometry,
 ) -> BitTensor<W> {
+    let mut out = BitTensor::<W>::zeros(Shape4::new(0, 0, 0, 0));
+    let mut windows = BitTensor::<W>::zeros(Shape4::new(0, 0, 0, 0));
+    bconv_lowered_with_into(
+        q,
+        input,
+        filters,
+        flat,
+        fused,
+        geom,
+        Some(&mut windows),
+        &mut out,
+    );
+    out
+}
+
+/// [`bconv_lowered_with`] writing into caller-provided buffers: `windows`
+/// is the bit-im2col scratch (required unless the convolution is pointwise,
+/// where the GEMM reads the input directly) and `out` receives the packed
+/// result. Both are reset to the right shapes, reusing their storage — the
+/// engine's arena path.
+///
+/// # Panics
+///
+/// Panics on shape mismatches, or when a non-pointwise convolution is given
+/// no `windows` scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn bconv_lowered_with_into<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    filters: &PackedFilters<W>,
+    flat: &PackedFilters<W>,
+    fused: &FusedBn,
+    geom: &ConvGeometry,
+    windows: Option<&mut BitTensor<W>>,
+    out: &mut BitTensor<W>,
+) {
     let s = input.shape();
     let fs = filters.shape();
     assert_eq!(
@@ -207,16 +254,14 @@ pub fn bconv_lowered_with<W: BitWord>(
     // pixel row already (the GEMM view is free; this is why the planner
     // routes such layers here).
     let gemm_is_view = geom.is_pointwise();
-    let materialized;
     let windows: &BitTensor<W> = if gemm_is_view {
         input
     } else {
-        let mut packed = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, geom.taps() * s.c));
+        let scratch = windows.expect("non-pointwise lowering needs a windows scratch");
         q.launch(pack_windows_profile(out_pixels, s.c, geom), || {
-            packed = pack_windows(input, geom);
+            pack_windows_into(input, geom, scratch);
         });
-        materialized = packed;
-        &materialized
+        scratch
     };
 
     // Kernel 2: row x filter xnor-popcount GEMM with fused binarization,
@@ -228,7 +273,7 @@ pub fn bconv_lowered_with<W: BitWord>(
         "flat bank does not match filters/geometry"
     );
     let window_bits = geom.taps() * s.c;
-    let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, oh, ow, fs.k));
+    out.reset(Shape4::new(s.n, oh, ow, fs.k));
     q.launch(bgemm_profile(out_pixels, fs.k, s.c, geom), || {
         let wpp = out.words_per_pixel();
         let row_wpp = windows.words_per_pixel();
@@ -252,7 +297,6 @@ pub fn bconv_lowered_with<W: BitWord>(
             tile_filters(&rows[..pixels], flat, &mut emit);
         });
     });
-    out
 }
 
 #[cfg(test)]
@@ -342,6 +386,80 @@ mod tests {
             assert!(!windows.get_bit(0, 0, 0, c), "padding tap bit {c}");
         }
         assert!(windows.tail_is_clean());
+    }
+
+    #[test]
+    fn pack_windows_word_merge_matches_bit_walk_at_odd_c() {
+        // The unaligned path merges whole tap words with shifts; verify
+        // against a per-bit reference for channel counts straddling word
+        // boundaries, with stride and padding in play.
+        for c in [3usize, 5, 13, 37, 63, 65, 100] {
+            let t = pm1_tensor(Shape4::new(2, 5, 6, c), c);
+            let packed = pack_f32::<u64>(&t);
+            for geom in [ConvGeometry::square(3, 1, 1), ConvGeometry::square(3, 2, 0)] {
+                let windows = pack_windows(&packed, &geom);
+                let (oh, ow) = geom.output_hw(5, 6);
+                assert!(windows.tail_is_clean(), "c={c}");
+                for n in 0..2 {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            for i in 0..geom.kh {
+                                for j in 0..geom.kw {
+                                    let iy =
+                                        (oy * geom.stride_h + i) as isize - geom.pad_h as isize;
+                                    let ix =
+                                        (ox * geom.stride_w + j) as isize - geom.pad_w as isize;
+                                    for ch in 0..c {
+                                        let expect = iy >= 0
+                                            && (iy as usize) < 5
+                                            && ix >= 0
+                                            && (ix as usize) < 6
+                                            && packed.get_bit(n, iy as usize, ix as usize, ch);
+                                        let idx = (i * geom.kw + j) * c + ch;
+                                        assert_eq!(
+                                            windows.get_bit(n, oy, ox, idx),
+                                            expect,
+                                            "c={c} n={n} oy={oy} ox={ox} tap=({i},{j}) ch={ch}"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_word_merge_matches_bit_order_at_odd_c() {
+        for c in [3usize, 37, 63, 65] {
+            let mut f = PackedFilters::<u64>::zeros(FilterShape::new(3, 3, 3, c));
+            for k in 0..3 {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        for ch in 0..c {
+                            f.set_bit(k, i, j, ch, (k * 5 + i * 3 + j * 7 + ch) % 3 == 0);
+                        }
+                    }
+                }
+            }
+            let flat = flatten_filters(&f);
+            assert!(flat.tail_is_clean(), "c={c}");
+            for k in 0..3 {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        for ch in 0..c {
+                            assert_eq!(
+                                flat.get_bit(k, 0, 0, (i * 3 + j) * c + ch),
+                                f.get_bit(k, i, j, ch),
+                                "c={c} k={k} tap=({i},{j}) ch={ch}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,13 +19,21 @@ use crate::workload::WorkloadPolicy;
 
 /// Dispatches the bit-plane split of an 8-bit input image (§III-B).
 pub fn bitplane_split<W: BitWord>(q: &mut CommandQueue, input: &Tensor<u8>) -> BitPlanes<W> {
-    let s = input.shape();
-    let mut planes = BitPlanes::<W>::split(&Tensor::zeros(s, Layout::Nhwc));
-    let profile = profiles::bitplane_split(s.pixels(), s.c);
-    q.launch(profile, || {
-        planes = BitPlanes::<W>::split(input);
-    });
+    let mut planes = BitPlanes::<W>::empty(input.shape());
+    bitplane_split_into(q, input, &mut planes);
     planes
+}
+
+/// [`bitplane_split`] into a caller-provided plane set, reusing its storage
+/// — the engine's arena path.
+pub fn bitplane_split_into<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &Tensor<u8>,
+    planes: &mut BitPlanes<W>,
+) {
+    let s = input.shape();
+    let profile = profiles::bitplane_split(s.pixels(), s.c);
+    q.launch(profile, || planes.split_from(input));
 }
 
 /// Masked `{0,1} x {±1}` dot of one window of one plane against one filter:
@@ -135,19 +143,33 @@ pub fn bitplane_conv_fused<W: BitWord>(
     fused: &FusedBn,
     geom: &ConvGeometry,
 ) -> BitTensor<W> {
+    let mut out = BitTensor::<W>::zeros(Shape4::new(0, 0, 0, 0));
+    bitplane_conv_fused_into(q, planes, filters, fused, geom, &mut out);
+    out
+}
+
+/// [`bitplane_conv_fused`] into a caller-provided tensor (reset to the
+/// output shape), reusing its storage — the engine's arena path.
+pub fn bitplane_conv_fused_into<W: BitWord>(
+    q: &mut CommandQueue,
+    planes: &BitPlanes<W>,
+    filters: &PackedFilters<W>,
+    fused: &FusedBn,
+    geom: &ConvGeometry,
+    out: &mut BitTensor<W>,
+) {
     let os = output_shape(planes, filters, geom);
     assert_eq!(
         fused.len(),
         filters.shape().k,
         "fusion params must cover every filter"
     );
-    let mut out = BitTensor::<W>::zeros(os);
+    out.reset(os);
     let policy = WorkloadPolicy::for_channels(planes.shape().c);
     let profile = profiles::bitplane_conv_fused(os.pixels(), os.c, planes.shape().c, geom, &policy);
     q.launch(profile, || {
-        compute_bitplane_conv_fused(planes, filters, fused, geom, &mut out)
+        compute_bitplane_conv_fused(planes, filters, fused, geom, out)
     });
-    out
 }
 
 /// Dispatches the first-layer convolution producing raw integer

@@ -3,7 +3,7 @@
 
 use phonebit_gpusim::queue::CommandQueue;
 use phonebit_gpusim::vector::xor_popcount_vec;
-use phonebit_tensor::bits::{BitTensor, BitWord, PackedFilters};
+use phonebit_tensor::bits::{merge_bits, BitTensor, BitWord, PackedFilters};
 use phonebit_tensor::shape::Shape4;
 
 use crate::act::Activation;
@@ -14,30 +14,36 @@ use crate::kernels::profiles;
 /// keeping `(h, w, c)` raster order — the order dense weights are stored in.
 ///
 /// When the channel count is word-aligned the packed words are already
-/// contiguous and the flatten is a plain copy; otherwise bits are re-packed
-/// to remove per-pixel tail gaps.
+/// contiguous and the flatten is a plain copy; otherwise each pixel's
+/// channel span is merged into the flat row with shifted word ORs
+/// ([`merge_bits`]) to remove per-pixel tail gaps without a bit walk.
 pub fn flatten_bits<W: BitWord>(input: &BitTensor<W>) -> BitTensor<W> {
+    let mut out = BitTensor::<W>::zeros(Shape4::new(0, 0, 0, 0));
+    flatten_bits_into(input, &mut out);
+    out
+}
+
+/// [`flatten_bits`] into a caller-provided tensor (reset to the flat
+/// shape), reusing its storage — the engine's arena path.
+pub fn flatten_bits_into<W: BitWord>(input: &BitTensor<W>, out: &mut BitTensor<W>) {
     let s = input.shape();
     let flat = Shape4::new(s.n, 1, 1, s.h * s.w * s.c);
-    let mut out = BitTensor::<W>::zeros(flat);
+    out.reset(flat);
     if s.c.is_multiple_of(W::BITS) {
         out.as_mut_words().copy_from_slice(input.as_words());
-        return out;
+        return;
     }
+    let row_words = out.words_per_pixel();
     for n in 0..s.n {
-        let mut idx = 0usize;
+        let base = out.pixel_offset(n, 0, 0);
         for h in 0..s.h {
             for w in 0..s.w {
-                for c in 0..s.c {
-                    if input.get_bit(n, h, w, c) {
-                        out.set_bit(n, 0, 0, idx, true);
-                    }
-                    idx += 1;
-                }
+                let src = input.pixel_words(n, h, w);
+                let (words, bit_off) = (out.as_mut_words(), (h * s.w + w) * s.c);
+                merge_bits(&mut words[base..base + row_words], bit_off, src, s.c);
             }
         }
     }
-    out
 }
 
 /// Functional body of the fused binary dense layer.
@@ -75,6 +81,20 @@ pub fn dense_bin<W: BitWord>(
     weights: &PackedFilters<W>,
     fused: &FusedBn,
 ) -> BitTensor<W> {
+    let mut out = BitTensor::<W>::zeros(Shape4::new(0, 0, 0, 0));
+    dense_bin_into(q, input, weights, fused, &mut out);
+    out
+}
+
+/// [`dense_bin`] into a caller-provided tensor (reset to the output shape),
+/// reusing its storage — the engine's arena path.
+pub fn dense_bin_into<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    weights: &PackedFilters<W>,
+    fused: &FusedBn,
+    out: &mut BitTensor<W>,
+) {
     let s = input.shape();
     let ws = weights.shape();
     assert!(
@@ -89,12 +109,9 @@ pub fn dense_bin<W: BitWord>(
         s.c, ws.c
     );
     assert_eq!(fused.len(), ws.k, "fusion params must cover every output");
-    let mut out = BitTensor::<W>::zeros(Shape4::new(s.n, 1, 1, ws.k));
+    out.reset(Shape4::new(s.n, 1, 1, ws.k));
     let profile = profiles::dense_bin(ws.k, s.c);
-    q.launch(profile, || {
-        compute_dense_bin(input, weights, fused, &mut out)
-    });
-    out
+    q.launch(profile, || compute_dense_bin(input, weights, fused, out));
 }
 
 /// Functional body of the float dense layer: `y = act(Wx + b)`.
@@ -131,18 +148,36 @@ pub fn dense_float(
     bias: &[f32],
     act: Activation,
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; bias.len()];
+    dense_float_into(q, input, weights, bias, act, &mut out);
+    out
+}
+
+/// [`dense_float`] into a caller-provided output row — the engine's arena
+/// path (one call per batch image).
+///
+/// # Panics
+///
+/// Panics when `weights.len() != out * in` or `out.len() != bias.len()`.
+pub fn dense_float_into(
+    q: &mut CommandQueue,
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    act: Activation,
+    out: &mut [f32],
+) {
     let out_features = bias.len();
     assert_eq!(
         weights.len(),
         out_features * input.len(),
         "weight matrix must be out x in"
     );
-    let mut out = vec![0.0f32; out_features];
+    assert_eq!(out.len(), out_features, "output row must match bias length");
     let profile = profiles::dense_float(out_features, input.len());
     q.launch(profile, || {
-        compute_dense_float(input, weights, bias, act, &mut out)
+        compute_dense_float(input, weights, bias, act, out)
     });
-    out
 }
 
 #[cfg(test)]

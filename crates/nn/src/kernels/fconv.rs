@@ -67,6 +67,22 @@ pub fn fconv(
     act: Activation,
     geom: &ConvGeometry,
 ) -> Tensor<f32> {
+    let mut out = Tensor::<f32>::zeros(Shape4::new(0, 0, 0, 0), Layout::Nhwc);
+    fconv_into(q, input, filters, bias, act, geom, &mut out);
+    out
+}
+
+/// [`fconv`] into a caller-provided NHWC tensor (reset to the output
+/// shape), reusing its storage — the engine's arena path.
+pub fn fconv_into(
+    q: &mut CommandQueue,
+    input: &Tensor<f32>,
+    filters: &Filters,
+    bias: &[f32],
+    act: Activation,
+    geom: &ConvGeometry,
+    out: &mut Tensor<f32>,
+) {
     let s = input.shape();
     let fs = filters.shape();
     assert_eq!(
@@ -77,13 +93,12 @@ pub fn fconv(
     assert_eq!(bias.len(), fs.k, "bias length must equal filter count");
     let (oh, ow) = geom.output_hw(s.h, s.w);
     let os = Shape4::new(s.n, oh, ow, fs.k);
-    let mut out = Tensor::<f32>::zeros(os, Layout::Nhwc);
+    out.reset(os, Layout::Nhwc);
     let mut profile = profiles::fconv(os.pixels(), fs.k, s.c, geom);
     profile.f32_ops += os.len() as f64 * act.ops_per_element();
     q.launch(profile, || {
-        compute_fconv(input, filters, bias, act, geom, &mut out)
+        compute_fconv(input, filters, bias, act, geom, out)
     });
-    out
 }
 
 #[cfg(test)]

@@ -16,19 +16,28 @@ pub mod tiled;
 
 use phonebit_gpusim::queue::CommandQueue;
 use phonebit_tensor::bits::{BitTensor, BitWord};
-use phonebit_tensor::pack::pack_f32;
 use phonebit_tensor::tensor::Tensor;
 
 /// Dispatches input binarization: a float tensor is sign-binarized and
 /// channel-packed (used when a network's first layer is already binary).
 pub fn pack_input<W: BitWord>(q: &mut CommandQueue, input: &Tensor<f32>) -> BitTensor<W> {
+    let mut out = BitTensor::<W>::zeros(input.shape());
+    pack_input_into(q, input, &mut out);
+    out
+}
+
+/// [`pack_input`] into a caller-provided tensor, reusing its storage — the
+/// engine's arena path.
+pub fn pack_input_into<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &Tensor<f32>,
+    out: &mut BitTensor<W>,
+) {
     let s = input.shape();
-    let mut out = BitTensor::<W>::zeros(s);
     let profile = profiles::pack_input(s.pixels(), s.c);
     q.launch(profile, || {
-        out = pack_f32::<W>(input);
+        phonebit_tensor::pack::pack_f32_into(input, out);
     });
-    out
 }
 
 /// Dispatches the softmax epilogue over a logit vector.
@@ -42,19 +51,30 @@ pub fn softmax(q: &mut CommandQueue, logits: &mut [f32]) {
 /// Needed where a full-precision layer consumes a binary layer's output
 /// (e.g. YOLOv2-Tiny's float conv9 after binary conv8).
 pub fn unpack_bits<W: BitWord>(q: &mut CommandQueue, input: &BitTensor<W>) -> Tensor<f32> {
+    let mut out = Tensor::<f32>::zeros(input.shape(), phonebit_tensor::Layout::Nhwc);
+    unpack_bits_into(q, input, &mut out);
+    out
+}
+
+/// [`unpack_bits`] into a caller-provided tensor, reusing its storage — the
+/// engine's arena path.
+pub fn unpack_bits_into<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    out: &mut Tensor<f32>,
+) {
     let s = input.shape();
-    let mut out = Tensor::<f32>::zeros(s, phonebit_tensor::Layout::Nhwc);
     let profile = profiles::unpack_bits(s.pixels(), s.c);
     q.launch(profile, || {
-        out = phonebit_tensor::pack::unpack_f32(input);
+        phonebit_tensor::pack::unpack_f32_into(input, out);
     });
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use phonebit_gpusim::{DeviceProfile, ExecutorClass};
+    use phonebit_tensor::pack::pack_f32;
     use phonebit_tensor::shape::Shape4;
 
     fn queue() -> CommandQueue {

@@ -80,13 +80,25 @@ pub fn maxpool_bits<W: BitWord>(
     input: &BitTensor<W>,
     geom: &PoolGeometry,
 ) -> BitTensor<W> {
+    let mut out = BitTensor::<W>::zeros(Shape4::new(0, 0, 0, 0));
+    maxpool_bits_into(q, input, geom, &mut out);
+    out
+}
+
+/// [`maxpool_bits`] into a caller-provided tensor (reset to the output
+/// shape), reusing its storage — the engine's arena path.
+pub fn maxpool_bits_into<W: BitWord>(
+    q: &mut CommandQueue,
+    input: &BitTensor<W>,
+    geom: &PoolGeometry,
+    out: &mut BitTensor<W>,
+) {
     let s = input.shape();
     let (oh, ow) = geom.output_hw(s.h, s.w);
     let os = Shape4::new(s.n, oh, ow, s.c);
-    let mut out = BitTensor::<W>::zeros(os);
+    out.reset(os);
     let profile = profiles::maxpool_bits(os.pixels(), s.c, geom.size);
-    q.launch(profile, || compute_maxpool_bits(input, geom, &mut out));
-    out
+    q.launch(profile, || compute_maxpool_bits(input, geom, out));
 }
 
 /// Functional body of float max pooling.
@@ -116,13 +128,25 @@ pub fn compute_maxpool_f32(input: &Tensor<f32>, geom: &PoolGeometry, out: &mut T
 
 /// Dispatches float max pooling.
 pub fn maxpool_f32(q: &mut CommandQueue, input: &Tensor<f32>, geom: &PoolGeometry) -> Tensor<f32> {
+    let mut out = Tensor::<f32>::zeros(Shape4::new(0, 0, 0, 0), Layout::Nhwc);
+    maxpool_f32_into(q, input, geom, &mut out);
+    out
+}
+
+/// [`maxpool_f32`] into a caller-provided NHWC tensor (reset to the output
+/// shape), reusing its storage — the engine's arena path.
+pub fn maxpool_f32_into(
+    q: &mut CommandQueue,
+    input: &Tensor<f32>,
+    geom: &PoolGeometry,
+    out: &mut Tensor<f32>,
+) {
     let s = input.shape();
     let (oh, ow) = geom.output_hw(s.h, s.w);
     let os = Shape4::new(s.n, oh, ow, s.c);
-    let mut out = Tensor::<f32>::zeros(os, Layout::Nhwc);
+    out.reset(os, Layout::Nhwc);
     let profile = profiles::maxpool_f32(os.pixels(), s.c, geom.size);
-    q.launch(profile, || compute_maxpool_f32(input, geom, &mut out));
-    out
+    q.launch(profile, || compute_maxpool_f32(input, geom, out));
 }
 
 /// Functional body of float average pooling (global or windowed).

@@ -25,16 +25,37 @@ pub struct BitPlanes<W: BitWord = u64> {
 }
 
 impl<W: BitWord> BitPlanes<W> {
+    /// Creates 8 all-zero planes of the given shape (a reusable split
+    /// target for [`BitPlanes::split_from`]).
+    pub fn empty(shape: Shape4) -> Self {
+        Self {
+            planes: (0..8).map(|_| BitTensor::zeros(shape)).collect(),
+            shape,
+        }
+    }
+
     /// Splits an NHWC `u8` tensor into 8 channel-packed bit-planes.
     pub fn split(t: &Tensor<u8>) -> Self {
+        let mut out = Self::empty(t.shape());
+        out.split_from(t);
+        out
+    }
+
+    /// Re-splits `t` into this plane set, reusing the plane storage
+    /// (allocation-free when the shape's packed footprint fits the existing
+    /// buffers).
+    pub fn split_from(&mut self, t: &Tensor<u8>) {
         let s = t.shape();
-        let mut planes: Vec<BitTensor<W>> = (0..8).map(|_| BitTensor::zeros(s)).collect();
+        self.shape = s;
+        for plane in &mut self.planes {
+            plane.reset(s);
+        }
         for n in 0..s.n {
             for h in 0..s.h {
                 for w in 0..s.w {
                     for c in 0..s.c {
                         let v = t.at(n, h, w, c);
-                        for (b, plane) in planes.iter_mut().enumerate() {
+                        for (b, plane) in self.planes.iter_mut().enumerate() {
                             if (v >> b) & 1 == 1 {
                                 plane.set_bit(n, h, w, c, true);
                             }
@@ -43,7 +64,6 @@ impl<W: BitWord> BitPlanes<W> {
                 }
             }
         }
-        Self { planes, shape: s }
     }
 
     /// The shape shared by every plane.

@@ -47,6 +47,10 @@ pub trait BitWord:
     fn not(self) -> Self;
     /// Number of set bits.
     fn popcount(self) -> u32;
+    /// Shift left by `n` bits (`n < BITS`).
+    fn shl(self, n: usize) -> Self;
+    /// Shift right (logical) by `n` bits (`n < BITS`).
+    fn shr(self, n: usize) -> Self;
     /// Tests bit `i` (LSB first).
     fn bit(self, i: usize) -> bool;
     /// Returns the word with bit `i` set to `v`.
@@ -84,6 +88,16 @@ macro_rules! impl_bit_word {
             #[inline]
             fn popcount(self) -> u32 {
                 self.count_ones()
+            }
+            #[inline]
+            fn shl(self, n: usize) -> Self {
+                debug_assert!(n < $bits);
+                self << n
+            }
+            #[inline]
+            fn shr(self, n: usize) -> Self {
+                debug_assert!(n < $bits);
+                self >> n
             }
             #[inline]
             fn bit(self, i: usize) -> bool {
@@ -223,6 +237,19 @@ impl<W: BitWord> BitTensor<W> {
         self.shape
     }
 
+    /// Re-shapes the tensor to `shape` with all bits cleared, reusing the
+    /// existing word storage. When the new word count fits the buffer's
+    /// capacity this performs **no heap allocation** — the primitive behind
+    /// the engine's arena slots, which are sized once at plan time and
+    /// reset per inference.
+    pub fn reset(&mut self, shape: Shape4) {
+        self.shape = shape;
+        self.words_per_pixel = shape.c.div_ceil(W::BITS);
+        self.data.clear();
+        self.data
+            .resize(shape.pixels() * self.words_per_pixel, W::zero());
+    }
+
     /// Packed words covering one pixel's channels.
     pub fn words_per_pixel(&self) -> usize {
         self.words_per_pixel
@@ -307,6 +334,46 @@ impl<W: BitWord> BitTensor<W> {
     /// Counts set bits (+1 channels) in the whole tensor.
     pub fn count_ones(&self) -> usize {
         self.data.iter().map(|w| w.popcount() as usize).sum()
+    }
+}
+
+/// ORs the low `len_bits` of the packed span `src` into `dst` starting at
+/// bit position `bit_off` — the shifting word-merge behind bit-im2col
+/// materialization and flattening at channel counts that do not fill their
+/// words (`C % W::BITS != 0`).
+///
+/// `src` must obey the tail invariant (bits at and beyond `len_bits` are
+/// zero), so each source word lands with at most two shifted ORs and no
+/// per-bit walk. Destination bits inside the target range must currently be
+/// zero for the merge to behave as a write (callers merge into zeroed rows).
+///
+/// # Panics
+///
+/// Panics (in debug builds) when `src` cannot hold `len_bits` or `dst`
+/// cannot hold `bit_off + len_bits`.
+#[inline]
+pub fn merge_bits<W: BitWord>(dst: &mut [W], bit_off: usize, src: &[W], len_bits: usize) {
+    debug_assert!(src.len() * W::BITS >= len_bits);
+    debug_assert!(dst.len() * W::BITS >= bit_off + len_bits);
+    let src_words = len_bits.div_ceil(W::BITS);
+    let shift = bit_off % W::BITS;
+    let mut word = bit_off / W::BITS;
+    if shift == 0 {
+        for &s in &src[..src_words] {
+            dst[word] = dst[word].or(s);
+            word += 1;
+        }
+        return;
+    }
+    for &s in &src[..src_words] {
+        dst[word] = dst[word].or(s.shl(shift));
+        let carry = s.shr(W::BITS - shift);
+        if word + 1 < dst.len() {
+            dst[word + 1] = dst[word + 1].or(carry);
+        } else {
+            debug_assert_eq!(carry, W::zero(), "merge_bits overflowed the span");
+        }
+        word += 1;
     }
 }
 
@@ -733,6 +800,68 @@ mod tests {
         // bit 1 of the second word of the tap.
         assert_eq!(span[3], 0b10);
         assert_eq!(span, &f.as_words()[8..16]);
+    }
+
+    #[test]
+    fn merge_bits_matches_per_bit_reference() {
+        // Merge several unaligned spans into one row and compare against a
+        // per-bit walk, across word widths and channel counts.
+        fn check<W: BitWord>(c: usize, taps: usize) {
+            let mut src_rows: Vec<Vec<W>> = Vec::new();
+            let mut reference = vec![false; c * taps];
+            for t in 0..taps {
+                let mut row = vec![W::zero(); c.div_ceil(W::BITS)];
+                for b in 0..c {
+                    if (t * 31 + b * 7) % 3 == 0 {
+                        row[b / W::BITS] = row[b / W::BITS].with_bit(b % W::BITS, true);
+                        reference[t * c + b] = true;
+                    }
+                }
+                src_rows.push(row);
+            }
+            let mut dst = vec![W::zero(); (c * taps).div_ceil(W::BITS)];
+            for (t, row) in src_rows.iter().enumerate() {
+                merge_bits(&mut dst, t * c, row, c);
+            }
+            for (i, &expect) in reference.iter().enumerate() {
+                assert_eq!(
+                    dst[i / W::BITS].bit(i % W::BITS),
+                    expect,
+                    "W={} c={c} taps={taps} bit {i}",
+                    W::BITS
+                );
+            }
+        }
+        for c in [1usize, 3, 5, 7, 9, 13, 37, 63, 64, 65, 100] {
+            check::<u8>(c, 9);
+            check::<u64>(c, 9);
+        }
+        check::<u32>(40, 3);
+        check::<u16>(17, 6);
+    }
+
+    #[test]
+    fn merge_bits_word_aligned_is_plain_or() {
+        let src = [0xDEADu16, 0xBEEF];
+        let mut dst = [0u16; 4];
+        merge_bits(&mut dst, 32, &src, 32);
+        assert_eq!(dst, [0, 0, 0xDEAD, 0xBEEF]);
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_clears_bits() {
+        let mut t = BitTensor::<u64>::zeros(Shape4::new(1, 4, 4, 130));
+        t.set_bit(0, 3, 3, 129, true);
+        let cap_words = t.word_len();
+        t.reset(Shape4::new(1, 2, 2, 70));
+        assert_eq!(t.shape(), Shape4::new(1, 2, 2, 70));
+        assert_eq!(t.words_per_pixel(), 2);
+        assert_eq!(t.count_ones(), 0);
+        assert!(t.tail_is_clean());
+        assert!(t.word_len() <= cap_words);
+        // Growing back within the original footprint still works.
+        t.reset(Shape4::new(1, 4, 4, 130));
+        assert_eq!(t.count_ones(), 0);
     }
 
     #[test]

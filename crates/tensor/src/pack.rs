@@ -14,8 +14,16 @@ use crate::tensor::{Filters, Tensor};
 /// channel-innermost order (the engine converts layouts up front so this is
 /// a straight sweep in the hot path).
 pub fn pack_f32<W: BitWord>(t: &Tensor<f32>) -> BitTensor<W> {
+    let mut out = BitTensor::<W>::zeros(t.shape());
+    pack_f32_into(t, &mut out);
+    out
+}
+
+/// [`pack_f32`] into a caller-provided tensor (reset to the input's shape),
+/// reusing its storage — the engine's arena path.
+pub fn pack_f32_into<W: BitWord>(t: &Tensor<f32>, out: &mut BitTensor<W>) {
     let s = t.shape();
-    let mut out = BitTensor::<W>::zeros(s);
+    out.reset(s);
     if t.layout() == Layout::Nhwc {
         // Fast path: walk words directly over the contiguous channel runs.
         let src = t.as_slice();
@@ -47,16 +55,30 @@ pub fn pack_f32<W: BitWord>(t: &Tensor<f32>) -> BitTensor<W> {
             }
         }
     }
-    out
 }
 
 /// Unpacks a bit tensor back to ±1.0 floats in NHWC.
 pub fn unpack_f32<W: BitWord>(t: &BitTensor<W>) -> Tensor<f32> {
+    let mut out = Tensor::zeros(t.shape(), Layout::Nhwc);
+    unpack_f32_into(t, &mut out);
+    out
+}
+
+/// [`unpack_f32`] into a caller-provided NHWC tensor (reset to the input's
+/// shape), reusing its storage — the engine's arena path.
+pub fn unpack_f32_into<W: BitWord>(t: &BitTensor<W>, out: &mut Tensor<f32>) {
     let s = t.shape();
-    Tensor::from_fn(
-        s,
-        |n, h, w, c| if t.get_bit(n, h, w, c) { 1.0 } else { -1.0 },
-    )
+    out.reset(s, Layout::Nhwc);
+    let dst = out.as_mut_slice();
+    let wpp = t.words_per_pixel();
+    let words = t.as_words();
+    for p in 0..s.pixels() {
+        let base = p * s.c;
+        for c in 0..s.c {
+            let bit = words[p * wpp + c / W::BITS].bit(c % W::BITS);
+            dst[base + c] = if bit { 1.0 } else { -1.0 };
+        }
+    }
 }
 
 /// Binarizes float filters with threshold 0 and packs channel bits per tap.

@@ -96,6 +96,17 @@ impl<T: Element> Tensor<T> {
         self.shape
     }
 
+    /// Re-shapes the tensor to `shape`/`layout` with every element reset to
+    /// the default value, reusing the existing storage. When the new length
+    /// fits the buffer's capacity this performs **no heap allocation** —
+    /// the primitive behind the engine's arena slots.
+    pub fn reset(&mut self, shape: Shape4, layout: Layout) {
+        self.shape = shape;
+        self.layout = layout;
+        self.data.clear();
+        self.data.resize(shape.len(), T::default());
+    }
+
     /// The physical layout.
     pub fn layout(&self) -> Layout {
         self.layout

@@ -14,7 +14,7 @@
 //!
 //! Every completed measurement is also appended to an in-process record so
 //! harness binaries can export machine-readable results (see
-//! [`take_records`]).
+//! [`Criterion::take_records`]).
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};

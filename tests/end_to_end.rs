@@ -182,7 +182,10 @@ fn phone_budgets_stage_all_binarized_models() {
     // CNNdroid, which OOMs on VGG16 (Table III).
     for arch in zoo::all(Variant::Binary) {
         for phone in Phone::all() {
-            let plan = phonebit::core::planner::plan(&arch);
+            // Routes (and therefore arena scratch) are device-dependent:
+            // plan for the phone actually being checked, exactly as
+            // Session::new will.
+            let plan = phonebit::core::planner::plan_on(&arch, &phone.gpu);
             assert!(plan.fits(&phone), "{} should fit {}", arch.name, phone.name);
         }
     }

@@ -1,0 +1,261 @@
+//! Property coverage for the `ExecutionPlan` IR's liveness-based arena:
+//! randomized layer chains must never co-locate two live values in one
+//! slot, slot sizing must cover every tenant, lowering must be
+//! deterministic, and a pinned snapshot keeps the assignment stable.
+
+use phonebit::core::plan::{ExecutionPlan, PlanValue, ValueKind, ValueRole};
+use phonebit::gpusim::{DeviceProfile, Phone};
+use phonebit::nn::act::Activation;
+use phonebit::nn::graph::{LayerPrecision, NetworkArch};
+use phonebit::tensor::shape::Shape4;
+
+/// SplitMix64 — deterministic arch generator seed stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generates a random but always-valid layer chain: optional bit-plane
+/// first layer, a convolution/pool trunk mixing precisions (including
+/// layers above 256 channels that force the unfused route and pointwise
+/// layers that force the GEMM view), then a dense tail.
+fn random_arch(seed: u64) -> NetworkArch {
+    let mut rng = Rng(seed);
+    let hw = 8 + rng.pick(3) as usize * 8; // 8, 16, 24
+    let c0 = [1, 3, 8][rng.pick(3) as usize];
+    let mut arch = NetworkArch::new(format!("gen{seed}"), Shape4::new(1, hw, hw, c0));
+    let mut cur_hw = hw;
+    let first_bin8 = rng.pick(2) == 0;
+    if first_bin8 {
+        arch = arch.conv(
+            "in8",
+            8 + rng.pick(3) as usize * 8,
+            3,
+            1,
+            1,
+            LayerPrecision::BinaryInput8,
+            Activation::Linear,
+        );
+    }
+    let trunk = 2 + rng.pick(4) as usize;
+    for i in 0..trunk {
+        match rng.pick(5) {
+            0 if cur_hw >= 4 => {
+                arch = arch.maxpool(&format!("pool{i}"), 2, 2);
+                cur_hw /= 2;
+            }
+            1 => {
+                // Pointwise layer: the planner's free-GEMM view.
+                let k = [16usize, 100, 320][rng.pick(3) as usize];
+                arch = arch.conv(
+                    &format!("pw{i}"),
+                    k,
+                    1,
+                    1,
+                    0,
+                    LayerPrecision::Binary,
+                    Activation::Linear,
+                );
+            }
+            2 => {
+                // Wide layer pushing past the 256-channel integration limit
+                // downstream.
+                arch = arch.conv(
+                    &format!("wide{i}"),
+                    320,
+                    3,
+                    1,
+                    1,
+                    LayerPrecision::Binary,
+                    Activation::Linear,
+                );
+            }
+            3 => {
+                arch = arch.conv(
+                    &format!("fconv{i}"),
+                    [8usize, 24][rng.pick(2) as usize],
+                    3,
+                    1,
+                    1,
+                    LayerPrecision::Float,
+                    Activation::Relu,
+                );
+            }
+            _ => {
+                let k = [16usize, 33, 64][rng.pick(3) as usize];
+                arch = arch.conv(
+                    &format!("conv{i}"),
+                    k,
+                    3,
+                    1,
+                    1,
+                    LayerPrecision::Binary,
+                    Activation::Linear,
+                );
+            }
+        }
+    }
+    match rng.pick(3) {
+        0 => arch.dense("fc", 10, LayerPrecision::Float, Activation::Linear),
+        1 => arch
+            .dense("fcb", 32, LayerPrecision::Binary, Activation::Linear)
+            .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
+            .softmax(),
+        _ => arch
+            .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
+            .softmax(),
+    }
+}
+
+fn overlap(a: &PlanValue, b: &PlanValue) -> bool {
+    a.born <= b.dies && b.born <= a.dies
+}
+
+#[test]
+fn liveness_overlapping_values_never_share_slots() {
+    let devices = [DeviceProfile::adreno_640(), DeviceProfile::adreno_530()];
+    for seed in 0..60u64 {
+        let arch = random_arch(seed);
+        for dev in &devices {
+            let plan = ExecutionPlan::for_arch(&arch, dev);
+            for (i, a) in plan.values.iter().enumerate() {
+                assert!(
+                    plan.slots[a.slot] >= a.bytes,
+                    "seed {seed}: slot {} ({} B) smaller than value {i} ({} B)",
+                    a.slot,
+                    plan.slots[a.slot],
+                    a.bytes
+                );
+                for (j, b) in plan.values.iter().enumerate().skip(i + 1) {
+                    if overlap(a, b) {
+                        assert_ne!(
+                            a.slot, b.slot,
+                            "seed {seed}: values {i} and {j} are simultaneously live in slot {}",
+                            a.slot
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_step_binds_distinct_slots() {
+    for seed in 0..60u64 {
+        let arch = random_arch(seed);
+        let plan = ExecutionPlan::for_arch(&arch, &DeviceProfile::adreno_640());
+        for step in &plan.steps {
+            let mut slots: Vec<usize> = [
+                Some(step.input),
+                Some(step.output),
+                step.convert,
+                step.scratch,
+            ]
+            .into_iter()
+            .flatten()
+            .map(|v| plan.values[v].slot)
+            .collect();
+            let n = slots.len();
+            slots.sort_unstable();
+            slots.dedup();
+            assert_eq!(
+                slots.len(),
+                n,
+                "seed {seed}: step {} reuses a slot across its bindings",
+                step.name
+            );
+        }
+    }
+}
+
+#[test]
+fn arena_beats_sum_of_values_on_deep_chains() {
+    for seed in 0..60u64 {
+        let arch = random_arch(seed);
+        if arch.layers.len() < 4 {
+            continue;
+        }
+        let plan = ExecutionPlan::for_arch(&arch, &DeviceProfile::adreno_640());
+        let total: usize = plan.values.iter().map(|v| v.bytes).sum();
+        assert!(
+            plan.arena_bytes() < total,
+            "seed {seed}: arena {} B did not reuse across {} values totalling {} B",
+            plan.arena_bytes(),
+            plan.values.len(),
+            total
+        );
+    }
+}
+
+#[test]
+fn lowering_is_deterministic_across_repeats() {
+    for seed in [0u64, 7, 21, 42] {
+        let arch = random_arch(seed);
+        let a = ExecutionPlan::for_arch(&arch, &DeviceProfile::adreno_640());
+        let b = ExecutionPlan::for_arch(&arch, &DeviceProfile::adreno_640());
+        assert_eq!(a, b, "seed {seed}: lowering must be pure");
+    }
+}
+
+#[test]
+fn plan_snapshot_is_pinned() {
+    // A fixed small network's plan is part of the crate's contract: the
+    // slot count, slot sizes and value bindings below were reviewed by
+    // hand. A change here is a deliberate planner change, not noise.
+    let arch = NetworkArch::new("snapshot", Shape4::new(1, 8, 8, 3))
+        .conv(
+            "conv1",
+            16,
+            3,
+            1,
+            1,
+            LayerPrecision::BinaryInput8,
+            Activation::Linear,
+        )
+        .maxpool("pool1", 2, 2)
+        .conv(
+            "conv2",
+            24,
+            3,
+            1,
+            1,
+            LayerPrecision::Binary,
+            Activation::Linear,
+        )
+        .dense("fc", 10, LayerPrecision::Float, Activation::Linear)
+        .softmax();
+    let plan = ExecutionPlan::for_arch(&arch, &Phone::xiaomi_9().gpu);
+
+    // input, planes scratch, conv1 out, pool1 out, conv2 out, fc convert,
+    // fc out, softmax out.
+    assert_eq!(plan.values.len(), 8);
+    assert_eq!(plan.steps.len(), 5);
+    // 8 bit-planes of the 8x8x3 input: 8 * 64 px * 8 B.
+    let planes = &plan.values[plan.steps[0].scratch.unwrap()];
+    assert_eq!(planes.kind, ValueKind::Planes8);
+    assert_eq!(planes.bytes, 8 * 64 * 8);
+    // conv1 output: 64 px, 16 channels -> one u64 word per pixel.
+    let conv1 = &plan.values[plan.steps[0].output];
+    assert_eq!((conv1.born, conv1.dies), (0, 1));
+    assert_eq!(conv1.bytes, 64 * 8);
+    // Three slots suffice for the whole chain (input+planes+out live at
+    // step 0; everything later ping-pongs through the freed slots).
+    assert_eq!(plan.slots.len(), 3, "slots: {:?}", plan.slots);
+    assert_eq!(plan.arena_bytes(), plan.slots.iter().sum::<usize>());
+    // The network input is the first value and lives only through step 0.
+    let input = &plan.values[plan.input_value];
+    assert_eq!(input.role, ValueRole::NetworkInput);
+    assert_eq!((input.born, input.dies), (0, 0));
+}

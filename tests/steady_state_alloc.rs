@@ -1,0 +1,125 @@
+//! Pins the arena's core claim: once a `Session` is staged, steady-state
+//! inference does not allocate activation buffers — every intermediate
+//! lands in a preassigned arena slot. A counting global allocator measures
+//! the heap bytes each run requests; after warm-up they must be a small
+//! constant (dispatch bookkeeping: kernel-profile names, the per-layer
+//! report, the host thread pool) and must not scale with the activation
+//! footprint, which the pre-arena engine re-allocated on every run.
+//!
+//! This file holds exactly one test so no sibling test's allocations leak
+//! into the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use phonebit::core::{convert, Session};
+use phonebit::gpusim::Phone;
+use phonebit::models::{fill_weights, synthetic_image};
+use phonebit::nn::act::Activation;
+use phonebit::nn::graph::{LayerPrecision, NetworkArch};
+use phonebit::tensor::shape::Shape4;
+
+struct Counting;
+
+static ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(l.size(), Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size.saturating_sub(l.size()), Ordering::Relaxed);
+        unsafe { System.realloc(p, l, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+fn arch(hw: usize) -> NetworkArch {
+    NetworkArch::new(format!("steady{hw}"), Shape4::new(1, hw, hw, 3))
+        .conv(
+            "conv1",
+            32,
+            3,
+            1,
+            1,
+            LayerPrecision::BinaryInput8,
+            Activation::Linear,
+        )
+        .maxpool("pool1", 2, 2)
+        .conv(
+            "conv2",
+            64,
+            3,
+            1,
+            1,
+            LayerPrecision::Binary,
+            Activation::Linear,
+        )
+        .conv(
+            "conv3",
+            10,
+            1,
+            1,
+            0,
+            LayerPrecision::Float,
+            Activation::Linear,
+        )
+        .softmax()
+}
+
+/// Heap bytes requested by one steady-state run (median of 3, after 2
+/// warm-up runs that grow every lazily-sized buffer to its high-water
+/// mark).
+fn steady_run_bytes(hw: usize) -> (usize, usize) {
+    let def = fill_weights(&arch(hw), 9);
+    let model = convert(&def);
+    let phone = Phone::xiaomi_9();
+    let mut session = Session::new(model, &phone)
+        .expect("fits")
+        .with_output_capture(false);
+    let arena = session.plan().arena_bytes();
+    let img = synthetic_image(Shape4::new(1, hw, hw, 3), 4);
+    for _ in 0..2 {
+        session.run_u8(&img).expect("warm-up");
+    }
+    let mut samples: Vec<usize> = (0..3)
+        .map(|_| {
+            let before = ALLOCATED.load(Ordering::Relaxed);
+            session.run_u8(&img).expect("steady run");
+            ALLOCATED.load(Ordering::Relaxed) - before
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[1], arena)
+}
+
+#[test]
+fn steady_state_runs_do_not_allocate_activations() {
+    let (small_bytes, small_arena) = steady_run_bytes(32);
+    let (large_bytes, large_arena) = steady_run_bytes(96);
+
+    // The large model moves ~9x the activation bytes; the pre-arena engine
+    // allocated at least the arena footprint afresh on every run. Steady
+    // state must stay far below that.
+    assert!(
+        large_arena > small_arena * 6,
+        "test premise: footprints must differ ({small_arena} vs {large_arena})"
+    );
+    assert!(
+        large_bytes < large_arena / 10,
+        "steady-state run allocated {large_bytes} B against a {large_arena} B arena — \
+         activations are leaking off the arena"
+    );
+    // Dispatch bookkeeping may scale with row counts (thread-pool work
+    // lists), but a 9x footprint may not cost anywhere near 9x heap.
+    assert!(
+        large_bytes < small_bytes.max(1) * 6 + 4096,
+        "per-run heap scaled with activation size: {small_bytes} B -> {large_bytes} B"
+    );
+}
