@@ -1,0 +1,257 @@
+//! Throughput report for the batched serving engine.
+//!
+//! For each zoo model × phone × batch size, models one **cold** batched
+//! window (`estimate_arch_batched` — the exact dispatch sequence a
+//! `Session::new_batched` engine issues, per-run framework overhead
+//! included) and the **steady-state** window of a primed stream (double
+//! buffering stages the next window during the current one's GPU time, so
+//! the framework overhead disappears). Prints the imgs/sec curve, verifies
+//! that batching actually buys throughput (batch ≥ 4 must beat batch 1 on
+//! at least two zoo models per phone), and writes `BENCH_throughput.json`
+//! so future PRs have a serving-performance trajectory to diff against.
+//!
+//! Run: `cargo run --release -p phonebit-bench --bin throughput_report`
+//! (`-- --out <path>` to redirect the JSON; `-- --check-baseline <path>`
+//! to diff this run against a committed `BENCH_throughput.json` — same
+//! model/phone/batch coverage required, and steady imgs/sec may regress at
+//! most `--max-regression` × (default 1.25) — the CI guard that keeps the
+//! batched path from rotting. Everything is closed-form and deterministic,
+//! so no sampling flags are needed.)
+
+use phonebit_core::{estimate_arch_batched, plan_on_batched};
+use phonebit_gpusim::calib::{CostParams, ExecutorClass};
+use phonebit_gpusim::Phone;
+use phonebit_models::zoo::{self, Variant};
+
+const BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+
+struct Measurement {
+    model: String,
+    phone: &'static str,
+    batch: usize,
+    window_ms: f64,
+    steady_ms: f64,
+    imgs_per_s: f64,
+    arena_mb: f64,
+    peak_mb: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Minimal parser for the `BENCH_throughput.json` this binary writes:
+/// extracts `(model, phone, batch, imgs_per_s)` rows by scanning the known
+/// keys — no JSON crate in the offline workspace.
+fn parse_baseline(text: &str) -> Vec<(String, String, usize, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let field = |key: &str| -> Option<String> {
+            let tag = format!("\"{key}\": ");
+            let start = line.find(&tag)? + tag.len();
+            let rest = &line[start..];
+            let rest = rest.strip_prefix('"').unwrap_or(rest);
+            let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].to_string())
+        };
+        if let (Some(model), Some(phone), Some(batch), Some(ips)) = (
+            field("model"),
+            field("phone"),
+            field("batch"),
+            field("imgs_per_s"),
+        ) {
+            if let (Ok(batch), Ok(ips)) = (batch.parse::<usize>(), ips.parse::<f64>()) {
+                out.push((model, phone, batch, ips));
+            }
+        }
+    }
+    out
+}
+
+/// Diffs this run against the committed baseline: the row sets must match
+/// exactly, and no steady imgs/sec may regress beyond `max_regression`×.
+fn diff_against_baseline(
+    baseline: &[(String, String, usize, f64)],
+    results: &[Measurement],
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for m in results {
+        let Some((_, _, _, base_ips)) = baseline
+            .iter()
+            .find(|(mo, ph, ba, _)| mo == &m.model && ph == m.phone && *ba == m.batch)
+        else {
+            failures.push(format!(
+                "row {}/{}/batch{} missing from baseline — regenerate and commit \
+                 BENCH_throughput.json",
+                m.model, m.phone, m.batch
+            ));
+            continue;
+        };
+        if m.imgs_per_s * max_regression < *base_ips {
+            failures.push(format!(
+                "{}/{}/batch{}: {:.1} imgs/s regressed beyond {:.2}x of baseline {:.1} imgs/s",
+                m.model, m.phone, m.batch, m.imgs_per_s, max_regression, base_ips
+            ));
+        }
+    }
+    for (model, phone, batch, _) in baseline {
+        if !results
+            .iter()
+            .any(|m| &m.model == model && m.phone == phone && m.batch == *batch)
+        {
+            failures.push(format!(
+                "baseline row {model}/{phone}/batch{batch} no longer measured — coverage shrank"
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_throughput.json")
+        .to_string();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--check-baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let max_regression: f64 = args
+        .iter()
+        .position(|a| a == "--max-regression")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("error: --max-regression expects a number, got `{s}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1.25);
+
+    let overhead_s = CostParams::for_executor(ExecutorClass::PhoneBitOpenCl).per_run_overhead_s;
+    let phones: [(&str, Phone); 2] = [("x5", Phone::xiaomi_5()), ("x9", Phone::xiaomi_9())];
+    let models = zoo::all(Variant::Binary);
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    for (phone_tag, phone) in &phones {
+        println!(
+            "\n{} ({}) — steady-state imgs/sec by batch (cold window ms in parens)",
+            phone.name, phone.soc
+        );
+        println!(
+            "{:<14} batch:  1        2        4        8       16",
+            "model"
+        );
+        let mut winners = 0usize;
+        for arch in &models {
+            let mut row = format!("{:<14}", arch.name);
+            let mut by_batch = Vec::new();
+            for &batch in &BATCHES {
+                let r = estimate_arch_batched(phone, arch, batch);
+                // Double buffering hides the per-run host overhead only in
+                // batched streams: a batch-1 session stages a single bank
+                // and never primes, so its steady window is the cold one.
+                let hidden_s = if batch > 1 { overhead_s } else { 0.0 };
+                let steady_s = r.total_s - hidden_s;
+                let imgs_per_s = batch as f64 / steady_s;
+                let mplan = plan_on_batched(arch, &phone.gpu, batch);
+                row.push_str(&format!(" {imgs_per_s:>7.1}"));
+                by_batch.push((batch, imgs_per_s));
+                results.push(Measurement {
+                    model: arch.name.clone(),
+                    phone: phone_tag,
+                    batch,
+                    window_ms: r.total_s * 1e3,
+                    steady_ms: steady_s * 1e3,
+                    imgs_per_s,
+                    arena_mb: mplan.peak_activation_bytes as f64 / 1e6,
+                    peak_mb: mplan.peak_bytes as f64 / 1e6,
+                });
+            }
+            let cold_ms = results[results.len() - BATCHES.len()].window_ms;
+            println!("{row}   (batch-1 cold {cold_ms:.2} ms)");
+            let ips = |b: usize| by_batch.iter().find(|(x, _)| *x == b).unwrap().1;
+            if ips(4) > ips(1) {
+                winners += 1;
+            } else {
+                println!(
+                    "  note: {}/{phone_tag}: batch-4 {:.1} imgs/s does not beat batch-1 {:.1}",
+                    arch.name,
+                    ips(4),
+                    ips(1)
+                );
+            }
+        }
+        // The acceptance gate: batching must buy throughput on at least
+        // two zoo models per phone.
+        if winners < 2 {
+            gate_failures.push(format!(
+                "{phone_tag}: only {winners} zoo model(s) gain throughput at batch 4 (need >= 2)"
+            ));
+        }
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"throughput\",\n  \"unit\": \"imgs_per_s\",\n  \"results\": [\n",
+    );
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"phone\": \"{}\", \"batch\": {}, \"window_ms\": {:.3}, \
+             \"steady_ms\": {:.3}, \"imgs_per_s\": {:.1}, \"arena_mb\": {:.2}, \
+             \"peak_mb\": {:.2}}}{}\n",
+            json_escape(&m.model),
+            m.phone,
+            m.batch,
+            m.window_ms,
+            m.steady_ms,
+            m.imgs_per_s,
+            m.arena_mb,
+            m.peak_mb,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("throughput gate: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("throughput gate: batch-4 beats batch-1 on >= 2 zoo models per phone");
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            eprintln!("error: baseline {path} holds no parsable rows");
+            std::process::exit(1);
+        }
+        let failures = diff_against_baseline(&baseline, &results, max_regression);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("baseline diff: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "baseline diff vs {path}: {} rows matched, no regression beyond {max_regression:.2}x",
+            baseline.len()
+        );
+    }
+}

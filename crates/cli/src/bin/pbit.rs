@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use phonebit_cli::{cmd_bench, cmd_gen, cmd_info, cmd_run, CliError, USAGE};
+use phonebit_cli::{cmd_bench, cmd_gen, cmd_info, cmd_run, cmd_serve, CliError, USAGE};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -61,6 +61,23 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
                 return Err(CliError::Usage("run needs <model.pbit>".into()));
             };
             cmd_run(&PathBuf::from(path), &phone, seed)
+        }
+        "serve" => {
+            let [path] = pos[..] else {
+                return Err(CliError::Usage("serve needs <model.pbit>".into()));
+            };
+            let count_flag = |flag: &str, default: usize| -> Result<usize, CliError> {
+                flag_value(rest, flag)
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| CliError::Usage(format!("bad {flag} `{s}`")))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let batch = count_flag("--batch", 4)?;
+            let requests = count_flag("--requests", 16)?;
+            cmd_serve(&PathBuf::from(path), &phone, batch, requests, seed)
         }
         "bench" => {
             let [model] = pos[..] else {

@@ -161,6 +161,90 @@ pub fn cmd_run(path: &Path, phone: &str, seed: u64) -> Result<String, CliError> 
     ))
 }
 
+/// `pbit serve <model.pbit> [--phone x9] [--batch N] [--requests R]`: a
+/// batched serving loop. Stages the model once with
+/// [`Session::new_batched`] (weights and GEMM banks shared across the
+/// whole stream, double-banked arena), feeds `R` synthetic requests in
+/// windows of `N`, and reports cold/steady window latency and steady-state
+/// images per second.
+pub fn cmd_serve(
+    path: &Path,
+    phone: &str,
+    batch: usize,
+    requests: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    if batch == 0 || requests == 0 {
+        return Err(CliError::Usage(
+            "serve needs --batch >= 1 and --requests >= 1".into(),
+        ));
+    }
+    let model = load_file(path)?;
+    let phone = phone_by_name(phone)?;
+    let input_shape = model.input;
+    let takes_u8 = model.takes_u8_input();
+    let name = model.name.clone();
+    let mut session =
+        Session::new_batched(model, &phone, batch).map_err(|e| CliError::Engine(e.to_string()))?;
+
+    let mut served = 0usize;
+    let mut windows = 0usize;
+    let mut cold_s = 0.0f64;
+    let mut cold_imgs = 0usize;
+    let mut steady_s = 0.0f64;
+    let mut steady_imgs = 0usize;
+    while served < requests {
+        let count = batch.min(requests - served);
+        let report = if takes_u8 {
+            let imgs: Vec<_> = (0..count)
+                .map(|i| synthetic_image(input_shape, seed + (served + i) as u64))
+                .collect();
+            session.run_batch_u8(&imgs)
+        } else {
+            let imgs: Vec<_> = (0..count)
+                .map(|i| {
+                    phonebit_models::to_float_input(&synthetic_image(
+                        input_shape,
+                        seed + (served + i) as u64,
+                    ))
+                })
+                .collect();
+            session.run_batch_f32(&imgs)
+        }
+        .map_err(|e| CliError::Engine(e.to_string()))?;
+        if windows == 0 {
+            cold_s = report.total_s;
+            cold_imgs = count;
+        } else {
+            steady_s += report.total_s;
+            steady_imgs += count;
+        }
+        served += count;
+        windows += 1;
+    }
+    // Steady throughput counts the images actually served after the cold
+    // window; a single-window stream only has the cold number.
+    let (imgs_per_s, steady_window_ms) = if steady_imgs > 0 {
+        (
+            steady_imgs as f64 / steady_s,
+            steady_s * 1e3 / (windows - 1) as f64,
+        )
+    } else {
+        (cold_imgs as f64 / cold_s, cold_s * 1e3)
+    };
+    let banks = session.plan().banks;
+    Ok(format!(
+        "served {served} requests in {windows} windows of {batch} on {} ({})\n\
+         model `{name}`: cold window {:.3} ms, steady window {steady_window_ms:.3} ms, \
+         {imgs_per_s:.1} imgs/s steady, resident {:.2} MiB (weights + {banks} arena bank{})",
+        phone.name,
+        phone.gpu.name,
+        cold_s * 1e3,
+        session.resident_bytes() as f64 / (1024.0 * 1024.0),
+        if banks == 1 { "" } else { "s" }
+    ))
+}
+
 /// `pbit bench <model> <phone>`: full-scale modeled latency/energy of a zoo
 /// architecture (no weights materialized), Table III/IV style.
 pub fn cmd_bench(model: &str, phone: &str) -> Result<String, CliError> {
@@ -189,6 +273,8 @@ USAGE:
     pbit info  <model.pbit>                    describe a deployed model
     pbit run   <model.pbit> [--phone x9] [--seed N]
                                                run one inference, per-layer report
+    pbit serve <model.pbit> [--phone x9] [--batch 4] [--requests 16] [--seed N]
+                                               batched serving loop, steady imgs/s
     pbit bench <model> [--phone x9]            full-scale modeled latency/energy
     pbit help                                  this text
 
@@ -216,6 +302,38 @@ mod tests {
         let run = cmd_run(&path, "x9", 5).unwrap();
         assert!(run.contains("Xiaomi 9"));
         assert!(run.contains("conv1"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_round_trip_reports_steady_throughput() {
+        let path = tmp("serve_micro.pbit");
+        cmd_gen("yolo-micro", &path, 7).unwrap();
+        let out = cmd_serve(&path, "x9", 4, 10, 5).unwrap();
+        assert!(
+            out.contains("served 10 requests in 3 windows of 4"),
+            "{out}"
+        );
+        assert!(out.contains("imgs/s steady"), "{out}");
+        assert!(out.contains("2 arena banks"), "{out}");
+        // A batch-1 stream stages a single bank and says so.
+        let single = cmd_serve(&path, "x9", 1, 2, 5).unwrap();
+        assert!(single.contains("1 arena bank"), "{single}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_windows() {
+        let path = tmp("serve_bad.pbit");
+        cmd_gen("yolo-micro", &path, 7).unwrap();
+        assert!(matches!(
+            cmd_serve(&path, "x9", 0, 10, 5),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve(&path, "x9", 4, 0, 5),
+            Err(CliError::Usage(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -10,6 +10,23 @@
 //! per-run heap allocation on the activation path, and device residency
 //! that matches [`MemoryPlan`](crate::planner::MemoryPlan)'s arena-true
 //! numbers.
+//!
+//! # Batched throughput mode
+//!
+//! [`Session::new_batched`] stages the same weights and GEMM banks once
+//! but lowers a **batched** plan: every arena slot holds the whole request
+//! window (`n = batch`), each layer runs as **one** dispatch covering every
+//! image (launch overhead amortized across the batch, pack/unpack
+//! conversions included), and the arena is double-banked. Consecutive
+//! [`Session::run_batch_u8`] / [`run_batch_f32`] calls alternate banks:
+//! while the GPU computes window *t* in the front bank, the host stages
+//! window *t + 1* into the back bank, so the per-run framework overhead is
+//! charged only on the first (unprimed) window of a stream. Batched
+//! outputs are bit-identical to running each image alone — pinned by
+//! `tests/batched_engine.rs` across the model zoo and all four kernel
+//! routes.
+//!
+//! [`run_batch_f32`]: Session::run_batch_f32
 
 use phonebit_gpusim::buffer::{Buffer, Context, SimError};
 use phonebit_gpusim::queue::{CommandQueue, ExecMode};
@@ -108,6 +125,47 @@ impl ActivationData {
             _ => None,
         }
     }
+
+    /// Extracts image `i` of a batched activation as a batch-1 activation
+    /// (a copy) — how callers split a [`Session::run_batch_u8`] output into
+    /// per-request results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is outside the batch or the tensor layout is not
+    /// NHWC (batched activations are always NHWC).
+    pub fn image(&self, i: usize) -> ActivationData {
+        let s = self.shape();
+        assert!(i < s.n, "image {i} out of batch {}", s.n);
+        let single = Shape4::new(1, s.h, s.w, s.c);
+        match self {
+            ActivationData::Bytes(t) => {
+                assert_eq!(t.layout(), Layout::Nhwc, "batched activations are NHWC");
+                let len = s.h * s.w * s.c;
+                ActivationData::Bytes(Tensor::from_vec(
+                    single,
+                    Layout::Nhwc,
+                    t.as_slice()[i * len..(i + 1) * len].to_vec(),
+                ))
+            }
+            ActivationData::Floats(t) => {
+                assert_eq!(t.layout(), Layout::Nhwc, "batched activations are NHWC");
+                let len = s.h * s.w * s.c;
+                ActivationData::Floats(Tensor::from_vec(
+                    single,
+                    Layout::Nhwc,
+                    t.as_slice()[i * len..(i + 1) * len].to_vec(),
+                ))
+            }
+            ActivationData::Bits(t) => {
+                let per_image = s.h * s.w * t.words_per_pixel();
+                let mut out = BitTensor::zeros(single);
+                out.as_mut_words()
+                    .copy_from_slice(&t.as_words()[i * per_image..(i + 1) * per_image]);
+                ActivationData::Bits(out)
+            }
+        }
+    }
 }
 
 /// Reusable host buffers backing one arena slot. A slot may host values of
@@ -197,11 +255,42 @@ fn grow_bits(slot: &mut Option<BitTensor<u64>>, shape: Shape4) {
     }
 }
 
-/// An inference session: a model staged on a phone's GPU.
+/// An inference session: a model staged on a phone's GPU, single-image
+/// ([`Session::new`]) or batched ([`Session::new_batched`]).
 ///
 /// # Examples
 ///
-/// See the crate-level documentation and `examples/quickstart.rs`.
+/// Build a tiny binary network with the Fig-3-style builder, stage it on
+/// the Snapdragon 855 phone, and run one 8-bit image (the same flow as
+/// `examples/quickstart.rs`):
+///
+/// ```
+/// use phonebit_core::{NetworkBuilder, Session};
+/// use phonebit_gpusim::Phone;
+/// use phonebit_nn::{act::Activation, fuse::BnParams};
+/// use phonebit_tensor::shape::{FilterShape, Shape4};
+/// use phonebit_tensor::{Filters, Tensor};
+///
+/// let filters = Filters::from_fn(FilterShape::new(8, 3, 3, 3), |k, i, j, c| {
+///     if (k + i + j + c) % 2 == 0 { 1.0 } else { -1.0 }
+/// });
+/// let model = NetworkBuilder::new("tiny", Shape4::new(1, 8, 8, 3))
+///     .bconv_input8("conv1", filters, vec![0.0; 8], BnParams::identity(8), 1, 1)
+///     .maxpool("pool1", 2, 2)
+///     .dense_float("fc", vec![0.01; 4 * 4 * 8 * 4], vec![0.0; 4], Activation::Linear)
+///     .softmax()
+///     .build();
+///
+/// let mut session = Session::new(model, &Phone::xiaomi_9())?;
+/// let image = Tensor::from_fn(Shape4::new(1, 8, 8, 3), |_, h, w, c| {
+///     ((h * 7 + w * 3 + c * 11) % 256) as u8
+/// });
+/// let report = session.run_u8(&image)?;
+/// let probs = report.output.unwrap().into_floats().unwrap();
+/// assert_eq!(probs.shape(), Shape4::new(1, 1, 1, 4));
+/// assert!((probs.as_slice().iter().sum::<f32>() - 1.0).abs() < 1e-5);
+/// # Ok::<(), phonebit_core::EngineError>(())
+/// ```
 #[derive(Debug)]
 pub struct Session {
     model: PbitModel,
@@ -213,7 +302,16 @@ pub struct Session {
     /// One entry per step; `Some` holds the pre-flattened GEMM bank for
     /// lowered-routed binary convolutions.
     conv_banks: Vec<Option<PackedFilters<u64>>>,
-    arena: Vec<SlotStorage>,
+    /// `plan.banks` copies of the slot storage: single-image sessions hold
+    /// one, batched sessions double-buffer so the next window stages while
+    /// the current one computes.
+    banks: Vec<Vec<SlotStorage>>,
+    /// Bank receiving the next run's staging.
+    bank: usize,
+    /// Whether a batched stream is warm: once the first window has run,
+    /// later windows' host prep overlaps GPU compute (double buffering)
+    /// and the per-run framework overhead is no longer charged.
+    primed: bool,
     capture_output: bool,
 }
 
@@ -233,6 +331,25 @@ impl Session {
     /// layer chain is domain-inconsistent (caught at staging, not
     /// mid-inference).
     pub fn new(model: PbitModel, phone: &Phone) -> Result<Self, EngineError> {
+        Self::new_batched(model, phone, 1)
+    }
+
+    /// Stages a model for **batched** serving: weights and GEMM banks are
+    /// staged once and shared across every request in a window, the arena
+    /// is lowered at `n = batch` and double-banked, and each layer runs as
+    /// one batch-covering dispatch. Use [`Session::run_batch_u8`] /
+    /// [`Session::run_batch_f32`] to feed request windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when weights plus both arena
+    /// banks exceed the app budget, or [`EngineError::DomainMismatch`] for
+    /// a domain-inconsistent model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0`.
+    pub fn new_batched(model: PbitModel, phone: &Phone, batch: usize) -> Result<Self, EngineError> {
         let ctx = Context::new(phone.gpu.clone(), phone.app_budget_bytes());
         let queue = CommandQueue::new(phone.gpu.clone(), ExecutorClass::PhoneBitOpenCl);
         let mut weight_residency = Vec::new();
@@ -242,14 +359,16 @@ impl Session {
                 weight_residency.push(ctx.alloc::<u8>(bytes)?);
             }
         }
-        let plan = ExecutionPlan::for_model(&model, &phone.gpu).map_err(|e| {
+        let plan = ExecutionPlan::for_model_batched(&model, &phone.gpu, batch).map_err(|e| {
             EngineError::DomainMismatch {
                 layer: e.layer,
                 expected: e.expected,
             }
         })?;
         // Pre-flatten filter banks for GEMM-routed layers so per-inference
-        // runs pay neither the cost model nor the flatten again.
+        // runs pay neither the cost model nor the flatten again. Routes
+        // come from the batched plan, so a layer that only wins the GEMM
+        // lowering at batch scale still gets its bank.
         let conv_banks = model
             .layers
             .iter()
@@ -263,16 +382,21 @@ impl Session {
                 _ => None,
             })
             .collect();
-        // Stage the arena: host buffers sized once, device residency held
-        // for the session's lifetime (arena-true `resident_bytes`).
-        let mut arena: Vec<SlotStorage> =
-            plan.slots.iter().map(|_| SlotStorage::default()).collect();
-        for v in &plan.values {
-            arena[v.slot].prepare(v.kind, v.shape);
+        // Stage every arena bank: host buffers sized once, device residency
+        // held for the session's lifetime (arena-true `resident_bytes`).
+        let mut banks: Vec<Vec<SlotStorage>> = (0..plan.banks)
+            .map(|_| plan.slots.iter().map(|_| SlotStorage::default()).collect())
+            .collect();
+        for bank in banks.iter_mut() {
+            for v in &plan.values {
+                bank[v.slot].prepare(v.kind, v.shape);
+            }
         }
-        let mut arena_residency = Vec::with_capacity(plan.slots.len());
-        for &bytes in &plan.slots {
-            arena_residency.push(ctx.alloc::<u8>(bytes)?);
+        let mut arena_residency = Vec::with_capacity(plan.banks * plan.slots.len());
+        for _ in 0..plan.banks {
+            for &bytes in &plan.slots {
+                arena_residency.push(ctx.alloc::<u8>(bytes)?);
+            }
         }
         Ok(Self {
             model,
@@ -282,7 +406,9 @@ impl Session {
             _weight_residency: weight_residency,
             _arena_residency: arena_residency,
             conv_banks,
-            arena,
+            banks,
+            bank: 0,
+            primed: false,
             capture_output: true,
         })
     }
@@ -328,7 +454,7 @@ impl Session {
     /// # Errors
     ///
     /// Returns [`EngineError::InputMismatch`] when the model takes float
-    /// input, or shape/memory errors.
+    /// input, the session is batched, or the shape disagrees.
     pub fn run_u8(&mut self, input: &Tensor<u8>) -> Result<RunReport, EngineError> {
         if !self.model.takes_u8_input() {
             return Err(EngineError::InputMismatch {
@@ -336,6 +462,7 @@ impl Session {
                 got: "u8 image".into(),
             });
         }
+        self.check_single()?;
         self.check_shape(input.shape())?;
         self.run_data(InputRef::Bytes(input))
     }
@@ -346,7 +473,7 @@ impl Session {
     /// # Errors
     ///
     /// Returns [`EngineError::InputMismatch`] when the model takes `u8`
-    /// input, or shape/memory errors.
+    /// input, the session is batched, or the shape disagrees.
     pub fn run_f32(&mut self, input: &Tensor<f32>) -> Result<RunReport, EngineError> {
         if self.model.takes_u8_input() {
             return Err(EngineError::InputMismatch {
@@ -354,8 +481,106 @@ impl Session {
                 got: "f32 tensor".into(),
             });
         }
+        self.check_single()?;
         self.check_shape(input.shape())?;
         self.run_data(InputRef::Floats(input))
+    }
+
+    /// Runs one batched window of up to `batch` 8-bit images through a
+    /// session staged with [`Session::new_batched`]. Every layer executes
+    /// as one dispatch covering the whole window; the report's `output`
+    /// holds the batched activations (split per request with
+    /// [`ActivationData::image`]). Windows shorter than the staged batch
+    /// still dispatch the full batched grid (the trailing lanes are
+    /// zeroed), which is exactly what a real batched kernel pays.
+    ///
+    /// After the first window the stream is *primed*: double buffering
+    /// overlaps the next window's host staging with the current window's
+    /// GPU compute, so the per-run framework overhead disappears from
+    /// steady-state reports (reset with [`Session::reset_stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when the model takes float
+    /// input, the window is empty or larger than the staged batch, or any
+    /// image's shape disagrees.
+    pub fn run_batch_u8(&mut self, images: &[Tensor<u8>]) -> Result<RunReport, EngineError> {
+        if !self.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "f32 input".into(),
+                got: "u8 images".into(),
+            });
+        }
+        self.check_window(images.len())?;
+        for img in images {
+            self.check_shape(img.shape())?;
+        }
+        let in_slot = self.plan.values[self.plan.input_value].slot;
+        let shape = self.plan.input;
+        let store = self.banks[self.bank][in_slot]
+            .bytes
+            .as_mut()
+            .expect("arena slot: bytes staged");
+        store.reset(shape, Layout::Nhwc);
+        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_u8));
+        self.run_staged()
+    }
+
+    /// [`Session::run_batch_u8`] for float-input models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] under the same conditions as
+    /// [`Session::run_batch_u8`].
+    pub fn run_batch_f32(&mut self, images: &[Tensor<f32>]) -> Result<RunReport, EngineError> {
+        if self.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "u8 images".into(),
+                got: "f32 tensors".into(),
+            });
+        }
+        self.check_window(images.len())?;
+        for img in images {
+            self.check_shape(img.shape())?;
+        }
+        let in_slot = self.plan.values[self.plan.input_value].slot;
+        let shape = self.plan.input;
+        let store = self.banks[self.bank][in_slot]
+            .floats
+            .as_mut()
+            .expect("arena slot: floats staged");
+        store.reset(shape, Layout::Nhwc);
+        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_f32));
+        self.run_staged()
+    }
+
+    /// Forgets the double-buffer priming so the next batched window is
+    /// charged the cold per-run overhead again (a fresh request stream).
+    pub fn reset_stream(&mut self) {
+        self.primed = false;
+    }
+
+    fn check_single(&self) -> Result<(), EngineError> {
+        if self.plan.batch > 1 {
+            return Err(EngineError::InputMismatch {
+                expected: format!(
+                    "batched window (session staged at batch {})",
+                    self.plan.batch
+                ),
+                got: "single image".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_window(&self, count: usize) -> Result<(), EngineError> {
+        if count == 0 || count > self.plan.batch {
+            return Err(EngineError::InputMismatch {
+                expected: format!("1..={} images", self.plan.batch),
+                got: format!("{count} images"),
+            });
+        }
+        Ok(())
     }
 
     fn check_shape(&self, got: Shape4) -> Result<(), EngineError> {
@@ -369,14 +594,12 @@ impl Session {
     }
 
     fn run_data(&mut self, input: InputRef<'_>) -> Result<RunReport, EngineError> {
-        self.queue.reset();
-        self.queue.host_delay(self.queue.per_run_overhead_s());
         // Stage the input into its arena slot (a copy into preallocated
         // storage, not an allocation).
         let in_slot = self.plan.values[self.plan.input_value].slot;
         match input {
             InputRef::Bytes(t) => {
-                let store = self.arena[in_slot]
+                let store = self.banks[self.bank][in_slot]
                     .bytes
                     .as_mut()
                     .expect("arena slot: bytes staged");
@@ -384,7 +607,7 @@ impl Session {
                 store.as_mut_slice().copy_from_slice(t.as_slice());
             }
             InputRef::Floats(t) => {
-                let store = self.arena[in_slot]
+                let store = self.banks[self.bank][in_slot]
                     .floats
                     .as_mut()
                     .expect("arena slot: floats staged");
@@ -392,19 +615,35 @@ impl Session {
                 store.as_mut_slice().copy_from_slice(t.as_slice());
             }
         }
+        self.run_staged()
+    }
+
+    /// Walks the plan over the active bank (input already staged there),
+    /// then rotates the bank so the next window stages into the other one.
+    fn run_staged(&mut self) -> Result<RunReport, EngineError> {
+        self.queue.reset();
+        // Cold windows pay the framework's per-run overhead. In a primed
+        // batched stream the host prepared this window inside the previous
+        // window's GPU time (per-slot double buffering), so steady-state
+        // windows skip it.
+        if self.banks.len() == 1 || !self.primed {
+            let overhead = self.queue.per_run_overhead_s();
+            self.queue.host_delay(overhead);
+        }
+        let bank = self.bank;
 
         let mut per_layer = Vec::with_capacity(self.model.len());
         for idx in 0..self.plan.steps.len() {
             let t0 = self.queue.elapsed_s();
             let e0 = self.queue.timeline().len();
             // Field borrows are disjoint: the plan and model are read-only,
-            // the queue and arena are the mutable execution state.
+            // the queue and arena bank are the mutable execution state.
             exec_step(
                 &mut self.queue,
                 &self.model.layers[idx],
                 &self.plan,
                 &self.conv_banks,
-                &mut self.arena,
+                &mut self.banks[bank],
                 idx,
             );
             let step = &self.plan.steps[idx];
@@ -422,7 +661,7 @@ impl Session {
 
         let output = if self.capture_output {
             let out_val = &self.plan.values[self.plan.output_value()];
-            let store = &self.arena[out_val.slot];
+            let store = &self.banks[bank][out_val.slot];
             Some(match out_val.kind {
                 ValueKind::Bits => ActivationData::Bits(store.bits().clone()),
                 ValueKind::Floats => ActivationData::Floats(store.floats().clone()),
@@ -432,6 +671,10 @@ impl Session {
         } else {
             None
         };
+        if self.banks.len() > 1 {
+            self.primed = true;
+            self.bank = (self.bank + 1) % self.banks.len();
+        }
         Ok(RunReport {
             model: self.model.name.clone(),
             total_s: self.queue.elapsed_s(),
@@ -448,6 +691,28 @@ impl Session {
 enum InputRef<'a> {
     Bytes(&'a Tensor<u8>),
     Floats(&'a Tensor<f32>),
+}
+
+fn as_nhwc_u8(t: &Tensor<u8>) -> &[u8] {
+    assert_eq!(t.layout(), Layout::Nhwc, "batched inputs must be NHWC");
+    t.as_slice()
+}
+
+fn as_nhwc_f32(t: &Tensor<f32>) -> &[f32] {
+    assert_eq!(t.layout(), Layout::Nhwc, "batched inputs must be NHWC");
+    t.as_slice()
+}
+
+/// Copies each image's elements into its lane of the batched input slot
+/// and zeroes the trailing lanes of a short window — plain copies into
+/// preallocated storage, no allocation.
+fn stage_window<'a, T: Copy + Default + 'a>(dst: &mut [T], images: impl Iterator<Item = &'a [T]>) {
+    let mut off = 0;
+    for src in images {
+        dst[off..off + src.len()].copy_from_slice(src);
+        off += src.len();
+    }
+    dst[off..].fill(T::default());
 }
 
 /// Executes one plan step: takes the step's writable slots out of the
@@ -601,17 +866,16 @@ fn exec_step(
                 Some((_, cvt)) => cvt.floats(),
                 None => in_store.floats(),
             };
-            let s = floats_in.shape();
-            let features = s.h * s.w * s.c;
-            let out_t = out_store.floats_mut();
-            out_t.reset(Shape4::new(s.n, 1, 1, bias.len()), Layout::Nhwc);
-            let src = floats_in.as_slice();
-            let dst = out_t.as_mut_slice();
-            for n in 0..s.n {
-                let row = &src[n * features..(n + 1) * features];
-                let out_row = &mut dst[n * bias.len()..(n + 1) * bias.len()];
-                dense::dense_float_into(q, row, weights, bias, *activation, out_row);
-            }
+            // One dispatch covers every image in the window; for batch 1
+            // this is the same single matvec it always was.
+            dense::dense_float_batch_into(
+                q,
+                floats_in,
+                weights,
+                bias,
+                *activation,
+                out_store.floats_mut(),
+            );
         }
         PbitLayer::Softmax => {
             if let Some((_, cvt)) = cvt_store.as_mut() {
@@ -621,15 +885,7 @@ fn exec_step(
                 Some((_, cvt)) => cvt.floats(),
                 None => in_store.floats(),
             };
-            let s = floats_in.shape();
-            let features = s.h * s.w * s.c;
-            let out_t = out_store.floats_mut();
-            out_t.reset(s, Layout::Nhwc);
-            out_t.as_mut_slice().copy_from_slice(floats_in.as_slice());
-            let data = out_t.as_mut_slice();
-            for n in 0..s.n {
-                kernels::softmax(q, &mut data[n * features..(n + 1) * features]);
-            }
+            kernels::softmax_batch_into(q, floats_in, out_store.floats_mut());
         }
     }
     arena[out_slot] = out_store;
@@ -919,6 +1175,124 @@ mod tests {
             EnergyParams::for_kind(DeviceKind::Gpu).p_static_w
         };
         assert!(trace_avg > 0.0);
+    }
+
+    fn images(count: usize) -> Vec<Tensor<u8>> {
+        (0..count)
+            .map(|i| {
+                Tensor::from_fn(Shape4::new(1, 8, 8, 3), move |_, h, w, c| {
+                    ((h * 37 + w * 11 + c * 101 + i * 53) % 256) as u8
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_window_matches_single_runs_bit_exactly() {
+        let model = convert(&small_def());
+        let phone = Phone::xiaomi_9();
+        let imgs = images(3);
+        let mut batched = Session::new_batched(model.clone(), &phone, 3).unwrap();
+        let report = batched.run_batch_u8(&imgs).unwrap();
+        let out = report.output.expect("batched output");
+        assert_eq!(out.shape().n, 3);
+        let mut single = Session::new(model, &phone).unwrap();
+        for (i, img) in imgs.iter().enumerate() {
+            let want = single.run_u8(img).unwrap().output.unwrap();
+            let got = out.image(i);
+            let (want, got) = (
+                want.into_floats().expect("float softmax"),
+                got.into_floats().expect("float softmax"),
+            );
+            assert_eq!(want, got, "image {i} diverged from its solo run");
+        }
+    }
+
+    #[test]
+    fn batched_window_amortizes_dispatches_and_overhead() {
+        let model = convert(&small_def());
+        let phone = Phone::xiaomi_9();
+        let imgs = images(4);
+        let mut single = Session::new(model.clone(), &phone).unwrap();
+        let solo = single.run_u8(&imgs[0]).unwrap();
+        let solo_dispatches = single.timeline().len();
+
+        let mut batched = Session::new_batched(model, &phone, 4).unwrap();
+        let cold = batched.run_batch_u8(&imgs).unwrap();
+        // One dispatch per kernel regardless of batch size.
+        assert_eq!(batched.timeline().len(), solo_dispatches);
+        // The window beats four sequential singles: launch overhead is paid
+        // once per kernel and the framework overhead once per window.
+        assert!(
+            cold.total_s < 4.0 * solo.total_s,
+            "batched {} vs 4x solo {}",
+            cold.total_s,
+            4.0 * solo.total_s
+        );
+        // A primed stream also stops paying the per-run overhead.
+        let warm = batched.run_batch_u8(&imgs).unwrap();
+        let overhead = CommandQueue::new(phone.gpu.clone(), ExecutorClass::PhoneBitOpenCl)
+            .per_run_overhead_s();
+        assert!((cold.total_s - warm.total_s - overhead).abs() < 1e-12);
+        // Outputs stay identical across the bank flip.
+        let a = cold.output.unwrap().into_floats().unwrap();
+        let b = warm.output.unwrap().into_floats().unwrap();
+        assert_eq!(a, b);
+        // reset_stream charges the overhead again.
+        batched.reset_stream();
+        let recold = batched.run_batch_u8(&imgs).unwrap();
+        assert!((recold.total_s - cold.total_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_window_pads_lanes_and_matches_singles() {
+        let model = convert(&small_def());
+        let phone = Phone::xiaomi_9();
+        let imgs = images(2);
+        let mut batched = Session::new_batched(model.clone(), &phone, 4).unwrap();
+        let out = batched.run_batch_u8(&imgs).unwrap().output.expect("output");
+        let mut single = Session::new(model, &phone).unwrap();
+        for (i, img) in imgs.iter().enumerate() {
+            let want = single.run_u8(img).unwrap().output.unwrap();
+            assert_eq!(
+                want.into_floats().unwrap(),
+                out.image(i).into_floats().unwrap(),
+                "image {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_session_guards_windows_and_single_runs() {
+        let model = convert(&small_def());
+        let phone = Phone::xiaomi_9();
+        let mut batched = Session::new_batched(model, &phone, 2).unwrap();
+        // Single-image entry points refuse a batched session.
+        let err = batched.run_u8(&images(1)[0]).unwrap_err();
+        assert!(matches!(err, EngineError::InputMismatch { .. }));
+        // Empty and oversized windows are rejected.
+        assert!(batched.run_batch_u8(&[]).is_err());
+        assert!(batched.run_batch_u8(&images(3)).is_err());
+        // Wrong per-image shape is rejected.
+        let bad = vec![Tensor::<u8>::zeros(Shape4::new(1, 9, 9, 3), Layout::Nhwc)];
+        assert!(batched.run_batch_u8(&bad).is_err());
+    }
+
+    #[test]
+    fn batched_residency_holds_two_arena_banks() {
+        let model = convert(&small_def());
+        let phone = Phone::xiaomi_9();
+        let weights = model.size_bytes();
+        let single = Session::new(model.clone(), &phone).unwrap();
+        let batched = Session::new_batched(model, &phone, 4).unwrap();
+        let plan = batched.plan();
+        assert_eq!(plan.banks, 2);
+        assert_eq!(
+            batched.resident_bytes(),
+            weights + 2 * plan.arena_bytes(),
+            "batched residency = weights + both banks"
+        );
+        assert!(batched.resident_bytes() > single.resident_bytes());
     }
 
     #[test]

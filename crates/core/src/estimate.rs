@@ -50,6 +50,32 @@ pub fn estimate_arch(phone: &Phone, arch: &NetworkArch) -> RunReport {
 
 /// [`estimate_arch`] with explicit ablation options.
 pub fn estimate_arch_opts(phone: &Phone, arch: &NetworkArch, opts: EstimateOptions) -> RunReport {
+    estimate_impl(phone, arch, opts, 1)
+}
+
+/// Estimates one **cold batched window** of `batch` images — the exact
+/// dispatch sequence a [`Session::new_batched`](crate::Session::new_batched)
+/// engine issues: one batch-covering launch per kernel (launch overhead
+/// amortized), batch-aware routes, and the per-run framework overhead
+/// charged once for the whole window. Steady-state throughput additionally
+/// hides that overhead behind the previous window's compute (double
+/// buffering); subtract
+/// [`per_run_overhead_s`](phonebit_gpusim::queue::CommandQueue::per_run_overhead_s)
+/// for the primed-window time, as `throughput_report` does.
+///
+/// # Panics
+///
+/// Panics when `batch == 0`.
+pub fn estimate_arch_batched(phone: &Phone, arch: &NetworkArch, batch: usize) -> RunReport {
+    estimate_impl(phone, arch, EstimateOptions::default(), batch)
+}
+
+fn estimate_impl(
+    phone: &Phone,
+    arch: &NetworkArch,
+    opts: EstimateOptions,
+    batch: usize,
+) -> RunReport {
     let mut q = CommandQueue::new(phone.gpu.clone(), ExecutorClass::PhoneBitOpenCl);
     if opts.no_latency_hiding {
         let mut params = *q.params();
@@ -60,10 +86,11 @@ pub fn estimate_arch_opts(phone: &Phone, arch: &NetworkArch, opts: EstimateOptio
 
     // One lowering, shared with the engine: routes, conversions and the
     // arena all come from the plan; the ablation knobs force routes at
-    // lowering time.
-    let plan = ExecutionPlan::for_arch_with(
+    // lowering time and the batch folds into every step shape.
+    let plan = ExecutionPlan::for_arch_batched_with(
         arch,
         q.device(),
+        batch,
         RouteOverrides {
             force_unfused: opts.force_unfused,
             lowered_gemm: opts.lowered_gemm,
@@ -164,20 +191,23 @@ pub fn estimate_arch_opts(phone: &Phone, arch: &NetworkArch, opts: EstimateOptio
             }
             StepOp::DenseBin { out_features } => {
                 let in_features = in_shape.h * in_shape.w * in_shape.c;
-                q.launch(profiles::dense_bin(*out_features, in_features), || {});
+                q.launch(
+                    profiles::dense_bin(*out_features, in_features).batched(in_shape.n),
+                    || {},
+                );
             }
             StepOp::DenseFloat { out_features } => {
-                // The engine dispatches one matvec per batch image.
+                // One dispatch covers every image in the window — the
+                // engine's batched matvec entry point.
                 let in_features = in_shape.h * in_shape.w * in_shape.c;
-                for _ in 0..in_shape.n {
-                    q.launch(profiles::dense_float(*out_features, in_features), || {});
-                }
+                q.launch(
+                    profiles::dense_float(*out_features, in_features).batched(in_shape.n),
+                    || {},
+                );
             }
             StepOp::Softmax => {
                 let features = in_shape.h * in_shape.w * in_shape.c;
-                for _ in 0..in_shape.n {
-                    q.launch(profiles::softmax(features), || {});
-                }
+                q.launch(profiles::softmax(features).batched(in_shape.n), || {});
             }
         }
         let energy_j: f64 = q.timeline()[e0..].iter().map(|ev| ev.stats.energy_j).sum();
@@ -280,6 +310,34 @@ mod tests {
         let r2 = estimate_arch(&Phone::xiaomi_9(), &a);
         assert_eq!(r1.total_s, r2.total_s);
         assert_eq!(r1.energy_j, r2.energy_j);
+    }
+
+    #[test]
+    fn batched_estimate_amortizes_overhead_into_throughput() {
+        let a = arch();
+        let phone = Phone::xiaomi_9();
+        let single = estimate_arch(&phone, &a);
+        for batch in [2usize, 4, 8] {
+            let b = estimate_arch_batched(&phone, &a, batch);
+            // Same dispatch count, batch-times the work, one overhead.
+            assert!(
+                b.total_s < batch as f64 * single.total_s,
+                "batch {batch}: {} !< {}",
+                b.total_s,
+                batch as f64 * single.total_s
+            );
+            // Throughput (cold) grows with the window.
+            assert!(batch as f64 / b.total_s > 1.0 / single.total_s);
+            // Peak memory reports the double-banked batched arena.
+            let plan = ExecutionPlan::for_arch_batched(&a, &phone.gpu, batch);
+            assert_eq!(b.peak_bytes, plan.peak_bytes());
+            assert_eq!(plan.banks, 2);
+        }
+        assert_eq!(
+            estimate_arch_batched(&phone, &a, 1).total_s,
+            single.total_s,
+            "batch 1 is the single-image estimate"
+        );
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! computes deployed memory footprints; [`builder::NetworkBuilder`] is the
 //! Fig-3-style construction API.
 //!
+//! For serving-scale throughput, [`Session::new_batched`](engine::Session::new_batched)
+//! stages the same weights once and runs whole request windows — one
+//! batch-covering dispatch per kernel over a double-banked arena;
+//! [`estimate::estimate_arch_batched`] models it at full scale and
+//! [`planner::plan_on_batched`] / [`planner::max_feasible_batch`] size the
+//! batched deployment against a phone's budget.
+//!
 //! [`convert`]: convert::convert
 
 #![warn(missing_docs)]
@@ -36,8 +43,11 @@ pub mod stats;
 pub use builder::NetworkBuilder;
 pub use convert::convert;
 pub use engine::{ActivationData, EngineError, Session};
-pub use estimate::{estimate_arch, estimate_arch_opts, EstimateOptions};
+pub use estimate::{estimate_arch, estimate_arch_batched, estimate_arch_opts, EstimateOptions};
 pub use model::{PbitLayer, PbitModel};
 pub use plan::{ExecutionPlan, PlanStep, PlanValue, RouteOverrides, StepOp, ValueKind, ValueRole};
-pub use planner::{plan, plan_on, select_conv_path, ConvPath, ConvPlan, MemoryPlan};
+pub use planner::{
+    max_feasible_batch, plan, plan_batched, plan_on, plan_on_batched, select_conv_path, ConvPath,
+    ConvPlan, MemoryPlan,
+};
 pub use stats::{LayerRun, RunReport};

@@ -38,6 +38,33 @@
 //! an arena slot exactly when their inclusive live intervals do not
 //! overlap — which is what lets a chain of `L` layers run in a handful of
 //! slots instead of `2·L` ping-pong buffers.
+//!
+//! # Batched lowering and per-slot double buffering
+//!
+//! [`ExecutionPlan::for_arch_batched`] / [`for_model_batched`] lower the
+//! same network with the batch dimension folded into every value shape
+//! (`n = batch`), which is how the throughput engine serves concurrent
+//! requests over one staged weight set:
+//!
+//! - every kernel profile and route decision is cost-modeled at the
+//!   **batched** pixel count, so [`select_conv_path`] can amortize the
+//!   per-dispatch launch overhead across the batch and may legitimately
+//!   pick a different route than the single-image plan;
+//! - the liveness scan is unchanged (the batch flows through one layer at
+//!   a time), so the slot *count* stays small; each slot simply grows to
+//!   hold the whole batch's value;
+//! - the arena is staged in [`ExecutionPlan::banks`] copies (two when
+//!   `batch > 1`): while the engine's kernels chew through batch *t* in the
+//!   front bank, the host stages batch *t + 1*'s inputs into the back bank,
+//!   so layer work of one request window overlaps the staging of the next —
+//!   the per-run framework overhead is paid once, not once per image.
+//!
+//! `peak_bytes` therefore reports `weights + banks × Σ slots` — the
+//! batched, double-buffered footprint a [`Session`](crate::engine::Session)
+//! staged with [`Session::new_batched`](crate::engine::Session::new_batched)
+//! actually holds resident.
+//!
+//! [`for_model_batched`]: ExecutionPlan::for_model_batched
 
 use std::sync::Arc;
 
@@ -230,7 +257,7 @@ impl std::error::Error for PlanDomainError {}
 pub struct ExecutionPlan {
     /// Network name.
     pub name: String,
-    /// Network input shape.
+    /// Network input shape — batched plans fold the batch into `n`.
     pub input: Shape4,
     /// Value id of the staged network input.
     pub input_value: usize,
@@ -239,10 +266,16 @@ pub struct ExecutionPlan {
     /// Every planned value, in birth order.
     pub values: Vec<PlanValue>,
     /// Arena slot sizes in bytes (each slot is the max over the values it
-    /// hosts).
+    /// hosts). For batched plans each slot holds the whole batch's value.
     pub slots: Vec<usize>,
     /// Resident packed weight bytes.
     pub weights_bytes: usize,
+    /// Images per inference window: every value's `n` extent carries it.
+    pub batch: usize,
+    /// Arena banks the engine stages: 1 for single-image plans, 2 for
+    /// batched plans (per-slot double buffering — the back bank hosts the
+    /// next window's staging while the front bank computes).
+    pub banks: usize,
 }
 
 impl ExecutionPlan {
@@ -266,6 +299,31 @@ impl ExecutionPlan {
     pub fn for_arch_with(
         arch: &NetworkArch,
         device: &DeviceProfile,
+        overrides: RouteOverrides,
+    ) -> Self {
+        Self::for_arch_batched_with(arch, device, 1, overrides)
+    }
+
+    /// Lowers a shape-level architecture for batched execution: every value
+    /// shape carries `n = batch`, routes are cost-modeled at batched pixel
+    /// counts, and the arena is planned double-banked (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0` or the architecture is domain-inconsistent.
+    pub fn for_arch_batched(arch: &NetworkArch, device: &DeviceProfile, batch: usize) -> Self {
+        Self::for_arch_batched_with(arch, device, batch, RouteOverrides::default())
+    }
+
+    /// [`ExecutionPlan::for_arch_batched`] with explicit route overrides.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0` or the architecture is domain-inconsistent.
+    pub fn for_arch_batched_with(
+        arch: &NetworkArch,
+        device: &DeviceProfile,
+        batch: usize,
         overrides: RouteOverrides,
     ) -> Self {
         let infos = arch.infer();
@@ -328,6 +386,7 @@ impl ExecutionPlan {
             arch.binary_bytes(),
             device,
             overrides,
+            batch,
         )
         .unwrap_or_else(|e| panic!("{}: {e}", arch.name))
     }
@@ -340,6 +399,25 @@ impl ExecutionPlan {
     /// domain-inconsistent (the engine surfaces this as `DomainMismatch`
     /// at staging time instead of mid-inference).
     pub fn for_model(model: &PbitModel, device: &DeviceProfile) -> Result<Self, PlanDomainError> {
+        Self::for_model_batched(model, device, 1)
+    }
+
+    /// Lowers a deployed model for batched execution (`n = batch` on every
+    /// value, batched route costs, double-banked arena — see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanDomainError`] when the model's layer chain is
+    /// domain-inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0`.
+    pub fn for_model_batched(
+        model: &PbitModel,
+        device: &DeviceProfile,
+        batch: usize,
+    ) -> Result<Self, PlanDomainError> {
         let descs: Vec<LayerDesc> = model
             .layers
             .iter()
@@ -432,18 +510,27 @@ impl ExecutionPlan {
             model.size_bytes(),
             device,
             RouteOverrides::default(),
+            batch,
         )
     }
 
-    /// Total arena bytes: the sum of slot sizes — the steady-state
-    /// activation footprint of one inference.
+    /// Bytes of one arena bank: the sum of slot sizes — the steady-state
+    /// activation footprint of one inference window (the whole batch, for
+    /// batched plans).
     pub fn arena_bytes(&self) -> usize {
         self.slots.iter().sum()
     }
 
-    /// Peak device footprint: resident weights plus the arena.
+    /// Bytes the engine stages for activations: [`ExecutionPlan::banks`]
+    /// copies of the arena (double buffering for batched plans).
+    pub fn staged_arena_bytes(&self) -> usize {
+        self.banks * self.arena_bytes()
+    }
+
+    /// Peak device footprint: resident weights plus every staged arena
+    /// bank.
     pub fn peak_bytes(&self) -> usize {
-        self.weights_bytes + self.arena_bytes()
+        self.weights_bytes + self.staged_arena_bytes()
     }
 
     /// Value id holding the network output (the last step's output, or the
@@ -500,6 +587,7 @@ struct LayerDesc {
     pool_bits: Option<bool>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lower(
     name: String,
     input: Shape4,
@@ -507,7 +595,14 @@ fn lower(
     weights_bytes: usize,
     device: &DeviceProfile,
     overrides: RouteOverrides,
+    batch: usize,
 ) -> Result<ExecutionPlan, PlanDomainError> {
+    assert!(batch >= 1, "batch must be at least 1");
+    // The batch folds into the `n` extent of every value: kernels process
+    // the whole window in one dispatch, so routes and slots are sized at
+    // batched shapes below without any further special-casing.
+    let input = Shape4::new(input.n * batch, input.h, input.w, input.c);
+    let banks = if batch > 1 { 2 } else { 1 };
     let mut values: Vec<PlanValue> = Vec::new();
     let mut steps: Vec<PlanStep> = Vec::with_capacity(descs.len());
     let last = descs.len().saturating_sub(1);
@@ -799,6 +894,8 @@ fn lower(
         values,
         slots,
         weights_bytes,
+        batch,
+        banks,
     })
 }
 
@@ -968,6 +1065,56 @@ mod tests {
         let a = ExecutionPlan::for_arch(&small_arch(), &device());
         let b = ExecutionPlan::for_arch(&small_arch(), &device());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_lowering_scales_values_not_slot_count() {
+        let single = ExecutionPlan::for_arch(&small_arch(), &device());
+        let batched = ExecutionPlan::for_arch_batched(&small_arch(), &device(), 4);
+        assert_eq!(single.batch, 1);
+        assert_eq!(single.banks, 1);
+        assert_eq!(batched.batch, 4);
+        assert_eq!(batched.banks, 2, "batched plans double-buffer the arena");
+        assert_eq!(batched.input.n, 4);
+        assert_eq!(batched.values.len(), single.values.len());
+        assert_eq!(batched.slots.len(), single.slots.len());
+        for (s, b) in single.values.iter().zip(batched.values.iter()) {
+            assert_eq!(b.shape.n, 4 * s.shape.n, "batch folds into n");
+            assert_eq!(b.bytes, 4 * s.bytes, "value bytes scale with batch");
+            assert_eq!((b.born, b.dies, b.slot), (s.born, s.dies, s.slot));
+        }
+        assert_eq!(batched.arena_bytes(), 4 * single.arena_bytes());
+        assert_eq!(batched.staged_arena_bytes(), 2 * batched.arena_bytes());
+        assert_eq!(
+            batched.peak_bytes(),
+            batched.weights_bytes + 2 * batched.arena_bytes()
+        );
+        // Batch 1 through the batched front is exactly the single plan.
+        assert_eq!(
+            ExecutionPlan::for_arch_batched(&small_arch(), &device(), 1),
+            single
+        );
+    }
+
+    #[test]
+    fn batched_lowering_is_deterministic_and_liveness_safe() {
+        let a = ExecutionPlan::for_arch_batched(&small_arch(), &device(), 8);
+        let b = ExecutionPlan::for_arch_batched(&small_arch(), &device(), 8);
+        assert_eq!(a, b);
+        for (i, va) in a.values.iter().enumerate() {
+            assert!(a.slots[va.slot] >= va.bytes);
+            for vb in a.values.iter().skip(i + 1) {
+                if va.born <= vb.dies && vb.born <= va.dies {
+                    assert_ne!(va.slot, vb.slot);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_panics() {
+        let _ = ExecutionPlan::for_arch_batched(&small_arch(), &device(), 0);
     }
 
     #[test]

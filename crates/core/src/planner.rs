@@ -67,13 +67,20 @@ pub struct LayerFootprint {
 pub struct MemoryPlan {
     /// Resident packed weight bytes.
     pub weights_bytes: usize,
-    /// Peak transient activation bytes: the arena total (every live
-    /// activation, conversion and scratch value fits these slots).
+    /// Peak transient activation bytes: every staged arena bank (each bank
+    /// hosts every live activation, conversion and scratch value of one
+    /// request window).
     pub peak_activation_bytes: usize,
-    /// Peak total = weights + arena.
+    /// Peak total = weights + staged arena banks.
     pub peak_bytes: usize,
-    /// Arena slot sizes in bytes, as staged by the engine.
+    /// Arena slot sizes in bytes of one bank, as staged by the engine. For
+    /// batched plans each slot holds the whole window's value.
     pub arena_slots: Vec<usize>,
+    /// Images per inference window this plan was lowered for.
+    pub batch: usize,
+    /// Arena banks the engine stages (2 for batched plans — per-slot
+    /// double buffering).
+    pub banks: usize,
     /// Per-layer breakdown.
     pub per_layer: Vec<LayerFootprint>,
 }
@@ -237,7 +244,25 @@ pub fn plan(arch: &NetworkArch) -> MemoryPlan {
 /// [`ExecutionPlan`](crate::plan::ExecutionPlan) and reports the arena-true
 /// footprint the engine would stage there.
 pub fn plan_on(arch: &NetworkArch, device: &DeviceProfile) -> MemoryPlan {
-    let ep = crate::plan::ExecutionPlan::for_arch(arch, device);
+    plan_on_batched(arch, device, 1)
+}
+
+/// Plans the batched deployed footprint on the default flagship device:
+/// the arena the throughput engine would stage for `batch`-image windows,
+/// double-banked (see [`ExecutionPlan::for_arch_batched`]).
+///
+/// [`ExecutionPlan::for_arch_batched`]: crate::plan::ExecutionPlan::for_arch_batched
+pub fn plan_batched(arch: &NetworkArch, batch: usize) -> MemoryPlan {
+    plan_on_batched(arch, &DeviceProfile::adreno_640(), batch)
+}
+
+/// [`plan_batched`] for a specific device.
+///
+/// # Panics
+///
+/// Panics when `batch == 0`.
+pub fn plan_on_batched(arch: &NetworkArch, device: &DeviceProfile, batch: usize) -> MemoryPlan {
+    let ep = crate::plan::ExecutionPlan::for_arch_batched(arch, device, batch);
     let per_layer = ep
         .steps
         .iter()
@@ -253,11 +278,39 @@ pub fn plan_on(arch: &NetworkArch, device: &DeviceProfile) -> MemoryPlan {
         .collect();
     MemoryPlan {
         weights_bytes: ep.weights_bytes,
-        peak_activation_bytes: ep.arena_bytes(),
+        peak_activation_bytes: ep.staged_arena_bytes(),
         peak_bytes: ep.peak_bytes(),
         arena_slots: ep.slots,
+        batch: ep.batch,
+        banks: ep.banks,
         per_layer,
     }
+}
+
+/// The largest window size whose batched, double-banked deployment still
+/// fits `phone`'s app budget — what a serving loop should cap its batch at
+/// before requests start to OOM. Returns 0 when even a single image does
+/// not fit (the paper's CNNdroid-VGG16 situation).
+pub fn max_feasible_batch(arch: &NetworkArch, phone: &Phone) -> usize {
+    if !plan_on_batched(arch, &phone.gpu, 1).fits(phone) {
+        return 0;
+    }
+    // Exponential probe then binary search: lowering is cheap (one pass
+    // over the layer chain per candidate).
+    let mut hi = 1usize;
+    while hi < 4096 && plan_on_batched(arch, &phone.gpu, hi * 2).fits(phone) {
+        hi *= 2;
+    }
+    let (mut lo, mut hi) = (hi, (hi * 2).min(4096));
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if plan_on_batched(arch, &phone.gpu, mid).fits(phone) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -338,6 +391,41 @@ mod tests {
         let p = plan(&arch());
         assert!(p.fits(&Phone::xiaomi_5()));
         assert!(p.fits(&Phone::xiaomi_9()));
+    }
+
+    #[test]
+    fn batched_plan_doubles_banks_and_scales_slots() {
+        let single = plan(&arch());
+        let batched = plan_batched(&arch(), 4);
+        assert_eq!((single.batch, single.banks), (1, 1));
+        assert_eq!((batched.batch, batched.banks), (4, 2));
+        assert_eq!(batched.arena_slots.len(), single.arena_slots.len());
+        for (s, b) in single.arena_slots.iter().zip(batched.arena_slots.iter()) {
+            assert_eq!(*b, 4 * s, "each slot grows to hold the window");
+        }
+        assert_eq!(
+            batched.peak_activation_bytes,
+            2 * batched.arena_slots.iter().sum::<usize>()
+        );
+        assert_eq!(batched.weights_bytes, single.weights_bytes);
+        assert_eq!(
+            batched.peak_bytes,
+            batched.weights_bytes + batched.peak_activation_bytes
+        );
+    }
+
+    #[test]
+    fn max_feasible_batch_is_monotone_and_fits() {
+        let a = arch();
+        let phone = Phone::xiaomi_9();
+        let max = max_feasible_batch(&a, &phone);
+        assert!(max >= 1, "the small arch fits at batch 1");
+        assert!(plan_on_batched(&a, &phone.gpu, max).fits(&phone));
+        if max < 4096 {
+            assert!(!plan_on_batched(&a, &phone.gpu, max + 1).fits(&phone));
+        }
+        // The older phone's tighter budget cannot allow a larger window.
+        assert!(max_feasible_batch(&a, &Phone::xiaomi_5()) <= max);
     }
 
     #[test]

@@ -128,6 +128,28 @@ impl KernelProfile {
         self
     }
 
+    /// Scales the profile to a batched dispatch covering `n` independent
+    /// images: useful work and DRAM traffic multiply by `n` while the fixed
+    /// per-dispatch launch overhead (applied by the cost model) is paid
+    /// once — the throughput engine's launch-amortization win.
+    ///
+    /// `batched(1)` is the identity, so single-image paths can share the
+    /// batched entry points without perturbing their modeled cost.
+    pub fn batched(mut self, n: usize) -> Self {
+        let n = n.max(1);
+        if n == 1 {
+            return self;
+        }
+        let f = n as f64;
+        self.f32_ops *= f;
+        self.int_ops *= f;
+        self.word_ops *= f;
+        self.dram_read_bytes *= f;
+        self.dram_write_bytes *= f;
+        self.ndrange = NdRange::linear(self.ndrange.work_items() * n);
+        self
+    }
+
     /// Total useful operations of all classes.
     pub fn total_ops(&self) -> f64 {
         self.f32_ops + self.int_ops + self.word_ops
@@ -209,6 +231,26 @@ mod tests {
         assert_eq!(p.vector_lanes, 16);
         assert_eq!(p.private_bytes_per_item, 256);
         assert_eq!(p.divergence, 1.25);
+    }
+
+    #[test]
+    fn batched_scales_work_not_shape_knobs() {
+        let p = KernelProfile::new("k", NdRange::linear(100))
+            .f32_ops(10.0)
+            .int_ops(20.0)
+            .word_ops(30.0)
+            .reads(1000.0)
+            .writes(500.0)
+            .coalescing(0.5)
+            .divergence(1.25);
+        let b = p.clone().batched(4);
+        assert_eq!(b.total_ops(), 4.0 * p.total_ops());
+        assert_eq!(b.total_bytes(), 4.0 * p.total_bytes());
+        assert_eq!(b.ndrange.work_items(), 400);
+        // Efficiency knobs describe the kernel, not the batch.
+        assert_eq!(b.coalescing, p.coalescing);
+        assert_eq!(b.divergence, p.divergence);
+        assert_eq!(p.clone().batched(1), p);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use phonebit_gpusim::queue::CommandQueue;
 use phonebit_gpusim::vector::xor_popcount_vec;
 use phonebit_tensor::bits::{merge_bits, BitTensor, BitWord, PackedFilters};
-use phonebit_tensor::shape::Shape4;
+use phonebit_tensor::shape::{Layout, Shape4};
+use phonebit_tensor::tensor::Tensor;
 
 use crate::act::Activation;
 use crate::fuse::FusedBn;
@@ -110,7 +111,9 @@ pub fn dense_bin_into<W: BitWord>(
     );
     assert_eq!(fused.len(), ws.k, "fusion params must cover every output");
     out.reset(Shape4::new(s.n, 1, 1, ws.k));
-    let profile = profiles::dense_bin(ws.k, s.c);
+    // One dispatch covers the whole batch: the matvec loops rows inside
+    // the kernel while the per-dispatch launch overhead is paid once.
+    let profile = profiles::dense_bin(ws.k, s.c).batched(s.n);
     q.launch(profile, || compute_dense_bin(input, weights, fused, out));
 }
 
@@ -177,6 +180,48 @@ pub fn dense_float_into(
     let profile = profiles::dense_float(out_features, input.len());
     q.launch(profile, || {
         compute_dense_float(input, weights, bias, act, out)
+    });
+}
+
+/// Batched entry point of the float dense layer: one dispatch covers every
+/// image in the batch (features are the flattened `h*w*c` of each image),
+/// amortizing the per-dispatch launch overhead that a per-image matvec loop
+/// would pay `n` times. `out` is reset to `(n, 1, 1, out_features)`.
+///
+/// # Panics
+///
+/// Panics when `weights.len() != out_features * h*w*c` or
+/// `bias.len() != out_features`.
+pub fn dense_float_batch_into(
+    q: &mut CommandQueue,
+    input: &Tensor<f32>,
+    weights: &[f32],
+    bias: &[f32],
+    act: Activation,
+    out: &mut Tensor<f32>,
+) {
+    let s = input.shape();
+    let features = s.h * s.w * s.c;
+    let out_features = bias.len();
+    assert_eq!(
+        weights.len(),
+        out_features * features,
+        "weight matrix must be out x in"
+    );
+    out.reset(Shape4::new(s.n, 1, 1, out_features), Layout::Nhwc);
+    let profile = profiles::dense_float(out_features, features).batched(s.n);
+    q.launch(profile, || {
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        for n in 0..s.n {
+            compute_dense_float(
+                &src[n * features..(n + 1) * features],
+                weights,
+                bias,
+                act,
+                &mut dst[n * out_features..(n + 1) * out_features],
+            );
+        }
     });
 }
 
@@ -287,6 +332,53 @@ mod tests {
         let mut q = queue();
         let y = dense_float(&mut q, &x, &w, &[10.0, -10.0], Activation::Linear);
         assert_eq!(y, vec![11.0, -9.0]);
+    }
+
+    #[test]
+    fn dense_float_batch_matches_per_image_rows() {
+        let (batch, features, outputs) = (4usize, 6usize, 3usize);
+        let input = Tensor::from_fn(Shape4::new(batch, 1, 2, 3), |n, _, w, c| {
+            (n * 11 + w * 5 + c) as f32 * 0.25 - 1.5
+        });
+        let weights: Vec<f32> = (0..outputs * features)
+            .map(|i| ((i * 7) % 5) as f32 - 2.0)
+            .collect();
+        let bias = vec![0.5, -0.25, 0.0];
+        let mut q = queue();
+        let mut out = Tensor::<f32>::zeros(Shape4::new(0, 0, 0, 0), Layout::Nhwc);
+        dense_float_batch_into(
+            &mut q,
+            &input,
+            &weights,
+            &bias,
+            Activation::Linear,
+            &mut out,
+        );
+        assert_eq!(out.shape(), Shape4::new(batch, 1, 1, outputs));
+        assert_eq!(q.timeline().len(), 1, "one dispatch for the whole batch");
+        // Bit-exact against the per-image entry point.
+        for n in 0..batch {
+            let row: Vec<f32> = (0..features)
+                .map(|i| input.as_slice()[n * features + i])
+                .collect();
+            let mut q1 = queue();
+            let single = dense_float(&mut q1, &row, &weights, &bias, Activation::Linear);
+            assert_eq!(
+                &out.as_slice()[n * outputs..(n + 1) * outputs],
+                single.as_slice(),
+                "image {n}"
+            );
+        }
+        // The batched dispatch amortizes launch overhead vs n dispatches.
+        let batched_s = q.elapsed_s();
+        let mut qn = queue();
+        for n in 0..batch {
+            let row: Vec<f32> = (0..features)
+                .map(|i| input.as_slice()[n * features + i])
+                .collect();
+            let _ = dense_float(&mut qn, &row, &weights, &bias, Activation::Linear);
+        }
+        assert!(batched_s < qn.elapsed_s());
     }
 
     #[test]

@@ -46,6 +46,24 @@ pub fn softmax(q: &mut CommandQueue, logits: &mut [f32]) {
     q.launch(profile, || crate::act::softmax(logits));
 }
 
+/// Batched softmax entry point: copies the input logits into `out` (reset
+/// to the input shape) and normalizes every image's row in **one**
+/// dispatch, so a batch of `n` requests pays the launch overhead once
+/// instead of `n` times.
+pub fn softmax_batch_into(q: &mut CommandQueue, input: &Tensor<f32>, out: &mut Tensor<f32>) {
+    let s = input.shape();
+    let features = s.h * s.w * s.c;
+    out.reset(s, phonebit_tensor::Layout::Nhwc);
+    out.as_mut_slice().copy_from_slice(input.as_slice());
+    let profile = profiles::softmax(features).batched(s.n);
+    q.launch(profile, || {
+        let data = out.as_mut_slice();
+        for n in 0..s.n {
+            crate::act::softmax(&mut data[n * features..(n + 1) * features]);
+        }
+    });
+}
+
 /// Dispatches bit unpacking: a packed binary tensor becomes ±1.0 floats.
 ///
 /// Needed where a full-precision layer consumes a binary layer's output
@@ -98,5 +116,24 @@ mod tests {
         let mut logits = vec![0.0f32, 1.0, 2.0];
         softmax(&mut q, &mut logits);
         assert!((logits.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_softmax_matches_per_image_in_one_dispatch() {
+        let batch = 3usize;
+        let t = Tensor::from_fn(Shape4::new(batch, 1, 1, 5), |n, _, _, c| {
+            (n * 5 + c) as f32 * 0.3 - 1.0
+        });
+        let mut q = queue();
+        let mut out = Tensor::<f32>::zeros(Shape4::new(0, 0, 0, 0), phonebit_tensor::Layout::Nhwc);
+        softmax_batch_into(&mut q, &t, &mut out);
+        assert_eq!(q.timeline().len(), 1, "one dispatch for the whole batch");
+        for n in 0..batch {
+            let mut row: Vec<f32> = (0..5).map(|c| t.at(n, 0, 0, c)).collect();
+            crate::act::softmax(&mut row);
+            for (c, want) in row.iter().enumerate() {
+                assert_eq!(out.at(n, 0, 0, c), *want, "image {n} logit {c}");
+            }
+        }
     }
 }

@@ -99,6 +99,33 @@ fn steady_run_bytes(hw: usize) -> (usize, usize) {
     (samples[1], arena)
 }
 
+/// Heap bytes requested by one steady-state **batched window** (median of
+/// 3, after 2 priming windows), with the staged both-banks arena footprint.
+fn steady_batched_window_bytes(hw: usize, batch: usize) -> (usize, usize) {
+    let def = fill_weights(&arch(hw), 9);
+    let model = convert(&def);
+    let phone = Phone::xiaomi_9();
+    let mut session = Session::new_batched(model, &phone, batch)
+        .expect("fits")
+        .with_output_capture(false);
+    let arena = session.plan().staged_arena_bytes();
+    let images: Vec<_> = (0..batch)
+        .map(|i| synthetic_image(Shape4::new(1, hw, hw, 3), 4 + i as u64))
+        .collect();
+    for _ in 0..2 {
+        session.run_batch_u8(&images).expect("priming window");
+    }
+    let mut samples: Vec<usize> = (0..3)
+        .map(|_| {
+            let before = ALLOCATED.load(Ordering::Relaxed);
+            session.run_batch_u8(&images).expect("steady window");
+            ALLOCATED.load(Ordering::Relaxed) - before
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[1], arena)
+}
+
 #[test]
 fn steady_state_runs_do_not_allocate_activations() {
     let (small_bytes, small_arena) = steady_run_bytes(32);
@@ -121,5 +148,19 @@ fn steady_state_runs_do_not_allocate_activations() {
     assert!(
         large_bytes < small_bytes.max(1) * 6 + 4096,
         "per-run heap scaled with activation size: {small_bytes} B -> {large_bytes} B"
+    );
+
+    // The batched path holds the same contract: once both arena banks are
+    // staged and the stream is primed, a whole window (batch x the
+    // activation traffic) allocates only dispatch bookkeeping.
+    let (window_bytes, batched_arena) = steady_batched_window_bytes(64, 4);
+    assert!(
+        batched_arena > large_arena,
+        "test premise: the 4-image double-banked arena out-sizes the single large one"
+    );
+    assert!(
+        window_bytes < batched_arena / 10,
+        "steady batched window allocated {window_bytes} B against a {batched_arena} B staged \
+         arena — batched activations are leaking off the arena"
     );
 }
