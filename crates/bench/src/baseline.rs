@@ -1,0 +1,200 @@
+//! Shared plumbing for the committed `BENCH_*.json` trend files: the
+//! line-oriented JSON writer escape, the key-scanning parser, and the
+//! baseline differ every report bin (`bconv_report`, `throughput_report`,
+//! `serve_report`) runs under `--check-baseline`. One implementation, so
+//! a parsing or diffing fix cannot silently reach only one bin.
+//!
+//! The workspace is offline (no JSON crate); the parser scans each line
+//! of the file this crate's bins themselves wrote — one result object per
+//! line, `"key": value` fields — and is not a general JSON reader.
+
+/// Escapes a string for embedding in the hand-written JSON reports.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One trend row: its identity (the values of the key fields, in the
+/// order requested from [`parse_rows`]) and the metric under guard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Key-field values identifying the row (e.g. `[model, phone, batch]`).
+    pub key: Vec<String>,
+    /// The guarded metric (ns/pixel, imgs/sec, ...).
+    pub value: f64,
+}
+
+impl Row {
+    /// `a/b/c` identity string for failure messages.
+    pub fn id(&self) -> String {
+        self.key.join("/")
+    }
+}
+
+/// Extracts every line carrying all of `key_fields` plus a parsable
+/// `metric` number from a `BENCH_*.json` body.
+pub fn parse_rows(text: &str, key_fields: &[&str], metric: &str) -> Vec<Row> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let field = |key: &str| -> Option<String> {
+            let tag = format!("\"{key}\": ");
+            let start = line.find(&tag)? + tag.len();
+            let rest = &line[start..];
+            let rest = rest.strip_prefix('"').unwrap_or(rest);
+            let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].to_string())
+        };
+        let key: Option<Vec<String>> = key_fields.iter().map(|k| field(k)).collect();
+        if let (Some(key), Some(value)) = (key, field(metric).and_then(|v| v.parse().ok())) {
+            out.push(Row { key, value });
+        }
+    }
+    out
+}
+
+/// Which direction of the metric is an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Larger is better (throughput in imgs/sec).
+    Higher,
+    /// Smaller is better (latency in ns/pixel).
+    Lower,
+}
+
+/// Diffs a run against the committed baseline: the row sets must match
+/// exactly in both directions, and every row passing `regression_checked`
+/// may move against its [`Better`] direction by at most `max_regression`×.
+/// Returns human-readable failures (empty = pass).
+pub fn diff_rows(
+    baseline: &[Row],
+    current: &[Row],
+    max_regression: f64,
+    better: Better,
+    artifact: &str,
+    unit: &str,
+    regression_checked: impl Fn(&Row) -> bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in current {
+        let Some(base) = baseline.iter().find(|b| b.key == row.key) else {
+            failures.push(format!(
+                "row {} missing from baseline — regenerate and commit {artifact}",
+                row.id()
+            ));
+            continue;
+        };
+        let regressed = match better {
+            Better::Higher => row.value * max_regression < base.value,
+            Better::Lower => row.value > base.value * max_regression,
+        };
+        if regression_checked(row) && regressed {
+            failures.push(format!(
+                "{}: {:.1} {unit} regressed beyond {max_regression:.2}x of baseline {:.1} {unit}",
+                row.id(),
+                row.value,
+                base.value
+            ));
+        }
+    }
+    for base in baseline {
+        if !current.iter().any(|r| r.key == base.key) {
+            failures.push(format!(
+                "baseline row {} no longer measured — coverage shrank",
+                base.id()
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(key: &[&str], value: f64) -> Row {
+        Row {
+            key: key.iter().map(|s| s.to_string()).collect(),
+            value,
+        }
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_backslashes() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn parse_rows_extracts_keys_and_metric() {
+        let text = "{\n  \"results\": [\n    \
+             {\"model\": \"AlexNet\", \"phone\": \"x9\", \"batch\": 4, \"imgs_per_s\": 139.2},\n    \
+             {\"model\": \"VGG16\", \"phone\": \"x5\", \"batch\": 1, \"imgs_per_s\": 7.1}\n  ]\n}\n";
+        let rows = parse_rows(text, &["model", "phone", "batch"], "imgs_per_s");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], row(&["AlexNet", "x9", "4"], 139.2));
+        assert_eq!(rows[1].id(), "VGG16/x5/1");
+        // Lines missing a key field or the metric are skipped.
+        assert!(parse_rows("{\"model\": \"x\"}", &["model"], "imgs_per_s").is_empty());
+    }
+
+    #[test]
+    fn diff_flags_regressions_in_the_right_direction() {
+        let base = [row(&["a"], 100.0)];
+        // Higher-is-better: a drop beyond the allowance fails...
+        let bad = diff_rows(
+            &base,
+            &[row(&["a"], 70.0)],
+            1.25,
+            Better::Higher,
+            "B.json",
+            "imgs/s",
+            |_| true,
+        );
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        // ...a small wobble passes, and improvement always passes.
+        for ok in [85.0, 200.0] {
+            assert!(diff_rows(
+                &base,
+                &[row(&["a"], ok)],
+                1.25,
+                Better::Higher,
+                "B.json",
+                "imgs/s",
+                |_| true,
+            )
+            .is_empty());
+        }
+        // Lower-is-better flips the comparison.
+        let bad = diff_rows(
+            &base,
+            &[row(&["a"], 600.0)],
+            5.0,
+            Better::Lower,
+            "B.json",
+            "ns/px",
+            |_| true,
+        );
+        assert_eq!(bad.len(), 1);
+        // The filter exempts rows from the regression check (not from
+        // coverage).
+        assert!(diff_rows(
+            &base,
+            &[row(&["a"], 600.0)],
+            5.0,
+            Better::Lower,
+            "B.json",
+            "ns/px",
+            |_| false,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn diff_enforces_coverage_both_ways() {
+        let base = [row(&["a"], 1.0), row(&["b"], 1.0)];
+        let cur = [row(&["a"], 1.0), row(&["c"], 1.0)];
+        let fails = diff_rows(&base, &cur, 1.25, Better::Higher, "B.json", "u", |_| true);
+        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert!(fails.iter().any(|f| f.contains("missing from baseline")));
+        assert!(fails.iter().any(|f| f.contains("no longer measured")));
+    }
+}

@@ -34,8 +34,16 @@ fn main() {
     let plan = ExecutionPlan::for_arch(&arch, &phone.gpu);
     println!("execution-plan kernel routes (binary conv layers):");
     println!(
-        "  {:<8} {:>14} {:>6} {:>12} {:>12} {:>12} {:>12}  chosen",
-        "layer", "out shape", "C", "direct(ms)", "lowered(ms)", "direct(KB)", "lowered(KB)"
+        "  {:<8} {:>14} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}  chosen",
+        "layer",
+        "out shape",
+        "C",
+        "direct(ms)",
+        "lowered(ms)",
+        "direct(KB)",
+        "lowered(KB)",
+        "direct(mJ)",
+        "lowered(mJ)"
     );
     for (step, route) in plan.routes() {
         let Some(r) = route else { continue };
@@ -43,7 +51,7 @@ fn main() {
             continue;
         }
         println!(
-            "  {:<8} {:>14} {:>6} {:>12.3} {:>12.3} {:>12.1} {:>12.1}  {}",
+            "  {:<8} {:>14} {:>6} {:>12.3} {:>12.3} {:>12.1} {:>12.1} {:>12.3} {:>12.3}  {}",
             step.name,
             format!(
                 "{}x{}x{}",
@@ -54,6 +62,8 @@ fn main() {
             r.lowered_s * 1e3,
             r.direct_arena_bytes as f64 / 1e3,
             r.lowered_arena_bytes as f64 / 1e3,
+            r.direct_energy_j * 1e3,
+            r.lowered_energy_j * 1e3,
             r.path
         );
     }
@@ -67,7 +77,8 @@ fn main() {
         &ConvGeometry::square(1, 1, 0),
     );
     println!(
-        "  {:<8} {:>14} {:>6} {:>12.3} {:>12.3} {:>12.1} {:>12.1}  {}  (synthetic 1x1)",
+        "  {:<8} {:>14} {:>6} {:>12.3} {:>12.3} {:>12.1} {:>12.1} {:>12.3} {:>12.3}  {}  \
+         (synthetic 1x1)",
         "pw-1x1",
         "26x26x256",
         128,
@@ -75,7 +86,16 @@ fn main() {
         pw.lowered_s * 1e3,
         pw.direct_arena_bytes as f64 / 1e3,
         pw.lowered_arena_bytes as f64 / 1e3,
+        pw.direct_energy_j * 1e3,
+        pw.lowered_energy_j * 1e3,
         pw.path
+    );
+    println!(
+        "  route score = latency + {:.2} x arena-bytes/DRAM-pass + {:.2} x energy/{:.1}W \
+         (per-op energy = device power draw x modeled time + op/DRAM dynamic energy)",
+        phonebit_core::planner::ARENA_TRADEOFF_WEIGHT,
+        phonebit_core::planner::ENERGY_TRADEOFF_WEIGHT,
+        phonebit_core::planner::SOC_POWER_BUDGET_W
     );
     println!(
         "  arena: {} slots, {:.1} KB total ({:.1} KB weights resident)\n",

@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use phonebit_bench::baseline::{diff_rows, json_escape, parse_rows, Better, Row};
 use phonebit_nn::fuse::FusedBn;
 use phonebit_nn::kernels::bconv::{compute_bconv_fused, compute_bconv_fused_reference};
 use phonebit_tensor::bits::BitTensor;
@@ -24,11 +25,25 @@ use phonebit_tensor::pack::{pack_f32, pack_filters};
 use phonebit_tensor::shape::{ConvGeometry, FilterShape, Shape4};
 use phonebit_tensor::tensor::{Filters, Tensor};
 
+/// Identity + guarded metric of the entries this bin writes, for the
+/// shared baseline differ.
+const KEY_FIELDS: [&str; 2] = ["shape", "path"];
+const METRIC: &str = "ns_per_pixel";
+
 struct Measurement {
     shape: String,
     path: &'static str,
     median_ns: f64,
     ns_per_pixel: f64,
+}
+
+impl Measurement {
+    fn row(&self) -> Row {
+        Row {
+            key: vec![self.shape.clone(), self.path.to_string()],
+            value: self.ns_per_pixel,
+        }
+    }
 }
 
 fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
@@ -41,75 +56,6 @@ fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
         .collect();
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     times[times.len() / 2]
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Minimal parser for the `BENCH_bconv.json` this binary writes: extracts
-/// `(shape, path, ns_per_pixel)` triplets by scanning the known keys — no
-/// JSON crate in the offline workspace.
-fn parse_baseline(text: &str) -> Vec<(String, String, f64)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let field = |key: &str| -> Option<String> {
-            let tag = format!("\"{key}\": ");
-            let start = line.find(&tag)? + tag.len();
-            let rest = &line[start..];
-            let rest = rest.strip_prefix('"').unwrap_or(rest);
-            let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
-            Some(rest[..end].to_string())
-        };
-        if let (Some(shape), Some(path), Some(ns)) =
-            (field("shape"), field("path"), field("ns_per_pixel"))
-        {
-            if let Ok(ns) = ns.parse::<f64>() {
-                out.push((shape, path, ns));
-            }
-        }
-    }
-    out
-}
-
-/// Diffs this run against the committed baseline: the entry sets must
-/// match exactly, and no tiled measurement may regress beyond
-/// `max_regression`×. Returns the human-readable failures.
-fn diff_against_baseline(
-    baseline: &[(String, String, f64)],
-    results: &[Measurement],
-    max_regression: f64,
-) -> Vec<String> {
-    let mut failures = Vec::new();
-    for m in results {
-        let Some((_, _, base_ns)) = baseline
-            .iter()
-            .find(|(s, p, _)| s == &m.shape && p == m.path)
-        else {
-            failures.push(format!(
-                "entry {}/{} missing from baseline — regenerate and commit BENCH_bconv.json",
-                m.shape, m.path
-            ));
-            continue;
-        };
-        if m.path == "tiled" && m.ns_per_pixel > base_ns * max_regression {
-            failures.push(format!(
-                "{}: tiled {:.1} ns/px regressed beyond {:.1}x of baseline {:.1} ns/px",
-                m.shape, m.ns_per_pixel, max_regression, base_ns
-            ));
-        }
-    }
-    for (shape, path, _) in baseline {
-        if !results
-            .iter()
-            .any(|m| &m.shape == shape && m.path == path.as_str())
-        {
-            failures.push(format!(
-                "baseline entry {shape}/{path} no longer measured — shape coverage shrank"
-            ));
-        }
-    }
-    failures
 }
 
 fn main() {
@@ -254,12 +200,23 @@ fn main() {
             eprintln!("error: cannot read baseline {path}: {e}");
             std::process::exit(1);
         });
-        let baseline = parse_baseline(&text);
+        let baseline = parse_rows(&text, &KEY_FIELDS, METRIC);
         if baseline.is_empty() {
             eprintln!("error: baseline {path} holds no parsable entries");
             std::process::exit(1);
         }
-        let failures = diff_against_baseline(&baseline, &results, max_regression);
+        let current: Vec<Row> = results.iter().map(Measurement::row).collect();
+        // Only the tiled path is regression-gated: the reference kernel is
+        // kept for the speedup denominator, not guarded.
+        let failures = diff_rows(
+            &baseline,
+            &current,
+            max_regression,
+            Better::Lower,
+            "BENCH_bconv.json",
+            "ns/px",
+            |row| row.key[1] == "tiled",
+        );
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("baseline diff: {f}");

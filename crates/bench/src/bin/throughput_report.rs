@@ -18,12 +18,18 @@
 //! batched path from rotting. Everything is closed-form and deterministic,
 //! so no sampling flags are needed.)
 
+use phonebit_bench::baseline::{diff_rows, json_escape, parse_rows, Better, Row};
 use phonebit_core::{estimate_arch_batched, plan_on_batched};
 use phonebit_gpusim::calib::{CostParams, ExecutorClass};
 use phonebit_gpusim::Phone;
 use phonebit_models::zoo::{self, Variant};
 
 const BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Identity + guarded metric of the rows this bin writes, for the shared
+/// baseline differ.
+const KEY_FIELDS: [&str; 3] = ["model", "phone", "batch"];
+const METRIC: &str = "imgs_per_s";
 
 struct Measurement {
     model: String,
@@ -36,76 +42,17 @@ struct Measurement {
     peak_mb: f64,
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Minimal parser for the `BENCH_throughput.json` this binary writes:
-/// extracts `(model, phone, batch, imgs_per_s)` rows by scanning the known
-/// keys — no JSON crate in the offline workspace.
-fn parse_baseline(text: &str) -> Vec<(String, String, usize, f64)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let field = |key: &str| -> Option<String> {
-            let tag = format!("\"{key}\": ");
-            let start = line.find(&tag)? + tag.len();
-            let rest = &line[start..];
-            let rest = rest.strip_prefix('"').unwrap_or(rest);
-            let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
-            Some(rest[..end].to_string())
-        };
-        if let (Some(model), Some(phone), Some(batch), Some(ips)) = (
-            field("model"),
-            field("phone"),
-            field("batch"),
-            field("imgs_per_s"),
-        ) {
-            if let (Ok(batch), Ok(ips)) = (batch.parse::<usize>(), ips.parse::<f64>()) {
-                out.push((model, phone, batch, ips));
-            }
+impl Measurement {
+    fn row(&self) -> Row {
+        Row {
+            key: vec![
+                self.model.clone(),
+                self.phone.to_string(),
+                self.batch.to_string(),
+            ],
+            value: self.imgs_per_s,
         }
     }
-    out
-}
-
-/// Diffs this run against the committed baseline: the row sets must match
-/// exactly, and no steady imgs/sec may regress beyond `max_regression`×.
-fn diff_against_baseline(
-    baseline: &[(String, String, usize, f64)],
-    results: &[Measurement],
-    max_regression: f64,
-) -> Vec<String> {
-    let mut failures = Vec::new();
-    for m in results {
-        let Some((_, _, _, base_ips)) = baseline
-            .iter()
-            .find(|(mo, ph, ba, _)| mo == &m.model && ph == m.phone && *ba == m.batch)
-        else {
-            failures.push(format!(
-                "row {}/{}/batch{} missing from baseline — regenerate and commit \
-                 BENCH_throughput.json",
-                m.model, m.phone, m.batch
-            ));
-            continue;
-        };
-        if m.imgs_per_s * max_regression < *base_ips {
-            failures.push(format!(
-                "{}/{}/batch{}: {:.1} imgs/s regressed beyond {:.2}x of baseline {:.1} imgs/s",
-                m.model, m.phone, m.batch, m.imgs_per_s, max_regression, base_ips
-            ));
-        }
-    }
-    for (model, phone, batch, _) in baseline {
-        if !results
-            .iter()
-            .any(|m| &m.model == model && m.phone == phone && m.batch == *batch)
-        {
-            failures.push(format!(
-                "baseline row {model}/{phone}/batch{batch} no longer measured — coverage shrank"
-            ));
-        }
-    }
-    failures
 }
 
 fn main() {
@@ -237,12 +184,21 @@ fn main() {
             eprintln!("error: cannot read baseline {path}: {e}");
             std::process::exit(1);
         });
-        let baseline = parse_baseline(&text);
+        let baseline = parse_rows(&text, &KEY_FIELDS, METRIC);
         if baseline.is_empty() {
             eprintln!("error: baseline {path} holds no parsable rows");
             std::process::exit(1);
         }
-        let failures = diff_against_baseline(&baseline, &results, max_regression);
+        let current: Vec<Row> = results.iter().map(Measurement::row).collect();
+        let failures = diff_rows(
+            &baseline,
+            &current,
+            max_regression,
+            Better::Higher,
+            "BENCH_throughput.json",
+            "imgs/s",
+            |_| true,
+        );
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("baseline diff: {f}");

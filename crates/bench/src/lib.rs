@@ -23,5 +23,6 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod harness;
 pub mod paper;

@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use phonebit_cli::{cmd_bench, cmd_gen, cmd_info, cmd_run, cmd_serve, CliError, USAGE};
+use phonebit_cli::{cmd_bench, cmd_gen, cmd_info, cmd_plan, cmd_run, cmd_serve, CliError, USAGE};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -66,6 +66,37 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
             let [path] = pos[..] else {
                 return Err(CliError::Usage("serve needs <model.pbit>".into()));
             };
+            let count_flag = |flag: &str| -> Result<Option<usize>, CliError> {
+                flag_value(rest, flag)
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| CliError::Usage(format!("bad {flag} `{s}`")))
+                    })
+                    .transpose()
+            };
+            let batch = count_flag("--batch")?;
+            let requests = count_flag("--requests")?.unwrap_or(16);
+            let streams = count_flag("--streams")?.unwrap_or(1);
+            let slo_ms = flag_value(rest, "--slo-ms")
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| CliError::Usage(format!("bad --slo-ms `{s}`")))
+                })
+                .transpose()?;
+            cmd_serve(
+                &PathBuf::from(path),
+                &phone,
+                batch,
+                requests,
+                streams,
+                slo_ms,
+                seed,
+            )
+        }
+        "plan" => {
+            let [model] = pos[..] else {
+                return Err(CliError::Usage("plan needs <model>".into()));
+            };
             let count_flag = |flag: &str, default: usize| -> Result<usize, CliError> {
                 flag_value(rest, flag)
                     .map(|s| {
@@ -75,9 +106,11 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
                     .transpose()
                     .map(|v| v.unwrap_or(default))
             };
-            let batch = count_flag("--batch", 4)?;
-            let requests = count_flag("--requests", 16)?;
-            cmd_serve(&PathBuf::from(path), &phone, batch, requests, seed)
+            cmd_plan(
+                model,
+                count_flag("--batch", 4)?,
+                count_flag("--streams", 2)?,
+            )
         }
         "bench" => {
             let [model] = pos[..] else {

@@ -13,7 +13,10 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use phonebit_core::format::{load_file, save_file};
-use phonebit_core::{convert, estimate_arch, PbitLayer, PbitModel, Session};
+use phonebit_core::{
+    convert, estimate_arch, max_feasible_batch_sharded, plan_on_sharded, PbitLayer, PbitModel,
+    ServeOptions, ServeRuntime, Session,
+};
 use phonebit_gpusim::Phone;
 use phonebit_models::zoo::{self, Variant};
 use phonebit_models::{fill_weights, synthetic_image};
@@ -161,24 +164,42 @@ pub fn cmd_run(path: &Path, phone: &str, seed: u64) -> Result<String, CliError> 
     ))
 }
 
-/// `pbit serve <model.pbit> [--phone x9] [--batch N] [--requests R]`: a
-/// batched serving loop. Stages the model once with
-/// [`Session::new_batched`] (weights and GEMM banks shared across the
-/// whole stream, double-banked arena), feeds `R` synthetic requests in
-/// windows of `N`, and reports cold/steady window latency and steady-state
-/// images per second.
+/// `pbit serve <model.pbit> [--phone x9] [--batch N] [--requests R]
+/// [--streams S] [--slo-ms T]`: a serving loop.
+///
+/// With one stream and no SLO this is the PR 3 batched loop: the model is
+/// staged once with [`Session::new_batched`] (weights and GEMM banks
+/// shared across the whole stream, double-banked arena), `R` synthetic
+/// requests are fed in windows of `N`, and the report shows cold/steady
+/// window latency and steady-state images per second.
+///
+/// With `--streams > 1` or `--slo-ms`, serving goes through the sharded
+/// [`ServeRuntime`]: the admission controller picks the window size from
+/// the sharded memory cap and the p95 latency SLO (an explicit `--batch`
+/// is honored up to the cap), requests are sharded across `S` concurrent
+/// streams contending for the GPU, and the report shows the observed
+/// p50/p95/p99 window latencies and aggregate throughput.
 pub fn cmd_serve(
     path: &Path,
     phone: &str,
-    batch: usize,
+    batch: Option<usize>,
     requests: usize,
+    streams: usize,
+    slo_ms: Option<f64>,
     seed: u64,
 ) -> Result<String, CliError> {
-    if batch == 0 || requests == 0 {
+    if batch == Some(0) || requests == 0 || streams == 0 {
         return Err(CliError::Usage(
-            "serve needs --batch >= 1 and --requests >= 1".into(),
+            "serve needs --batch >= 1, --requests >= 1 and --streams >= 1".into(),
         ));
     }
+    if slo_ms.is_some_and(|s| s <= 0.0) {
+        return Err(CliError::Usage("serve needs --slo-ms > 0".into()));
+    }
+    if streams > 1 || slo_ms.is_some() {
+        return cmd_serve_sharded(path, phone, batch, requests, streams, slo_ms, seed);
+    }
+    let batch = batch.unwrap_or(4);
     let model = load_file(path)?;
     let phone = phone_by_name(phone)?;
     let input_shape = model.input;
@@ -245,6 +266,127 @@ pub fn cmd_serve(
     ))
 }
 
+/// The sharded (`--streams`/`--slo-ms`) arm of [`cmd_serve`].
+fn cmd_serve_sharded(
+    path: &Path,
+    phone: &str,
+    batch: Option<usize>,
+    requests: usize,
+    streams: usize,
+    slo_ms: Option<f64>,
+    seed: u64,
+) -> Result<String, CliError> {
+    let model = load_file(path)?;
+    let phone = phone_by_name(phone)?;
+    let input_shape = model.input;
+    let takes_u8 = model.takes_u8_input();
+    let name = model.name.clone();
+    let mut runtime = ServeRuntime::new(
+        model,
+        &phone,
+        ServeOptions {
+            streams,
+            batch,
+            slo_ms,
+        },
+    )
+    .map_err(|e| CliError::Engine(e.to_string()))?;
+    let report = if takes_u8 {
+        let reqs: Vec<_> = (0..requests)
+            .map(|i| synthetic_image(input_shape, seed + i as u64))
+            .collect();
+        runtime.serve_u8(&reqs)
+    } else {
+        let reqs: Vec<_> = (0..requests)
+            .map(|i| {
+                phonebit_models::to_float_input(&synthetic_image(input_shape, seed + i as u64))
+            })
+            .collect();
+        runtime.serve_f32(&reqs)
+    }
+    .map_err(|e| CliError::Engine(e.to_string()))?;
+    let adm = runtime.admission();
+    let slo_line = match adm.slo_ms {
+        Some(slo) => format!(
+            "slo {slo:.3} ms p95: {} (observed p95 {:.3} ms)",
+            if report.slo_met { "MET" } else { "MISSED" },
+            report.p95_ms
+        ),
+        None => "no slo".to_string(),
+    };
+    Ok(format!(
+        "served {} requests in {} windows of {} across {} streams on {} ({})\n\
+         model `{name}`: admission batch {} (cap {}, modeled window {:.3} ms), {slo_line}\n\
+         window latency p50/p95/p99 {:.3}/{:.3}/{:.3} ms, {:.1} imgs/s aggregate, \
+         resident {:.2} MiB (weights + {} x {} arena banks)",
+        report.served,
+        report.windows,
+        report.batch,
+        report.streams,
+        phone.name,
+        phone.gpu.name,
+        adm.batch,
+        adm.max_feasible_batch,
+        adm.modeled_window_ms,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.imgs_per_s,
+        runtime.resident_bytes() as f64 / (1024.0 * 1024.0),
+        streams,
+        runtime.staged().plan().banks,
+    ))
+}
+
+/// `pbit plan <model> [--batch 4] [--streams 2]`: deployment planning per
+/// phone — weights, the solo arena peak, the sharded
+/// (`streams × banks × Σ slots`) peak, and `max_feasible_batch` both solo
+/// and sharded, so capacity planning sees the same numbers the serving
+/// runtime's admission controller uses.
+pub fn cmd_plan(model: &str, batch: usize, streams: usize) -> Result<String, CliError> {
+    if batch == 0 || streams == 0 {
+        return Err(CliError::Usage(
+            "plan needs --batch >= 1 and --streams >= 1".into(),
+        ));
+    }
+    let arch = arch_by_name(model)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "deployment plan for `{}` (batch {batch}, {streams} stream{})",
+        arch.name,
+        if streams == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>12} {:>14} {:>10} {:>12} {:>6}",
+        "phone", "weights", "solo peak", "sharded peak", "max b", "max b shard", "fits"
+    );
+    for phone in Phone::all() {
+        let solo = plan_on_sharded(&arch, &phone.gpu, batch, 1);
+        let sharded = plan_on_sharded(&arch, &phone.gpu, batch, streams);
+        let max_solo = max_feasible_batch_sharded(&arch, &phone, 1);
+        let max_sharded = max_feasible_batch_sharded(&arch, &phone, streams);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8.2}MB {:>10.2}MB {:>12.2}MB {:>10} {:>12} {:>6}",
+            phone.name,
+            sharded.weights_bytes as f64 / 1e6,
+            solo.peak_bytes as f64 / 1e6,
+            sharded.peak_bytes as f64 / 1e6,
+            max_solo,
+            max_sharded,
+            if sharded.fits(&phone) { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "sharded peak = weights + streams x banks x sum(arena slots); \
+         max b = largest window that still fits the app budget"
+    );
+    Ok(out)
+}
+
 /// `pbit bench <model> <phone>`: full-scale modeled latency/energy of a zoo
 /// architecture (no weights materialized), Table III/IV style.
 pub fn cmd_bench(model: &str, phone: &str) -> Result<String, CliError> {
@@ -273,8 +415,14 @@ USAGE:
     pbit info  <model.pbit>                    describe a deployed model
     pbit run   <model.pbit> [--phone x9] [--seed N]
                                                run one inference, per-layer report
-    pbit serve <model.pbit> [--phone x9] [--batch 4] [--requests 16] [--seed N]
-                                               batched serving loop, steady imgs/s
+    pbit serve <model.pbit> [--phone x9] [--batch 4] [--requests 16]
+               [--streams 1] [--slo-ms T] [--seed N]
+                                               serving loop; >1 stream (or an SLO)
+                                               shards windows across concurrent
+                                               streams with admission control
+    pbit plan  <model> [--batch 4] [--streams 2]
+                                               per-phone deployment plan: solo and
+                                               sharded arena peaks, max feasible batch
     pbit bench <model> [--phone x9]            full-scale modeled latency/energy
     pbit help                                  this text
 
@@ -309,7 +457,7 @@ mod tests {
     fn serve_round_trip_reports_steady_throughput() {
         let path = tmp("serve_micro.pbit");
         cmd_gen("yolo-micro", &path, 7).unwrap();
-        let out = cmd_serve(&path, "x9", 4, 10, 5).unwrap();
+        let out = cmd_serve(&path, "x9", Some(4), 10, 1, None, 5).unwrap();
         assert!(
             out.contains("served 10 requests in 3 windows of 4"),
             "{out}"
@@ -317,8 +465,27 @@ mod tests {
         assert!(out.contains("imgs/s steady"), "{out}");
         assert!(out.contains("2 arena banks"), "{out}");
         // A batch-1 stream stages a single bank and says so.
-        let single = cmd_serve(&path, "x9", 1, 2, 5).unwrap();
+        let single = cmd_serve(&path, "x9", Some(1), 2, 1, None, 5).unwrap();
         assert!(single.contains("1 arena bank"), "{single}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_sharded_reports_admission_and_percentiles() {
+        let path = tmp("serve_shard.pbit");
+        cmd_gen("yolo-micro", &path, 7).unwrap();
+        let out = cmd_serve(&path, "x9", Some(2), 10, 2, None, 5).unwrap();
+        assert!(
+            out.contains("served 10 requests in 5 windows of 2 across 2 streams"),
+            "{out}"
+        );
+        assert!(out.contains("admission batch 2"), "{out}");
+        assert!(out.contains("p50/p95/p99"), "{out}");
+        assert!(out.contains("imgs/s aggregate"), "{out}");
+        // An SLO routes through the sharded path even at one stream, and
+        // the verdict is printed.
+        let slo = cmd_serve(&path, "x9", None, 8, 1, Some(1000.0), 5).unwrap();
+        assert!(slo.contains("slo 1000.000 ms p95: MET"), "{slo}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -327,14 +494,36 @@ mod tests {
         let path = tmp("serve_bad.pbit");
         cmd_gen("yolo-micro", &path, 7).unwrap();
         assert!(matches!(
-            cmd_serve(&path, "x9", 0, 10, 5),
+            cmd_serve(&path, "x9", Some(0), 10, 1, None, 5),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_serve(&path, "x9", 4, 0, 5),
+            cmd_serve(&path, "x9", Some(4), 0, 1, None, 5),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve(&path, "x9", Some(4), 8, 0, None, 5),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve(&path, "x9", Some(4), 8, 2, Some(0.0), 5),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plan_prints_sharded_peaks_for_both_phones() {
+        let out = cmd_plan("alexnet", 4, 2).unwrap();
+        assert!(
+            out.contains("Xiaomi 5") && out.contains("Xiaomi 9"),
+            "{out}"
+        );
+        assert!(out.contains("sharded peak"), "{out}");
+        assert!(out.contains("max b shard"), "{out}");
+        assert!(matches!(cmd_plan("alexnet", 0, 2), Err(CliError::Usage(_))));
+        assert!(matches!(cmd_plan("alexnet", 4, 0), Err(CliError::Usage(_))));
+        assert!(matches!(cmd_plan("resnet", 4, 2), Err(CliError::Usage(_))));
     }
 
     #[test]

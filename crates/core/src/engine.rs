@@ -26,10 +26,25 @@
 //! `tests/batched_engine.rs` across the model zoo and all four kernel
 //! routes.
 //!
+//! # StagedModel / Stream split
+//!
+//! The engine is two halves. [`StagedModel`] is everything staged once and
+//! never mutated — the model, its plan, the pre-flattened GEMM banks, the
+//! weight residency — shared behind an [`Arc`]. [`Stream`] is the per-
+//! stream mutable state — arena banks, command queue, double-buffer
+//! cursor. A [`Session`] is the compatibility pairing of one of each; the
+//! sharded serving runtime ([`crate::serve::ServeRuntime`]) instead runs
+//! many [`Stream`]s over one [`StagedModel`], their queues arbitrated by a
+//! shared [`DeviceClock`].
+//!
 //! [`run_batch_f32`]: Session::run_batch_f32
 
+use std::sync::Arc;
+
 use phonebit_gpusim::buffer::{Buffer, Context, SimError};
+use phonebit_gpusim::clock::DeviceClock;
 use phonebit_gpusim::queue::{CommandQueue, ExecMode};
+use phonebit_gpusim::DeviceProfile;
 use phonebit_gpusim::ExecutorClass;
 use phonebit_gpusim::Phone;
 use phonebit_nn::kernels::{self, bconv, bgemm, bitplane, dense, fconv, pool};
@@ -255,8 +270,463 @@ fn grow_bits(slot: &mut Option<BitTensor<u64>>, shape: Shape4) {
     }
 }
 
+/// The staged-once, immutable half of an inference engine: the model, its
+/// lowered [`ExecutionPlan`], the pre-flattened GEMM filter banks, and the
+/// device residency for the packed weights. Everything here is read-only
+/// after staging, so any number of [`Stream`]s can share one `StagedModel`
+/// behind an [`Arc`] — the paper's stage-weights-once claim extended from
+/// one batched stream to a whole sharded serving runtime.
+///
+/// The device [`Context`] lives here too: streams allocate their arena
+/// banks from it, so `resident_bytes` reports the true aggregate footprint
+/// (`weights + N_streams × banks × Σ slots`) and staging one stream too
+/// many fails with [`EngineError::OutOfMemory`] exactly like a single
+/// over-budget model would.
+#[derive(Debug)]
+pub struct StagedModel {
+    model: PbitModel,
+    plan: ExecutionPlan,
+    ctx: Context,
+    gpu: DeviceProfile,
+    _weight_residency: Vec<Buffer<u8>>,
+    /// One entry per step; `Some` holds the pre-flattened GEMM bank for
+    /// lowered-routed binary convolutions.
+    conv_banks: Vec<Option<PackedFilters<u64>>>,
+}
+
+impl StagedModel {
+    /// Stages a model's shared state on the given phone's GPU: lowers it to
+    /// its [`ExecutionPlan`] at `batch` images per window, pre-flattens the
+    /// GEMM filter banks the plan's routes need, and allocates the packed
+    /// weight residency against the phone's app memory budget. Streams are
+    /// staged separately ([`Stream::new`]) and share this state by `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when the weights alone exceed
+    /// the app budget, or [`EngineError::DomainMismatch`] when the model's
+    /// layer chain is domain-inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0`.
+    pub fn stage(model: PbitModel, phone: &Phone, batch: usize) -> Result<Arc<Self>, EngineError> {
+        let ctx = Context::new(phone.gpu.clone(), phone.app_budget_bytes());
+        let mut weight_residency = Vec::new();
+        for layer in &model.layers {
+            let bytes = layer.param_bytes();
+            if bytes > 0 {
+                weight_residency.push(ctx.alloc::<u8>(bytes)?);
+            }
+        }
+        let plan = ExecutionPlan::for_model_batched(&model, &phone.gpu, batch).map_err(|e| {
+            EngineError::DomainMismatch {
+                layer: e.layer,
+                expected: e.expected,
+            }
+        })?;
+        // Pre-flatten filter banks for GEMM-routed layers so per-inference
+        // runs pay neither the cost model nor the flatten again. Routes
+        // come from the batched plan, so a layer that only wins the GEMM
+        // lowering at batch scale still gets its bank.
+        let conv_banks = model
+            .layers
+            .iter()
+            .zip(plan.steps.iter())
+            .map(|(layer, step)| match (layer, step.route) {
+                (PbitLayer::BConv { filters, .. }, Some(route))
+                    if route.path == ConvPath::LoweredGemm =>
+                {
+                    Some(bgemm::flatten_filters(filters))
+                }
+                _ => None,
+            })
+            .collect();
+        Ok(Arc::new(Self {
+            model,
+            plan,
+            ctx,
+            gpu: phone.gpu.clone(),
+            _weight_residency: weight_residency,
+            conv_banks,
+        }))
+    }
+
+    /// The staged model.
+    pub fn model(&self) -> &PbitModel {
+        &self.model
+    }
+
+    /// The staged execution plan (routes, values, arena assignment).
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The GPU this model is staged on.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.gpu
+    }
+
+    /// Device memory currently allocated across the shared weights and
+    /// **every** live stream's arena banks, bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.ctx.used_bytes()
+    }
+}
+
+/// The mutable, per-stream half of an inference engine: arena banks, the
+/// command queue (with its timeline), the double-buffer cursor and the
+/// primed flag. Many streams may share one [`StagedModel`]; each stream is
+/// driven from its own thread by the sharded serving runtime
+/// ([`ServeRuntime`](crate::serve::ServeRuntime)), with a shared
+/// [`DeviceClock`] arbitrating the GPU between their queues.
+#[derive(Debug)]
+pub struct Stream {
+    staged: Arc<StagedModel>,
+    queue: CommandQueue,
+    _arena_residency: Vec<Buffer<u8>>,
+    /// `plan.banks` copies of the slot storage: single-image streams hold
+    /// one, batched streams double-buffer so the next window stages while
+    /// the current one computes.
+    banks: Vec<Vec<SlotStorage>>,
+    /// Bank receiving the next run's staging.
+    bank: usize,
+    /// Whether a batched stream is warm: once the first window has run,
+    /// later windows' host prep overlaps GPU compute (double buffering)
+    /// and the per-run framework overhead is no longer charged.
+    primed: bool,
+    capture_output: bool,
+}
+
+impl Stream {
+    /// Stages one stream over a shared [`StagedModel`]: allocates the
+    /// stream's own arena banks (host buffers sized once, device residency
+    /// drawn from the shared context) and a private command queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when this stream's arena banks
+    /// no longer fit the app budget alongside the weights and every
+    /// already-staged stream.
+    pub fn new(staged: Arc<StagedModel>) -> Result<Self, EngineError> {
+        let queue = CommandQueue::new(staged.gpu.clone(), ExecutorClass::PhoneBitOpenCl);
+        Self::with_queue(staged, queue)
+    }
+
+    /// [`Stream::new`] with the stream's queue attached to a shared
+    /// [`DeviceClock`], so co-resident streams contend for the GPU instead
+    /// of each pretending to own it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] under the same conditions as
+    /// [`Stream::new`].
+    pub fn with_clock(
+        staged: Arc<StagedModel>,
+        clock: Arc<DeviceClock>,
+    ) -> Result<Self, EngineError> {
+        let queue =
+            CommandQueue::new(staged.gpu.clone(), ExecutorClass::PhoneBitOpenCl).with_clock(clock);
+        Self::with_queue(staged, queue)
+    }
+
+    fn with_queue(staged: Arc<StagedModel>, queue: CommandQueue) -> Result<Self, EngineError> {
+        let plan = &staged.plan;
+        // Stage every arena bank: host buffers sized once, device residency
+        // held for the stream's lifetime (arena-true `resident_bytes`).
+        let mut banks: Vec<Vec<SlotStorage>> = (0..plan.banks)
+            .map(|_| plan.slots.iter().map(|_| SlotStorage::default()).collect())
+            .collect();
+        for bank in banks.iter_mut() {
+            for v in &plan.values {
+                bank[v.slot].prepare(v.kind, v.shape);
+            }
+        }
+        let mut arena_residency = Vec::with_capacity(plan.banks * plan.slots.len());
+        for _ in 0..plan.banks {
+            for &bytes in &plan.slots {
+                arena_residency.push(staged.ctx.alloc::<u8>(bytes)?);
+            }
+        }
+        Ok(Self {
+            staged,
+            queue,
+            _arena_residency: arena_residency,
+            banks,
+            bank: 0,
+            primed: false,
+            capture_output: true,
+        })
+    }
+
+    /// Switches the dispatch mode (estimate-only skips host compute).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.queue = self.queue.with_mode(mode);
+        self
+    }
+
+    /// Disables (or re-enables) cloning the final activations into
+    /// [`RunReport::output`]. With capture off, steady-state runs touch no
+    /// heap at all on the activation path.
+    pub fn with_output_capture(mut self, capture: bool) -> Self {
+        self.capture_output = capture;
+        self
+    }
+
+    /// The shared staged state this stream runs over.
+    pub fn staged(&self) -> &Arc<StagedModel> {
+        &self.staged
+    }
+
+    /// The dispatch timeline of the most recent run.
+    pub fn timeline(&self) -> &[phonebit_gpusim::LaunchEvent] {
+        self.queue.timeline()
+    }
+
+    /// Runs inference on an 8-bit image (models whose first layer is
+    /// [`PbitLayer::BConvInput8`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when the model takes float
+    /// input, the stream is batched, or the shape disagrees.
+    pub fn run_u8(&mut self, input: &Tensor<u8>) -> Result<RunReport, EngineError> {
+        if !self.staged.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "f32 input".into(),
+                got: "u8 image".into(),
+            });
+        }
+        self.check_single()?;
+        self.check_shape(input.shape())?;
+        self.run_data(InputRef::Bytes(input))
+    }
+
+    /// Runs inference on float input (models whose first layer is already
+    /// binary or float).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when the model takes `u8`
+    /// input, the stream is batched, or the shape disagrees.
+    pub fn run_f32(&mut self, input: &Tensor<f32>) -> Result<RunReport, EngineError> {
+        if self.staged.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "u8 image".into(),
+                got: "f32 tensor".into(),
+            });
+        }
+        self.check_single()?;
+        self.check_shape(input.shape())?;
+        self.run_data(InputRef::Floats(input))
+    }
+
+    /// Runs one batched window of up to `batch` 8-bit images. See
+    /// [`Session::run_batch_u8`] for the full contract (this is the same
+    /// entry point on a bare stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when the model takes float
+    /// input, the window is empty or larger than the staged batch, or any
+    /// image's shape disagrees.
+    pub fn run_batch_u8(&mut self, images: &[Tensor<u8>]) -> Result<RunReport, EngineError> {
+        if !self.staged.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "f32 input".into(),
+                got: "u8 images".into(),
+            });
+        }
+        self.check_window(images.len())?;
+        for img in images {
+            self.check_shape(img.shape())?;
+        }
+        let in_slot = self.staged.plan.values[self.staged.plan.input_value].slot;
+        let shape = self.staged.plan.input;
+        let store = self.banks[self.bank][in_slot]
+            .bytes
+            .as_mut()
+            .expect("arena slot: bytes staged");
+        store.reset(shape, Layout::Nhwc);
+        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_u8));
+        self.run_staged()
+    }
+
+    /// [`Stream::run_batch_u8`] for float-input models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] under the same conditions as
+    /// [`Stream::run_batch_u8`].
+    pub fn run_batch_f32(&mut self, images: &[Tensor<f32>]) -> Result<RunReport, EngineError> {
+        if self.staged.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "u8 images".into(),
+                got: "f32 tensors".into(),
+            });
+        }
+        self.check_window(images.len())?;
+        for img in images {
+            self.check_shape(img.shape())?;
+        }
+        let in_slot = self.staged.plan.values[self.staged.plan.input_value].slot;
+        let shape = self.staged.plan.input;
+        let store = self.banks[self.bank][in_slot]
+            .floats
+            .as_mut()
+            .expect("arena slot: floats staged");
+        store.reset(shape, Layout::Nhwc);
+        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_f32));
+        self.run_staged()
+    }
+
+    /// Forgets the double-buffer priming so the next batched window is
+    /// charged the cold per-run overhead again (a fresh request stream).
+    pub fn reset_stream(&mut self) {
+        self.primed = false;
+    }
+
+    fn check_single(&self) -> Result<(), EngineError> {
+        if self.staged.plan.batch > 1 {
+            return Err(EngineError::InputMismatch {
+                expected: format!(
+                    "batched window (stream staged at batch {})",
+                    self.staged.plan.batch
+                ),
+                got: "single image".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_window(&self, count: usize) -> Result<(), EngineError> {
+        if count == 0 || count > self.staged.plan.batch {
+            return Err(EngineError::InputMismatch {
+                expected: format!("1..={} images", self.staged.plan.batch),
+                got: format!("{count} images"),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_shape(&self, got: Shape4) -> Result<(), EngineError> {
+        if got != self.staged.model.input {
+            return Err(EngineError::InputMismatch {
+                expected: self.staged.model.input.to_string(),
+                got: got.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn run_data(&mut self, input: InputRef<'_>) -> Result<RunReport, EngineError> {
+        // Stage the input into its arena slot (a copy into preallocated
+        // storage, not an allocation).
+        let in_slot = self.staged.plan.values[self.staged.plan.input_value].slot;
+        match input {
+            InputRef::Bytes(t) => {
+                let store = self.banks[self.bank][in_slot]
+                    .bytes
+                    .as_mut()
+                    .expect("arena slot: bytes staged");
+                store.reset(t.shape(), t.layout());
+                store.as_mut_slice().copy_from_slice(t.as_slice());
+            }
+            InputRef::Floats(t) => {
+                let store = self.banks[self.bank][in_slot]
+                    .floats
+                    .as_mut()
+                    .expect("arena slot: floats staged");
+                store.reset(t.shape(), t.layout());
+                store.as_mut_slice().copy_from_slice(t.as_slice());
+            }
+        }
+        self.run_staged()
+    }
+
+    /// Walks the plan over the active bank (input already staged there),
+    /// then rotates the bank so the next window stages into the other one.
+    fn run_staged(&mut self) -> Result<RunReport, EngineError> {
+        // A plain field borrow, not an Arc clone: `staged` is disjoint
+        // from the `queue`/`banks` fields mutated below, and a refcount
+        // bump per window would ping-pong the counter's cache line across
+        // every stream thread in a sharded runtime.
+        let staged = &*self.staged;
+        let plan = &staged.plan;
+        self.queue.reset();
+        // Cold windows pay the framework's per-run overhead. In a primed
+        // batched stream the host prepared this window inside the previous
+        // window's GPU time (per-slot double buffering), so steady-state
+        // windows skip it.
+        if self.banks.len() == 1 || !self.primed {
+            let overhead = self.queue.per_run_overhead_s();
+            self.queue.host_delay(overhead);
+        }
+        let bank = self.bank;
+
+        let mut per_layer = Vec::with_capacity(staged.model.len());
+        for idx in 0..plan.steps.len() {
+            let t0 = self.queue.elapsed_s();
+            let e0 = self.queue.timeline().len();
+            // Field borrows are disjoint: the staged half is read-only,
+            // the queue and arena bank are the mutable execution state.
+            exec_step(
+                &mut self.queue,
+                &staged.model.layers[idx],
+                plan,
+                &staged.conv_banks,
+                &mut self.banks[bank],
+                idx,
+            );
+            let step = &plan.steps[idx];
+            let energy_j: f64 = self.queue.timeline()[e0..]
+                .iter()
+                .map(|ev| ev.stats.energy_j)
+                .sum();
+            per_layer.push(LayerRun {
+                name: step.name.clone(),
+                output_shape: step.out_shape,
+                time_s: self.queue.elapsed_s() - t0,
+                energy_j,
+            });
+        }
+
+        let output = if self.capture_output {
+            let out_val = &plan.values[plan.output_value()];
+            let store = &self.banks[bank][out_val.slot];
+            Some(match out_val.kind {
+                ValueKind::Bits => ActivationData::Bits(store.bits().clone()),
+                ValueKind::Floats => ActivationData::Floats(store.floats().clone()),
+                ValueKind::Bytes => ActivationData::Bytes(store.bytes_ref().clone()),
+                _ => unreachable!("network outputs are activations"),
+            })
+        } else {
+            None
+        };
+        if self.banks.len() > 1 {
+            self.primed = true;
+            self.bank = (self.bank + 1) % self.banks.len();
+        }
+        Ok(RunReport {
+            model: staged.model.name.clone(),
+            total_s: self.queue.elapsed_s(),
+            energy_j: self.queue.energy_j(),
+            peak_bytes: staged.ctx.peak_bytes(),
+            per_layer,
+            output,
+        })
+    }
+}
+
 /// An inference session: a model staged on a phone's GPU, single-image
 /// ([`Session::new`]) or batched ([`Session::new_batched`]).
+///
+/// Internally a `Session` is the thin compatibility pairing of the two
+/// halves the serving runtime uses separately: one [`StagedModel`] (shared,
+/// immutable) driving exactly one [`Stream`] (private, mutable). Every
+/// method delegates, so single-session behavior is identical to the
+/// pre-split engine while [`ServeRuntime`](crate::serve::ServeRuntime) can
+/// shard many streams over the same staged state.
 ///
 /// # Examples
 ///
@@ -293,26 +763,7 @@ fn grow_bits(slot: &mut Option<BitTensor<u64>>, shape: Shape4) {
 /// ```
 #[derive(Debug)]
 pub struct Session {
-    model: PbitModel,
-    plan: ExecutionPlan,
-    queue: CommandQueue,
-    ctx: Context,
-    _weight_residency: Vec<Buffer<u8>>,
-    _arena_residency: Vec<Buffer<u8>>,
-    /// One entry per step; `Some` holds the pre-flattened GEMM bank for
-    /// lowered-routed binary convolutions.
-    conv_banks: Vec<Option<PackedFilters<u64>>>,
-    /// `plan.banks` copies of the slot storage: single-image sessions hold
-    /// one, batched sessions double-buffer so the next window stages while
-    /// the current one computes.
-    banks: Vec<Vec<SlotStorage>>,
-    /// Bank receiving the next run's staging.
-    bank: usize,
-    /// Whether a batched stream is warm: once the first window has run,
-    /// later windows' host prep overlaps GPU compute (double buffering)
-    /// and the per-run framework overhead is no longer charged.
-    primed: bool,
-    capture_output: bool,
+    stream: Stream,
 }
 
 impl Session {
@@ -350,72 +801,15 @@ impl Session {
     ///
     /// Panics when `batch == 0`.
     pub fn new_batched(model: PbitModel, phone: &Phone, batch: usize) -> Result<Self, EngineError> {
-        let ctx = Context::new(phone.gpu.clone(), phone.app_budget_bytes());
-        let queue = CommandQueue::new(phone.gpu.clone(), ExecutorClass::PhoneBitOpenCl);
-        let mut weight_residency = Vec::new();
-        for layer in &model.layers {
-            let bytes = layer.param_bytes();
-            if bytes > 0 {
-                weight_residency.push(ctx.alloc::<u8>(bytes)?);
-            }
-        }
-        let plan = ExecutionPlan::for_model_batched(&model, &phone.gpu, batch).map_err(|e| {
-            EngineError::DomainMismatch {
-                layer: e.layer,
-                expected: e.expected,
-            }
-        })?;
-        // Pre-flatten filter banks for GEMM-routed layers so per-inference
-        // runs pay neither the cost model nor the flatten again. Routes
-        // come from the batched plan, so a layer that only wins the GEMM
-        // lowering at batch scale still gets its bank.
-        let conv_banks = model
-            .layers
-            .iter()
-            .zip(plan.steps.iter())
-            .map(|(layer, step)| match (layer, step.route) {
-                (PbitLayer::BConv { filters, .. }, Some(route))
-                    if route.path == ConvPath::LoweredGemm =>
-                {
-                    Some(bgemm::flatten_filters(filters))
-                }
-                _ => None,
-            })
-            .collect();
-        // Stage every arena bank: host buffers sized once, device residency
-        // held for the session's lifetime (arena-true `resident_bytes`).
-        let mut banks: Vec<Vec<SlotStorage>> = (0..plan.banks)
-            .map(|_| plan.slots.iter().map(|_| SlotStorage::default()).collect())
-            .collect();
-        for bank in banks.iter_mut() {
-            for v in &plan.values {
-                bank[v.slot].prepare(v.kind, v.shape);
-            }
-        }
-        let mut arena_residency = Vec::with_capacity(plan.banks * plan.slots.len());
-        for _ in 0..plan.banks {
-            for &bytes in &plan.slots {
-                arena_residency.push(ctx.alloc::<u8>(bytes)?);
-            }
-        }
+        let staged = StagedModel::stage(model, phone, batch)?;
         Ok(Self {
-            model,
-            plan,
-            queue,
-            ctx,
-            _weight_residency: weight_residency,
-            _arena_residency: arena_residency,
-            conv_banks,
-            banks,
-            bank: 0,
-            primed: false,
-            capture_output: true,
+            stream: Stream::new(staged)?,
         })
     }
 
     /// Switches the dispatch mode (estimate-only skips host compute).
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
-        self.queue = self.queue.with_mode(mode);
+        self.stream = self.stream.with_mode(mode);
         self
     }
 
@@ -423,29 +817,29 @@ impl Session {
     /// [`RunReport::output`]. With capture off, steady-state runs touch no
     /// heap at all on the activation path.
     pub fn with_output_capture(mut self, capture: bool) -> Self {
-        self.capture_output = capture;
+        self.stream = self.stream.with_output_capture(capture);
         self
     }
 
     /// The staged model.
     pub fn model(&self) -> &PbitModel {
-        &self.model
+        self.stream.staged().model()
     }
 
     /// The staged execution plan (routes, values, arena assignment).
     pub fn plan(&self) -> &ExecutionPlan {
-        &self.plan
+        self.stream.staged().plan()
     }
 
     /// Device memory currently allocated (weights + activation arena), bytes.
     pub fn resident_bytes(&self) -> usize {
-        self.ctx.used_bytes()
+        self.stream.staged().resident_bytes()
     }
 
     /// The dispatch timeline of the most recent run — input to the
     /// Trepn-like power profiler (`phonebit-profiler`).
     pub fn timeline(&self) -> &[phonebit_gpusim::LaunchEvent] {
-        self.queue.timeline()
+        self.stream.timeline()
     }
 
     /// Runs inference on an 8-bit image (models whose first layer is
@@ -456,15 +850,7 @@ impl Session {
     /// Returns [`EngineError::InputMismatch`] when the model takes float
     /// input, the session is batched, or the shape disagrees.
     pub fn run_u8(&mut self, input: &Tensor<u8>) -> Result<RunReport, EngineError> {
-        if !self.model.takes_u8_input() {
-            return Err(EngineError::InputMismatch {
-                expected: "f32 input".into(),
-                got: "u8 image".into(),
-            });
-        }
-        self.check_single()?;
-        self.check_shape(input.shape())?;
-        self.run_data(InputRef::Bytes(input))
+        self.stream.run_u8(input)
     }
 
     /// Runs inference on float input (models whose first layer is already
@@ -475,15 +861,7 @@ impl Session {
     /// Returns [`EngineError::InputMismatch`] when the model takes `u8`
     /// input, the session is batched, or the shape disagrees.
     pub fn run_f32(&mut self, input: &Tensor<f32>) -> Result<RunReport, EngineError> {
-        if self.model.takes_u8_input() {
-            return Err(EngineError::InputMismatch {
-                expected: "u8 image".into(),
-                got: "f32 tensor".into(),
-            });
-        }
-        self.check_single()?;
-        self.check_shape(input.shape())?;
-        self.run_data(InputRef::Floats(input))
+        self.stream.run_f32(input)
     }
 
     /// Runs one batched window of up to `batch` 8-bit images through a
@@ -505,25 +883,7 @@ impl Session {
     /// input, the window is empty or larger than the staged batch, or any
     /// image's shape disagrees.
     pub fn run_batch_u8(&mut self, images: &[Tensor<u8>]) -> Result<RunReport, EngineError> {
-        if !self.model.takes_u8_input() {
-            return Err(EngineError::InputMismatch {
-                expected: "f32 input".into(),
-                got: "u8 images".into(),
-            });
-        }
-        self.check_window(images.len())?;
-        for img in images {
-            self.check_shape(img.shape())?;
-        }
-        let in_slot = self.plan.values[self.plan.input_value].slot;
-        let shape = self.plan.input;
-        let store = self.banks[self.bank][in_slot]
-            .bytes
-            .as_mut()
-            .expect("arena slot: bytes staged");
-        store.reset(shape, Layout::Nhwc);
-        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_u8));
-        self.run_staged()
+        self.stream.run_batch_u8(images)
     }
 
     /// [`Session::run_batch_u8`] for float-input models.
@@ -533,156 +893,13 @@ impl Session {
     /// Returns [`EngineError::InputMismatch`] under the same conditions as
     /// [`Session::run_batch_u8`].
     pub fn run_batch_f32(&mut self, images: &[Tensor<f32>]) -> Result<RunReport, EngineError> {
-        if self.model.takes_u8_input() {
-            return Err(EngineError::InputMismatch {
-                expected: "u8 images".into(),
-                got: "f32 tensors".into(),
-            });
-        }
-        self.check_window(images.len())?;
-        for img in images {
-            self.check_shape(img.shape())?;
-        }
-        let in_slot = self.plan.values[self.plan.input_value].slot;
-        let shape = self.plan.input;
-        let store = self.banks[self.bank][in_slot]
-            .floats
-            .as_mut()
-            .expect("arena slot: floats staged");
-        store.reset(shape, Layout::Nhwc);
-        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_f32));
-        self.run_staged()
+        self.stream.run_batch_f32(images)
     }
 
     /// Forgets the double-buffer priming so the next batched window is
     /// charged the cold per-run overhead again (a fresh request stream).
     pub fn reset_stream(&mut self) {
-        self.primed = false;
-    }
-
-    fn check_single(&self) -> Result<(), EngineError> {
-        if self.plan.batch > 1 {
-            return Err(EngineError::InputMismatch {
-                expected: format!(
-                    "batched window (session staged at batch {})",
-                    self.plan.batch
-                ),
-                got: "single image".into(),
-            });
-        }
-        Ok(())
-    }
-
-    fn check_window(&self, count: usize) -> Result<(), EngineError> {
-        if count == 0 || count > self.plan.batch {
-            return Err(EngineError::InputMismatch {
-                expected: format!("1..={} images", self.plan.batch),
-                got: format!("{count} images"),
-            });
-        }
-        Ok(())
-    }
-
-    fn check_shape(&self, got: Shape4) -> Result<(), EngineError> {
-        if got != self.model.input {
-            return Err(EngineError::InputMismatch {
-                expected: self.model.input.to_string(),
-                got: got.to_string(),
-            });
-        }
-        Ok(())
-    }
-
-    fn run_data(&mut self, input: InputRef<'_>) -> Result<RunReport, EngineError> {
-        // Stage the input into its arena slot (a copy into preallocated
-        // storage, not an allocation).
-        let in_slot = self.plan.values[self.plan.input_value].slot;
-        match input {
-            InputRef::Bytes(t) => {
-                let store = self.banks[self.bank][in_slot]
-                    .bytes
-                    .as_mut()
-                    .expect("arena slot: bytes staged");
-                store.reset(t.shape(), t.layout());
-                store.as_mut_slice().copy_from_slice(t.as_slice());
-            }
-            InputRef::Floats(t) => {
-                let store = self.banks[self.bank][in_slot]
-                    .floats
-                    .as_mut()
-                    .expect("arena slot: floats staged");
-                store.reset(t.shape(), t.layout());
-                store.as_mut_slice().copy_from_slice(t.as_slice());
-            }
-        }
-        self.run_staged()
-    }
-
-    /// Walks the plan over the active bank (input already staged there),
-    /// then rotates the bank so the next window stages into the other one.
-    fn run_staged(&mut self) -> Result<RunReport, EngineError> {
-        self.queue.reset();
-        // Cold windows pay the framework's per-run overhead. In a primed
-        // batched stream the host prepared this window inside the previous
-        // window's GPU time (per-slot double buffering), so steady-state
-        // windows skip it.
-        if self.banks.len() == 1 || !self.primed {
-            let overhead = self.queue.per_run_overhead_s();
-            self.queue.host_delay(overhead);
-        }
-        let bank = self.bank;
-
-        let mut per_layer = Vec::with_capacity(self.model.len());
-        for idx in 0..self.plan.steps.len() {
-            let t0 = self.queue.elapsed_s();
-            let e0 = self.queue.timeline().len();
-            // Field borrows are disjoint: the plan and model are read-only,
-            // the queue and arena bank are the mutable execution state.
-            exec_step(
-                &mut self.queue,
-                &self.model.layers[idx],
-                &self.plan,
-                &self.conv_banks,
-                &mut self.banks[bank],
-                idx,
-            );
-            let step = &self.plan.steps[idx];
-            let energy_j: f64 = self.queue.timeline()[e0..]
-                .iter()
-                .map(|ev| ev.stats.energy_j)
-                .sum();
-            per_layer.push(LayerRun {
-                name: step.name.clone(),
-                output_shape: step.out_shape,
-                time_s: self.queue.elapsed_s() - t0,
-                energy_j,
-            });
-        }
-
-        let output = if self.capture_output {
-            let out_val = &self.plan.values[self.plan.output_value()];
-            let store = &self.banks[bank][out_val.slot];
-            Some(match out_val.kind {
-                ValueKind::Bits => ActivationData::Bits(store.bits().clone()),
-                ValueKind::Floats => ActivationData::Floats(store.floats().clone()),
-                ValueKind::Bytes => ActivationData::Bytes(store.bytes_ref().clone()),
-                _ => unreachable!("network outputs are activations"),
-            })
-        } else {
-            None
-        };
-        if self.banks.len() > 1 {
-            self.primed = true;
-            self.bank = (self.bank + 1) % self.banks.len();
-        }
-        Ok(RunReport {
-            model: self.model.name.clone(),
-            total_s: self.queue.elapsed_s(),
-            energy_j: self.queue.energy_j(),
-            peak_bytes: self.ctx.peak_bytes(),
-            per_layer,
-            output,
-        })
+        self.stream.reset_stream();
     }
 }
 

@@ -20,6 +20,7 @@ use phonebit_nn::graph::{LayerSpec, NetworkArch};
 use phonebit_nn::kernels::{bgemm, profiles};
 use phonebit_nn::workload::WorkloadPolicy;
 
+use crate::model::{PbitLayer, PbitModel};
 use crate::plan::{ExecutionPlan, RouteOverrides, StepOp};
 use crate::planner::ConvPath;
 use crate::stats::{LayerRun, RunReport};
@@ -97,8 +98,64 @@ fn estimate_impl(
         },
     );
 
+    let extras = activation_extras_arch(&plan, arch);
+    let per_layer = walk_plan(&mut q, &plan, &extras, opts);
+    RunReport {
+        model: arch.name.clone(),
+        total_s: q.elapsed_s(),
+        energy_j: q.energy_j(),
+        peak_bytes: plan.peak_bytes(),
+        per_layer,
+        output: None,
+    }
+}
+
+/// Per-step f32 operations not derivable from the plan alone: the float
+/// convolution's fused activation epilogue, read off the arch's layer
+/// specs.
+pub(crate) fn activation_extras_arch(plan: &ExecutionPlan, arch: &NetworkArch) -> Vec<f64> {
+    plan.steps
+        .iter()
+        .zip(arch.layers.iter())
+        .map(|(step, layer)| match (&step.op, layer) {
+            (StepOp::FConv { .. }, LayerSpec::Conv(c)) => {
+                step.out_shape.len() as f64 * c.activation.ops_per_element()
+            }
+            _ => 0.0,
+        })
+        .collect()
+}
+
+/// [`activation_extras_arch`] for a deployed model (the serving runtime's
+/// admission controller models windows straight from the `PbitModel`).
+pub(crate) fn activation_extras_model(plan: &ExecutionPlan, model: &PbitModel) -> Vec<f64> {
+    plan.steps
+        .iter()
+        .zip(model.layers.iter())
+        .map(|(step, layer)| match (&step.op, layer) {
+            (StepOp::FConv { .. }, PbitLayer::FConv { activation, .. }) => {
+                step.out_shape.len() as f64 * activation.ops_per_element()
+            }
+            _ => 0.0,
+        })
+        .collect()
+}
+
+/// Dispatches the exact kernel-profile sequence the engine issues for
+/// `plan` onto `q` (estimate-only: no kernel bodies), one step at a time,
+/// and returns the per-layer breakdown. Shared by the full-scale
+/// estimator and the serving runtime's admission/throughput modeling —
+/// attach a contended queue (see
+/// [`DeviceClock`](phonebit_gpusim::clock::DeviceClock)) to model a
+/// multi-stream device.
+pub(crate) fn walk_plan(
+    q: &mut CommandQueue,
+    plan: &ExecutionPlan,
+    extras: &[f64],
+    opts: EstimateOptions,
+) -> Vec<LayerRun> {
     let mut per_layer = Vec::with_capacity(plan.steps.len());
-    for (step, layer) in plan.steps.iter().zip(arch.layers.iter()) {
+    for (idx, step) in plan.steps.iter().enumerate() {
         let t0 = q.elapsed_s();
         let e0 = q.timeline().len();
         let in_shape = step.in_shape;
@@ -172,9 +229,7 @@ fn estimate_impl(
             }
             StepOp::FConv { geom, k } => {
                 let mut p = profiles::fconv(out_shape.pixels(), *k, in_c, geom);
-                if let LayerSpec::Conv(c) = layer {
-                    p.f32_ops += out_shape.len() as f64 * c.activation.ops_per_element();
-                }
+                p.f32_ops += extras.get(idx).copied().unwrap_or(0.0);
                 q.launch(p, || {});
             }
             StepOp::MaxPoolBits { size, .. } => {
@@ -218,14 +273,7 @@ fn estimate_impl(
             energy_j,
         });
     }
-    RunReport {
-        model: arch.name.clone(),
-        total_s: q.elapsed_s(),
-        energy_j: q.energy_j(),
-        peak_bytes: plan.peak_bytes(),
-        per_layer,
-        output: None,
-    }
+    per_layer
 }
 
 #[cfg(test)]

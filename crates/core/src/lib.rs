@@ -38,16 +38,20 @@ pub mod format;
 pub mod model;
 pub mod plan;
 pub mod planner;
+pub mod serve;
 pub mod stats;
 
 pub use builder::NetworkBuilder;
 pub use convert::convert;
-pub use engine::{ActivationData, EngineError, Session};
+pub use engine::{ActivationData, EngineError, Session, StagedModel, Stream};
 pub use estimate::{estimate_arch, estimate_arch_batched, estimate_arch_opts, EstimateOptions};
 pub use model::{PbitLayer, PbitModel};
 pub use plan::{ExecutionPlan, PlanStep, PlanValue, RouteOverrides, StepOp, ValueKind, ValueRole};
 pub use planner::{
-    max_feasible_batch, plan, plan_batched, plan_on, plan_on_batched, select_conv_path, ConvPath,
-    ConvPlan, MemoryPlan,
+    max_feasible_batch, max_feasible_batch_sharded, plan, plan_batched, plan_on, plan_on_batched,
+    plan_on_sharded, select_conv_path, ConvPath, ConvPlan, MemoryPlan,
+};
+pub use serve::{
+    estimate_serve, Admission, ServeEstimate, ServeOptions, ServeReport, ServeRuntime,
 };
 pub use stats::{LayerRun, RunReport};

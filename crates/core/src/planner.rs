@@ -78,9 +78,13 @@ pub struct MemoryPlan {
     pub arena_slots: Vec<usize>,
     /// Images per inference window this plan was lowered for.
     pub batch: usize,
-    /// Arena banks the engine stages (2 for batched plans — per-slot
+    /// Arena banks **each stream** stages (2 for batched plans — per-slot
     /// double buffering).
     pub banks: usize,
+    /// Concurrent streams sharing the staged weights: every stream holds
+    /// its own `banks × Σ slots` arena, so the activation peak is
+    /// `streams × banks × Σ slots` (1 for unsharded plans).
+    pub streams: usize,
     /// Per-layer breakdown.
     pub per_layer: Vec<LayerFootprint>,
 }
@@ -124,6 +128,23 @@ impl std::fmt::Display for ConvPath {
 /// minimal-footprint claim becomes a term the planner can trade against).
 pub const ARENA_TRADEOFF_WEIGHT: f64 = 0.25;
 
+/// Weight of the energy term in the route score. Each candidate path's
+/// modeled per-op energy (instruction energy + DRAM traffic + static power
+/// over its modeled time — the device profile's power draw × time, as the
+/// cost model integrates it) is converted into latency-equivalent seconds
+/// by dividing through [`SOC_POWER_BUDGET_W`], then charged at this
+/// weight. Energy correlates with latency on compute-bound paths, so the
+/// term acts as a tie-breaker that penalizes DRAM-hungry round trips
+/// (Table IV's mW column becomes a planning input, closing the PR 2
+/// follow-up).
+pub const ENERGY_TRADEOFF_WEIGHT: f64 = 0.1;
+
+/// Sustained SoC power budget used to express joules as seconds in the
+/// route score: mobile SoCs throttle around a ~2 W sustained draw, so a
+/// path that burns `E` joules forfeits roughly `E / 2 W` of future
+/// compute time to thermal headroom.
+pub const SOC_POWER_BUDGET_W: f64 = 2.0;
+
 /// A per-layer kernel-path decision with the modeled costs behind it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConvPlan {
@@ -139,6 +160,11 @@ pub struct ConvPlan {
     /// Arena scratch bytes the lowered path stages (the materialized
     /// bit-im2col window rows, unless the GEMM is a pointwise view).
     pub lowered_arena_bytes: usize,
+    /// Modeled energy of the direct path's dispatches, joules (instruction
+    /// + DRAM + static-power draw over the modeled time).
+    pub direct_energy_j: f64,
+    /// Modeled energy of the lowered path's dispatches, joules.
+    pub lowered_energy_j: f64,
 }
 
 impl ConvPlan {
@@ -147,6 +173,14 @@ impl ConvPlan {
         match self.path {
             ConvPath::LoweredGemm => self.lowered_arena_bytes,
             _ => self.direct_arena_bytes,
+        }
+    }
+
+    /// Modeled energy of the chosen path, joules.
+    pub fn energy_j(&self) -> f64 {
+        match self.path {
+            ConvPath::LoweredGemm => self.lowered_energy_j,
+            _ => self.direct_energy_j,
         }
     }
 }
@@ -171,35 +205,43 @@ pub fn select_conv_path(
 ) -> ConvPlan {
     let params = CostParams::for_executor(ExecutorClass::PhoneBitOpenCl);
     let energy = EnergyParams::for_kind(DeviceKind::Gpu);
-    let time = |p| estimate(&p, device, &params, &energy).time_s;
-
-    let policy = WorkloadPolicy::for_channels(in_channels);
-    let (direct_s, direct_arena_bytes) = if in_channels <= INTEGRATION_CHANNEL_LIMIT {
-        (
-            time(profiles::bconv_fused(
-                out_pixels,
-                out_channels,
-                in_channels,
-                geom,
-                &policy,
-            )),
-            0,
-        )
-    } else {
-        (
-            time(profiles::bconv_accum(
-                out_pixels,
-                out_channels,
-                in_channels,
-                geom,
-                &policy,
-            )) + time(profiles::binarize_pack(out_pixels, out_channels)),
-            out_pixels * out_channels * 4,
-        )
+    // (seconds, joules) of one dispatch — the energy already integrates
+    // the device's power draw over the modeled time (static watts × time
+    // plus per-op and per-DRAM-byte dynamic energy).
+    let cost = |p| {
+        let s = estimate(&p, device, &params, &energy);
+        (s.time_s, s.energy_j)
     };
 
+    let policy = WorkloadPolicy::for_channels(in_channels);
+    let (direct_s, direct_energy_j, direct_arena_bytes) =
+        if in_channels <= INTEGRATION_CHANNEL_LIMIT {
+            let (t, e) = cost(profiles::bconv_fused(
+                out_pixels,
+                out_channels,
+                in_channels,
+                geom,
+                &policy,
+            ));
+            (t, e, 0)
+        } else {
+            let (t_acc, e_acc) = cost(profiles::bconv_accum(
+                out_pixels,
+                out_channels,
+                in_channels,
+                geom,
+                &policy,
+            ));
+            let (t_pack, e_pack) = cost(profiles::binarize_pack(out_pixels, out_channels));
+            (
+                t_acc + t_pack,
+                e_acc + e_pack,
+                out_pixels * out_channels * 4,
+            )
+        };
+
     let gemm_is_view = geom.is_pointwise();
-    let mut lowered_s = time(bgemm::bgemm_profile(
+    let (mut lowered_s, mut lowered_energy_j) = cost(bgemm::bgemm_profile(
         out_pixels,
         out_channels,
         in_channels,
@@ -207,14 +249,19 @@ pub fn select_conv_path(
     ));
     let mut lowered_arena_bytes = 0;
     if !gemm_is_view {
-        lowered_s += time(bgemm::pack_windows_profile(out_pixels, in_channels, geom));
+        let (t, e) = cost(bgemm::pack_windows_profile(out_pixels, in_channels, geom));
+        lowered_s += t;
+        lowered_energy_j += e;
         lowered_arena_bytes = out_pixels * (geom.taps() * in_channels).div_ceil(64) * 8;
     }
 
     // Footprint term: bytes charged at a fraction of one DRAM pass.
     let arena_s = |bytes: usize| ARENA_TRADEOFF_WEIGHT * bytes as f64 / (device.dram_gbps * 1e9);
-    let direct_score = direct_s + arena_s(direct_arena_bytes);
-    let lowered_score = lowered_s + arena_s(lowered_arena_bytes);
+    // Energy term: joules expressed as seconds of the SoC's sustained
+    // power budget (per-op energy from the profile's power draw × time).
+    let energy_s = |joules: f64| ENERGY_TRADEOFF_WEIGHT * joules / SOC_POWER_BUDGET_W;
+    let direct_score = direct_s + arena_s(direct_arena_bytes) + energy_s(direct_energy_j);
+    let lowered_score = lowered_s + arena_s(lowered_arena_bytes) + energy_s(lowered_energy_j);
 
     let path = if gemm_is_view || lowered_score < direct_score {
         ConvPath::LoweredGemm
@@ -229,6 +276,8 @@ pub fn select_conv_path(
         lowered_s,
         direct_arena_bytes,
         lowered_arena_bytes,
+        direct_energy_j,
+        lowered_energy_j,
     }
 }
 
@@ -262,6 +311,25 @@ pub fn plan_batched(arch: &NetworkArch, batch: usize) -> MemoryPlan {
 ///
 /// Panics when `batch == 0`.
 pub fn plan_on_batched(arch: &NetworkArch, device: &DeviceProfile, batch: usize) -> MemoryPlan {
+    plan_on_sharded(arch, device, batch, 1)
+}
+
+/// Plans the **sharded** deployed footprint: `streams` concurrent streams
+/// share one staged weight set, but each holds its own double-banked
+/// arena, so the activation peak grows to `streams × banks × Σ slots` —
+/// exactly what a [`ServeRuntime`](crate::serve::ServeRuntime) with that
+/// many streams keeps resident.
+///
+/// # Panics
+///
+/// Panics when `batch == 0` or `streams == 0`.
+pub fn plan_on_sharded(
+    arch: &NetworkArch,
+    device: &DeviceProfile,
+    batch: usize,
+    streams: usize,
+) -> MemoryPlan {
+    assert!(streams >= 1, "streams must be at least 1");
     let ep = crate::plan::ExecutionPlan::for_arch_batched(arch, device, batch);
     let per_layer = ep
         .steps
@@ -276,13 +344,15 @@ pub fn plan_on_batched(arch: &NetworkArch, device: &DeviceProfile, batch: usize)
             }
         })
         .collect();
+    let peak_activation_bytes = streams * ep.staged_arena_bytes();
     MemoryPlan {
         weights_bytes: ep.weights_bytes,
-        peak_activation_bytes: ep.staged_arena_bytes(),
-        peak_bytes: ep.peak_bytes(),
+        peak_activation_bytes,
+        peak_bytes: ep.weights_bytes + peak_activation_bytes,
         arena_slots: ep.slots,
         batch: ep.batch,
         banks: ep.banks,
+        streams,
         per_layer,
     }
 }
@@ -292,19 +362,38 @@ pub fn plan_on_batched(arch: &NetworkArch, device: &DeviceProfile, batch: usize)
 /// before requests start to OOM. Returns 0 when even a single image does
 /// not fit (the paper's CNNdroid-VGG16 situation).
 pub fn max_feasible_batch(arch: &NetworkArch, phone: &Phone) -> usize {
-    if !plan_on_batched(arch, &phone.gpu, 1).fits(phone) {
+    max_feasible_batch_sharded(arch, phone, 1)
+}
+
+/// [`max_feasible_batch`] for a sharded deployment: the largest window
+/// such that `streams` streams' double-banked arenas fit the app budget
+/// alongside the shared weights. The serving runtime's admission
+/// controller starts from this cap before applying its latency SLO.
+pub fn max_feasible_batch_sharded(arch: &NetworkArch, phone: &Phone, streams: usize) -> usize {
+    largest_batch_where(|batch| plan_on_sharded(arch, &phone.gpu, batch, streams).fits(phone))
+}
+
+/// Window-size search cap: no batched deployment is probed past this.
+const MAX_PROBED_BATCH: usize = 4096;
+
+/// The largest batch in `1..=4096` satisfying a monotone fit predicate
+/// (0 when even batch 1 fails). Shared by [`max_feasible_batch_sharded`]
+/// and the serving runtime's model-based admission controller so the two
+/// memory caps cannot drift apart.
+pub(crate) fn largest_batch_where(fits: impl Fn(usize) -> bool) -> usize {
+    if !fits(1) {
         return 0;
     }
     // Exponential probe then binary search: lowering is cheap (one pass
     // over the layer chain per candidate).
     let mut hi = 1usize;
-    while hi < 4096 && plan_on_batched(arch, &phone.gpu, hi * 2).fits(phone) {
+    while hi < MAX_PROBED_BATCH && fits(hi * 2) {
         hi *= 2;
     }
-    let (mut lo, mut hi) = (hi, (hi * 2).min(4096));
+    let (mut lo, mut hi) = (hi, (hi * 2).min(MAX_PROBED_BATCH));
     while lo + 1 < hi {
         let mid = lo + (hi - lo) / 2;
-        if plan_on_batched(arch, &phone.gpu, mid).fits(phone) {
+        if fits(mid) {
             lo = mid;
         } else {
             hi = mid;
@@ -412,6 +501,60 @@ mod tests {
             batched.peak_bytes,
             batched.weights_bytes + batched.peak_activation_bytes
         );
+    }
+
+    #[test]
+    fn sharded_plan_multiplies_stream_arenas_over_shared_weights() {
+        let solo = plan_batched(&arch(), 4);
+        let sharded = plan_on_sharded(&arch(), &DeviceProfile::adreno_640(), 4, 3);
+        assert_eq!(solo.streams, 1);
+        assert_eq!(sharded.streams, 3);
+        assert_eq!(sharded.weights_bytes, solo.weights_bytes, "weights shared");
+        assert_eq!(
+            sharded.peak_activation_bytes,
+            3 * solo.peak_activation_bytes,
+            "every stream stages its own banks"
+        );
+        assert_eq!(
+            sharded.peak_bytes,
+            sharded.weights_bytes + 3 * solo.peak_activation_bytes
+        );
+        assert_eq!(sharded.arena_slots, solo.arena_slots);
+        assert_eq!((sharded.batch, sharded.banks), (4, 2));
+    }
+
+    #[test]
+    fn sharded_feasible_batch_shrinks_with_stream_count() {
+        let a = arch();
+        let phone = Phone::xiaomi_9();
+        let solo = max_feasible_batch(&a, &phone);
+        assert_eq!(solo, max_feasible_batch_sharded(&a, &phone, 1));
+        let two = max_feasible_batch_sharded(&a, &phone, 2);
+        let four = max_feasible_batch_sharded(&a, &phone, 4);
+        assert!(two <= solo && four <= two, "{solo} >= {two} >= {four}");
+        assert!(two >= 1, "two streams of the small arch still fit");
+        assert!(plan_on_sharded(&a, &phone.gpu, two, 2).fits(&phone));
+        if two < 4096 {
+            assert!(!plan_on_sharded(&a, &phone.gpu, two + 1, 2).fits(&phone));
+        }
+    }
+
+    #[test]
+    fn route_scores_carry_energy_terms() {
+        let dev = phonebit_gpusim::DeviceProfile::adreno_640();
+        let g = ConvGeometry::square(3, 1, 1);
+        let p = select_conv_path(&dev, 26 * 26, 256, 128, &g);
+        // Both candidates carry positive modeled energy, and the chosen
+        // path's energy accessor follows the route.
+        assert!(p.direct_energy_j > 0.0 && p.lowered_energy_j > 0.0);
+        assert_eq!(p.path, ConvPath::DirectFused);
+        assert_eq!(p.energy_j(), p.direct_energy_j);
+        // The lowering's DRAM round trip costs energy as well as time on
+        // this shape.
+        assert!(p.lowered_energy_j > p.direct_energy_j);
+        let wide = select_conv_path(&dev, 13 * 13, 512, 512, &g);
+        assert_eq!(wide.path, ConvPath::LoweredGemm);
+        assert_eq!(wide.energy_j(), wide.lowered_energy_j);
     }
 
     #[test]

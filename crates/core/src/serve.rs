@@ -1,0 +1,737 @@
+//! Sharded serving: many [`Stream`]s over one [`StagedModel`], with SLO
+//! admission control — the multi-queue follow-up to the batched engine.
+//!
+//! PhoneBit's staging claim (weights and bit-planes staged once, dispatch
+//! overhead amortized) extends naturally from one batched stream to many
+//! *concurrent* streams: a [`ServeRuntime`] stages the model a single time,
+//! then shards incoming request windows across `N` [`Stream`]s, each driven
+//! by its own OS thread with its own command queue, while a shared
+//! [`DeviceClock`] arbitrates the GPU between the queues (kernels serialize
+//! or overlap per the device's compute-unit budget — see
+//! [`phonebit_gpusim::clock`]). Host-side work — kernel launches, window
+//! staging, the per-run framework overhead — is per-stream and therefore
+//! overlaps other streams' GPU time, which is where sharding buys
+//! throughput even when every kernel saturates the device.
+//!
+//! **Admission control** follows the serving-systems playbook (Clipper-style
+//! latency-aware batching): the controller caps the window size at the
+//! sharded [`max_feasible_batch`] (`weights + N_streams × banks × Σ slots`
+//! must fit the phone's app budget) and, given a p95 latency SLO, picks the
+//! largest batch whose modeled steady-window latency under `N`-stream
+//! contention still meets it. Bigger windows amortize launch overhead
+//! (throughput up) but stretch every request's latency — the SLO decides
+//! where to stop.
+//!
+//! Sharded serving is **bit-exact**: requests are split into windows in
+//! arrival order, windows are assigned round-robin to streams, and every
+//! output is reassembled into request order; `tests/serve_sharded.rs` pins
+//! equality with the same requests run sequentially on one [`Session`].
+//!
+//! [`Session`]: crate::Session
+//! [`max_feasible_batch`]: crate::planner::max_feasible_batch
+
+use std::sync::Arc;
+use std::thread;
+
+use phonebit_gpusim::buffer::SimError;
+use phonebit_gpusim::clock::DeviceClock;
+use phonebit_gpusim::queue::CommandQueue;
+use phonebit_gpusim::{ExecutorClass, Phone};
+use phonebit_nn::graph::NetworkArch;
+use phonebit_tensor::tensor::Tensor;
+
+use crate::engine::{ActivationData, EngineError, StagedModel, Stream};
+use crate::estimate::{activation_extras_arch, activation_extras_model, walk_plan};
+use crate::model::PbitModel;
+use crate::plan::ExecutionPlan;
+use crate::stats::RunReport;
+
+/// Knobs for staging a [`ServeRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOptions {
+    /// Concurrent streams sharing the staged model (>= 1).
+    pub streams: usize,
+    /// Requested window size, honored up to the sharded memory cap;
+    /// `None` lets the admission controller pick the best probed window
+    /// (sizes up to 64, always including the memory cap when it binds
+    /// below that) against the SLO — or modeled throughput when no SLO is
+    /// set.
+    pub batch: Option<usize>,
+    /// p95 steady-window latency target, milliseconds.
+    pub slo_ms: Option<f64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            streams: 2,
+            batch: None,
+            slo_ms: None,
+        }
+    }
+}
+
+/// What the admission controller decided at staging time, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admission {
+    /// The admitted window size.
+    pub batch: usize,
+    /// Memory cap: the largest window whose `streams` double-banked arenas
+    /// fit the app budget next to the shared weights.
+    pub max_feasible_batch: usize,
+    /// Modeled steady-window latency of the admitted batch under
+    /// multi-stream contention, milliseconds.
+    pub modeled_window_ms: f64,
+    /// The p95 target the controller optimized against, if any.
+    pub slo_ms: Option<f64>,
+    /// Whether the **admitted** batch's modeled latency meets the SLO
+    /// (always `true` when no SLO was given). Under auto admission a
+    /// `false` means even a single-image window is modeled over target —
+    /// the runtime serves degraded; with an explicit requested batch it is
+    /// that batch's verdict only (a smaller window might still meet the
+    /// target).
+    pub slo_met: bool,
+}
+
+/// One sharded serving pass: outputs in request order plus the latency
+/// distribution the SLO is judged against.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Requests served.
+    pub served: usize,
+    /// Windows dispatched across all streams.
+    pub windows: usize,
+    /// Streams that carried traffic.
+    pub streams: usize,
+    /// The staged window size.
+    pub batch: usize,
+    /// Per-request outputs, reassembled in arrival order.
+    pub outputs: Vec<ActivationData>,
+    /// Every window's modeled latency in window order, milliseconds.
+    pub window_ms: Vec<f64>,
+    /// Median window latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile window latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile window latency, milliseconds.
+    pub p99_ms: f64,
+    /// Simulated makespan: the busiest stream's total time, seconds.
+    pub wall_s: f64,
+    /// Aggregate throughput: requests served over the makespan.
+    pub imgs_per_s: f64,
+    /// The admission SLO, if any.
+    pub slo_ms: Option<f64>,
+    /// Whether the **observed** p95 met the SLO.
+    pub slo_met: bool,
+}
+
+/// A sharded serving runtime: one staged model, `N` streams, one device
+/// clock, and an admission decision.
+///
+/// ```
+/// use phonebit_core::serve::{ServeOptions, ServeRuntime};
+/// use phonebit_core::{convert, NetworkBuilder};
+/// use phonebit_gpusim::Phone;
+/// use phonebit_nn::{act::Activation, fuse::BnParams};
+/// use phonebit_tensor::shape::{FilterShape, Shape4};
+/// use phonebit_tensor::{Filters, Tensor};
+///
+/// let filters = Filters::from_fn(FilterShape::new(8, 3, 3, 3), |k, i, j, c| {
+///     if (k + i + j + c) % 2 == 0 { 1.0 } else { -1.0 }
+/// });
+/// let model = NetworkBuilder::new("tiny", Shape4::new(1, 8, 8, 3))
+///     .bconv_input8("conv1", filters, vec![0.0; 8], BnParams::identity(8), 1, 1)
+///     .softmax()
+///     .build();
+/// let mut runtime = ServeRuntime::new(
+///     model,
+///     &Phone::xiaomi_9(),
+///     ServeOptions { streams: 2, batch: Some(2), slo_ms: None },
+/// )?;
+/// let requests: Vec<_> = (0..6)
+///     .map(|i| Tensor::from_fn(Shape4::new(1, 8, 8, 3), move |_, h, w, c| {
+///         ((h * 7 + w * 3 + c * 11 + i) % 256) as u8
+///     }))
+///     .collect();
+/// let report = runtime.serve_u8(&requests)?;
+/// assert_eq!(report.outputs.len(), 6);
+/// assert!(report.imgs_per_s > 0.0);
+/// # Ok::<(), phonebit_core::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct ServeRuntime {
+    staged: Arc<StagedModel>,
+    streams: Vec<Stream>,
+    clock: Arc<DeviceClock>,
+    admission: Admission,
+}
+
+impl ServeRuntime {
+    /// Stages a model once and spins up `opts.streams` streams over it,
+    /// after running admission control (memory cap, then SLO) to fix the
+    /// window size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when weights plus every
+    /// stream's arena exceed the phone's app budget even at batch 1, or
+    /// [`EngineError::DomainMismatch`] for a malformed model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `opts.streams == 0`.
+    pub fn new(model: PbitModel, phone: &Phone, opts: ServeOptions) -> Result<Self, EngineError> {
+        assert!(opts.streams >= 1, "a serving runtime needs >= 1 stream");
+        let admission = admit(&model, phone, &opts)?;
+        let staged = StagedModel::stage(model, phone, admission.batch)?;
+        let clock = DeviceClock::with_streams(phone.gpu.clone(), opts.streams);
+        let streams = (0..opts.streams)
+            .map(|_| Stream::with_clock(Arc::clone(&staged), Arc::clone(&clock)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            staged,
+            streams,
+            clock,
+            admission,
+        })
+    }
+
+    /// The shared staged state.
+    pub fn staged(&self) -> &Arc<StagedModel> {
+        &self.staged
+    }
+
+    /// The admission controller's decision.
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The shared device clock arbitrating the streams' queues.
+    pub fn clock(&self) -> &Arc<DeviceClock> {
+        &self.clock
+    }
+
+    /// Streams staged over the shared model.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Device bytes resident across the shared weights and every stream's
+    /// arena banks (`weights + N_streams × banks × Σ slots`).
+    pub fn resident_bytes(&self) -> usize {
+        self.staged.resident_bytes()
+    }
+
+    /// Serves a slice of 8-bit image requests: windows of the admitted
+    /// batch size in arrival order, windows round-robined across streams,
+    /// streams running concurrently on scoped threads, outputs reassembled
+    /// into request order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when the model takes float
+    /// input or any request's shape disagrees.
+    pub fn serve_u8(&mut self, requests: &[Tensor<u8>]) -> Result<ServeReport, EngineError> {
+        self.serve_with(requests, |stream, window| stream.run_batch_u8(window))
+    }
+
+    /// [`ServeRuntime::serve_u8`] for float-input models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when the model takes `u8`
+    /// input or any request's shape disagrees.
+    pub fn serve_f32(&mut self, requests: &[Tensor<f32>]) -> Result<ServeReport, EngineError> {
+        self.serve_with(requests, |stream, window| stream.run_batch_f32(window))
+    }
+
+    fn serve_with<T: Sync>(
+        &mut self,
+        requests: &[T],
+        run: impl Fn(&mut Stream, &[T]) -> Result<RunReport, EngineError> + Sync,
+    ) -> Result<ServeReport, EngineError> {
+        let batch = self.staged.plan().batch;
+        let n = self.streams.len();
+        // Windows in arrival order; window w is stream w % n's traffic.
+        let windows: Vec<(usize, usize)> = (0..requests.len())
+            .step_by(batch.max(1))
+            .map(|start| (start, batch.min(requests.len() - start)))
+            .collect();
+
+        let results: Vec<Result<Vec<(usize, RunReport)>, EngineError>> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .streams
+                .iter_mut()
+                .enumerate()
+                .map(|(si, stream)| {
+                    let windows = &windows;
+                    let run = &run;
+                    scope.spawn(move || {
+                        let mut served = Vec::new();
+                        for (wi, &(start, len)) in windows.iter().enumerate() {
+                            if wi % n != si {
+                                continue;
+                            }
+                            let report = run(stream, &requests[start..start + len])?;
+                            served.push((wi, report));
+                        }
+                        Ok(served)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stream thread panicked"))
+                .collect()
+        });
+
+        let mut outputs: Vec<Option<ActivationData>> = (0..requests.len()).map(|_| None).collect();
+        let mut window_ms = vec![0.0f64; windows.len()];
+        let mut wall_s = 0.0f64;
+        let mut active_streams = 0usize;
+        for result in results {
+            let served = result?;
+            if served.is_empty() {
+                continue;
+            }
+            active_streams += 1;
+            let mut stream_s = 0.0;
+            for (wi, report) in served {
+                let (start, len) = windows[wi];
+                let out = report.output.as_ref().expect("serving captures outputs");
+                for i in 0..len {
+                    outputs[start + i] = Some(out.image(i));
+                }
+                window_ms[wi] = report.total_s * 1e3;
+                stream_s += report.total_s;
+            }
+            wall_s = wall_s.max(stream_s);
+        }
+        let outputs: Vec<ActivationData> = outputs
+            .into_iter()
+            .map(|o| o.expect("every request windowed"))
+            .collect();
+
+        let (p50_ms, p95_ms, p99_ms) = percentiles(&window_ms);
+        let slo_ms = self.admission.slo_ms;
+        Ok(ServeReport {
+            served: requests.len(),
+            windows: windows.len(),
+            streams: active_streams,
+            batch,
+            outputs,
+            p50_ms,
+            p95_ms,
+            p99_ms,
+            window_ms,
+            wall_s,
+            imgs_per_s: if wall_s > 0.0 {
+                requests.len() as f64 / wall_s
+            } else {
+                0.0
+            },
+            slo_ms,
+            slo_met: slo_ms.is_none_or(|slo| p95_ms <= slo),
+        })
+    }
+}
+
+/// Nearest-rank (p50, p95, p99) over an unsorted latency sample — one
+/// sort serves all three ranks; zeros for an empty sample.
+fn percentiles(samples_ms: &[f64]) -> (f64, f64, f64) {
+    if samples_ms.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = samples_ms.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let at = |q: f64| {
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    };
+    (at(0.50), at(0.95), at(0.99))
+}
+
+/// Window sizes the admission controller probes: fine steps where
+/// launch-overhead amortization changes fastest, coarser above, ceiling
+/// at 64 (beyond that amortization has flattened and windows only add
+/// latency). The memory cap is appended as a candidate whenever it binds
+/// below the ceiling, so "the largest batch that fits" is always
+/// reachable.
+const ADMISSION_CANDIDATES: [usize; 12] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+
+/// The probe list for a given memory cap (ascending, deduplicated).
+fn admission_candidates(max_feasible: usize) -> Vec<usize> {
+    let mut candidates: Vec<usize> = ADMISSION_CANDIDATES
+        .iter()
+        .copied()
+        .filter(|&b| b <= max_feasible)
+        .collect();
+    if max_feasible < ADMISSION_CANDIDATES[ADMISSION_CANDIDATES.len() - 1]
+        && candidates.last() != Some(&max_feasible)
+    {
+        candidates.push(max_feasible);
+    }
+    candidates
+}
+
+/// The admission decision for a deployed model: memory cap from the
+/// sharded arena footprint, then the largest probed batch whose modeled
+/// steady-window latency under `streams`-way contention meets the SLO.
+fn admit(model: &PbitModel, phone: &Phone, opts: &ServeOptions) -> Result<Admission, EngineError> {
+    let budget = phone.app_budget_bytes();
+    let plan_at = |batch: usize| -> Result<ExecutionPlan, EngineError> {
+        ExecutionPlan::for_model_batched(model, &phone.gpu, batch).map_err(|e| {
+            EngineError::DomainMismatch {
+                layer: e.layer,
+                expected: e.expected,
+            }
+        })
+    };
+    let sharded_peak =
+        |plan: &ExecutionPlan| plan.weights_bytes + opts.streams * plan.staged_arena_bytes();
+    // Memory cap: the planner's shared feasibility search, here over a
+    // deployed model's plans and N streams' arenas.
+    let base = plan_at(1)?;
+    if sharded_peak(&base) > budget {
+        return Err(EngineError::OutOfMemory(SimError::OutOfMemory {
+            requested: sharded_peak(&base),
+            in_use: 0,
+            budget,
+        }));
+    }
+    let max_feasible = crate::planner::largest_batch_where(|batch| {
+        plan_at(batch)
+            .map(|p| sharded_peak(&p) <= budget)
+            .unwrap_or(false)
+    });
+
+    let window_ms = |batch: usize| -> Result<f64, EngineError> {
+        Ok(modeled_window_s(&plan_at(batch)?, model, phone, opts.streams) * 1e3)
+    };
+    let (batch, modeled) = match (opts.batch, opts.slo_ms) {
+        // An explicit batch is honored up to the memory cap.
+        (Some(b), _) => {
+            let b = b.clamp(1, max_feasible);
+            (b, window_ms(b)?)
+        }
+        // SLO given: the largest probed batch still under target.
+        (None, Some(slo)) => {
+            let mut best = (1, window_ms(1)?);
+            for b in admission_candidates(max_feasible) {
+                let ms = window_ms(b)?;
+                if ms <= slo && b >= best.0 {
+                    best = (b, ms);
+                }
+            }
+            best
+        }
+        // No SLO: the probed batch with the best modeled throughput.
+        (None, None) => {
+            let mut best = (1, window_ms(1)?);
+            for b in admission_candidates(max_feasible) {
+                let ms = window_ms(b)?;
+                if b as f64 / ms > best.0 as f64 / best.1 {
+                    best = (b, ms);
+                }
+            }
+            best
+        }
+    };
+    Ok(Admission {
+        batch,
+        max_feasible_batch: max_feasible,
+        modeled_window_ms: modeled,
+        slo_ms: opts.slo_ms,
+        slo_met: opts.slo_ms.is_none_or(|slo| modeled <= slo),
+    })
+}
+
+/// Modeled steady-window seconds of one stream under `streams`-way device
+/// contention: the plan's exact dispatch sequence on a clocked queue, plus
+/// the per-run framework overhead for unprimed (batch-1) streams.
+fn modeled_window_s(plan: &ExecutionPlan, model: &PbitModel, phone: &Phone, streams: usize) -> f64 {
+    let clock = DeviceClock::with_streams(phone.gpu.clone(), streams);
+    let mut q =
+        CommandQueue::new(phone.gpu.clone(), ExecutorClass::PhoneBitOpenCl).with_clock(clock);
+    let extras = activation_extras_model(plan, model);
+    let _ = walk_plan(&mut q, plan, &extras, crate::EstimateOptions::default());
+    let busy = q.elapsed_s();
+    if plan.batch > 1 {
+        // Primed batched streams hide the per-run overhead behind the
+        // previous window (double buffering).
+        busy
+    } else {
+        busy + q.per_run_overhead_s()
+    }
+}
+
+/// A modeled sharded-serving run at full scale (no weights, no kernel
+/// bodies) — what the `serve_report` bench bin records per model × phone ×
+/// streams × batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeEstimate {
+    /// Streams sharing the device.
+    pub streams: usize,
+    /// Images per window.
+    pub batch: usize,
+    /// Cold (first) window latency per stream, milliseconds.
+    pub cold_window_ms: f64,
+    /// Steady window latency per stream, milliseconds.
+    pub steady_window_ms: f64,
+    /// Aggregate steady throughput across all streams, images per second.
+    pub imgs_per_s: f64,
+    /// p50 window latency over the modeled run, milliseconds.
+    pub p50_ms: f64,
+    /// p95 window latency, milliseconds.
+    pub p95_ms: f64,
+    /// p99 window latency, milliseconds.
+    pub p99_ms: f64,
+    /// Sharded activation footprint, bytes (`streams × banks × Σ slots`).
+    pub arena_bytes: usize,
+    /// Sharded peak footprint, bytes (weights + arena).
+    pub peak_bytes: usize,
+}
+
+/// Models a sharded serving run of `windows_per_stream` windows per stream
+/// (first window cold, the rest steady) on `phone`, at full scale from the
+/// architecture alone — the serving analogue of
+/// [`estimate_arch_batched`](crate::estimate_arch_batched).
+///
+/// # Panics
+///
+/// Panics when `streams == 0`, `batch == 0`, or `windows_per_stream == 0`.
+pub fn estimate_serve(
+    phone: &Phone,
+    arch: &NetworkArch,
+    batch: usize,
+    streams: usize,
+    windows_per_stream: usize,
+) -> ServeEstimate {
+    assert!(streams >= 1 && windows_per_stream >= 1);
+    let clock = DeviceClock::with_streams(phone.gpu.clone(), streams);
+    let mut q =
+        CommandQueue::new(phone.gpu.clone(), ExecutorClass::PhoneBitOpenCl).with_clock(clock);
+    let plan = ExecutionPlan::for_arch_batched(arch, &phone.gpu, batch);
+    let extras = activation_extras_arch(&plan, arch);
+    let _ = walk_plan(&mut q, &plan, &extras, crate::EstimateOptions::default());
+    let busy = q.elapsed_s();
+    let overhead = q.per_run_overhead_s();
+    let cold = busy + overhead;
+    // Batch-1 streams never prime (single bank): every window is cold.
+    let steady = if batch > 1 { busy } else { cold };
+
+    // Every stream sees the same deterministic schedule: one cold window,
+    // then steady ones.
+    let mut window_ms = Vec::with_capacity(streams * windows_per_stream);
+    for _ in 0..streams {
+        window_ms.push(cold * 1e3);
+        for _ in 1..windows_per_stream {
+            window_ms.push(steady * 1e3);
+        }
+    }
+    let arena_bytes = streams * plan.staged_arena_bytes();
+    let (p50_ms, p95_ms, p99_ms) = percentiles(&window_ms);
+    ServeEstimate {
+        streams,
+        batch,
+        cold_window_ms: cold * 1e3,
+        steady_window_ms: steady * 1e3,
+        imgs_per_s: (streams * batch) as f64 / steady,
+        p50_ms,
+        p95_ms,
+        p99_ms,
+        arena_bytes,
+        peak_bytes: plan.weights_bytes + arena_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert;
+    use phonebit_models::zoo::{self, Variant};
+    use phonebit_models::{fill_weights, synthetic_image};
+
+    fn micro_model() -> PbitModel {
+        convert(&fill_weights(&zoo::yolo_micro(Variant::Binary), 11))
+    }
+
+    fn requests(count: usize) -> Vec<Tensor<u8>> {
+        let input = zoo::yolo_micro(Variant::Binary).input;
+        (0..count)
+            .map(|i| synthetic_image(input, 40 + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_serving_reassembles_request_order() {
+        let phone = Phone::xiaomi_9();
+        let mut runtime = ServeRuntime::new(
+            micro_model(),
+            &phone,
+            ServeOptions {
+                streams: 2,
+                batch: Some(2),
+                slo_ms: None,
+            },
+        )
+        .expect("fits");
+        let reqs = requests(7);
+        let report = runtime.serve_u8(&reqs).expect("serve");
+        assert_eq!(report.served, 7);
+        assert_eq!(report.windows, 4, "7 requests in windows of 2");
+        assert_eq!(report.streams, 2);
+        assert_eq!(report.outputs.len(), 7);
+        assert_eq!(report.window_ms.len(), 4);
+        assert!(report.imgs_per_s > 0.0);
+        assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
+        assert!(report.slo_met, "no SLO set");
+        // Outputs match one-by-one sequential runs on a plain Session.
+        let mut solo = crate::Session::new(micro_model(), &phone).expect("fits");
+        for (i, req) in reqs.iter().enumerate() {
+            let want = solo.run_u8(req).unwrap().output.unwrap();
+            match (&report.outputs[i], &want) {
+                (ActivationData::Floats(a), ActivationData::Floats(b)) => {
+                    assert_eq!(a, b, "request {i}")
+                }
+                _ => panic!("unexpected output kinds"),
+            }
+        }
+    }
+
+    #[test]
+    fn serving_is_deterministic_across_runs() {
+        let phone = Phone::xiaomi_9();
+        let opts = ServeOptions {
+            streams: 3,
+            batch: Some(2),
+            slo_ms: None,
+        };
+        let reqs = requests(12);
+        let mut a = ServeRuntime::new(micro_model(), &phone, opts).unwrap();
+        let mut b = ServeRuntime::new(micro_model(), &phone, opts).unwrap();
+        let ra = a.serve_u8(&reqs).unwrap();
+        let rb = b.serve_u8(&reqs).unwrap();
+        assert_eq!(ra.window_ms, rb.window_ms, "modeled time is deterministic");
+        assert_eq!(ra.imgs_per_s, rb.imgs_per_s);
+    }
+
+    #[test]
+    fn admission_respects_memory_cap_and_slo() {
+        let phone = Phone::xiaomi_9();
+        // Unconstrained: the controller picks the throughput-best batch.
+        let free = ServeRuntime::new(
+            micro_model(),
+            &phone,
+            ServeOptions {
+                streams: 2,
+                batch: None,
+                slo_ms: None,
+            },
+        )
+        .unwrap();
+        let unconstrained = free.admission().clone();
+        assert!(unconstrained.batch >= 1);
+        assert!(unconstrained.batch <= unconstrained.max_feasible_batch);
+        assert!(unconstrained.slo_met);
+
+        // A tight SLO admits a smaller (or equal) batch.
+        let tight_ms = unconstrained.modeled_window_ms * 0.6;
+        let tight = ServeRuntime::new(
+            micro_model(),
+            &phone,
+            ServeOptions {
+                streams: 2,
+                batch: None,
+                slo_ms: Some(tight_ms),
+            },
+        )
+        .unwrap();
+        assert!(tight.admission().batch <= unconstrained.batch);
+        if tight.admission().slo_met {
+            assert!(tight.admission().modeled_window_ms <= tight_ms);
+        } else {
+            assert_eq!(tight.admission().batch, 1, "degraded serving at batch 1");
+        }
+
+        // An explicit batch beyond the memory cap is clamped to it.
+        let clamped = ServeRuntime::new(
+            micro_model(),
+            &phone,
+            ServeOptions {
+                streams: 2,
+                batch: Some(1 << 20),
+                slo_ms: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            clamped.admission().batch,
+            clamped.admission().max_feasible_batch
+        );
+    }
+
+    #[test]
+    fn resident_bytes_scale_with_stream_count() {
+        let phone = Phone::xiaomi_9();
+        let mk = |streams| {
+            ServeRuntime::new(
+                micro_model(),
+                &phone,
+                ServeOptions {
+                    streams,
+                    batch: Some(2),
+                    slo_ms: None,
+                },
+            )
+            .unwrap()
+        };
+        let one = mk(1);
+        let three = mk(3);
+        let weights = one.staged().model().size_bytes();
+        let arena = one.staged().plan().staged_arena_bytes();
+        assert_eq!(one.resident_bytes(), weights + arena);
+        assert_eq!(three.resident_bytes(), weights + 3 * arena);
+        assert_eq!(three.stream_count(), 3);
+        assert_eq!(three.clock().streams(), 3);
+    }
+
+    #[test]
+    fn estimate_serve_models_the_sharding_tradeoff() {
+        let phone = Phone::xiaomi_9();
+        let arch = zoo::alexnet(Variant::Binary);
+        let solo = estimate_serve(&phone, &arch, 4, 1, 8);
+        let duo = estimate_serve(&phone, &arch, 4, 2, 8);
+        // Contention stretches each stream's window...
+        assert!(duo.steady_window_ms > solo.steady_window_ms);
+        // ...but overlapped host overhead still buys aggregate throughput.
+        assert!(duo.imgs_per_s > solo.imgs_per_s);
+        // Memory scales with the stream count; weights are shared.
+        assert_eq!(duo.arena_bytes, 2 * solo.arena_bytes);
+        assert!(duo.peak_bytes < 2 * solo.peak_bytes);
+        // Percentiles order and cold dominates the tail.
+        assert!(solo.p50_ms <= solo.p95_ms && solo.p95_ms <= solo.p99_ms);
+        assert_eq!(solo.p99_ms, solo.cold_window_ms);
+    }
+
+    #[test]
+    fn admission_candidates_include_a_binding_memory_cap() {
+        assert_eq!(admission_candidates(5), vec![1, 2, 3, 4, 5]);
+        assert_eq!(admission_candidates(4), vec![1, 2, 3, 4]);
+        assert_eq!(admission_candidates(1), vec![1]);
+        // At or above the probe ceiling the fixed list is used as-is.
+        assert_eq!(admission_candidates(64).last(), Some(&64));
+        assert_eq!(admission_candidates(200).last(), Some(&64));
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_over_one_sort() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let (p50, p95, p99) = percentiles(&xs);
+        assert_eq!(p50, 3.0);
+        assert_eq!(p95, 5.0);
+        assert_eq!(p99, 5.0);
+        assert_eq!(percentiles(&[]), (0.0, 0.0, 0.0));
+        assert_eq!(percentiles(&[7.5]), (7.5, 7.5, 7.5));
+    }
+}

@@ -1,0 +1,188 @@
+//! Shared device clock: the contention model for multiple command queues
+//! on one GPU.
+//!
+//! The single-queue simulator lets every [`CommandQueue`] pretend it owns
+//! the whole device. Real mobile GPUs time-share: when N streams dispatch
+//! concurrently, each kernel gets only the compute units the others leave
+//! free, and DRAM bandwidth is one shared resource. A [`DeviceClock`] makes
+//! that sharing explicit: every queue serving one device holds the same
+//! `Arc<DeviceClock>`, and each dispatch is inflated by the clock's
+//! [`Contention`] for the kernel's actual compute-unit demand.
+//!
+//! The model (deterministic — no wall-clock or scheduling races):
+//!
+//! - **Compute**: a dispatch can spread over at most
+//!   `ceil(work_items / alus_per_cu)` compute units; with `n` co-resident
+//!   streams issuing symmetric work, aggregate CU demand is `n` times that,
+//!   and demand beyond the device's CU budget serializes:
+//!   `t_compute × max(1, n·cus_needed / cus)`. Kernels too small to fill
+//!   the device (a dense matvec, a softmax) **overlap** other streams'
+//!   work for free — the multi-queue win the paper's launch-overhead
+//!   analysis predicts.
+//! - **Memory**: DRAM bandwidth has no per-stream partitions; `n` symmetric
+//!   streams each see `1/n` of it (`t_memory × n`).
+//! - **Host time** (kernel launch overhead, per-run framework overhead,
+//!   input staging) stays per-queue: each stream runs its own CPU thread,
+//!   so host work of one stream overlaps device work of another — which is
+//!   why sharding buys throughput even when every kernel saturates the GPU.
+//!
+//! The stream count is set explicitly by whoever owns the queues (the
+//! serving runtime knows how many streams it staged); queues only read it.
+//! A clock with zero or one stream is contention-free, so attaching a
+//! clock to a solo queue changes nothing.
+//!
+//! [`CommandQueue`]: crate::queue::CommandQueue
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::cost::Contention;
+use crate::device::DeviceProfile;
+use crate::ndrange::NdRange;
+
+/// Shared state of one device serving multiple command queues.
+#[derive(Debug)]
+pub struct DeviceClock {
+    device: DeviceProfile,
+    /// Streams co-resident on the device (set by the runtime that owns
+    /// the queues; `<= 1` means no contention).
+    streams: AtomicUsize,
+    /// Aggregate device-busy seconds across every attached queue
+    /// (f64 bits in an atomic so queues can add lock-free).
+    busy_bits: AtomicU64,
+}
+
+impl DeviceClock {
+    /// A clock for `device` with a single (contention-free) stream.
+    pub fn new(device: DeviceProfile) -> Arc<Self> {
+        Self::with_streams(device, 1)
+    }
+
+    /// A clock for `device` shared by `streams` co-resident queues.
+    pub fn with_streams(device: DeviceProfile, streams: usize) -> Arc<Self> {
+        Arc::new(Self {
+            device,
+            streams: AtomicUsize::new(streams),
+            busy_bits: AtomicU64::new(0f64.to_bits()),
+        })
+    }
+
+    /// The device this clock arbitrates.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// Sets the number of co-resident streams (the serving runtime calls
+    /// this once after staging its queues).
+    pub fn set_streams(&self, streams: usize) {
+        self.streams.store(streams, Ordering::Relaxed);
+    }
+
+    /// Streams currently sharing the device.
+    pub fn streams(&self) -> usize {
+        self.streams.load(Ordering::Relaxed)
+    }
+
+    /// The contention a dispatch of `ndrange` experiences right now.
+    ///
+    /// Compute inflation honors the kernel's compute-unit budget: demand is
+    /// `streams × cus_needed` against the device's `compute_units`, so a
+    /// kernel too small to fill the device overlaps other streams for free
+    /// while a saturating kernel serializes. Memory inflation is the plain
+    /// bandwidth split across streams.
+    pub fn contention_for(&self, ndrange: &NdRange) -> Contention {
+        let n = self.streams().max(1);
+        if n == 1 {
+            return Contention::none();
+        }
+        let cus = self.device.compute_units.max(1);
+        let cus_needed = ndrange
+            .work_items()
+            .div_ceil(self.device.alus_per_cu.max(1))
+            .clamp(1, cus);
+        Contention {
+            compute: ((n * cus_needed) as f64 / cus as f64).max(1.0),
+            memory: n as f64,
+        }
+    }
+
+    /// Adds a dispatch's busy time to the aggregate device-busy counter.
+    pub fn note_busy(&self, seconds: f64) {
+        let mut cur = self.busy_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + seconds).to_bits();
+            match self.busy_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Aggregate busy seconds across every queue on this device — divide by
+    /// `streams × wall` for average device pressure.
+    pub fn busy_s(&self) -> f64 {
+        f64::from_bits(self.busy_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock(streams: usize) -> Arc<DeviceClock> {
+        DeviceClock::with_streams(DeviceProfile::adreno_640(), streams)
+    }
+
+    #[test]
+    fn solo_clock_is_contention_free() {
+        let c = clock(1);
+        let k = c.contention_for(&NdRange::linear(1 << 20));
+        assert_eq!(k, Contention::none());
+        c.set_streams(0);
+        assert_eq!(c.contention_for(&NdRange::linear(64)), Contention::none());
+    }
+
+    #[test]
+    fn saturating_kernels_serialize_small_kernels_overlap() {
+        // Adreno 640: 2 CUs x 192 ALUs.
+        let c = clock(2);
+        // A device-filling kernel wants both CUs on both streams: 2x.
+        let big = c.contention_for(&NdRange::linear(1 << 20));
+        assert!((big.compute - 2.0).abs() < 1e-12);
+        assert!((big.memory - 2.0).abs() < 1e-12);
+        // A kernel that fits one CU leaves the other free: no compute
+        // contention at 2 streams.
+        let small = c.contention_for(&NdRange::linear(128));
+        assert!((small.compute - 1.0).abs() < 1e-12);
+        assert!((small.memory - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_grows_with_stream_count() {
+        let big = NdRange::linear(1 << 20);
+        let c2 = clock(2).contention_for(&big);
+        let c4 = clock(4).contention_for(&big);
+        assert!(c4.compute > c2.compute);
+        assert!(c4.memory > c2.memory);
+        // Even tiny kernels serialize once streams outnumber CUs.
+        let small = NdRange::linear(64);
+        let s4 = clock(4).contention_for(&small);
+        assert!((s4.compute - 2.0).abs() < 1e-12, "4 streams on 2 CUs");
+    }
+
+    #[test]
+    fn busy_accounting_accumulates() {
+        let c = clock(2);
+        assert_eq!(c.busy_s(), 0.0);
+        c.note_busy(0.25);
+        c.note_busy(0.5);
+        assert!((c.busy_s() - 0.75).abs() < 1e-15);
+        assert_eq!(c.device().name, "Adreno 640");
+        assert_eq!(c.streams(), 2);
+    }
+}

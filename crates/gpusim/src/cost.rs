@@ -21,12 +21,47 @@ use crate::calib::{vector_issue_factor, CostParams, EnergyParams};
 use crate::device::DeviceProfile;
 use crate::kernel::{KernelProfile, LaunchStats};
 
-/// Computes the modeled cost of one dispatch.
+/// Resource-sharing multipliers applied to one dispatch when several
+/// command queues share the device (see [`crate::clock::DeviceClock`]).
+/// `1.0` on both axes is the solo-queue baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contention {
+    /// Compute-time inflation (aggregate CU demand over the CU budget).
+    pub compute: f64,
+    /// Memory-time inflation (DRAM bandwidth split across streams).
+    pub memory: f64,
+}
+
+impl Contention {
+    /// No sharing: the dispatch owns the device.
+    pub fn none() -> Self {
+        Self {
+            compute: 1.0,
+            memory: 1.0,
+        }
+    }
+}
+
+/// Computes the modeled cost of one dispatch with the device to itself.
 pub fn estimate(
     profile: &KernelProfile,
     device: &DeviceProfile,
     params: &CostParams,
     energy: &EnergyParams,
+) -> LaunchStats {
+    estimate_contended(profile, device, params, energy, Contention::none())
+}
+
+/// [`estimate`] under explicit multi-queue [`Contention`]: compute and
+/// memory phases stretch by their sharing factors before the overlap
+/// blend, and the stretched wall time draws extra static energy (the
+/// dynamic op/DRAM energy is work, not time, and does not change).
+pub fn estimate_contended(
+    profile: &KernelProfile,
+    device: &DeviceProfile,
+    params: &CostParams,
+    energy: &EnergyParams,
+    contention: Contention,
 ) -> LaunchStats {
     // Occupancy throttling when work items need more private memory than
     // the register budget allows (paper §VI-B: "due to the limitation of
@@ -72,14 +107,18 @@ pub fn estimate(
     let compute_rate =
         (units * lanes) as f64 * occupancy * device.clock_mhz * 1e6 * params.issue_eff;
     let t_compute = if executed_cycles > 0.0 {
-        executed_cycles / compute_rate
+        executed_cycles / compute_rate * contention.compute.max(1.0)
     } else {
         0.0
     };
 
     let bytes = profile.total_bytes();
     let mem_rate = device.dram_gbps * 1e9 * profile.coalescing * params.mem_eff;
-    let t_memory = if bytes > 0.0 { bytes / mem_rate } else { 0.0 };
+    let t_memory = if bytes > 0.0 {
+        bytes / mem_rate * contention.memory.max(1.0)
+    } else {
+        0.0
+    };
 
     let t_busy =
         params.overlap * t_compute.max(t_memory) + (1.0 - params.overlap) * (t_compute + t_memory);
@@ -224,6 +263,44 @@ mod tests {
         let s2 = estimate(&prof, &d, &p, &e);
         assert!((s2.time_s - (s2.compute_time_s + s2.memory_time_s)).abs() < 1e-12);
         assert!(s2.time_s > s.time_s);
+    }
+
+    #[test]
+    fn contention_stretches_time_not_dynamic_energy() {
+        let (d, p, e) = setup();
+        let prof = basic_profile(1e9, 1e7);
+        let solo = estimate(&prof, &d, &p, &e);
+        let shared = estimate_contended(
+            &prof,
+            &d,
+            &p,
+            &e,
+            Contention {
+                compute: 2.0,
+                memory: 2.0,
+            },
+        );
+        assert!((shared.compute_time_s - 2.0 * solo.compute_time_s).abs() < 1e-15);
+        assert!((shared.memory_time_s - 2.0 * solo.memory_time_s).abs() < 1e-15);
+        assert!(shared.time_s > solo.time_s);
+        // Same ops and bytes; only the static-power draw over the longer
+        // wall time grows.
+        assert_eq!(shared.executed_ops, solo.executed_ops);
+        assert_eq!(shared.dram_bytes, solo.dram_bytes);
+        let extra = (shared.time_s - solo.time_s) * e.p_static_w;
+        assert!((shared.energy_j - solo.energy_j - extra).abs() < 1e-15);
+        // Sub-1.0 factors clamp to the solo baseline.
+        let clamped = estimate_contended(
+            &prof,
+            &d,
+            &p,
+            &e,
+            Contention {
+                compute: 0.5,
+                memory: 0.5,
+            },
+        );
+        assert_eq!(clamped.time_s, solo.time_s);
     }
 
     #[test]

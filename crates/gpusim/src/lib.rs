@@ -14,6 +14,9 @@
 //!   model places them on a simulated timeline.
 //! - [`cost`] — the latency/energy model; [`calib`] holds every fitted
 //!   constant with its paper anchor.
+//! - [`clock`] — the shared multi-queue device clock: N command queues on
+//!   one GPU serialize or overlap per the device's compute-unit budget
+//!   instead of each pretending to own the hardware.
 //! - [`vector`] — OpenCL vector types (`uchar2`…`ulong16`) for kernels.
 //! - [`counters`] — per-kernel aggregation of a timeline.
 //! - [`exec`] — scoped-thread parallel execution of kernel bodies.
@@ -45,6 +48,7 @@
 
 pub mod buffer;
 pub mod calib;
+pub mod clock;
 pub mod cost;
 pub mod counters;
 pub mod device;
@@ -56,6 +60,8 @@ pub mod vector;
 
 pub use buffer::{Buffer, Context, SimError};
 pub use calib::ExecutorClass;
+pub use clock::DeviceClock;
+pub use cost::Contention;
 pub use device::{DeviceKind, DeviceProfile, Phone};
 pub use kernel::{KernelProfile, LaunchEvent, LaunchStats};
 pub use ndrange::NdRange;

@@ -1,7 +1,10 @@
 //! Command queues: dispatch kernels, accumulate a simulated timeline.
 
+use std::sync::Arc;
+
 use crate::calib::{CostParams, EnergyParams, ExecutorClass};
-use crate::cost::estimate;
+use crate::clock::DeviceClock;
+use crate::cost::{estimate_contended, Contention};
 use crate::device::DeviceProfile;
 use crate::kernel::{KernelProfile, LaunchEvent, LaunchStats};
 
@@ -30,6 +33,9 @@ pub struct CommandQueue {
     mode: ExecMode,
     now_s: f64,
     events: Vec<LaunchEvent>,
+    /// Shared device clock when this queue co-resides with other streams;
+    /// `None` means the queue owns the device (the single-stream default).
+    clock: Option<Arc<DeviceClock>>,
 }
 
 impl CommandQueue {
@@ -45,6 +51,7 @@ impl CommandQueue {
             mode: ExecMode::Execute,
             now_s: 0.0,
             events: Vec::new(),
+            clock: None,
         }
     }
 
@@ -52,6 +59,20 @@ impl CommandQueue {
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Attaches a shared [`DeviceClock`]: every dispatch is inflated by the
+    /// clock's multi-stream contention for its compute-unit demand, and its
+    /// busy time feeds the clock's aggregate accounting. A clock reporting
+    /// one stream leaves costs exactly at the solo baseline.
+    pub fn with_clock(mut self, clock: Arc<DeviceClock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The shared device clock, if one is attached.
+    pub fn clock(&self) -> Option<&Arc<DeviceClock>> {
+        self.clock.as_ref()
     }
 
     /// Replaces the cost parameters — used by ablation benches that probe a
@@ -89,7 +110,20 @@ impl CommandQueue {
         if self.mode == ExecMode::Execute {
             body();
         }
-        let stats = estimate(&profile, &self.device, &self.params, &self.energy);
+        let contention = self
+            .clock
+            .as_ref()
+            .map_or(Contention::none(), |c| c.contention_for(&profile.ndrange));
+        let stats = estimate_contended(
+            &profile,
+            &self.device,
+            &self.params,
+            &self.energy,
+            contention,
+        );
+        if let Some(clock) = &self.clock {
+            clock.note_busy(stats.time_s - self.params.launch_overhead_s);
+        }
         let event = LaunchEvent {
             stats: stats.clone(),
             start_s: self.now_s,
@@ -215,6 +249,38 @@ mod tests {
         let e1 = q.energy_j();
         q.launch(profile(1e8), || {});
         assert!(q.energy_j() > e1);
+    }
+
+    #[test]
+    fn clocked_queues_contend_and_share_busy_accounting() {
+        use crate::clock::DeviceClock;
+        let big = KernelProfile::new("big", NdRange::linear(1 << 20)).f32_ops(1e8);
+        let small = KernelProfile::new("small", NdRange::linear(64)).f32_ops(1e5);
+
+        let solo_big = queue().launch(big.clone(), || {}).time_s;
+        let solo_small = queue().launch(small.clone(), || {}).time_s;
+
+        let clock = DeviceClock::with_streams(DeviceProfile::adreno_640(), 2);
+        let mut a = queue().with_clock(Arc::clone(&clock));
+        let mut b = queue().with_clock(Arc::clone(&clock));
+        // A saturating kernel on 2 streams runs at half rate on each queue.
+        let shared_big = a.launch(big, || {}).time_s;
+        assert!(shared_big > 1.5 * solo_big, "{shared_big} vs {solo_big}");
+        // A one-CU kernel overlaps the other stream: no compute inflation.
+        let shared_small = b.launch(small, || {}).time_s;
+        assert!((shared_small - solo_small).abs() < 1e-12);
+        // Both queues fed the shared busy accounting.
+        let overhead = a.params().launch_overhead_s;
+        let expected = (shared_big - overhead) + (shared_small - overhead);
+        assert!((clock.busy_s() - expected).abs() < 1e-15);
+        assert!(a.clock().is_some());
+        // Dropping back to one stream restores solo costs.
+        clock.set_streams(1);
+        let again = a.launch(
+            KernelProfile::new("big", NdRange::linear(1 << 20)).f32_ops(1e8),
+            || {},
+        );
+        assert!((again.time_s - solo_big).abs() < 1e-15);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! The sharded serving runtime's core contract: N concurrent streams over
+//! one staged model produce **bit-identical** outputs, in request order, to
+//! the same requests run sequentially on one `Session` — across the model
+//! zoo's micro networks and every binary-convolution kernel route — while
+//! the shared device clock makes the streams contend for the GPU instead
+//! of each pretending to own it.
+
+use phonebit::core::serve::{ServeOptions, ServeRuntime};
+use phonebit::core::{convert, ActivationData, ConvPath, Session};
+use phonebit::gpusim::Phone;
+use phonebit::models::zoo::{self, Variant};
+use phonebit::models::{fill_weights, synthetic_image, to_float_input};
+use phonebit::nn::act::Activation;
+use phonebit::nn::graph::{LayerPrecision, NetworkArch};
+use phonebit::tensor::shape::Shape4;
+use phonebit::tensor::Tensor;
+
+fn assert_same_activation(a: &ActivationData, b: &ActivationData, what: &str) {
+    match (a, b) {
+        (ActivationData::Bits(x), ActivationData::Bits(y)) => assert_eq!(x, y, "{what}"),
+        (ActivationData::Floats(x), ActivationData::Floats(y)) => assert_eq!(x, y, "{what}"),
+        (ActivationData::Bytes(x), ActivationData::Bytes(y)) => assert_eq!(x, y, "{what}"),
+        _ => panic!("{what}: activation kinds diverged"),
+    }
+}
+
+fn opts(streams: usize, batch: usize) -> ServeOptions {
+    ServeOptions {
+        streams,
+        batch: Some(batch),
+        slo_ms: None,
+    }
+}
+
+#[test]
+fn sharded_serving_equals_sequential_across_micro_zoo() {
+    let phone = Phone::xiaomi_9();
+    for arch in [
+        zoo::alexnet_micro(Variant::Binary),
+        zoo::yolo_micro(Variant::Binary),
+    ] {
+        let model = convert(&fill_weights(&arch, 23));
+        let requests: Vec<_> = (0..9)
+            .map(|i| synthetic_image(arch.input, 60 + i as u64))
+            .collect();
+
+        let mut single = Session::new(model.clone(), &phone).expect("fits");
+        let sequential: Vec<_> = requests
+            .iter()
+            .map(|img| single.run_u8(img).expect("solo run").output.unwrap())
+            .collect();
+
+        // 9 requests over 3 streams in windows of 2: uneven shards, a
+        // short trailing window, and true thread-per-stream execution.
+        let mut runtime = ServeRuntime::new(model, &phone, opts(3, 2)).expect("fits");
+        let report = runtime.serve_u8(&requests).expect("sharded serve");
+        assert_eq!(report.served, 9);
+        assert_eq!(report.windows, 5);
+        assert_eq!(report.streams, 3);
+        for (i, want) in sequential.iter().enumerate() {
+            assert_same_activation(
+                &report.outputs[i],
+                want,
+                &format!("{} request {i}", arch.name),
+            );
+        }
+    }
+}
+
+/// Single binary-conv architectures whose shapes force each planner route
+/// (mirrors `tests/route_agreement.rs` and `tests/batched_engine.rs`).
+fn conv_arch(name: &str, hw: usize, c: usize, k: usize, kernel: usize) -> NetworkArch {
+    NetworkArch::new(name, Shape4::new(1, hw, hw, c)).conv(
+        "conv",
+        k,
+        kernel,
+        1,
+        if kernel == 3 { 1 } else { 0 },
+        LayerPrecision::Binary,
+        Activation::Linear,
+    )
+}
+
+#[test]
+fn sharded_serving_equals_sequential_on_every_kernel_route() {
+    let phone = Phone::xiaomi_9();
+    let cases = [
+        (conv_arch("direct", 20, 64, 64, 3), ConvPath::DirectFused),
+        (
+            conv_arch("unfused", 13, 512, 16, 3),
+            ConvPath::DirectUnfused,
+        ),
+        (
+            conv_arch("pointwise", 26, 128, 256, 1),
+            ConvPath::LoweredGemm,
+        ),
+        (conv_arch("gemm", 13, 512, 512, 3), ConvPath::LoweredGemm),
+    ];
+    for (arch, expect_path) in cases {
+        let model = convert(&fill_weights(&arch, 19));
+        let requests: Vec<Tensor<f32>> = (0..6)
+            .map(|i| to_float_input(&synthetic_image(arch.input, 90 + i as u64)))
+            .collect();
+
+        let mut single = Session::new(model.clone(), &phone).expect("fits");
+        let sequential: Vec<_> = requests
+            .iter()
+            .map(|img| single.run_f32(img).expect("solo run").output.unwrap())
+            .collect();
+
+        let mut runtime = ServeRuntime::new(model, &phone, opts(2, 2)).expect("fits");
+        let staged_path = runtime
+            .staged()
+            .plan()
+            .steps
+            .iter()
+            .find_map(|s| s.route)
+            .expect("one binary conv")
+            .path;
+        assert_eq!(staged_path, expect_path, "{}", arch.name);
+
+        let report = runtime.serve_f32(&requests).expect("sharded serve");
+        for (i, want) in sequential.iter().enumerate() {
+            assert_same_activation(
+                &report.outputs[i],
+                want,
+                &format!("{} request {i}", arch.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn contention_stretches_windows_but_sharding_wins_throughput() {
+    let phone = Phone::xiaomi_9();
+    let arch = zoo::alexnet_micro(Variant::Binary);
+    let model = convert(&fill_weights(&arch, 5));
+    let requests: Vec<_> = (0..16)
+        .map(|i| synthetic_image(arch.input, 7 + i as u64))
+        .collect();
+
+    let mut solo = ServeRuntime::new(model.clone(), &phone, opts(1, 2)).expect("fits");
+    let solo_report = solo.serve_u8(&requests).expect("solo serve");
+
+    let mut duo = ServeRuntime::new(model, &phone, opts(2, 2)).expect("fits");
+    let duo_report = duo.serve_u8(&requests).expect("duo serve");
+
+    // Per-window latency under contention is never better than solo...
+    assert!(
+        duo_report.p50_ms >= solo_report.p50_ms - 1e-9,
+        "duo p50 {} vs solo {}",
+        duo_report.p50_ms,
+        solo_report.p50_ms
+    );
+    // ...but the aggregate makespan (and so throughput) improves: each
+    // stream runs half the windows, and host-side overhead overlaps the
+    // other stream's GPU time.
+    assert!(
+        duo_report.imgs_per_s > solo_report.imgs_per_s,
+        "duo {} imgs/s vs solo {}",
+        duo_report.imgs_per_s,
+        solo_report.imgs_per_s
+    );
+    assert!(duo_report.wall_s < solo_report.wall_s);
+    // The shared clock saw both streams' kernels.
+    assert!(duo.clock().busy_s() > 0.0);
+    assert_eq!(duo.clock().streams(), 2);
+}
+
+#[test]
+fn sharded_outputs_and_latencies_are_deterministic() {
+    let phone = Phone::xiaomi_9();
+    let arch = zoo::yolo_micro(Variant::Binary);
+    let requests: Vec<_> = (0..10)
+        .map(|i| synthetic_image(arch.input, 33 + i as u64))
+        .collect();
+    let mk =
+        || ServeRuntime::new(convert(&fill_weights(&arch, 3)), &phone, opts(4, 2)).expect("fits");
+    let ra = mk().serve_u8(&requests).expect("first run");
+    let rb = mk().serve_u8(&requests).expect("second run");
+    assert_eq!(ra.window_ms, rb.window_ms);
+    assert_eq!(ra.imgs_per_s, rb.imgs_per_s);
+    assert_eq!(
+        (ra.p50_ms, ra.p95_ms, ra.p99_ms),
+        (rb.p50_ms, rb.p95_ms, rb.p99_ms)
+    );
+    for (i, (a, b)) in ra.outputs.iter().zip(rb.outputs.iter()).enumerate() {
+        assert_same_activation(a, b, &format!("request {i}"));
+    }
+}

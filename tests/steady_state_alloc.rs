@@ -12,8 +12,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use phonebit::core::{convert, Session};
-use phonebit::gpusim::Phone;
+use phonebit::core::{convert, Session, StagedModel, Stream};
+use phonebit::gpusim::{DeviceClock, Phone};
 use phonebit::models::{fill_weights, synthetic_image};
 use phonebit::nn::act::Activation;
 use phonebit::nn::graph::{LayerPrecision, NetworkArch};
@@ -126,6 +126,39 @@ fn steady_batched_window_bytes(hw: usize, batch: usize) -> (usize, usize) {
     (samples[1], arena)
 }
 
+/// Heap bytes requested by one steady-state window on a **shared-model
+/// stream** (median of 3, after 2 priming windows): two contending streams
+/// are staged over one `StagedModel`, one is warmed, and its steady
+/// windows are measured. Returns the measured bytes and the full staged
+/// arena across both streams.
+fn steady_stream_window_bytes(hw: usize, batch: usize) -> (usize, usize) {
+    let def = fill_weights(&arch(hw), 9);
+    let model = convert(&def);
+    let phone = Phone::xiaomi_9();
+    let staged = StagedModel::stage(model, &phone, batch).expect("fits");
+    let clock = DeviceClock::with_streams(phone.gpu.clone(), 2);
+    let mut warm = Stream::with_clock(staged.clone(), clock.clone())
+        .expect("fits")
+        .with_output_capture(false);
+    let _other = Stream::with_clock(staged.clone(), clock).expect("fits");
+    let arena = 2 * staged.plan().staged_arena_bytes();
+    let images: Vec<_> = (0..batch)
+        .map(|i| synthetic_image(Shape4::new(1, hw, hw, 3), 4 + i as u64))
+        .collect();
+    for _ in 0..2 {
+        warm.run_batch_u8(&images).expect("priming window");
+    }
+    let mut samples: Vec<usize> = (0..3)
+        .map(|_| {
+            let before = ALLOCATED.load(Ordering::Relaxed);
+            warm.run_batch_u8(&images).expect("steady window");
+            ALLOCATED.load(Ordering::Relaxed) - before
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[1], arena)
+}
+
 #[test]
 fn steady_state_runs_do_not_allocate_activations() {
     let (small_bytes, small_arena) = steady_run_bytes(32);
@@ -162,5 +195,25 @@ fn steady_state_runs_do_not_allocate_activations() {
         window_bytes < batched_arena / 10,
         "steady batched window allocated {window_bytes} B against a {batched_arena} B staged \
          arena — batched activations are leaking off the arena"
+    );
+
+    // The Session split must not cost the contract either: a Stream staged
+    // over a shared StagedModel (with a second contending stream and a
+    // device clock attached) dispatches steady windows with the same
+    // dispatch-bookkeeping-only heap profile.
+    let (stream_bytes, sharded_arena) = steady_stream_window_bytes(64, 4);
+    assert!(
+        sharded_arena > batched_arena,
+        "test premise: two streams stage more arena than one"
+    );
+    assert!(
+        stream_bytes < sharded_arena / 10,
+        "steady per-stream window allocated {stream_bytes} B against a {sharded_arena} B \
+         staged arena — sharded dispatch is allocating on the activation path"
+    );
+    assert!(
+        stream_bytes < window_bytes.max(1) * 3 + 4096,
+        "per-stream dispatch heap blew up vs the single-session window: \
+         {window_bytes} B -> {stream_bytes} B"
     );
 }
