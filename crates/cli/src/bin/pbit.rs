@@ -4,13 +4,26 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use phonebit_cli::{cmd_bench, cmd_gen, cmd_info, cmd_plan, cmd_run, cmd_serve, CliError, USAGE};
+use phonebit_cli::{
+    cmd_bench, cmd_gen, cmd_info, cmd_plan, cmd_run, cmd_serve, cmd_serve_multitenant, CliError,
+    USAGE,
+};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Every value of a repeated flag, in order (`--model a --model b`).
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -63,9 +76,6 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
             cmd_run(&PathBuf::from(path), &phone, seed)
         }
         "serve" => {
-            let [path] = pos[..] else {
-                return Err(CliError::Usage("serve needs <model.pbit>".into()));
-            };
             let count_flag = |flag: &str| -> Result<Option<usize>, CliError> {
                 flag_value(rest, flag)
                     .map(|s| {
@@ -76,20 +86,44 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
             };
             let batch = count_flag("--batch")?;
             let requests = count_flag("--requests")?.unwrap_or(16);
-            let streams = count_flag("--streams")?.unwrap_or(1);
-            let slo_ms = flag_value(rest, "--slo-ms")
+            let slos: Vec<Option<f64>> = flag_values(rest, "--slo-ms")
+                .into_iter()
                 .map(|s| {
-                    s.parse::<f64>()
-                        .map_err(|_| CliError::Usage(format!("bad --slo-ms `{s}`")))
+                    if s == "none" || s == "-" {
+                        Ok(None)
+                    } else {
+                        s.parse::<f64>()
+                            .map(Some)
+                            .map_err(|_| CliError::Usage(format!("bad --slo-ms `{s}`")))
+                    }
                 })
-                .transpose()?;
+                .collect::<Result<_, _>>()?;
+            let models = flag_values(rest, "--model");
+            if models.len() >= 2 {
+                // Co-resident multi-tenant serving: one tenant per --model.
+                let streams = count_flag("--streams")?.unwrap_or(2);
+                let paths: Vec<PathBuf> = models.iter().map(PathBuf::from).collect();
+                return cmd_serve_multitenant(
+                    &paths, &slos, &phone, batch, requests, streams, seed,
+                );
+            }
+            let path = match (&pos[..], &models[..]) {
+                ([path], []) => PathBuf::from(path.as_str()),
+                ([], [path]) => PathBuf::from(path),
+                _ => {
+                    return Err(CliError::Usage(
+                        "serve needs <model.pbit> or repeated --model flags".into(),
+                    ))
+                }
+            };
+            let streams = count_flag("--streams")?.unwrap_or(1);
             cmd_serve(
-                &PathBuf::from(path),
+                &path,
                 &phone,
                 batch,
                 requests,
                 streams,
-                slo_ms,
+                slos.first().copied().flatten(),
                 seed,
             )
         }
@@ -106,10 +140,12 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
                     .transpose()
                     .map(|v| v.unwrap_or(default))
             };
+            let pair = flag_value(rest, "--pair");
             cmd_plan(
                 model,
                 count_flag("--batch", 4)?,
                 count_flag("--streams", 2)?,
+                pair.as_deref(),
             )
         }
         "bench" => {

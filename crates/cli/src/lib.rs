@@ -14,8 +14,9 @@ use std::path::Path;
 
 use phonebit_core::format::{load_file, save_file};
 use phonebit_core::{
-    convert, estimate_arch, max_feasible_batch_sharded, plan_on_sharded, PbitLayer, PbitModel,
-    ServeOptions, ServeRuntime, Session,
+    convert, estimate_arch, max_feasible_batch_multitenant, max_feasible_batch_sharded,
+    plan_multitenant, plan_on_sharded, DeviceRuntime, PbitLayer, PbitModel, ServeOptions,
+    ServeRuntime, Session, TenantSpec, TenantTraffic,
 };
 use phonebit_gpusim::Phone;
 use phonebit_models::zoo::{self, Variant};
@@ -338,12 +339,140 @@ fn cmd_serve_sharded(
     ))
 }
 
-/// `pbit plan <model> [--batch 4] [--streams 2]`: deployment planning per
-/// phone — weights, the solo arena peak, the sharded
-/// (`streams × banks × Σ slots`) peak, and `max_feasible_batch` both solo
-/// and sharded, so capacity planning sees the same numbers the serving
-/// runtime's admission controller uses.
-pub fn cmd_plan(model: &str, batch: usize, streams: usize) -> Result<String, CliError> {
+/// `pbit serve --model a.pbit --model b.pbit [--slo-ms T]... [--phone x9]
+/// [--batch N] [--requests R] [--streams S]`: co-resident multi-tenant
+/// serving through the [`DeviceRuntime`].
+///
+/// Every `--model` registers one tenant (an optional `--slo-ms` per
+/// position pairs with it); each tenant gets `requests` synthetic
+/// requests, the contention-aware admission controller fixes each
+/// tenant's window against the others' dispatch mix (an explicit
+/// `--batch` applies to every tenant, up to the pooled memory cap), and
+/// the work-stealing scheduler shards windows across `streams` pooled
+/// streams. Prints a per-tenant percentile table plus the pooled
+/// aggregate.
+pub fn cmd_serve_multitenant(
+    paths: &[std::path::PathBuf],
+    slos: &[Option<f64>],
+    phone: &str,
+    batch: Option<usize>,
+    requests: usize,
+    streams: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    if batch == Some(0) || requests == 0 || streams == 0 {
+        return Err(CliError::Usage(
+            "serve needs --batch >= 1, --requests >= 1 and --streams >= 1".into(),
+        ));
+    }
+    if slos.iter().flatten().any(|s| *s <= 0.0) {
+        return Err(CliError::Usage("serve needs --slo-ms > 0".into()));
+    }
+    let phone = phone_by_name(phone)?;
+    let mut specs = Vec::with_capacity(paths.len());
+    let mut inputs = Vec::with_capacity(paths.len());
+    for (i, path) in paths.iter().enumerate() {
+        let model = load_file(path)?;
+        inputs.push((model.input, model.takes_u8_input()));
+        let mut spec = TenantSpec::new(model);
+        spec.batch = batch;
+        spec.slo_ms = slos.get(i).copied().flatten();
+        specs.push(spec);
+    }
+    let mut runtime =
+        DeviceRuntime::new(specs, &phone, streams).map_err(|e| CliError::Engine(e.to_string()))?;
+
+    // Synthetic traffic per tenant (owned, then borrowed as TenantTraffic).
+    let mut u8_reqs: Vec<Vec<phonebit_tensor::Tensor<u8>>> = Vec::new();
+    let mut f32_reqs: Vec<Vec<phonebit_tensor::Tensor<f32>>> = Vec::new();
+    for (t, &(input, takes_u8)) in inputs.iter().enumerate() {
+        let imgs: Vec<_> = (0..requests)
+            .map(|i| synthetic_image(input, seed + (t * requests + i) as u64))
+            .collect();
+        if takes_u8 {
+            u8_reqs.push(imgs);
+            f32_reqs.push(Vec::new());
+        } else {
+            f32_reqs.push(imgs.iter().map(phonebit_models::to_float_input).collect());
+            u8_reqs.push(Vec::new());
+        }
+    }
+    let traffic: Vec<TenantTraffic<'_>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(t, &(_, takes_u8))| {
+            if takes_u8 {
+                TenantTraffic::U8(&u8_reqs[t])
+            } else {
+                TenantTraffic::F32(&f32_reqs[t])
+            }
+        })
+        .collect();
+    let report = runtime
+        .serve(&traffic)
+        .map_err(|e| CliError::Engine(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} tenants ({} requests, {} windows) across {} pooled streams on {} ({})",
+        report.tenants.len(),
+        report.served,
+        report.windows,
+        runtime.stream_count(),
+        phone.name,
+        phone.gpu.name
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>5} {:>5} {:>8} {:>9} {:>9} {:>9} {:>12}",
+        "tenant", "batch", "cap", "windows", "p50(ms)", "p95(ms)", "p99(ms)", "slo"
+    );
+    for (tenant, tr) in runtime.tenants().iter().zip(report.tenants.iter()) {
+        let adm = tenant.admission();
+        let slo = match tr.slo_ms {
+            Some(s) => format!("{s:.1}ms {}", if tr.slo_met { "MET" } else { "MISSED" }),
+            None => "-".into(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>5} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>12}",
+            tr.name,
+            adm.batch,
+            adm.max_feasible_batch,
+            tr.windows,
+            tr.p50_ms,
+            tr.p95_ms,
+            tr.p99_ms,
+            slo
+        );
+    }
+    let _ = writeln!(
+        out,
+        "aggregate {:.1} imgs/s over {:.3} ms makespan; resident {:.2} MiB \
+         (sum of weights + {} x {:.2} MiB pooled arena slice)",
+        report.imgs_per_s,
+        report.wall_s * 1e3,
+        runtime.resident_bytes() as f64 / (1024.0 * 1024.0),
+        report.streams,
+        runtime.pool_slice_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    Ok(out)
+}
+
+/// `pbit plan <model> [--batch 4] [--streams 2] [--pair <model2>]`:
+/// deployment planning per phone — weights, the solo arena peak, the
+/// sharded (`streams × banks × Σ slots`) peak, and `max_feasible_batch`
+/// both solo and sharded, so capacity planning sees the same numbers the
+/// serving runtime's admission controller uses. With `--pair`, adds the
+/// pooled multi-tenant peak of co-residing the two models
+/// (`Σ weights + streams × max(banks × Σ slots)`).
+pub fn cmd_plan(
+    model: &str,
+    batch: usize,
+    streams: usize,
+    pair: Option<&str>,
+) -> Result<String, CliError> {
     if batch == 0 || streams == 0 {
         return Err(CliError::Usage(
             "plan needs --batch >= 1 and --streams >= 1".into(),
@@ -384,6 +513,47 @@ pub fn cmd_plan(model: &str, batch: usize, streams: usize) -> Result<String, Cli
         "sharded peak = weights + streams x banks x sum(arena slots); \
          max b = largest window that still fits the app budget"
     );
+
+    if let Some(pair_name) = pair {
+        let pair_arch = arch_by_name(pair_name)?;
+        let _ = writeln!(
+            out,
+            "\npooled co-residency `{}` + `{}` (batch {batch} each, {streams} streams)",
+            arch.name, pair_arch.name
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>10} {:>12} {:>14} {:>12} {:>6}",
+            "phone", "weights", "slice", "pooled peak", "unpooled peak", "max b pair", "fits"
+        );
+        for phone in Phone::all() {
+            let pooled =
+                plan_multitenant(&[&arch, &pair_arch], &[batch, batch], &phone.gpu, streams);
+            let max_pair = max_feasible_batch_multitenant(
+                &[&arch, &pair_arch],
+                &[batch, batch],
+                0,
+                &phone,
+                streams,
+            );
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8.2}MB {:>8.2}MB {:>10.2}MB {:>12.2}MB {:>12} {:>6}",
+                phone.name,
+                pooled.weights_bytes as f64 / 1e6,
+                pooled.pool_slice_bytes as f64 / 1e6,
+                pooled.peak_bytes as f64 / 1e6,
+                pooled.unpooled_peak_bytes() as f64 / 1e6,
+                max_pair,
+                if pooled.fits(&phone) { "yes" } else { "NO" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "pooled peak = sum(weights) + streams x max(banks x sum(arena slots)); any stream \
+             can run either tenant inside its slice"
+        );
+    }
     Ok(out)
 }
 
@@ -420,9 +590,17 @@ USAGE:
                                                serving loop; >1 stream (or an SLO)
                                                shards windows across concurrent
                                                streams with admission control
-    pbit plan  <model> [--batch 4] [--streams 2]
+    pbit serve --model <a.pbit> --model <b.pbit> [--slo-ms T]... [--phone x9]
+               [--batch N] [--requests 16] [--streams 2] [--seed N]
+                                               co-resident multi-tenant serving: one
+                                               tenant per --model (positional --slo-ms
+                                               pairs with it), contention-aware
+                                               admission, work-stealing scheduler,
+                                               per-tenant percentile table
+    pbit plan  <model> [--batch 4] [--streams 2] [--pair <model2>]
                                                per-phone deployment plan: solo and
-                                               sharded arena peaks, max feasible batch
+                                               sharded arena peaks, max feasible batch;
+                                               --pair adds the pooled co-resident peak
     pbit bench <model> [--phone x9]            full-scale modeled latency/energy
     pbit help                                  this text
 
@@ -514,16 +692,78 @@ mod tests {
 
     #[test]
     fn plan_prints_sharded_peaks_for_both_phones() {
-        let out = cmd_plan("alexnet", 4, 2).unwrap();
+        let out = cmd_plan("alexnet", 4, 2, None).unwrap();
         assert!(
             out.contains("Xiaomi 5") && out.contains("Xiaomi 9"),
             "{out}"
         );
         assert!(out.contains("sharded peak"), "{out}");
         assert!(out.contains("max b shard"), "{out}");
-        assert!(matches!(cmd_plan("alexnet", 0, 2), Err(CliError::Usage(_))));
-        assert!(matches!(cmd_plan("alexnet", 4, 0), Err(CliError::Usage(_))));
-        assert!(matches!(cmd_plan("resnet", 4, 2), Err(CliError::Usage(_))));
+        assert!(matches!(
+            cmd_plan("alexnet", 0, 2, None),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_plan("alexnet", 4, 0, None),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_plan("resnet", 4, 2, None),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn plan_pair_prints_the_pooled_co_resident_peak() {
+        let out = cmd_plan("alexnet", 4, 2, Some("yolov2-tiny")).unwrap();
+        assert!(
+            out.contains("pooled co-residency `AlexNet` + `YOLOv2-Tiny`"),
+            "{out}"
+        );
+        assert!(out.contains("pooled peak"), "{out}");
+        assert!(out.contains("unpooled peak"), "{out}");
+        assert!(out.contains("max b pair"), "{out}");
+        assert!(matches!(
+            cmd_plan("alexnet", 4, 2, Some("resnet")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_multitenant_prints_a_per_tenant_table() {
+        let a = tmp("mt_a.pbit");
+        let b = tmp("mt_b.pbit");
+        cmd_gen("yolo-micro", &a, 7).unwrap();
+        cmd_gen("alexnet-micro", &b, 9).unwrap();
+        let out = cmd_serve_multitenant(
+            &[a.clone(), b.clone()],
+            &[None, Some(1000.0)],
+            "x9",
+            Some(2),
+            6,
+            2,
+            5,
+        )
+        .unwrap();
+        assert!(
+            out.contains("served 2 tenants (12 requests, 6 windows)"),
+            "{out}"
+        );
+        assert!(out.contains("YOLO-micro"), "{out}");
+        assert!(out.to_lowercase().contains("alexnet"), "{out}");
+        assert!(out.contains("1000.0ms MET"), "{out}");
+        assert!(out.contains("pooled arena slice"), "{out}");
+        // Degenerate knobs are usage errors.
+        assert!(matches!(
+            cmd_serve_multitenant(&[a.clone(), b.clone()], &[], "x9", Some(0), 6, 2, 5),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve_multitenant(&[a.clone(), b.clone()], &[Some(0.0)], "x9", None, 6, 2, 5),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
     }
 
     #[test]

@@ -312,6 +312,29 @@ impl StagedModel {
     /// Panics when `batch == 0`.
     pub fn stage(model: PbitModel, phone: &Phone, batch: usize) -> Result<Arc<Self>, EngineError> {
         let ctx = Context::new(phone.gpu.clone(), phone.app_budget_bytes());
+        Self::stage_with(model, ctx, batch)
+    }
+
+    /// [`StagedModel::stage`] into an explicit (possibly shared) device
+    /// [`Context`]: the multi-tenant runtime stages every co-resident
+    /// model into **one** budgeted context, so all tenants' weights and
+    /// every stream's pooled arena slice draw from the same app budget
+    /// and a pair that does not fit fails at staging exactly like one
+    /// oversized model would.
+    ///
+    /// # Errors
+    ///
+    /// As [`StagedModel::stage`], against the shared context's remaining
+    /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0`.
+    pub fn stage_with(
+        model: PbitModel,
+        ctx: Context,
+        batch: usize,
+    ) -> Result<Arc<Self>, EngineError> {
         let mut weight_residency = Vec::new();
         for layer in &model.layers {
             let bytes = layer.param_bytes();
@@ -319,7 +342,8 @@ impl StagedModel {
                 weight_residency.push(ctx.alloc::<u8>(bytes)?);
             }
         }
-        let plan = ExecutionPlan::for_model_batched(&model, &phone.gpu, batch).map_err(|e| {
+        let gpu = ctx.device().clone();
+        let plan = ExecutionPlan::for_model_batched(&model, &gpu, batch).map_err(|e| {
             EngineError::DomainMismatch {
                 layer: e.layer,
                 expected: e.expected,
@@ -346,7 +370,7 @@ impl StagedModel {
             model,
             plan,
             ctx,
-            gpu: phone.gpu.clone(),
+            gpu,
             _weight_residency: weight_residency,
             conv_banks,
         }))
@@ -374,6 +398,65 @@ impl StagedModel {
     }
 }
 
+/// The per-plan mutable arena state one stream holds for one staged model:
+/// `plan.banks` copies of the slot storage (single-image plans hold one,
+/// batched plans double-buffer so the next window stages while the current
+/// one computes), the bank cursor, and the primed flag. [`Stream`] holds
+/// exactly one; [`MultiStream`] holds one per co-resident tenant so any
+/// stream can run any tenant's plan.
+#[derive(Debug)]
+struct ArenaState {
+    banks: Vec<Vec<SlotStorage>>,
+    /// Bank receiving the next run's staging.
+    bank: usize,
+    /// Whether a batched stream is warm: once the first window has run,
+    /// later windows' host prep overlaps GPU compute (double buffering)
+    /// and the per-run framework overhead is no longer charged.
+    primed: bool,
+}
+
+impl ArenaState {
+    /// Prepares every bank's host buffers for every value of `plan` —
+    /// sized once here, never reallocated in steady state.
+    fn stage(plan: &ExecutionPlan) -> Self {
+        let mut banks: Vec<Vec<SlotStorage>> = (0..plan.banks)
+            .map(|_| plan.slots.iter().map(|_| SlotStorage::default()).collect())
+            .collect();
+        for bank in banks.iter_mut() {
+            for v in &plan.values {
+                bank[v.slot].prepare(v.kind, v.shape);
+            }
+        }
+        Self {
+            banks,
+            bank: 0,
+            primed: false,
+        }
+    }
+
+    /// Copies a window of 8-bit images into the active bank's input slot.
+    fn stage_window_u8(&mut self, plan: &ExecutionPlan, images: &[Tensor<u8>]) {
+        let in_slot = plan.values[plan.input_value].slot;
+        let store = self.banks[self.bank][in_slot]
+            .bytes
+            .as_mut()
+            .expect("arena slot: bytes staged");
+        store.reset(plan.input, Layout::Nhwc);
+        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_u8));
+    }
+
+    /// Copies a window of float inputs into the active bank's input slot.
+    fn stage_window_f32(&mut self, plan: &ExecutionPlan, images: &[Tensor<f32>]) {
+        let in_slot = plan.values[plan.input_value].slot;
+        let store = self.banks[self.bank][in_slot]
+            .floats
+            .as_mut()
+            .expect("arena slot: floats staged");
+        store.reset(plan.input, Layout::Nhwc);
+        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_f32));
+    }
+}
+
 /// The mutable, per-stream half of an inference engine: arena banks, the
 /// command queue (with its timeline), the double-buffer cursor and the
 /// primed flag. Many streams may share one [`StagedModel`]; each stream is
@@ -385,16 +468,7 @@ pub struct Stream {
     staged: Arc<StagedModel>,
     queue: CommandQueue,
     _arena_residency: Vec<Buffer<u8>>,
-    /// `plan.banks` copies of the slot storage: single-image streams hold
-    /// one, batched streams double-buffer so the next window stages while
-    /// the current one computes.
-    banks: Vec<Vec<SlotStorage>>,
-    /// Bank receiving the next run's staging.
-    bank: usize,
-    /// Whether a batched stream is warm: once the first window has run,
-    /// later windows' host prep overlaps GPU compute (double buffering)
-    /// and the per-run framework overhead is no longer charged.
-    primed: bool,
+    arena: ArenaState,
     capture_output: bool,
 }
 
@@ -434,14 +508,7 @@ impl Stream {
         let plan = &staged.plan;
         // Stage every arena bank: host buffers sized once, device residency
         // held for the stream's lifetime (arena-true `resident_bytes`).
-        let mut banks: Vec<Vec<SlotStorage>> = (0..plan.banks)
-            .map(|_| plan.slots.iter().map(|_| SlotStorage::default()).collect())
-            .collect();
-        for bank in banks.iter_mut() {
-            for v in &plan.values {
-                bank[v.slot].prepare(v.kind, v.shape);
-            }
-        }
+        let arena = ArenaState::stage(plan);
         let mut arena_residency = Vec::with_capacity(plan.banks * plan.slots.len());
         for _ in 0..plan.banks {
             for &bytes in &plan.slots {
@@ -452,9 +519,7 @@ impl Stream {
             staged,
             queue,
             _arena_residency: arena_residency,
-            banks,
-            bank: 0,
-            primed: false,
+            arena,
             capture_output: true,
         })
     }
@@ -541,14 +606,7 @@ impl Stream {
         for img in images {
             self.check_shape(img.shape())?;
         }
-        let in_slot = self.staged.plan.values[self.staged.plan.input_value].slot;
-        let shape = self.staged.plan.input;
-        let store = self.banks[self.bank][in_slot]
-            .bytes
-            .as_mut()
-            .expect("arena slot: bytes staged");
-        store.reset(shape, Layout::Nhwc);
-        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_u8));
+        self.arena.stage_window_u8(&self.staged.plan, images);
         self.run_staged()
     }
 
@@ -569,21 +627,14 @@ impl Stream {
         for img in images {
             self.check_shape(img.shape())?;
         }
-        let in_slot = self.staged.plan.values[self.staged.plan.input_value].slot;
-        let shape = self.staged.plan.input;
-        let store = self.banks[self.bank][in_slot]
-            .floats
-            .as_mut()
-            .expect("arena slot: floats staged");
-        store.reset(shape, Layout::Nhwc);
-        stage_window(store.as_mut_slice(), images.iter().map(as_nhwc_f32));
+        self.arena.stage_window_f32(&self.staged.plan, images);
         self.run_staged()
     }
 
     /// Forgets the double-buffer priming so the next batched window is
     /// charged the cold per-run overhead again (a fresh request stream).
     pub fn reset_stream(&mut self) {
-        self.primed = false;
+        self.arena.primed = false;
     }
 
     fn check_single(&self) -> Result<(), EngineError> {
@@ -625,7 +676,7 @@ impl Stream {
         let in_slot = self.staged.plan.values[self.staged.plan.input_value].slot;
         match input {
             InputRef::Bytes(t) => {
-                let store = self.banks[self.bank][in_slot]
+                let store = self.arena.banks[self.arena.bank][in_slot]
                     .bytes
                     .as_mut()
                     .expect("arena slot: bytes staged");
@@ -633,7 +684,7 @@ impl Stream {
                 store.as_mut_slice().copy_from_slice(t.as_slice());
             }
             InputRef::Floats(t) => {
-                let store = self.banks[self.bank][in_slot]
+                let store = self.arena.banks[self.arena.bank][in_slot]
                     .floats
                     .as_mut()
                     .expect("arena slot: floats staged");
@@ -648,74 +699,291 @@ impl Stream {
     /// then rotates the bank so the next window stages into the other one.
     fn run_staged(&mut self) -> Result<RunReport, EngineError> {
         // A plain field borrow, not an Arc clone: `staged` is disjoint
-        // from the `queue`/`banks` fields mutated below, and a refcount
+        // from the `queue`/`arena` fields mutated below, and a refcount
         // bump per window would ping-pong the counter's cache line across
         // every stream thread in a sharded runtime.
-        let staged = &*self.staged;
-        let plan = &staged.plan;
-        self.queue.reset();
-        // Cold windows pay the framework's per-run overhead. In a primed
-        // batched stream the host prepared this window inside the previous
-        // window's GPU time (per-slot double buffering), so steady-state
-        // windows skip it.
-        if self.banks.len() == 1 || !self.primed {
-            let overhead = self.queue.per_run_overhead_s();
-            self.queue.host_delay(overhead);
-        }
-        let bank = self.bank;
+        Ok(run_window(
+            &mut self.queue,
+            &self.staged,
+            &mut self.arena,
+            self.capture_output,
+        ))
+    }
+}
 
-        let mut per_layer = Vec::with_capacity(staged.model.len());
-        for idx in 0..plan.steps.len() {
-            let t0 = self.queue.elapsed_s();
-            let e0 = self.queue.timeline().len();
-            // Field borrows are disjoint: the staged half is read-only,
-            // the queue and arena bank are the mutable execution state.
-            exec_step(
-                &mut self.queue,
-                &staged.model.layers[idx],
-                plan,
-                &staged.conv_banks,
-                &mut self.banks[bank],
-                idx,
-            );
-            let step = &plan.steps[idx];
-            let energy_j: f64 = self.queue.timeline()[e0..]
-                .iter()
-                .map(|ev| ev.stats.energy_j)
-                .sum();
-            per_layer.push(LayerRun {
-                name: step.name.clone(),
-                output_shape: step.out_shape,
-                time_s: self.queue.elapsed_s() - t0,
-                energy_j,
-            });
-        }
+/// Walks one staged window of `staged`'s plan over `arena`'s active bank
+/// (input already staged there), then rotates the bank so the next window
+/// stages into the other one. The shared execution core of [`Stream`]
+/// (one staged model) and [`MultiStream`] (any co-resident tenant's plan
+/// on the same queue).
+fn run_window(
+    queue: &mut CommandQueue,
+    staged: &StagedModel,
+    arena: &mut ArenaState,
+    capture_output: bool,
+) -> RunReport {
+    let plan = &staged.plan;
+    queue.reset();
+    // Cold windows pay the framework's per-run overhead. In a primed
+    // batched stream the host prepared this window inside the previous
+    // window's GPU time (per-slot double buffering), so steady-state
+    // windows skip it.
+    if arena.banks.len() == 1 || !arena.primed {
+        let overhead = queue.per_run_overhead_s();
+        queue.host_delay(overhead);
+    }
+    let bank = arena.bank;
 
-        let output = if self.capture_output {
-            let out_val = &plan.values[plan.output_value()];
-            let store = &self.banks[bank][out_val.slot];
-            Some(match out_val.kind {
-                ValueKind::Bits => ActivationData::Bits(store.bits().clone()),
-                ValueKind::Floats => ActivationData::Floats(store.floats().clone()),
-                ValueKind::Bytes => ActivationData::Bytes(store.bytes_ref().clone()),
-                _ => unreachable!("network outputs are activations"),
-            })
-        } else {
-            None
-        };
-        if self.banks.len() > 1 {
-            self.primed = true;
-            self.bank = (self.bank + 1) % self.banks.len();
-        }
-        Ok(RunReport {
-            model: staged.model.name.clone(),
-            total_s: self.queue.elapsed_s(),
-            energy_j: self.queue.energy_j(),
-            peak_bytes: staged.ctx.peak_bytes(),
-            per_layer,
-            output,
+    let mut per_layer = Vec::with_capacity(staged.model.len());
+    for idx in 0..plan.steps.len() {
+        let t0 = queue.elapsed_s();
+        let e0 = queue.timeline().len();
+        // Field borrows are disjoint: the staged half is read-only,
+        // the queue and arena bank are the mutable execution state.
+        exec_step(
+            queue,
+            &staged.model.layers[idx],
+            plan,
+            &staged.conv_banks,
+            &mut arena.banks[bank],
+            idx,
+        );
+        let step = &plan.steps[idx];
+        let energy_j: f64 = queue.timeline()[e0..]
+            .iter()
+            .map(|ev| ev.stats.energy_j)
+            .sum();
+        per_layer.push(LayerRun {
+            name: step.name.clone(),
+            output_shape: step.out_shape,
+            time_s: queue.elapsed_s() - t0,
+            energy_j,
+        });
+    }
+
+    let output = if capture_output {
+        let out_val = &plan.values[plan.output_value()];
+        let store = &arena.banks[bank][out_val.slot];
+        Some(match out_val.kind {
+            ValueKind::Bits => ActivationData::Bits(store.bits().clone()),
+            ValueKind::Floats => ActivationData::Floats(store.floats().clone()),
+            ValueKind::Bytes => ActivationData::Bytes(store.bytes_ref().clone()),
+            _ => unreachable!("network outputs are activations"),
+        })
+    } else {
+        None
+    };
+    if arena.banks.len() > 1 {
+        arena.primed = true;
+        arena.bank = (arena.bank + 1) % arena.banks.len();
+    }
+    RunReport {
+        model: staged.model.name.clone(),
+        total_s: queue.elapsed_s(),
+        energy_j: queue.energy_j(),
+        peak_bytes: staged.ctx.peak_bytes(),
+        per_layer,
+        output,
+    }
+}
+
+/// A serving lane that can run **any** co-resident tenant's plan — the
+/// multi-tenant generalization of [`Stream`].
+///
+/// Where a [`Stream`] is welded to one [`StagedModel`], a `MultiStream`
+/// keeps one prepared arena state *per tenant* (host buffers sized once
+/// at staging, priming tracked per tenant) over a **single pooled device
+/// allocation**: one arena slice sized to the largest tenant's staged
+/// banks, drawn from the shared budgeted [`Context`]. Any tenant whose
+/// `banks × Σ slots` fits the slice can run on this stream — which is every
+/// registered tenant, by construction — so an idle stream can steal the
+/// next window regardless of which model it belongs to, and the device
+/// footprint of `S` streams is `S × max_tenant(arena)` instead of
+/// `S × Σ_tenants(arena)`.
+#[derive(Debug)]
+pub struct MultiStream {
+    lanes: Vec<(Arc<StagedModel>, ArenaState)>,
+    queue: CommandQueue,
+    _pool_residency: Buffer<u8>,
+    pool_slice_bytes: usize,
+    capture_output: bool,
+}
+
+impl MultiStream {
+    /// Stages one pooled stream over `tenants` (all staged into `ctx`):
+    /// prepares a per-tenant arena lane, allocates the pooled slice from
+    /// the shared context, and attaches the stream's queue to the shared
+    /// device clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when the pooled slice no
+    /// longer fits the shared budget next to the tenants' weights and the
+    /// already-staged streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenants` is empty.
+    pub fn new(
+        tenants: &[Arc<StagedModel>],
+        ctx: &Context,
+        clock: Arc<DeviceClock>,
+    ) -> Result<Self, EngineError> {
+        let first = tenants.first().expect("a multi-stream needs >= 1 tenant");
+        let pool_slice_bytes = tenants
+            .iter()
+            .map(|t| t.plan().staged_arena_bytes())
+            .max()
+            .unwrap_or(0);
+        let pool = ctx.alloc::<u8>(pool_slice_bytes)?;
+        let queue =
+            CommandQueue::new(first.gpu.clone(), ExecutorClass::PhoneBitOpenCl).with_clock(clock);
+        let lanes = tenants
+            .iter()
+            .map(|t| (Arc::clone(t), ArenaState::stage(t.plan())))
+            .collect();
+        Ok(Self {
+            lanes,
+            queue,
+            _pool_residency: pool,
+            pool_slice_bytes,
+            capture_output: true,
         })
     }
+
+    /// Disables (or re-enables) cloning final activations into
+    /// [`RunReport::output`].
+    pub fn with_output_capture(mut self, capture: bool) -> Self {
+        self.capture_output = capture;
+        self
+    }
+
+    /// Device bytes of this stream's pooled arena slice
+    /// (`max_tenant(banks × Σ slots)`).
+    pub fn pool_slice_bytes(&self) -> usize {
+        self.pool_slice_bytes
+    }
+
+    /// Co-resident tenants this stream can serve.
+    pub fn tenant_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether tenant `tenant`'s staged arena fits this stream's pooled
+    /// slice (always true for registered tenants; the check is what a
+    /// dynamic tenant-attach would consult).
+    pub fn fits_tenant(&self, staged: &StagedModel) -> bool {
+        staged.plan().staged_arena_bytes() <= self.pool_slice_bytes
+    }
+
+    /// The dispatch timeline of the most recent window.
+    pub fn timeline(&self) -> &[phonebit_gpusim::LaunchEvent] {
+        self.queue.timeline()
+    }
+
+    /// Forgets every tenant lane's double-buffer priming (and bank
+    /// cursor): the next window of each (stream, tenant) pairing is
+    /// charged the cold per-run overhead again. The runtime calls this at
+    /// the start of every serving pass, so the scheduler's
+    /// cold-first-window model matches what actually executes on a reused
+    /// stream.
+    pub fn reset_lanes(&mut self) {
+        for (_, arena) in &mut self.lanes {
+            arena.primed = false;
+            arena.bank = 0;
+        }
+    }
+
+    /// Runs one window of 8-bit images through tenant `tenant`'s plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when the tenant's model
+    /// takes float input, the window is empty or larger than the tenant's
+    /// staged batch, or any image's shape disagrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenant` is out of range.
+    pub fn run_window_u8(
+        &mut self,
+        tenant: usize,
+        images: &[Tensor<u8>],
+    ) -> Result<RunReport, EngineError> {
+        let (staged, arena) = &mut self.lanes[tenant];
+        if !staged.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "f32 input".into(),
+                got: "u8 images".into(),
+            });
+        }
+        check_tenant_window(staged, images.len())?;
+        for img in images {
+            check_tenant_shape(staged, img.shape())?;
+        }
+        arena.stage_window_u8(&staged.plan, images);
+        Ok(run_window(
+            &mut self.queue,
+            staged,
+            arena,
+            self.capture_output,
+        ))
+    }
+
+    /// [`MultiStream::run_window_u8`] for float-input tenants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] under the mirrored
+    /// conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenant` is out of range.
+    pub fn run_window_f32(
+        &mut self,
+        tenant: usize,
+        images: &[Tensor<f32>],
+    ) -> Result<RunReport, EngineError> {
+        let (staged, arena) = &mut self.lanes[tenant];
+        if staged.model.takes_u8_input() {
+            return Err(EngineError::InputMismatch {
+                expected: "u8 images".into(),
+                got: "f32 tensors".into(),
+            });
+        }
+        check_tenant_window(staged, images.len())?;
+        for img in images {
+            check_tenant_shape(staged, img.shape())?;
+        }
+        arena.stage_window_f32(&staged.plan, images);
+        Ok(run_window(
+            &mut self.queue,
+            staged,
+            arena,
+            self.capture_output,
+        ))
+    }
+}
+
+fn check_tenant_window(staged: &StagedModel, count: usize) -> Result<(), EngineError> {
+    if count == 0 || count > staged.plan.batch {
+        return Err(EngineError::InputMismatch {
+            expected: format!("1..={} images", staged.plan.batch),
+            got: format!("{count} images"),
+        });
+    }
+    Ok(())
+}
+
+fn check_tenant_shape(staged: &StagedModel, got: Shape4) -> Result<(), EngineError> {
+    if got != staged.model.input {
+        return Err(EngineError::InputMismatch {
+            expected: staged.model.input.to_string(),
+            got: got.to_string(),
+        });
+    }
+    Ok(())
 }
 
 /// An inference session: a model staged on a phone's GPU, single-image

@@ -26,6 +26,13 @@
 //! [`planner::plan_on_batched`] / [`planner::max_feasible_batch`] size the
 //! batched deployment against a phone's budget.
 //!
+//! For device sharing, [`serve::DeviceRuntime`] co-resides several
+//! heterogeneous models as tenants on one device: a pooled arena
+//! ([`planner::plan_multitenant`]), a work-stealing window scheduler
+//! ([`serve::schedule_windows`]), and contention-aware per-tenant
+//! admission against the other tenants' registered dispatch mix.
+//! [`serve::ServeRuntime`] is the single-tenant wrapper.
+//!
 //! [`convert`]: convert::convert
 
 #![warn(missing_docs)]
@@ -43,15 +50,19 @@ pub mod stats;
 
 pub use builder::NetworkBuilder;
 pub use convert::convert;
-pub use engine::{ActivationData, EngineError, Session, StagedModel, Stream};
+pub use engine::{ActivationData, EngineError, MultiStream, Session, StagedModel, Stream};
 pub use estimate::{estimate_arch, estimate_arch_batched, estimate_arch_opts, EstimateOptions};
 pub use model::{PbitLayer, PbitModel};
 pub use plan::{ExecutionPlan, PlanStep, PlanValue, RouteOverrides, StepOp, ValueKind, ValueRole};
 pub use planner::{
-    max_feasible_batch, max_feasible_batch_sharded, plan, plan_batched, plan_on, plan_on_batched,
-    plan_on_sharded, select_conv_path, ConvPath, ConvPlan, MemoryPlan,
+    max_feasible_batch, max_feasible_batch_multitenant, max_feasible_batch_sharded, plan,
+    plan_batched, plan_multitenant, plan_on, plan_on_batched, plan_on_sharded, select_conv_path,
+    ConvPath, ConvPlan, MemoryPlan, MultiTenantPlan,
 };
 pub use serve::{
-    estimate_serve, Admission, ServeEstimate, ServeOptions, ServeReport, ServeRuntime,
+    estimate_serve, estimate_serve_multitenant, schedule_windows, Admission, DeviceRuntime,
+    MultiServeReport, MultiTenantEstimate, ScheduledWindow, ServeEstimate, ServeOptions,
+    ServeReport, ServeRuntime, Tenant, TenantEstimate, TenantLoad, TenantServeReport, TenantSpec,
+    TenantTraffic, TenantWorkload,
 };
 pub use stats::{LayerRun, RunReport};

@@ -70,6 +70,7 @@ use std::sync::Arc;
 
 use phonebit_gpusim::DeviceProfile;
 use phonebit_nn::graph::{LayerPrecision, LayerSpec, NetworkArch, PoolKind};
+use phonebit_tensor::bits::PackWidth;
 use phonebit_tensor::shape::{ConvGeometry, Shape4};
 
 use crate::model::{PbitLayer, PbitModel};
@@ -91,11 +92,18 @@ pub enum ValueKind {
 }
 
 impl ValueKind {
-    /// Device bytes a value of this kind occupies at `shape` (bits pack
-    /// whole `u64` words per pixel).
+    /// Device bytes a value of this kind occupies at `shape`.
+    ///
+    /// Packed values round up to whole words per pixel, with the word
+    /// width chosen per value by [`PackWidth::select`] (paper §V-A.2:
+    /// "PhoneBit selects the optimal bit packing strategy … according to
+    /// channel dimensions"): a C ≤ 8 chain packs `uchar` rows, C ≤ 16
+    /// `ushort`, C ≤ 32 `uint`, everything wider `ulong` — so
+    /// narrow-channel values stop reserving W64-padded arena slots.
     pub fn bytes(self, shape: Shape4) -> usize {
         let px = shape.pixels();
-        let packed = px * shape.c.div_ceil(64) * 8;
+        let width = PackWidth::select(shape.c);
+        let packed = px * width.words_for(shape.c) * (width.bits() / 8);
         match self {
             ValueKind::Bytes => px * shape.c,
             ValueKind::Bits => packed,
@@ -1125,5 +1133,21 @@ mod tests {
         assert_eq!(ValueKind::Floats.bytes(s), 16 * 400);
         assert_eq!(ValueKind::Accum32.bytes(s), 16 * 400);
         assert_eq!(ValueKind::Planes8.bytes(s), 8 * 16 * 2 * 8);
+    }
+
+    #[test]
+    fn narrow_channels_pack_into_narrow_words() {
+        // Pack-width-aware sizing (§V-A.2): C <= 32 chains stop paying
+        // u64-padded slots — one uchar/ushort/uint word per pixel instead
+        // of a full ulong.
+        let px = 16;
+        for (c, word_bytes) in [(3usize, 1usize), (8, 1), (16, 2), (24, 4), (32, 4)] {
+            let s = Shape4::new(1, 4, 4, c);
+            assert_eq!(ValueKind::Bits.bytes(s), px * word_bytes, "C = {c}");
+            assert_eq!(ValueKind::Planes8.bytes(s), 8 * px * word_bytes, "C = {c}");
+        }
+        // At and past one ulong the W64 packing is unchanged.
+        assert_eq!(ValueKind::Bits.bytes(Shape4::new(1, 4, 4, 64)), px * 8);
+        assert_eq!(ValueKind::Bits.bytes(Shape4::new(1, 4, 4, 65)), px * 16);
     }
 }

@@ -373,6 +373,112 @@ pub fn max_feasible_batch_sharded(arch: &NetworkArch, phone: &Phone, streams: us
     largest_batch_where(|batch| plan_on_sharded(arch, &phone.gpu, batch, streams).fits(phone))
 }
 
+/// Pooled co-resident deployment plan for several heterogeneous models
+/// sharing one device: every tenant's weights stay resident
+/// (`Σ weights`), while activation arenas come from a **pool** of
+/// per-stream bank slices, each sized to the *largest* tenant's staged
+/// banks — any stream can run any tenant's plan inside its slice, so the
+/// peak is `Σ weights + streams × max_tenant(banks × Σ slots)` instead of
+/// the per-model `Σ weights + streams × Σ_tenants(banks × Σ slots)` a
+/// naive side-by-side deployment would pay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTenantPlan {
+    /// Resident packed weight bytes across every tenant.
+    pub weights_bytes: usize,
+    /// One pooled arena slice: the largest tenant's `banks × Σ slots`.
+    pub pool_slice_bytes: usize,
+    /// Streams drawing slices from the pool.
+    pub streams: usize,
+    /// Peak total = `Σ weights + streams × pool slice`.
+    pub peak_bytes: usize,
+    /// Each tenant's own (single-stream) memory plan at its batch.
+    pub per_tenant: Vec<MemoryPlan>,
+}
+
+impl MultiTenantPlan {
+    /// Whether the pooled co-resident deployment fits a phone's app
+    /// budget.
+    pub fn fits(&self, phone: &Phone) -> bool {
+        self.peak_bytes <= phone.app_budget_bytes()
+    }
+
+    /// What the same tenants would cost side-by-side without the pool
+    /// (every stream holding every tenant's arena) — the baseline the
+    /// pooled formula improves on.
+    pub fn unpooled_peak_bytes(&self) -> usize {
+        self.weights_bytes
+            + self.streams
+                * self
+                    .per_tenant
+                    .iter()
+                    .map(|p| p.peak_activation_bytes)
+                    .sum::<usize>()
+    }
+}
+
+/// Plans the pooled co-resident footprint of `archs` (one batch size per
+/// tenant, parallel slices) on `device` with `streams` pooled streams.
+///
+/// # Panics
+///
+/// Panics when the slices are empty or of different lengths, any batch is
+/// zero, or `streams == 0`.
+pub fn plan_multitenant(
+    archs: &[&NetworkArch],
+    batches: &[usize],
+    device: &DeviceProfile,
+    streams: usize,
+) -> MultiTenantPlan {
+    assert!(
+        !archs.is_empty() && archs.len() == batches.len(),
+        "one batch per tenant"
+    );
+    assert!(streams >= 1, "streams must be at least 1");
+    let per_tenant: Vec<MemoryPlan> = archs
+        .iter()
+        .zip(batches.iter())
+        .map(|(arch, &batch)| plan_on_sharded(arch, device, batch, 1))
+        .collect();
+    let weights_bytes = per_tenant.iter().map(|p| p.weights_bytes).sum();
+    let pool_slice_bytes = per_tenant
+        .iter()
+        .map(|p| p.peak_activation_bytes)
+        .max()
+        .unwrap_or(0);
+    MultiTenantPlan {
+        weights_bytes,
+        pool_slice_bytes,
+        streams,
+        peak_bytes: weights_bytes + streams * pool_slice_bytes,
+        per_tenant,
+    }
+}
+
+/// The largest batch tenant `grow` can stage while the other tenants hold
+/// the batches in `batches`, such that the pooled co-resident deployment
+/// (`Σ weights + streams × pool slice`) still fits `phone`'s app budget.
+/// Returns 0 when even batch 1 does not fit. The multi-tenant admission
+/// controller starts from this cap before applying each tenant's SLO.
+///
+/// # Panics
+///
+/// Panics when the slices disagree, `grow` is out of range, or
+/// `streams == 0`.
+pub fn max_feasible_batch_multitenant(
+    archs: &[&NetworkArch],
+    batches: &[usize],
+    grow: usize,
+    phone: &Phone,
+    streams: usize,
+) -> usize {
+    assert!(grow < archs.len(), "grow index out of range");
+    let mut probe = batches.to_vec();
+    largest_batch_where(|batch| {
+        probe[grow] = batch;
+        plan_multitenant(archs, &probe, &phone.gpu, streams).fits(phone)
+    })
+}
+
 /// Window-size search cap: no batched deployment is probed past this.
 const MAX_PROBED_BATCH: usize = 4096;
 
@@ -380,7 +486,7 @@ const MAX_PROBED_BATCH: usize = 4096;
 /// (0 when even batch 1 fails). Shared by [`max_feasible_batch_sharded`]
 /// and the serving runtime's model-based admission controller so the two
 /// memory caps cannot drift apart.
-pub(crate) fn largest_batch_where(fits: impl Fn(usize) -> bool) -> usize {
+pub(crate) fn largest_batch_where(mut fits: impl FnMut(usize) -> bool) -> usize {
     if !fits(1) {
         return 0;
     }
@@ -555,6 +661,71 @@ mod tests {
         let wide = select_conv_path(&dev, 13 * 13, 512, 512, &g);
         assert_eq!(wide.path, ConvPath::LoweredGemm);
         assert_eq!(wide.energy_j(), wide.lowered_energy_j);
+    }
+
+    #[test]
+    fn multitenant_plan_pools_bank_slices_over_summed_weights() {
+        let a = arch();
+        let dev = DeviceProfile::adreno_640();
+        // A second, smaller tenant.
+        let b = NetworkArch::new("plan-b", Shape4::new(1, 16, 16, 3))
+            .conv(
+                "conv1",
+                32,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
+            .dense("fc", 10, LayerPrecision::Float, Activation::Linear);
+        let solo_a = plan_on_sharded(&a, &dev, 4, 1);
+        let solo_b = plan_on_sharded(&b, &dev, 2, 1);
+        let pair = plan_multitenant(&[&a, &b], &[4, 2], &dev, 3);
+        // Weights sum; the pool slice is the larger tenant's banks.
+        assert_eq!(
+            pair.weights_bytes,
+            solo_a.weights_bytes + solo_b.weights_bytes
+        );
+        assert_eq!(
+            pair.pool_slice_bytes,
+            solo_a
+                .peak_activation_bytes
+                .max(solo_b.peak_activation_bytes)
+        );
+        assert_eq!(
+            pair.peak_bytes,
+            pair.weights_bytes + 3 * pair.pool_slice_bytes
+        );
+        // Pooling strictly beats the side-by-side deployment whenever the
+        // smaller tenant's arena is nonzero.
+        assert!(pair.peak_bytes < pair.unpooled_peak_bytes());
+        assert_eq!(pair.per_tenant.len(), 2);
+        assert_eq!((pair.per_tenant[0].batch, pair.per_tenant[1].batch), (4, 2));
+        assert!(pair.fits(&Phone::xiaomi_9()));
+    }
+
+    #[test]
+    fn multitenant_feasible_batch_respects_the_neighbor() {
+        let a = arch();
+        let phone = Phone::xiaomi_9();
+        // Alone (a 1-byte-arena neighbor), the cap matches the solo pooled
+        // search at 1 stream when the neighbor's slice never dominates.
+        let solo_cap = max_feasible_batch_sharded(&a, &phone, 2);
+        let cap_light = max_feasible_batch_multitenant(&[&a, &a], &[1, 1], 0, &phone, 2);
+        // A co-resident heavy neighbor can only shrink (or hold) the cap.
+        let cap_heavy = max_feasible_batch_multitenant(&[&a, &a], &[1, 64], 0, &phone, 2);
+        assert!(cap_heavy <= cap_light, "{cap_heavy} <= {cap_light}");
+        assert!(cap_light >= 1);
+        // The pooled formula is never stricter than staging the pair
+        // side-by-side, so the solo sharded cap is a lower bound here.
+        assert!(cap_light >= solo_cap.min(1));
+        // The chosen cap actually fits, and the next batch would not.
+        let fits = |b: usize| plan_multitenant(&[&a, &a], &[b, 64], &phone.gpu, 2).fits(&phone);
+        assert!(fits(cap_heavy));
+        if cap_heavy < 4096 {
+            assert!(!fits(cap_heavy + 1));
+        }
     }
 
     #[test]

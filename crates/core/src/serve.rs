@@ -1,31 +1,49 @@
-//! Sharded serving: many [`Stream`]s over one [`StagedModel`], with SLO
-//! admission control — the multi-queue follow-up to the batched engine.
+//! The multi-tenant device runtime: co-resident [`StagedModel`]s on one
+//! simulated GPU, a work-stealing window scheduler, and contention-aware
+//! admission — with the single-model sharded [`ServeRuntime`] kept as a
+//! thin wrapper over it.
 //!
-//! PhoneBit's staging claim (weights and bit-planes staged once, dispatch
-//! overhead amortized) extends naturally from one batched stream to many
-//! *concurrent* streams: a [`ServeRuntime`] stages the model a single time,
-//! then shards incoming request windows across `N` [`Stream`]s, each driven
-//! by its own OS thread with its own command queue, while a shared
-//! [`DeviceClock`] arbitrates the GPU between the queues (kernels serialize
-//! or overlap per the device's compute-unit budget — see
-//! [`phonebit_gpusim::clock`]). Host-side work — kernel launches, window
-//! staging, the per-run framework overhead — is per-stream and therefore
-//! overlaps other streams' GPU time, which is where sharding buys
-//! throughput even when every kernel saturates the device.
+//! PhoneBit's premise is that the mobile GPU is a shared, scarce device —
+//! and real phones run several networks at once (a detector next to a
+//! classifier, a camera pipeline next to an always-on model). The
+//! [`DeviceRuntime`] serves that regime: a **tenant registry** of multiple
+//! heterogeneous models, each staged once (weights, GEMM banks, its own
+//! [`ExecutionPlan`], SLO and arrival queue) into **one** budgeted device
+//! context, sharing one [`DeviceClock`] and a **pooled arena** — every
+//! stream holds a single slice sized to the largest tenant's banks, so any
+//! stream can run any tenant's plan and the planner's cross-tenant peak is
+//! `Σ weights + streams × max_tenant(banks × Σ slots)` (see
+//! [`plan_multitenant`](crate::planner::plan_multitenant)) instead of the
+//! per-model `weights + N × banks × Σ slots` formula multiplied across
+//! tenants.
 //!
-//! **Admission control** follows the serving-systems playbook (Clipper-style
-//! latency-aware batching): the controller caps the window size at the
-//! sharded [`max_feasible_batch`] (`weights + N_streams × banks × Σ slots`
-//! must fit the phone's app budget) and, given a p95 latency SLO, picks the
-//! largest batch whose modeled steady-window latency under `N`-stream
-//! contention still meets it. Bigger windows amortize launch overhead
-//! (throughput up) but stretch every request's latency — the SLO decides
-//! where to stop.
+//! **Work-stealing window scheduler.** Per-tenant arrival queues feed a
+//! shared ready-set; whenever a stream goes idle it pulls the pending
+//! window whose tenant is *furthest from its SLO* — least slack
+//! (`deadline − (now + service)`) first, earliest-deadline tie-break, then
+//! tenant order for determinism. Deadlines pace each tenant's windows at
+//! its SLO (or its own modeled steady window when no SLO is set), so a
+//! bursty tenant cannot starve a light one and idle streams absorb
+//! backlog. The schedule is computed **deterministically on modeled time**
+//! by [`schedule_windows`] and then executed verbatim: the runtime, the
+//! full-scale [`estimate_serve`] / [`estimate_serve_multitenant`] models,
+//! and the admission controller all drive this one code path, so the
+//! modeled p95 cannot drift from the executed dispatch order.
 //!
-//! Sharded serving is **bit-exact**: requests are split into windows in
-//! arrival order, windows are assigned round-robin to streams, and every
-//! output is reassembled into request order; `tests/serve_sharded.rs` pins
-//! equality with the same requests run sequentially on one [`Session`].
+//! **Contention-aware admission.** Single-model sharding assumed every
+//! other stream mirrors the current dispatch (symmetric streams). With
+//! heterogeneous tenants that is wrong, so each tenant's batch is chosen
+//! against the *other tenants' expected dispatch mix*: every tenant's plan
+//! is walked once on a solo clocked queue to measure its [`QueueLoad`]
+//! (mean CU fraction × busy duty), the blend is registered on the shared
+//! clock ([`DeviceClock::set_mix`]), and candidate batches are modeled
+//! under that mix. A single tenant degenerates to the symmetric model, so
+//! every PR 4 admission decision is unchanged.
+//!
+//! Serving remains **bit-exact**: requests are windowed in arrival order
+//! per tenant and outputs are reassembled into request order;
+//! `tests/serve_multitenant.rs` pins co-resident outputs against solo runs
+//! across the micro zoo and all four binary-convolution routes.
 //!
 //! [`Session`]: crate::Session
 //! [`max_feasible_batch`]: crate::planner::max_feasible_batch
@@ -33,18 +51,23 @@
 use std::sync::Arc;
 use std::thread;
 
-use phonebit_gpusim::buffer::SimError;
+use phonebit_gpusim::buffer::{Context, SimError};
 use phonebit_gpusim::clock::DeviceClock;
+use phonebit_gpusim::cost::QueueLoad;
 use phonebit_gpusim::queue::CommandQueue;
-use phonebit_gpusim::{ExecutorClass, Phone};
+use phonebit_gpusim::{DeviceProfile, ExecutorClass, Phone};
 use phonebit_nn::graph::NetworkArch;
 use phonebit_tensor::tensor::Tensor;
 
-use crate::engine::{ActivationData, EngineError, StagedModel, Stream};
+use crate::engine::{ActivationData, EngineError, MultiStream, StagedModel};
 use crate::estimate::{activation_extras_arch, activation_extras_model, walk_plan};
 use crate::model::PbitModel;
 use crate::plan::ExecutionPlan;
 use crate::stats::RunReport;
+
+// ---------------------------------------------------------------------------
+// Options and admission
+// ---------------------------------------------------------------------------
 
 /// Knobs for staging a [`ServeRuntime`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,11 +99,14 @@ impl Default for ServeOptions {
 pub struct Admission {
     /// The admitted window size.
     pub batch: usize,
-    /// Memory cap: the largest window whose `streams` double-banked arenas
-    /// fit the app budget next to the shared weights.
+    /// Memory cap: the largest window that still fits the app budget —
+    /// sharded arenas next to the shared weights for a single tenant, the
+    /// pooled cross-tenant peak with every neighbor's batch held fixed for
+    /// a co-resident one.
     pub max_feasible_batch: usize,
     /// Modeled steady-window latency of the admitted batch under
-    /// multi-stream contention, milliseconds.
+    /// multi-stream contention (the co-resident tenants' registered mix,
+    /// when there are neighbors), milliseconds.
     pub modeled_window_ms: f64,
     /// The p95 target the controller optimized against, if any.
     pub slo_ms: Option<f64>,
@@ -92,6 +118,903 @@ pub struct Admission {
     /// target).
     pub slo_met: bool,
 }
+
+// ---------------------------------------------------------------------------
+// The work-stealing window scheduler
+// ---------------------------------------------------------------------------
+
+/// One tenant's pending window stream, as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLoad {
+    /// Windows pending in this tenant's arrival queue.
+    pub windows: usize,
+    /// Modeled service time of a **cold** window — the first this tenant
+    /// runs on a given stream (its lane unprimed there), milliseconds.
+    pub cold_ms: f64,
+    /// Modeled service time of a primed window, milliseconds (equal to
+    /// `cold_ms` for single-bank batch-1 plans, which never prime).
+    pub steady_ms: f64,
+    /// Pacing target per window, milliseconds: the tenant's SLO when set,
+    /// else its own modeled steady window. Window `k`'s deadline is
+    /// `(k + 1) × target_ms`, which is what "furthest from its SLO" is
+    /// measured against.
+    pub target_ms: f64,
+}
+
+/// One window placed by [`schedule_windows`]: which tenant's window ran
+/// where, and when, on the modeled clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledWindow {
+    /// Tenant index into the [`TenantLoad`] slice.
+    pub tenant: usize,
+    /// Per-tenant window index (arrival order).
+    pub index: usize,
+    /// Stream that pulled the window.
+    pub stream: usize,
+    /// Modeled start, milliseconds.
+    pub start_ms: f64,
+    /// Modeled completion, milliseconds.
+    pub end_ms: f64,
+    /// The pacing deadline the window was scheduled against, milliseconds.
+    pub deadline_ms: f64,
+}
+
+/// The work-stealing window schedule: per-tenant queues feed a shared
+/// ready-set, and each time a stream goes idle (the stream with the
+/// smallest modeled busy-until time; lowest index on ties) it **pulls**
+/// the pending head window whose tenant is furthest from its SLO —
+/// minimum slack `deadline − (now + service)` first, earliest deadline on
+/// ties, then tenant order. Deterministic in its inputs; no wall-clock
+/// races. With one tenant and uniform windows this degenerates to the
+/// round-robin placement the single-model sharded runtime always used.
+///
+/// Both the runtime (to place real windows on real streams) and the
+/// full-scale estimators / admission controller (to read p95 off modeled
+/// completions) call this one function — the modeled and executed window
+/// orders cannot drift apart.
+///
+/// # Panics
+///
+/// Panics when `streams == 0` or any load's `target_ms <= 0`.
+pub fn schedule_windows(tenants: &[TenantLoad], streams: usize) -> Vec<ScheduledWindow> {
+    assert!(streams >= 1, "a schedule needs >= 1 stream");
+    for t in tenants {
+        assert!(t.target_ms > 0.0, "pacing target must be positive");
+    }
+    let total: usize = tenants.iter().map(|t| t.windows).sum();
+    let mut free = vec![0.0f64; streams];
+    let mut next = vec![0usize; tenants.len()];
+    let mut primed = vec![vec![false; tenants.len()]; streams];
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let stream = (0..streams)
+            .min_by(|&a, &b| {
+                free[a]
+                    .partial_cmp(&free[b])
+                    .expect("modeled times are finite")
+                    .then(a.cmp(&b))
+            })
+            .expect("streams >= 1");
+        let now = free[stream];
+        // (tenant, slack, deadline, duration) of the best pending head.
+        let mut best: Option<(usize, f64, f64, f64)> = None;
+        for (t, load) in tenants.iter().enumerate() {
+            if next[t] >= load.windows {
+                continue;
+            }
+            let dur = if primed[stream][t] {
+                load.steady_ms
+            } else {
+                load.cold_ms
+            };
+            let deadline = (next[t] + 1) as f64 * load.target_ms;
+            let slack = deadline - (now + dur);
+            let wins = match best {
+                None => true,
+                Some((_, bs, bd, _)) => {
+                    slack < bs - 1e-12 || ((slack - bs).abs() <= 1e-12 && deadline < bd - 1e-12)
+                }
+            };
+            if wins {
+                best = Some((t, slack, deadline, dur));
+            }
+        }
+        let (tenant, _, deadline_ms, dur) = best.expect("a pending window exists");
+        out.push(ScheduledWindow {
+            tenant,
+            index: next[tenant],
+            stream,
+            start_ms: now,
+            end_ms: now + dur,
+            deadline_ms,
+        });
+        free[stream] = now + dur;
+        primed[stream][tenant] = true;
+        next[tenant] += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Plan sources and contention-aware admission
+// ---------------------------------------------------------------------------
+
+/// Where a tenant's plans come from: a deployed model (the runtime) or a
+/// shape-level architecture (the full-scale estimators).
+enum PlanSource<'a> {
+    Model(&'a PbitModel),
+    Arch(&'a NetworkArch),
+}
+
+impl PlanSource<'_> {
+    fn plan_at(&self, gpu: &DeviceProfile, batch: usize) -> Result<ExecutionPlan, EngineError> {
+        match self {
+            PlanSource::Model(m) => ExecutionPlan::for_model_batched(m, gpu, batch).map_err(|e| {
+                EngineError::DomainMismatch {
+                    layer: e.layer,
+                    expected: e.expected,
+                }
+            }),
+            PlanSource::Arch(a) => Ok(ExecutionPlan::for_arch_batched(a, gpu, batch)),
+        }
+    }
+
+    fn extras(&self, plan: &ExecutionPlan) -> Vec<f64> {
+        match self {
+            PlanSource::Model(m) => activation_extras_model(plan, m),
+            PlanSource::Arch(a) => activation_extras_arch(plan, a),
+        }
+    }
+}
+
+/// One tenant's ask, as the admission controller sees it.
+struct TenantAsk<'a> {
+    source: PlanSource<'a>,
+    batch: Option<usize>,
+    slo_ms: Option<f64>,
+}
+
+/// Measures the expected [`QueueLoad`] one window of `plan` puts on the
+/// device: walk the plan's exact dispatch sequence on a solo clocked queue
+/// and read back the busy-weighted mean CU fraction and the device-busy
+/// duty cycle over the window (host gaps — launch and framework overhead —
+/// leave the device free).
+fn measure_load(plan: &ExecutionPlan, extras: &[f64], gpu: &DeviceProfile) -> QueueLoad {
+    let clock = DeviceClock::new(gpu.clone());
+    let mut q = CommandQueue::new(gpu.clone(), ExecutorClass::PhoneBitOpenCl)
+        .with_clock(Arc::clone(&clock));
+    let _ = walk_plan(&mut q, plan, extras, crate::EstimateOptions::default());
+    let wall = q.elapsed_s() + q.per_run_overhead_s();
+    QueueLoad {
+        cu_frac: clock.mean_cu_frac(),
+        busy: if wall > 0.0 {
+            (clock.busy_s() / wall).clamp(0.0, 1.0)
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The blend of every tenant's measured load — what each of the other
+/// streams is expected to be running at any moment, since any idle stream
+/// pulls any tenant's window. CU fraction is busy-weighted; duty is the
+/// plain mean.
+fn aggregate_load(loads: &[QueueLoad]) -> QueueLoad {
+    let busy_sum: f64 = loads.iter().map(|l| l.busy).sum();
+    let cu_frac = if busy_sum > 0.0 {
+        loads.iter().map(|l| l.cu_frac * l.busy).sum::<f64>() / busy_sum
+    } else {
+        0.0
+    };
+    QueueLoad {
+        cu_frac,
+        busy: busy_sum / loads.len().max(1) as f64,
+    }
+}
+
+/// Models one tenant window's (cold, steady) seconds under the given
+/// clock configuration: the plan's exact dispatch sequence on a clocked
+/// queue — symmetric `streams` mirrors when `mix` is `None`, the
+/// registered heterogeneous mix otherwise. Cold windows add the per-run
+/// framework overhead; primed batched streams hide it behind the previous
+/// window (double buffering), batch-1 single-bank streams never prime.
+fn modeled_window_under(
+    plan: &ExecutionPlan,
+    extras: &[f64],
+    gpu: &DeviceProfile,
+    streams: usize,
+    mix: Option<&[QueueLoad]>,
+) -> (f64, f64) {
+    let clock = DeviceClock::with_streams(gpu.clone(), streams);
+    if let Some(m) = mix {
+        clock.set_mix(Some(m.to_vec()));
+    }
+    let mut q = CommandQueue::new(gpu.clone(), ExecutorClass::PhoneBitOpenCl).with_clock(clock);
+    let _ = walk_plan(&mut q, plan, extras, crate::EstimateOptions::default());
+    let busy = q.elapsed_s();
+    let cold = busy + q.per_run_overhead_s();
+    let steady = if plan.batch > 1 { busy } else { cold };
+    (cold, steady)
+}
+
+/// Window sizes the admission controller probes: fine steps where
+/// launch-overhead amortization changes fastest, coarser above, ceiling
+/// at 64 (beyond that amortization has flattened and windows only add
+/// latency). The memory cap is appended as a candidate whenever it binds
+/// below the ceiling, so "the largest batch that fits" is always
+/// reachable.
+const ADMISSION_CANDIDATES: [usize; 12] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+
+/// The probe list for a given memory cap (ascending, deduplicated).
+fn admission_candidates(max_feasible: usize) -> Vec<usize> {
+    let mut candidates: Vec<usize> = ADMISSION_CANDIDATES
+        .iter()
+        .copied()
+        .filter(|&b| b <= max_feasible)
+        .collect();
+    if max_feasible < ADMISSION_CANDIDATES[ADMISSION_CANDIDATES.len() - 1]
+        && candidates.last() != Some(&max_feasible)
+    {
+        candidates.push(max_feasible);
+    }
+    candidates
+}
+
+/// The mix a co-resident registry registers on the shared clock: each of
+/// the `streams − 1` *other* queues is expected to run the blend of every
+/// tenant's measured [`QueueLoad`] at the given batches. `None` for a
+/// single tenant (the symmetric-streams model).
+fn measured_mix(
+    asks: &[TenantAsk<'_>],
+    batches: &[usize],
+    gpu: &DeviceProfile,
+    streams: usize,
+) -> Result<Option<Vec<QueueLoad>>, EngineError> {
+    if asks.len() <= 1 {
+        return Ok(None);
+    }
+    let loads: Vec<QueueLoad> = asks
+        .iter()
+        .zip(batches.iter())
+        .map(|(a, &b)| {
+            let plan = a.source.plan_at(gpu, b)?;
+            Ok(measure_load(&plan, &a.source.extras(&plan), gpu))
+        })
+        .collect::<Result<_, EngineError>>()?;
+    Ok(Some(vec![
+        aggregate_load(&loads);
+        streams.saturating_sub(1)
+    ]))
+}
+
+/// Contention-aware admission for a registry of co-resident tenants.
+///
+/// Each tenant's memory cap comes from the **pooled** cross-tenant peak
+/// (`Σ weights + streams × max_tenant(banks × Σ slots)`) with every
+/// neighbor's batch held fixed, and each candidate batch's window is
+/// modeled against the *other tenants' registered mix* on the shared clock
+/// — `streams − 1` queues each running the blend of every tenant's
+/// measured [`QueueLoad`] — rather than against `streams` clones of the
+/// tenant itself. A single tenant keeps the symmetric-streams model, so
+/// single-model admission decisions are unchanged. Two fixed passes: the
+/// second re-measures loads at the first pass's chosen batches.
+///
+/// Returns the per-tenant decisions plus the final registered mix
+/// (measured at the chosen batches) — the one the runtime installs on the
+/// clock and the estimators model windows under, so the three cannot
+/// drift.
+fn admit_tenants(
+    asks: &[TenantAsk<'_>],
+    phone: &Phone,
+    streams: usize,
+) -> Result<(Vec<Admission>, Option<Vec<QueueLoad>>), EngineError> {
+    let gpu = &phone.gpu;
+    let budget = phone.app_budget_bytes();
+    let n = asks.len();
+
+    // Feasibility floor: every tenant at batch 1 must fit the pool.
+    let base: Vec<ExecutionPlan> = asks
+        .iter()
+        .map(|a| a.source.plan_at(gpu, 1))
+        .collect::<Result<_, _>>()?;
+    let weights_total: usize = base.iter().map(|p| p.weights_bytes).sum();
+    let pooled_peak =
+        |slices: &[usize]| weights_total + streams * slices.iter().copied().max().unwrap_or(0);
+    let base_slices: Vec<usize> = base.iter().map(|p| p.staged_arena_bytes()).collect();
+    if pooled_peak(&base_slices) > budget {
+        return Err(EngineError::OutOfMemory(SimError::OutOfMemory {
+            requested: pooled_peak(&base_slices),
+            in_use: 0,
+            budget,
+        }));
+    }
+
+    let mut batches: Vec<usize> = asks.iter().map(|a| a.batch.unwrap_or(1).max(1)).collect();
+    // Clamp each requested batch to what fits next to every neighbor's
+    // batch-1 floor before any pass: one oversized ask must not zero out
+    // the other tenants' memory caps below. Since the batch-1 floor fits,
+    // every clamp (and every cap in the loop) stays >= 1.
+    for (i, ask) in asks.iter().enumerate() {
+        if batches[i] > 1 {
+            let cap = crate::planner::largest_batch_where(|b| {
+                ask.source
+                    .plan_at(gpu, b)
+                    .map(|p| {
+                        let mut probe = base_slices.clone();
+                        probe[i] = p.staged_arena_bytes();
+                        pooled_peak(&probe) <= budget
+                    })
+                    .unwrap_or(false)
+            });
+            batches[i] = batches[i].min(cap.max(1));
+        }
+    }
+    let mut admissions: Vec<Admission> = Vec::new();
+    for _pass in 0..2 {
+        // Measure every tenant's mix at the current batches, then blend.
+        let mix = measured_mix(asks, &batches, gpu, streams)?;
+        let slices: Vec<usize> = asks
+            .iter()
+            .zip(batches.iter())
+            .map(|(a, &b)| Ok(a.source.plan_at(gpu, b)?.staged_arena_bytes()))
+            .collect::<Result<_, EngineError>>()?;
+
+        admissions.clear();
+        for (i, ask) in asks.iter().enumerate() {
+            // Memory cap: grow tenant i's slice with every neighbor fixed.
+            let max_feasible = crate::planner::largest_batch_where(|b| {
+                ask.source
+                    .plan_at(gpu, b)
+                    .map(|p| {
+                        let mut probe = slices.clone();
+                        probe[i] = p.staged_arena_bytes();
+                        pooled_peak(&probe) <= budget
+                    })
+                    .unwrap_or(false)
+            });
+            if max_feasible == 0 {
+                // Defensive: the pre-clamp above keeps this unreachable,
+                // but an infeasible combination must surface as OOM, not
+                // as a clamp/probe panic.
+                return Err(EngineError::OutOfMemory(SimError::OutOfMemory {
+                    requested: pooled_peak(&slices),
+                    in_use: 0,
+                    budget,
+                }));
+            }
+            let window_ms = |b: usize| -> Result<f64, EngineError> {
+                let plan = ask.source.plan_at(gpu, b)?;
+                let extras = ask.source.extras(&plan);
+                let (_, steady) =
+                    modeled_window_under(&plan, &extras, gpu, streams, mix.as_deref());
+                Ok(steady * 1e3)
+            };
+            let (batch, modeled) = match (ask.batch, ask.slo_ms) {
+                // An explicit batch is honored up to the memory cap.
+                (Some(b), _) => {
+                    let b = b.clamp(1, max_feasible);
+                    (b, window_ms(b)?)
+                }
+                // SLO given: the largest probed batch still under target.
+                (None, Some(slo)) => {
+                    let mut best = (1, window_ms(1)?);
+                    for b in admission_candidates(max_feasible) {
+                        let ms = window_ms(b)?;
+                        if ms <= slo && b >= best.0 {
+                            best = (b, ms);
+                        }
+                    }
+                    best
+                }
+                // No SLO: the probed batch with the best modeled throughput.
+                (None, None) => {
+                    let mut best = (1, window_ms(1)?);
+                    for b in admission_candidates(max_feasible) {
+                        let ms = window_ms(b)?;
+                        if b as f64 / ms > best.0 as f64 / best.1 {
+                            best = (b, ms);
+                        }
+                    }
+                    best
+                }
+            };
+            batches[i] = batch;
+            admissions.push(Admission {
+                batch,
+                max_feasible_batch: max_feasible,
+                modeled_window_ms: modeled,
+                slo_ms: ask.slo_ms,
+                slo_met: ask.slo_ms.is_none_or(|slo| modeled <= slo),
+            });
+        }
+        if n == 1 {
+            break; // the symmetric model has nothing to re-measure
+        }
+    }
+    // The mix the runtime registers and the estimators model under: the
+    // blend at the *chosen* batches.
+    let mix = measured_mix(asks, &batches, gpu, streams)?;
+    Ok((admissions, mix))
+}
+
+// ---------------------------------------------------------------------------
+// The multi-tenant device runtime
+// ---------------------------------------------------------------------------
+
+/// One tenant's registration ask: the model, an optional fixed window
+/// size, and an optional p95 SLO.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (defaults to the model name via [`TenantSpec::new`]).
+    pub name: String,
+    /// The deployed model.
+    pub model: PbitModel,
+    /// Requested window size (`None` lets admission pick).
+    pub batch: Option<usize>,
+    /// p95 latency target, milliseconds.
+    pub slo_ms: Option<f64>,
+}
+
+impl TenantSpec {
+    /// A spec named after its model, with admission-chosen batch and no
+    /// SLO.
+    pub fn new(model: PbitModel) -> Self {
+        Self {
+            name: model.name.clone(),
+            model,
+            batch: None,
+            slo_ms: None,
+        }
+    }
+
+    /// Sets the requested window size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Sets the p95 SLO in milliseconds.
+    pub fn with_slo_ms(mut self, slo_ms: f64) -> Self {
+        self.slo_ms = Some(slo_ms);
+        self
+    }
+}
+
+/// A registered tenant: its staged model, its admission decision, and the
+/// modeled window costs the scheduler paces it by.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    staged: Arc<StagedModel>,
+    admission: Admission,
+    slo_ms: Option<f64>,
+    cold_ms: f64,
+    steady_ms: f64,
+}
+
+impl Tenant {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's staged (shared, immutable) model state.
+    pub fn staged(&self) -> &Arc<StagedModel> {
+        &self.staged
+    }
+
+    /// The admission controller's decision for this tenant.
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The tenant's p95 SLO, if any.
+    pub fn slo_ms(&self) -> Option<f64> {
+        self.slo_ms
+    }
+
+    /// Modeled (cold, steady) window milliseconds under the runtime's
+    /// clock configuration.
+    pub fn modeled_window_ms(&self) -> (f64, f64) {
+        (self.cold_ms, self.steady_ms)
+    }
+
+    fn load(&self, windows: usize) -> TenantLoad {
+        TenantLoad {
+            windows,
+            cold_ms: self.cold_ms,
+            steady_ms: self.steady_ms,
+            target_ms: self.slo_ms.unwrap_or(self.steady_ms).max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+/// One tenant's request traffic for a [`DeviceRuntime::serve`] call
+/// (borrowed; kinds may differ per tenant — that is the point of
+/// heterogeneous co-residency).
+#[derive(Debug, Clone, Copy)]
+pub enum TenantTraffic<'a> {
+    /// 8-bit image requests.
+    U8(&'a [Tensor<u8>]),
+    /// Float-input requests.
+    F32(&'a [Tensor<f32>]),
+}
+
+impl TenantTraffic<'_> {
+    /// Requests in this tenant's queue.
+    pub fn len(&self) -> usize {
+        match self {
+            TenantTraffic::U8(r) => r.len(),
+            TenantTraffic::F32(r) => r.len(),
+        }
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One tenant's slice of a [`MultiServeReport`].
+#[derive(Debug)]
+pub struct TenantServeReport {
+    /// Tenant name.
+    pub name: String,
+    /// Requests served.
+    pub served: usize,
+    /// Windows dispatched.
+    pub windows: usize,
+    /// The tenant's staged window size.
+    pub batch: usize,
+    /// Per-request outputs, reassembled in arrival order.
+    pub outputs: Vec<ActivationData>,
+    /// Per-window **latency** in window order, milliseconds: completion on
+    /// the executed schedule minus the window's paced arrival
+    /// (`index × target`), floored at the service time — queueing delay
+    /// under contention shows up here, which is what the starvation test
+    /// pins.
+    pub window_ms: Vec<f64>,
+    /// Per-window executed **service** time in window order, milliseconds
+    /// (what the single-tenant wrapper reports, matching PR 4 semantics).
+    pub duration_ms: Vec<f64>,
+    /// Median window latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile window latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile window latency, milliseconds.
+    pub p99_ms: f64,
+    /// The tenant's SLO, if any.
+    pub slo_ms: Option<f64>,
+    /// Whether the observed p95 latency met the SLO.
+    pub slo_met: bool,
+}
+
+/// One multi-tenant serving pass across every registered tenant.
+#[derive(Debug)]
+pub struct MultiServeReport {
+    /// Per-tenant results, in registry order.
+    pub tenants: Vec<TenantServeReport>,
+    /// Streams that carried traffic.
+    pub streams: usize,
+    /// Requests served across every tenant.
+    pub served: usize,
+    /// Windows dispatched across every tenant.
+    pub windows: usize,
+    /// Executed makespan: the busiest stream's total time, seconds.
+    pub wall_s: f64,
+    /// Aggregate throughput across every tenant over the makespan.
+    pub imgs_per_s: f64,
+    /// The work-stealing schedule the pass executed (modeled times).
+    pub schedule: Vec<ScheduledWindow>,
+}
+
+/// The multi-tenant device runtime: a registry of co-resident
+/// [`StagedModel`]s on one device, `N` pooled [`MultiStream`]s, one shared
+/// [`DeviceClock`] carrying the tenants' registered mix, and a
+/// contention-aware admission decision per tenant.
+///
+/// ```
+/// use phonebit_core::serve::{DeviceRuntime, TenantSpec, TenantTraffic};
+/// use phonebit_core::{convert, NetworkBuilder};
+/// use phonebit_gpusim::Phone;
+/// use phonebit_nn::fuse::BnParams;
+/// use phonebit_tensor::shape::{FilterShape, Shape4};
+/// use phonebit_tensor::{Filters, Tensor};
+///
+/// let mk = |name: &str, k: usize| {
+///     let filters = Filters::from_fn(FilterShape::new(k, 3, 3, 3), |f, i, j, c| {
+///         if (f + i + j + c) % 2 == 0 { 1.0 } else { -1.0 }
+///     });
+///     NetworkBuilder::new(name, Shape4::new(1, 8, 8, 3))
+///         .bconv_input8("conv1", filters, vec![0.0; k], BnParams::identity(k), 1, 1)
+///         .softmax()
+///         .build()
+/// };
+/// let mut runtime = DeviceRuntime::new(
+///     vec![
+///         TenantSpec::new(mk("detector", 8)).with_batch(2),
+///         TenantSpec::new(mk("classifier", 16)).with_batch(2),
+///     ],
+///     &Phone::xiaomi_9(),
+///     2,
+/// )?;
+/// let reqs: Vec<_> = (0..4)
+///     .map(|i| Tensor::from_fn(Shape4::new(1, 8, 8, 3), move |_, h, w, c| {
+///         ((h * 7 + w * 3 + c * 11 + i) % 256) as u8
+///     }))
+///     .collect();
+/// let report = runtime.serve(&[TenantTraffic::U8(&reqs), TenantTraffic::U8(&reqs)])?;
+/// assert_eq!(report.tenants[0].outputs.len(), 4);
+/// assert_eq!(report.tenants[1].outputs.len(), 4);
+/// assert!(report.imgs_per_s > 0.0);
+/// # Ok::<(), phonebit_core::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct DeviceRuntime {
+    tenants: Vec<Tenant>,
+    streams: Vec<MultiStream>,
+    clock: Arc<DeviceClock>,
+    ctx: Context,
+}
+
+impl DeviceRuntime {
+    /// Registers `specs` as co-resident tenants on `phone` with `streams`
+    /// pooled streams: runs contention-aware admission per tenant, stages
+    /// every model into one budgeted context, registers the tenants' mix
+    /// on the shared clock, and draws one pooled arena slice per stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when the pooled co-resident
+    /// peak exceeds the phone's app budget even at batch 1, or
+    /// [`EngineError::DomainMismatch`] for a malformed model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty or `streams == 0`.
+    pub fn new(specs: Vec<TenantSpec>, phone: &Phone, streams: usize) -> Result<Self, EngineError> {
+        assert!(!specs.is_empty(), "a device runtime needs >= 1 tenant");
+        assert!(streams >= 1, "a device runtime needs >= 1 stream");
+        let gpu = &phone.gpu;
+        let asks: Vec<TenantAsk<'_>> = specs
+            .iter()
+            .map(|s| TenantAsk {
+                source: PlanSource::Model(&s.model),
+                batch: s.batch,
+                slo_ms: s.slo_ms,
+            })
+            .collect();
+        // Admission also hands back the registered mix at the chosen
+        // batches (None for a single tenant: symmetric).
+        let (admissions, mix) = admit_tenants(&asks, phone, streams)?;
+
+        let ctx = Context::new(gpu.clone(), phone.app_budget_bytes());
+        let clock = DeviceClock::with_streams(gpu.clone(), streams);
+        clock.set_mix(mix.clone());
+
+        let mut tenants = Vec::with_capacity(specs.len());
+        for (spec, admission) in specs.into_iter().zip(admissions) {
+            let slo_ms = spec.slo_ms;
+            let name = spec.name;
+            let staged = StagedModel::stage_with(spec.model, ctx.clone(), admission.batch)?;
+            let extras = activation_extras_model(staged.plan(), staged.model());
+            let (cold_s, steady_s) =
+                modeled_window_under(staged.plan(), &extras, gpu, streams, mix.as_deref());
+            tenants.push(Tenant {
+                name,
+                staged,
+                admission,
+                slo_ms,
+                cold_ms: cold_s * 1e3,
+                steady_ms: steady_s * 1e3,
+            });
+        }
+
+        let staged_refs: Vec<Arc<StagedModel>> =
+            tenants.iter().map(|t| Arc::clone(&t.staged)).collect();
+        let streams = (0..streams)
+            .map(|_| MultiStream::new(&staged_refs, &ctx, Arc::clone(&clock)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            tenants,
+            streams,
+            clock,
+            ctx,
+        })
+    }
+
+    /// The tenant registry, in registration order.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Pooled streams serving the registry.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The shared device clock (symmetric for one tenant, carrying the
+    /// registered mix for several).
+    pub fn clock(&self) -> &Arc<DeviceClock> {
+        &self.clock
+    }
+
+    /// Device bytes resident across every tenant's weights and every
+    /// stream's pooled arena slice
+    /// (`Σ weights + streams × max_tenant(banks × Σ slots)`).
+    pub fn resident_bytes(&self) -> usize {
+        self.ctx.used_bytes()
+    }
+
+    /// One stream's pooled arena slice, bytes.
+    pub fn pool_slice_bytes(&self) -> usize {
+        self.streams
+            .first()
+            .map_or(0, MultiStream::pool_slice_bytes)
+    }
+
+    /// Serves every tenant's request queue in one pass: requests are
+    /// windowed per tenant at the admitted batch, the work-stealing
+    /// scheduler places windows on streams ([`schedule_windows`] — least
+    /// slack to SLO first), streams execute their assignments concurrently
+    /// on scoped threads, and outputs are reassembled per tenant in
+    /// arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] when `traffic` does not line
+    /// up with the registry (one entry per tenant) or a tenant's requests
+    /// disagree with its model's input kind or shape.
+    pub fn serve(
+        &mut self,
+        traffic: &[TenantTraffic<'_>],
+    ) -> Result<MultiServeReport, EngineError> {
+        if traffic.len() != self.tenants.len() {
+            return Err(EngineError::InputMismatch {
+                expected: format!("{} tenant queues", self.tenants.len()),
+                got: format!("{} queues", traffic.len()),
+            });
+        }
+        // Every pass starts with cold lanes, matching the scheduler's
+        // cold-first-window-per-(stream, tenant) model — a reused runtime
+        // must not execute primed windows against a cold schedule.
+        for stream in &mut self.streams {
+            stream.reset_lanes();
+        }
+        // Windows per tenant, in arrival order.
+        let windows: Vec<Vec<(usize, usize)>> = self
+            .tenants
+            .iter()
+            .zip(traffic.iter())
+            .map(|(t, q)| {
+                let batch = t.staged.plan().batch.max(1);
+                (0..q.len())
+                    .step_by(batch)
+                    .map(|start| (start, batch.min(q.len() - start)))
+                    .collect()
+            })
+            .collect();
+        let loads: Vec<TenantLoad> = self
+            .tenants
+            .iter()
+            .zip(windows.iter())
+            .map(|(t, w)| t.load(w.len()))
+            .collect();
+        let schedule = schedule_windows(&loads, self.streams.len());
+
+        // Per-stream assignment lists, in modeled start order.
+        let mut assignments: Vec<Vec<ScheduledWindow>> = vec![Vec::new(); self.streams.len()];
+        for sw in &schedule {
+            assignments[sw.stream].push(*sw);
+        }
+
+        let results: Vec<Result<Vec<(ScheduledWindow, RunReport)>, EngineError>> =
+            thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .streams
+                    .iter_mut()
+                    .zip(assignments.iter())
+                    .map(|(stream, mine)| {
+                        let windows = &windows;
+                        scope.spawn(move || {
+                            let mut done = Vec::with_capacity(mine.len());
+                            for sw in mine {
+                                let (start, len) = windows[sw.tenant][sw.index];
+                                let report = match traffic[sw.tenant] {
+                                    TenantTraffic::U8(reqs) => stream
+                                        .run_window_u8(sw.tenant, &reqs[start..start + len])?,
+                                    TenantTraffic::F32(reqs) => stream
+                                        .run_window_f32(sw.tenant, &reqs[start..start + len])?,
+                                };
+                                done.push((*sw, report));
+                            }
+                            Ok(done)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("stream thread panicked"))
+                    .collect()
+            });
+
+        // Replay the executed schedule per stream to place completions.
+        let mut per_tenant_out: Vec<Vec<Option<ActivationData>>> = traffic
+            .iter()
+            .map(|q| (0..q.len()).map(|_| None).collect())
+            .collect();
+        let mut latency_ms: Vec<Vec<f64>> = windows.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut duration_ms: Vec<Vec<f64>> = windows.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut wall_s = 0.0f64;
+        let mut active_streams = 0usize;
+        for result in results {
+            let done = result?;
+            if done.is_empty() {
+                continue;
+            }
+            active_streams += 1;
+            let mut stream_s = 0.0f64;
+            for (sw, report) in done {
+                let (start, len) = windows[sw.tenant][sw.index];
+                let out = report.output.as_ref().expect("serving captures outputs");
+                for i in 0..len {
+                    per_tenant_out[sw.tenant][start + i] = Some(out.image(i));
+                }
+                let exec_ms = report.total_s * 1e3;
+                let arrival_ms = sw.index as f64 * loads[sw.tenant].target_ms;
+                let completion_ms = stream_s * 1e3 + exec_ms;
+                duration_ms[sw.tenant][sw.index] = exec_ms;
+                latency_ms[sw.tenant][sw.index] = (completion_ms - arrival_ms).max(exec_ms);
+                stream_s += report.total_s;
+            }
+            wall_s = wall_s.max(stream_s);
+        }
+
+        let mut tenants = Vec::with_capacity(self.tenants.len());
+        let mut served_total = 0usize;
+        let mut windows_total = 0usize;
+        for (t, tenant) in self.tenants.iter().enumerate() {
+            let outputs: Vec<ActivationData> = per_tenant_out[t]
+                .drain(..)
+                .map(|o| o.expect("every request windowed"))
+                .collect();
+            let (p50_ms, p95_ms, p99_ms) = percentiles(&latency_ms[t]);
+            served_total += outputs.len();
+            windows_total += windows[t].len();
+            tenants.push(TenantServeReport {
+                name: tenant.name.clone(),
+                served: outputs.len(),
+                windows: windows[t].len(),
+                batch: tenant.staged.plan().batch,
+                outputs,
+                window_ms: std::mem::take(&mut latency_ms[t]),
+                duration_ms: std::mem::take(&mut duration_ms[t]),
+                p50_ms,
+                p95_ms,
+                p99_ms,
+                slo_ms: tenant.slo_ms,
+                slo_met: tenant.slo_ms.is_none_or(|slo| p95_ms <= slo),
+            });
+        }
+        Ok(MultiServeReport {
+            tenants,
+            streams: active_streams,
+            served: served_total,
+            windows: windows_total,
+            wall_s,
+            imgs_per_s: if wall_s > 0.0 {
+                served_total as f64 / wall_s
+            } else {
+                0.0
+            },
+            schedule,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-tenant wrapper (the PR 4 surface, unchanged behavior)
+// ---------------------------------------------------------------------------
 
 /// One sharded serving pass: outputs in request order plus the latency
 /// distribution the SLO is judged against.
@@ -125,8 +1048,11 @@ pub struct ServeReport {
     pub slo_met: bool,
 }
 
-/// A sharded serving runtime: one staged model, `N` streams, one device
-/// clock, and an admission decision.
+/// A sharded serving runtime for a **single** model: the thin one-tenant
+/// wrapper over [`DeviceRuntime`], kept so the PR 4 surface (and every
+/// test against it) works unmodified. One staged model, `N` streams, one
+/// device clock (symmetric — one tenant has no heterogeneous mix), and an
+/// admission decision.
 ///
 /// ```
 /// use phonebit_core::serve::{ServeOptions, ServeRuntime};
@@ -160,10 +1086,7 @@ pub struct ServeReport {
 /// ```
 #[derive(Debug)]
 pub struct ServeRuntime {
-    staged: Arc<StagedModel>,
-    streams: Vec<Stream>,
-    clock: Arc<DeviceClock>,
-    admission: Admission,
+    inner: DeviceRuntime,
 }
 
 impl ServeRuntime {
@@ -182,57 +1105,57 @@ impl ServeRuntime {
     /// Panics when `opts.streams == 0`.
     pub fn new(model: PbitModel, phone: &Phone, opts: ServeOptions) -> Result<Self, EngineError> {
         assert!(opts.streams >= 1, "a serving runtime needs >= 1 stream");
-        let admission = admit(&model, phone, &opts)?;
-        let staged = StagedModel::stage(model, phone, admission.batch)?;
-        let clock = DeviceClock::with_streams(phone.gpu.clone(), opts.streams);
-        let streams = (0..opts.streams)
-            .map(|_| Stream::with_clock(Arc::clone(&staged), Arc::clone(&clock)))
-            .collect::<Result<Vec<_>, _>>()?;
+        let spec = TenantSpec {
+            name: model.name.clone(),
+            model,
+            batch: opts.batch,
+            slo_ms: opts.slo_ms,
+        };
         Ok(Self {
-            staged,
-            streams,
-            clock,
-            admission,
+            inner: DeviceRuntime::new(vec![spec], phone, opts.streams)?,
         })
     }
 
     /// The shared staged state.
     pub fn staged(&self) -> &Arc<StagedModel> {
-        &self.staged
+        self.inner.tenants[0].staged()
     }
 
     /// The admission controller's decision.
     pub fn admission(&self) -> &Admission {
-        &self.admission
+        self.inner.tenants[0].admission()
     }
 
     /// The shared device clock arbitrating the streams' queues.
     pub fn clock(&self) -> &Arc<DeviceClock> {
-        &self.clock
+        self.inner.clock()
     }
 
     /// Streams staged over the shared model.
     pub fn stream_count(&self) -> usize {
-        self.streams.len()
+        self.inner.stream_count()
     }
 
     /// Device bytes resident across the shared weights and every stream's
-    /// arena banks (`weights + N_streams × banks × Σ slots`).
+    /// arena banks (`weights + N_streams × banks × Σ slots` — the
+    /// single-tenant pool slice is exactly this model's staged arena).
     pub fn resident_bytes(&self) -> usize {
-        self.staged.resident_bytes()
+        self.inner.resident_bytes()
     }
 
     /// Serves a slice of 8-bit image requests: windows of the admitted
-    /// batch size in arrival order, windows round-robined across streams,
-    /// streams running concurrently on scoped threads, outputs reassembled
-    /// into request order.
+    /// batch size in arrival order, placed by the shared window scheduler
+    /// (round-robin for one tenant's uniform windows), streams running
+    /// concurrently on scoped threads, outputs reassembled into request
+    /// order.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::InputMismatch`] when the model takes float
     /// input or any request's shape disagrees.
     pub fn serve_u8(&mut self, requests: &[Tensor<u8>]) -> Result<ServeReport, EngineError> {
-        self.serve_with(requests, |stream, window| stream.run_batch_u8(window))
+        let report = self.inner.serve(&[TenantTraffic::U8(requests)])?;
+        Ok(Self::flatten(report))
     }
 
     /// [`ServeRuntime::serve_u8`] for float-input models.
@@ -242,97 +1165,33 @@ impl ServeRuntime {
     /// Returns [`EngineError::InputMismatch`] when the model takes `u8`
     /// input or any request's shape disagrees.
     pub fn serve_f32(&mut self, requests: &[Tensor<f32>]) -> Result<ServeReport, EngineError> {
-        self.serve_with(requests, |stream, window| stream.run_batch_f32(window))
+        let report = self.inner.serve(&[TenantTraffic::F32(requests)])?;
+        Ok(Self::flatten(report))
     }
 
-    fn serve_with<T: Sync>(
-        &mut self,
-        requests: &[T],
-        run: impl Fn(&mut Stream, &[T]) -> Result<RunReport, EngineError> + Sync,
-    ) -> Result<ServeReport, EngineError> {
-        let batch = self.staged.plan().batch;
-        let n = self.streams.len();
-        // Windows in arrival order; window w is stream w % n's traffic.
-        let windows: Vec<(usize, usize)> = (0..requests.len())
-            .step_by(batch.max(1))
-            .map(|start| (start, batch.min(requests.len() - start)))
-            .collect();
-
-        let results: Vec<Result<Vec<(usize, RunReport)>, EngineError>> = thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .streams
-                .iter_mut()
-                .enumerate()
-                .map(|(si, stream)| {
-                    let windows = &windows;
-                    let run = &run;
-                    scope.spawn(move || {
-                        let mut served = Vec::new();
-                        for (wi, &(start, len)) in windows.iter().enumerate() {
-                            if wi % n != si {
-                                continue;
-                            }
-                            let report = run(stream, &requests[start..start + len])?;
-                            served.push((wi, report));
-                        }
-                        Ok(served)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("stream thread panicked"))
-                .collect()
-        });
-
-        let mut outputs: Vec<Option<ActivationData>> = (0..requests.len()).map(|_| None).collect();
-        let mut window_ms = vec![0.0f64; windows.len()];
-        let mut wall_s = 0.0f64;
-        let mut active_streams = 0usize;
-        for result in results {
-            let served = result?;
-            if served.is_empty() {
-                continue;
-            }
-            active_streams += 1;
-            let mut stream_s = 0.0;
-            for (wi, report) in served {
-                let (start, len) = windows[wi];
-                let out = report.output.as_ref().expect("serving captures outputs");
-                for i in 0..len {
-                    outputs[start + i] = Some(out.image(i));
-                }
-                window_ms[wi] = report.total_s * 1e3;
-                stream_s += report.total_s;
-            }
-            wall_s = wall_s.max(stream_s);
-        }
-        let outputs: Vec<ActivationData> = outputs
-            .into_iter()
-            .map(|o| o.expect("every request windowed"))
-            .collect();
-
+    /// Projects the one-tenant [`MultiServeReport`] onto the PR 4 surface:
+    /// window latencies are the executed service times (a single tenant
+    /// has no cross-tenant queueing to report).
+    fn flatten(mut report: MultiServeReport) -> ServeReport {
+        let tenant = report.tenants.remove(0);
+        let window_ms = tenant.duration_ms;
         let (p50_ms, p95_ms, p99_ms) = percentiles(&window_ms);
-        let slo_ms = self.admission.slo_ms;
-        Ok(ServeReport {
-            served: requests.len(),
-            windows: windows.len(),
-            streams: active_streams,
-            batch,
-            outputs,
+        let slo_ms = tenant.slo_ms;
+        ServeReport {
+            served: tenant.served,
+            windows: tenant.windows,
+            streams: report.streams,
+            batch: tenant.batch,
+            outputs: tenant.outputs,
+            window_ms,
             p50_ms,
             p95_ms,
             p99_ms,
-            window_ms,
-            wall_s,
-            imgs_per_s: if wall_s > 0.0 {
-                requests.len() as f64 / wall_s
-            } else {
-                0.0
-            },
+            wall_s: report.wall_s,
+            imgs_per_s: report.imgs_per_s,
             slo_ms,
             slo_met: slo_ms.is_none_or(|slo| p95_ms <= slo),
-        })
+        }
     }
 }
 
@@ -351,119 +1210,9 @@ fn percentiles(samples_ms: &[f64]) -> (f64, f64, f64) {
     (at(0.50), at(0.95), at(0.99))
 }
 
-/// Window sizes the admission controller probes: fine steps where
-/// launch-overhead amortization changes fastest, coarser above, ceiling
-/// at 64 (beyond that amortization has flattened and windows only add
-/// latency). The memory cap is appended as a candidate whenever it binds
-/// below the ceiling, so "the largest batch that fits" is always
-/// reachable.
-const ADMISSION_CANDIDATES: [usize; 12] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
-
-/// The probe list for a given memory cap (ascending, deduplicated).
-fn admission_candidates(max_feasible: usize) -> Vec<usize> {
-    let mut candidates: Vec<usize> = ADMISSION_CANDIDATES
-        .iter()
-        .copied()
-        .filter(|&b| b <= max_feasible)
-        .collect();
-    if max_feasible < ADMISSION_CANDIDATES[ADMISSION_CANDIDATES.len() - 1]
-        && candidates.last() != Some(&max_feasible)
-    {
-        candidates.push(max_feasible);
-    }
-    candidates
-}
-
-/// The admission decision for a deployed model: memory cap from the
-/// sharded arena footprint, then the largest probed batch whose modeled
-/// steady-window latency under `streams`-way contention meets the SLO.
-fn admit(model: &PbitModel, phone: &Phone, opts: &ServeOptions) -> Result<Admission, EngineError> {
-    let budget = phone.app_budget_bytes();
-    let plan_at = |batch: usize| -> Result<ExecutionPlan, EngineError> {
-        ExecutionPlan::for_model_batched(model, &phone.gpu, batch).map_err(|e| {
-            EngineError::DomainMismatch {
-                layer: e.layer,
-                expected: e.expected,
-            }
-        })
-    };
-    let sharded_peak =
-        |plan: &ExecutionPlan| plan.weights_bytes + opts.streams * plan.staged_arena_bytes();
-    // Memory cap: the planner's shared feasibility search, here over a
-    // deployed model's plans and N streams' arenas.
-    let base = plan_at(1)?;
-    if sharded_peak(&base) > budget {
-        return Err(EngineError::OutOfMemory(SimError::OutOfMemory {
-            requested: sharded_peak(&base),
-            in_use: 0,
-            budget,
-        }));
-    }
-    let max_feasible = crate::planner::largest_batch_where(|batch| {
-        plan_at(batch)
-            .map(|p| sharded_peak(&p) <= budget)
-            .unwrap_or(false)
-    });
-
-    let window_ms = |batch: usize| -> Result<f64, EngineError> {
-        Ok(modeled_window_s(&plan_at(batch)?, model, phone, opts.streams) * 1e3)
-    };
-    let (batch, modeled) = match (opts.batch, opts.slo_ms) {
-        // An explicit batch is honored up to the memory cap.
-        (Some(b), _) => {
-            let b = b.clamp(1, max_feasible);
-            (b, window_ms(b)?)
-        }
-        // SLO given: the largest probed batch still under target.
-        (None, Some(slo)) => {
-            let mut best = (1, window_ms(1)?);
-            for b in admission_candidates(max_feasible) {
-                let ms = window_ms(b)?;
-                if ms <= slo && b >= best.0 {
-                    best = (b, ms);
-                }
-            }
-            best
-        }
-        // No SLO: the probed batch with the best modeled throughput.
-        (None, None) => {
-            let mut best = (1, window_ms(1)?);
-            for b in admission_candidates(max_feasible) {
-                let ms = window_ms(b)?;
-                if b as f64 / ms > best.0 as f64 / best.1 {
-                    best = (b, ms);
-                }
-            }
-            best
-        }
-    };
-    Ok(Admission {
-        batch,
-        max_feasible_batch: max_feasible,
-        modeled_window_ms: modeled,
-        slo_ms: opts.slo_ms,
-        slo_met: opts.slo_ms.is_none_or(|slo| modeled <= slo),
-    })
-}
-
-/// Modeled steady-window seconds of one stream under `streams`-way device
-/// contention: the plan's exact dispatch sequence on a clocked queue, plus
-/// the per-run framework overhead for unprimed (batch-1) streams.
-fn modeled_window_s(plan: &ExecutionPlan, model: &PbitModel, phone: &Phone, streams: usize) -> f64 {
-    let clock = DeviceClock::with_streams(phone.gpu.clone(), streams);
-    let mut q =
-        CommandQueue::new(phone.gpu.clone(), ExecutorClass::PhoneBitOpenCl).with_clock(clock);
-    let extras = activation_extras_model(plan, model);
-    let _ = walk_plan(&mut q, plan, &extras, crate::EstimateOptions::default());
-    let busy = q.elapsed_s();
-    if plan.batch > 1 {
-        // Primed batched streams hide the per-run overhead behind the
-        // previous window (double buffering).
-        busy
-    } else {
-        busy + q.per_run_overhead_s()
-    }
-}
+// ---------------------------------------------------------------------------
+// Full-scale estimates (no weights, no kernel bodies)
+// ---------------------------------------------------------------------------
 
 /// A modeled sharded-serving run at full scale (no weights, no kernel
 /// bodies) — what the `serve_report` bench bin records per model × phone ×
@@ -493,9 +1242,11 @@ pub struct ServeEstimate {
 }
 
 /// Models a sharded serving run of `windows_per_stream` windows per stream
-/// (first window cold, the rest steady) on `phone`, at full scale from the
-/// architecture alone — the serving analogue of
-/// [`estimate_arch_batched`](crate::estimate_arch_batched).
+/// (first window on each stream cold, the rest steady) on `phone`, at full
+/// scale from the architecture alone — the serving analogue of
+/// [`estimate_arch_batched`](crate::estimate_arch_batched). Window
+/// placement and the latency sample come from the same
+/// [`schedule_windows`] pass the runtime executes.
 ///
 /// # Panics
 ///
@@ -508,40 +1259,232 @@ pub fn estimate_serve(
     windows_per_stream: usize,
 ) -> ServeEstimate {
     assert!(streams >= 1 && windows_per_stream >= 1);
-    let clock = DeviceClock::with_streams(phone.gpu.clone(), streams);
-    let mut q =
-        CommandQueue::new(phone.gpu.clone(), ExecutorClass::PhoneBitOpenCl).with_clock(clock);
     let plan = ExecutionPlan::for_arch_batched(arch, &phone.gpu, batch);
     let extras = activation_extras_arch(&plan, arch);
-    let _ = walk_plan(&mut q, &plan, &extras, crate::EstimateOptions::default());
-    let busy = q.elapsed_s();
-    let overhead = q.per_run_overhead_s();
-    let cold = busy + overhead;
-    // Batch-1 streams never prime (single bank): every window is cold.
-    let steady = if batch > 1 { busy } else { cold };
+    let (cold_s, steady_s) = modeled_window_under(&plan, &extras, &phone.gpu, streams, None);
+    let (cold, steady) = (cold_s * 1e3, steady_s * 1e3);
 
-    // Every stream sees the same deterministic schedule: one cold window,
-    // then steady ones.
-    let mut window_ms = Vec::with_capacity(streams * windows_per_stream);
-    for _ in 0..streams {
-        window_ms.push(cold * 1e3);
-        for _ in 1..windows_per_stream {
-            window_ms.push(steady * 1e3);
-        }
-    }
+    let load = TenantLoad {
+        windows: streams * windows_per_stream,
+        cold_ms: cold,
+        steady_ms: steady,
+        target_ms: steady.max(f64::MIN_POSITIVE),
+    };
+    let schedule = schedule_windows(&[load], streams);
+    let window_ms: Vec<f64> = schedule.iter().map(|sw| sw.end_ms - sw.start_ms).collect();
     let arena_bytes = streams * plan.staged_arena_bytes();
     let (p50_ms, p95_ms, p99_ms) = percentiles(&window_ms);
     ServeEstimate {
         streams,
         batch,
-        cold_window_ms: cold * 1e3,
-        steady_window_ms: steady * 1e3,
-        imgs_per_s: (streams * batch) as f64 / steady,
+        cold_window_ms: cold,
+        steady_window_ms: steady,
+        imgs_per_s: (streams * batch) as f64 / steady_s,
         p50_ms,
         p95_ms,
         p99_ms,
         arena_bytes,
         peak_bytes: plan.weights_bytes + arena_bytes,
+    }
+}
+
+/// One tenant's workload for a full-scale multi-tenant estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantWorkload<'a> {
+    /// The tenant's architecture.
+    pub arch: &'a NetworkArch,
+    /// Requested window size (`None` lets admission pick).
+    pub batch: Option<usize>,
+    /// Windows in the tenant's arrival queue.
+    pub windows: usize,
+    /// p95 latency target, milliseconds.
+    pub slo_ms: Option<f64>,
+}
+
+/// One tenant's slice of a [`MultiTenantEstimate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantEstimate {
+    /// Architecture name.
+    pub name: String,
+    /// The admission decision (batch, cap, modeled window, SLO verdict).
+    pub admission: Admission,
+    /// Windows modeled.
+    pub windows: usize,
+    /// Images served (`windows × batch`).
+    pub served: usize,
+    /// Modeled cold window under the registered mix, milliseconds.
+    pub cold_ms: f64,
+    /// Modeled steady window under the registered mix, milliseconds.
+    pub steady_ms: f64,
+    /// p50 window latency (completion − paced arrival), milliseconds.
+    pub p50_ms: f64,
+    /// p95 window latency, milliseconds.
+    pub p95_ms: f64,
+    /// p99 window latency, milliseconds.
+    pub p99_ms: f64,
+    /// Whether the scheduled p95 met the tenant's SLO (true when unset).
+    pub slo_met: bool,
+}
+
+/// A full-scale model of co-resident serving: every tenant's windows
+/// placed by the work-stealing scheduler on one pooled device, next to
+/// the **time-sliced sequential baseline** (each tenant served alone on
+/// the same `streams`, makespans summed) that co-residency must beat.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTenantEstimate {
+    /// Per-tenant results, in workload order.
+    pub tenants: Vec<TenantEstimate>,
+    /// Pooled streams.
+    pub streams: usize,
+    /// Co-resident makespan, milliseconds.
+    pub wall_ms: f64,
+    /// Co-resident aggregate throughput, images per second.
+    pub imgs_per_s: f64,
+    /// Time-sliced sequential makespan (Σ per-tenant solo makespans),
+    /// milliseconds.
+    pub sequential_wall_ms: f64,
+    /// Time-sliced sequential aggregate throughput, images per second.
+    pub sequential_imgs_per_s: f64,
+    /// Resident packed weights across tenants, bytes.
+    pub weights_bytes: usize,
+    /// One pooled arena slice (`max_tenant(banks × Σ slots)`), bytes.
+    pub pool_slice_bytes: usize,
+    /// Pooled co-resident peak (`Σ weights + streams × slice`), bytes.
+    pub peak_bytes: usize,
+}
+
+/// Models a co-resident multi-tenant serving pass at full scale: runs the
+/// contention-aware admission per tenant, registers the tenants' blended
+/// mix, walks each plan under it for window costs, places every window
+/// with [`schedule_windows`] — the same code path the [`DeviceRuntime`]
+/// executes — and reads per-tenant latency percentiles off the modeled
+/// completions. The time-sliced baseline reruns each tenant alone (the
+/// symmetric PR 4 model on the same stream count) and sums the makespans.
+///
+/// # Panics
+///
+/// Panics when `workloads` is empty, `streams == 0`, any workload has
+/// zero windows, or the tenant set does not fit the phone's app budget
+/// even at batch 1 (estimate callers pick the pairing; an infeasible one
+/// is a harness bug, not a servable configuration).
+pub fn estimate_serve_multitenant(
+    phone: &Phone,
+    workloads: &[TenantWorkload<'_>],
+    streams: usize,
+) -> MultiTenantEstimate {
+    assert!(!workloads.is_empty() && streams >= 1);
+    assert!(workloads.iter().all(|w| w.windows >= 1));
+    let gpu = &phone.gpu;
+    let asks: Vec<TenantAsk<'_>> = workloads
+        .iter()
+        .map(|w| TenantAsk {
+            source: PlanSource::Arch(w.arch),
+            batch: w.batch,
+            slo_ms: w.slo_ms,
+        })
+        .collect();
+    let (admissions, mix) = admit_tenants(&asks, phone, streams)
+        .expect("tenant set must lower cleanly and fit the phone's budget at batch 1");
+
+    let plans: Vec<ExecutionPlan> = workloads
+        .iter()
+        .zip(admissions.iter())
+        .map(|(w, adm)| ExecutionPlan::for_arch_batched(w.arch, gpu, adm.batch))
+        .collect();
+    let extras: Vec<Vec<f64>> = plans
+        .iter()
+        .zip(workloads.iter())
+        .map(|(p, w)| activation_extras_arch(p, w.arch))
+        .collect();
+
+    // Co-resident windows under the registered mix.
+    let windows_ms: Vec<(f64, f64)> = plans
+        .iter()
+        .zip(extras.iter())
+        .map(|(p, e)| {
+            let (c, s) = modeled_window_under(p, e, gpu, streams, mix.as_deref());
+            (c * 1e3, s * 1e3)
+        })
+        .collect();
+    let loads: Vec<TenantLoad> = workloads
+        .iter()
+        .zip(windows_ms.iter())
+        .map(|(w, &(cold_ms, steady_ms))| TenantLoad {
+            windows: w.windows,
+            cold_ms,
+            steady_ms,
+            target_ms: w.slo_ms.unwrap_or(steady_ms).max(f64::MIN_POSITIVE),
+        })
+        .collect();
+    let schedule = schedule_windows(&loads, streams);
+    let wall_ms = schedule.iter().map(|sw| sw.end_ms).fold(0.0, f64::max);
+
+    let mut tenants = Vec::with_capacity(workloads.len());
+    let mut served_total = 0usize;
+    for (t, (w, adm)) in workloads.iter().zip(admissions.iter()).enumerate() {
+        let latencies: Vec<f64> = schedule
+            .iter()
+            .filter(|sw| sw.tenant == t)
+            .map(|sw| {
+                let arrival = sw.index as f64 * loads[t].target_ms;
+                (sw.end_ms - arrival).max(sw.end_ms - sw.start_ms)
+            })
+            .collect();
+        let (p50_ms, p95_ms, p99_ms) = percentiles(&latencies);
+        let served = w.windows * adm.batch;
+        served_total += served;
+        tenants.push(TenantEstimate {
+            name: w.arch.name.clone(),
+            admission: adm.clone(),
+            windows: w.windows,
+            served,
+            cold_ms: windows_ms[t].0,
+            steady_ms: windows_ms[t].1,
+            p50_ms,
+            p95_ms,
+            p99_ms,
+            slo_met: w.slo_ms.is_none_or(|slo| p95_ms <= slo),
+        });
+    }
+
+    // Time-sliced sequential baseline: each tenant alone on the same
+    // streams (symmetric contention — the PR 4 model), makespans summed.
+    let mut sequential_wall_ms = 0.0f64;
+    for ((plan, extra), load) in plans.iter().zip(extras.iter()).zip(loads.iter()) {
+        let (c, s) = modeled_window_under(plan, extra, gpu, streams, None);
+        let solo = schedule_windows(
+            &[TenantLoad {
+                windows: load.windows,
+                cold_ms: c * 1e3,
+                steady_ms: s * 1e3,
+                target_ms: load.target_ms,
+            }],
+            streams,
+        );
+        sequential_wall_ms += solo.iter().map(|sw| sw.end_ms).fold(0.0, f64::max);
+    }
+
+    let archs: Vec<&NetworkArch> = workloads.iter().map(|w| w.arch).collect();
+    let batches: Vec<usize> = admissions.iter().map(|a| a.batch).collect();
+    let mem = crate::planner::plan_multitenant(&archs, &batches, gpu, streams);
+    MultiTenantEstimate {
+        tenants,
+        streams,
+        wall_ms,
+        imgs_per_s: if wall_ms > 0.0 {
+            served_total as f64 / (wall_ms * 1e-3)
+        } else {
+            0.0
+        },
+        sequential_wall_ms,
+        sequential_imgs_per_s: if sequential_wall_ms > 0.0 {
+            served_total as f64 / (sequential_wall_ms * 1e-3)
+        } else {
+            0.0
+        },
+        weights_bytes: mem.weights_bytes,
+        pool_slice_bytes: mem.pool_slice_bytes,
+        peak_bytes: mem.peak_bytes,
     }
 }
 
@@ -733,5 +1676,311 @@ mod tests {
         assert_eq!(p99, 5.0);
         assert_eq!(percentiles(&[]), (0.0, 0.0, 0.0));
         assert_eq!(percentiles(&[7.5]), (7.5, 7.5, 7.5));
+    }
+
+    // -- scheduler ---------------------------------------------------------
+
+    fn load(windows: usize, cold: f64, steady: f64, target: f64) -> TenantLoad {
+        TenantLoad {
+            windows,
+            cold_ms: cold,
+            steady_ms: steady,
+            target_ms: target,
+        }
+    }
+
+    #[test]
+    fn scheduler_round_robins_a_single_uniform_tenant() {
+        // One tenant, uniform windows: the work-stealing schedule is the
+        // PR 4 round-robin placement.
+        let sched = schedule_windows(&[load(6, 5.0, 4.0, 4.0)], 2);
+        assert_eq!(sched.len(), 6);
+        for (w, sw) in sched.iter().enumerate() {
+            assert_eq!(sw.tenant, 0);
+            assert_eq!(sw.index, w);
+            assert_eq!(sw.stream, w % 2, "window {w}");
+        }
+        // First window per stream is cold, the rest steady.
+        assert_eq!(sched[0].end_ms - sched[0].start_ms, 5.0);
+        assert_eq!(sched[1].end_ms - sched[1].start_ms, 5.0);
+        assert_eq!(sched[2].end_ms - sched[2].start_ms, 4.0);
+        // Streams run back-to-back.
+        assert_eq!(sched[2].start_ms, 5.0);
+        assert_eq!(sched[4].start_ms, 9.0);
+    }
+
+    #[test]
+    fn scheduler_lets_idle_streams_steal_backlog() {
+        // Tenant 0 has one long window; tenant 1 a long backlog of short
+        // ones. Under round-robin-by-tenant the second stream would idle;
+        // work stealing drains the backlog across both streams.
+        let loads = [load(1, 12.0, 12.0, 12.0), load(8, 2.0, 2.0, 2.0)];
+        let sched = schedule_windows(&loads, 2);
+        let s0_windows = sched.iter().filter(|sw| sw.stream == 0).count();
+        let s1_windows = sched.iter().filter(|sw| sw.stream == 1).count();
+        assert_eq!(s0_windows + s1_windows, 9);
+        // The stream not stuck behind the long window absorbed most of the
+        // backlog.
+        let long_stream = sched
+            .iter()
+            .find(|sw| sw.tenant == 0)
+            .expect("long window scheduled")
+            .stream;
+        let other = 1 - long_stream;
+        let stolen = sched
+            .iter()
+            .filter(|sw| sw.tenant == 1 && sw.stream == other)
+            .count();
+        assert!(stolen >= 6, "idle stream stole only {stolen} windows");
+        // Work conservation: makespan ~ total work / streams.
+        let wall = sched.iter().map(|sw| sw.end_ms).fold(0.0, f64::max);
+        assert!(wall <= 16.0 + 1e-9, "makespan {wall}");
+    }
+
+    #[test]
+    fn scheduler_paces_a_light_tenant_under_a_heavy_neighbor() {
+        // A heavy tenant floods the queue; the light tenant's tight pacing
+        // target keeps its windows from starving behind the backlog.
+        let loads = [
+            load(12, 10.0, 10.0, 1000.0), // heavy, indifferent deadline
+            load(3, 2.0, 2.0, 15.0),      // light, paced every 15 ms
+        ];
+        let sched = schedule_windows(&loads, 2);
+        for sw in sched.iter().filter(|sw| sw.tenant == 1) {
+            let lateness = sw.end_ms - sw.deadline_ms;
+            assert!(
+                lateness <= 10.0 + 1e-9,
+                "light window {} finished {:.1} ms past its deadline",
+                sw.index,
+                lateness
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_is_deterministic_and_complete() {
+        let loads = [load(5, 3.0, 2.0, 2.0), load(7, 4.0, 3.5, 9.0)];
+        let a = schedule_windows(&loads, 3);
+        let b = schedule_windows(&loads, 3);
+        assert_eq!(a, b);
+        // Every window appears exactly once.
+        for (t, l) in loads.iter().enumerate() {
+            for k in 0..l.windows {
+                assert_eq!(
+                    a.iter()
+                        .filter(|sw| sw.tenant == t && sw.index == k)
+                        .count(),
+                    1
+                );
+            }
+        }
+        // Per-stream intervals never overlap and windows start when their
+        // stream frees up.
+        for s in 0..3 {
+            let mine: Vec<_> = a.iter().filter(|sw| sw.stream == s).collect();
+            for pair in mine.windows(2) {
+                assert!(pair[1].start_ms >= pair[0].end_ms - 1e-9);
+            }
+        }
+    }
+
+    // -- multi-tenant runtime ---------------------------------------------
+
+    fn alex_micro_model() -> PbitModel {
+        convert(&fill_weights(&zoo::alexnet_micro(Variant::Binary), 7))
+    }
+
+    #[test]
+    fn device_runtime_registers_tenants_and_pools_arena() {
+        let phone = Phone::xiaomi_9();
+        let runtime = DeviceRuntime::new(
+            vec![
+                TenantSpec::new(micro_model()).with_batch(2),
+                TenantSpec::new(alex_micro_model()).with_batch(2),
+            ],
+            &phone,
+            2,
+        )
+        .expect("fits");
+        assert_eq!(runtime.tenants().len(), 2);
+        let weights: usize = runtime
+            .tenants()
+            .iter()
+            .map(|t| t.staged().model().size_bytes())
+            .sum();
+        let slice = runtime
+            .tenants()
+            .iter()
+            .map(|t| t.staged().plan().staged_arena_bytes())
+            .max()
+            .unwrap();
+        assert_eq!(runtime.pool_slice_bytes(), slice);
+        assert_eq!(runtime.resident_bytes(), weights + 2 * slice);
+        // The clock carries a heterogeneous mix for the pair.
+        let mix = runtime.clock().mix().expect("pair registers a mix");
+        assert_eq!(mix.len(), 1, "streams - 1 neighbors");
+        assert!(mix[0].busy > 0.0 && mix[0].cu_frac > 0.0);
+    }
+
+    #[test]
+    fn co_resident_pair_is_bit_exact_and_deterministic() {
+        let phone = Phone::xiaomi_9();
+        let reqs_a = requests(5);
+        let input_b = zoo::alexnet_micro(Variant::Binary).input;
+        let reqs_b: Vec<Tensor<u8>> = (0..4)
+            .map(|i| synthetic_image(input_b, 90 + i as u64))
+            .collect();
+        let serve = |_: usize| {
+            let mut runtime = DeviceRuntime::new(
+                vec![
+                    TenantSpec::new(micro_model()).with_batch(2),
+                    TenantSpec::new(alex_micro_model()).with_batch(2),
+                ],
+                &phone,
+                2,
+            )
+            .expect("fits");
+            runtime
+                .serve(&[TenantTraffic::U8(&reqs_a), TenantTraffic::U8(&reqs_b)])
+                .expect("serve")
+        };
+        let report = serve(0);
+        assert_eq!(report.tenants[0].served, 5);
+        assert_eq!(report.tenants[1].served, 4);
+        assert_eq!(report.served, 9);
+        assert_eq!(report.windows, 3 + 2);
+        // Solo reference runs.
+        let mut solo_a = crate::Session::new(micro_model(), &phone).unwrap();
+        for (i, req) in reqs_a.iter().enumerate() {
+            let want = solo_a.run_u8(req).unwrap().output.unwrap();
+            match (&report.tenants[0].outputs[i], &want) {
+                (ActivationData::Floats(a), ActivationData::Floats(b)) => {
+                    assert_eq!(a, b, "tenant 0 request {i}")
+                }
+                _ => panic!("unexpected output kinds"),
+            }
+        }
+        let mut solo_b = crate::Session::new(alex_micro_model(), &phone).unwrap();
+        for (i, req) in reqs_b.iter().enumerate() {
+            let want = solo_b.run_u8(req).unwrap().output.unwrap();
+            match (&report.tenants[1].outputs[i], &want) {
+                (ActivationData::Floats(a), ActivationData::Floats(b)) => {
+                    assert_eq!(a, b, "tenant 1 request {i}")
+                }
+                _ => panic!("unexpected output kinds"),
+            }
+        }
+        // Determinism across a rebuilt runtime.
+        let again = serve(1);
+        assert_eq!(report.schedule, again.schedule);
+        for (a, b) in report.tenants.iter().zip(again.tenants.iter()) {
+            assert_eq!(a.window_ms, b.window_ms);
+        }
+    }
+
+    #[test]
+    fn repeated_serve_passes_match_the_modeled_schedule() {
+        // Regression: a reused runtime's lanes used to stay primed across
+        // passes, so the second pass executed steady windows against a
+        // schedule that modeled cold ones. Every pass now resets lanes:
+        // executed durations equal the modeled schedule's, on every pass.
+        let phone = Phone::xiaomi_9();
+        let mut runtime = DeviceRuntime::new(
+            vec![
+                TenantSpec::new(micro_model()).with_batch(2),
+                TenantSpec::new(alex_micro_model()).with_batch(2),
+            ],
+            &phone,
+            2,
+        )
+        .expect("fits");
+        let reqs_a = requests(6);
+        let input_b = zoo::alexnet_micro(Variant::Binary).input;
+        let reqs_b: Vec<Tensor<u8>> = (0..4)
+            .map(|i| synthetic_image(input_b, 90 + i as u64))
+            .collect();
+        let traffic = [TenantTraffic::U8(&reqs_a), TenantTraffic::U8(&reqs_b)];
+        let first = runtime.serve(&traffic).expect("first pass");
+        let second = runtime.serve(&traffic).expect("second pass");
+        assert_eq!(first.schedule, second.schedule);
+        for (pass, report) in [(1, &first), (2, &second)] {
+            for sw in &report.schedule {
+                let modeled = sw.end_ms - sw.start_ms;
+                let executed = report.tenants[sw.tenant].duration_ms[sw.index];
+                assert!(
+                    (modeled - executed).abs() < 1e-9 * modeled.max(1.0),
+                    "pass {pass}: tenant {} window {} executed {executed} ms \
+                     vs modeled {modeled} ms",
+                    sw.tenant,
+                    sw.index
+                );
+            }
+        }
+        assert_eq!(first.wall_s, second.wall_s);
+    }
+
+    #[test]
+    fn oversized_tenant_ask_is_clamped_not_panicking() {
+        // Regression: one tenant asking for an absurd window used to zero
+        // out the neighbor's memory cap (clamp(1, 0) panic). The ask must
+        // be clamped to what fits next to the others, and every tenant
+        // still admits a batch >= 1 that fits the pooled budget.
+        let phone = Phone::xiaomi_9();
+        let runtime = DeviceRuntime::new(
+            vec![
+                TenantSpec::new(micro_model()).with_batch(1 << 20),
+                TenantSpec::new(alex_micro_model()).with_batch(2),
+            ],
+            &phone,
+            2,
+        )
+        .expect("oversized ask clamps instead of panicking");
+        let big = runtime.tenants()[0].admission();
+        let small = runtime.tenants()[1].admission();
+        assert!(big.batch >= 1 && big.batch <= big.max_feasible_batch);
+        assert!(small.max_feasible_batch >= 1, "neighbor cap not zeroed");
+        assert_eq!(small.batch, 2);
+        assert!(runtime.resident_bytes() <= phone.app_budget_bytes());
+    }
+
+    #[test]
+    fn estimate_serve_multitenant_beats_time_slicing_and_meets_slos() {
+        let phone = Phone::xiaomi_9();
+        let alex = zoo::alexnet_micro(Variant::Binary);
+        let yolo = zoo::yolo_micro(Variant::Binary);
+        let est = estimate_serve_multitenant(
+            &phone,
+            &[
+                TenantWorkload {
+                    arch: &alex,
+                    batch: Some(2),
+                    windows: 9,
+                    slo_ms: None,
+                },
+                TenantWorkload {
+                    arch: &yolo,
+                    batch: Some(2),
+                    windows: 7,
+                    slo_ms: None,
+                },
+            ],
+            2,
+        );
+        assert_eq!(est.tenants.len(), 2);
+        assert!(est.wall_ms > 0.0);
+        // Co-residency fills the idle tails time-slicing leaves behind.
+        assert!(
+            est.imgs_per_s > est.sequential_imgs_per_s,
+            "co-resident {:.1} imgs/s vs time-sliced {:.1}",
+            est.imgs_per_s,
+            est.sequential_imgs_per_s
+        );
+        // Pooled memory: shared slice, summed weights.
+        assert!(est.pool_slice_bytes > 0);
+        assert_eq!(est.peak_bytes, est.weights_bytes + 2 * est.pool_slice_bytes);
+        for t in &est.tenants {
+            assert!(t.p50_ms <= t.p95_ms && t.p95_ms <= t.p99_ms);
+            assert!(t.slo_met, "no SLO set");
+        }
     }
 }

@@ -26,17 +26,33 @@
 //!   so host work of one stream overlaps device work of another — which is
 //!   why sharding buys throughput even when every kernel saturates the GPU.
 //!
+//! # Heterogeneous queue mixes
+//!
+//! The symmetric formula assumes every other stream mirrors the current
+//! dispatch — true when N clones of one model shard one request stream,
+//! wrong when **different models co-reside** on the device (a detector next
+//! to a classifier). [`DeviceClock::set_mix`] replaces the mirror
+//! assumption with an explicit per-queue expected load
+//! ([`QueueLoad`]: mean CU fraction × busy duty cycle): each dispatch is
+//! then inflated against the *registered* neighbors via
+//! [`Contention::against`], so a tenant with a light kernel mix stops being
+//! modeled as if it were N more copies of the heavy one. The clock also
+//! measures the mix it observes (`note_dispatch`), which is how a serving
+//! runtime learns each tenant's `QueueLoad` in the first place — walk the
+//! tenant's plan on a solo clocked queue and read
+//! [`DeviceClock::mean_cu_frac`] / [`DeviceClock::busy_s`].
+//!
 //! The stream count is set explicitly by whoever owns the queues (the
 //! serving runtime knows how many streams it staged); queues only read it.
-//! A clock with zero or one stream is contention-free, so attaching a
-//! clock to a solo queue changes nothing.
+//! A clock with zero or one stream and no registered mix is
+//! contention-free, so attaching a clock to a solo queue changes nothing.
 //!
 //! [`CommandQueue`]: crate::queue::CommandQueue
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
-use crate::cost::Contention;
+use crate::cost::{Contention, QueueLoad};
 use crate::device::DeviceProfile;
 use crate::ndrange::NdRange;
 
@@ -50,6 +66,14 @@ pub struct DeviceClock {
     /// Aggregate device-busy seconds across every attached queue
     /// (f64 bits in an atomic so queues can add lock-free).
     busy_bits: AtomicU64,
+    /// Aggregate `cu_frac × busy seconds` across every attached queue —
+    /// `demand / busy` is the busy-weighted mean CU fraction of the mix
+    /// this clock actually served.
+    demand_bits: AtomicU64,
+    /// The expected load of every *other* co-resident queue, from any
+    /// queue's perspective. `None` falls back to the symmetric
+    /// `streams`-mirrors model.
+    mix: RwLock<Option<Vec<QueueLoad>>>,
 }
 
 impl DeviceClock {
@@ -64,6 +88,8 @@ impl DeviceClock {
             device,
             streams: AtomicUsize::new(streams),
             busy_bits: AtomicU64::new(0f64.to_bits()),
+            demand_bits: AtomicU64::new(0f64.to_bits()),
+            mix: RwLock::new(None),
         })
     }
 
@@ -83,50 +109,95 @@ impl DeviceClock {
         self.streams.load(Ordering::Relaxed)
     }
 
-    /// The contention a dispatch of `ndrange` experiences right now.
-    ///
-    /// Compute inflation honors the kernel's compute-unit budget: demand is
-    /// `streams × cus_needed` against the device's `compute_units`, so a
-    /// kernel too small to fill the device overlaps other streams for free
-    /// while a saturating kernel serializes. Memory inflation is the plain
-    /// bandwidth split across streams.
-    pub fn contention_for(&self, ndrange: &NdRange) -> Contention {
-        let n = self.streams().max(1);
-        if n == 1 {
-            return Contention::none();
-        }
+    /// Registers the expected load of every *other* co-resident queue —
+    /// the heterogeneous-mix contention model. `None` restores the
+    /// symmetric `streams`-mirrors assumption. A multi-tenant runtime
+    /// passes `streams − 1` copies of the aggregate tenant mix (any idle
+    /// stream may pull any tenant's window, so every neighbor is expected
+    /// to run the blend).
+    pub fn set_mix(&self, mix: Option<Vec<QueueLoad>>) {
+        *self.mix.write().expect("mix lock poisoned") = mix;
+    }
+
+    /// The registered other-queue mix, if any.
+    pub fn mix(&self) -> Option<Vec<QueueLoad>> {
+        self.mix.read().expect("mix lock poisoned").clone()
+    }
+
+    /// Fraction of the device's compute units a dispatch of `ndrange` can
+    /// occupy (`ceil(work_items / alus_per_cu)` CUs over the CU budget,
+    /// clamped to `[1/cus, 1]`).
+    pub fn cu_frac_for(&self, ndrange: &NdRange) -> f64 {
         let cus = self.device.compute_units.max(1);
         let cus_needed = ndrange
             .work_items()
             .div_ceil(self.device.alus_per_cu.max(1))
             .clamp(1, cus);
+        cus_needed as f64 / cus as f64
+    }
+
+    /// The contention a dispatch of `ndrange` experiences right now.
+    ///
+    /// With a registered mix ([`DeviceClock::set_mix`]) the dispatch is
+    /// judged against the *actual* expected neighbor loads
+    /// ([`Contention::against`]). Otherwise the symmetric model applies:
+    /// demand is `streams × cus_needed` against the device's
+    /// `compute_units`, so a kernel too small to fill the device overlaps
+    /// other streams for free while a saturating kernel serializes, and
+    /// memory inflation is the plain bandwidth split across streams.
+    pub fn contention_for(&self, ndrange: &NdRange) -> Contention {
+        if let Some(mix) = self.mix.read().expect("mix lock poisoned").as_ref() {
+            return Contention::against(self.cu_frac_for(ndrange), mix);
+        }
+        let n = self.streams().max(1);
+        if n == 1 {
+            return Contention::none();
+        }
         Contention {
-            compute: ((n * cus_needed) as f64 / cus as f64).max(1.0),
+            compute: (n as f64 * self.cu_frac_for(ndrange)).max(1.0),
             memory: n as f64,
         }
     }
 
     /// Adds a dispatch's busy time to the aggregate device-busy counter.
     pub fn note_busy(&self, seconds: f64) {
-        let mut cur = self.busy_bits.load(Ordering::Relaxed);
-        loop {
-            let next = (f64::from_bits(cur) + seconds).to_bits();
-            match self.busy_bits.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return,
-                Err(actual) => cur = actual,
-            }
-        }
+        add_bits(&self.busy_bits, seconds);
+    }
+
+    /// Records one dispatch: its busy seconds and its CU demand, feeding
+    /// both the busy counter and the observed-mix accounting
+    /// ([`DeviceClock::mean_cu_frac`]).
+    pub fn note_dispatch(&self, cu_frac: f64, seconds: f64) {
+        self.note_busy(seconds);
+        add_bits(&self.demand_bits, cu_frac * seconds);
     }
 
     /// Aggregate busy seconds across every queue on this device — divide by
     /// `streams × wall` for average device pressure.
     pub fn busy_s(&self) -> f64 {
         f64::from_bits(self.busy_bits.load(Ordering::Relaxed))
+    }
+
+    /// Busy-weighted mean CU fraction of every dispatch this clock served —
+    /// the measured `cu_frac` of a [`QueueLoad`] (0 when nothing ran).
+    pub fn mean_cu_frac(&self) -> f64 {
+        let busy = self.busy_s();
+        if busy <= 0.0 {
+            return 0.0;
+        }
+        f64::from_bits(self.demand_bits.load(Ordering::Relaxed)) / busy
+    }
+}
+
+/// Lock-free `+=` on an f64 stored as atomic bits.
+fn add_bits(bits: &AtomicU64, delta: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
     }
 }
 
@@ -176,6 +247,29 @@ mod tests {
     }
 
     #[test]
+    fn registered_mix_replaces_the_mirror_assumption() {
+        let c = clock(2);
+        let big = NdRange::linear(1 << 20);
+        // Symmetric 2-stream view: a saturating kernel halves.
+        assert!((c.contention_for(&big).compute - 2.0).abs() < 1e-12);
+        // A light neighbor (half the CUs, 40% duty) barely taxes it.
+        c.set_mix(Some(vec![QueueLoad {
+            cu_frac: 0.5,
+            busy: 0.4,
+        }]));
+        let k = c.contention_for(&big);
+        assert!((k.compute - 1.2).abs() < 1e-12, "1.0 + 0.4*0.5 demand");
+        assert!((k.memory - 1.4).abs() < 1e-12);
+        assert_eq!(c.mix().unwrap().len(), 1);
+        // Saturating mirrors reproduce the symmetric model exactly.
+        c.set_mix(Some(vec![QueueLoad::saturating()]));
+        assert_eq!(c.contention_for(&big), clock(2).contention_for(&big));
+        // Clearing the mix restores the symmetric path.
+        c.set_mix(None);
+        assert!((c.contention_for(&big).compute - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn busy_accounting_accumulates() {
         let c = clock(2);
         assert_eq!(c.busy_s(), 0.0);
@@ -184,5 +278,20 @@ mod tests {
         assert!((c.busy_s() - 0.75).abs() < 1e-15);
         assert_eq!(c.device().name, "Adreno 640");
         assert_eq!(c.streams(), 2);
+    }
+
+    #[test]
+    fn dispatch_accounting_measures_the_mix() {
+        let c = clock(1);
+        assert_eq!(c.mean_cu_frac(), 0.0, "nothing ran yet");
+        // 1 s at full device + 1 s at half: mean CU fraction 0.75.
+        c.note_dispatch(1.0, 1.0);
+        c.note_dispatch(0.5, 1.0);
+        assert!((c.busy_s() - 2.0).abs() < 1e-15);
+        assert!((c.mean_cu_frac() - 0.75).abs() < 1e-12);
+        // cu_frac_for matches the contention model's CU math (2 CUs x 192
+        // ALUs): 128 items fit one CU, a huge grid wants both.
+        assert!((c.cu_frac_for(&NdRange::linear(128)) - 0.5).abs() < 1e-12);
+        assert!((c.cu_frac_for(&NdRange::linear(1 << 20)) - 1.0).abs() < 1e-12);
     }
 }

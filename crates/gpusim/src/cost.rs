@@ -32,12 +32,58 @@ pub struct Contention {
     pub memory: f64,
 }
 
+/// Expected steady-state pressure one co-resident command queue puts on
+/// the shared device — what a multi-tenant serving runtime registers on
+/// the [`DeviceClock`](crate::clock::DeviceClock) for each *other* queue,
+/// replacing the symmetric everyone-mirrors-me assumption with the actual
+/// per-queue kernel mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueLoad {
+    /// Busy-time-weighted mean fraction of the device's compute units the
+    /// queue's dispatches can occupy (`cus_needed / cus`, in `[0, 1]`).
+    pub cu_frac: f64,
+    /// Fraction of wall time the queue keeps the device busy (`[0, 1]`);
+    /// host-side gaps (launch + framework overhead) leave the device free
+    /// for everyone else.
+    pub busy: f64,
+}
+
+impl QueueLoad {
+    /// A queue that saturates the device whenever it is its turn — the
+    /// symmetric-stream worst case.
+    pub fn saturating() -> Self {
+        Self {
+            cu_frac: 1.0,
+            busy: 1.0,
+        }
+    }
+}
+
 impl Contention {
     /// No sharing: the dispatch owns the device.
     pub fn none() -> Self {
         Self {
             compute: 1.0,
             memory: 1.0,
+        }
+    }
+
+    /// Contention for a dispatch that wants `cu_frac` of the device's
+    /// compute units while the queues in `others` are co-resident.
+    ///
+    /// Compute stretches by the aggregate expected CU demand
+    /// (`cu_frac + Σ busyᵢ·cu_fracᵢ`, floored at the solo baseline), so a
+    /// small kernel overlaps light neighbors for free while saturating
+    /// kernels serialize. Memory bandwidth splits across every queue
+    /// expected to be on the bus (`1 + Σ busyᵢ`). With `others` holding
+    /// `n − 1` copies of this dispatch's own demand at full duty this
+    /// reduces exactly to the symmetric `n`-stream model.
+    pub fn against(cu_frac: f64, others: &[QueueLoad]) -> Self {
+        let other_cu: f64 = others.iter().map(|l| l.busy * l.cu_frac).sum();
+        let other_busy: f64 = others.iter().map(|l| l.busy).sum();
+        Self {
+            compute: (cu_frac + other_cu).max(1.0),
+            memory: (1.0 + other_busy).max(1.0),
         }
     }
 }
@@ -301,6 +347,27 @@ mod tests {
             },
         );
         assert_eq!(clamped.time_s, solo.time_s);
+    }
+
+    #[test]
+    fn contention_against_loads_reduces_to_symmetric_on_mirrors() {
+        // n − 1 saturating mirrors of a device-filling dispatch == the
+        // symmetric n-stream model.
+        let mirrors = [QueueLoad::saturating(); 3];
+        let c = Contention::against(1.0, &mirrors);
+        assert!((c.compute - 4.0).abs() < 1e-12);
+        assert!((c.memory - 4.0).abs() < 1e-12);
+        // A light neighbor (20% duty, quarter of the CUs) barely inflates
+        // a small dispatch but still taxes the bus a little.
+        let light = [QueueLoad {
+            cu_frac: 0.25,
+            busy: 0.2,
+        }];
+        let c = Contention::against(0.5, &light);
+        assert_eq!(c.compute, 1.0, "0.5 + 0.05 demand fits the device");
+        assert!((c.memory - 1.2).abs() < 1e-12);
+        // No neighbors: solo baseline.
+        assert_eq!(Contention::against(1.0, &[]), Contention::none());
     }
 
     #[test]

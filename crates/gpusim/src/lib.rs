@@ -61,7 +61,7 @@ pub mod vector;
 pub use buffer::{Buffer, Context, SimError};
 pub use calib::ExecutorClass;
 pub use clock::DeviceClock;
-pub use cost::Contention;
+pub use cost::{Contention, QueueLoad};
 pub use device::{DeviceKind, DeviceProfile, Phone};
 pub use kernel::{KernelProfile, LaunchEvent, LaunchStats};
 pub use ndrange::NdRange;

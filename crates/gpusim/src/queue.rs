@@ -122,7 +122,10 @@ impl CommandQueue {
             contention,
         );
         if let Some(clock) = &self.clock {
-            clock.note_busy(stats.time_s - self.params.launch_overhead_s);
+            clock.note_dispatch(
+                clock.cu_frac_for(&profile.ndrange),
+                stats.time_s - self.params.launch_overhead_s,
+            );
         }
         let event = LaunchEvent {
             stats: stats.clone(),

@@ -242,14 +242,16 @@ fn plan_snapshot_is_pinned() {
     // fc out, softmax out.
     assert_eq!(plan.values.len(), 8);
     assert_eq!(plan.steps.len(), 5);
-    // 8 bit-planes of the 8x8x3 input: 8 * 64 px * 8 B.
+    // 8 bit-planes of the 8x8x3 input: pack-width-aware sizing packs the
+    // 3-channel rows into uchar words — 8 * 64 px * 1 B (was 8 B before
+    // PackWidth::select drove slot sizing).
     let planes = &plan.values[plan.steps[0].scratch.unwrap()];
     assert_eq!(planes.kind, ValueKind::Planes8);
-    assert_eq!(planes.bytes, 8 * 64 * 8);
-    // conv1 output: 64 px, 16 channels -> one u64 word per pixel.
+    assert_eq!(planes.bytes, 8 * 64);
+    // conv1 output: 64 px, 16 channels -> one ushort word per pixel.
     let conv1 = &plan.values[plan.steps[0].output];
     assert_eq!((conv1.born, conv1.dies), (0, 1));
-    assert_eq!(conv1.bytes, 64 * 8);
+    assert_eq!(conv1.bytes, 64 * 2);
     // Three slots suffice for the whole chain (input+planes+out live at
     // step 0; everything later ping-pongs through the freed slots).
     assert_eq!(plan.slots.len(), 3, "slots: {:?}", plan.slots);

@@ -12,8 +12,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use phonebit::core::{convert, Session, StagedModel, Stream};
-use phonebit::gpusim::{DeviceClock, Phone};
+use phonebit::core::{convert, MultiStream, Session, StagedModel, Stream};
+use phonebit::gpusim::{Context, DeviceClock, Phone};
 use phonebit::models::{fill_weights, synthetic_image};
 use phonebit::nn::act::Activation;
 use phonebit::nn::graph::{LayerPrecision, NetworkArch};
@@ -159,6 +159,48 @@ fn steady_stream_window_bytes(hw: usize, batch: usize) -> (usize, usize) {
     (samples[1], arena)
 }
 
+/// Heap bytes requested by one steady **stolen** window on a multi-tenant
+/// pooled stream (median of 3): two heterogeneous tenants staged into one
+/// shared context, one `MultiStream` with a lane per tenant, both lanes
+/// primed, then windows alternate tenants — exactly what a stream does
+/// after stealing the other tenant's backlog. Returns the measured bytes
+/// and the stream's pooled staged arena.
+fn steady_steal_window_bytes(batch: usize) -> (usize, usize) {
+    let phone = Phone::xiaomi_9();
+    let model_a = convert(&fill_weights(&arch(64), 9));
+    let model_b = convert(&fill_weights(&arch(32), 11));
+    let ctx = Context::new(phone.gpu.clone(), phone.app_budget_bytes());
+    let staged_a = StagedModel::stage_with(model_a, ctx.clone(), batch).expect("fits");
+    let staged_b = StagedModel::stage_with(model_b, ctx.clone(), batch).expect("fits");
+    let clock = DeviceClock::with_streams(phone.gpu.clone(), 2);
+    let mut stream = MultiStream::new(&[staged_a, staged_b], &ctx, clock)
+        .expect("fits")
+        .with_output_capture(false);
+    let arena = stream.pool_slice_bytes();
+    let imgs_a: Vec<_> = (0..batch)
+        .map(|i| synthetic_image(Shape4::new(1, 64, 64, 3), 4 + i as u64))
+        .collect();
+    let imgs_b: Vec<_> = (0..batch)
+        .map(|i| synthetic_image(Shape4::new(1, 32, 32, 3), 40 + i as u64))
+        .collect();
+    // Prime both tenant lanes (two windows each grow every lazily-sized
+    // buffer to its high-water mark).
+    for _ in 0..2 {
+        stream.run_window_u8(0, &imgs_a).expect("priming window");
+        stream.run_window_u8(1, &imgs_b).expect("priming window");
+    }
+    let mut samples: Vec<usize> = (0..3)
+        .map(|_| {
+            let before = ALLOCATED.load(Ordering::Relaxed);
+            stream.run_window_u8(0, &imgs_a).expect("steady window");
+            stream.run_window_u8(1, &imgs_b).expect("stolen window");
+            ALLOCATED.load(Ordering::Relaxed) - before
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[1], arena)
+}
+
 #[test]
 fn steady_state_runs_do_not_allocate_activations() {
     let (small_bytes, small_arena) = steady_run_bytes(32);
@@ -215,5 +257,25 @@ fn steady_state_runs_do_not_allocate_activations() {
         stream_bytes < window_bytes.max(1) * 3 + 4096,
         "per-stream dispatch heap blew up vs the single-session window: \
          {window_bytes} B -> {stream_bytes} B"
+    );
+
+    // Work-stealing steady state: a pooled multi-tenant stream alternating
+    // two tenants' windows (one window of each per sample — a steal on
+    // every switch) still allocates only dispatch bookkeeping. Stealing
+    // must not allocate: every tenant lane was prepared at staging.
+    let (steal_bytes, pooled_arena) = steady_steal_window_bytes(4);
+    assert!(
+        pooled_arena > 0,
+        "test premise: the pooled slice stages a real arena"
+    );
+    assert!(
+        steal_bytes < pooled_arena / 10,
+        "steady stolen windows allocated {steal_bytes} B against a {pooled_arena} B pooled \
+         slice — tenant switching is allocating on the activation path"
+    );
+    assert!(
+        steal_bytes < 2 * window_bytes.max(1) * 3 + 8192,
+        "two alternating tenant windows should cost about two windows' dispatch bookkeeping: \
+         {window_bytes} B/window -> {steal_bytes} B"
     );
 }
