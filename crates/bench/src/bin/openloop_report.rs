@@ -1,0 +1,423 @@
+//! Open-loop fault-tolerance report: the robustness follow-up to
+//! `multitenant_report`.
+//!
+//! For the acceptance pair (AlexNet + YOLOv2-Tiny) on each phone, models
+//! an open-loop serving pass with `phonebit_core::estimate_serve_open_loop`
+//! across a sweep of offered-load multiples of the pair's modeled capacity:
+//! seeded Poisson/burst arrivals, deadlines anchored to arrival, bounded
+//! retry with backoff, deadline shedding — once fault-free and once under
+//! an injected `FaultPlan` whose failure burst is localized to the second
+//! fifth of the horizon (plus a mild thermal-throttle epoch after it).
+//!
+//! Gates:
+//! - **no starvation**: every tenant serves at least one request on every
+//!   row, clean or faulted, however far past the knee;
+//! - **graceful degradation**: within each phone × fault mode, aggregate
+//!   shed rate is monotone in offered load (no cliff, no recovery-by-
+//!   accident), and goodput past the knee stays within a bounded fraction
+//!   of its peak;
+//! - **post-burst recovery**: at every load, requests arriving in the last
+//!   quarter of the horizon — long after the fault burst ended — shed at
+//!   most marginally more under the fault plan than in the clean run.
+//!
+//! Run: `cargo run --release -p phonebit-bench --bin openloop_report`
+//! (`-- --out <path>` to redirect the JSON; `-- --check-baseline <path>`
+//! to diff against a committed `BENCH_openloop.json`: same coverage
+//! required, and goodput may regress at most `--max-regression` ×,
+//! default 1.25. Everything is seeded and deterministic.)
+
+use phonebit_bench::baseline::{diff_rows, json_escape, parse_rows, Better, Row};
+use phonebit_core::{
+    estimate_serve, estimate_serve_open_loop, ArrivalProcess, OpenLoopEstimate, OpenLoopWorkload,
+    RetryPolicy,
+};
+use phonebit_gpusim::{FaultBurst, FaultPlan, Phone, ThrottleEpoch};
+use phonebit_models::zoo::{self, Variant};
+
+const STREAMS: usize = 2;
+/// Fixed per-tenant window size. Single-request windows are ready the
+/// moment they arrive, so no deadline budget is burned waiting on batch
+/// fill — which keeps shed rate monotone in offered load instead of
+/// U-shaped (a multi-request window at light load waits on the
+/// exponential tail of its own members' inter-arrival gaps).
+const BATCH: usize = 1;
+/// SLO slack over the solo steady window at [`BATCH`]: room for
+/// co-residency contention, queueing, and one retry before shedding.
+const SLO_SLACK: f64 = 6.0;
+/// Offered load per tenant, as multiples of its modeled fair share of the
+/// pooled streams. Straddles the knee.
+const LOADS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+/// Horizon, in multiples of the slower tenant's solo steady window.
+const HORIZON_WINDOWS: f64 = 250.0;
+/// Consecutive loads may not lower aggregate shed rate by more than this.
+const SHED_MONOTONE_EPS: f64 = 0.02;
+/// Goodput at the heaviest load must stay within this fraction of peak.
+const GRACEFUL_FLOOR: f64 = 0.6;
+/// Faulted last-quarter shed rate may exceed clean by at most this.
+const RECOVERY_EPS: f64 = 0.10;
+
+/// Identity + guarded metric of the rows this bin writes, for the shared
+/// baseline differ.
+const KEY_FIELDS: [&str; 4] = ["pair", "phone", "fault", "load"];
+const METRIC: &str = "goodput_imgs_per_s";
+
+struct Measurement {
+    pair: String,
+    phone: &'static str,
+    fault: &'static str,
+    load: f64,
+    est: OpenLoopEstimate,
+    /// Shed fraction of requests arriving in the last quarter of the
+    /// horizon, for the post-burst recovery gate.
+    lastq_shed_rate: f64,
+}
+
+impl Measurement {
+    fn row(&self) -> Row {
+        Row {
+            key: vec![
+                self.pair.clone(),
+                self.phone.to_string(),
+                self.fault.to_string(),
+                format!("{:.2}", self.load),
+            ],
+            value: self.est.goodput_imgs_per_s,
+        }
+    }
+}
+
+/// Shed fraction among requests that arrived at or after `cut_ms`.
+fn last_quarter_shed_rate(est: &OpenLoopEstimate, cut_ms: f64) -> f64 {
+    let mut offered = 0usize;
+    let mut shed = 0usize;
+    for (t, tenant) in est.tenants.iter().enumerate() {
+        let batch = tenant.admission.batch.max(1);
+        let arrivals = &est.arrivals_ms[t];
+        for (i, fate) in est.schedule.fates[t].iter().enumerate() {
+            let start = i * batch;
+            let len = batch.min(arrivals.len() - start);
+            let late = arrivals[start..start + len]
+                .iter()
+                .filter(|&&a| a >= cut_ms)
+                .count();
+            offered += late;
+            if !fate.is_served() {
+                shed += late;
+            }
+        }
+    }
+    if offered > 0 {
+        shed as f64 / offered as f64
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_openloop.json")
+        .to_string();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--check-baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let max_regression: f64 = args
+        .iter()
+        .position(|a| a == "--max-regression")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("error: --max-regression expects a number, got `{s}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1.25);
+
+    let phones: [(&str, Phone); 2] = [("x5", Phone::xiaomi_5()), ("x9", Phone::xiaomi_9())];
+    let models = zoo::all(Variant::Binary);
+    let (a, b) = (0usize, 1usize); // AlexNet + YOLOv2-Tiny, the acceptance pair
+    let policy = RetryPolicy::default();
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    for (phone_tag, phone) in &phones {
+        let pair_name = format!("{}+{}", models[a].name, models[b].name);
+        // Solo steady windows at the fixed batch anchor the SLOs, the
+        // offered-load scale, and the horizon.
+        let steady = |arch| estimate_serve(phone, arch, BATCH, STREAMS, 2).steady_window_ms;
+        let steady_ms = [steady(&models[a]), steady(&models[b])];
+        let duration_ms = HORIZON_WINDOWS * steady_ms[0].max(steady_ms[1]);
+        // A tenant's fair share of the pooled streams: the whole device
+        // sustains `streams × batch / steady` imgs/s of this model alone;
+        // half of that is its share next to one neighbor.
+        let share_per_s = |t: usize| (STREAMS * BATCH) as f64 * 1e3 / steady_ms[t] / 2.0;
+        let fault_plan = FaultPlan::new(7)
+            .with_failure_rate(0.02)
+            .with_burst(FaultBurst {
+                start_ms: 0.2 * duration_ms,
+                end_ms: 0.4 * duration_ms,
+                rate: 0.45,
+            })
+            .with_throttle(ThrottleEpoch {
+                start_ms: 0.45 * duration_ms,
+                end_ms: 0.55 * duration_ms,
+                slowdown: 1.3,
+            });
+
+        println!(
+            "\n{} ({}) — open-loop {} on {} streams, horizon {:.0} ms, slo {:.1}/{:.1} ms",
+            phone.name,
+            phone.soc,
+            pair_name,
+            STREAMS,
+            duration_ms,
+            SLO_SLACK * steady_ms[0],
+            SLO_SLACK * steady_ms[1],
+        );
+        println!(
+            "{:>6} {:>6} | {:>8} {:>9} {:>6} {:>6} {:>6} | {:>8} {:>8} | {:>6}",
+            "load",
+            "fault",
+            "offered",
+            "goodput",
+            "shed",
+            "retry",
+            "thrtl",
+            "p99",
+            "p99.9",
+            "lastq"
+        );
+        for &load in &LOADS {
+            let mut by_mode: Vec<(&'static str, Measurement)> = Vec::new();
+            for (fault_tag, fault) in [("none", None), ("burst", Some(&fault_plan))] {
+                let workloads = [
+                    OpenLoopWorkload {
+                        arch: &models[a],
+                        batch: Some(BATCH),
+                        slo_ms: Some(SLO_SLACK * steady_ms[0]),
+                        arrival: ArrivalProcess::Poisson {
+                            rate_per_s: load * share_per_s(0),
+                        },
+                        seed: 11,
+                    },
+                    OpenLoopWorkload {
+                        arch: &models[b],
+                        batch: Some(BATCH),
+                        slo_ms: Some(SLO_SLACK * steady_ms[1]),
+                        arrival: ArrivalProcess::Burst {
+                            base_per_s: 0.5 * load * share_per_s(1),
+                            burst_per_s: 2.5 * load * share_per_s(1),
+                            period_ms: duration_ms / 10.0,
+                            burst_frac: 0.25,
+                        },
+                        seed: 12,
+                    },
+                ];
+                let est = estimate_serve_open_loop(
+                    phone,
+                    &workloads,
+                    STREAMS,
+                    duration_ms,
+                    fault,
+                    &policy,
+                );
+                let lastq = last_quarter_shed_rate(&est, 0.75 * duration_ms);
+                let retries: usize = est.tenants.iter().map(|t| t.retries).sum();
+                let throttled: usize = est.tenants.iter().map(|t| t.throttled).sum();
+                let p99 = est.tenants.iter().map(|t| t.p99_ms).fold(0.0, f64::max);
+                let p999 = est.tenants.iter().map(|t| t.p999_ms).fold(0.0, f64::max);
+                println!(
+                    "{:>5.2}x {:>6} | {:>8.1} {:>9.1} {:>5.1}% {:>6} {:>6} | {:>8.1} {:>8.1} | {:>5.1}%",
+                    load,
+                    fault_tag,
+                    est.offered_per_s,
+                    est.goodput_imgs_per_s,
+                    100.0 * est.shed_rate,
+                    retries,
+                    throttled,
+                    p99,
+                    p999,
+                    100.0 * lastq,
+                );
+
+                for t in &est.tenants {
+                    if t.offered > 0 && t.served == 0 {
+                        gate_failures.push(format!(
+                            "{pair_name}/{phone_tag}/{fault_tag}/x{load}: tenant {} starved — \
+                             {} offered, none served",
+                            t.name, t.offered
+                        ));
+                    }
+                }
+                by_mode.push((
+                    fault_tag,
+                    Measurement {
+                        pair: pair_name.clone(),
+                        phone: phone_tag,
+                        fault: fault_tag,
+                        load,
+                        est,
+                        lastq_shed_rate: lastq,
+                    },
+                ));
+            }
+
+            // Post-burst recovery: by the last quarter of the horizon the
+            // fault burst (second fifth) is long over; its backlog must
+            // have been shed or absorbed, not left to poison later
+            // arrivals.
+            let clean = by_mode[0].1.lastq_shed_rate;
+            let faulted = by_mode[1].1.lastq_shed_rate;
+            if faulted > clean + RECOVERY_EPS {
+                gate_failures.push(format!(
+                    "{pair_name}/{phone_tag}/x{load}: no post-burst recovery — last-quarter \
+                     shed rate {:.1}% under faults vs {:.1}% clean",
+                    100.0 * faulted,
+                    100.0 * clean
+                ));
+            }
+            results.extend(by_mode.into_iter().map(|(_, m)| m));
+        }
+
+        // Graceful degradation, per fault mode: shed rate monotone in
+        // offered load, and goodput past the knee held near its peak.
+        for fault_tag in ["none", "burst"] {
+            let curve: Vec<&Measurement> = results
+                .iter()
+                .filter(|m| m.phone == *phone_tag && m.fault == fault_tag)
+                .collect();
+            for pair in curve.windows(2) {
+                if pair[1].est.shed_rate < pair[0].est.shed_rate - SHED_MONOTONE_EPS {
+                    gate_failures.push(format!(
+                        "{pair_name}/{phone_tag}/{fault_tag}: shed rate not monotone — \
+                         {:.1}% at x{} but {:.1}% at x{}",
+                        100.0 * pair[0].est.shed_rate,
+                        pair[0].load,
+                        100.0 * pair[1].est.shed_rate,
+                        pair[1].load
+                    ));
+                }
+            }
+            let peak = curve
+                .iter()
+                .map(|m| m.est.goodput_imgs_per_s)
+                .fold(0.0, f64::max);
+            if let Some(last) = curve.last() {
+                if last.est.goodput_imgs_per_s < GRACEFUL_FLOOR * peak {
+                    gate_failures.push(format!(
+                        "{pair_name}/{phone_tag}/{fault_tag}: goodput collapsed past the knee — \
+                         {:.1} imgs/s at x{} vs {:.1} peak",
+                        last.est.goodput_imgs_per_s, last.load, peak
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"openloop\",\n  \"unit\": \"goodput_imgs_per_s\",\n  \"results\": [\n",
+    );
+    for (i, m) in results.iter().enumerate() {
+        let tenants = m
+            .est
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tenant\": \"{}\", \"batch\": {}, \"offered\": {}, \"served\": {}, \
+                     \"shed\": {}, \"retries\": {}, \"throttled\": {}, \"p50_ms\": {:.3}, \
+                     \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
+                     \"slo_ms\": {:.3}, \"slo_met\": {}}}",
+                    json_escape(&t.name),
+                    t.admission.batch,
+                    t.offered,
+                    t.served,
+                    t.shed,
+                    t.retries,
+                    t.throttled,
+                    t.p50_ms,
+                    t.p95_ms,
+                    t.p99_ms,
+                    t.p999_ms,
+                    t.admission.slo_ms.unwrap_or(0.0),
+                    t.slo_met
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        json.push_str(&format!(
+            "    {{\"pair\": \"{}\", \"phone\": \"{}\", \"fault\": \"{}\", \"load\": {:.2}, \
+             \"streams\": {}, \"duration_ms\": {:.3}, \"offered_per_s\": {:.1}, \
+             \"goodput_imgs_per_s\": {:.1}, \"shed_rate\": {:.4}, \
+             \"lastq_shed_rate\": {:.4}, \"tenants\": [{}]}}{}\n",
+            json_escape(&m.pair),
+            m.phone,
+            m.fault,
+            m.load,
+            m.est.streams,
+            m.est.duration_ms,
+            m.est.offered_per_s,
+            m.est.goodput_imgs_per_s,
+            m.est.shed_rate,
+            m.lastq_shed_rate,
+            tenants,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("openloop gate: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "openloop gate: no tenant starved on any row, shed rate is monotone in offered load \
+         and goodput holds past the knee in both fault modes, and post-burst last-quarter \
+         shedding recovers to the clean run's level at every load"
+    );
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = parse_rows(&text, &KEY_FIELDS, METRIC);
+        if baseline.is_empty() {
+            eprintln!("error: baseline {path} holds no parsable rows");
+            std::process::exit(1);
+        }
+        let current: Vec<Row> = results.iter().map(Measurement::row).collect();
+        let failures = diff_rows(
+            &baseline,
+            &current,
+            max_regression,
+            Better::Higher,
+            "BENCH_openloop.json",
+            "imgs/s",
+            |_| true,
+        );
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("baseline diff: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "baseline diff vs {path}: {} rows matched, no regression beyond {max_regression:.2}x",
+            baseline.len()
+        );
+    }
+}

@@ -5,8 +5,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use phonebit_cli::{
-    cmd_bench, cmd_gen, cmd_info, cmd_plan, cmd_run, cmd_serve, cmd_serve_multitenant, CliError,
-    USAGE,
+    cmd_bench, cmd_gen, cmd_info, cmd_plan, cmd_run, cmd_serve, cmd_serve_multitenant,
+    cmd_serve_openloop, CliError, USAGE,
 };
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -99,6 +99,35 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
                 })
                 .collect::<Result<_, _>>()?;
             let models = flag_values(rest, "--model");
+            let arrivals = flag_values(rest, "--arrival");
+            if !arrivals.is_empty() {
+                // Open-loop serving: seeded arrivals, optional fault plan.
+                let streams = count_flag("--streams")?.unwrap_or(2);
+                let duration_ms: f64 = flag_value(rest, "--duration")
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| CliError::Usage(format!("bad --duration `{s}`")))
+                    })
+                    .transpose()?
+                    .unwrap_or(100.0);
+                let fault = flag_value(rest, "--fault");
+                let paths: Vec<PathBuf> = if models.is_empty() {
+                    pos.iter().map(|p| PathBuf::from(p.as_str())).collect()
+                } else {
+                    models.iter().map(PathBuf::from).collect()
+                };
+                return cmd_serve_openloop(
+                    &paths,
+                    &slos,
+                    &arrivals,
+                    fault.as_deref(),
+                    &phone,
+                    batch,
+                    duration_ms,
+                    streams,
+                    seed,
+                );
+            }
             if models.len() >= 2 {
                 // Co-resident multi-tenant serving: one tenant per --model.
                 let streams = count_flag("--streams")?.unwrap_or(2);

@@ -15,10 +15,10 @@ use std::path::Path;
 use phonebit_core::format::{load_file, save_file};
 use phonebit_core::{
     convert, estimate_arch, max_feasible_batch_multitenant, max_feasible_batch_sharded,
-    plan_multitenant, plan_on_sharded, DeviceRuntime, PbitLayer, PbitModel, ServeOptions,
-    ServeRuntime, Session, TenantSpec, TenantTraffic,
+    plan_multitenant, plan_on_sharded, ArrivalProcess, DeviceRuntime, OpenLoopOptions, PbitLayer,
+    PbitModel, ServeOptions, ServeRuntime, Session, TenantSpec, TenantTraffic,
 };
-use phonebit_gpusim::Phone;
+use phonebit_gpusim::{FaultPlan, Phone};
 use phonebit_models::zoo::{self, Variant};
 use phonebit_models::{fill_weights, synthetic_image};
 use phonebit_nn::graph::NetworkArch;
@@ -460,6 +460,200 @@ pub fn cmd_serve_multitenant(
     Ok(out)
 }
 
+/// `pbit serve --model a.pbit [--model b.pbit]... --arrival <spec>...
+/// [--fault <spec>] [--duration MS] [--slo-ms T]... [--phone x9]
+/// [--batch N] [--streams S] [--seed N]`: open-loop fault-tolerant
+/// serving through [`DeviceRuntime::serve_open_loop`].
+///
+/// Each `--arrival` pairs positionally with a `--model` (the last spec
+/// repeats for extra tenants): `poisson:<rate>`,
+/// `burst:<base>:<burst>:<period_ms>:<frac>`, or `heavytail:<rate>:<alpha>`
+/// (rates per second). Requests arrive on the seeded process over
+/// `--duration` milliseconds; deadlines anchor to arrival time (+SLO).
+/// `--fault` injects a seeded [`FaultPlan`]
+/// (`rate=<p>,throttle=<a>-<b>@<x>,burst=<a>-<b>@<p>,seed=<n>`); the
+/// runtime retries faulted windows with backoff, sheds hopeless
+/// deadlines, and replans batches under shed pressure. `--batch`
+/// defaults to 1 (arrival-anchored deadlines punish waiting on window
+/// fill). The table shows per-tenant shed/retry/throttle counters next
+/// to the percentiles.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI flags one-to-one
+pub fn cmd_serve_openloop(
+    paths: &[std::path::PathBuf],
+    slos: &[Option<f64>],
+    arrivals: &[String],
+    fault: Option<&str>,
+    phone: &str,
+    batch: Option<usize>,
+    duration_ms: f64,
+    streams: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    if paths.is_empty() || batch == Some(0) || streams == 0 {
+        return Err(CliError::Usage(
+            "serve needs >= 1 model, --batch >= 1 and --streams >= 1".into(),
+        ));
+    }
+    if duration_ms <= 0.0 {
+        return Err(CliError::Usage("serve needs --duration > 0 (ms)".into()));
+    }
+    if slos.iter().flatten().any(|s| *s <= 0.0) {
+        return Err(CliError::Usage("serve needs --slo-ms > 0".into()));
+    }
+    if arrivals.is_empty() {
+        return Err(CliError::Usage(
+            "open-loop serve needs at least one --arrival spec".into(),
+        ));
+    }
+    let procs: Vec<ArrivalProcess> = (0..paths.len())
+        .map(|t| {
+            let spec = arrivals
+                .get(t)
+                .unwrap_or_else(|| arrivals.last().expect("arrivals checked non-empty above"));
+            ArrivalProcess::parse(spec)
+                .map_err(|e| CliError::Usage(format!("bad --arrival `{spec}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let fault_plan = fault
+        .map(|spec| {
+            FaultPlan::parse(spec)
+                .map_err(|e| CliError::Usage(format!("bad --fault `{spec}`: {e}")))
+        })
+        .transpose()?;
+    let phone = phone_by_name(phone)?;
+
+    let mut specs = Vec::with_capacity(paths.len());
+    let mut inputs = Vec::with_capacity(paths.len());
+    for (i, path) in paths.iter().enumerate() {
+        let model = load_file(path)?;
+        inputs.push((model.input, model.takes_u8_input()));
+        let mut spec = TenantSpec::new(model);
+        // Open-loop deadlines are anchored to arrival, so a window waits
+        // on its own members before it can even start: default to
+        // latency-oriented single-request windows instead of letting
+        // admission pick its throughput-oriented batch.
+        spec.batch = Some(batch.unwrap_or(1));
+        spec.slo_ms = slos.get(i).copied().flatten();
+        specs.push(spec);
+    }
+    let mut runtime =
+        DeviceRuntime::new(specs, &phone, streams).map_err(|e| CliError::Engine(e.to_string()))?;
+    runtime.clock().set_fault_plan(fault_plan.clone());
+
+    // Seeded arrivals per tenant, then one synthetic request per arrival.
+    let arrivals_ms: Vec<Vec<f64>> = procs
+        .iter()
+        .enumerate()
+        .map(|(t, p)| p.times_ms(seed.wrapping_add(t as u64), duration_ms))
+        .collect();
+    let mut u8_reqs: Vec<Vec<phonebit_tensor::Tensor<u8>>> = Vec::new();
+    let mut f32_reqs: Vec<Vec<phonebit_tensor::Tensor<f32>>> = Vec::new();
+    for (t, &(input, takes_u8)) in inputs.iter().enumerate() {
+        let count = arrivals_ms[t].len();
+        let imgs: Vec<_> = (0..count)
+            .map(|i| synthetic_image(input, seed + (t * 100_000 + i) as u64))
+            .collect();
+        if takes_u8 {
+            u8_reqs.push(imgs);
+            f32_reqs.push(Vec::new());
+        } else {
+            f32_reqs.push(imgs.iter().map(phonebit_models::to_float_input).collect());
+            u8_reqs.push(Vec::new());
+        }
+    }
+    let traffic: Vec<TenantTraffic<'_>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(t, &(_, takes_u8))| {
+            if takes_u8 {
+                TenantTraffic::U8(&u8_reqs[t])
+            } else {
+                TenantTraffic::F32(&f32_reqs[t])
+            }
+        })
+        .collect();
+    let report = runtime
+        .serve_open_loop(&traffic, &arrivals_ms, &OpenLoopOptions::default())
+        .map_err(|e| CliError::Engine(e.to_string()))?;
+
+    let offered: usize = report.tenants.iter().map(|t| t.offered).sum();
+    let served: usize = report.tenants.iter().map(|t| t.served).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "open-loop served {} tenants ({} offered, {} served, {} shed) across {} pooled \
+         streams on {} ({}) over {duration_ms:.1} ms of arrivals",
+        report.tenants.len(),
+        offered,
+        served,
+        offered - served,
+        report.streams,
+        phone.name,
+        phone.gpu.name
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        match &fault_plan {
+            Some(f) => format!(
+                "fault plan: rate {:.3}, {} throttle epoch(s), seed {}",
+                f.failure_rate(),
+                f.throttle_epochs().len(),
+                f.seed()
+            ),
+            None => "no fault plan".to_string(),
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>5} {:>7} {:>6} {:>5} {:>5} {:>5} {:>9} {:>9} {:>9} {:>10} {:>12}",
+        "tenant",
+        "batch",
+        "offered",
+        "served",
+        "shed",
+        "retry",
+        "thrtl",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "p99.9(ms)",
+        "slo"
+    );
+    for tr in &report.tenants {
+        let slo = match tr.slo_ms {
+            Some(s) => format!("{s:.1}ms {}", if tr.slo_met { "MET" } else { "MISSED" }),
+            None => "-".into(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>7} {:>6} {:>5} {:>5} {:>5} {:>9.3} {:>9.3} {:>9.3} {:>10.3} {:>12}",
+            tr.name,
+            tr.batch,
+            tr.offered,
+            tr.served,
+            tr.shed,
+            tr.retries,
+            tr.throttled,
+            tr.p50_ms,
+            tr.p95_ms,
+            tr.p99_ms,
+            tr.p999_ms,
+            slo
+        );
+    }
+    let _ = writeln!(
+        out,
+        "aggregate goodput {:.1} imgs/s over {:.3} ms wall; {} replan{}; resident {:.2} MiB",
+        report.goodput_imgs_per_s,
+        report.wall_ms,
+        report.replans,
+        if report.replans == 1 { "" } else { "s" },
+        runtime.resident_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    Ok(out)
+}
+
 /// `pbit plan <model> [--batch 4] [--streams 2] [--pair <model2>]`:
 /// deployment planning per phone — weights, the solo arena peak, the
 /// sharded (`streams × banks × Σ slots`) peak, and `max_feasible_batch`
@@ -597,6 +791,19 @@ USAGE:
                                                pairs with it), contention-aware
                                                admission, work-stealing scheduler,
                                                per-tenant percentile table
+    pbit serve --model <a.pbit> [--model <b.pbit>]... --arrival <spec>...
+               [--fault <spec>] [--duration 100] [--slo-ms T]... [--phone x9]
+               [--batch 1] [--streams 2] [--seed N]
+                                               open-loop fault-tolerant serving:
+                                               seeded arrivals (poisson:<rate/s> |
+                                               burst:<base>:<burst>:<period_ms>:<frac> |
+                                               heavytail:<rate/s>:<alpha>) over
+                                               --duration ms, arrival-anchored
+                                               deadlines, injected faults
+                                               (rate=<p>,throttle=<a>-<b>@<x>,
+                                               burst=<a>-<b>@<p>,seed=<n>) survived by
+                                               retry/backoff + deadline shedding;
+                                               prints shed/retry/throttle counters
     pbit plan  <model> [--batch 4] [--streams 2] [--pair <model2>]
                                                per-phone deployment plan: solo and
                                                sharded arena peaks, max feasible batch;
@@ -764,6 +971,75 @@ mod tests {
         ));
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn serve_openloop_prints_counters_next_to_percentiles() {
+        let a = tmp("ol_a.pbit");
+        let b = tmp("ol_b.pbit");
+        cmd_gen("yolo-micro", &a, 7).unwrap();
+        cmd_gen("alexnet-micro", &b, 9).unwrap();
+        let run = || {
+            cmd_serve_openloop(
+                &[a.clone(), b.clone()],
+                &[Some(50.0), None],
+                &["poisson:400".into(), "burst:200:2000:20:0.25".into()],
+                Some("rate=0.2,throttle=10-30@1.5,seed=5"),
+                "x9",
+                Some(2),
+                40.0,
+                2,
+                5,
+            )
+            .unwrap()
+        };
+        let out = run();
+        assert!(out.contains("open-loop served 2 tenants"), "{out}");
+        assert!(out.contains("fault plan: rate 0.200"), "{out}");
+        for col in ["shed", "retry", "thrtl", "p99.9(ms)"] {
+            assert!(out.contains(col), "missing column {col}: {out}");
+        }
+        assert!(out.contains("aggregate goodput"), "{out}");
+        // Same seed ⇒ the whole report reproduces bit-for-bit.
+        assert_eq!(out, run(), "open-loop serving must be deterministic");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn serve_openloop_rejects_bad_specs() {
+        let a = tmp("ol_bad.pbit");
+        cmd_gen("yolo-micro", &a, 7).unwrap();
+        let base = |arrival: &str, fault: Option<&str>, duration: f64| {
+            cmd_serve_openloop(
+                std::slice::from_ref(&a),
+                &[],
+                &[arrival.to_string()],
+                fault,
+                "x9",
+                None,
+                duration,
+                1,
+                5,
+            )
+        };
+        assert!(matches!(
+            base("poisson:-3", None, 40.0),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            base("sawtooth:5", None, 40.0),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            base("poisson:400", Some("rate=2.5x"), 40.0),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            base("poisson:400", None, 0.0),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&a).ok();
     }
 
     #[test]

@@ -871,9 +871,70 @@ impl MultiStream {
 
     /// Whether tenant `tenant`'s staged arena fits this stream's pooled
     /// slice (always true for registered tenants; the check is what a
-    /// dynamic tenant-attach would consult).
+    /// dynamic tenant-attach consults).
     pub fn fits_tenant(&self, staged: &StagedModel) -> bool {
         staged.plan().staged_arena_bytes() <= self.pool_slice_bytes
+    }
+
+    /// Adds a lane for a dynamically attached tenant. The pooled slice is
+    /// **not** regrown — live attach must never restage the surviving
+    /// tenants — so the newcomer's staged arena must pass
+    /// [`MultiStream::fits_tenant`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when the tenant's staged arena
+    /// exceeds the existing pooled slice.
+    pub fn attach_lane(&mut self, staged: &Arc<StagedModel>) -> Result<(), EngineError> {
+        if !self.fits_tenant(staged) {
+            return Err(EngineError::OutOfMemory(SimError::OutOfMemory {
+                requested: staged.plan().staged_arena_bytes(),
+                in_use: 0,
+                budget: self.pool_slice_bytes,
+            }));
+        }
+        self.lanes
+            .push((Arc::clone(staged), ArenaState::stage(staged.plan())));
+        Ok(())
+    }
+
+    /// Removes tenant `tenant`'s lane; later tenants shift down one index.
+    /// The other lanes (arenas, priming) are untouched — live detach never
+    /// restages survivors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenant` is out of range.
+    pub fn detach_lane(&mut self, tenant: usize) {
+        self.lanes.remove(tenant);
+    }
+
+    /// Swaps tenant `tenant`'s lane for a restaged model (a shed-triggered
+    /// batch replan), preparing a fresh cold arena for it. Subject to the
+    /// same pooled-slice bound as [`MultiStream::attach_lane`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when the restaged arena
+    /// exceeds the existing pooled slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenant` is out of range.
+    pub fn replace_lane(
+        &mut self,
+        tenant: usize,
+        staged: &Arc<StagedModel>,
+    ) -> Result<(), EngineError> {
+        if !self.fits_tenant(staged) {
+            return Err(EngineError::OutOfMemory(SimError::OutOfMemory {
+                requested: staged.plan().staged_arena_bytes(),
+                in_use: 0,
+                budget: self.pool_slice_bytes,
+            }));
+        }
+        self.lanes[tenant] = (Arc::clone(staged), ArenaState::stage(staged.plan()));
+        Ok(())
     }
 
     /// The dispatch timeline of the most recent window.

@@ -33,10 +33,22 @@
 //! admission against the other tenants' registered dispatch mix.
 //! [`serve::ServeRuntime`] is the single-tenant wrapper.
 //!
+//! For robustness, the runtime also serves **open-loop**: requests arrive
+//! on seeded stochastic processes ([`arrival::ArrivalProcess`]) with
+//! deadlines anchored to arrival, and
+//! [`serve::DeviceRuntime::serve_open_loop`] survives an injected
+//! [`phonebit_gpusim::FaultPlan`] (transient dispatch failures, thermal
+//! throttle epochs) by bounded retry with backoff, deadline shedding, and
+//! shed-triggered batch replans — with live
+//! [`attach`](serve::DeviceRuntime::attach) /
+//! [`detach`](serve::DeviceRuntime::detach) that never restage surviving
+//! tenants.
+//!
 //! [`convert`]: convert::convert
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod builder;
 pub mod convert;
 pub mod engine;
@@ -48,6 +60,7 @@ pub mod planner;
 pub mod serve;
 pub mod stats;
 
+pub use arrival::ArrivalProcess;
 pub use builder::NetworkBuilder;
 pub use convert::convert;
 pub use engine::{ActivationData, EngineError, MultiStream, Session, StagedModel, Stream};
@@ -60,9 +73,12 @@ pub use planner::{
     ConvPath, ConvPlan, MemoryPlan, MultiTenantPlan,
 };
 pub use serve::{
-    estimate_serve, estimate_serve_multitenant, schedule_windows, Admission, DeviceRuntime,
-    MultiServeReport, MultiTenantEstimate, ScheduledWindow, ServeEstimate, ServeOptions,
-    ServeReport, ServeRuntime, Tenant, TenantEstimate, TenantLoad, TenantServeReport, TenantSpec,
-    TenantTraffic, TenantWorkload,
+    estimate_serve, estimate_serve_multitenant, estimate_serve_open_loop, schedule_open_loop,
+    schedule_windows, Admission, DeviceRuntime, MultiServeReport, MultiTenantEstimate,
+    OpenLoopAttempt, OpenLoopEstimate, OpenLoopLoad, OpenLoopOptions, OpenLoopReport,
+    OpenLoopSchedule, OpenLoopWindow, OpenLoopWorkload, RetryPolicy, ScheduledWindow,
+    ServeEstimate, ServeOptions, ServeReport, ServeRuntime, ShedReason, Tenant, TenantEstimate,
+    TenantLoad, TenantOpenLoopEstimate, TenantOpenLoopReport, TenantServeReport, TenantSpec,
+    TenantTraffic, TenantWorkload, WindowFate,
 };
 pub use stats::{LayerRun, RunReport};

@@ -56,6 +56,228 @@ use crate::cost::{Contention, QueueLoad};
 use crate::device::DeviceProfile;
 use crate::ndrange::NdRange;
 
+/// A thermal-throttle epoch: between `start_ms` and `end_ms` of modeled
+/// wall time the SoC derates its clocks and every window runs `slowdown`×
+/// slower. Epochs may overlap; slowdowns multiply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleEpoch {
+    /// Epoch start, modeled wall milliseconds.
+    pub start_ms: f64,
+    /// Epoch end (exclusive), modeled wall milliseconds.
+    pub end_ms: f64,
+    /// Service-time multiplier while the epoch is active (`>= 1`).
+    pub slowdown: f64,
+}
+
+/// A time-localized burst of elevated transient dispatch-failure
+/// probability, layered on top of [`FaultPlan::failure_rate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultBurst {
+    /// Burst start, modeled wall milliseconds.
+    pub start_ms: f64,
+    /// Burst end (exclusive), modeled wall milliseconds.
+    pub end_ms: f64,
+    /// Additional per-attempt failure probability while active.
+    pub rate: f64,
+}
+
+/// A seeded, deterministic device-fault schedule.
+///
+/// Two fault classes, mirroring what real mobile SoCs do under load:
+///
+/// - **Transient dispatch failures**: an execution attempt is lost and
+///   must be retried. Whether a given attempt faults is a pure function
+///   of `(seed, key, time)` — the caller keys attempts by stable identity
+///   (tenant, window index, attempt number), so schedulers and executors
+///   that enumerate attempts in *different orders* (or on different
+///   threads) still observe the **identical** fault outcomes. That is
+///   what preserves the modeled-vs-executed no-drift invariant under
+///   injected faults.
+/// - **Thermal throttling**: during a [`ThrottleEpoch`] the whole SoC is
+///   derated and service times stretch by the epoch's slowdown factor.
+///   The derating is a function of modeled wall time, so a scheduler
+///   placing a window at `t` and an executor running it at the same
+///   modeled `t` apply the same factor.
+///
+/// A plan with zero failure rate, no bursts, and no epochs is benign:
+/// attaching it changes nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    failure_rate: f64,
+    throttle: Vec<ThrottleEpoch>,
+    bursts: Vec<FaultBurst>,
+}
+
+impl FaultPlan {
+    /// A benign plan (no failures, no throttling) rolled from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            failure_rate: 0.0,
+            throttle: Vec::new(),
+            bursts: Vec::new(),
+        }
+    }
+
+    /// Sets the base per-attempt transient failure probability.
+    pub fn with_failure_rate(mut self, rate: f64) -> Self {
+        self.failure_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds a thermal-throttle epoch.
+    pub fn with_throttle(mut self, epoch: ThrottleEpoch) -> Self {
+        self.throttle.push(epoch);
+        self
+    }
+
+    /// Adds a time-localized failure burst.
+    pub fn with_burst(mut self, burst: FaultBurst) -> Self {
+        self.bursts.push(burst);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The base per-attempt failure probability.
+    pub fn failure_rate(&self) -> f64 {
+        self.failure_rate
+    }
+
+    /// The registered throttle epochs.
+    pub fn throttle_epochs(&self) -> &[ThrottleEpoch] {
+        &self.throttle
+    }
+
+    /// True when the plan can never perturb an execution.
+    pub fn is_benign(&self) -> bool {
+        self.failure_rate <= 0.0
+            && self.bursts.iter().all(|b| b.rate <= 0.0)
+            && self.throttle.iter().all(|e| e.slowdown <= 1.0)
+    }
+
+    /// The effective per-attempt failure probability at modeled wall time
+    /// `at_ms`: the base rate plus every active burst, clamped to `[0, 1]`.
+    pub fn failure_rate_at(&self, at_ms: f64) -> f64 {
+        let burst: f64 = self
+            .bursts
+            .iter()
+            .filter(|b| at_ms >= b.start_ms && at_ms < b.end_ms)
+            .map(|b| b.rate.max(0.0))
+            .sum();
+        (self.failure_rate + burst).clamp(0.0, 1.0)
+    }
+
+    /// The service-time stretch factor at modeled wall time `at_ms`: the
+    /// product of every active epoch's slowdown, never below 1.
+    pub fn slowdown_at(&self, at_ms: f64) -> f64 {
+        self.throttle
+            .iter()
+            .filter(|e| at_ms >= e.start_ms && at_ms < e.end_ms)
+            .map(|e| e.slowdown.max(1.0))
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// Whether the attempt identified by `key` faults when it starts at
+    /// modeled wall time `at_ms`.
+    ///
+    /// `key` must be a stable identity of the attempt (e.g. a hash of
+    /// tenant, window index, and attempt number) — **not** a dispatch
+    /// counter — so concurrent executors and sequential schedulers roll
+    /// the same outcome regardless of interleaving.
+    pub fn attempt_faults(&self, key: u64, at_ms: f64) -> bool {
+        let rate = self.failure_rate_at(at_ms);
+        if rate <= 0.0 {
+            return false;
+        }
+        // SplitMix64 finalizer over the seeded key: a uniform in [0, 1).
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let uniform = (z >> 11) as f64 / (1u64 << 53) as f64;
+        uniform < rate
+    }
+
+    /// Parses a `--fault` spec: comma-separated `key=value` fields.
+    ///
+    /// - `seed=<u64>` — the fault seed (default 0)
+    /// - `rate=<p>` — base per-attempt failure probability
+    /// - `throttle=<start>-<end>@<slowdown>` — a throttle epoch in ms
+    ///   (repeatable)
+    /// - `burst=<start>-<end>@<rate>` — a failure burst in ms (repeatable)
+    ///
+    /// Example: `rate=0.05,throttle=100-200@1.5,burst=50-80@0.3,seed=9`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::new(0);
+        for field in spec.split(',').filter(|f| !f.trim().is_empty()) {
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault field `{field}` is not key=value"))?;
+            match k.trim() {
+                "seed" => {
+                    plan.seed = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault seed `{v}`"))?;
+                }
+                "rate" => {
+                    let rate: f64 = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault rate `{v}`"))?;
+                    plan = plan.with_failure_rate(rate);
+                }
+                "throttle" => {
+                    let (start_ms, end_ms, slowdown) = parse_window_at(v)
+                        .ok_or_else(|| format!("bad throttle `{v}` (want start-end@slowdown)"))?;
+                    plan = plan.with_throttle(ThrottleEpoch {
+                        start_ms,
+                        end_ms,
+                        slowdown,
+                    });
+                }
+                "burst" => {
+                    let (start_ms, end_ms, rate) = parse_window_at(v)
+                        .ok_or_else(|| format!("bad burst `{v}` (want start-end@rate)"))?;
+                    plan = plan.with_burst(FaultBurst {
+                        start_ms,
+                        end_ms,
+                        rate,
+                    });
+                }
+                other => return Err(format!("unknown fault field `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Parses `<start>-<end>@<value>` (all f64, start < end).
+fn parse_window_at(v: &str) -> Option<(f64, f64, f64)> {
+    let (range, value) = v.trim().split_once('@')?;
+    let (start, end) = range.split_once('-')?;
+    let start: f64 = start.trim().parse().ok()?;
+    let end: f64 = end.trim().parse().ok()?;
+    let value: f64 = value.trim().parse().ok()?;
+    // `partial_cmp` keeps NaN endpoints out (they compare as unordered).
+    if start.partial_cmp(&end) != Some(std::cmp::Ordering::Less)
+        || !value.is_finite()
+        || value < 0.0
+    {
+        return None;
+    }
+    Some((start, end, value))
+}
+
 /// Shared state of one device serving multiple command queues.
 #[derive(Debug)]
 pub struct DeviceClock {
@@ -74,6 +296,10 @@ pub struct DeviceClock {
     /// queue's perspective. `None` falls back to the symmetric
     /// `streams`-mirrors model.
     mix: RwLock<Option<Vec<QueueLoad>>>,
+    /// The injected fault schedule, if any. Both the open-loop scheduler
+    /// and the executor read the *same* plan off the shared clock, which
+    /// is what keeps modeled and executed fault outcomes identical.
+    fault: RwLock<Option<FaultPlan>>,
 }
 
 impl DeviceClock {
@@ -90,6 +316,7 @@ impl DeviceClock {
             busy_bits: AtomicU64::new(0f64.to_bits()),
             demand_bits: AtomicU64::new(0f64.to_bits()),
             mix: RwLock::new(None),
+            fault: RwLock::new(None),
         })
     }
 
@@ -122,6 +349,16 @@ impl DeviceClock {
     /// The registered other-queue mix, if any.
     pub fn mix(&self) -> Option<Vec<QueueLoad>> {
         self.mix.read().expect("mix lock poisoned").clone()
+    }
+
+    /// Installs (or clears) the injected fault schedule.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault.write().expect("fault lock poisoned") = plan;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault.read().expect("fault lock poisoned").clone()
     }
 
     /// Fraction of the device's compute units a dispatch of `ndrange` can
@@ -293,5 +530,100 @@ mod tests {
         // ALUs): 128 items fit one CU, a huge grid wants both.
         assert!((c.cu_frac_for(&NdRange::linear(128)) - 0.5).abs() < 1e-12);
         assert!((c.cu_frac_for(&NdRange::linear(1 << 20)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_order_independent() {
+        let plan = FaultPlan::new(7).with_failure_rate(0.3);
+        // Same (key, time) always rolls the same outcome.
+        let forward: Vec<bool> = (0..64).map(|k| plan.attempt_faults(k, 0.0)).collect();
+        let backward: Vec<bool> = (0..64).rev().map(|k| plan.attempt_faults(k, 0.0)).collect();
+        let reversed: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+        // The empirical rate tracks the configured one.
+        let n = 4096;
+        let hits = (0..n).filter(|&k| plan.attempt_faults(k, 0.0)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.05, "observed {frac}");
+        // A different seed rolls a different pattern.
+        let other = FaultPlan::new(8).with_failure_rate(0.3);
+        let differs = (0..64).any(|k| plan.attempt_faults(k, 0.0) != other.attempt_faults(k, 0.0));
+        assert!(differs);
+    }
+
+    #[test]
+    fn fault_rate_extremes_and_benign_plans() {
+        let never = FaultPlan::new(1);
+        assert!(never.is_benign());
+        assert!((0..256).all(|k| !never.attempt_faults(k, 0.0)));
+        let always = FaultPlan::new(1).with_failure_rate(1.0);
+        assert!((0..256).all(|k| always.attempt_faults(k, 0.0)));
+        assert!(!always.is_benign());
+        assert_eq!(always.failure_rate(), 1.0);
+        assert_eq!(always.seed(), 1);
+    }
+
+    #[test]
+    fn throttle_epochs_stretch_only_inside_their_window() {
+        let plan = FaultPlan::new(0)
+            .with_throttle(ThrottleEpoch {
+                start_ms: 100.0,
+                end_ms: 200.0,
+                slowdown: 1.5,
+            })
+            .with_throttle(ThrottleEpoch {
+                start_ms: 150.0,
+                end_ms: 250.0,
+                slowdown: 2.0,
+            });
+        assert_eq!(plan.slowdown_at(0.0), 1.0);
+        assert_eq!(plan.slowdown_at(120.0), 1.5);
+        // Overlapping epochs multiply.
+        assert_eq!(plan.slowdown_at(175.0), 3.0);
+        assert_eq!(plan.slowdown_at(225.0), 2.0);
+        assert_eq!(plan.slowdown_at(250.0), 1.0, "end is exclusive");
+        assert_eq!(plan.throttle_epochs().len(), 2);
+    }
+
+    #[test]
+    fn fault_bursts_localize_failures_in_time() {
+        let plan = FaultPlan::new(3).with_burst(FaultBurst {
+            start_ms: 50.0,
+            end_ms: 80.0,
+            rate: 1.0,
+        });
+        assert_eq!(plan.failure_rate_at(0.0), 0.0);
+        assert_eq!(plan.failure_rate_at(60.0), 1.0);
+        assert_eq!(plan.failure_rate_at(80.0), 0.0);
+        assert!((0..32).all(|k| !plan.attempt_faults(k, 10.0)));
+        assert!((0..32).all(|k| plan.attempt_faults(k, 60.0)));
+    }
+
+    #[test]
+    fn fault_spec_round_trips_through_parse() {
+        let plan = FaultPlan::parse("rate=0.05,throttle=100-200@1.5,burst=50-80@0.3,seed=9")
+            .expect("valid spec");
+        assert_eq!(plan.seed(), 9);
+        assert!((plan.failure_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(plan.slowdown_at(150.0), 1.5);
+        assert!((plan.failure_rate_at(60.0) - 0.35).abs() < 1e-12);
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::new(0));
+        assert!(FaultPlan::parse("rate=x").is_err());
+        assert!(FaultPlan::parse("nope=1").is_err());
+        assert!(
+            FaultPlan::parse("throttle=200-100@1.5").is_err(),
+            "start >= end"
+        );
+        assert!(FaultPlan::parse("burst=1-2").is_err());
+    }
+
+    #[test]
+    fn clock_stores_and_clears_the_fault_plan() {
+        let c = clock(2);
+        assert!(c.fault_plan().is_none());
+        c.set_fault_plan(Some(FaultPlan::new(4).with_failure_rate(0.1)));
+        assert_eq!(c.fault_plan().unwrap().seed(), 4);
+        c.set_fault_plan(None);
+        assert!(c.fault_plan().is_none());
     }
 }

@@ -1,0 +1,426 @@
+//! Open-loop fault-tolerant serving contracts: with a seeded fault plan
+//! the pass is deterministic (same seed ⇒ identical shed/retry counters
+//! and schedule) and every **surviving** output is bit-exact with a
+//! fault-free run of the same requests; the scheduler never loses or
+//! duplicates a window under arbitrary fault plans (proptest); attaching
+//! and detaching tenants mid-run matches fresh staging bit-exactly; a
+//! light tenant's p95 stays bounded while a heavy neighbor retries; and
+//! the modeled schedule equals the executed one attempt-by-attempt even
+//! through faults and thermal throttling.
+
+use std::collections::BTreeMap;
+
+use phonebit::core::serve::{
+    schedule_open_loop, DeviceRuntime, OpenLoopLoad, OpenLoopOptions, OpenLoopReport,
+    OpenLoopWindow, RetryPolicy, ShedReason, TenantSpec, TenantTraffic, WindowFate,
+};
+use phonebit::core::{convert, ActivationData, Session};
+use phonebit::gpusim::{FaultPlan, Phone, ThrottleEpoch};
+use phonebit::models::zoo::{self, Variant};
+use phonebit::models::{fill_weights, synthetic_image};
+use phonebit::tensor::Tensor;
+use proptest::prelude::*;
+
+fn yolo_model() -> phonebit::core::PbitModel {
+    convert(&fill_weights(&zoo::yolo_micro(Variant::Binary), 11))
+}
+
+fn alex_model() -> phonebit::core::PbitModel {
+    convert(&fill_weights(&zoo::alexnet_micro(Variant::Binary), 7))
+}
+
+fn yolo_reqs(count: usize) -> Vec<Tensor<u8>> {
+    let input = zoo::yolo_micro(Variant::Binary).input;
+    (0..count)
+        .map(|i| synthetic_image(input, 300 + i as u64))
+        .collect()
+}
+
+fn alex_reqs(count: usize) -> Vec<Tensor<u8>> {
+    let input = zoo::alexnet_micro(Variant::Binary).input;
+    (0..count)
+        .map(|i| synthetic_image(input, 700 + i as u64))
+        .collect()
+}
+
+fn assert_same_activation(a: &ActivationData, b: &ActivationData, what: &str) {
+    match (a, b) {
+        (ActivationData::Bits(x), ActivationData::Bits(y)) => assert_eq!(x, y, "{what}"),
+        (ActivationData::Floats(x), ActivationData::Floats(y)) => assert_eq!(x, y, "{what}"),
+        (ActivationData::Bytes(x), ActivationData::Bytes(y)) => assert_eq!(x, y, "{what}"),
+        _ => panic!("{what}: activation kinds diverged"),
+    }
+}
+
+fn pair_runtime(phone: &Phone) -> DeviceRuntime {
+    DeviceRuntime::new(
+        vec![
+            TenantSpec::new(yolo_model()).with_batch(2),
+            TenantSpec::new(alex_model()).with_batch(2),
+        ],
+        phone,
+        2,
+    )
+    .expect("pair fits")
+}
+
+fn serve_pair(
+    phone: &Phone,
+    fault: Option<&FaultPlan>,
+    reqs_a: &[Tensor<u8>],
+    reqs_b: &[Tensor<u8>],
+    arrivals: &[Vec<f64>],
+) -> OpenLoopReport {
+    let mut runtime = pair_runtime(phone);
+    runtime.clock().set_fault_plan(fault.cloned());
+    runtime
+        .serve_open_loop(
+            &[TenantTraffic::U8(reqs_a), TenantTraffic::U8(reqs_b)],
+            arrivals,
+            &OpenLoopOptions::default(),
+        )
+        .expect("serve")
+}
+
+#[test]
+fn faulted_pass_is_deterministic_and_survivors_match_fault_free_bit_exactly() {
+    let phone = Phone::xiaomi_9();
+    let reqs_a = yolo_reqs(8);
+    let reqs_b = alex_reqs(6);
+    let arrivals = vec![
+        (0..8).map(|i| i as f64 * 0.4).collect::<Vec<_>>(),
+        (0..6).map(|i| i as f64 * 0.6).collect::<Vec<_>>(),
+    ];
+    let fault = FaultPlan::new(2024).with_failure_rate(0.3);
+
+    let faulted = serve_pair(&phone, Some(&fault), &reqs_a, &reqs_b, &arrivals);
+    let retries: usize = faulted.tenants.iter().map(|t| t.retries).sum();
+    assert!(
+        retries > 0,
+        "rate 0.3 over 7 windows should fault at least once"
+    );
+
+    // Same seed, fresh runtime: identical counters and schedule.
+    let again = serve_pair(&phone, Some(&fault), &reqs_a, &reqs_b, &arrivals);
+    assert_eq!(faulted.schedule, again.schedule);
+    for (a, b) in faulted.tenants.iter().zip(again.tenants.iter()) {
+        assert_eq!(a.shed, b.shed, "shed counters diverged");
+        assert_eq!(a.retries, b.retries, "retry counters diverged");
+        assert_eq!(a.throttled, b.throttled, "throttle counters diverged");
+    }
+
+    // No SLO ⇒ the fault-free pass serves everything; every request the
+    // faulted pass served must match it bit-exactly.
+    let clean = serve_pair(&phone, None, &reqs_a, &reqs_b, &arrivals);
+    for (t, (ft, ct)) in faulted.tenants.iter().zip(clean.tenants.iter()).enumerate() {
+        assert_eq!(ct.served, ct.offered, "fault-free run sheds nothing");
+        for (i, out) in ft.outputs.iter().enumerate() {
+            if let Some(got) = out {
+                let want = ct.outputs[i].as_ref().expect("fault-free output");
+                assert_same_activation(got, want, &format!("tenant {t} request {i}"));
+            }
+        }
+        assert_eq!(
+            ft.outputs.iter().filter(|o| o.is_some()).count(),
+            ft.served,
+            "served count matches committed outputs"
+        );
+    }
+}
+
+#[test]
+fn modeled_and_executed_attempts_agree_under_faults_and_throttle() {
+    let phone = Phone::xiaomi_9();
+    let reqs_a = yolo_reqs(6);
+    let reqs_b = alex_reqs(4);
+    let arrivals = vec![
+        (0..6).map(|i| i as f64 * 0.3).collect::<Vec<_>>(),
+        (0..4).map(|i| i as f64 * 0.5).collect::<Vec<_>>(),
+    ];
+    // Faults, a throttle epoch, and a localized fault burst all at once.
+    let fault = FaultPlan::new(77)
+        .with_failure_rate(0.2)
+        .with_throttle(ThrottleEpoch {
+            start_ms: 1.0,
+            end_ms: 4.0,
+            slowdown: 1.8,
+        })
+        .with_burst(phonebit::gpusim::FaultBurst {
+            start_ms: 2.0,
+            end_ms: 5.0,
+            rate: 0.5,
+        });
+    let report = serve_pair(&phone, Some(&fault), &reqs_a, &reqs_b, &arrivals);
+    assert!(
+        report.schedule.attempts.iter().any(|a| a.slowdown > 1.0),
+        "some attempt lands inside the throttle epoch"
+    );
+    for (k, at) in report.schedule.attempts.iter().enumerate() {
+        let modeled = at.end_ms - at.start_ms;
+        let executed = report.attempt_exec_ms[k];
+        assert!(
+            (modeled - executed).abs() < 1e-9 * modeled.max(1.0),
+            "attempt {k} (tenant {}, window {}, attempt {}): \
+             executed {executed} ms vs modeled {modeled} ms",
+            at.tenant,
+            at.index,
+            at.attempt
+        );
+    }
+}
+
+#[test]
+fn attach_and_detach_mid_run_match_fresh_staging_bit_exactly() {
+    let phone = Phone::xiaomi_9();
+    let reqs_a = yolo_reqs(6);
+    let reqs_b = alex_reqs(4);
+    let arrivals_a: Vec<f64> = (0..6).map(|i| i as f64 * 0.4).collect();
+    let arrivals_b: Vec<f64> = (0..4).map(|i| i as f64 * 0.5).collect();
+
+    // Serve solo, attach a neighbor mid-run, serve the pair, detach it,
+    // serve solo again.
+    let mut runtime =
+        DeviceRuntime::new(vec![TenantSpec::new(yolo_model()).with_batch(2)], &phone, 2)
+            .expect("fits");
+    let before = runtime
+        .serve_open_loop(
+            &[TenantTraffic::U8(&reqs_a)],
+            std::slice::from_ref(&arrivals_a),
+            &OpenLoopOptions::default(),
+        )
+        .expect("solo pass");
+    let idx = runtime
+        .attach(TenantSpec::new(alex_model()).with_batch(2))
+        .expect("attach fits");
+    let pair = runtime
+        .serve_open_loop(
+            &[TenantTraffic::U8(&reqs_a), TenantTraffic::U8(&reqs_b)],
+            &[arrivals_a.clone(), arrivals_b.clone()],
+            &OpenLoopOptions::default(),
+        )
+        .expect("pair pass");
+    runtime.detach(idx).expect("detach");
+    let after = runtime
+        .serve_open_loop(
+            &[TenantTraffic::U8(&reqs_a)],
+            std::slice::from_ref(&arrivals_a),
+            &OpenLoopOptions::default(),
+        )
+        .expect("solo pass again");
+
+    // The attached tenant's outputs match a solo session bit-exactly.
+    let mut solo_b = Session::new(alex_model(), &phone).expect("fits");
+    for (i, req) in reqs_b.iter().enumerate() {
+        let want = solo_b.run_u8(req).expect("solo").output.unwrap();
+        let got = pair.tenants[1].outputs[i].as_ref().expect("served");
+        assert_same_activation(got, &want, &format!("attached tenant request {i}"));
+    }
+    // The survivor's outputs are identical before, during, and after —
+    // attach/detach never restaged it.
+    let mut solo_a = Session::new(yolo_model(), &phone).expect("fits");
+    for (i, req) in reqs_a.iter().enumerate() {
+        let want = solo_a.run_u8(req).expect("solo").output.unwrap();
+        for (phase, report) in [("before", &before), ("pair", &pair), ("after", &after)] {
+            let got = report.tenants[0].outputs[i].as_ref().expect("served");
+            assert_same_activation(got, &want, &format!("{phase}: survivor request {i}"));
+        }
+    }
+    // And the post-detach pass equals a freshly staged runtime's.
+    let mut fresh =
+        DeviceRuntime::new(vec![TenantSpec::new(yolo_model()).with_batch(2)], &phone, 2)
+            .expect("fits");
+    let want = fresh
+        .serve_open_loop(
+            &[TenantTraffic::U8(&reqs_a)],
+            &[arrivals_a],
+            &OpenLoopOptions::default(),
+        )
+        .expect("fresh pass");
+    assert_eq!(
+        after.schedule, want.schedule,
+        "schedule matches fresh staging"
+    );
+}
+
+#[test]
+fn light_tenant_p95_stays_bounded_while_heavy_neighbor_retries() {
+    let phone = Phone::xiaomi_9();
+    // Light tenant: sparse batch-1 windows. Heavy neighbor: dense batch-2
+    // stream that will be retrying under a 40% fault rate.
+    let light_reqs = yolo_reqs(4);
+    let heavy_reqs = alex_reqs(12);
+    let arrivals = vec![
+        (0..4).map(|i| i as f64 * 3.0).collect::<Vec<_>>(),
+        (0..12).map(|i| i as f64 * 0.25).collect::<Vec<_>>(),
+    ];
+    let serve = |fault: Option<&FaultPlan>| {
+        let mut runtime = DeviceRuntime::new(
+            vec![
+                TenantSpec::new(yolo_model()).with_batch(1),
+                TenantSpec::new(alex_model()).with_batch(2),
+            ],
+            &phone,
+            2,
+        )
+        .expect("fits");
+        runtime.clock().set_fault_plan(fault.cloned());
+        runtime
+            .serve_open_loop(
+                &[
+                    TenantTraffic::U8(&light_reqs),
+                    TenantTraffic::U8(&heavy_reqs),
+                ],
+                &arrivals,
+                &OpenLoopOptions::default(),
+            )
+            .expect("serve")
+    };
+    let clean = serve(None);
+    let fault = FaultPlan::new(99).with_failure_rate(0.4);
+    let faulted = serve(Some(&fault));
+    assert!(
+        faulted.tenants[1].retries > 0,
+        "the heavy neighbor must actually retry"
+    );
+    // The light tenant is served in full and its tail latency is bounded:
+    // work stealing keeps it interleaved with the neighbor's retries
+    // instead of parked behind them.
+    assert_eq!(faulted.tenants[0].served, faulted.tenants[0].offered);
+    let bound = 5.0 * clean.tenants[0].p95_ms + 5.0;
+    assert!(
+        faulted.tenants[0].p95_ms <= bound,
+        "light tenant p95 {:.3} ms exceeds bound {:.3} ms (fault-free p95 {:.3} ms)",
+        faulted.tenants[0].p95_ms,
+        bound,
+        clean.tenants[0].p95_ms
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler invariants under arbitrary fault plans (proptest)
+// ---------------------------------------------------------------------------
+
+fn mix64(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn synthetic_loads(seed: u64, sizes: &[usize], with_slo: bool) -> Vec<OpenLoopLoad> {
+    let mut z = seed;
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut t = 0.0f64;
+            let windows = (0..n)
+                .map(|_| {
+                    t += (mix64(&mut z) % 2000) as f64 / 100.0; // gaps in [0, 20) ms
+                    let deadline_ms = if with_slo {
+                        t + (mix64(&mut z) % 6000) as f64 / 100.0 // slack in [0, 60) ms
+                    } else {
+                        f64::INFINITY
+                    };
+                    OpenLoopWindow {
+                        ready_ms: t,
+                        deadline_ms,
+                    }
+                })
+                .collect();
+            OpenLoopLoad {
+                windows,
+                cold_ms: 15.0,
+                steady_ms: 10.0,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_window_is_lost_or_duplicated_under_any_fault_plan(
+        seed in any::<u64>(),
+        rate_pct in 0usize..101,
+        n0 in 1usize..10,
+        n1 in 1usize..10,
+        streams in 1usize..4,
+        max_retries in 0usize..4,
+        with_slo in any::<bool>(),
+    ) {
+        let loads = synthetic_loads(seed, &[n0, n1], with_slo);
+        let fault = FaultPlan::new(seed ^ 0xF00D).with_failure_rate(rate_pct as f64 / 100.0);
+        let policy = RetryPolicy { max_retries, backoff_scale: 0.5 };
+        let s = schedule_open_loop(&loads, streams, Some(&fault), &policy);
+
+        // Exactly one terminal fate per window — none lost, none duplicated.
+        prop_assert_eq!(s.fates.len(), loads.len());
+        for (t, load) in loads.iter().enumerate() {
+            prop_assert_eq!(s.fates[t].len(), load.windows.len());
+        }
+
+        // Group attempts per window: numbered 1..=k in start order, k
+        // bounded by the retry budget, start never before ready, and the
+        // fate agrees with the attempt trail.
+        // (attempt number, faulted, start time) per (tenant, window).
+        type AttemptTrail = Vec<(usize, bool, f64)>;
+        let mut per: BTreeMap<(usize, usize), AttemptTrail> = BTreeMap::new();
+        for at in &s.attempts {
+            prop_assert!(at.start_ms >= loads[at.tenant].windows[at.index].ready_ms - 1e-9);
+            prop_assert!(at.end_ms > at.start_ms);
+            per.entry((at.tenant, at.index))
+                .or_default()
+                .push((at.attempt, at.faulted, at.start_ms));
+        }
+        for ((t, i), mut trail) in per.clone() {
+            trail.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+            for (k, &(attempt, _, _)) in trail.iter().enumerate() {
+                prop_assert!(attempt == k + 1, "attempts numbered contiguously");
+            }
+            prop_assert!(trail.len() <= max_retries + 1, "retry budget respected");
+            // All attempts but possibly the last are faulted (a non-faulted
+            // attempt resolves the window immediately).
+            for &(_, faulted, _) in &trail[..trail.len() - 1] {
+                prop_assert!(faulted, "tenant {} window {}: early attempt not faulted", t, i);
+            }
+        }
+        for (t, fates) in s.fates.iter().enumerate() {
+            for (i, fate) in fates.iter().enumerate() {
+                let trail = per.get(&(t, i)).map_or(&[][..], Vec::as_slice);
+                match fate {
+                    WindowFate::Served { attempts, .. } => {
+                        prop_assert_eq!(trail.len(), *attempts);
+                        prop_assert!(!trail.last().unwrap().1, "serving attempt not faulted");
+                    }
+                    WindowFate::Shed { attempts, reason, .. } => {
+                        prop_assert_eq!(trail.len(), *attempts);
+                        prop_assert!(trail.iter().all(|&(_, f, _)| f), "shed windows only fault");
+                        if *reason == ShedReason::RetriesExhausted {
+                            prop_assert_eq!(*attempts, max_retries + 1);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Streams never run two attempts at once.
+        for stream in 0..streams {
+            let mut mine: Vec<(f64, f64)> = s
+                .attempts
+                .iter()
+                .filter(|a| a.stream == stream)
+                .map(|a| (a.start_ms, a.end_ms))
+                .collect();
+            mine.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for pair in mine.windows(2) {
+                prop_assert!(pair[1].0 >= pair[0].1 - 1e-9, "stream {} overlaps", stream);
+            }
+        }
+
+        // Deterministic in its inputs.
+        let again = schedule_open_loop(&loads, streams, Some(&fault), &policy);
+        prop_assert_eq!(s, again);
+    }
+}
