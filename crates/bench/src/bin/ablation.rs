@@ -8,6 +8,7 @@
 use phonebit_core::plan::StepOp;
 use phonebit_core::{
     estimate_arch, estimate_arch_opts, select_conv_path, EstimateOptions, ExecutionPlan,
+    FusionMode, RouteOverrides,
 };
 use phonebit_gpusim::calib::{CostParams, EnergyParams};
 use phonebit_gpusim::cost::estimate;
@@ -102,6 +103,40 @@ fn main() {
         plan.slots.len(),
         plan.arena_bytes() as f64 / 1e3,
         plan.weights_bytes as f64 / 1e3
+    );
+
+    // Per-chain fusion decisions, scored with the same latency/arena/energy
+    // model the route table uses — the split form pays one launch overhead
+    // per kernel, the fused form pays one for the whole chain.
+    let fused_plan = ExecutionPlan::for_arch_with(
+        &arch,
+        &phone.gpu,
+        RouteOverrides {
+            fusion: FusionMode::Auto,
+            ..Default::default()
+        },
+    );
+    println!("inter-layer fusion chains (same score; split pays per-kernel launch):");
+    println!(
+        "  {:<18} {:>6} {:>11} {:>11} {:>12} {:>12}  chosen",
+        "chain", "disp", "split(ms)", "fused(ms)", "split score", "fused score"
+    );
+    for d in &fused_plan.chains {
+        println!(
+            "  {:<18} {:>4}→1 {:>11.3} {:>11.3} {:>12.3} {:>12.3}  {}",
+            d.label,
+            d.split_dispatches,
+            d.split_s * 1e3,
+            d.fused_s * 1e3,
+            d.split_score * 1e3,
+            d.fused_score * 1e3,
+            if d.fused { "fused" } else { "split" }
+        );
+    }
+    println!(
+        "  dispatches/image: {} unfused → {} fused\n",
+        plan.dispatches(),
+        fused_plan.dispatches()
     );
 
     println!("network-level (one optimization disabled at a time):");

@@ -15,8 +15,9 @@ use std::path::Path;
 use phonebit_core::format::{load_file, save_file};
 use phonebit_core::{
     convert, estimate_arch, max_feasible_batch_multitenant, max_feasible_batch_sharded,
-    plan_multitenant, plan_on_sharded, ArrivalProcess, DeviceRuntime, OpenLoopOptions, PbitLayer,
-    PbitModel, ServeOptions, ServeRuntime, Session, TenantSpec, TenantTraffic,
+    plan_multitenant, plan_on_sharded, ArrivalProcess, DeviceRuntime, ExecutionPlan, FusionMode,
+    OpenLoopOptions, PbitLayer, PbitModel, RouteOverrides, ServeOptions, ServeRuntime, Session,
+    TenantSpec, TenantTraffic,
 };
 use phonebit_gpusim::{FaultPlan, Phone};
 use phonebit_models::zoo::{self, Variant};
@@ -289,6 +290,7 @@ fn cmd_serve_sharded(
             streams,
             batch,
             slo_ms,
+            ..Default::default()
         },
     )
     .map_err(|e| CliError::Engine(e.to_string()))?;
@@ -708,6 +710,44 @@ pub fn cmd_plan(
          max b = largest window that still fits the app budget"
     );
 
+    let _ = writeln!(
+        out,
+        "\ninter-layer fusion (batch {batch}, per-chain cost model)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>12} {:>10} {:>12}",
+        "phone", "disp/img", "fused", "saved", "chains fused"
+    );
+    for phone in Phone::all() {
+        let unfused = ExecutionPlan::for_arch_batched(&arch, &phone.gpu, batch);
+        let fused = ExecutionPlan::for_arch_batched_with(
+            &arch,
+            &phone.gpu,
+            batch,
+            RouteOverrides {
+                fusion: FusionMode::Auto,
+                ..Default::default()
+            },
+        );
+        let taken = fused.chains.iter().filter(|c| c.fused).count();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14} {:>12} {:>10} {:>9}/{}",
+            phone.name,
+            unfused.dispatches(),
+            fused.dispatches(),
+            unfused.dispatches() - fused.dispatches(),
+            taken,
+            fused.chains.len(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "disp/img = kernel dispatches per image; fused = after the fusion pass \
+         (each chain fuses only when its modeled score beats the split form)"
+    );
+
     if let Some(pair_name) = pair {
         let pair_arch = arch_by_name(pair_name)?;
         let _ = writeln!(
@@ -806,7 +846,8 @@ USAGE:
                                                prints shed/retry/throttle counters
     pbit plan  <model> [--batch 4] [--streams 2] [--pair <model2>]
                                                per-phone deployment plan: solo and
-                                               sharded arena peaks, max feasible batch;
+                                               sharded arena peaks, max feasible batch,
+                                               fused vs unfused dispatches per image;
                                                --pair adds the pooled co-resident peak
     pbit bench <model> [--phone x9]            full-scale modeled latency/energy
     pbit help                                  this text
@@ -906,6 +947,21 @@ mod tests {
         );
         assert!(out.contains("sharded peak"), "{out}");
         assert!(out.contains("max b shard"), "{out}");
+        // The fusion table shows fused strictly below unfused dispatches
+        // on every phone (AlexNet always carries fusible chains).
+        assert!(out.contains("inter-layer fusion"), "{out}");
+        assert!(out.contains("chains fused"), "{out}");
+        for line in out
+            .lines()
+            .filter(|l| l.contains('/') && l.contains("Xiaomi"))
+        {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            if cols.len() == 6 && cols[0] == "Xiaomi" {
+                let unfused: usize = cols[2].parse().unwrap();
+                let fused: usize = cols[3].parse().unwrap();
+                assert!(fused < unfused, "fusion must save dispatches: {line}");
+            }
+        }
         assert!(matches!(
             cmd_plan("alexnet", 0, 2, None),
             Err(CliError::Usage(_))

@@ -47,14 +47,14 @@ use phonebit_gpusim::queue::{CommandQueue, ExecMode};
 use phonebit_gpusim::DeviceProfile;
 use phonebit_gpusim::ExecutorClass;
 use phonebit_gpusim::Phone;
-use phonebit_nn::kernels::{self, bconv, bgemm, bitplane, dense, fconv, pool};
+use phonebit_nn::kernels::{self, bconv, bgemm, bitplane, dense, fconv, fused, pool};
 use phonebit_tensor::bitplane::BitPlanes;
 use phonebit_tensor::bits::{BitTensor, PackedFilters};
 use phonebit_tensor::shape::{Layout, Shape4};
 use phonebit_tensor::tensor::Tensor;
 
 use crate::model::{PbitLayer, PbitModel};
-use crate::plan::{ExecutionPlan, ValueKind};
+use crate::plan::{ExecutionPlan, FusedKind, FusedMember, RouteOverrides, StepOp, ValueKind};
 use crate::planner::ConvPath;
 use crate::stats::{LayerRun, RunReport};
 
@@ -289,7 +289,8 @@ pub struct StagedModel {
     ctx: Context,
     gpu: DeviceProfile,
     _weight_residency: Vec<Buffer<u8>>,
-    /// One entry per step; `Some` holds the pre-flattened GEMM bank for
+    /// One entry per **layer** (keyed by `step.index`, which survives the
+    /// fusion pass); `Some` holds the pre-flattened GEMM bank for
     /// lowered-routed binary convolutions.
     conv_banks: Vec<Option<PackedFilters<u64>>>,
 }
@@ -315,6 +316,29 @@ impl StagedModel {
         Self::stage_with(model, ctx, batch)
     }
 
+    /// [`StagedModel::stage`] with explicit route overrides — the entry
+    /// point that turns the inter-layer fusion pass on
+    /// ([`RouteOverrides::fusion`]). Fused groups execute as one dispatch
+    /// per chain; everything downstream (streams, sharded serving,
+    /// multi-tenant lanes) consumes the fused plan unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`StagedModel::stage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0`.
+    pub fn stage_opts(
+        model: PbitModel,
+        phone: &Phone,
+        batch: usize,
+        overrides: RouteOverrides,
+    ) -> Result<Arc<Self>, EngineError> {
+        let ctx = Context::new(phone.gpu.clone(), phone.app_budget_bytes());
+        Self::stage_with_opts(model, ctx, batch, overrides)
+    }
+
     /// [`StagedModel::stage`] into an explicit (possibly shared) device
     /// [`Context`]: the multi-tenant runtime stages every co-resident
     /// model into **one** budgeted context, so all tenants' weights and
@@ -335,6 +359,24 @@ impl StagedModel {
         ctx: Context,
         batch: usize,
     ) -> Result<Arc<Self>, EngineError> {
+        Self::stage_with_opts(model, ctx, batch, RouteOverrides::default())
+    }
+
+    /// [`StagedModel::stage_with`] with explicit route overrides.
+    ///
+    /// # Errors
+    ///
+    /// As [`StagedModel::stage_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0`.
+    pub fn stage_with_opts(
+        model: PbitModel,
+        ctx: Context,
+        batch: usize,
+        overrides: RouteOverrides,
+    ) -> Result<Arc<Self>, EngineError> {
         let mut weight_residency = Vec::new();
         for layer in &model.layers {
             let bytes = layer.param_bytes();
@@ -343,29 +385,30 @@ impl StagedModel {
             }
         }
         let gpu = ctx.device().clone();
-        let plan = ExecutionPlan::for_model_batched(&model, &gpu, batch).map_err(|e| {
-            EngineError::DomainMismatch {
-                layer: e.layer,
-                expected: e.expected,
-            }
-        })?;
+        let plan =
+            ExecutionPlan::for_model_batched_with(&model, &gpu, batch, overrides).map_err(|e| {
+                EngineError::DomainMismatch {
+                    layer: e.layer,
+                    expected: e.expected,
+                }
+            })?;
         // Pre-flatten filter banks for GEMM-routed layers so per-inference
         // runs pay neither the cost model nor the flatten again. Routes
         // come from the batched plan, so a layer that only wins the GEMM
-        // lowering at batch scale still gets its bank.
-        let conv_banks = model
-            .layers
-            .iter()
-            .zip(plan.steps.iter())
-            .map(|(layer, step)| match (layer, step.route) {
-                (PbitLayer::BConv { filters, .. }, Some(route))
-                    if route.path == ConvPath::LoweredGemm =>
-                {
-                    Some(bgemm::flatten_filters(filters))
+        // lowering at batch scale still gets its bank. Banks are keyed by
+        // layer index (`step.index`) so the fused plan, which has fewer
+        // steps than layers, still resolves the right bank.
+        let mut conv_banks: Vec<Option<PackedFilters<u64>>> =
+            (0..model.layers.len()).map(|_| None).collect();
+        for step in &plan.steps {
+            if let (PbitLayer::BConv { filters, .. }, Some(route)) =
+                (&model.layers[step.index], step.route)
+            {
+                if route.path == ConvPath::LoweredGemm {
+                    conv_banks[step.index] = Some(bgemm::flatten_filters(filters));
                 }
-                _ => None,
-            })
-            .collect();
+            }
+        }
         Ok(Arc::new(Self {
             model,
             plan,
@@ -742,7 +785,7 @@ fn run_window(
         // the queue and arena bank are the mutable execution state.
         exec_step(
             queue,
-            &staged.model.layers[idx],
+            &staged.model.layers,
             plan,
             &staged.conv_banks,
             &mut arena.banks[bank],
@@ -1136,6 +1179,29 @@ impl Session {
         })
     }
 
+    /// [`Session::new_batched`] with explicit route overrides — set
+    /// [`RouteOverrides::fusion`] to run the inter-layer fusion pass and
+    /// execute each fused chain as a single dispatch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::new_batched`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0`.
+    pub fn new_batched_opts(
+        model: PbitModel,
+        phone: &Phone,
+        batch: usize,
+        overrides: RouteOverrides,
+    ) -> Result<Self, EngineError> {
+        let staged = StagedModel::stage_opts(model, phone, batch, overrides)?;
+        Ok(Self {
+            stream: Stream::new(staged)?,
+        })
+    }
+
     /// Switches the dispatch mode (estimate-only skips host compute).
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.stream = self.stream.with_mode(mode);
@@ -1264,10 +1330,12 @@ fn stage_window<'a, T: Copy + Default + 'a>(dst: &mut [T], images: impl Iterator
 /// Executes one plan step: takes the step's writable slots out of the
 /// arena, runs the layer's kernels writing into them, and puts them back.
 /// All slot indices are pairwise distinct by the liveness assignment, so
-/// the takes never collide with the (shared) input slot.
+/// the takes never collide with the (shared) input slot. Steps carry
+/// their original layer index (`step.index`), so fused plans — which have
+/// fewer steps than layers — still resolve the right weights.
 fn exec_step(
     q: &mut CommandQueue,
-    layer: &PbitLayer,
+    layers: &[PbitLayer],
     plan: &ExecutionPlan,
     banks: &[Option<PackedFilters<u64>>],
     arena: &mut [SlotStorage],
@@ -1287,6 +1355,28 @@ fn exec_step(
     });
     let in_store = &arena[slot_of(step.input)];
 
+    if let StepOp::FusedGroup { kind, members } = &step.op {
+        exec_fused_group(
+            q,
+            layers,
+            *kind,
+            members,
+            in_store,
+            cvt_store.as_mut().map(|(_, s)| s),
+            scr_store.as_mut().map(|(_, s)| s),
+            &mut out_store,
+        );
+        arena[out_slot] = out_store;
+        if let Some((s, st)) = cvt_store {
+            arena[s] = st;
+        }
+        if let Some((s, st)) = scr_store {
+            arena[s] = st;
+        }
+        return;
+    }
+
+    let layer = &layers[step.index];
     match layer {
         PbitLayer::BConvInput8 {
             geom,
@@ -1325,7 +1415,9 @@ fn exec_step(
             let route = step.route.expect("BConv step carries a route");
             match route.path {
                 ConvPath::LoweredGemm => {
-                    let flat = banks[idx].as_ref().expect("GEMM route carries a flat bank");
+                    let flat = banks[step.index]
+                        .as_ref()
+                        .expect("GEMM route carries a flat bank");
                     let windows = scr_store.as_mut().map(|(_, s)| s.bits_mut());
                     bgemm::bconv_lowered_with_into(
                         q,
@@ -1440,6 +1532,124 @@ fn exec_step(
     }
     if let Some((s, st)) = scr_store {
         arena[s] = st;
+    }
+}
+
+/// Executes one fused group as a single dispatch. Member weights resolve
+/// through the members' original layer indices; the group's convert slot
+/// carries the absorbed staging tile (bit-planes, pack tile, or the dense
+/// flatten row) and the scratch slot carries the pool ring (conv chains
+/// with a pool epilogue) or the mid-row tile (dense chains).
+#[allow(clippy::too_many_arguments)]
+fn exec_fused_group(
+    q: &mut CommandQueue,
+    layers: &[PbitLayer],
+    kind: FusedKind,
+    members: &[FusedMember],
+    in_store: &SlotStorage,
+    cvt: Option<&mut SlotStorage>,
+    scr: Option<&mut SlotStorage>,
+    out: &mut SlotStorage,
+) {
+    match kind {
+        FusedKind::ConvChain => {
+            let pool_geom = members.get(1).map(|m| match &layers[m.layer] {
+                PbitLayer::MaxPoolBits { geom, .. } => geom,
+                _ => unreachable!("conv chain epilogue is a bit-domain pool"),
+            });
+            // The ring tile exists only when a pool rides along; chains
+            // that fuse staging alone get a zero-capacity placeholder the
+            // kernels never touch.
+            let mut no_ring = BitTensor::<u64>::zeros(Shape4::new(0, 0, 0, 0));
+            let ring = match scr {
+                Some(s) => s.bits_mut(),
+                None => &mut no_ring,
+            };
+            match &layers[members[0].layer] {
+                PbitLayer::BConvInput8 {
+                    geom,
+                    filters,
+                    fused: bn,
+                    ..
+                } => {
+                    let planes = cvt.expect("bit-plane tile planned").planes_mut();
+                    fused::in8_bconv_chain_into(
+                        q,
+                        in_store.bytes_ref(),
+                        filters,
+                        bn,
+                        geom,
+                        pool_geom,
+                        planes,
+                        ring,
+                        out.bits_mut(),
+                    );
+                }
+                PbitLayer::BConv {
+                    geom,
+                    filters,
+                    fused: bn,
+                    ..
+                } => match cvt {
+                    Some(pack) => fused::pack_bconv_chain_into(
+                        q,
+                        in_store.floats(),
+                        filters,
+                        bn,
+                        geom,
+                        pool_geom,
+                        pack.bits_mut(),
+                        ring,
+                        out.bits_mut(),
+                    ),
+                    None => {
+                        let pool = pool_geom.expect("unconverted conv chain carries a pool");
+                        fused::bconv_pool_chain_into(
+                            q,
+                            in_store.bits(),
+                            filters,
+                            bn,
+                            geom,
+                            pool,
+                            ring,
+                            out.bits_mut(),
+                        );
+                    }
+                },
+                _ => unreachable!("conv chains start at a binary convolution"),
+            }
+        }
+        FusedKind::DenseChain => {
+            let PbitLayer::DenseBin {
+                weights: w1,
+                fused: f1,
+                ..
+            } = &layers[members[0].layer]
+            else {
+                unreachable!("dense chains pair two binary dense layers")
+            };
+            let PbitLayer::DenseBin {
+                weights: w2,
+                fused: f2,
+                ..
+            } = &layers[members[1].layer]
+            else {
+                unreachable!("dense chains pair two binary dense layers")
+            };
+            let flat = cvt.expect("flatten tile planned");
+            let mid = scr.expect("mid-row tile planned");
+            fused::dense_pair_into(
+                q,
+                in_store.bits(),
+                w1,
+                f1,
+                w2,
+                f2,
+                flat.bits_mut(),
+                mid.bits_mut(),
+                out.bits_mut(),
+            );
+        }
     }
 }
 
@@ -1788,6 +1998,47 @@ mod tests {
         batched.reset_stream();
         let recold = batched.run_batch_u8(&imgs).unwrap();
         assert!((recold.total_s - cold.total_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_session_matches_unfused_bit_exactly() {
+        use crate::plan::FusionMode;
+        let model = convert(&small_def());
+        let phone = Phone::xiaomi_9();
+        let imgs = images(4);
+        let mut plain = Session::new(model.clone(), &phone).unwrap();
+        let overrides = RouteOverrides {
+            fusion: FusionMode::Force,
+            ..Default::default()
+        };
+        let mut fused = Session::new_batched_opts(model.clone(), &phone, 1, overrides).unwrap();
+        assert!(
+            !fused.plan().chains.is_empty(),
+            "small model carries fusible chains"
+        );
+        let want = plain.run_u8(&imgs[0]).unwrap();
+        let got = fused.run_u8(&imgs[0]).unwrap();
+        assert_eq!(
+            want.output.unwrap().into_floats().unwrap(),
+            got.output.unwrap().into_floats().unwrap(),
+        );
+        // One launch per fused group: the executed timeline length equals
+        // the plan's modeled dispatch count, strictly below the unfused
+        // session's — modeled and executed fusion agree by construction.
+        assert_eq!(fused.timeline().len(), fused.plan().dispatches());
+        assert!(fused.timeline().len() < plain.timeline().len());
+
+        // A batched fused window stays bit-exact image by image.
+        let mut fused4 = Session::new_batched_opts(model, &phone, 4, overrides).unwrap();
+        let out = fused4.run_batch_u8(&imgs).unwrap().output.expect("output");
+        for (i, img) in imgs.iter().enumerate() {
+            let want = plain.run_u8(img).unwrap().output.unwrap();
+            assert_eq!(
+                want.into_floats().unwrap(),
+                out.image(i).into_floats().unwrap(),
+                "image {i}"
+            );
+        }
     }
 
     #[test]

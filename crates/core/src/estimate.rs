@@ -15,13 +15,14 @@
 //! covering every kernel route.
 
 use phonebit_gpusim::queue::CommandQueue;
-use phonebit_gpusim::{ExecutorClass, Phone};
+use phonebit_gpusim::{ExecutorClass, KernelProfile, Phone};
 use phonebit_nn::graph::{LayerSpec, NetworkArch};
+use phonebit_nn::kernels::fused::{conv_chain_profile, dense_pair_profile, ChainAbsorb};
 use phonebit_nn::kernels::{bgemm, profiles};
 use phonebit_nn::workload::WorkloadPolicy;
 
 use crate::model::{PbitLayer, PbitModel};
-use crate::plan::{ExecutionPlan, RouteOverrides, StepOp};
+use crate::plan::{ExecutionPlan, FusedKind, FusedMember, FusionMode, RouteOverrides, StepOp};
 use crate::planner::ConvPath;
 use crate::stats::{LayerRun, RunReport};
 
@@ -41,6 +42,10 @@ pub struct EstimateOptions {
     /// Route binary convolutions through the Espresso-style bit-im2col +
     /// binary-GEMM lowering instead of the direct fused kernel (§II).
     pub lowered_gemm: bool,
+    /// Inter-layer fusion pass mode (default off — the seed dispatch
+    /// sequence). Fused groups amortize `launch_overhead_s` once per group,
+    /// not once per original layer.
+    pub fusion: FusionMode,
 }
 
 /// Estimates a full PhoneBit inference of `arch` on `phone`, without weights
@@ -71,6 +76,22 @@ pub fn estimate_arch_batched(phone: &Phone, arch: &NetworkArch, batch: usize) ->
     estimate_impl(phone, arch, EstimateOptions::default(), batch)
 }
 
+/// [`estimate_arch_batched`] with explicit ablation options — in
+/// particular [`EstimateOptions::fusion`], which `fusion_report` uses to
+/// model fused vs split windows of the same architecture.
+///
+/// # Panics
+///
+/// Panics when `batch == 0`.
+pub fn estimate_arch_batched_opts(
+    phone: &Phone,
+    arch: &NetworkArch,
+    batch: usize,
+    opts: EstimateOptions,
+) -> RunReport {
+    estimate_impl(phone, arch, opts, batch)
+}
+
 fn estimate_impl(
     phone: &Phone,
     arch: &NetworkArch,
@@ -95,6 +116,7 @@ fn estimate_impl(
         RouteOverrides {
             force_unfused: opts.force_unfused,
             lowered_gemm: opts.lowered_gemm,
+            fusion: opts.fusion,
         },
     );
 
@@ -114,11 +136,13 @@ fn estimate_impl(
 /// convolution's fused activation epilogue, read off the arch's layer
 /// specs.
 pub(crate) fn activation_extras_arch(plan: &ExecutionPlan, arch: &NetworkArch) -> Vec<f64> {
+    // Keyed by `step.index` (the original layer position), not zip order —
+    // fused plans have fewer steps than layers, and fused groups carry only
+    // binary ops (no activation extras).
     plan.steps
         .iter()
-        .zip(arch.layers.iter())
-        .map(|(step, layer)| match (&step.op, layer) {
-            (StepOp::FConv { .. }, LayerSpec::Conv(c)) => {
+        .map(|step| match (&step.op, arch.layers.get(step.index)) {
+            (StepOp::FConv { .. }, Some(LayerSpec::Conv(c))) => {
                 step.out_shape.len() as f64 * c.activation.ops_per_element()
             }
             _ => 0.0,
@@ -131,14 +155,71 @@ pub(crate) fn activation_extras_arch(plan: &ExecutionPlan, arch: &NetworkArch) -
 pub(crate) fn activation_extras_model(plan: &ExecutionPlan, model: &PbitModel) -> Vec<f64> {
     plan.steps
         .iter()
-        .zip(model.layers.iter())
-        .map(|(step, layer)| match (&step.op, layer) {
-            (StepOp::FConv { .. }, PbitLayer::FConv { activation, .. }) => {
+        .map(|step| match (&step.op, model.layers.get(step.index)) {
+            (StepOp::FConv { .. }, Some(PbitLayer::FConv { activation, .. })) => {
                 step.out_shape.len() as f64 * activation.ops_per_element()
             }
             _ => 0.0,
         })
         .collect()
+}
+
+/// The one cost profile a [`StepOp::FusedGroup`] dispatches — built from the
+/// same `nn/kernels/fused.rs` builders the engine wrappers use, so the
+/// estimator's fused step and the executed fused kernel cannot diverge.
+/// `absorbed_convert` distinguishes a pack-absorbing conv chain from one
+/// whose input is already packed bits.
+pub(crate) fn fused_group_profile(
+    kind: FusedKind,
+    members: &[FusedMember],
+    absorbed_convert: bool,
+) -> KernelProfile {
+    match kind {
+        FusedKind::ConvChain => {
+            let conv = &members[0];
+            let (geom, k, absorb) = match conv.op {
+                StepOp::BConvInput8 { geom, k } => (geom, k, ChainAbsorb::Planes8),
+                StepOp::BConv { geom, k } => {
+                    let absorb = if absorbed_convert {
+                        ChainAbsorb::PackF32
+                    } else {
+                        ChainAbsorb::None
+                    };
+                    (geom, k, absorb)
+                }
+                _ => unreachable!("conv chain starts at a binary conv"),
+            };
+            let pool = members.get(1).map(|m| {
+                let size = match m.op {
+                    StepOp::MaxPoolBits { size, .. } => size,
+                    _ => unreachable!("conv chain epilogue is a bit pool"),
+                };
+                (m.out_shape.pixels(), size)
+            });
+            let in_c = conv.in_shape.c;
+            let policy = WorkloadPolicy::for_channels(in_c);
+            conv_chain_profile(
+                absorb,
+                conv.out_shape.pixels(),
+                k,
+                in_c,
+                &geom,
+                pool,
+                &policy,
+            )
+        }
+        FusedKind::DenseChain => {
+            let (d1, d2) = (&members[0], &members[1]);
+            let feat = d1.in_shape.h * d1.in_shape.w * d1.in_shape.c;
+            let (k1, k2) = match (&d1.op, &d2.op) {
+                (StepOp::DenseBin { out_features: a }, StepOp::DenseBin { out_features: b }) => {
+                    (*a, *b)
+                }
+                _ => unreachable!("dense chain is two binary dense layers"),
+            };
+            dense_pair_profile(k1, k2, feat).batched(d1.in_shape.n)
+        }
+    }
 }
 
 /// Dispatches the exact kernel-profile sequence the engine issues for
@@ -163,8 +244,9 @@ pub(crate) fn walk_plan(
         let in_c = in_shape.c;
 
         // Explicit domain conversion, exactly where the engine packs or
-        // unpacks.
-        if step.convert.is_some() {
+        // unpacks. A fused group's convert is the absorbed on-chip tile —
+        // no separate dispatch.
+        if step.convert.is_some() && !matches!(step.op, StepOp::FusedGroup { .. }) {
             match step.op {
                 StepOp::BConv { .. } | StepOp::DenseBin { .. } => {
                     q.launch(profiles::pack_input(in_shape.pixels(), in_c), || {});
@@ -263,6 +345,14 @@ pub(crate) fn walk_plan(
             StepOp::Softmax => {
                 let features = in_shape.h * in_shape.w * in_shape.c;
                 q.launch(profiles::softmax(features).batched(in_shape.n), || {});
+            }
+            StepOp::FusedGroup { kind, members } => {
+                // One launch for the whole chain — `launch_overhead_s` is
+                // paid once per group, not once per member layer.
+                q.launch(
+                    fused_group_profile(*kind, members, step.convert.is_some()),
+                    || {},
+                );
             }
         }
         let energy_j: f64 = q.timeline()[e0..].iter().map(|ev| ev.stats.energy_j).sum();

@@ -64,9 +64,15 @@ pub use arrival::ArrivalProcess;
 pub use builder::NetworkBuilder;
 pub use convert::convert;
 pub use engine::{ActivationData, EngineError, MultiStream, Session, StagedModel, Stream};
-pub use estimate::{estimate_arch, estimate_arch_batched, estimate_arch_opts, EstimateOptions};
+pub use estimate::{
+    estimate_arch, estimate_arch_batched, estimate_arch_batched_opts, estimate_arch_opts,
+    EstimateOptions,
+};
 pub use model::{PbitLayer, PbitModel};
-pub use plan::{ExecutionPlan, PlanStep, PlanValue, RouteOverrides, StepOp, ValueKind, ValueRole};
+pub use plan::{
+    ChainDecision, ExecutionPlan, FusedKind, FusedMember, FusionMode, PlanStep, PlanValue,
+    RouteOverrides, StepOp, ValueKind, ValueRole,
+};
 pub use planner::{
     max_feasible_batch, max_feasible_batch_multitenant, max_feasible_batch_sharded, plan,
     plan_batched, plan_multitenant, plan_on, plan_on_batched, plan_on_sharded, select_conv_path,

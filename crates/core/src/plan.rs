@@ -70,11 +70,14 @@ use std::sync::Arc;
 
 use phonebit_gpusim::DeviceProfile;
 use phonebit_nn::graph::{LayerPrecision, LayerSpec, NetworkArch, PoolKind};
+use phonebit_nn::kernels::fused::{conv_chain_profile, dense_pair_profile, ChainAbsorb};
+use phonebit_nn::kernels::profiles;
+use phonebit_nn::workload::WorkloadPolicy;
 use phonebit_tensor::bits::PackWidth;
 use phonebit_tensor::shape::{ConvGeometry, Shape4};
 
 use crate::model::{PbitLayer, PbitModel};
-use crate::planner::{select_conv_path, ConvPath, ConvPlan};
+use crate::planner::{score_chain, select_conv_path, ConvPath, ConvPlan};
 
 /// Storage class of a planned value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -196,6 +199,70 @@ pub enum StepOp {
     },
     /// Softmax epilogue.
     Softmax,
+    /// A fusible chain lowered to **one** dispatch (the inter-layer fusion
+    /// pass): the members' intermediates stay in on-chip tiles instead of
+    /// round-tripping the arena.
+    FusedGroup {
+        /// Chain class.
+        kind: FusedKind,
+        /// The original layers folded into this dispatch, in order.
+        members: Vec<FusedMember>,
+    },
+}
+
+/// Chain class of a [`StepOp::FusedGroup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedKind {
+    /// `pack?/plane-split? → binary conv → threshold → max-pool?`.
+    ConvChain,
+    /// `DenseBin → DenseBin` epilogue pair.
+    DenseChain,
+}
+
+/// One original layer folded into a [`StepOp::FusedGroup`], preserved so
+/// reports, estimators and the engine can still see the member shapes and
+/// routes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedMember {
+    /// The member's original layer index (into the model's layer chain).
+    pub layer: usize,
+    /// Layer name.
+    pub name: Arc<str>,
+    /// The member's pre-fusion op.
+    pub op: StepOp,
+    /// Input activation shape.
+    pub in_shape: Shape4,
+    /// Output activation shape.
+    pub out_shape: Shape4,
+    /// The member's conv route, if it was a binary convolution.
+    pub route: Option<ConvPlan>,
+}
+
+/// The fusion pass's per-chain verdict: the fused-vs-split scores on the
+/// planner's latency + arena + energy axes, recorded whether or not the
+/// chain fused (what the `ablation` binary prints next to the route table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainDecision {
+    /// First member's layer index.
+    pub first_layer: usize,
+    /// Last member's layer index.
+    pub last_layer: usize,
+    /// Chain class.
+    pub kind: FusedKind,
+    /// Member names joined with `+` (e.g. `conv1+pool1`).
+    pub label: String,
+    /// Modeled seconds of the split dispatches (one launch each).
+    pub split_s: f64,
+    /// Modeled seconds of the single fused dispatch.
+    pub fused_s: f64,
+    /// Split composite score (latency + arena + energy).
+    pub split_score: f64,
+    /// Fused composite score.
+    pub fused_score: f64,
+    /// Dispatches the split form issues for this chain.
+    pub split_dispatches: usize,
+    /// Whether the chain was lowered to a [`StepOp::FusedGroup`].
+    pub fused: bool,
 }
 
 /// One lowered layer: the op, its shapes, its value bindings and (for
@@ -225,6 +292,49 @@ pub struct PlanStep {
     pub route: Option<ConvPlan>,
 }
 
+impl PlanStep {
+    /// Device dispatches this step issues per inference window — what the
+    /// engine actually launches. Domain converts count; the dense layers'
+    /// bit-preserving flatten is host-side staging and does not.
+    pub fn dispatches(&self) -> usize {
+        let convert = usize::from(self.convert.is_some());
+        match &self.op {
+            // The whole point of a fused group: one launch, converts and
+            // scratch tiles are consumed inside it.
+            StepOp::FusedGroup { .. } => 1,
+            // Bit-plane split + Eqn (2) convolution.
+            StepOp::BConvInput8 { .. } => 2,
+            StepOp::BConv { geom, .. } => {
+                convert
+                    + match self.route.map(|r| r.path) {
+                        // Window materialization + bit-GEMM (pointwise convs
+                        // skip the window pass — the input is the GEMM view).
+                        Some(ConvPath::LoweredGemm) => 1 + usize::from(!geom.is_pointwise()),
+                        // Accumulate + separate binarize-pack.
+                        Some(ConvPath::DirectUnfused) => 2,
+                        _ => 1,
+                    }
+            }
+            _ => convert + 1,
+        }
+    }
+}
+
+/// How the inter-layer fusion pass treats fusible chains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FusionMode {
+    /// No fusion pass: every layer stays its own step (the seed behavior —
+    /// plans are byte-identical to pre-fusion lowering).
+    #[default]
+    Off,
+    /// Fuse each chain only where the fused score (latency + arena + energy,
+    /// launch overheads included) beats the split score.
+    Auto,
+    /// Fuse every grammatical chain regardless of score (ablation knob; the
+    /// per-chain decisions still record both scores).
+    Force,
+}
+
 /// Route decisions forced by the ablation harness instead of cost-modeled
 /// (the estimator's design-choice knobs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -235,6 +345,8 @@ pub struct RouteOverrides {
     /// Every binary convolution routes through the Espresso-style lowering
     /// (§II ablation).
     pub lowered_gemm: bool,
+    /// Inter-layer fusion pass mode (default [`FusionMode::Off`]).
+    pub fusion: FusionMode,
 }
 
 /// A domain inconsistency found at lowering time (e.g. a bitwise pool fed
@@ -284,6 +396,9 @@ pub struct ExecutionPlan {
     /// batched plans (per-slot double buffering — the back bank hosts the
     /// next window's staging while the front bank computes).
     pub banks: usize,
+    /// The fusion pass's per-chain fused-vs-split verdicts (empty when
+    /// lowered with [`FusionMode::Off`]).
+    pub chains: Vec<ChainDecision>,
 }
 
 impl ExecutionPlan {
@@ -426,6 +541,27 @@ impl ExecutionPlan {
         device: &DeviceProfile,
         batch: usize,
     ) -> Result<Self, PlanDomainError> {
+        Self::for_model_batched_with(model, device, batch, RouteOverrides::default())
+    }
+
+    /// [`ExecutionPlan::for_model_batched`] with explicit route overrides —
+    /// the entry point that turns the inter-layer fusion pass on
+    /// ([`RouteOverrides::fusion`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanDomainError`] when the model's layer chain is
+    /// domain-inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch == 0`.
+    pub fn for_model_batched_with(
+        model: &PbitModel,
+        device: &DeviceProfile,
+        batch: usize,
+        overrides: RouteOverrides,
+    ) -> Result<Self, PlanDomainError> {
         let descs: Vec<LayerDesc> = model
             .layers
             .iter()
@@ -517,7 +653,7 @@ impl ExecutionPlan {
             &descs,
             model.size_bytes(),
             device,
-            RouteOverrides::default(),
+            overrides,
             batch,
         )
     }
@@ -551,6 +687,13 @@ impl ExecutionPlan {
     /// the ablation binary prints).
     pub fn routes(&self) -> impl Iterator<Item = (&PlanStep, Option<&ConvPlan>)> {
         self.steps.iter().map(|s| (s, s.route.as_ref()))
+    }
+
+    /// Total device dispatches one inference window issues (the engine's
+    /// timeline length per window) — the launch-bound batch-1 metric the
+    /// fusion pass exists to cut.
+    pub fn dispatches(&self) -> usize {
+        self.steps.iter().map(PlanStep::dispatches).sum()
     }
 }
 
@@ -893,6 +1036,10 @@ fn lower(
         cur_shape = out_shape;
     }
 
+    let chains = match overrides.fusion {
+        FusionMode::Off => Vec::new(),
+        mode => fuse_pass(&mut steps, &mut values, device, mode),
+    };
     let slots = assign_slots(&mut values);
     Ok(ExecutionPlan {
         name,
@@ -904,7 +1051,324 @@ fn lower(
         weights_bytes,
         batch,
         banks,
+        chains,
     })
+}
+
+/// One fusible chain found by the grammar scan.
+struct ChainCandidate {
+    /// Steps the chain spans (1 or 2).
+    len: usize,
+    kind: FusedKind,
+    absorb: ChainAbsorb,
+}
+
+/// The chain grammar: which step sequences can collapse into one dispatch.
+///
+/// - `pack? → BConv(direct-fused) → threshold → MaxPoolBits?` — a candidate
+///   only when it actually collapses ≥ 2 dispatches (a lone conv without an
+///   absorbed pack or a pool epilogue already is one dispatch);
+/// - `BConvInput8 → threshold → MaxPoolBits?` — the bit-plane split always
+///   rides along, so even the lone conv collapses 2 → 1;
+/// - `DenseBin → DenseBin` — both matvecs in one dispatch (neither member
+///   may carry a domain conversion).
+///
+/// Unfused-accumulate and lowered-GEMM conv cores never chain: their
+/// intermediates (int32 accumulators, materialized window rows) are exactly
+/// what the route scorer sent through DRAM.
+fn chain_at(steps: &[PlanStep], i: usize) -> Option<ChainCandidate> {
+    let step = &steps[i];
+    let pooled = steps
+        .get(i + 1)
+        .is_some_and(|n| matches!(n.op, StepOp::MaxPoolBits { .. }));
+    match &step.op {
+        StepOp::BConvInput8 { .. } => Some(ChainCandidate {
+            len: 1 + usize::from(pooled),
+            kind: FusedKind::ConvChain,
+            absorb: ChainAbsorb::Planes8,
+        }),
+        StepOp::BConv { .. } if step.route.map(|r| r.path) == Some(ConvPath::DirectFused) => {
+            let absorb = if step.convert.is_some() {
+                ChainAbsorb::PackF32
+            } else {
+                ChainAbsorb::None
+            };
+            if !pooled && absorb == ChainAbsorb::None {
+                return None;
+            }
+            Some(ChainCandidate {
+                len: 1 + usize::from(pooled),
+                kind: FusedKind::ConvChain,
+                absorb,
+            })
+        }
+        StepOp::DenseBin { .. } if step.convert.is_none() => steps
+            .get(i + 1)
+            .is_some_and(|n| matches!(n.op, StepOp::DenseBin { .. }) && n.convert.is_none())
+            .then_some(ChainCandidate {
+                len: 2,
+                kind: FusedKind::DenseChain,
+                absorb: ChainAbsorb::None,
+            }),
+        _ => None,
+    }
+}
+
+/// Scores one candidate chain fused vs split (pure cost model, no
+/// rewriting): the split side is the member kernels as separate dispatches,
+/// the fused side the chain profile from `nn/kernels/fused.rs` — the same
+/// builder the engine dispatch and the estimators use, so the decision is
+/// made against exactly what would run.
+fn score_candidate(
+    steps: &[PlanStep],
+    values: &[PlanValue],
+    i: usize,
+    cand: &ChainCandidate,
+    device: &DeviceProfile,
+) -> ChainDecision {
+    let first = &steps[i];
+    let last = &steps[i + cand.len - 1];
+    let label = steps[i..i + cand.len]
+        .iter()
+        .map(|s| s.name.as_ref())
+        .collect::<Vec<_>>()
+        .join("+");
+    let (split, fused, split_arena, fused_arena) = match cand.kind {
+        FusedKind::ConvChain => {
+            let (geom, k) = match first.op {
+                StepOp::BConvInput8 { geom, k } | StepOp::BConv { geom, k } => (geom, k),
+                _ => unreachable!("conv chain starts at a binary conv"),
+            };
+            let in_c = first.in_shape.c;
+            let conv_px = first.out_shape.pixels();
+            let policy = WorkloadPolicy::for_channels(in_c);
+            let mut split = Vec::new();
+            match cand.absorb {
+                ChainAbsorb::Planes8 => {
+                    split.push(profiles::bitplane_split(first.in_shape.pixels(), in_c));
+                    split.push(profiles::bitplane_conv_fused(
+                        conv_px, k, in_c, &geom, &policy,
+                    ));
+                }
+                ChainAbsorb::PackF32 => {
+                    split.push(profiles::pack_input(first.in_shape.pixels(), in_c));
+                    split.push(profiles::bconv_fused(conv_px, k, in_c, &geom, &policy));
+                }
+                ChainAbsorb::None => {
+                    split.push(profiles::bconv_fused(conv_px, k, in_c, &geom, &policy));
+                }
+            }
+            let mut split_arena = 0usize;
+            let mut fused_arena = 0usize;
+            let pool = (cand.len == 2).then(|| {
+                let size = match last.op {
+                    StepOp::MaxPoolBits { size, .. } => size,
+                    _ => unreachable!("conv chain epilogue is a bit pool"),
+                };
+                split.push(profiles::maxpool_bits(last.out_shape.pixels(), k, size));
+                // Fusing trades the staged conv activation for a
+                // few-row ring tile.
+                split_arena = values[first.output].bytes;
+                fused_arena = ValueKind::Bits.bytes(Shape4::new(1, size, first.out_shape.w, k));
+                (last.out_shape.pixels(), size)
+            });
+            let fused = conv_chain_profile(cand.absorb, conv_px, k, in_c, &geom, pool, &policy);
+            (split, fused, split_arena, fused_arena)
+        }
+        FusedKind::DenseChain => {
+            let n = first.in_shape.n;
+            let feat = first.in_shape.h * first.in_shape.w * first.in_shape.c;
+            let (k1, k2) = match (&first.op, &last.op) {
+                (StepOp::DenseBin { out_features: a }, StepOp::DenseBin { out_features: b }) => {
+                    (*a, *b)
+                }
+                _ => unreachable!("dense chain is two binary dense layers"),
+            };
+            let split = vec![
+                profiles::dense_bin(k1, feat).batched(n),
+                profiles::dense_bin(k2, k1).batched(n),
+            ];
+            let fused = dense_pair_profile(k1, k2, feat).batched(n);
+            // Fusing skips the second layer's flatten row — the mid
+            // activation is already a flat tile.
+            let split_arena = last.scratch.map_or(0, |id| values[id].bytes);
+            (split, fused, split_arena, 0)
+        }
+    };
+    let score = score_chain(device, &split, &fused, split_arena, fused_arena);
+    ChainDecision {
+        first_layer: first.index,
+        last_layer: last.index,
+        kind: cand.kind,
+        label,
+        split_s: score.split_s,
+        fused_s: score.fused_s,
+        split_score: score.split_score,
+        fused_score: score.fused_score,
+        split_dispatches: steps[i..i + cand.len]
+            .iter()
+            .map(PlanStep::dispatches)
+            .sum(),
+        fused: false,
+    }
+}
+
+/// The inter-layer fusion pass: scans the lowered steps for grammatical
+/// chains ([`chain_at`]), scores each fused-vs-split on the planner's
+/// latency + arena + energy axes (the fused side pays one launch overhead,
+/// the split side one per dispatch), and rewrites winning chains into
+/// single-dispatch [`StepOp::FusedGroup`] steps. Liveness sees through
+/// groups: a fused conv→pool chain's full conv activation shrinks to a
+/// `pool.size`-row ring tile, and a fused dense pair's mid activation and
+/// second flatten row collapse into step-local tiles — so `assign_slots`
+/// downstream sizes strictly fewer live intermediate bytes.
+fn fuse_pass(
+    steps: &mut Vec<PlanStep>,
+    values: &mut Vec<PlanValue>,
+    device: &DeviceProfile,
+    mode: FusionMode,
+) -> Vec<ChainDecision> {
+    let mut decisions = Vec::new();
+    let mut new_steps: Vec<PlanStep> = Vec::with_capacity(steps.len());
+    let mut changed = false;
+    let mut i = 0;
+    while i < steps.len() {
+        let Some(cand) = chain_at(steps, i) else {
+            new_steps.push(steps[i].clone());
+            i += 1;
+            continue;
+        };
+        let mut decision = score_candidate(steps, values, i, &cand, device);
+        decision.fused = mode == FusionMode::Force || decision.fused_score < decision.split_score;
+        if !decision.fused {
+            decisions.push(decision);
+            new_steps.push(steps[i].clone());
+            i += 1;
+            continue;
+        }
+        let first = &steps[i];
+        let last = &steps[i + cand.len - 1];
+        let members: Vec<FusedMember> = steps[i..i + cand.len]
+            .iter()
+            .map(|s| FusedMember {
+                layer: s.index,
+                name: s.name.clone(),
+                op: s.op.clone(),
+                in_shape: s.in_shape,
+                out_shape: s.out_shape,
+                route: s.route,
+            })
+            .collect();
+        let (convert, scratch) = match cand.kind {
+            FusedKind::ConvChain => {
+                // The absorbed input tile keeps its arena slot (the fused
+                // kernel still stages packed bits / bit-planes in it).
+                let convert = match cand.absorb {
+                    ChainAbsorb::None => None,
+                    ChainAbsorb::PackF32 => first.convert,
+                    ChainAbsorb::Planes8 => first.scratch,
+                };
+                let mut scratch = None;
+                if cand.len == 2 {
+                    let size = match last.op {
+                        StepOp::MaxPoolBits { size, .. } => size,
+                        _ => unreachable!("conv chain epilogue is a bit pool"),
+                    };
+                    // The conv activation never materializes: its value
+                    // becomes the pool-window ring tile.
+                    let ring = Shape4::new(1, size, first.out_shape.w, first.out_shape.c);
+                    let v = &mut values[first.output];
+                    v.kind = ValueKind::Bits;
+                    v.shape = ring;
+                    v.bytes = ValueKind::Bits.bytes(ring);
+                    v.role = ValueRole::Scratch;
+                    scratch = Some(first.output);
+                }
+                (convert, scratch)
+            }
+            FusedKind::DenseChain => {
+                // The first matvec's output becomes the step-local mid
+                // tile; the second member's flatten scratch is dropped
+                // entirely (the mid tile is already flat).
+                values[first.output].role = ValueRole::Scratch;
+                (first.scratch, Some(first.output))
+            }
+        };
+        let name: Arc<str> = if cand.len == 1 {
+            first.name.clone()
+        } else {
+            Arc::from(decision.label.as_str())
+        };
+        new_steps.push(PlanStep {
+            index: first.index,
+            name,
+            op: StepOp::FusedGroup {
+                kind: cand.kind,
+                members,
+            },
+            in_shape: first.in_shape,
+            out_shape: last.out_shape,
+            input: first.input,
+            convert,
+            scratch,
+            output: last.output,
+            route: first.route,
+        });
+        decisions.push(decision);
+        changed = true;
+        i += cand.len;
+    }
+    if changed {
+        relive(&mut new_steps, values);
+    }
+    *steps = new_steps;
+    decisions
+}
+
+/// Recomputes value liveness over the rewritten step sequence, drops values
+/// no longer referenced by any step (intermediates the fused kernels keep on
+/// chip), and remaps every step's value bindings to the compacted ids.
+fn relive(steps: &mut [PlanStep], values: &mut Vec<PlanValue>) {
+    let mut first_ref = vec![usize::MAX; values.len()];
+    let mut last_ref = vec![0usize; values.len()];
+    for (pos, step) in steps.iter().enumerate() {
+        for id in [
+            Some(step.input),
+            step.convert,
+            step.scratch,
+            Some(step.output),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if first_ref[id] == usize::MAX {
+                first_ref[id] = pos;
+            }
+            last_ref[id] = pos;
+        }
+    }
+    let mut map = vec![usize::MAX; values.len()];
+    let mut kept: Vec<PlanValue> = Vec::with_capacity(values.len());
+    for (id, v) in values.iter().enumerate() {
+        // The network input survives even when no step consumes it.
+        if first_ref[id] == usize::MAX && v.role != ValueRole::NetworkInput {
+            continue;
+        }
+        let mut v = v.clone();
+        if first_ref[id] != usize::MAX {
+            v.born = first_ref[id];
+            v.dies = last_ref[id];
+        }
+        map[id] = kept.len();
+        kept.push(v);
+    }
+    for step in steps.iter_mut() {
+        step.input = map[step.input];
+        step.convert = step.convert.map(|id| map[id]);
+        step.scratch = step.scratch.map(|id| map[id]);
+        step.output = map[step.output];
+    }
+    *values = kept;
 }
 
 /// Greedy linear-scan slot assignment over value live intervals: values are
@@ -1149,5 +1613,203 @@ mod tests {
         // At and past one ulong the W64 packing is unchanged.
         assert_eq!(ValueKind::Bits.bytes(Shape4::new(1, 4, 4, 64)), px * 8);
         assert_eq!(ValueKind::Bits.bytes(Shape4::new(1, 4, 4, 65)), px * 16);
+    }
+
+    fn fused_overrides(mode: FusionMode) -> RouteOverrides {
+        RouteOverrides {
+            fusion: mode,
+            ..Default::default()
+        }
+    }
+
+    fn dense_pair_arch() -> NetworkArch {
+        NetworkArch::new("dense-pair", Shape4::new(1, 8, 8, 3))
+            .conv(
+                "conv1",
+                16,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
+            .maxpool("pool1", 2, 2)
+            .dense("fc1", 64, LayerPrecision::Binary, Activation::Linear)
+            .dense("fc2", 10, LayerPrecision::Binary, Activation::Linear)
+            .softmax()
+    }
+
+    #[test]
+    fn fusion_off_lowers_byte_identical_with_no_chains() {
+        let off = ExecutionPlan::for_arch_with(&small_arch(), &device(), RouteOverrides::default());
+        assert!(off.chains.is_empty(), "Off records no chain decisions");
+        assert_eq!(off, ExecutionPlan::for_arch(&small_arch(), &device()));
+    }
+
+    #[test]
+    fn force_fuses_conv_pool_chain_into_one_dispatch() {
+        let unfused = ExecutionPlan::for_arch(&small_arch(), &device());
+        let fused = ExecutionPlan::for_arch_with(
+            &small_arch(),
+            &device(),
+            fused_overrides(FusionMode::Force),
+        );
+        // conv1+pool1 collapse; conv2/fc/softmax stay (conv2 is a lone
+        // direct-fused conv with no pool — fusing it would save nothing).
+        assert_eq!(fused.steps.len(), unfused.steps.len() - 1);
+        let group = &fused.steps[0];
+        let StepOp::FusedGroup { kind, members } = &group.op else {
+            panic!(
+                "first step must be the fused conv chain, got {:?}",
+                group.op
+            );
+        };
+        assert_eq!(*kind, FusedKind::ConvChain);
+        assert_eq!(members.len(), 2);
+        assert_eq!(group.name.as_ref(), "conv1+pool1");
+        assert!(matches!(members[0].op, StepOp::BConvInput8 { .. }));
+        assert!(matches!(members[1].op, StepOp::MaxPoolBits { .. }));
+        assert_eq!((members[0].layer, members[1].layer), (0, 1));
+        // Group bindings: planes tile absorbed as convert, ring as scratch,
+        // output is the pooled activation.
+        let planes = group.convert.expect("absorbed planes tile");
+        assert_eq!(fused.values[planes].kind, ValueKind::Planes8);
+        let ring = group.scratch.expect("pool ring tile");
+        assert_eq!(fused.values[ring].kind, ValueKind::Bits);
+        assert_eq!(fused.values[ring].shape.h, 2, "ring holds pool.size rows");
+        assert_eq!(fused.values[group.output].shape, members[1].out_shape);
+        // Strictly fewer dispatches, and the decision is on record.
+        assert!(fused.dispatches() < unfused.dispatches());
+        assert_eq!(group.dispatches(), 1);
+        let d = fused
+            .chains
+            .iter()
+            .find(|d| d.fused)
+            .expect("fused chain recorded");
+        assert_eq!((d.first_layer, d.last_layer), (0, 1));
+        assert_eq!(d.split_dispatches, 3, "split + conv + pool");
+    }
+
+    #[test]
+    fn fusion_liveness_sees_through_groups() {
+        let unfused = ExecutionPlan::for_arch(&small_arch(), &device());
+        let fused = ExecutionPlan::for_arch_with(
+            &small_arch(),
+            &device(),
+            fused_overrides(FusionMode::Force),
+        );
+        // The ring tile is strictly smaller than the conv activation it
+        // replaces, so the arena shrinks.
+        assert!(fused.arena_bytes() < unfused.arena_bytes());
+        // No slot overlap and no dangling ids after the rewrite.
+        for (i, a) in fused.values.iter().enumerate() {
+            assert!(a.born <= a.dies, "value {i} interval inverted");
+            assert!(fused.slots[a.slot] >= a.bytes);
+            for (j, b) in fused.values.iter().enumerate().skip(i + 1) {
+                if a.born <= b.dies && b.born <= a.dies {
+                    assert_ne!(a.slot, b.slot, "live values {i} and {j} share a slot");
+                }
+            }
+        }
+        for step in &fused.steps {
+            for id in [
+                Some(step.input),
+                step.convert,
+                step.scratch,
+                Some(step.output),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                assert!(
+                    id < fused.values.len(),
+                    "step {} binds dropped value",
+                    step.index
+                );
+            }
+        }
+        // Conv chains drop no values (planes and ring tiles stay bound to
+        // the group) — the network output is just re-lived, not re-shaped.
+        assert_eq!(fused.values.len(), unfused.values.len());
+        assert_eq!(
+            fused.values[fused.output_value()].shape,
+            unfused.values[unfused.output_value()].shape
+        );
+    }
+
+    #[test]
+    fn force_fuses_dense_pair() {
+        let unfused = ExecutionPlan::for_arch(&dense_pair_arch(), &device());
+        let fused = ExecutionPlan::for_arch_with(
+            &dense_pair_arch(),
+            &device(),
+            fused_overrides(FusionMode::Force),
+        );
+        let group = fused
+            .steps
+            .iter()
+            .find(|s| {
+                matches!(
+                    s.op,
+                    StepOp::FusedGroup {
+                        kind: FusedKind::DenseChain,
+                        ..
+                    }
+                )
+            })
+            .expect("dense pair fused");
+        assert_eq!(group.name.as_ref(), "fc1+fc2");
+        assert_eq!(group.dispatches(), 1);
+        // flat row as convert, mid tile as scratch; fc2's flatten dropped.
+        assert!(group.convert.is_some() && group.scratch.is_some());
+        assert_eq!(fused.values.len(), unfused.values.len() - 1);
+        assert!(fused.dispatches() < unfused.dispatches());
+    }
+
+    #[test]
+    fn auto_fusion_is_scored_per_chain() {
+        let auto = ExecutionPlan::for_arch_with(
+            &small_arch(),
+            &device(),
+            fused_overrides(FusionMode::Auto),
+        );
+        assert!(!auto.chains.is_empty(), "candidates must be scored");
+        for d in &auto.chains {
+            assert!(d.split_s > 0.0 && d.fused_s > 0.0);
+            assert_eq!(d.fused, d.fused_score < d.split_score, "chain {}", d.label);
+        }
+        // Launch-bound batch-1 chains win on this device; the plan must
+        // reflect exactly the recorded verdicts.
+        let fused_groups = auto
+            .steps
+            .iter()
+            .filter(|s| matches!(s.op, StepOp::FusedGroup { .. }))
+            .count();
+        assert_eq!(fused_groups, auto.chains.iter().filter(|d| d.fused).count());
+    }
+
+    #[test]
+    fn batched_fusion_keeps_liveness_and_determinism() {
+        let a = ExecutionPlan::for_arch_batched_with(
+            &small_arch(),
+            &device(),
+            4,
+            fused_overrides(FusionMode::Force),
+        );
+        let b = ExecutionPlan::for_arch_batched_with(
+            &small_arch(),
+            &device(),
+            4,
+            fused_overrides(FusionMode::Force),
+        );
+        assert_eq!(a, b);
+        for (i, va) in a.values.iter().enumerate() {
+            assert!(a.slots[va.slot] >= va.bytes);
+            for vb in a.values.iter().skip(i + 1) {
+                if va.born <= vb.dies && vb.born <= va.dies {
+                    assert_ne!(va.slot, vb.slot);
+                }
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@
 
 use phonebit_gpusim::calib::{CostParams, EnergyParams};
 use phonebit_gpusim::cost::estimate;
-use phonebit_gpusim::{DeviceKind, DeviceProfile, ExecutorClass, Phone};
+use phonebit_gpusim::{DeviceKind, DeviceProfile, ExecutorClass, KernelProfile, Phone};
 use phonebit_nn::graph::NetworkArch;
 use phonebit_nn::kernels::{bgemm, profiles};
 use phonebit_nn::workload::{WorkloadPolicy, INTEGRATION_CHANNEL_LIMIT};
@@ -278,6 +278,55 @@ pub fn select_conv_path(
         lowered_arena_bytes,
         direct_energy_j,
         lowered_energy_j,
+    }
+}
+
+/// Fused-vs-split cost verdict for one fusible chain (the fusion pass's
+/// decision record, surfaced per chain in
+/// [`ChainDecision`](crate::plan::ChainDecision)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ChainScore {
+    /// Modeled seconds of the split dispatches (one launch overhead each).
+    pub split_s: f64,
+    /// Modeled seconds of the one fused dispatch.
+    pub fused_s: f64,
+    /// Split composite score (latency + arena + energy terms).
+    pub split_score: f64,
+    /// Fused composite score.
+    pub fused_score: f64,
+}
+
+/// Scores one fusible chain fused vs split on the same
+/// latency + arena-footprint + energy axes as [`select_conv_path`]. Each
+/// split profile is estimated as its own dispatch (paying its own launch
+/// overhead), the fused profile as one — so the saved launches are part of
+/// the score, not a separate bonus — and each side's staged intermediate
+/// bytes are charged through the shared [`ARENA_TRADEOFF_WEIGHT`] term.
+pub(crate) fn score_chain(
+    device: &DeviceProfile,
+    split: &[KernelProfile],
+    fused: &KernelProfile,
+    split_arena_bytes: usize,
+    fused_arena_bytes: usize,
+) -> ChainScore {
+    let params = CostParams::for_executor(ExecutorClass::PhoneBitOpenCl);
+    let energy = EnergyParams::for_kind(DeviceKind::Gpu);
+    let cost = |p: &KernelProfile| {
+        let s = estimate(p, device, &params, &energy);
+        (s.time_s, s.energy_j)
+    };
+    let (split_s, split_j) = split
+        .iter()
+        .map(cost)
+        .fold((0.0, 0.0), |(t, e), (dt, de)| (t + dt, e + de));
+    let (fused_s, fused_j) = cost(fused);
+    let arena_s = |bytes: usize| ARENA_TRADEOFF_WEIGHT * bytes as f64 / (device.dram_gbps * 1e9);
+    let energy_s = |joules: f64| ENERGY_TRADEOFF_WEIGHT * joules / SOC_POWER_BUDGET_W;
+    ChainScore {
+        split_s,
+        fused_s,
+        split_score: split_s + arena_s(split_arena_bytes) + energy_s(split_j),
+        fused_score: fused_s + arena_s(fused_arena_bytes) + energy_s(fused_j),
     }
 }
 

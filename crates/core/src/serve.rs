@@ -63,7 +63,7 @@ use crate::arrival::ArrivalProcess;
 use crate::engine::{ActivationData, EngineError, MultiStream, StagedModel};
 use crate::estimate::{activation_extras_arch, activation_extras_model, walk_plan};
 use crate::model::PbitModel;
-use crate::plan::ExecutionPlan;
+use crate::plan::{ExecutionPlan, RouteOverrides};
 use crate::stats::RunReport;
 
 // ---------------------------------------------------------------------------
@@ -83,6 +83,10 @@ pub struct ServeOptions {
     pub batch: Option<usize>,
     /// p95 steady-window latency target, milliseconds.
     pub slo_ms: Option<f64>,
+    /// Route overrides applied when lowering and staging the plan — set
+    /// [`RouteOverrides::fusion`] to serve fused chains; admission models
+    /// the same overridden plan the streams execute.
+    pub overrides: RouteOverrides,
 }
 
 impl Default for ServeOptions {
@@ -91,6 +95,7 @@ impl Default for ServeOptions {
             streams: 2,
             batch: None,
             slo_ms: None,
+            overrides: RouteOverrides::default(),
         }
     }
 }
@@ -640,15 +645,21 @@ enum PlanSource<'a> {
 }
 
 impl PlanSource<'_> {
-    fn plan_at(&self, gpu: &DeviceProfile, batch: usize) -> Result<ExecutionPlan, EngineError> {
+    fn plan_at(
+        &self,
+        gpu: &DeviceProfile,
+        batch: usize,
+        overrides: RouteOverrides,
+    ) -> Result<ExecutionPlan, EngineError> {
         match self {
-            PlanSource::Model(m) => ExecutionPlan::for_model_batched(m, gpu, batch).map_err(|e| {
-                EngineError::DomainMismatch {
+            PlanSource::Model(m) => ExecutionPlan::for_model_batched_with(m, gpu, batch, overrides)
+                .map_err(|e| EngineError::DomainMismatch {
                     layer: e.layer,
                     expected: e.expected,
-                }
-            }),
-            PlanSource::Arch(a) => Ok(ExecutionPlan::for_arch_batched(a, gpu, batch)),
+                }),
+            PlanSource::Arch(a) => Ok(ExecutionPlan::for_arch_batched_with(
+                a, gpu, batch, overrides,
+            )),
         }
     }
 
@@ -665,6 +676,7 @@ struct TenantAsk<'a> {
     source: PlanSource<'a>,
     batch: Option<usize>,
     slo_ms: Option<f64>,
+    overrides: RouteOverrides,
 }
 
 /// Measures the expected [`QueueLoad`] one window of `plan` puts on the
@@ -770,7 +782,7 @@ fn measured_mix(
         .iter()
         .zip(batches.iter())
         .map(|(a, &b)| {
-            let plan = a.source.plan_at(gpu, b)?;
+            let plan = a.source.plan_at(gpu, b, a.overrides)?;
             Ok(measure_load(&plan, &a.source.extras(&plan), gpu))
         })
         .collect::<Result<_, EngineError>>()?;
@@ -808,7 +820,7 @@ fn admit_tenants(
     // Feasibility floor: every tenant at batch 1 must fit the pool.
     let base: Vec<ExecutionPlan> = asks
         .iter()
-        .map(|a| a.source.plan_at(gpu, 1))
+        .map(|a| a.source.plan_at(gpu, 1, a.overrides))
         .collect::<Result<_, _>>()?;
     let weights_total: usize = base.iter().map(|p| p.weights_bytes).sum();
     let pooled_peak =
@@ -831,7 +843,7 @@ fn admit_tenants(
         if batches[i] > 1 {
             let cap = crate::planner::largest_batch_where(|b| {
                 ask.source
-                    .plan_at(gpu, b)
+                    .plan_at(gpu, b, ask.overrides)
                     .map(|p| {
                         let mut probe = base_slices.clone();
                         probe[i] = p.staged_arena_bytes();
@@ -849,7 +861,7 @@ fn admit_tenants(
         let slices: Vec<usize> = asks
             .iter()
             .zip(batches.iter())
-            .map(|(a, &b)| Ok(a.source.plan_at(gpu, b)?.staged_arena_bytes()))
+            .map(|(a, &b)| Ok(a.source.plan_at(gpu, b, a.overrides)?.staged_arena_bytes()))
             .collect::<Result<_, EngineError>>()?;
 
         admissions.clear();
@@ -857,7 +869,7 @@ fn admit_tenants(
             // Memory cap: grow tenant i's slice with every neighbor fixed.
             let max_feasible = crate::planner::largest_batch_where(|b| {
                 ask.source
-                    .plan_at(gpu, b)
+                    .plan_at(gpu, b, ask.overrides)
                     .map(|p| {
                         let mut probe = slices.clone();
                         probe[i] = p.staged_arena_bytes();
@@ -876,7 +888,7 @@ fn admit_tenants(
                 }));
             }
             let window_ms = |b: usize| -> Result<f64, EngineError> {
-                let plan = ask.source.plan_at(gpu, b)?;
+                let plan = ask.source.plan_at(gpu, b, ask.overrides)?;
                 let extras = ask.source.extras(&plan);
                 let (_, steady) =
                     modeled_window_under(&plan, &extras, gpu, streams, mix.as_deref());
@@ -946,6 +958,9 @@ pub struct TenantSpec {
     pub batch: Option<usize>,
     /// p95 latency target, milliseconds.
     pub slo_ms: Option<f64>,
+    /// Route overrides applied when lowering and staging this tenant's
+    /// plan (fusion, forced routes).
+    pub overrides: RouteOverrides,
 }
 
 impl TenantSpec {
@@ -957,7 +972,14 @@ impl TenantSpec {
             model,
             batch: None,
             slo_ms: None,
+            overrides: RouteOverrides::default(),
         }
+    }
+
+    /// Sets the route overrides (e.g. turn the fusion pass on).
+    pub fn with_overrides(mut self, overrides: RouteOverrides) -> Self {
+        self.overrides = overrides;
+        self
     }
 
     /// Sets the requested window size.
@@ -981,6 +1003,7 @@ pub struct Tenant {
     staged: Arc<StagedModel>,
     admission: Admission,
     slo_ms: Option<f64>,
+    overrides: RouteOverrides,
     cold_ms: f64,
     steady_ms: f64,
 }
@@ -1268,6 +1291,7 @@ impl DeviceRuntime {
                 source: PlanSource::Model(&s.model),
                 batch: s.batch,
                 slo_ms: s.slo_ms,
+                overrides: s.overrides,
             })
             .collect();
         // Admission also hands back the registered mix at the chosen
@@ -1282,7 +1306,9 @@ impl DeviceRuntime {
         for (spec, admission) in specs.into_iter().zip(admissions) {
             let slo_ms = spec.slo_ms;
             let name = spec.name;
-            let staged = StagedModel::stage_with(spec.model, ctx.clone(), admission.batch)?;
+            let overrides = spec.overrides;
+            let staged =
+                StagedModel::stage_with_opts(spec.model, ctx.clone(), admission.batch, overrides)?;
             let extras = activation_extras_model(staged.plan(), staged.model());
             let (cold_s, steady_s) =
                 modeled_window_under(staged.plan(), &extras, gpu, streams, mix.as_deref());
@@ -1291,6 +1317,7 @@ impl DeviceRuntime {
                 staged,
                 admission,
                 slo_ms,
+                overrides,
                 cold_ms: cold_s * 1e3,
                 steady_ms: steady_s * 1e3,
             });
@@ -1537,10 +1564,11 @@ impl DeviceRuntime {
     /// and the surviving tenants are untouched — then refreshes the
     /// registered mix.
     fn restage_tenant(&mut self, t: usize, batch: usize) -> Result<(), EngineError> {
-        let staged = StagedModel::stage_with(
+        let staged = StagedModel::stage_with_opts(
             self.tenants[t].staged.model().clone(),
             self.ctx.clone(),
             batch,
+            self.tenants[t].overrides,
         )?;
         for stream in &mut self.streams {
             stream.replace_lane(t, &staged)?;
@@ -1578,12 +1606,14 @@ impl DeviceRuntime {
                     source: PlanSource::Model(t.staged.model()),
                     batch: Some(t.staged.plan().batch),
                     slo_ms: t.slo_ms,
+                    overrides: t.overrides,
                 })
                 .collect();
             asks.push(TenantAsk {
                 source: PlanSource::Model(&spec.model),
                 batch: spec.batch,
                 slo_ms: spec.slo_ms,
+                overrides: spec.overrides,
             });
             admit_tenants(&asks, &self.phone, streams)?
         };
@@ -1596,7 +1626,7 @@ impl DeviceRuntime {
         // slice binds first.
         let slice = self.pool_slice_bytes();
         let arena_at = |b: usize| {
-            ExecutionPlan::for_model_batched(&spec.model, &gpu, b)
+            ExecutionPlan::for_model_batched_with(&spec.model, &gpu, b, spec.overrides)
                 .map(|p| p.staged_arena_bytes())
                 .ok()
         };
@@ -1614,7 +1644,9 @@ impl DeviceRuntime {
         admission.batch = admission.batch.min(slice_cap);
         let slo_ms = spec.slo_ms;
         let name = spec.name;
-        let staged = StagedModel::stage_with(spec.model, self.ctx.clone(), admission.batch)?;
+        let overrides = spec.overrides;
+        let staged =
+            StagedModel::stage_with_opts(spec.model, self.ctx.clone(), admission.batch, overrides)?;
         for stream in &mut self.streams {
             stream.attach_lane(&staged)?;
         }
@@ -1623,6 +1655,7 @@ impl DeviceRuntime {
             staged,
             admission,
             slo_ms,
+            overrides,
             cold_ms: 0.0, // refreshed just below
             steady_ms: 0.0,
         });
@@ -1994,7 +2027,7 @@ pub struct ServeReport {
 /// let mut runtime = ServeRuntime::new(
 ///     model,
 ///     &Phone::xiaomi_9(),
-///     ServeOptions { streams: 2, batch: Some(2), slo_ms: None },
+///     ServeOptions { streams: 2, batch: Some(2), ..Default::default() },
 /// )?;
 /// let requests: Vec<_> = (0..6)
 ///     .map(|i| Tensor::from_fn(Shape4::new(1, 8, 8, 3), move |_, h, w, c| {
@@ -2032,6 +2065,7 @@ impl ServeRuntime {
             model,
             batch: opts.batch,
             slo_ms: opts.slo_ms,
+            overrides: opts.overrides,
         };
         Ok(Self {
             inner: DeviceRuntime::new(vec![spec], phone, opts.streams)?,
@@ -2319,6 +2353,7 @@ pub fn estimate_serve_multitenant(
             source: PlanSource::Arch(w.arch),
             batch: w.batch,
             slo_ms: w.slo_ms,
+            overrides: RouteOverrides::default(),
         })
         .collect();
     let (admissions, mix) = admit_tenants(&asks, phone, streams)
@@ -2541,6 +2576,7 @@ pub fn estimate_serve_open_loop(
             source: PlanSource::Arch(w.arch),
             batch: w.batch,
             slo_ms: w.slo_ms,
+            overrides: RouteOverrides::default(),
         })
         .collect();
     let (admissions, mix) = admit_tenants(&asks, phone, streams)
@@ -2682,6 +2718,7 @@ mod tests {
                 streams: 2,
                 batch: Some(2),
                 slo_ms: None,
+                ..Default::default()
             },
         )
         .expect("fits");
@@ -2714,7 +2751,7 @@ mod tests {
         let opts = ServeOptions {
             streams: 3,
             batch: Some(2),
-            slo_ms: None,
+            ..Default::default()
         };
         let reqs = requests(12);
         let mut a = ServeRuntime::new(micro_model(), &phone, opts).unwrap();
@@ -2736,6 +2773,7 @@ mod tests {
                 streams: 2,
                 batch: None,
                 slo_ms: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2753,6 +2791,7 @@ mod tests {
                 streams: 2,
                 batch: None,
                 slo_ms: Some(tight_ms),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2771,6 +2810,7 @@ mod tests {
                 streams: 2,
                 batch: Some(1 << 20),
                 slo_ms: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2791,6 +2831,7 @@ mod tests {
                     streams,
                     batch: Some(2),
                     slo_ms: None,
+                    ..Default::default()
                 },
             )
             .unwrap()

@@ -10,6 +10,7 @@ pub mod bgemm;
 pub mod bitplane;
 pub mod dense;
 pub mod fconv;
+pub mod fused;
 pub mod pool;
 pub mod profiles;
 pub mod tiled;

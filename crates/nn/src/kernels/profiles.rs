@@ -35,7 +35,7 @@ pub const VEC_LANES_128: usize = 4;
 /// `uchar`/`ushort` words and vectorize several taps per 32-bit ALU op, so
 /// the cycle cost scales with *bits*, floored at one `uchar` (8 bits) per
 /// tap — not with word-aligned 32-bit spans.
-fn words32(channels: usize) -> f64 {
+pub(crate) fn words32(channels: usize) -> f64 {
     (channels as f64).max(8.0) / 32.0
 }
 
@@ -120,7 +120,11 @@ pub fn bconv_fused_divergent(
 
 /// Compulsory input traffic of a convolution given on-chip window reuse:
 /// each packed input byte is fetched once.
-fn compulsory_input_bytes(out_pixels: usize, in_channels: usize, geom: &ConvGeometry) -> f64 {
+pub(crate) fn compulsory_input_bytes(
+    out_pixels: usize,
+    in_channels: usize,
+    geom: &ConvGeometry,
+) -> f64 {
     // Input pixels ~ out_pixels * stride^2 (+ halo, ignored).
     let in_pixels = out_pixels as f64 * (geom.stride_h * geom.stride_w) as f64;
     in_pixels * (in_channels as f64 / 8.0)

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ServeOptions {
                 streams,
                 batch: Some(4),
-                slo_ms: None,
+                ..Default::default()
             },
         )?;
         let report = runtime.serve_u8(&requests)?;
@@ -82,6 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 streams: 2,
                 batch: None,
                 slo_ms,
+                ..Default::default()
             },
         )?;
         let adm = runtime.admission();

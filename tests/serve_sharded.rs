@@ -28,7 +28,7 @@ fn opts(streams: usize, batch: usize) -> ServeOptions {
     ServeOptions {
         streams,
         batch: Some(batch),
-        slo_ms: None,
+        ..Default::default()
     }
 }
 
