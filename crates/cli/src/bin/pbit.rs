@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use phonebit_cli::{
-    cmd_bench, cmd_gen, cmd_info, cmd_plan, cmd_run, cmd_serve, cmd_serve_multitenant,
+    cmd_bench, cmd_fleet, cmd_gen, cmd_info, cmd_plan, cmd_run, cmd_serve, cmd_serve_multitenant,
     cmd_serve_openloop, CliError, USAGE,
 };
 
@@ -182,6 +182,46 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
                 return Err(CliError::Usage("bench needs <model>".into()));
             };
             cmd_bench(model, &phone)
+        }
+        "fleet" => {
+            let count_flag = |flag: &str, default: usize| -> Result<usize, CliError> {
+                flag_value(rest, flag)
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| CliError::Usage(format!("bad {flag} `{s}`")))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let float_flag = |flag: &str, default: f64| -> Result<f64, CliError> {
+                flag_value(rest, flag)
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| CliError::Usage(format!("bad {flag} `{s}`")))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let slo_ms = flag_value(rest, "--slo-ms")
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| CliError::Usage(format!("bad --slo-ms `{s}`")))
+                })
+                .transpose()?;
+            cmd_fleet(
+                &flag_values(rest, "--model"),
+                count_flag("--devices", 4)?,
+                &flag_value(rest, "--policy").unwrap_or_else(|| "p2c".into()),
+                float_flag("--zipf", 1.0)?,
+                float_flag("--rate", 200.0)?,
+                float_flag("--duration", 400.0)?,
+                count_flag("--streams", 2)?,
+                count_flag("--replicas", 2)?,
+                slo_ms,
+                &flag_values(rest, "--fail"),
+                &flag_values(rest, "--join"),
+                seed,
+            )
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(

@@ -14,10 +14,11 @@ use std::path::Path;
 
 use phonebit_core::format::{load_file, save_file};
 use phonebit_core::{
-    convert, estimate_arch, max_feasible_batch_multitenant, max_feasible_batch_sharded,
-    plan_multitenant, plan_on_sharded, ArrivalProcess, DeviceRuntime, ExecutionPlan, FusionMode,
-    OpenLoopOptions, PbitLayer, PbitModel, RouteOverrides, ServeOptions, ServeRuntime, Session,
-    TenantSpec, TenantTraffic,
+    convert, estimate_arch, estimate_fleet, max_feasible_batch_multitenant,
+    max_feasible_batch_sharded, plan_multitenant, plan_on_sharded, zipf_rates, ArrivalProcess,
+    DeviceRuntime, ExecutionPlan, FleetDeviceSpec, FleetEvent, FleetOptions, FusionMode,
+    OpenLoopOptions, OpenLoopWorkload, PbitLayer, PbitModel, RouteOverrides, RoutePolicy,
+    ServeOptions, ServeRuntime, Session, TenantSpec, TenantTraffic,
 };
 use phonebit_gpusim::{FaultPlan, Phone};
 use phonebit_models::zoo::{self, Variant};
@@ -656,6 +657,222 @@ pub fn cmd_serve_openloop(
     Ok(out)
 }
 
+/// Parses a fleet event spec: `<ms>@<device>` for `--fail` (device is a
+/// numeric index) or `<ms>@<phone>` for `--join`.
+fn parse_fleet_event(spec: &str, join: bool) -> Result<FleetEvent, CliError> {
+    let (ms, target) = spec.split_once('@').ok_or_else(|| {
+        CliError::Usage(format!(
+            "bad event `{spec}` (want <ms>@<{}>)",
+            if join { "phone" } else { "device" }
+        ))
+    })?;
+    let at_ms: f64 = ms
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad event time `{ms}` in `{spec}`")))?;
+    if !at_ms.is_finite() || at_ms < 0.0 {
+        return Err(CliError::Usage(format!(
+            "event time must be finite and >= 0 in `{spec}`"
+        )));
+    }
+    if join {
+        Ok(FleetEvent::Join {
+            at_ms,
+            phone: phone_by_name(target)?,
+            fault: None,
+        })
+    } else {
+        let device: usize = target
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad device index `{target}` in `{spec}`")))?;
+        Ok(FleetEvent::Fail { at_ms, device })
+    }
+}
+
+/// `pbit fleet [--model <name>]... [--devices 4] [--policy p2c]
+/// [--zipf 1.0] [--rate 200] [--duration 400] [--streams 2]
+/// [--replicas 2] [--slo-ms T] [--fail <ms>@<dev>]... [--join
+/// <ms>@<phone>]... [--seed N]`: models a fleet of simulated devices
+/// (alternating Snapdragon 855 / 820) behind the global router. Tenant
+/// arrival rates are Zipf-skewed shares of `--rate`; device failures
+/// re-route uncommitted requests and migrate orphaned tenants. Prints
+/// per-device utilization, per-tenant percentiles and the global latency
+/// distribution — the same [`phonebit_core::FleetReport`] the `fleet_report` bench bin
+/// sweeps.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_fleet(
+    models: &[String],
+    devices: usize,
+    policy: &str,
+    zipf: f64,
+    rate_per_s: f64,
+    duration_ms: f64,
+    streams: usize,
+    replicas: usize,
+    slo_ms: Option<f64>,
+    fails: &[String],
+    joins: &[String],
+    seed: u64,
+) -> Result<String, CliError> {
+    if devices == 0 || streams == 0 || replicas == 0 {
+        return Err(CliError::Usage(
+            "fleet needs --devices >= 1, --streams >= 1 and --replicas >= 1".into(),
+        ));
+    }
+    if duration_ms <= 0.0 {
+        return Err(CliError::Usage("fleet needs --duration > 0 (ms)".into()));
+    }
+    if !rate_per_s.is_finite() || rate_per_s <= 0.0 {
+        return Err(CliError::Usage("fleet needs --rate > 0 (req/s)".into()));
+    }
+    if !zipf.is_finite() || zipf < 0.0 {
+        return Err(CliError::Usage("fleet needs --zipf >= 0".into()));
+    }
+    if slo_ms.is_some_and(|s| s <= 0.0) {
+        return Err(CliError::Usage("fleet needs --slo-ms > 0".into()));
+    }
+    let policy = RoutePolicy::parse(policy).map_err(CliError::Usage)?;
+    let names: Vec<String> = if models.is_empty() {
+        vec!["yolo-micro".into(), "alexnet-micro".into()]
+    } else {
+        models.to_vec()
+    };
+    let archs: Vec<NetworkArch> = names
+        .iter()
+        .map(|m| arch_by_name(m))
+        .collect::<Result<_, _>>()?;
+
+    let rates = zipf_rates(rate_per_s, archs.len(), zipf);
+    let workloads: Vec<OpenLoopWorkload<'_>> = archs
+        .iter()
+        .zip(&rates)
+        .enumerate()
+        .map(|(t, (arch, &rate))| OpenLoopWorkload {
+            arch,
+            batch: Some(1),
+            slo_ms,
+            arrival: ArrivalProcess::poisson(rate),
+            seed: seed.wrapping_add(t as u64),
+        })
+        .collect();
+
+    let specs: Vec<FleetDeviceSpec> = (0..devices)
+        .map(|d| {
+            FleetDeviceSpec::new(if d % 2 == 0 {
+                Phone::xiaomi_9()
+            } else {
+                Phone::xiaomi_5()
+            })
+        })
+        .collect();
+    let mut events: Vec<FleetEvent> = Vec::new();
+    for spec in fails {
+        events.push(parse_fleet_event(spec, false)?);
+    }
+    for spec in joins {
+        events.push(parse_fleet_event(spec, true)?);
+    }
+    for ev in &events {
+        if let FleetEvent::Fail { device, .. } = ev {
+            if *device >= devices + joins.len() {
+                return Err(CliError::Usage(format!(
+                    "--fail device index {device} out of range (fleet has {devices} \
+                     device(s) plus {} join(s))",
+                    joins.len()
+                )));
+            }
+        }
+    }
+    let opts = FleetOptions {
+        policy,
+        seed,
+        replicas,
+        streams,
+        ..FleetOptions::default()
+    };
+    let report = estimate_fleet(&specs, &workloads, duration_ms, &events, &opts);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet of {} device(s), {} tenant(s), policy {}, seed {}: {} offered, {} served, \
+         {} shed, {} migrated over {duration_ms:.1} ms of arrivals",
+        report.devices.len(),
+        report.tenants.len(),
+        report.policy.name(),
+        report.seed,
+        report.offered,
+        report.served,
+        report.shed,
+        report.migrated,
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<10} {:>6} {:>7} {:>7} {:>6} {:>5} {:>6} {:>9}",
+        "device", "phone", "state", "tenants", "offered", "served", "shed", "util", "imgs/s"
+    );
+    for dr in &report.devices {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<10} {:>6} {:>7} {:>7} {:>6} {:>5} {:>5.1}% {:>9.1}",
+            dr.id,
+            dr.phone,
+            if dr.failed { "dead" } else { "live" },
+            dr.tenants,
+            dr.offered,
+            dr.served,
+            dr.shed,
+            dr.utilization * 100.0,
+            dr.imgs_per_s,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>7} {:>6} {:>5} {:>5} {:>9} {:>9} {:>9} {:>10} {:>12}",
+        "tenant",
+        "offered",
+        "served",
+        "shed",
+        "moved",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "p99.9(ms)",
+        "slo"
+    );
+    for tr in &report.tenants {
+        let slo = match tr.slo_ms {
+            Some(s) => format!("{s:.1}ms {}", if tr.slo_met { "MET" } else { "MISSED" }),
+            None => "-".into(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7} {:>6} {:>5} {:>5} {:>9.3} {:>9.3} {:>9.3} {:>10.3} {:>12}",
+            tr.name,
+            tr.offered,
+            tr.served,
+            tr.shed,
+            tr.migrated,
+            tr.p50_ms,
+            tr.p95_ms,
+            tr.p99_ms,
+            tr.p999_ms,
+            slo
+        );
+    }
+    let _ = writeln!(
+        out,
+        "global p50 {:.3} / p95 {:.3} / p99 {:.3} / p99.9 {:.3} ms; goodput {:.1} imgs/s \
+         over {:.3} ms wall",
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.p999_ms,
+        report.goodput_imgs_per_s,
+        report.wall_ms,
+    );
+    Ok(out)
+}
+
 /// `pbit plan <model> [--batch 4] [--streams 2] [--pair <model2>]`:
 /// deployment planning per phone — weights, the solo arena peak, the
 /// sharded (`streams × banks × Σ slots`) peak, and `max_feasible_batch`
@@ -849,6 +1066,19 @@ USAGE:
                                                sharded arena peaks, max feasible batch,
                                                fused vs unfused dispatches per image;
                                                --pair adds the pooled co-resident peak
+    pbit fleet [--model <name>]... [--devices 4] [--policy p2c] [--zipf 1.0]
+               [--rate 200] [--duration 400] [--streams 2] [--replicas 2]
+               [--slo-ms T] [--fail <ms>@<dev>]... [--join <ms>@<phone>]...
+               [--seed N]
+                                               fleet-scale serving model: a cluster of
+                                               alternating x9/x5 devices behind the
+                                               global router (random | p2c | jsq |
+                                               affinity), Zipf-skewed tenant rates
+                                               sharing --rate req/s, device failures
+                                               re-routing uncommitted requests and
+                                               migrating orphaned tenants; prints
+                                               per-device utilization, per-tenant and
+                                               global latency percentiles
     pbit bench <model> [--phone x9]            full-scale modeled latency/energy
     pbit help                                  this text
 
@@ -1060,6 +1290,76 @@ mod tests {
         assert_eq!(out, run(), "open-loop serving must be deterministic");
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn fleet_prints_device_and_tenant_tables_and_is_deterministic() {
+        let run = || {
+            cmd_fleet(
+                &[],
+                4,
+                "p2c",
+                1.2,
+                300.0,
+                200.0,
+                2,
+                2,
+                Some(60.0),
+                &["80@1".into()],
+                &["120@x9".into()],
+                11,
+            )
+            .unwrap()
+        };
+        let out = run();
+        assert!(out.contains("fleet of 5 device(s)"), "{out}");
+        assert!(out.contains("policy p2c"), "{out}");
+        assert!(out.contains("dev0"), "{out}");
+        assert!(out.contains("dead"), "missing failed device row: {out}");
+        for col in ["util", "imgs/s", "moved", "p99.9(ms)", "global p50"] {
+            assert!(out.contains(col), "missing column {col}: {out}");
+        }
+        assert_eq!(out, run(), "fleet report must be deterministic");
+    }
+
+    #[test]
+    fn fleet_rejects_bad_flags_by_name() {
+        let base = |policy: &str, fails: &[String], devices: usize, rate: f64| {
+            cmd_fleet(
+                &[],
+                devices,
+                policy,
+                1.0,
+                rate,
+                100.0,
+                2,
+                1,
+                None,
+                fails,
+                &[],
+                7,
+            )
+        };
+        let err = base("fastest", &[], 2, 200.0).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(m) if m.contains("fastest")),
+            "{err:?}"
+        );
+        let err = base("p2c", &["80".into()], 2, 200.0).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(m) if m.contains("80")),
+            "{err:?}"
+        );
+        let err = base("p2c", &["80@9".into()], 2, 200.0).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(m) if m.contains("out of range")),
+            "{err:?}"
+        );
+        assert!(matches!(
+            base("p2c", &[], 0, 200.0),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(base("p2c", &[], 2, -5.0), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -138,9 +138,13 @@ impl ArrivalProcess {
     /// - `poisson:<rate>` — Poisson at `<rate>` req/s
     /// - `burst:<base>:<burst>:<period_ms>:<frac>` — square-wave rate
     /// - `heavytail:<rate>:<alpha>` — Pareto inter-arrivals
+    ///
+    /// Every malformed spec is rejected with an error naming the offending
+    /// token: an unknown kind, a field that is not a finite number, a
+    /// known kind with the wrong field count, or an out-of-range value.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut parts = spec.trim().split(':');
-        let kind = parts.next().unwrap_or_default();
+        let kind = parts.next().unwrap_or_default().trim();
         let nums: Vec<f64> = parts
             .map(|p| {
                 p.trim()
@@ -148,39 +152,62 @@ impl ArrivalProcess {
                     .map_err(|_| format!("bad arrival number `{p}` in `{spec}`"))
             })
             .collect::<Result<_, _>>()?;
+        let arity = |want: usize, shape: &str| {
+            if nums.len() == want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "`{kind}` takes {want} field(s) ({shape}), got {} in `{spec}`",
+                    nums.len()
+                ))
+            }
+        };
         let positive = |v: f64, what: &str| {
             if v.is_finite() && v > 0.0 {
                 Ok(v)
             } else {
-                Err(format!("{what} must be positive in `{spec}`"))
+                Err(format!(
+                    "{what} `{v}` must be positive and finite in `{spec}`"
+                ))
             }
         };
-        match (kind, nums.as_slice()) {
-            ("poisson", [rate]) => Ok(Self::Poisson {
-                rate_per_s: positive(*rate, "rate")?,
-            }),
-            ("burst", [base, burst, period, frac]) => {
-                if !(*frac > 0.0 && *frac < 1.0) {
-                    return Err(format!("burst fraction must be in (0, 1) in `{spec}`"));
+        match kind {
+            "poisson" => {
+                arity(1, "poisson:<rate>")?;
+                Ok(Self::Poisson {
+                    rate_per_s: positive(nums[0], "rate")?,
+                })
+            }
+            "burst" => {
+                arity(4, "burst:<base>:<burst>:<period_ms>:<frac>")?;
+                let frac = nums[3];
+                if !(frac > 0.0 && frac < 1.0) {
+                    return Err(format!(
+                        "burst fraction `{frac}` must be in (0, 1) in `{spec}`"
+                    ));
                 }
                 Ok(Self::Burst {
-                    base_per_s: positive(*base, "base rate")?,
-                    burst_per_s: positive(*burst, "burst rate")?,
-                    period_ms: positive(*period, "period")?,
-                    burst_frac: *frac,
+                    base_per_s: positive(nums[0], "base rate")?,
+                    burst_per_s: positive(nums[1], "burst rate")?,
+                    period_ms: positive(nums[2], "period")?,
+                    burst_frac: frac,
                 })
             }
-            ("heavytail", [rate, alpha]) => {
-                if alpha.is_nan() || *alpha <= 1.0 {
-                    return Err(format!("heavytail alpha must exceed 1 in `{spec}`"));
+            "heavytail" => {
+                arity(2, "heavytail:<rate>:<alpha>")?;
+                let alpha = nums[1];
+                if !alpha.is_finite() || alpha <= 1.0 {
+                    return Err(format!(
+                        "heavytail alpha `{alpha}` must exceed 1 in `{spec}`"
+                    ));
                 }
                 Ok(Self::HeavyTail {
-                    rate_per_s: positive(*rate, "rate")?,
-                    alpha: *alpha,
+                    rate_per_s: positive(nums[0], "rate")?,
+                    alpha,
                 })
             }
-            _ => Err(format!(
-                "unknown arrival spec `{spec}` (want poisson:<rate>, \
+            other => Err(format!(
+                "unknown arrival kind `{other}` in `{spec}` (want poisson:<rate>, \
                  burst:<base>:<burst>:<period_ms>:<frac>, or heavytail:<rate>:<alpha>)"
             )),
         }
@@ -302,6 +329,55 @@ mod tests {
         ] {
             assert!(ArrivalProcess::parse(bad).is_err(), "`{bad}` should fail");
         }
+    }
+
+    #[test]
+    fn reject_errors_name_the_offending_token() {
+        // Wrong arity on a *known* kind names the kind and the count —
+        // not the generic unknown-spec catch-all.
+        let err = ArrivalProcess::parse("poisson:1:2").unwrap_err();
+        assert!(err.contains("`poisson`") && err.contains("got 2"), "{err}");
+        let err = ArrivalProcess::parse("poisson").unwrap_err();
+        assert!(err.contains("`poisson`") && err.contains("got 0"), "{err}");
+        let err = ArrivalProcess::parse("burst:5:200:1000").unwrap_err();
+        assert!(err.contains("`burst`") && err.contains("got 3"), "{err}");
+        let err = ArrivalProcess::parse("burst:5:200:1000:0.2:9").unwrap_err();
+        assert!(err.contains("`burst`") && err.contains("got 5"), "{err}");
+        let err = ArrivalProcess::parse("heavytail:50").unwrap_err();
+        assert!(
+            err.contains("`heavytail`") && err.contains("got 1"),
+            "{err}"
+        );
+        let err = ArrivalProcess::parse("heavytail:50:1.3:0").unwrap_err();
+        assert!(
+            err.contains("`heavytail`") && err.contains("got 3"),
+            "{err}"
+        );
+        // A non-numeric field names the field, not just the spec.
+        let err = ArrivalProcess::parse("poisson:fast").unwrap_err();
+        assert!(err.contains("`fast`"), "{err}");
+        let err = ArrivalProcess::parse("burst:5:x:1000:0.2").unwrap_err();
+        assert!(err.contains("`x`"), "{err}");
+        // Out-of-range values quote the value.
+        let err = ArrivalProcess::parse("poisson:-3").unwrap_err();
+        assert!(err.contains("-3"), "{err}");
+        let err = ArrivalProcess::parse("poisson:inf").unwrap_err();
+        assert!(err.contains("inf"), "{err}");
+        let err = ArrivalProcess::parse("poisson:nan").unwrap_err();
+        assert!(err.to_lowercase().contains("nan"), "{err}");
+        let err = ArrivalProcess::parse("burst:5:200:1000:1.5").unwrap_err();
+        assert!(err.contains("1.5"), "{err}");
+        let err = ArrivalProcess::parse("burst:0:200:1000:0.2").unwrap_err();
+        assert!(err.contains("base rate"), "{err}");
+        let err = ArrivalProcess::parse("heavytail:50:0.9").unwrap_err();
+        assert!(err.contains("0.9"), "{err}");
+        let err = ArrivalProcess::parse("heavytail:50:nan").unwrap_err();
+        assert!(err.to_lowercase().contains("nan"), "{err}");
+        // Unknown kinds name the kind.
+        let err = ArrivalProcess::parse("uniform:10").unwrap_err();
+        assert!(err.contains("`uniform`"), "{err}");
+        // Leading/trailing whitespace still parses.
+        assert!(ArrivalProcess::parse("  poisson: 25 ").is_ok());
     }
 
     #[test]

@@ -1,0 +1,2085 @@
+//! Fleet-scale serving: M simulated devices behind one deterministic
+//! router.
+//!
+//! One phone serves one neighbourhood; the ROADMAP's north star is heavy
+//! traffic from millions of users, which means **many** devices behind a
+//! global router. This module builds that layer out of pieces every prior
+//! PR made deterministic — seeded [`ArrivalProcess`](crate::ArrivalProcess)
+//! streams, per-device [`DeviceClock`](phonebit_gpusim::DeviceClock)s with
+//! seeded [`FaultPlan`]s, and the
+//! multi-tenant [`DeviceRuntime`] with its live [`attach`] / [`detach`]
+//! machinery — so the whole cluster is reproducible end to end and
+//! therefore fully testable (`tests/fleet.rs` pins bit-exactness of routed
+//! outputs against solo execution, conservation, and policy ordering).
+//!
+//! **Placement.** At admission every tenant is placed on up to
+//! [`FleetOptions::replicas`] devices: candidates are the devices whose
+//! weight budget fits the tenant next to its already-placed neighbours at
+//! the batch-1 pooled floor (`Σ weights + streams × max arena`, the same
+//! feasibility formula the admission controller enforces), ranked by
+//! accumulated modeled solo load — weight-budget *and* modeled-load aware,
+//! never random.
+//!
+//! **Routing.** Per-request open-loop traffic is steered by a pluggable
+//! [`RoutePolicy`] over the tenant's live replicas: power-of-two-choices,
+//! join-shortest-modeled-queue, tenant-affinity (home device first), and a
+//! random baseline. The router charges each routed request its modeled
+//! per-request service (`steady_ms / batch`) against the device's modeled
+//! busy horizon; queue-aware policies compare those horizons. All
+//! randomness comes from one seeded [`StdRng`], so a fleet pass is a pure
+//! function of its inputs.
+//!
+//! **Failure and migration.** [`FleetEvent::Fail`] kills a device at a
+//! point in modeled time: requests whose charged completion precedes the
+//! failure are **committed** (the device drains them), everything later
+//! re-enters the router at the failure instant and is re-routed to the
+//! surviving replicas. A tenant whose replicas all died is migrated — the
+//! real [`DeviceRuntime::attach`] on the least-busy feasible survivor —
+//! and tenants left with zero committed requests on a dead device are
+//! [`detach`]ed before the drain so the wreck is not modeled as
+//! contention. [`FleetEvent::Join`] attaches a fresh device mid-pass and
+//! hosts every tenant that fits it.
+//!
+//! A migrated request's deadline re-anchors to its hand-off time (the
+//! fleet treats migration as re-admission) while its *reported* latency
+//! stays anchored to the original arrival, so fleet percentiles include
+//! the migration delay.
+//!
+//! **Ordering guarantee.** Within a tenant, every device serves its routed
+//! slice in effective-arrival order (the scheduler's per-tenant FIFO), and
+//! each request keeps its identity end to end — the conservation invariant
+//! is *exactly-once fates* plus identity-preserving outputs, not a single
+//! global total order across devices.
+//!
+//! [`FleetReport`] aggregates the cluster: per-device utilization (clock
+//! busy seconds over `streams × wall`), aggregate images/s, and global
+//! p50/p95/p99/p99.9 computed with the same nearest-rank rule as the
+//! single-device reports. [`estimate_fleet`] mirrors the executed path at
+//! full scale (no weights, no kernel bodies) for the `fleet_report` bench
+//! bin, exactly as [`estimate_serve_open_loop`](crate::estimate_serve_open_loop)
+//! mirrors [`DeviceRuntime::serve_open_loop`].
+//!
+//! [`attach`]: DeviceRuntime::attach
+//! [`detach`]: DeviceRuntime::detach
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use phonebit_gpusim::clock::{ClockRegistry, FaultPlan};
+use phonebit_gpusim::Phone;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{ActivationData, EngineError};
+use crate::plan::RouteOverrides;
+use crate::serve::{
+    admit_tenants, modeled_window_under, open_loop_windows, percentiles_ext, schedule_open_loop,
+    DeviceRuntime, OpenLoopLoad, OpenLoopOptions, OpenLoopWorkload, PlanSource, ShedReason,
+    TenantAsk, TenantSpec, TenantTraffic, WindowFate,
+};
+use phonebit_nn::graph::NetworkArch;
+use phonebit_tensor::tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Policies, options, events
+// ---------------------------------------------------------------------------
+
+/// How the router steers each request among a tenant's live replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Uniform over live replicas — the baseline every other policy must
+    /// beat.
+    Random,
+    /// Power of two choices: sample two distinct replicas, send to the one
+    /// with the shorter modeled queue (lower device index on ties).
+    PowerOfTwo,
+    /// Join the shortest modeled queue across all live replicas.
+    ShortestQueue,
+    /// Always the tenant's home device (first live replica in placement
+    /// order) — maximal cache/lane affinity, no load spreading.
+    TenantAffinity,
+}
+
+impl RoutePolicy {
+    /// Every policy, in report order.
+    pub const ALL: [RoutePolicy; 4] = [
+        RoutePolicy::Random,
+        RoutePolicy::PowerOfTwo,
+        RoutePolicy::ShortestQueue,
+        RoutePolicy::TenantAffinity,
+    ];
+
+    /// Short stable name (`random` / `p2c` / `jsq` / `affinity`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutePolicy::Random => "random",
+            RoutePolicy::PowerOfTwo => "p2c",
+            RoutePolicy::ShortestQueue => "jsq",
+            RoutePolicy::TenantAffinity => "affinity",
+        }
+    }
+
+    /// Parses a policy name; the error names the offending token.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "random" => Ok(RoutePolicy::Random),
+            "p2c" | "power-of-two" | "powertwo" => Ok(RoutePolicy::PowerOfTwo),
+            "jsq" | "shortest-queue" | "shortest" => Ok(RoutePolicy::ShortestQueue),
+            "affinity" | "tenant-affinity" => Ok(RoutePolicy::TenantAffinity),
+            other => Err(format!(
+                "unknown route policy `{other}` (want random | p2c | jsq | affinity)"
+            )),
+        }
+    }
+}
+
+/// Knobs for one fleet pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOptions {
+    /// Request steering policy.
+    pub policy: RoutePolicy,
+    /// Router RNG seed (placement is deterministic; only `random` / `p2c`
+    /// draw).
+    pub seed: u64,
+    /// Replicas placed per tenant (clamped to the feasible device count).
+    pub replicas: usize,
+    /// Pooled streams per device.
+    pub streams: usize,
+    /// Per-device open-loop execution knobs. Defaults pin
+    /// `max_replans = 0` so the batch the router charged is the batch the
+    /// device executes.
+    pub open_loop: OpenLoopOptions,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            policy: RoutePolicy::PowerOfTwo,
+            seed: 42,
+            replicas: 2,
+            streams: 2,
+            open_loop: OpenLoopOptions {
+                max_replans: 0,
+                ..OpenLoopOptions::default()
+            },
+        }
+    }
+}
+
+/// One device in the fleet: its phone profile and an optional seeded
+/// fault plan installed on its clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDeviceSpec {
+    /// The device's hardware profile (Table I phone).
+    pub phone: Phone,
+    /// Fault injection for this device's clock, if any.
+    pub fault: Option<FaultPlan>,
+}
+
+impl FleetDeviceSpec {
+    /// A fault-free device on the given phone.
+    pub fn new(phone: Phone) -> Self {
+        Self { phone, fault: None }
+    }
+
+    /// Installs a seeded fault plan on the device.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+/// A cluster event on the modeled timeline. At equal timestamps joins
+/// land before failures, and both land before request arrivals.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Join carries a Phone; events are few and never stored in bulk
+pub enum FleetEvent {
+    /// Device `device` dies at `at_ms`: committed requests drain, the
+    /// rest re-route, orphaned tenants migrate.
+    Fail {
+        /// Failure instant, milliseconds.
+        at_ms: f64,
+        /// Device index (initial devices first, then joins in event
+        /// order).
+        device: usize,
+    },
+    /// A fresh device joins at `at_ms` and hosts every tenant that fits.
+    Join {
+        /// Join instant, milliseconds.
+        at_ms: f64,
+        /// The new device's profile.
+        phone: Phone,
+        /// Fault plan for the new device, if any.
+        fault: Option<FaultPlan>,
+    },
+}
+
+impl FleetEvent {
+    fn at_ms(&self) -> f64 {
+        match self {
+            FleetEvent::Fail { at_ms, .. } | FleetEvent::Join { at_ms, .. } => *at_ms,
+        }
+    }
+}
+
+/// Zipf-skewed per-tenant arrival rates: rate `i ∝ 1 / (i+1)^skew`,
+/// normalized to sum to `total_per_s`. `skew = 0` is uniform; `skew ≥ 1`
+/// concentrates most traffic on the first tenants — the hot-tenant regime
+/// placement and routing must survive.
+pub fn zipf_rates(total_per_s: f64, tenants: usize, skew: f64) -> Vec<f64> {
+    assert!(tenants >= 1, "zipf_rates needs >= 1 tenant");
+    assert!(
+        total_per_s.is_finite() && total_per_s > 0.0,
+        "total rate must be positive"
+    );
+    let weights: Vec<f64> = (0..tenants)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(skew))
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| total_per_s * w / sum).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Routed requests, fates, migrations, actions
+// ---------------------------------------------------------------------------
+
+/// One request as the router handed it to a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutedRequest {
+    /// Global index within the tenant's arrival stream.
+    pub index: usize,
+    /// Original arrival, milliseconds — latency stays anchored here.
+    pub arrival_ms: f64,
+    /// Arrival the device schedules by: the original arrival, or the
+    /// failure instant for a re-routed request.
+    pub effective_ms: f64,
+}
+
+/// The terminal state of one fleet request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetRequestFate {
+    /// Served on `device`.
+    Served {
+        /// Device that ran the serving window.
+        device: usize,
+        /// Modeled completion, milliseconds.
+        end_ms: f64,
+        /// Completion minus the request's **original** arrival (includes
+        /// any migration delay), milliseconds.
+        latency_ms: f64,
+    },
+    /// Dropped.
+    Shed {
+        /// Device whose scheduler shed the window, or `None` when no live
+        /// device could host the tenant at all.
+        device: Option<usize>,
+        /// Modeled time of the shed decision, milliseconds.
+        at_ms: f64,
+        /// The device scheduler's reason; `None` for a fleet-level
+        /// no-replica shed.
+        reason: Option<ShedReason>,
+    },
+}
+
+impl FleetRequestFate {
+    /// Whether the request was served.
+    pub fn is_served(&self) -> bool {
+        matches!(self, FleetRequestFate::Served { .. })
+    }
+}
+
+/// One tenant-level migration taken on a device failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMigration {
+    /// When, milliseconds.
+    pub at_ms: f64,
+    /// Which tenant.
+    pub tenant: usize,
+    /// The dead device the traffic came from (`None` when the tenant's
+    /// replicas were already gone before this request arrived).
+    pub from: Option<usize>,
+    /// The surviving device that attached the tenant.
+    pub to: usize,
+}
+
+/// One attach/detach the fleet performed on a device runtime, in order —
+/// enough to replay a device's construction solo (`tests/fleet.rs` uses
+/// this for the bit-exactness pin).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetAction {
+    /// `tenant` was attached to `device` at `at_ms` (failure migration).
+    Attach {
+        /// When, milliseconds.
+        at_ms: f64,
+        /// Fleet tenant id.
+        tenant: usize,
+        /// Device index.
+        device: usize,
+    },
+    /// `tenant` was detached from dead `device` at `at_ms` (zero
+    /// committed requests at failure).
+    Detach {
+        /// When, milliseconds.
+        at_ms: f64,
+        /// Fleet tenant id.
+        tenant: usize,
+        /// Device index.
+        device: usize,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// One device's slice of a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDeviceReport {
+    /// Registry id (`dev0`, `dev1`, …).
+    pub id: String,
+    /// Phone name.
+    pub phone: String,
+    /// Whether the device was killed by a [`FleetEvent::Fail`].
+    pub failed: bool,
+    /// Tenants resident at the end of the pass.
+    pub tenants: usize,
+    /// Requests the router committed to this device.
+    pub offered: usize,
+    /// Requests served here.
+    pub served: usize,
+    /// Requests shed by this device's scheduler.
+    pub shed: usize,
+    /// Busy fraction: modeled attempt seconds (executed durations equal
+    /// modeled ones exactly) over `streams × fleet wall`.
+    pub utilization: f64,
+    /// Served images per second of the fleet horizon.
+    pub imgs_per_s: f64,
+}
+
+/// One tenant's slice of a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Requests that arrived.
+    pub offered: usize,
+    /// Requests served (any device).
+    pub served: usize,
+    /// Requests shed (device scheduler or no-replica).
+    pub shed: usize,
+    /// Requests re-routed after a device failure.
+    pub migrated: usize,
+    /// Median served latency (original arrival → completion), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile served latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile served latency, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile served latency, ms.
+    pub p999_ms: f64,
+    /// The tenant's SLO, if any.
+    pub slo_ms: Option<f64>,
+    /// Whether served p95 met the SLO (true when unset).
+    pub slo_met: bool,
+    /// `shed / offered` (0 when nothing arrived).
+    pub shed_rate: f64,
+}
+
+/// Fleet-wide accounting for one pass: per-device utilization, per-tenant
+/// percentiles, and the global latency distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The routing policy that produced this pass.
+    pub policy: RoutePolicy,
+    /// Router seed.
+    pub seed: u64,
+    /// Per-device rows, in registry order.
+    pub devices: Vec<FleetDeviceReport>,
+    /// Per-tenant rows, in tenant order.
+    pub tenants: Vec<FleetTenantReport>,
+    /// Total requests offered across tenants.
+    pub offered: usize,
+    /// Total served.
+    pub served: usize,
+    /// Total shed.
+    pub shed: usize,
+    /// Requests re-routed after device failures.
+    pub migrated: usize,
+    /// Last modeled completion across devices, milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate served images per second of `max(wall, last arrival)`.
+    pub goodput_imgs_per_s: f64,
+    /// Global median served latency, ms.
+    pub p50_ms: f64,
+    /// Global 95th-percentile served latency, ms.
+    pub p95_ms: f64,
+    /// Global 99th-percentile served latency, ms.
+    pub p99_ms: f64,
+    /// Global 99.9th-percentile served latency, ms.
+    pub p999_ms: f64,
+}
+
+/// Everything a [`Fleet::serve_open_loop`] pass produced: the aggregate
+/// report plus the per-request evidence the invariant tests pin.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Aggregate accounting.
+    pub report: FleetReport,
+    /// Per-tenant, per-request outputs in global arrival order; `None`
+    /// for shed requests. Served outputs are bit-exact with the same
+    /// windows run solo on their placed device.
+    pub outputs: Vec<Vec<Option<ActivationData>>>,
+    /// Per-tenant, per-request fates — exactly one per offered request
+    /// (the conservation invariant).
+    pub fates: Vec<Vec<FleetRequestFate>>,
+    /// The committed routing: `routed[device][tenant]` in service order.
+    pub routed: Vec<Vec<Vec<RoutedRequest>>>,
+    /// Tenant-level migrations taken on failures.
+    pub migrations: Vec<FleetMigration>,
+    /// Every attach/detach performed on a device runtime, in order.
+    pub actions: Vec<FleetAction>,
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
+
+/// Batch-1 footprint and modeled solo cost of one tenant on one phone
+/// class — the currency of placement and migration feasibility.
+#[derive(Debug, Clone, Copy)]
+struct FitEntry {
+    weights: usize,
+    arena1: usize,
+    solo_ms: f64,
+}
+
+/// Places every tenant on up to `replicas` devices: candidates must fit
+/// the batch-1 pooled floor next to the already-placed set, ranked by
+/// accumulated modeled solo load (then device index). Returns
+/// `placement[tenant]` in rank order — the first entry is the tenant's
+/// affinity home.
+fn place_tenants(
+    fit: &[Vec<FitEntry>],
+    budgets: &[usize],
+    streams: usize,
+    replicas: usize,
+) -> Result<Vec<Vec<usize>>, usize> {
+    let devices = budgets.len();
+    let mut placement: Vec<Vec<usize>> = vec![Vec::new(); fit.len()];
+    let mut placed: Vec<Vec<usize>> = vec![Vec::new(); devices];
+    let mut load = vec![0.0f64; devices];
+    for t in 0..fit.len() {
+        let mut cands: Vec<usize> = (0..devices)
+            .filter(|&d| {
+                let weights: usize =
+                    placed[d].iter().map(|&o| fit[o][d].weights).sum::<usize>() + fit[t][d].weights;
+                let arena = placed[d]
+                    .iter()
+                    .map(|&o| fit[o][d].arena1)
+                    .chain(std::iter::once(fit[t][d].arena1))
+                    .max()
+                    .unwrap_or(0);
+                weights + streams * arena <= budgets[d]
+            })
+            .collect();
+        cands.sort_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)));
+        let take = replicas.max(1).min(cands.len());
+        if take == 0 {
+            return Err(t);
+        }
+        for &d in &cands[..take] {
+            placement[t].push(d);
+            placed[d].push(t);
+            load[d] += fit[t][d].solo_ms;
+        }
+    }
+    Ok(placement)
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic router core
+// ---------------------------------------------------------------------------
+
+/// What the router needs from a device substrate — implemented by the
+/// executing [`Fleet`] and by the analytic fleet behind
+/// [`estimate_fleet`], so both paths share one routing code path and
+/// cannot drift.
+trait RouteSubstrate {
+    fn device_count(&self) -> usize;
+    /// Modeled per-request service of `tenant` on `device`
+    /// (`steady_ms / batch`). Only called for hosted pairs.
+    fn service_ms(&self, device: usize, tenant: usize) -> f64;
+    /// Cheap feasibility pre-check for hosting `tenant` on `device`.
+    fn can_host(&self, device: usize, tenant: usize) -> bool;
+    /// Attaches `tenant` to `device` (failure migration); authoritative.
+    fn try_migrate(&mut self, device: usize, tenant: usize, at_ms: f64) -> bool;
+    /// Brings up a fresh device; returns the tenants it hosts.
+    fn try_join(&mut self, phone: &Phone, fault: Option<FaultPlan>, at_ms: f64) -> Vec<usize>;
+}
+
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // Join carries a Phone; one heap entry per cluster event
+enum EvKind {
+    Join {
+        phone: Phone,
+        fault: Option<FaultPlan>,
+    },
+    Fail {
+        device: usize,
+    },
+    Arrival {
+        tenant: usize,
+        index: usize,
+        orig_ms: f64,
+        prev: Option<usize>,
+    },
+}
+
+/// A timeline event with a deterministic total order:
+/// (time, class, sequence) — joins before failures before arrivals at
+/// equal timestamps; re-routed requests get fresh sequence numbers so
+/// they land after everything already queued at the failure instant.
+struct Ev {
+    at_ms: f64,
+    class: u8,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at_ms
+            .total_cmp(&self.at_ms)
+            .then(other.class.cmp(&self.class))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct RouteCoreOutcome {
+    routed: Vec<Vec<Vec<RoutedRequest>>>,
+    unrouted: Vec<(usize, usize, f64)>,
+    migrations: Vec<FleetMigration>,
+    fail_at: Vec<Option<f64>>,
+    migrated_by_tenant: Vec<usize>,
+}
+
+fn pick_device(policy: RoutePolicy, cands: &[usize], busy: &[f64], rng: &mut StdRng) -> usize {
+    debug_assert!(!cands.is_empty());
+    match policy {
+        RoutePolicy::Random => cands[rng.gen_range(0..cands.len())],
+        RoutePolicy::PowerOfTwo => {
+            if cands.len() == 1 {
+                cands[0]
+            } else {
+                let i = rng.gen_range(0..cands.len());
+                let mut j = rng.gen_range(0..cands.len() - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let (a, b) = (cands[i], cands[j]);
+                match busy[a].total_cmp(&busy[b]) {
+                    Ordering::Less => a,
+                    Ordering::Greater => b,
+                    Ordering::Equal => a.min(b),
+                }
+            }
+        }
+        RoutePolicy::ShortestQueue => cands
+            .iter()
+            .copied()
+            .min_by(|&a, &b| busy[a].total_cmp(&busy[b]).then(a.cmp(&b)))
+            .expect("candidates are non-empty"),
+        RoutePolicy::TenantAffinity => cands[0],
+    }
+}
+
+/// Runs the event-driven router over a substrate: requests and cluster
+/// events merge on one deterministic timeline; each routed request is
+/// charged its modeled service against the device's busy horizon. On a
+/// failure the charged horizon splits the device's log into a committed
+/// prefix (drained in place) and a migrated suffix (re-enters the router
+/// at the failure instant).
+fn route_requests<S: RouteSubstrate>(
+    sub: &mut S,
+    arrivals_ms: &[Vec<f64>],
+    events: &[FleetEvent],
+    placement: &[Vec<usize>],
+    opts: &FleetOptions,
+) -> Result<RouteCoreOutcome, EngineError> {
+    let tenants = arrivals_ms.len();
+    let bad_time = |what: &str, v: f64| EngineError::InputMismatch {
+        expected: format!("finite non-negative {what} timestamps"),
+        got: format!("{v}"),
+    };
+    let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (t, arr) in arrivals_ms.iter().enumerate() {
+        for (i, &a) in arr.iter().enumerate() {
+            if !a.is_finite() || a < 0.0 {
+                return Err(bad_time("arrival", a));
+            }
+            heap.push(Ev {
+                at_ms: a,
+                class: 2,
+                seq,
+                kind: EvKind::Arrival {
+                    tenant: t,
+                    index: i,
+                    orig_ms: a,
+                    prev: None,
+                },
+            });
+            seq += 1;
+        }
+    }
+    for ev in events {
+        let at = ev.at_ms();
+        if !at.is_finite() || at < 0.0 {
+            return Err(bad_time("event", at));
+        }
+        let (class, kind) = match ev {
+            FleetEvent::Join { phone, fault, .. } => (
+                0u8,
+                EvKind::Join {
+                    phone: phone.clone(),
+                    fault: fault.clone(),
+                },
+            ),
+            FleetEvent::Fail { device, .. } => (1u8, EvKind::Fail { device: *device }),
+        };
+        heap.push(Ev {
+            at_ms: at,
+            class,
+            seq,
+            kind,
+        });
+        seq += 1;
+    }
+
+    let m0 = sub.device_count();
+    let mut live = vec![true; m0];
+    let mut busy = vec![0.0f64; m0];
+    let mut fail_at: Vec<Option<f64>> = vec![None; m0];
+    let mut replicas: Vec<Vec<usize>> = placement.to_vec();
+    let mut routed: Vec<Vec<Vec<RoutedRequest>>> = vec![vec![Vec::new(); tenants]; m0];
+    // Per device: (tenant, position-in-routed, charged completion) in
+    // routing order; completions are non-decreasing, which makes the
+    // committed set at a failure a prefix.
+    let mut dev_log: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); m0];
+    let mut unrouted: Vec<(usize, usize, f64)> = Vec::new();
+    let mut migrations: Vec<FleetMigration> = Vec::new();
+    let mut migrated_by_tenant = vec![0usize; tenants];
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    while let Some(ev) = heap.pop() {
+        let now = ev.at_ms;
+        match ev.kind {
+            EvKind::Join { phone, fault } => {
+                let hosted = sub.try_join(&phone, fault, now);
+                live.push(true);
+                busy.push(now);
+                fail_at.push(None);
+                routed.push(vec![Vec::new(); tenants]);
+                dev_log.push(Vec::new());
+                let d = live.len() - 1;
+                debug_assert_eq!(d + 1, sub.device_count());
+                for &t in &hosted {
+                    replicas[t].push(d);
+                }
+            }
+            EvKind::Fail { device } => {
+                if device >= live.len() || !live[device] {
+                    return Err(EngineError::InputMismatch {
+                        expected: "a Fail event naming a live device".into(),
+                        got: format!("device {device} at {now} ms"),
+                    });
+                }
+                live[device] = false;
+                fail_at[device] = Some(now);
+                let cut = dev_log[device].partition_point(|&(_, _, c)| c <= now);
+                let orphans: Vec<(usize, usize)> = dev_log[device][cut..]
+                    .iter()
+                    .map(|&(t, pos, _)| (t, pos))
+                    .collect();
+                dev_log[device].truncate(cut);
+                let mut kept = vec![usize::MAX; tenants];
+                for &(t, pos) in &orphans {
+                    let req = routed[device][t][pos];
+                    kept[t] = kept[t].min(pos);
+                    heap.push(Ev {
+                        at_ms: now,
+                        class: 2,
+                        seq,
+                        kind: EvKind::Arrival {
+                            tenant: t,
+                            index: req.index,
+                            orig_ms: req.arrival_ms,
+                            prev: Some(device),
+                        },
+                    });
+                    seq += 1;
+                }
+                for (t, row) in routed[device].iter_mut().enumerate() {
+                    if kept[t] != usize::MAX {
+                        row.truncate(kept[t]);
+                    }
+                }
+            }
+            EvKind::Arrival {
+                tenant,
+                index,
+                orig_ms,
+                prev,
+            } => {
+                let cands: Vec<usize> = replicas[tenant]
+                    .iter()
+                    .copied()
+                    .filter(|&d| live[d])
+                    .collect();
+                let dest = if cands.is_empty() {
+                    // Every replica is dead: migrate the tenant to the
+                    // least-busy feasible survivor.
+                    let mut targets: Vec<usize> = (0..live.len())
+                        .filter(|&d| live[d] && sub.can_host(d, tenant))
+                        .collect();
+                    targets.sort_by(|&a, &b| busy[a].total_cmp(&busy[b]).then(a.cmp(&b)));
+                    let mut chosen = None;
+                    for &d in &targets {
+                        if sub.try_migrate(d, tenant, now) {
+                            chosen = Some(d);
+                            break;
+                        }
+                    }
+                    match chosen {
+                        Some(d) => {
+                            replicas[tenant].push(d);
+                            migrations.push(FleetMigration {
+                                at_ms: now,
+                                tenant,
+                                from: prev,
+                                to: d,
+                            });
+                            d
+                        }
+                        None => {
+                            unrouted.push((tenant, index, now));
+                            continue;
+                        }
+                    }
+                } else {
+                    pick_device(opts.policy, &cands, &busy, &mut rng)
+                };
+                if prev.is_some() {
+                    migrated_by_tenant[tenant] += 1;
+                }
+                let svc = sub.service_ms(dest, tenant);
+                busy[dest] = busy[dest].max(now) + svc;
+                let pos = routed[dest][tenant].len();
+                routed[dest][tenant].push(RoutedRequest {
+                    index,
+                    arrival_ms: orig_ms,
+                    effective_ms: now,
+                });
+                dev_log[dest].push((tenant, pos, busy[dest]));
+            }
+        }
+    }
+
+    Ok(RouteCoreOutcome {
+        routed,
+        unrouted,
+        migrations,
+        fail_at,
+        migrated_by_tenant,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Report assembly (shared by the executed and analytic paths)
+// ---------------------------------------------------------------------------
+
+struct DeviceRow {
+    id: String,
+    phone: String,
+    failed: bool,
+    tenants: usize,
+    wall_ms: f64,
+    busy_s: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assemble_report(
+    policy: RoutePolicy,
+    seed: u64,
+    streams: usize,
+    device_rows: Vec<DeviceRow>,
+    tenant_names: &[String],
+    tenant_slos: &[Option<f64>],
+    migrated_by_tenant: &[usize],
+    fates: &[Vec<FleetRequestFate>],
+    arrivals_ms: &[Vec<f64>],
+) -> FleetReport {
+    let wall_ms = device_rows.iter().map(|r| r.wall_ms).fold(0.0f64, f64::max);
+    let last_arrival = arrivals_ms
+        .iter()
+        .flat_map(|a| a.iter().copied())
+        .fold(0.0f64, f64::max);
+    let horizon_ms = wall_ms.max(last_arrival);
+
+    let mut dev_offered = vec![0usize; device_rows.len()];
+    let mut dev_served = vec![0usize; device_rows.len()];
+    let mut dev_shed = vec![0usize; device_rows.len()];
+    let mut global_lat: Vec<f64> = Vec::new();
+    let mut tenants = Vec::with_capacity(tenant_names.len());
+    for (t, name) in tenant_names.iter().enumerate() {
+        let mut lat: Vec<f64> = Vec::new();
+        let mut shed = 0usize;
+        for fate in &fates[t] {
+            match *fate {
+                FleetRequestFate::Served {
+                    device, latency_ms, ..
+                } => {
+                    dev_offered[device] += 1;
+                    dev_served[device] += 1;
+                    lat.push(latency_ms);
+                }
+                FleetRequestFate::Shed { device, .. } => {
+                    shed += 1;
+                    if let Some(d) = device {
+                        dev_offered[d] += 1;
+                        dev_shed[d] += 1;
+                    }
+                }
+            }
+        }
+        global_lat.extend_from_slice(&lat);
+        let (p50, p95, p99, p999) = percentiles_ext(&lat);
+        let offered = fates[t].len();
+        tenants.push(FleetTenantReport {
+            name: name.clone(),
+            offered,
+            served: lat.len(),
+            shed,
+            migrated: migrated_by_tenant[t],
+            p50_ms: p50,
+            p95_ms: p95,
+            p99_ms: p99,
+            p999_ms: p999,
+            slo_ms: tenant_slos[t],
+            slo_met: tenant_slos[t].is_none_or(|slo| p95 <= slo),
+            shed_rate: if offered > 0 {
+                shed as f64 / offered as f64
+            } else {
+                0.0
+            },
+        });
+    }
+
+    let horizon_s = (horizon_ms / 1e3).max(f64::MIN_POSITIVE);
+    let devices: Vec<FleetDeviceReport> = device_rows
+        .into_iter()
+        .enumerate()
+        .map(|(d, row)| FleetDeviceReport {
+            id: row.id,
+            phone: row.phone,
+            failed: row.failed,
+            tenants: row.tenants,
+            offered: dev_offered[d],
+            served: dev_served[d],
+            shed: dev_shed[d],
+            utilization: if wall_ms > 0.0 {
+                (row.busy_s / (streams as f64 * (wall_ms / 1e3))).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            imgs_per_s: dev_served[d] as f64 / horizon_s,
+        })
+        .collect();
+
+    let offered: usize = tenants.iter().map(|t| t.offered).sum();
+    let served: usize = tenants.iter().map(|t| t.served).sum();
+    let shed: usize = tenants.iter().map(|t| t.shed).sum();
+    let (p50, p95, p99, p999) = percentiles_ext(&global_lat);
+    FleetReport {
+        policy,
+        seed,
+        devices,
+        tenants,
+        offered,
+        served,
+        shed,
+        migrated: migrated_by_tenant.iter().sum(),
+        wall_ms,
+        goodput_imgs_per_s: served as f64 / horizon_s,
+        p50_ms: p50,
+        p95_ms: p95,
+        p99_ms: p99,
+        p999_ms: p999,
+    }
+}
+
+/// Maps one device's executed window fates back onto per-request fleet
+/// fates and outputs.
+fn fold_device_fates(
+    device: usize,
+    list: &[RoutedRequest],
+    batch: usize,
+    window_fates: &[WindowFate],
+    per_request_outputs: Option<&[Option<ActivationData>]>,
+    fates: &mut [Option<FleetRequestFate>],
+    outputs: Option<&mut Vec<Option<ActivationData>>>,
+) {
+    let batch = batch.max(1);
+    for (w, fate) in window_fates.iter().enumerate() {
+        let start = w * batch;
+        let end = (start + batch).min(list.len());
+        for req in &list[start..end] {
+            let slot = &mut fates[req.index];
+            debug_assert!(slot.is_none(), "request resolved twice");
+            *slot = Some(match *fate {
+                WindowFate::Served { end_ms, .. } => FleetRequestFate::Served {
+                    device,
+                    end_ms,
+                    latency_ms: end_ms - req.arrival_ms,
+                },
+                WindowFate::Shed { at_ms, reason, .. } => FleetRequestFate::Shed {
+                    device: Some(device),
+                    at_ms,
+                    reason: Some(reason),
+                },
+            });
+        }
+    }
+    if let (Some(outs), Some(dst)) = (per_request_outputs, outputs) {
+        for (pos, req) in list.iter().enumerate() {
+            dst[req.index] = outs[pos].clone();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executing fleet
+// ---------------------------------------------------------------------------
+
+struct FleetDevice {
+    id: String,
+    phone: Phone,
+    fault: Option<FaultPlan>,
+    runtime: Option<DeviceRuntime>,
+    /// Fleet tenant id per runtime registry slot, kept in sync through
+    /// attach/detach.
+    roster: Vec<usize>,
+    /// Roster at runtime creation — the solo-replay recipe starts here.
+    birth_roster: Vec<usize>,
+}
+
+/// M simulated devices behind one deterministic router: placement at
+/// admission, per-request steering by a [`RoutePolicy`], failure
+/// migration through [`DeviceRuntime::attach`] / [`detach`], and
+/// fleet-wide percentile accounting.
+///
+/// A fleet is built once and driven through one
+/// [`Fleet::serve_open_loop`] pass; failure migration mutates device
+/// rosters, so build a fresh fleet per pass (the determinism tests build
+/// two and compare).
+///
+/// [`detach`]: DeviceRuntime::detach
+pub struct Fleet {
+    devices: Vec<FleetDevice>,
+    specs: Vec<TenantSpec>,
+    placement: Vec<Vec<usize>>,
+    opts: FleetOptions,
+    registry: ClockRegistry,
+    fit_cache: Vec<((usize, &'static str), FitEntry)>,
+    attach_log: Vec<FleetAction>,
+}
+
+impl Fleet {
+    /// Builds the fleet: computes every tenant's batch-1 footprint per
+    /// phone class, places tenants (weight-budget + modeled-load aware,
+    /// up to [`FleetOptions::replicas`] replicas), brings up one
+    /// [`DeviceRuntime`] per non-empty device with its fault plan
+    /// installed, and registers every device clock in a
+    /// [`ClockRegistry`] as `dev0`, `dev1`, ….
+    pub fn new(
+        devices: Vec<FleetDeviceSpec>,
+        tenants: Vec<TenantSpec>,
+        opts: FleetOptions,
+    ) -> Result<Self, EngineError> {
+        if devices.is_empty() || tenants.is_empty() || opts.streams == 0 || opts.replicas == 0 {
+            return Err(EngineError::InputMismatch {
+                expected: ">= 1 device, >= 1 tenant, >= 1 stream, >= 1 replica".into(),
+                got: format!(
+                    "{} devices, {} tenants, {} streams, {} replicas",
+                    devices.len(),
+                    tenants.len(),
+                    opts.streams,
+                    opts.replicas
+                ),
+            });
+        }
+        let mut fleet = Fleet {
+            devices: Vec::new(),
+            specs: tenants,
+            placement: Vec::new(),
+            opts,
+            registry: ClockRegistry::new(),
+            fit_cache: Vec::new(),
+            attach_log: Vec::new(),
+        };
+        let mut fit: Vec<Vec<FitEntry>> = Vec::with_capacity(fleet.specs.len());
+        for t in 0..fleet.specs.len() {
+            let mut row = Vec::with_capacity(devices.len());
+            for spec in &devices {
+                row.push(fleet.fit_for(t, &spec.phone)?);
+            }
+            fit.push(row);
+        }
+        let budgets: Vec<usize> = devices.iter().map(|d| d.phone.app_budget_bytes()).collect();
+        let placement = place_tenants(&fit, &budgets, fleet.opts.streams, fleet.opts.replicas)
+            .map_err(|t| EngineError::InputMismatch {
+                expected: format!(
+                    "a device able to host tenant `{}` at the batch-1 pooled floor",
+                    fleet.specs[t].name
+                ),
+                got: "no feasible device".into(),
+            })?;
+
+        let mut rosters: Vec<Vec<usize>> = vec![Vec::new(); devices.len()];
+        for (t, devs) in placement.iter().enumerate() {
+            for &d in devs {
+                rosters[d].push(t);
+            }
+        }
+        for (d, spec) in devices.into_iter().enumerate() {
+            let id = format!("dev{d}");
+            let roster = rosters[d].clone();
+            let runtime = if roster.is_empty() {
+                None
+            } else {
+                let subset: Vec<TenantSpec> =
+                    roster.iter().map(|&t| fleet.specs[t].clone()).collect();
+                let rt = DeviceRuntime::new(subset, &spec.phone, fleet.opts.streams)?;
+                rt.clock().set_fault_plan(spec.fault.clone());
+                fleet.registry.register(&id, Arc::clone(rt.clock()));
+                Some(rt)
+            };
+            fleet.devices.push(FleetDevice {
+                id,
+                phone: spec.phone,
+                fault: spec.fault,
+                runtime,
+                birth_roster: roster.clone(),
+                roster,
+            });
+        }
+        fleet.placement = placement;
+        Ok(fleet)
+    }
+
+    fn fit_for(&mut self, tenant: usize, phone: &Phone) -> Result<FitEntry, EngineError> {
+        if let Some((_, entry)) = self
+            .fit_cache
+            .iter()
+            .find(|((t, name), _)| *t == tenant && *name == phone.gpu.name)
+        {
+            return Ok(*entry);
+        }
+        let spec = &self.specs[tenant];
+        let source = PlanSource::Model(&spec.model);
+        let plan = source.plan_at(&phone.gpu, 1, spec.overrides)?;
+        let extras = source.extras(&plan);
+        let (cold_s, _) = modeled_window_under(&plan, &extras, &phone.gpu, 1, None);
+        let entry = FitEntry {
+            weights: plan.weights_bytes,
+            arena1: plan.staged_arena_bytes(),
+            solo_ms: cold_s * 1e3,
+        };
+        self.fit_cache.push(((tenant, phone.gpu.name), entry));
+        Ok(entry)
+    }
+
+    /// Devices currently in the fleet (initial + joined).
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The clock registry (`dev0`, `dev1`, … in creation order).
+    pub fn registry(&self) -> &ClockRegistry {
+        &self.registry
+    }
+
+    /// The devices `tenant` was placed on at admission, rank order (the
+    /// first entry is its affinity home).
+    pub fn placement(&self, tenant: usize) -> &[usize] {
+        &self.placement[tenant]
+    }
+
+    /// Fleet tenant ids resident on `device`, registry-slot order.
+    pub fn roster(&self, device: usize) -> &[usize] {
+        &self.devices[device].roster
+    }
+
+    /// The roster `device`'s runtime was created with — replaying
+    /// `DeviceRuntime::new(birth_roster)` plus the outcome's
+    /// [`FleetAction`]s reconstructs the runtime exactly.
+    pub fn birth_roster(&self, device: usize) -> &[usize] {
+        &self.devices[device].birth_roster
+    }
+
+    /// Runs one open-loop pass across the fleet: merges per-tenant
+    /// arrivals with the cluster `events` on one deterministic timeline,
+    /// routes every request, executes each device's committed slice with
+    /// [`DeviceRuntime::serve_open_loop`], and reassembles per-request
+    /// fates and bit-exact outputs in global arrival order.
+    ///
+    /// `traffic[t]` and `arrivals_ms[t]` are the tenant's **global**
+    /// request stream; arrivals must be sorted (ties allowed), finite and
+    /// non-negative.
+    pub fn serve_open_loop(
+        &mut self,
+        traffic: &[TenantTraffic<'_>],
+        arrivals_ms: &[Vec<f64>],
+        events: &[FleetEvent],
+    ) -> Result<FleetOutcome, EngineError> {
+        if traffic.len() != self.specs.len() || arrivals_ms.len() != self.specs.len() {
+            return Err(EngineError::InputMismatch {
+                expected: format!("{} tenant queues with arrivals", self.specs.len()),
+                got: format!(
+                    "{} queues, {} arrival streams",
+                    traffic.len(),
+                    arrivals_ms.len()
+                ),
+            });
+        }
+        for (t, (q, a)) in traffic.iter().zip(arrivals_ms.iter()).enumerate() {
+            if q.len() != a.len() {
+                return Err(EngineError::InputMismatch {
+                    expected: format!("{} arrival times for tenant {t}", q.len()),
+                    got: format!("{} timestamps", a.len()),
+                });
+            }
+            if a.windows(2).any(|w| w[1] < w[0]) {
+                return Err(EngineError::InputMismatch {
+                    expected: format!("sorted arrivals for tenant {t}"),
+                    got: "out-of-order timestamps".into(),
+                });
+            }
+        }
+
+        self.attach_log.clear();
+        let placement = self.placement.clone();
+        let opts = self.opts.clone();
+        let rc = route_requests(self, arrivals_ms, events, &placement, &opts)?;
+        let mut actions = std::mem::take(&mut self.attach_log);
+
+        // Decommission tenants with zero committed requests on dead
+        // devices (while the runtime keeps >= 2 tenants — the registry
+        // refuses to detach its last), so the drain is not modeled under
+        // phantom contention.
+        for d in 0..self.devices.len() {
+            let Some(at_ms) = rc.fail_at[d] else { continue };
+            let dev = &mut self.devices[d];
+            let Some(rt) = dev.runtime.as_mut() else {
+                continue;
+            };
+            let idle: Vec<usize> = dev
+                .roster
+                .iter()
+                .copied()
+                .filter(|&t| rc.routed[d][t].is_empty())
+                .collect();
+            for t in idle {
+                if dev.roster.len() <= 1 {
+                    break;
+                }
+                let slot = dev
+                    .roster
+                    .iter()
+                    .position(|&x| x == t)
+                    .expect("roster tracks the registry");
+                rt.detach(slot)?;
+                dev.roster.remove(slot);
+                actions.push(FleetAction::Detach {
+                    at_ms,
+                    tenant: t,
+                    device: d,
+                });
+            }
+        }
+
+        // Execute every device's committed slice.
+        let mut outputs: Vec<Vec<Option<ActivationData>>> =
+            arrivals_ms.iter().map(|a| vec![None; a.len()]).collect();
+        let mut fates: Vec<Vec<Option<FleetRequestFate>>> =
+            arrivals_ms.iter().map(|a| vec![None; a.len()]).collect();
+        let mut device_rows: Vec<DeviceRow> = Vec::with_capacity(self.devices.len());
+        for d in 0..self.devices.len() {
+            let roster = self.devices[d].roster.clone();
+            let total: usize = roster.iter().map(|&t| rc.routed[d][t].len()).sum();
+            let mut wall_ms = 0.0;
+            let mut busy_s = 0.0;
+            if self.devices[d].runtime.is_some() && total > 0 {
+                enum Owned {
+                    U8(Vec<Tensor<u8>>),
+                    F32(Vec<Tensor<f32>>),
+                }
+                let mut owned: Vec<Owned> = Vec::with_capacity(roster.len());
+                let mut eff: Vec<Vec<f64>> = Vec::with_capacity(roster.len());
+                for &t in &roster {
+                    let list = &rc.routed[d][t];
+                    owned.push(match traffic[t] {
+                        TenantTraffic::U8(reqs) => {
+                            Owned::U8(list.iter().map(|r| reqs[r.index].clone()).collect())
+                        }
+                        TenantTraffic::F32(reqs) => {
+                            Owned::F32(list.iter().map(|r| reqs[r.index].clone()).collect())
+                        }
+                    });
+                    eff.push(list.iter().map(|r| r.effective_ms).collect());
+                }
+                let slices: Vec<TenantTraffic<'_>> = owned
+                    .iter()
+                    .map(|o| match o {
+                        Owned::U8(v) => TenantTraffic::U8(v),
+                        Owned::F32(v) => TenantTraffic::F32(v),
+                    })
+                    .collect();
+                let rt = self.devices[d].runtime.as_mut().expect("checked above");
+                let report = rt.serve_open_loop(&slices, &eff, &opts.open_loop)?;
+                wall_ms = report.wall_ms;
+                // Busy seconds from the modeled schedule, not the clock's
+                // atomic accumulator: executed attempt durations equal
+                // modeled ones exactly (the no-drift invariant), but the
+                // clock's counter sums in thread-completion order, whose
+                // float rounding is not reproducible across runs.
+                busy_s = report
+                    .schedule
+                    .attempts
+                    .iter()
+                    .map(|a| (a.end_ms - a.start_ms) / 1e3)
+                    .sum();
+                for (slot, &t) in roster.iter().enumerate() {
+                    let ten = &report.tenants[slot];
+                    fold_device_fates(
+                        d,
+                        &rc.routed[d][t],
+                        ten.batch,
+                        &report.schedule.fates[slot],
+                        Some(&ten.outputs),
+                        &mut fates[t],
+                        Some(&mut outputs[t]),
+                    );
+                }
+            }
+            let dev = &self.devices[d];
+            device_rows.push(DeviceRow {
+                id: dev.id.clone(),
+                phone: dev.phone.name.to_string(),
+                failed: rc.fail_at[d].is_some(),
+                tenants: dev.roster.len(),
+                wall_ms,
+                busy_s,
+            });
+        }
+        for &(t, index, at_ms) in &rc.unrouted {
+            debug_assert!(fates[t][index].is_none(), "request resolved twice");
+            fates[t][index] = Some(FleetRequestFate::Shed {
+                device: None,
+                at_ms,
+                reason: None,
+            });
+        }
+        let fates: Vec<Vec<FleetRequestFate>> = fates
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|f| f.expect("every offered request resolves to exactly one fate"))
+                    .collect()
+            })
+            .collect();
+
+        let names: Vec<String> = self.specs.iter().map(|s| s.name.clone()).collect();
+        let slos: Vec<Option<f64>> = self.specs.iter().map(|s| s.slo_ms).collect();
+        let report = assemble_report(
+            opts.policy,
+            opts.seed,
+            opts.streams,
+            device_rows,
+            &names,
+            &slos,
+            &rc.migrated_by_tenant,
+            &fates,
+            arrivals_ms,
+        );
+        Ok(FleetOutcome {
+            report,
+            outputs,
+            fates,
+            routed: rc.routed,
+            migrations: rc.migrations,
+            actions,
+        })
+    }
+}
+
+impl RouteSubstrate for Fleet {
+    fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn service_ms(&self, device: usize, tenant: usize) -> f64 {
+        let dev = &self.devices[device];
+        let slot = dev
+            .roster
+            .iter()
+            .position(|&t| t == tenant)
+            .expect("service_ms is only asked for hosted tenants");
+        let rt = dev.runtime.as_ref().expect("hosted implies a runtime");
+        let ten = &rt.tenants()[slot];
+        let batch = ten.staged().plan().batch.max(1);
+        ten.modeled_window_ms().1 / batch as f64
+    }
+
+    fn can_host(&self, device: usize, tenant: usize) -> bool {
+        let dev = &self.devices[device];
+        if dev.roster.contains(&tenant) {
+            return false;
+        }
+        let Some((_, fit)) = self
+            .fit_cache
+            .iter()
+            .find(|((t, name), _)| *t == tenant && *name == dev.phone.gpu.name)
+        else {
+            return false;
+        };
+        let budget = dev.phone.app_budget_bytes();
+        match dev.runtime.as_ref() {
+            None => fit.weights + self.opts.streams * fit.arena1 <= budget,
+            Some(rt) => {
+                fit.arena1 <= rt.pool_slice_bytes() && rt.resident_bytes() + fit.weights <= budget
+            }
+        }
+    }
+
+    fn try_migrate(&mut self, device: usize, tenant: usize, at_ms: f64) -> bool {
+        let spec = self.specs[tenant].clone();
+        let streams = self.opts.streams;
+        let dev = &mut self.devices[device];
+        match dev.runtime.as_mut() {
+            Some(rt) => match rt.attach(spec) {
+                Ok(_) => {
+                    dev.roster.push(tenant);
+                    self.attach_log.push(FleetAction::Attach {
+                        at_ms,
+                        tenant,
+                        device,
+                    });
+                    true
+                }
+                Err(_) => false,
+            },
+            None => match DeviceRuntime::new(vec![spec], &dev.phone, streams) {
+                Ok(rt) => {
+                    rt.clock().set_fault_plan(dev.fault.clone());
+                    self.registry.register(&dev.id, Arc::clone(rt.clock()));
+                    dev.runtime = Some(rt);
+                    dev.roster = vec![tenant];
+                    dev.birth_roster = vec![tenant];
+                    true
+                }
+                Err(_) => false,
+            },
+        }
+    }
+
+    fn try_join(&mut self, phone: &Phone, fault: Option<FaultPlan>, _at_ms: f64) -> Vec<usize> {
+        let budget = phone.app_budget_bytes();
+        let streams = self.opts.streams;
+        let mut hosted: Vec<usize> = Vec::new();
+        let mut weights = 0usize;
+        let mut arena = 0usize;
+        for t in 0..self.specs.len() {
+            let Ok(fit) = self.fit_for(t, phone) else {
+                continue;
+            };
+            if weights + fit.weights + streams * arena.max(fit.arena1) <= budget {
+                hosted.push(t);
+                weights += fit.weights;
+                arena = arena.max(fit.arena1);
+            }
+        }
+        let d = self.devices.len();
+        let id = format!("dev{d}");
+        let runtime = if hosted.is_empty() {
+            None
+        } else {
+            let subset: Vec<TenantSpec> = hosted.iter().map(|&t| self.specs[t].clone()).collect();
+            match DeviceRuntime::new(subset, phone, streams) {
+                Ok(rt) => {
+                    rt.clock().set_fault_plan(fault.clone());
+                    self.registry.register(&id, Arc::clone(rt.clock()));
+                    Some(rt)
+                }
+                Err(_) => {
+                    hosted.clear();
+                    None
+                }
+            }
+        };
+        self.devices.push(FleetDevice {
+            id,
+            phone: phone.clone(),
+            fault,
+            runtime,
+            roster: hosted.clone(),
+            birth_roster: hosted.clone(),
+        });
+        hosted
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The analytic fleet (full-scale estimate, no weights, no kernel bodies)
+// ---------------------------------------------------------------------------
+
+struct EstDevice {
+    id: String,
+    phone: Phone,
+    fault: Option<FaultPlan>,
+    roster: Vec<usize>,
+    batch: Vec<usize>,
+    cold_ms: Vec<f64>,
+    steady_ms: Vec<f64>,
+    slice: usize,
+    weights: usize,
+}
+
+struct EstFleet<'a> {
+    workloads: &'a [OpenLoopWorkload<'a>],
+    devices: Vec<EstDevice>,
+    fit: Vec<Vec<FitEntry>>,
+    streams: usize,
+}
+
+impl<'a> EstFleet<'a> {
+    fn fit_for(&mut self, tenant: usize, phone: &Phone) -> FitEntry {
+        // The fit table is keyed by GPU class; extend lazily for joined
+        // phone classes not present at build time.
+        let have = self.fit[tenant]
+            .iter()
+            .zip(self.devices.iter())
+            .find(|(_, d)| d.phone.gpu.name == phone.gpu.name)
+            .map(|(f, _)| *f);
+        have.unwrap_or_else(|| est_fit(self.workloads[tenant].arch, phone))
+    }
+
+    fn build_device(
+        &self,
+        id: String,
+        phone: Phone,
+        fault: Option<FaultPlan>,
+        roster: Vec<usize>,
+    ) -> EstDevice {
+        let (batch, cold_ms, steady_ms, slice, weights) =
+            est_admit(self.workloads, &roster, &phone, self.streams, None);
+        EstDevice {
+            id,
+            phone,
+            fault,
+            roster,
+            batch,
+            cold_ms,
+            steady_ms,
+            slice,
+            weights,
+        }
+    }
+}
+
+/// Batch-1 footprint of an arch on a phone (analytic path).
+fn est_fit(arch: &NetworkArch, phone: &Phone) -> FitEntry {
+    let source = PlanSource::Arch(arch);
+    let plan = source
+        .plan_at(&phone.gpu, 1, RouteOverrides::default())
+        .expect("arch plans lower infallibly");
+    let extras = source.extras(&plan);
+    let (cold_s, _) = modeled_window_under(&plan, &extras, &phone.gpu, 1, None);
+    FitEntry {
+        weights: plan.weights_bytes,
+        arena1: plan.staged_arena_bytes(),
+        solo_ms: cold_s * 1e3,
+    }
+}
+
+/// Runs contention-aware admission for a device's placed subset and
+/// models every tenant's (cold, steady) window under the registered mix.
+/// `pinned` pins every tenant's batch (the post-attach refresh).
+fn est_admit(
+    workloads: &[OpenLoopWorkload<'_>],
+    roster: &[usize],
+    phone: &Phone,
+    streams: usize,
+    pinned: Option<&[usize]>,
+) -> (Vec<usize>, Vec<f64>, Vec<f64>, usize, usize) {
+    if roster.is_empty() {
+        return (Vec::new(), Vec::new(), Vec::new(), 0, 0);
+    }
+    let asks: Vec<TenantAsk<'_>> = roster
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| TenantAsk {
+            source: PlanSource::Arch(workloads[t].arch),
+            batch: pinned.map_or(workloads[t].batch, |p| Some(p[i])),
+            slo_ms: workloads[t].slo_ms,
+            overrides: RouteOverrides::default(),
+        })
+        .collect();
+    let (admissions, mix) = admit_tenants(&asks, phone, streams)
+        .expect("placement guarantees the batch-1 pooled floor fits");
+    let mut batch = Vec::with_capacity(roster.len());
+    let mut cold_ms = Vec::with_capacity(roster.len());
+    let mut steady_ms = Vec::with_capacity(roster.len());
+    let mut slice = 0usize;
+    let mut weights = 0usize;
+    for (&t, adm) in roster.iter().zip(admissions.iter()) {
+        let source = PlanSource::Arch(workloads[t].arch);
+        let plan = source
+            .plan_at(&phone.gpu, adm.batch, RouteOverrides::default())
+            .expect("arch plans lower infallibly");
+        let extras = source.extras(&plan);
+        let (c, s) = modeled_window_under(&plan, &extras, &phone.gpu, streams, mix.as_deref());
+        batch.push(adm.batch.max(1));
+        cold_ms.push(c * 1e3);
+        steady_ms.push(s * 1e3);
+        slice = slice.max(plan.staged_arena_bytes());
+        weights += plan.weights_bytes;
+    }
+    (batch, cold_ms, steady_ms, slice, weights)
+}
+
+impl RouteSubstrate for EstFleet<'_> {
+    fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn service_ms(&self, device: usize, tenant: usize) -> f64 {
+        let dev = &self.devices[device];
+        let slot = dev
+            .roster
+            .iter()
+            .position(|&t| t == tenant)
+            .expect("service_ms is only asked for hosted tenants");
+        dev.steady_ms[slot] / dev.batch[slot] as f64
+    }
+
+    fn can_host(&self, device: usize, tenant: usize) -> bool {
+        let dev = &self.devices[device];
+        if dev.roster.contains(&tenant) {
+            return false;
+        }
+        let fit = self.fit[tenant]
+            .get(device)
+            .copied()
+            .unwrap_or_else(|| est_fit(self.workloads[tenant].arch, &dev.phone));
+        let budget = dev.phone.app_budget_bytes();
+        if dev.roster.is_empty() {
+            fit.weights + self.streams * fit.arena1 <= budget
+        } else {
+            fit.arena1 <= dev.slice
+                && dev.weights + self.streams * dev.slice + fit.weights <= budget
+        }
+    }
+
+    fn try_migrate(&mut self, device: usize, tenant: usize, _at_ms: f64) -> bool {
+        if !self.can_host(device, tenant) {
+            return false;
+        }
+        let (phone, fault, id) = {
+            let dev = &self.devices[device];
+            (dev.phone.clone(), dev.fault.clone(), dev.id.clone())
+        };
+        if self.devices[device].roster.is_empty() {
+            self.devices[device] = self.build_device(id, phone, fault, vec![tenant]);
+            return true;
+        }
+        // Mirror `DeviceRuntime::attach`: survivors' batches pin, the
+        // newcomer's batch clamps to the existing pool slice, then the
+        // whole device's mix and modeled windows refresh.
+        let slice = self.devices[device].slice;
+        let source = PlanSource::Arch(self.workloads[tenant].arch);
+        let cap = crate::planner::largest_batch_where(|b| {
+            source
+                .plan_at(&phone.gpu, b, RouteOverrides::default())
+                .map(|p| p.staged_arena_bytes() <= slice)
+                .unwrap_or(false)
+        });
+        if cap == 0 {
+            return false;
+        }
+        let mut roster = self.devices[device].roster.clone();
+        let mut pinned = self.devices[device].batch.clone();
+        roster.push(tenant);
+        pinned.push(self.workloads[tenant].batch.unwrap_or(cap).clamp(1, cap));
+        let (batch, cold_ms, steady_ms, _slice, weights) =
+            est_admit(self.workloads, &roster, &phone, self.streams, Some(&pinned));
+        let dev = &mut self.devices[device];
+        dev.roster = roster;
+        dev.batch = batch;
+        dev.cold_ms = cold_ms;
+        dev.steady_ms = steady_ms;
+        dev.weights = weights;
+        true
+    }
+
+    fn try_join(&mut self, phone: &Phone, fault: Option<FaultPlan>, _at_ms: f64) -> Vec<usize> {
+        let budget = phone.app_budget_bytes();
+        let mut hosted: Vec<usize> = Vec::new();
+        let mut weights = 0usize;
+        let mut arena = 0usize;
+        for t in 0..self.workloads.len() {
+            let fit = self.fit_for(t, phone);
+            if weights + fit.weights + self.streams * arena.max(fit.arena1) <= budget {
+                hosted.push(t);
+                weights += fit.weights;
+                arena = arena.max(fit.arena1);
+            }
+        }
+        let id = format!("dev{}", self.devices.len());
+        let dev = self.build_device(id, phone.clone(), fault, hosted.clone());
+        self.devices.push(dev);
+        hosted
+    }
+}
+
+/// Models one fleet pass at full scale: the same placement, router and
+/// committed-prefix failure handoff as [`Fleet::serve_open_loop`], with
+/// each device's slice scheduled by [`schedule_open_loop`] on analytic
+/// window costs instead of executed kernels — what the `fleet_report`
+/// bench bin sweeps across policies, fleet sizes and Zipf skews.
+///
+/// Arrivals are generated from each workload's seeded
+/// [`ArrivalProcess`](crate::ArrivalProcess) over `duration_ms`.
+/// Batch replanning ([`OpenLoopOptions::max_replans`]) is not modeled,
+/// matching the fleet default of `0`.
+///
+/// # Panics
+///
+/// Panics when inputs are empty, `duration_ms` is not positive, a tenant
+/// fits no device, or `events` are malformed.
+pub fn estimate_fleet(
+    devices: &[FleetDeviceSpec],
+    workloads: &[OpenLoopWorkload<'_>],
+    duration_ms: f64,
+    events: &[FleetEvent],
+    opts: &FleetOptions,
+) -> FleetReport {
+    assert!(
+        !devices.is_empty() && !workloads.is_empty(),
+        "estimate_fleet needs >= 1 device and >= 1 workload"
+    );
+    assert!(duration_ms > 0.0, "duration_ms must be positive");
+    assert!(opts.streams >= 1 && opts.replicas >= 1);
+
+    let arrivals_ms: Vec<Vec<f64>> = workloads
+        .iter()
+        .map(|w| w.arrival.times_ms(w.seed, duration_ms))
+        .collect();
+    let fit: Vec<Vec<FitEntry>> = workloads
+        .iter()
+        .map(|w| devices.iter().map(|d| est_fit(w.arch, &d.phone)).collect())
+        .collect();
+    let budgets: Vec<usize> = devices.iter().map(|d| d.phone.app_budget_bytes()).collect();
+    let placement = place_tenants(&fit, &budgets, opts.streams, opts.replicas)
+        .unwrap_or_else(|t| panic!("workload {t} fits no device at the batch-1 pooled floor"));
+    let mut rosters: Vec<Vec<usize>> = vec![Vec::new(); devices.len()];
+    for (t, devs) in placement.iter().enumerate() {
+        for &d in devs {
+            rosters[d].push(t);
+        }
+    }
+    let mut est = EstFleet {
+        workloads,
+        devices: Vec::new(),
+        fit,
+        streams: opts.streams,
+    };
+    for (d, spec) in devices.iter().enumerate() {
+        let dev = est.build_device(
+            format!("dev{d}"),
+            spec.phone.clone(),
+            spec.fault.clone(),
+            rosters[d].clone(),
+        );
+        est.devices.push(dev);
+    }
+
+    let rc = route_requests(&mut est, &arrivals_ms, events, &placement, opts)
+        .expect("estimate events must be well-formed");
+
+    let mut fates: Vec<Vec<Option<FleetRequestFate>>> =
+        arrivals_ms.iter().map(|a| vec![None; a.len()]).collect();
+    let mut device_rows: Vec<DeviceRow> = Vec::with_capacity(est.devices.len());
+    for (d, dev) in est.devices.iter().enumerate() {
+        let total: usize = dev.roster.iter().map(|&t| rc.routed[d][t].len()).sum();
+        let mut wall_ms = 0.0;
+        let mut busy_s = 0.0;
+        if total > 0 {
+            let loads: Vec<OpenLoopLoad> = dev
+                .roster
+                .iter()
+                .enumerate()
+                .map(|(slot, &t)| {
+                    let eff: Vec<f64> = rc.routed[d][t].iter().map(|r| r.effective_ms).collect();
+                    OpenLoopLoad {
+                        windows: open_loop_windows(&eff, dev.batch[slot], workloads[t].slo_ms),
+                        cold_ms: dev.cold_ms[slot],
+                        steady_ms: dev.steady_ms[slot],
+                    }
+                })
+                .collect();
+            let schedule = schedule_open_loop(
+                &loads,
+                opts.streams,
+                dev.fault.as_ref(),
+                &opts.open_loop.policy,
+            );
+            wall_ms = schedule.wall_ms;
+            busy_s = schedule
+                .attempts
+                .iter()
+                .map(|a| (a.end_ms - a.start_ms) / 1e3)
+                .sum();
+            for (slot, &t) in dev.roster.iter().enumerate() {
+                fold_device_fates(
+                    d,
+                    &rc.routed[d][t],
+                    dev.batch[slot],
+                    &schedule.fates[slot],
+                    None,
+                    &mut fates[t],
+                    None,
+                );
+            }
+        }
+        device_rows.push(DeviceRow {
+            id: dev.id.clone(),
+            phone: dev.phone.name.to_string(),
+            failed: rc.fail_at[d].is_some(),
+            tenants: dev.roster.len(),
+            wall_ms,
+            busy_s,
+        });
+    }
+    for &(t, index, at_ms) in &rc.unrouted {
+        fates[t][index] = Some(FleetRequestFate::Shed {
+            device: None,
+            at_ms,
+            reason: None,
+        });
+    }
+    let fates: Vec<Vec<FleetRequestFate>> = fates
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|f| f.expect("every offered request resolves to exactly one fate"))
+                .collect()
+        })
+        .collect();
+    let names: Vec<String> = workloads.iter().map(|w| w.arch.name.clone()).collect();
+    let slos: Vec<Option<f64>> = workloads.iter().map(|w| w.slo_ms).collect();
+    assemble_report(
+        opts.policy,
+        opts.seed,
+        opts.streams,
+        device_rows,
+        &names,
+        &slos,
+        &rc.migrated_by_tenant,
+        &fates,
+        &arrivals_ms,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Tests (pure pieces; the cross-fleet invariants live in tests/fleet.rs)
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_rates_sum_and_skew() {
+        let flat = zipf_rates(100.0, 4, 0.0);
+        assert!(flat.iter().all(|&r| (r - 25.0).abs() < 1e-9));
+        let skewed = zipf_rates(100.0, 4, 1.2);
+        assert!((skewed.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!(skewed.windows(2).all(|w| w[0] > w[1]));
+        assert!(skewed[0] > 40.0);
+    }
+
+    #[test]
+    fn route_policy_parse_round_trips_and_names_bad_token() {
+        for p in RoutePolicy::ALL {
+            assert_eq!(RoutePolicy::parse(p.name()), Ok(p));
+        }
+        assert_eq!(
+            RoutePolicy::parse(" Shortest-Queue "),
+            Ok(RoutePolicy::ShortestQueue)
+        );
+        let err = RoutePolicy::parse("round-robin").unwrap_err();
+        assert!(err.contains("`round-robin`"), "{err}");
+    }
+
+    #[test]
+    fn placement_spreads_by_load_and_respects_budget() {
+        // Two devices; tenant 0 fits both, tenant 1 only device 1.
+        let fit = vec![
+            vec![
+                FitEntry {
+                    weights: 100,
+                    arena1: 10,
+                    solo_ms: 5.0,
+                },
+                FitEntry {
+                    weights: 100,
+                    arena1: 10,
+                    solo_ms: 5.0,
+                },
+            ],
+            vec![
+                FitEntry {
+                    weights: 900,
+                    arena1: 10,
+                    solo_ms: 9.0,
+                },
+                FitEntry {
+                    weights: 100,
+                    arena1: 10,
+                    solo_ms: 9.0,
+                },
+            ],
+        ];
+        let budgets = vec![300, 300];
+        let placement = place_tenants(&fit, &budgets, 2, 1).expect("both fit");
+        assert_eq!(placement[0], vec![0]);
+        assert_eq!(placement[1], vec![1]);
+        // Unplaceable tenant reports its index.
+        let tight = vec![vec![FitEntry {
+            weights: 1000,
+            arena1: 10,
+            solo_ms: 1.0,
+        }]];
+        assert_eq!(place_tenants(&tight, &[300], 2, 1), Err(0));
+    }
+
+    /// A substrate with fixed per-request service and unbounded hosting.
+    struct MockSub {
+        devices: usize,
+        svc: f64,
+        hosted: Vec<Vec<usize>>,
+        allow_migrate: bool,
+    }
+
+    impl RouteSubstrate for MockSub {
+        fn device_count(&self) -> usize {
+            self.devices
+        }
+        fn service_ms(&self, _d: usize, _t: usize) -> f64 {
+            self.svc
+        }
+        fn can_host(&self, _d: usize, _t: usize) -> bool {
+            self.allow_migrate
+        }
+        fn try_migrate(&mut self, d: usize, t: usize, _at: f64) -> bool {
+            if self.allow_migrate {
+                self.hosted[d].push(t);
+                true
+            } else {
+                false
+            }
+        }
+        fn try_join(&mut self, _phone: &Phone, _fault: Option<FaultPlan>, _at: f64) -> Vec<usize> {
+            self.devices += 1;
+            self.hosted.push(Vec::new());
+            Vec::new()
+        }
+    }
+
+    fn conserved(rc: &RouteCoreOutcome, arrivals: &[Vec<f64>]) {
+        for (t, arr) in arrivals.iter().enumerate() {
+            let mut seen = vec![0usize; arr.len()];
+            for dev in &rc.routed {
+                for r in &dev[t] {
+                    seen[r.index] += 1;
+                }
+            }
+            for &(ut, ui, _) in &rc.unrouted {
+                if ut == t {
+                    seen[ui] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "tenant {t}: every request exactly once, got {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn router_core_conserves_and_migrates_uncommitted_on_failure() {
+        let arrivals = vec![(0..20).map(|i| i as f64 * 10.0).collect::<Vec<f64>>()];
+        let placement = vec![vec![0, 1]];
+        let opts = FleetOptions::default();
+        let mut sub = MockSub {
+            devices: 2,
+            svc: 50.0,
+            hosted: vec![vec![0], vec![0]],
+            allow_migrate: false,
+        };
+        let events = vec![FleetEvent::Fail {
+            at_ms: 95.0,
+            device: 0,
+        }];
+        let rc = route_requests(&mut sub, &arrivals, &events, &placement, &opts).unwrap();
+        conserved(&rc, &arrivals);
+        assert_eq!(rc.fail_at[0], Some(95.0));
+        // Committed prefix only: everything still on device 0 completed
+        // by the failure instant (service charged against its horizon).
+        assert!(rc.routed[0][0].iter().all(|r| r.effective_ms < 95.0));
+        // Re-routed requests re-enter at the failure instant.
+        assert!(rc.routed[1][0]
+            .iter()
+            .filter(|r| r.effective_ms != r.arrival_ms)
+            .all(|r| r.effective_ms == 95.0));
+        assert!(rc.migrated_by_tenant[0] > 0);
+        // Arrivals stay sorted per device (ties allowed).
+        for dev in &rc.routed {
+            assert!(dev[0]
+                .windows(2)
+                .all(|w| w[1].effective_ms >= w[0].effective_ms));
+        }
+    }
+
+    #[test]
+    fn router_core_sheds_when_no_device_can_host() {
+        let arrivals = vec![vec![0.0, 5.0]];
+        let placement = vec![vec![0]];
+        let opts = FleetOptions::default();
+        let mut sub = MockSub {
+            devices: 1,
+            svc: 1.0,
+            hosted: vec![vec![0]],
+            allow_migrate: false,
+        };
+        let events = vec![FleetEvent::Fail {
+            at_ms: 0.0,
+            device: 0,
+        }];
+        let rc = route_requests(&mut sub, &arrivals, &events, &placement, &opts).unwrap();
+        conserved(&rc, &arrivals);
+        assert_eq!(rc.unrouted.len(), 2);
+        assert!(rc.migrations.is_empty());
+    }
+
+    #[test]
+    fn router_core_is_deterministic_per_seed_and_policy() {
+        let arrivals: Vec<Vec<f64>> = (0..3)
+            .map(|t| (0..30).map(|i| (i * 7 + t) as f64).collect())
+            .collect();
+        let placement = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+        for policy in RoutePolicy::ALL {
+            let opts = FleetOptions {
+                policy,
+                ..FleetOptions::default()
+            };
+            let run = || {
+                let mut sub = MockSub {
+                    devices: 3,
+                    svc: 4.0,
+                    hosted: vec![vec![0, 2], vec![0, 1], vec![1, 2]],
+                    allow_migrate: false,
+                };
+                route_requests(&mut sub, &arrivals, &[], &placement, &opts).unwrap()
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a.routed, b.routed, "{policy:?} must be deterministic");
+            conserved(&a, &arrivals);
+        }
+    }
+
+    #[test]
+    fn shortest_queue_balances_better_than_affinity() {
+        let arrivals = vec![(0..40).map(|i| i as f64).collect::<Vec<f64>>()];
+        let placement = vec![vec![0, 1]];
+        let counts = |policy: RoutePolicy| {
+            let opts = FleetOptions {
+                policy,
+                ..FleetOptions::default()
+            };
+            let mut sub = MockSub {
+                devices: 2,
+                svc: 10.0,
+                hosted: vec![vec![0], vec![0]],
+                allow_migrate: false,
+            };
+            let rc = route_requests(&mut sub, &arrivals, &[], &placement, &opts).unwrap();
+            (rc.routed[0][0].len(), rc.routed[1][0].len())
+        };
+        let (a0, a1) = counts(RoutePolicy::TenantAffinity);
+        assert_eq!((a0, a1), (40, 0), "affinity pins to the home device");
+        let (s0, s1) = counts(RoutePolicy::ShortestQueue);
+        assert_eq!(s0 + s1, 40);
+        assert!(s0.abs_diff(s1) <= 1, "jsq balances: {s0} vs {s1}");
+    }
+
+    #[test]
+    fn fail_event_on_dead_or_unknown_device_is_an_error() {
+        let arrivals = vec![vec![0.0]];
+        let placement = vec![vec![0]];
+        let opts = FleetOptions::default();
+        let mut sub = MockSub {
+            devices: 1,
+            svc: 1.0,
+            hosted: vec![vec![0]],
+            allow_migrate: false,
+        };
+        let events = vec![
+            FleetEvent::Fail {
+                at_ms: 1.0,
+                device: 0,
+            },
+            FleetEvent::Fail {
+                at_ms: 2.0,
+                device: 0,
+            },
+        ];
+        assert!(route_requests(&mut sub, &arrivals, &events, &placement, &opts).is_err());
+        let mut sub2 = MockSub {
+            devices: 1,
+            svc: 1.0,
+            hosted: vec![vec![0]],
+            allow_migrate: false,
+        };
+        let bad = vec![FleetEvent::Fail {
+            at_ms: 1.0,
+            device: 9,
+        }];
+        assert!(route_requests(&mut sub2, &arrivals, &bad, &placement, &opts).is_err());
+    }
+}

@@ -53,6 +53,7 @@ pub mod builder;
 pub mod convert;
 pub mod engine;
 pub mod estimate;
+pub mod fleet;
 pub mod format;
 pub mod model;
 pub mod plan;
@@ -67,6 +68,11 @@ pub use engine::{ActivationData, EngineError, MultiStream, Session, StagedModel,
 pub use estimate::{
     estimate_arch, estimate_arch_batched, estimate_arch_batched_opts, estimate_arch_opts,
     EstimateOptions,
+};
+pub use fleet::{
+    estimate_fleet, zipf_rates, Fleet, FleetAction, FleetDeviceReport, FleetDeviceSpec, FleetEvent,
+    FleetMigration, FleetOptions, FleetOutcome, FleetReport, FleetRequestFate, FleetTenantReport,
+    RoutePolicy, RoutedRequest,
 };
 pub use model::{PbitLayer, PbitModel};
 pub use plan::{

@@ -615,7 +615,10 @@ pub fn schedule_open_loop(
 /// `batch`: each window is ready when its **last** member has arrived and
 /// inherits its deadline from its **first** member (`arrival + slo`) —
 /// open-loop deadlines anchor to arrival time, not to batch submission.
-fn open_loop_windows(
+///
+/// Crate-visible so the fleet layer can window a device's *routed slice*
+/// of a tenant's arrivals with the identical grouping rule.
+pub(crate) fn open_loop_windows(
     arrivals_ms: &[f64],
     batch: usize,
     slo_ms: Option<f64>,
@@ -638,14 +641,15 @@ fn open_loop_windows(
 // ---------------------------------------------------------------------------
 
 /// Where a tenant's plans come from: a deployed model (the runtime) or a
-/// shape-level architecture (the full-scale estimators).
-enum PlanSource<'a> {
+/// shape-level architecture (the full-scale estimators and the fleet's
+/// analytic path).
+pub(crate) enum PlanSource<'a> {
     Model(&'a PbitModel),
     Arch(&'a NetworkArch),
 }
 
 impl PlanSource<'_> {
-    fn plan_at(
+    pub(crate) fn plan_at(
         &self,
         gpu: &DeviceProfile,
         batch: usize,
@@ -663,7 +667,7 @@ impl PlanSource<'_> {
         }
     }
 
-    fn extras(&self, plan: &ExecutionPlan) -> Vec<f64> {
+    pub(crate) fn extras(&self, plan: &ExecutionPlan) -> Vec<f64> {
         match self {
             PlanSource::Model(m) => activation_extras_model(plan, m),
             PlanSource::Arch(a) => activation_extras_arch(plan, a),
@@ -671,12 +675,14 @@ impl PlanSource<'_> {
     }
 }
 
-/// One tenant's ask, as the admission controller sees it.
-struct TenantAsk<'a> {
-    source: PlanSource<'a>,
-    batch: Option<usize>,
-    slo_ms: Option<f64>,
-    overrides: RouteOverrides,
+/// One tenant's ask, as the admission controller sees it. Crate-visible so
+/// the fleet layer can run per-device admission over its placed tenant
+/// subsets.
+pub(crate) struct TenantAsk<'a> {
+    pub(crate) source: PlanSource<'a>,
+    pub(crate) batch: Option<usize>,
+    pub(crate) slo_ms: Option<f64>,
+    pub(crate) overrides: RouteOverrides,
 }
 
 /// Measures the expected [`QueueLoad`] one window of `plan` puts on the
@@ -723,7 +729,7 @@ fn aggregate_load(loads: &[QueueLoad]) -> QueueLoad {
 /// registered heterogeneous mix otherwise. Cold windows add the per-run
 /// framework overhead; primed batched streams hide it behind the previous
 /// window (double buffering), batch-1 single-bank streams never prime.
-fn modeled_window_under(
+pub(crate) fn modeled_window_under(
     plan: &ExecutionPlan,
     extras: &[f64],
     gpu: &DeviceProfile,
@@ -808,7 +814,7 @@ fn measured_mix(
 /// (measured at the chosen batches) — the one the runtime installs on the
 /// clock and the estimators model windows under, so the three cannot
 /// drift.
-fn admit_tenants(
+pub(crate) fn admit_tenants(
     asks: &[TenantAsk<'_>],
     phone: &Phone,
     streams: usize,
@@ -2168,8 +2174,9 @@ fn percentiles(samples_ms: &[f64]) -> (f64, f64, f64) {
 
 /// Nearest-rank (p50, p95, p99, p99.9) — the open-loop reports carry the
 /// extra tail rank because fault retries live there; zeros for an empty
-/// sample.
-fn percentiles_ext(samples_ms: &[f64]) -> (f64, f64, f64, f64) {
+/// sample. Crate-visible so the fleet layer aggregates its global latency
+/// distribution with the identical rank rule.
+pub(crate) fn percentiles_ext(samples_ms: &[f64]) -> (f64, f64, f64, f64) {
     if samples_ms.is_empty() {
         return (0.0, 0.0, 0.0, 0.0);
     }

@@ -216,29 +216,53 @@ impl FaultPlan {
     /// - `burst=<start>-<end>@<rate>` — a failure burst in ms (repeatable)
     ///
     /// Example: `rate=0.05,throttle=100-200@1.5,burst=50-80@0.3,seed=9`.
+    ///
+    /// The parser is strict: values the runtime would otherwise silently
+    /// clamp or ignore are rejected with an error naming the offending
+    /// token — a probability outside `[0, 1]`, a throttle slowdown below 1
+    /// (the executor floors slowdowns at 1, so such an epoch would be a
+    /// silent no-op), and duplicate `seed=`/`rate=` fields (the last one
+    /// would silently win). `throttle=`/`burst=` stay repeatable: each
+    /// occurrence adds an epoch.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = Self::new(0);
+        let (mut saw_seed, mut saw_rate) = (false, false);
         for field in spec.split(',').filter(|f| !f.trim().is_empty()) {
             let (k, v) = field
                 .split_once('=')
                 .ok_or_else(|| format!("fault field `{field}` is not key=value"))?;
             match k.trim() {
                 "seed" => {
+                    if std::mem::replace(&mut saw_seed, true) {
+                        return Err(format!("duplicate fault field `seed` (second: `{field}`)"));
+                    }
                     plan.seed = v
                         .trim()
                         .parse()
                         .map_err(|_| format!("bad fault seed `{v}`"))?;
                 }
                 "rate" => {
+                    if std::mem::replace(&mut saw_rate, true) {
+                        return Err(format!("duplicate fault field `rate` (second: `{field}`)"));
+                    }
                     let rate: f64 = v
                         .trim()
                         .parse()
                         .map_err(|_| format!("bad fault rate `{v}`"))?;
+                    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                        return Err(format!("fault rate `{v}` must be a probability in [0, 1]"));
+                    }
                     plan = plan.with_failure_rate(rate);
                 }
                 "throttle" => {
                     let (start_ms, end_ms, slowdown) = parse_window_at(v)
                         .ok_or_else(|| format!("bad throttle `{v}` (want start-end@slowdown)"))?;
+                    if slowdown < 1.0 {
+                        return Err(format!(
+                            "throttle slowdown `{slowdown}` in `{v}` must be >= 1 \
+                             (a slowdown below 1 is silently floored at execution)"
+                        ));
+                    }
                     plan = plan.with_throttle(ThrottleEpoch {
                         start_ms,
                         end_ms,
@@ -248,6 +272,11 @@ impl FaultPlan {
                 "burst" => {
                     let (start_ms, end_ms, rate) = parse_window_at(v)
                         .ok_or_else(|| format!("bad burst `{v}` (want start-end@rate)"))?;
+                    if rate > 1.0 {
+                        return Err(format!(
+                            "burst rate `{rate}` in `{v}` must be a probability in [0, 1]"
+                        ));
+                    }
                     plan = plan.with_burst(FaultBurst {
                         start_ms,
                         end_ms,
@@ -423,6 +452,90 @@ impl DeviceClock {
             return 0.0;
         }
         f64::from_bits(self.demand_bits.load(Ordering::Relaxed)) / busy
+    }
+}
+
+/// A registry of per-device clocks for a multi-device deployment.
+///
+/// One [`DeviceClock`] arbitrates one GPU; a fleet of simulated devices
+/// needs a directory of them so a router can read every device's busy
+/// accounting (`busy_s`, `mean_cu_frac`) without threading individual
+/// `Arc`s through every layer. Entries keep **registration order** — the
+/// iteration order is deterministic, which matters because fleet reports
+/// derive per-device utilization tables from it.
+///
+/// Device identifiers are caller-chosen strings (a fleet uses
+/// `"dev0"`, `"dev1"`, …). Registering an existing id replaces the entry
+/// in place (same position) and returns the previous clock, mirroring how
+/// a rebooted device rejoins under its old name.
+#[derive(Debug, Default)]
+pub struct ClockRegistry {
+    entries: RwLock<Vec<(String, Arc<DeviceClock>)>>,
+}
+
+impl ClockRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `clock` under `id`. If `id` is already present the old
+    /// clock is replaced **in place** (iteration order is preserved) and
+    /// returned.
+    pub fn register(&self, id: &str, clock: Arc<DeviceClock>) -> Option<Arc<DeviceClock>> {
+        let mut entries = self.entries.write().expect("registry lock poisoned");
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| k == id) {
+            return Some(std::mem::replace(&mut slot.1, clock));
+        }
+        entries.push((id.to_string(), clock));
+        None
+    }
+
+    /// The clock registered under `id`, if any.
+    pub fn get(&self, id: &str) -> Option<Arc<DeviceClock>> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .find(|(k, _)| k == id)
+            .map(|(_, c)| Arc::clone(c))
+    }
+
+    /// Removes and returns the clock registered under `id`.
+    pub fn remove(&self, id: &str) -> Option<Arc<DeviceClock>> {
+        let mut entries = self.entries.write().expect("registry lock poisoned");
+        let at = entries.iter().position(|(k, _)| k == id)?;
+        Some(entries.remove(at).1)
+    }
+
+    /// Registered device ids, in registration order.
+    pub fn ids(&self) -> Vec<String> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// A snapshot of every `(id, clock)` pair, in registration order.
+    pub fn snapshot(&self) -> Vec<(String, Arc<DeviceClock>)> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, c)| (k.clone(), Arc::clone(c)))
+            .collect()
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry lock poisoned").len()
+    }
+
+    /// True when no device is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -615,6 +728,84 @@ mod tests {
             "start >= end"
         );
         assert!(FaultPlan::parse("burst=1-2").is_err());
+    }
+
+    #[test]
+    fn fault_spec_rejects_name_the_offending_token() {
+        // Out-of-range probabilities are errors, not silent clamps.
+        let err = FaultPlan::parse("rate=1.5").unwrap_err();
+        assert!(err.contains("1.5") && err.contains("[0, 1]"), "{err}");
+        let err = FaultPlan::parse("rate=-0.1").unwrap_err();
+        assert!(err.contains("-0.1"), "{err}");
+        let err = FaultPlan::parse("rate=nan").unwrap_err();
+        assert!(err.contains("nan"), "{err}");
+        let err = FaultPlan::parse("rate=inf").unwrap_err();
+        assert!(err.contains("inf"), "{err}");
+        // A sub-unity throttle slowdown would be silently floored at
+        // execution; the parser refuses it instead.
+        let err = FaultPlan::parse("throttle=0-100@0.5").unwrap_err();
+        assert!(err.contains("0.5") && err.contains(">= 1"), "{err}");
+        // A burst rate above 1 would be silently clamped by
+        // `failure_rate_at`; refuse it too.
+        let err = FaultPlan::parse("burst=0-100@1.5").unwrap_err();
+        assert!(err.contains("1.5"), "{err}");
+        // Duplicate scalar fields: the last would silently win.
+        let err = FaultPlan::parse("seed=1,seed=2").unwrap_err();
+        assert!(err.contains("duplicate") && err.contains("seed=2"), "{err}");
+        let err = FaultPlan::parse("rate=0.1,rate=0.2").unwrap_err();
+        assert!(
+            err.contains("duplicate") && err.contains("rate=0.2"),
+            "{err}"
+        );
+        // Malformed window shapes name the value.
+        let err = FaultPlan::parse("throttle=abc@1.5").unwrap_err();
+        assert!(err.contains("abc@1.5"), "{err}");
+        let err = FaultPlan::parse("burst=10-5@0.2").unwrap_err();
+        assert!(err.contains("10-5@0.2"), "{err}");
+        let err = FaultPlan::parse("throttle=0-nan@1.5").unwrap_err();
+        assert!(err.contains("0-nan@1.5"), "{err}");
+        // Non-key=value fields and unknown keys name the field.
+        let err = FaultPlan::parse("rate").unwrap_err();
+        assert!(err.contains("`rate`") && err.contains("key=value"), "{err}");
+        let err = FaultPlan::parse("nope=1").unwrap_err();
+        assert!(err.contains("`nope`"), "{err}");
+        let err = FaultPlan::parse("seed=abc").unwrap_err();
+        assert!(err.contains("abc"), "{err}");
+        // Boundary probabilities and repeated epochs still parse.
+        assert!(FaultPlan::parse("rate=0").is_ok());
+        assert!(FaultPlan::parse("rate=1").is_ok());
+        let plan =
+            FaultPlan::parse("throttle=0-10@1.5,throttle=20-30@2,burst=0-5@0.1,burst=6-9@0.2")
+                .expect("repeatable epochs");
+        assert_eq!(plan.throttle_epochs().len(), 2);
+    }
+
+    #[test]
+    fn clock_registry_keeps_registration_order() {
+        let reg = ClockRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.register("dev0", clock(1)).is_none());
+        assert!(reg.register("dev1", clock(2)).is_none());
+        assert!(reg.register("dev2", clock(3)).is_none());
+        assert_eq!(reg.ids(), ["dev0", "dev1", "dev2"]);
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.get("dev1").unwrap().streams(), 2);
+        assert!(reg.get("dev9").is_none());
+        // Re-registering replaces in place: order stable, old clock back.
+        let old = reg.register("dev1", clock(4)).expect("was present");
+        assert_eq!(old.streams(), 2);
+        assert_eq!(reg.ids(), ["dev0", "dev1", "dev2"]);
+        assert_eq!(reg.get("dev1").unwrap().streams(), 4);
+        // Snapshot pairs ids with live clocks.
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[2].0, "dev2");
+        snap[2].1.note_busy(0.5);
+        assert!((reg.get("dev2").unwrap().busy_s() - 0.5).abs() < 1e-15);
+        // Removal drops the entry and returns its clock.
+        assert!(reg.remove("dev0").is_some());
+        assert!(reg.remove("dev0").is_none());
+        assert_eq!(reg.ids(), ["dev1", "dev2"]);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod vector;
 
 pub use buffer::{Buffer, Context, SimError};
 pub use calib::ExecutorClass;
-pub use clock::{DeviceClock, FaultBurst, FaultPlan, ThrottleEpoch};
+pub use clock::{ClockRegistry, DeviceClock, FaultBurst, FaultPlan, ThrottleEpoch};
 pub use cost::{Contention, QueueLoad};
 pub use device::{DeviceKind, DeviceProfile, Phone};
 pub use kernel::{KernelProfile, LaunchEvent, LaunchStats};

@@ -130,6 +130,36 @@ impl Strategy for Range<f64> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+#[doc(hidden)]
+mod __range_inclusive {
+    // `1..=3`-style sizes for `collection::vec`, mirroring proptest's
+    // blanket `Into<SizeRange>`.
+    impl From<std::ops::RangeInclusive<usize>> for super::collection::SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            super::collection::SizeRange::Ranged(*r.start()..*r.end() + 1)
+        }
+    }
+}
+
 /// Full-type-range strategy returned by [`any`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Any<T> {

@@ -494,6 +494,39 @@ fn assert_plan_sound(plan: &ExecutionPlan, what: &str) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    // The ChainDecision ledger is exact arithmetic, not advisory: summing
+    // each taken chain's dispatch saving (split dispatches collapse to one
+    // fused launch) reproduces the plan-wide dispatch delta, on any random
+    // architecture, batch, and fusion mode.
+    #[test]
+    fn chain_ledger_savings_sum_to_the_plan_dispatch_delta(
+        seed in 0u64..10_000,
+        batch in 1usize..4,
+    ) {
+        let arch = random_arch(seed);
+        let dev = DeviceProfile::adreno_640();
+        for overrides in [auto(), fused()] {
+            let unfused = ExecutionPlan::for_arch_batched(&arch, &dev, batch);
+            let plan = ExecutionPlan::for_arch_batched_with(&arch, &dev, batch, overrides);
+            let ledger: usize = plan
+                .chains
+                .iter()
+                .filter(|c| c.fused)
+                .map(|c| c.split_dispatches - 1)
+                .sum();
+            prop_assert!(
+                unfused.dispatches() - plan.dispatches() == ledger,
+                "seed {} batch {} {:?}: ledger says {} saved but dispatches dropped {} -> {}",
+                seed, batch, overrides.fusion, ledger, unfused.dispatches(), plan.dispatches()
+            );
+            // Every chain's claimed split cost is real: a fused chain saves
+            // at least one dispatch, and an untaken chain saves nothing.
+            for c in &plan.chains {
+                prop_assert!(c.split_dispatches >= 2, "chain {} too short to fuse", c.label);
+            }
+        }
+    }
+
     // Fusion never changes outputs, leaks arena slots, or increases the
     // dispatch count, on any random architecture.
     #[test]

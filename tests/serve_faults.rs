@@ -424,3 +424,128 @@ proptest! {
         prop_assert_eq!(s, again);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Runtime invariants under random attach/detach/fault interleavings (proptest)
+// ---------------------------------------------------------------------------
+
+/// What kind of model each live tenant is, in runtime index order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Kind {
+    Yolo,
+    Alex,
+}
+
+fn spec_of(kind: Kind) -> TenantSpec {
+    match kind {
+        Kind::Yolo => TenantSpec::new(yolo_model()).with_batch(2),
+        Kind::Alex => TenantSpec::new(alex_model()).with_batch(2),
+    }
+}
+
+fn reqs_of(kind: Kind, count: usize, seed: u64) -> Vec<Tensor<u8>> {
+    let input = match kind {
+        Kind::Yolo => zoo::yolo_micro(Variant::Binary).input,
+        Kind::Alex => zoo::alexnet_micro(Variant::Binary).input,
+    };
+    (0..count)
+        .map(|i| synthetic_image(input, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Random interleavings of attach, detach and fault-plan swaps across
+    // open-loop passes on ONE evolving runtime: every pass resolves every
+    // request to exactly one fate (none lost, none duplicated), and every
+    // surviving output is bit-exact with a fault-free pass of the same
+    // roster on a freshly staged runtime — attach/detach history leaves
+    // no residue in the math.
+    #[test]
+    fn random_attach_detach_fault_interleavings_conserve_and_survivors_stay_bit_exact(
+        seed in any::<u64>(),
+        rounds in proptest::collection::vec(
+            // (attach?, detach?, fault rate %, requests per tenant)
+            (any::<bool>(), any::<bool>(), 0usize..60, 1usize..4),
+            1..=3,
+        ),
+    ) {
+        let phone = Phone::xiaomi_9();
+        // Tenant 0 (yolo, the largest arena) anchors the pool and is never
+        // detached, so a freshly staged twin always sizes its pool slice
+        // identically and window batches agree.
+        let mut kinds = vec![Kind::Yolo];
+        let mut runtime =
+            DeviceRuntime::new(vec![spec_of(Kind::Yolo)], &phone, 2).expect("solo fits");
+
+        for (round, &(do_attach, do_detach, rate_pct, per_tenant)) in rounds.iter().enumerate() {
+            if do_attach && kinds.len() < 3 {
+                runtime.attach(spec_of(Kind::Alex)).expect("attach fits");
+                kinds.push(Kind::Alex);
+            }
+            if do_detach && kinds.len() > 1 {
+                let idx = kinds.len() - 1;
+                runtime.detach(idx).expect("detach");
+                kinds.remove(idx);
+            }
+
+            let req_seed = seed ^ (round as u64).wrapping_mul(0x9E37_79B9);
+            let reqs: Vec<Vec<Tensor<u8>>> = kinds
+                .iter()
+                .enumerate()
+                .map(|(t, &k)| reqs_of(k, per_tenant, req_seed.wrapping_add(1000 * t as u64)))
+                .collect();
+            let traffic: Vec<TenantTraffic<'_>> =
+                reqs.iter().map(|r| TenantTraffic::U8(r)).collect();
+            let arrivals: Vec<Vec<f64>> = reqs
+                .iter()
+                .map(|r| (0..r.len()).map(|i| i as f64 * 0.5).collect())
+                .collect();
+
+            let fault = FaultPlan::new(seed ^ round as u64)
+                .with_failure_rate(rate_pct as f64 / 100.0);
+            runtime.clock().set_fault_plan(Some(fault));
+            let faulted = runtime
+                .serve_open_loop(&traffic, &arrivals, &OpenLoopOptions::default())
+                .expect("faulted pass");
+
+            // A fresh fault-free runtime with the same roster is the oracle.
+            let mut oracle = DeviceRuntime::new(
+                kinds.iter().map(|&k| spec_of(k)).collect(),
+                &phone,
+                2,
+            )
+            .expect("oracle fits");
+            let clean = oracle
+                .serve_open_loop(&traffic, &arrivals, &OpenLoopOptions::default())
+                .expect("clean pass");
+
+            prop_assert_eq!(faulted.tenants.len(), kinds.len());
+            for (t, (ft, ct)) in faulted.tenants.iter().zip(clean.tenants.iter()).enumerate() {
+                // Conservation: one terminal fate per request, windows cover
+                // the offered load exactly.
+                prop_assert_eq!(ft.offered, per_tenant);
+                prop_assert!(ft.served + ft.shed == ft.offered, "tenant {} leaks", t);
+                prop_assert_eq!(ft.outputs.len(), ft.offered);
+                let some = ft.outputs.iter().filter(|o| o.is_some()).count();
+                prop_assert!(some == ft.served, "tenant {} fate/output mismatch", t);
+                prop_assert_eq!(ft.windows, ft.offered.div_ceil(ft.batch));
+
+                // No SLO and no faults: the oracle serves everything, and
+                // every survivor of the faulted pass matches it bit-exactly.
+                prop_assert_eq!(ct.served, ct.offered);
+                for (i, out) in ft.outputs.iter().enumerate() {
+                    if let Some(got) = out {
+                        let want = ct.outputs[i].as_ref().expect("oracle output");
+                        assert_same_activation(
+                            got,
+                            want,
+                            &format!("round {round} tenant {t} request {i}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
