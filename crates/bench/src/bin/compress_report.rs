@@ -1,0 +1,353 @@
+//! Weight-bank dictionary-compression report.
+//!
+//! For each zoo model × phone, synthesizes clustered weights (the sign-
+//! prototype redundancy trained BNNs exhibit and `CompressionMode::Auto`
+//! exploits), lowers the model twice — raw (`Off`, the seed footprint) and
+//! compressed (`Auto`) — and records the resident weight bytes of each,
+//! the compressed/raw ratio, and how many banks won their compress-or-skip
+//! call. Verifies the compression gates (strict weight-bytes reduction on
+//! every zoo model × phone, micro-zoo sessions bit-exact raw vs
+//! compressed, and the tiled bconv kernel reading through a dictionary
+//! staying within `--max-slowdown` of the raw bank), and writes
+//! `BENCH_compress.json` so future PRs have a compression trajectory to
+//! diff against.
+//!
+//! Run: `cargo run --release -p phonebit-bench --bin compress_report`
+//! (`-- --out <path>` to redirect the JSON; `-- --quick` for CI smoke;
+//! `-- --max-slowdown X` to bound the dictionary read-through overhead
+//! (default 1.5, sized for noisy shared runners; local medians run
+//! *faster* than raw — ~0.5x — because the memoized unique-row dot does
+//! strictly less xor work on deduped banks); `-- --check-baseline <path>`
+//! to diff this run against a
+//! committed `BENCH_compress.json` — same model/phone coverage required,
+//! and the byte ratio is deterministic, so it may drift at most
+//! `--max-regression` × (default 1.01).)
+
+use std::time::Instant;
+
+use phonebit_bench::baseline::{diff_rows, json_escape, parse_rows, Better, Row};
+use phonebit_core::{
+    convert, ActivationData, CompressionMode, ExecutionPlan, RouteOverrides, Session,
+};
+use phonebit_gpusim::Phone;
+use phonebit_models::zoo::{self, Variant};
+use phonebit_models::{fill_weights_clustered, synthetic_image};
+use phonebit_nn::fuse::FusedBn;
+use phonebit_nn::graph::NetworkArch;
+use phonebit_nn::kernels::bconv::compute_bconv_fused;
+use phonebit_tensor::bits::BitTensor;
+use phonebit_tensor::dict::FilterDict;
+use phonebit_tensor::pack::{pack_f32, pack_filters};
+use phonebit_tensor::shape::{ConvGeometry, FilterShape, Shape4};
+use phonebit_tensor::tensor::{Filters, Tensor};
+
+/// Identity + guarded metric of the rows this bin writes, for the shared
+/// baseline differ.
+const KEY_FIELDS: [&str; 2] = ["model", "phone"];
+const METRIC: &str = "ratio";
+
+/// Seed and prototype-pool size of the clustered synthetic checkpoints.
+const SEED: u64 = 13;
+const PROTOTYPES: usize = 8;
+
+struct Measurement {
+    model: String,
+    phone: &'static str,
+    raw_bytes: usize,
+    compressed_bytes: usize,
+    ratio: f64,
+    layers_compressed: usize,
+    layers_total: usize,
+}
+
+impl Measurement {
+    fn row(&self) -> Row {
+        Row {
+            key: vec![self.model.clone(), self.phone.to_string()],
+            value: self.ratio,
+        }
+    }
+}
+
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn compressed() -> RouteOverrides {
+    RouteOverrides {
+        compression: CompressionMode::Auto,
+        ..Default::default()
+    }
+}
+
+/// Raw-vs-dictionary read-through timing of the tiled bconv kernel on one
+/// clustered layer shape; returns (raw ns/px, dict ns/px) after asserting
+/// bit-exact equality.
+fn kernel_overhead(hw: usize, cin: usize, k: usize, samples: usize) -> (f64, f64) {
+    let geom = ConvGeometry::square(3, 1, 1);
+    let input = Tensor::from_fn(Shape4::new(1, hw, hw, cin), |_, h, w, ch| {
+        if (h * 7 + w * 3 + ch) % 3 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    // Filters draw from PROTOTYPES sign streams so the dictionary dedupes
+    // the way clustered checkpoints do.
+    let filters = Filters::from_fn(FilterShape::new(k, 3, 3, cin), |kk, i, j, ch| {
+        if ((kk % PROTOTYPES) * 31 + i * 7 + j * 3 + ch).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    let packed_in = pack_f32::<u64>(&input);
+    let packed_f = pack_filters::<u64>(&filters);
+    let dict = FilterDict::build(&packed_f);
+    assert!(dict.wins(), "clustered kernel filters must dedupe");
+    let fused = FusedBn::identity(k);
+    let out_shape = Shape4::new(1, hw, hw, k);
+    let pixels = (hw * hw) as f64;
+
+    let mut a = BitTensor::<u64>::zeros(out_shape);
+    let mut b = BitTensor::<u64>::zeros(out_shape);
+    compute_bconv_fused(&packed_in, &packed_f, &fused, &geom, &mut a);
+    compute_bconv_fused(&packed_in, &dict, &fused, &geom, &mut b);
+    assert_eq!(a, b, "dictionary read-through diverged on {hw}x{hw}");
+
+    let t_raw = median_ns(samples, || {
+        let mut out = BitTensor::<u64>::zeros(out_shape);
+        compute_bconv_fused(&packed_in, &packed_f, &fused, &geom, &mut out);
+        std::hint::black_box(&out);
+    });
+    let t_dict = median_ns(samples, || {
+        let mut out = BitTensor::<u64>::zeros(out_shape);
+        compute_bconv_fused(&packed_in, &dict, &fused, &geom, &mut out);
+        std::hint::black_box(&out);
+    });
+    (t_raw / pixels, t_dict / pixels)
+}
+
+/// Raw-vs-compressed sessions on one micro model must produce identical
+/// outputs (the cheap end-to-end arm of the zoo-wide test suite).
+fn assert_bit_exact(arch: &NetworkArch, phone: &Phone) {
+    let model = || convert(&fill_weights_clustered(arch, SEED, PROTOTYPES));
+    let takes_u8 = model().takes_u8_input();
+    let mut plain = Session::new(model(), phone).expect("fits");
+    let mut comp = Session::new_batched_opts(model(), phone, 1, compressed()).expect("fits");
+    let img = synthetic_image(arch.input, 77);
+    let (want, got) = if takes_u8 {
+        (
+            plain.run_u8(&img).expect("run").output.unwrap(),
+            comp.run_u8(&img).expect("run").output.unwrap(),
+        )
+    } else {
+        let s = img.shape();
+        let f = Tensor::from_fn(s, |n, h, w, c| img.at(n, h, w, c) as f32 / 255.0);
+        (
+            plain.run_f32(&f).expect("run").output.unwrap(),
+            comp.run_f32(&f).expect("run").output.unwrap(),
+        )
+    };
+    match (&want, &got) {
+        (ActivationData::Bits(x), ActivationData::Bits(y)) => {
+            assert_eq!(x, y, "{}: compressed session diverged", arch.name)
+        }
+        (ActivationData::Floats(x), ActivationData::Floats(y)) => {
+            assert_eq!(x, y, "{}: compressed session diverged", arch.name)
+        }
+        (ActivationData::Bytes(x), ActivationData::Bytes(y)) => {
+            assert_eq!(x, y, "{}: compressed session diverged", arch.name)
+        }
+        _ => panic!("{}: activation kinds diverged", arch.name),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_compress.json")
+        .to_string();
+    let numeric_flag = |flag: &str| -> Option<f64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("error: {flag} expects a number, got `{s}`");
+                    std::process::exit(2);
+                })
+            })
+    };
+    let max_slowdown = numeric_flag("--max-slowdown").unwrap_or(1.5);
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--check-baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let max_regression = numeric_flag("--max-regression").unwrap_or(1.01);
+    let samples = if quick { 3 } else { 15 };
+
+    let mut archs = zoo::all(Variant::Binary);
+    archs.push(zoo::alexnet_micro(Variant::Binary));
+    archs.push(zoo::yolo_micro(Variant::Binary));
+
+    println!(
+        "{:<14} {:<10} {:>12} {:>12} {:>7} {:>10}  (clustered weights, seed {SEED})",
+        "model", "phone", "raw", "compressed", "ratio", "banks"
+    );
+    let mut results: Vec<Measurement> = Vec::new();
+    for arch in &archs {
+        let model = convert(&fill_weights_clustered(arch, SEED, PROTOTYPES));
+        for phone in Phone::all() {
+            let raw = ExecutionPlan::for_model_batched(&model, &phone.gpu, 1).expect("plan");
+            let auto = ExecutionPlan::for_model_batched_with(&model, &phone.gpu, 1, compressed())
+                .expect("plan");
+            let m = Measurement {
+                model: arch.name.clone(),
+                phone: phone.name,
+                raw_bytes: raw.weights_bytes,
+                compressed_bytes: auto.weights_bytes,
+                ratio: auto.weights_bytes as f64 / raw.weights_bytes as f64,
+                layers_compressed: auto.compression.iter().filter(|d| d.compressed).count(),
+                layers_total: auto.compression.len(),
+            };
+            println!(
+                "{:<14} {:<10} {:>12} {:>12} {:>7.3} {:>7}/{}",
+                m.model,
+                m.phone,
+                m.raw_bytes,
+                m.compressed_bytes,
+                m.ratio,
+                m.layers_compressed,
+                m.layers_total
+            );
+            results.push(m);
+        }
+    }
+
+    // Gate 1: strict weight-bytes reduction on every zoo model × phone.
+    let mut gate_failures: Vec<String> = Vec::new();
+    for m in &results {
+        if m.compressed_bytes >= m.raw_bytes {
+            gate_failures.push(format!(
+                "{}/{}: compressed {} bytes is not below raw {}",
+                m.model, m.phone, m.compressed_bytes, m.raw_bytes
+            ));
+        }
+    }
+
+    // Gate 2: micro-zoo sessions are bit-exact raw vs compressed
+    // (asserts inside; full-route coverage lives in tests/compress.rs).
+    let phone = Phone::xiaomi_9();
+    assert_bit_exact(&zoo::alexnet_micro(Variant::Binary), &phone);
+    assert_bit_exact(&zoo::yolo_micro(Variant::Binary), &phone);
+    println!("micro zoo bit-exact raw vs compressed: ok");
+
+    // Gate 3: dictionary read-through stays within the slowdown budget on
+    // the tiled bconv hot path.
+    let mut kernel_rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut worst_slowdown = 0.0f64;
+    for &(name, hw, cin, k) in &[
+        ("conv4_52x52_c128_k128", 52usize, 128usize, 128usize),
+        ("conv5_26x26_c128_k256", 26, 128, 256),
+    ] {
+        let (raw_ns, dict_ns) = kernel_overhead(hw, cin, k, samples);
+        let slowdown = dict_ns / raw_ns;
+        worst_slowdown = worst_slowdown.max(slowdown);
+        println!("bconv {name}: raw {raw_ns:.1} ns/px, dict {dict_ns:.1} ns/px ({slowdown:.2}x)");
+        kernel_rows.push((name.to_string(), raw_ns, dict_ns));
+    }
+    if worst_slowdown > max_slowdown {
+        gate_failures.push(format!(
+            "dictionary read-through slowdown {worst_slowdown:.2}x exceeds the {max_slowdown:.2}x budget"
+        ));
+    }
+
+    let mut json =
+        String::from("{\n  \"bench\": \"compress\",\n  \"unit\": \"bytes\",\n  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"phone\": \"{}\", \"raw_bytes\": {}, \"compressed_bytes\": {}, \"ratio\": {:.4}, \"layers_compressed\": {}, \"layers_total\": {}}}{}\n",
+            json_escape(&m.model),
+            json_escape(m.phone),
+            m.raw_bytes,
+            m.compressed_bytes,
+            m.ratio,
+            m.layers_compressed,
+            m.layers_total,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"kernel\": [\n");
+    for (i, (name, raw_ns, dict_ns)) in kernel_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"raw_ns_per_pixel\": {:.1}, \"dict_ns_per_pixel\": {:.1}}}{}\n",
+            json_escape(name),
+            raw_ns,
+            dict_ns,
+            if i + 1 == kernel_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("gate failure: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("compression gates satisfied (reduction everywhere, bit-exact, read-through <= {max_slowdown:.2}x)");
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = parse_rows(&text, &KEY_FIELDS, METRIC);
+        if baseline.is_empty() {
+            eprintln!("error: baseline {path} holds no parsable entries");
+            std::process::exit(1);
+        }
+        let current: Vec<Row> = results.iter().map(Measurement::row).collect();
+        // Every row is guarded: the byte ratio is deterministic, so any
+        // drift beyond rounding means the compressor or planner changed.
+        let failures = diff_rows(
+            &baseline,
+            &current,
+            max_regression,
+            Better::Lower,
+            "BENCH_compress.json",
+            "ratio",
+            |_| true,
+        );
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("baseline diff: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "baseline diff vs {path}: {} entries matched, no drift beyond {max_regression:.2}x",
+            baseline.len()
+        );
+    }
+}

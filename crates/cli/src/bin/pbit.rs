@@ -26,6 +26,9 @@ fn flag_values(args: &[String], flag: &str) -> Vec<String> {
         .collect()
 }
 
+/// Flags that take no value (every other `--flag` consumes the next token).
+const BOOL_FLAGS: &[&str] = &["--compress"];
+
 fn positional(args: &[String]) -> Vec<&String> {
     // Arguments that are not flags and not flag values.
     let mut out = Vec::new();
@@ -36,7 +39,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             continue;
         }
         if a.starts_with("--") {
-            skip = true;
+            skip = !BOOL_FLAGS.contains(&a.as_str());
             continue;
         }
         out.push(a);
@@ -170,11 +173,14 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
                     .map(|v| v.unwrap_or(default))
             };
             let pair = flag_value(rest, "--pair");
+            let compress = rest.iter().any(|a| a == "--compress");
             cmd_plan(
                 model,
                 count_flag("--batch", 4)?,
                 count_flag("--streams", 2)?,
                 pair.as_deref(),
+                compress,
+                seed,
             )
         }
         "bench" => {

@@ -16,13 +16,13 @@ use phonebit_core::format::{load_file, save_file};
 use phonebit_core::{
     convert, estimate_arch, estimate_fleet, max_feasible_batch_multitenant,
     max_feasible_batch_sharded, plan_multitenant, plan_on_sharded, zipf_rates, ArrivalProcess,
-    DeviceRuntime, ExecutionPlan, FleetDeviceSpec, FleetEvent, FleetOptions, FusionMode,
-    OpenLoopOptions, OpenLoopWorkload, PbitLayer, PbitModel, RouteOverrides, RoutePolicy,
-    ServeOptions, ServeRuntime, Session, TenantSpec, TenantTraffic,
+    CompressionMode, ConvPath, DeviceRuntime, ExecutionPlan, FleetDeviceSpec, FleetEvent,
+    FleetOptions, FusionMode, OpenLoopOptions, OpenLoopWorkload, PbitLayer, PbitModel,
+    RouteOverrides, RoutePolicy, ServeOptions, ServeRuntime, Session, TenantSpec, TenantTraffic,
 };
 use phonebit_gpusim::{FaultPlan, Phone};
 use phonebit_models::zoo::{self, Variant};
-use phonebit_models::{fill_weights, synthetic_image};
+use phonebit_models::{fill_weights, fill_weights_clustered, synthetic_image};
 use phonebit_nn::graph::NetworkArch;
 use phonebit_profiler::EnergyReport;
 
@@ -873,18 +873,23 @@ pub fn cmd_fleet(
     Ok(out)
 }
 
-/// `pbit plan <model> [--batch 4] [--streams 2] [--pair <model2>]`:
-/// deployment planning per phone — weights, the solo arena peak, the
-/// sharded (`streams × banks × Σ slots`) peak, and `max_feasible_batch`
-/// both solo and sharded, so capacity planning sees the same numbers the
-/// serving runtime's admission controller uses. With `--pair`, adds the
-/// pooled multi-tenant peak of co-residing the two models
-/// (`Σ weights + streams × max(banks × Σ slots)`).
+/// `pbit plan <model> [--batch 4] [--streams 2] [--pair <model2>]
+/// [--compress] [--seed N]`: deployment planning per phone — weights, the
+/// solo arena peak, the sharded (`streams × banks × Σ slots`) peak, and
+/// `max_feasible_batch` both solo and sharded, so capacity planning sees
+/// the same numbers the serving runtime's admission controller uses. With
+/// `--pair`, adds the pooled multi-tenant peak of co-residing the two
+/// models (`Σ weights + streams × max(banks × Σ slots)`). With
+/// `--compress`, synthesizes clustered weights (seeded) and prints the
+/// weight-bank dictionary ledger: per-layer unique rows, dictionary +
+/// index bytes vs raw, and each compress/skip verdict.
 pub fn cmd_plan(
     model: &str,
     batch: usize,
     streams: usize,
     pair: Option<&str>,
+    compress: bool,
+    seed: u64,
 ) -> Result<String, CliError> {
     if batch == 0 || streams == 0 {
         return Err(CliError::Usage(
@@ -1005,6 +1010,60 @@ pub fn cmd_plan(
              can run either tenant inside its slice"
         );
     }
+
+    if compress {
+        let def = fill_weights_clustered(&arch, seed, 8);
+        let converted = convert(&def);
+        for phone in Phone::all() {
+            let plan = ExecutionPlan::for_model_batched_with(
+                &converted,
+                &phone.gpu,
+                batch,
+                RouteOverrides {
+                    compression: CompressionMode::Auto,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| CliError::Engine(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "\nweight-bank dictionary ledger on {} (clustered weights, seed {seed})",
+                phone.name
+            );
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>6} {:>7} {:>4} {:>10} {:>10} {:>8} {:>9}",
+                "layer", "route", "rows", "unique", "idx", "raw", "dict+idx", "saved", "verdict"
+            );
+            for d in &plan.compression {
+                let route = match d.path {
+                    ConvPath::LoweredGemm => "gemm",
+                    ConvPath::DirectFused => "fused",
+                    ConvPath::DirectUnfused => "unfused",
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>8} {:>6} {:>7} {:>3}B {:>10} {:>10} {:>8} {:>9}",
+                    d.name,
+                    route,
+                    d.stats.rows,
+                    d.stats.unique_rows,
+                    d.stats.index_width,
+                    d.stats.raw_bytes,
+                    d.stats.compressed_bytes,
+                    d.saved_bytes(),
+                    if d.compressed { "compress" } else { "skip" },
+                );
+            }
+            let _ = writeln!(
+                out,
+                "resident weights {:.2}MB ({} saved); each bank compresses only when \
+                 dictionary + indices beat its raw rows",
+                plan.weights_bytes as f64 / 1e6,
+                plan.compression_saved_bytes(),
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -1062,10 +1121,16 @@ USAGE:
                                                retry/backoff + deadline shedding;
                                                prints shed/retry/throttle counters
     pbit plan  <model> [--batch 4] [--streams 2] [--pair <model2>]
+               [--compress] [--seed N]
                                                per-phone deployment plan: solo and
                                                sharded arena peaks, max feasible batch,
                                                fused vs unfused dispatches per image;
-                                               --pair adds the pooled co-resident peak
+                                               --pair adds the pooled co-resident peak;
+                                               --compress adds the weight-bank
+                                               dictionary ledger (per-layer unique
+                                               rows, dict+index vs raw bytes,
+                                               compress/skip verdicts) on clustered
+                                               seeded weights
     pbit fleet [--model <name>]... [--devices 4] [--policy p2c] [--zipf 1.0]
                [--rate 200] [--duration 400] [--streams 2] [--replicas 2]
                [--slo-ms T] [--fail <ms>@<dev>]... [--join <ms>@<phone>]...
@@ -1170,7 +1235,7 @@ mod tests {
 
     #[test]
     fn plan_prints_sharded_peaks_for_both_phones() {
-        let out = cmd_plan("alexnet", 4, 2, None).unwrap();
+        let out = cmd_plan("alexnet", 4, 2, None, false, 42).unwrap();
         assert!(
             out.contains("Xiaomi 5") && out.contains("Xiaomi 9"),
             "{out}"
@@ -1193,22 +1258,38 @@ mod tests {
             }
         }
         assert!(matches!(
-            cmd_plan("alexnet", 0, 2, None),
+            cmd_plan("alexnet", 0, 2, None, false, 42),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_plan("alexnet", 4, 0, None),
+            cmd_plan("alexnet", 4, 0, None, false, 42),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_plan("resnet", 4, 2, None),
+            cmd_plan("resnet", 4, 2, None, false, 42),
             Err(CliError::Usage(_))
         ));
     }
 
     #[test]
+    fn plan_compress_prints_the_dictionary_ledger() {
+        let out = cmd_plan("alexnet-micro", 1, 1, None, true, 7).unwrap();
+        assert!(out.contains("weight-bank dictionary ledger"), "{out}");
+        assert!(out.contains("dict+idx"), "{out}");
+        assert!(out.contains("verdict"), "{out}");
+        // Clustered weights must make at least one bank compress.
+        assert!(
+            out.contains("compress\n") || out.contains("compress "),
+            "{out}"
+        );
+        // Without the flag, no ledger.
+        let plain = cmd_plan("alexnet-micro", 1, 1, None, false, 7).unwrap();
+        assert!(!plain.contains("dictionary ledger"), "{plain}");
+    }
+
+    #[test]
     fn plan_pair_prints_the_pooled_co_resident_peak() {
-        let out = cmd_plan("alexnet", 4, 2, Some("yolov2-tiny")).unwrap();
+        let out = cmd_plan("alexnet", 4, 2, Some("yolov2-tiny"), false, 42).unwrap();
         assert!(
             out.contains("pooled co-residency `AlexNet` + `YOLOv2-Tiny`"),
             "{out}"
@@ -1217,7 +1298,7 @@ mod tests {
         assert!(out.contains("unpooled peak"), "{out}");
         assert!(out.contains("max b pair"), "{out}");
         assert!(matches!(
-            cmd_plan("alexnet", 4, 2, Some("resnet")),
+            cmd_plan("alexnet", 4, 2, Some("resnet"), false, 42),
             Err(CliError::Usage(_))
         ));
     }

@@ -50,6 +50,7 @@ use phonebit_gpusim::Phone;
 use phonebit_nn::kernels::{self, bconv, bgemm, bitplane, dense, fconv, fused, pool};
 use phonebit_tensor::bitplane::BitPlanes;
 use phonebit_tensor::bits::{BitTensor, PackedFilters};
+use phonebit_tensor::dict::FilterDict;
 use phonebit_tensor::shape::{Layout, Shape4};
 use phonebit_tensor::tensor::Tensor;
 
@@ -280,6 +281,33 @@ fn grow_bits(slot: &mut Option<BitTensor<u64>>, shape: Shape4) {
 /// The device [`Context`] lives here too: streams allocate their arena
 /// banks from it, so `resident_bytes` reports the true aggregate footprint
 /// (`weights + N_streams × banks × Σ slots`) and staging one stream too
+/// The staged form of one binary convolution's filter bank, in whatever
+/// shape the layer's chosen route reads: the raw pre-flattened GEMM bank,
+/// its dictionary-compressed form, or the dictionary-compressed per-tap
+/// bank the direct routes and fused chains gather from. `None` (the
+/// common case) means the route reads the layer's own raw
+/// [`PackedFilters`] directly.
+#[derive(Debug)]
+enum ConvBank {
+    /// Raw pre-flattened GEMM bank (lowered route, compression off/skip).
+    Flat(PackedFilters<u64>),
+    /// Dictionary-compressed pre-flattened GEMM bank.
+    FlatDict(FilterDict<u64>),
+    /// Dictionary-compressed per-tap bank (direct routes, fused chains).
+    Dict(FilterDict<u64>),
+}
+
+/// The staged-once, immutable half of an inference engine: the model, its
+/// lowered [`ExecutionPlan`], the pre-staged filter banks (flattened
+/// and/or dictionary-compressed per the plan), and the device residency
+/// for the packed weights. Everything here is read-only after staging, so
+/// any number of [`Stream`]s can share one `StagedModel` behind an
+/// [`Arc`] — the paper's stage-weights-once claim extended from one
+/// batched stream to a whole sharded serving runtime.
+///
+/// The device [`Context`] lives here too: streams allocate their arena
+/// banks from it, so `resident_bytes` reports the true aggregate footprint
+/// (`weights + N_streams × banks × Σ slots`) and staging one stream too
 /// many fails with [`EngineError::OutOfMemory`] exactly like a single
 /// over-budget model would.
 #[derive(Debug)]
@@ -289,10 +317,11 @@ pub struct StagedModel {
     ctx: Context,
     gpu: DeviceProfile,
     _weight_residency: Vec<Buffer<u8>>,
-    /// One entry per **layer** (keyed by `step.index`, which survives the
-    /// fusion pass); `Some` holds the pre-flattened GEMM bank for
-    /// lowered-routed binary convolutions.
-    conv_banks: Vec<Option<PackedFilters<u64>>>,
+    /// One entry per **layer** (keyed by `step.index` /
+    /// `FusedMember::layer`, both of which survive the fusion pass);
+    /// `Some` holds the staged bank form when the route does not read the
+    /// layer's raw per-tap filters as-is.
+    conv_banks: Vec<Option<ConvBank>>,
 }
 
 impl StagedModel {
@@ -377,13 +406,11 @@ impl StagedModel {
         batch: usize,
         overrides: RouteOverrides,
     ) -> Result<Arc<Self>, EngineError> {
-        let mut weight_residency = Vec::new();
-        for layer in &model.layers {
-            let bytes = layer.param_bytes();
-            if bytes > 0 {
-                weight_residency.push(ctx.alloc::<u8>(bytes)?);
-            }
-        }
+        // Lower first: the plan's compression ledger decides how many
+        // bytes each layer's bank actually stages, so weight residency is
+        // allocated *after* planning at the compressed per-layer sizes —
+        // `resident_bytes` then reports the dictionary-true footprint and
+        // matches `plan.weights_bytes` exactly.
         let gpu = ctx.device().clone();
         let plan =
             ExecutionPlan::for_model_batched_with(&model, &gpu, batch, overrides).map_err(|e| {
@@ -392,22 +419,52 @@ impl StagedModel {
                     expected: e.expected,
                 }
             })?;
-        // Pre-flatten filter banks for GEMM-routed layers so per-inference
-        // runs pay neither the cost model nor the flatten again. Routes
+        let mut weight_residency = Vec::new();
+        for (i, layer) in model.layers.iter().enumerate() {
+            let bytes = layer
+                .param_bytes()
+                .saturating_sub(plan.compress_decision(i).map_or(0, |d| d.saved_bytes()));
+            if bytes > 0 {
+                weight_residency.push(ctx.alloc::<u8>(bytes)?);
+            }
+        }
+        // Pre-stage filter banks so per-inference runs pay neither the
+        // cost model, the flatten, nor the dictionary build again. Routes
         // come from the batched plan, so a layer that only wins the GEMM
         // lowering at batch scale still gets its bank. Banks are keyed by
-        // layer index (`step.index`) so the fused plan, which has fewer
-        // steps than layers, still resolves the right bank.
-        let mut conv_banks: Vec<Option<PackedFilters<u64>>> =
-            (0..model.layers.len()).map(|_| None).collect();
+        // layer index (`step.index` / `FusedMember::layer`) so the fused
+        // plan, which has fewer steps than layers, still resolves the
+        // right bank — including direct-fused convs folded into chains.
+        let mut route_of: Vec<Option<ConvPath>> = vec![None; model.layers.len()];
         for step in &plan.steps {
-            if let (PbitLayer::BConv { filters, .. }, Some(route)) =
-                (&model.layers[step.index], step.route)
-            {
-                if route.path == ConvPath::LoweredGemm {
-                    conv_banks[step.index] = Some(bgemm::flatten_filters(filters));
+            match &step.op {
+                StepOp::FusedGroup { members, .. } => {
+                    for m in members {
+                        route_of[m.layer] = m.route.map(|r| r.path);
+                    }
                 }
+                _ => route_of[step.index] = step.route.map(|r| r.path),
             }
+        }
+        let mut conv_banks: Vec<Option<ConvBank>> = (0..model.layers.len()).map(|_| None).collect();
+        for (i, layer) in model.layers.iter().enumerate() {
+            let PbitLayer::BConv { filters, .. } = layer else {
+                continue;
+            };
+            let Some(path) = route_of[i] else {
+                continue;
+            };
+            let compressed = plan.compress_decision(i).is_some_and(|d| d.compressed);
+            conv_banks[i] = match (path, compressed) {
+                (ConvPath::LoweredGemm, false) => {
+                    Some(ConvBank::Flat(bgemm::flatten_filters(filters)))
+                }
+                (ConvPath::LoweredGemm, true) => Some(ConvBank::FlatDict(FilterDict::build(
+                    &bgemm::flatten_filters(filters),
+                ))),
+                (_, true) => Some(ConvBank::Dict(FilterDict::build(filters))),
+                (_, false) => None,
+            };
         }
         Ok(Arc::new(Self {
             model,
@@ -1337,7 +1394,7 @@ fn exec_step(
     q: &mut CommandQueue,
     layers: &[PbitLayer],
     plan: &ExecutionPlan,
-    banks: &[Option<PackedFilters<u64>>],
+    banks: &[Option<ConvBank>],
     arena: &mut [SlotStorage],
     idx: usize,
 ) {
@@ -1359,6 +1416,7 @@ fn exec_step(
         exec_fused_group(
             q,
             layers,
+            banks,
             *kind,
             members,
             in_store,
@@ -1413,29 +1471,64 @@ fn exec_step(
             // integration limit folds into the direct-path choice);
             // inference only follows the staged route.
             let route = step.route.expect("BConv step carries a route");
+            // Compressed layers read filters through their staged
+            // dictionary — same popcount inner loops, bit-exact outputs,
+            // fewer modeled filter bytes.
             match route.path {
                 ConvPath::LoweredGemm => {
-                    let flat = banks[step.index]
-                        .as_ref()
-                        .expect("GEMM route carries a flat bank");
                     let windows = scr_store.as_mut().map(|(_, s)| s.bits_mut());
-                    bgemm::bconv_lowered_with_into(
-                        q,
-                        bits_in,
-                        filters,
-                        flat,
-                        fused,
-                        geom,
-                        windows,
-                        out_store.bits_mut(),
-                    );
+                    match banks[step.index]
+                        .as_ref()
+                        .expect("GEMM route carries a flat bank")
+                    {
+                        ConvBank::Flat(flat) => bgemm::bconv_lowered_with_into(
+                            q,
+                            bits_in,
+                            filters,
+                            flat,
+                            fused,
+                            geom,
+                            windows,
+                            out_store.bits_mut(),
+                        ),
+                        ConvBank::FlatDict(flat) => bgemm::bconv_lowered_with_into(
+                            q,
+                            bits_in,
+                            filters,
+                            flat,
+                            fused,
+                            geom,
+                            windows,
+                            out_store.bits_mut(),
+                        ),
+                        ConvBank::Dict(_) => unreachable!("GEMM route stages a flat bank"),
+                    }
                 }
-                ConvPath::DirectFused => {
-                    bconv::bconv_fused_into(q, bits_in, filters, fused, geom, out_store.bits_mut());
-                }
+                ConvPath::DirectFused => match banks[step.index].as_ref() {
+                    Some(ConvBank::Dict(d)) => {
+                        bconv::bconv_fused_into(q, bits_in, d, fused, geom, out_store.bits_mut());
+                    }
+                    _ => {
+                        bconv::bconv_fused_into(
+                            q,
+                            bits_in,
+                            filters,
+                            fused,
+                            geom,
+                            out_store.bits_mut(),
+                        );
+                    }
+                },
                 ConvPath::DirectUnfused => {
                     let (_, scr) = scr_store.as_mut().expect("accumulator scratch planned");
-                    bconv::bconv_accum_into(q, bits_in, filters, geom, scr.accum_mut());
+                    match banks[step.index].as_ref() {
+                        Some(ConvBank::Dict(d)) => {
+                            bconv::bconv_accum_into(q, bits_in, d, geom, scr.accum_mut());
+                        }
+                        _ => {
+                            bconv::bconv_accum_into(q, bits_in, filters, geom, scr.accum_mut());
+                        }
+                    }
                     bconv::binarize_pack_into(q, scr.accum(), fused, out_store.bits_mut());
                 }
             }
@@ -1544,6 +1637,7 @@ fn exec_step(
 fn exec_fused_group(
     q: &mut CommandQueue,
     layers: &[PbitLayer],
+    banks: &[Option<ConvBank>],
     kind: FusedKind,
     members: &[FusedMember],
     in_store: &SlotStorage,
@@ -1590,32 +1684,63 @@ fn exec_fused_group(
                     filters,
                     fused: bn,
                     ..
-                } => match cvt {
-                    Some(pack) => fused::pack_bconv_chain_into(
-                        q,
-                        in_store.floats(),
-                        filters,
-                        bn,
-                        geom,
-                        pool_geom,
-                        pack.bits_mut(),
-                        ring,
-                        out.bits_mut(),
-                    ),
-                    None => {
-                        let pool = pool_geom.expect("unconverted conv chain carries a pool");
-                        fused::bconv_pool_chain_into(
+                } => {
+                    // The chain's conv reads through its staged dictionary
+                    // when the compression ledger kept it.
+                    let dict = match banks[members[0].layer].as_ref() {
+                        Some(ConvBank::Dict(d)) => Some(d),
+                        _ => None,
+                    };
+                    match (cvt, dict) {
+                        (Some(pack), Some(d)) => fused::pack_bconv_chain_into(
                             q,
-                            in_store.bits(),
+                            in_store.floats(),
+                            d,
+                            bn,
+                            geom,
+                            pool_geom,
+                            pack.bits_mut(),
+                            ring,
+                            out.bits_mut(),
+                        ),
+                        (Some(pack), None) => fused::pack_bconv_chain_into(
+                            q,
+                            in_store.floats(),
                             filters,
                             bn,
                             geom,
-                            pool,
+                            pool_geom,
+                            pack.bits_mut(),
                             ring,
                             out.bits_mut(),
-                        );
+                        ),
+                        (None, dict) => {
+                            let pool = pool_geom.expect("unconverted conv chain carries a pool");
+                            match dict {
+                                Some(d) => fused::bconv_pool_chain_into(
+                                    q,
+                                    in_store.bits(),
+                                    d,
+                                    bn,
+                                    geom,
+                                    pool,
+                                    ring,
+                                    out.bits_mut(),
+                                ),
+                                None => fused::bconv_pool_chain_into(
+                                    q,
+                                    in_store.bits(),
+                                    filters,
+                                    bn,
+                                    geom,
+                                    pool,
+                                    ring,
+                                    out.bits_mut(),
+                                ),
+                            }
+                        }
                     }
-                },
+                }
                 _ => unreachable!("conv chains start at a binary convolution"),
             }
         }

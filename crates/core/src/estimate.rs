@@ -117,6 +117,7 @@ fn estimate_impl(
             force_unfused: opts.force_unfused,
             lowered_gemm: opts.lowered_gemm,
             fusion: opts.fusion,
+            ..RouteOverrides::default()
         },
     );
 
@@ -235,6 +236,14 @@ pub(crate) fn walk_plan(
     extras: &[f64],
     opts: EstimateOptions,
 ) -> Vec<LayerRun> {
+    // Dictionary-compressed banks read fewer filter bytes; the estimator
+    // subtracts exactly the per-layer saved bytes the plan recorded — the
+    // same `discount_reads` clamp the kernels apply — so modeled and
+    // executed timelines stay bit-identical under compression.
+    let bank_discount = |layer: usize| {
+        plan.compress_decision(layer)
+            .map_or(0.0, |d| d.saved_bytes() as f64)
+    };
     let mut per_layer = Vec::with_capacity(plan.steps.len());
     for (idx, step) in plan.steps.iter().enumerate() {
         let t0 = q.elapsed_s();
@@ -273,8 +282,11 @@ pub(crate) fn walk_plan(
                     WorkloadPolicy::for_channels(in_c)
                 };
                 let route = step.route.expect("BConv step carries a route");
+                let disc = bank_discount(step.index);
                 match route.path {
                     ConvPath::LoweredGemm => {
+                        // The window-materialization pass reads no
+                        // filters; only the GEMM's bank is discounted.
                         if !geom.is_pointwise() {
                             q.launch(
                                 bgemm::pack_windows_profile(out_shape.pixels(), in_c, geom),
@@ -282,7 +294,8 @@ pub(crate) fn walk_plan(
                             );
                         }
                         q.launch(
-                            bgemm::bgemm_profile(out_shape.pixels(), *k, in_c, geom),
+                            bgemm::bgemm_profile(out_shape.pixels(), *k, in_c, geom)
+                                .discount_reads(disc),
                             || {},
                         );
                     }
@@ -298,11 +311,14 @@ pub(crate) fn walk_plan(
                         } else {
                             profiles::bconv_fused(out_shape.pixels(), *k, in_c, geom, &policy)
                         };
-                        q.launch(profile, || {});
+                        q.launch(profile.discount_reads(disc), || {});
                     }
                     ConvPath::DirectUnfused => {
+                        // The binarize/pack epilogue reads no filters;
+                        // only the accumulate half carries the discount.
                         q.launch(
-                            profiles::bconv_accum(out_shape.pixels(), *k, in_c, geom, &policy),
+                            profiles::bconv_accum(out_shape.pixels(), *k, in_c, geom, &policy)
+                                .discount_reads(disc),
                             || {},
                         );
                         q.launch(profiles::binarize_pack(out_shape.pixels(), *k), || {});
@@ -348,9 +364,14 @@ pub(crate) fn walk_plan(
             }
             StepOp::FusedGroup { kind, members } => {
                 // One launch for the whole chain — `launch_overhead_s` is
-                // paid once per group, not once per member layer.
+                // paid once per group, not once per member layer. The
+                // leading conv's bank discount rides along (chains start
+                // at the conv, whose original layer index keys the
+                // compression ledger).
+                let disc = members.first().map_or(0.0, |m| bank_discount(m.layer));
                 q.launch(
-                    fused_group_profile(*kind, members, step.convert.is_some()),
+                    fused_group_profile(*kind, members, step.convert.is_some())
+                        .discount_reads(disc),
                     || {},
                 );
             }

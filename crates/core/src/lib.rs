@@ -76,13 +76,13 @@ pub use fleet::{
 };
 pub use model::{PbitLayer, PbitModel};
 pub use plan::{
-    ChainDecision, ExecutionPlan, FusedKind, FusedMember, FusionMode, PlanStep, PlanValue,
-    RouteOverrides, StepOp, ValueKind, ValueRole,
+    ChainDecision, CompressDecision, CompressStats, CompressionMode, ExecutionPlan, FusedKind,
+    FusedMember, FusionMode, PlanStep, PlanValue, RouteOverrides, StepOp, ValueKind, ValueRole,
 };
 pub use planner::{
     max_feasible_batch, max_feasible_batch_multitenant, max_feasible_batch_sharded, plan,
     plan_batched, plan_multitenant, plan_on, plan_on_batched, plan_on_sharded, select_conv_path,
-    ConvPath, ConvPlan, MemoryPlan, MultiTenantPlan,
+    select_conv_path_with, ConvPath, ConvPlan, MemoryPlan, MultiTenantPlan,
 };
 pub use serve::{
     estimate_serve, estimate_serve_multitenant, estimate_serve_open_loop, schedule_open_loop,

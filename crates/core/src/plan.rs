@@ -11,9 +11,11 @@
 //!   bit-OR or float pooling, conversions between packed bits and floats
 //!   become explicit `convert` values);
 //! - for binary convolutions, the [`ConvPlan`] route chosen by
-//!   [`select_conv_path`] — direct-tiled fused, direct + separate pack, or
-//!   the Espresso-style lowered bit-GEMM — including both candidates'
-//!   modeled latency *and* arena-footprint terms;
+//!   [`select_conv_path`](crate::planner::select_conv_path) — direct-tiled
+//!   fused, direct + separate pack, or the Espresso-style lowered bit-GEMM
+//!   — including both candidates' modeled latency *and* arena-footprint
+//!   terms (and, under [`CompressionMode::Auto`], each candidate bank's
+//!   dictionary-compression discount);
 //! - a set of [`PlanValue`]s — the network input, every layer output, and
 //!   every transient (bit-plane sets, im2col window rows, int32
 //!   accumulators, domain conversions) — each with its packed byte size
@@ -47,9 +49,10 @@
 //! requests over one staged weight set:
 //!
 //! - every kernel profile and route decision is cost-modeled at the
-//!   **batched** pixel count, so [`select_conv_path`] can amortize the
-//!   per-dispatch launch overhead across the batch and may legitimately
-//!   pick a different route than the single-image plan;
+//!   **batched** pixel count, so
+//!   [`select_conv_path`](crate::planner::select_conv_path) can amortize
+//!   the per-dispatch launch overhead across the batch and may
+//!   legitimately pick a different route than the single-image plan;
 //! - the liveness scan is unchanged (the batch flows through one layer at
 //!   a time), so the slot *count* stays small; each slot simply grows to
 //!   hold the whole batch's value;
@@ -71,13 +74,14 @@ use std::sync::Arc;
 use phonebit_gpusim::DeviceProfile;
 use phonebit_nn::graph::{LayerPrecision, LayerSpec, NetworkArch, PoolKind};
 use phonebit_nn::kernels::fused::{conv_chain_profile, dense_pair_profile, ChainAbsorb};
-use phonebit_nn::kernels::profiles;
+use phonebit_nn::kernels::{bgemm, profiles};
 use phonebit_nn::workload::WorkloadPolicy;
 use phonebit_tensor::bits::PackWidth;
+use phonebit_tensor::dict::FilterDict;
 use phonebit_tensor::shape::{ConvGeometry, Shape4};
 
 use crate::model::{PbitLayer, PbitModel};
-use crate::planner::{score_chain, select_conv_path, ConvPath, ConvPlan};
+use crate::planner::{score_chain, select_conv_path_with, ConvPath, ConvPlan};
 
 /// Storage class of a planned value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -335,6 +339,108 @@ pub enum FusionMode {
     Force,
 }
 
+/// How the planner treats dictionary compression of binary-convolution
+/// weight banks (the Silfa-style unique-row dedupe of
+/// [`FilterDict`]).
+///
+/// [`FilterDict`]: phonebit_tensor::dict::FilterDict
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CompressionMode {
+    /// No compression pass: every bank stays raw and plans, profiles and
+    /// baselines are byte-identical to the uncompressed lowering (the seed
+    /// behavior).
+    #[default]
+    Off,
+    /// Dedupe each binary convolution's packed tap rows into a per-layer
+    /// dictionary plus narrow indices, keep it **only where it wins**
+    /// (dictionary + indices smaller than the raw rows), and thread the
+    /// saved bytes through route scores, kernel DRAM traffic, resident
+    /// weights and placement peaks.
+    Auto,
+}
+
+/// Size accounting of one candidate weight bank's dictionary build — the
+/// numbers behind a compress-or-skip call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressStats {
+    /// Total tap rows in the bank (filters × taps; one row per flattened
+    /// filter for pre-flattened GEMM banks).
+    pub rows: usize,
+    /// Distinct rows — the dictionary entries.
+    pub unique_rows: usize,
+    /// Bytes per dictionary index (1, 2 or 4, by unique-row count).
+    pub index_width: usize,
+    /// Raw packed bank bytes (what an uncompressed bank stages).
+    pub raw_bytes: usize,
+    /// Dictionary rows + narrow indices, bytes.
+    pub compressed_bytes: usize,
+}
+
+impl CompressStats {
+    fn of(dict: &FilterDict<u64>) -> Self {
+        Self {
+            rows: dict.total_rows(),
+            unique_rows: dict.unique_rows(),
+            index_width: dict.index_width_bytes(),
+            raw_bytes: dict.raw_bytes(),
+            compressed_bytes: dict.compressed_bytes(),
+        }
+    }
+
+    /// Bytes the dictionary form saves over the raw bank (0 when it does
+    /// not win).
+    pub fn saved_bytes(&self) -> usize {
+        self.raw_bytes.saturating_sub(self.compressed_bytes)
+    }
+
+    /// Whether the dictionary form is strictly smaller than the raw bank.
+    pub fn wins(&self) -> bool {
+        self.compressed_bytes < self.raw_bytes
+    }
+}
+
+/// Both candidate banks' dictionary accounting for one binary convolution:
+/// the per-tap bank the direct routes gather from, and the pre-flattened
+/// GEMM bank the lowered route tiles. Computed once per layer at lowering
+/// time under [`CompressionMode::Auto`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LayerCompression {
+    /// Per-tap bank stats (direct-tiled routes).
+    pub direct: CompressStats,
+    /// Pre-flattened whole-filter bank stats (lowered-GEMM route).
+    pub lowered: CompressStats,
+}
+
+/// The compression pass's per-layer verdict, recorded on the plan whether
+/// or not the bank compressed — the ledger `pbit plan --compress` prints,
+/// mirroring the fusion pass's [`ChainDecision`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressDecision {
+    /// Original layer index (survives the fusion pass, like
+    /// [`FusedMember::layer`]).
+    pub layer: usize,
+    /// Layer name.
+    pub name: String,
+    /// The conv route whose bank this verdict is about (the chosen route).
+    pub path: ConvPath,
+    /// The chosen route's bank accounting.
+    pub stats: CompressStats,
+    /// Whether the engine stages the dictionary form (true exactly when
+    /// [`CompressStats::wins`]).
+    pub compressed: bool,
+}
+
+impl CompressDecision {
+    /// Bytes this layer's staged bank saves (0 for skipped layers).
+    pub fn saved_bytes(&self) -> usize {
+        if self.compressed {
+            self.stats.saved_bytes()
+        } else {
+            0
+        }
+    }
+}
+
 /// Route decisions forced by the ablation harness instead of cost-modeled
 /// (the estimator's design-choice knobs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -347,6 +453,9 @@ pub struct RouteOverrides {
     pub lowered_gemm: bool,
     /// Inter-layer fusion pass mode (default [`FusionMode::Off`]).
     pub fusion: FusionMode,
+    /// Weight-bank dictionary compression mode (default
+    /// [`CompressionMode::Off`]).
+    pub compression: CompressionMode,
 }
 
 /// A domain inconsistency found at lowering time (e.g. a bitwise pool fed
@@ -388,7 +497,10 @@ pub struct ExecutionPlan {
     /// Arena slot sizes in bytes (each slot is the max over the values it
     /// hosts). For batched plans each slot holds the whole batch's value.
     pub slots: Vec<usize>,
-    /// Resident packed weight bytes.
+    /// Resident packed weight bytes — net of dictionary compression: each
+    /// layer whose [`CompressDecision`] compressed stages its dictionary +
+    /// indices instead of the raw bank, so admission and placement see the
+    /// compressed footprint.
     pub weights_bytes: usize,
     /// Images per inference window: every value's `n` extent carries it.
     pub batch: usize,
@@ -399,6 +511,10 @@ pub struct ExecutionPlan {
     /// The fusion pass's per-chain fused-vs-split verdicts (empty when
     /// lowered with [`FusionMode::Off`]).
     pub chains: Vec<ChainDecision>,
+    /// The compression pass's per-layer compress-or-skip verdicts, one per
+    /// binary convolution (empty when lowered with
+    /// [`CompressionMode::Off`] or from a weightless arch).
+    pub compression: Vec<CompressDecision>,
 }
 
 impl ExecutionPlan {
@@ -506,6 +622,9 @@ impl ExecutionPlan {
             arch.name.clone(),
             arch.input,
             &descs,
+            // Shape-level archs carry no weights, so there is nothing to
+            // dictionary-compress: arch plans are identical across modes.
+            &[],
             arch.binary_bytes(),
             device,
             overrides,
@@ -647,10 +766,34 @@ impl ExecutionPlan {
                 },
             })
             .collect();
+        // Under Auto, build both candidate dictionaries per binary conv —
+        // the per-tap bank the direct routes gather from and the
+        // pre-flattened whole-filter bank the GEMM tiles — so the route
+        // scorer can discount each candidate's filter reads by what *its*
+        // bank would save. First-layer bit-plane convs and dense layers
+        // stay raw: their kernels keep concrete banks.
+        let comps: Vec<Option<LayerCompression>> = model
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                PbitLayer::BConv { filters, .. }
+                    if overrides.compression == CompressionMode::Auto =>
+                {
+                    Some(LayerCompression {
+                        direct: CompressStats::of(&FilterDict::build(filters)),
+                        lowered: CompressStats::of(&FilterDict::build(&bgemm::flatten_filters(
+                            filters,
+                        ))),
+                    })
+                }
+                _ => None,
+            })
+            .collect();
         lower(
             model.name.clone(),
             model.input,
             &descs,
+            &comps,
             model.size_bytes(),
             device,
             overrides,
@@ -694,6 +837,21 @@ impl ExecutionPlan {
     /// fusion pass exists to cut.
     pub fn dispatches(&self) -> usize {
         self.steps.iter().map(PlanStep::dispatches).sum()
+    }
+
+    /// The compression verdict recorded for original layer `layer`, if any
+    /// (keyed like [`FusedMember::layer`], so fused plans still resolve).
+    pub fn compress_decision(&self, layer: usize) -> Option<&CompressDecision> {
+        self.compression.iter().find(|d| d.layer == layer)
+    }
+
+    /// Total weight bytes the dictionary pass saved across the plan (0
+    /// when nothing compressed).
+    pub fn compression_saved_bytes(&self) -> usize {
+        self.compression
+            .iter()
+            .map(CompressDecision::saved_bytes)
+            .sum()
     }
 }
 
@@ -743,12 +901,17 @@ fn lower(
     name: String,
     input: Shape4,
     descs: &[LayerDesc],
+    comps: &[Option<LayerCompression>],
     weights_bytes: usize,
     device: &DeviceProfile,
     overrides: RouteOverrides,
     batch: usize,
 ) -> Result<ExecutionPlan, PlanDomainError> {
     assert!(batch >= 1, "batch must be at least 1");
+    // Compressed banks shrink the resident weights below; decisions are
+    // recorded per layer so the engine stages exactly what is subtracted.
+    let mut weights_bytes = weights_bytes;
+    let mut compression: Vec<CompressDecision> = Vec::new();
     // The batch folds into the `n` extent of every value: kernels process
     // the whole window in one dispatch, so routes and slots are sized at
     // batched shapes below without any further special-casing.
@@ -840,12 +1003,52 @@ fn lower(
                 }
                 let (oh, ow) = desc.geom.output_hw(in_shape.h, in_shape.w);
                 let out_shape = Shape4::new(in_shape.n, oh, ow, desc.k);
-                let mut plan =
-                    select_conv_path(device, out_shape.pixels(), desc.k, in_shape.c, &desc.geom);
+                // Each candidate route is scored with its own bank's
+                // dictionary discount (0 when the bank does not win or
+                // compression is off) — the same clamp the kernels apply,
+                // so score and execution cannot drift.
+                let comp = comps.get(i).and_then(|c| c.as_ref());
+                let discount = |s: &CompressStats| {
+                    if s.wins() {
+                        s.saved_bytes() as f64
+                    } else {
+                        0.0
+                    }
+                };
+                let (direct_disc, lowered_disc) =
+                    comp.map_or((0.0, 0.0), |c| (discount(&c.direct), discount(&c.lowered)));
+                let mut plan = select_conv_path_with(
+                    device,
+                    out_shape.pixels(),
+                    desc.k,
+                    in_shape.c,
+                    &desc.geom,
+                    direct_disc,
+                    lowered_disc,
+                );
                 if overrides.lowered_gemm {
                     plan.path = ConvPath::LoweredGemm;
                 } else if overrides.force_unfused {
                     plan.path = ConvPath::DirectUnfused;
+                }
+                if let Some(c) = comp {
+                    // The verdict is about the bank the chosen route will
+                    // actually stage; compress only where it wins.
+                    let stats = match plan.path {
+                        ConvPath::LoweredGemm => c.lowered,
+                        _ => c.direct,
+                    };
+                    let compressed = stats.wins();
+                    if compressed {
+                        weights_bytes = weights_bytes.saturating_sub(stats.saved_bytes());
+                    }
+                    compression.push(CompressDecision {
+                        layer: i,
+                        name: desc.name.clone(),
+                        path: plan.path,
+                        stats,
+                        compressed,
+                    });
                 }
                 match plan.path {
                     ConvPath::LoweredGemm if !desc.geom.is_pointwise() => {
@@ -1052,6 +1255,7 @@ fn lower(
         batch,
         banks,
         chains,
+        compression,
     })
 }
 

@@ -203,6 +203,39 @@ pub fn select_conv_path(
     in_channels: usize,
     geom: &ConvGeometry,
 ) -> ConvPlan {
+    select_conv_path_with(
+        device,
+        out_pixels,
+        out_channels,
+        in_channels,
+        geom,
+        0.0,
+        0.0,
+    )
+}
+
+/// [`select_conv_path`] with dictionary-compression discounts: when a
+/// candidate path's weight bank dedupes (its dictionary + indices are
+/// smaller than the raw rows), the planner subtracts the saved filter-read
+/// bytes from that candidate's profile before scoring — the same
+/// [`KernelProfile::discount_reads`] clamp the kernels apply at dispatch
+/// time, so the route score and the executed cost cannot drift. A discount
+/// of 0 on both banks is exactly [`select_conv_path`].
+///
+/// `direct_discount_bytes` applies to the direct core (fused, or the
+/// accumulate half of the unfused pair — never the binarize/pack epilogue,
+/// which reads no filters); `lowered_discount_bytes` applies to the
+/// bit-GEMM (never the window-materialization pass).
+#[allow(clippy::too_many_arguments)]
+pub fn select_conv_path_with(
+    device: &DeviceProfile,
+    out_pixels: usize,
+    out_channels: usize,
+    in_channels: usize,
+    geom: &ConvGeometry,
+    direct_discount_bytes: f64,
+    lowered_discount_bytes: f64,
+) -> ConvPlan {
     let params = CostParams::for_executor(ExecutorClass::PhoneBitOpenCl);
     let energy = EnergyParams::for_kind(DeviceKind::Gpu);
     // (seconds, joules) of one dispatch — the energy already integrates
@@ -216,22 +249,16 @@ pub fn select_conv_path(
     let policy = WorkloadPolicy::for_channels(in_channels);
     let (direct_s, direct_energy_j, direct_arena_bytes) =
         if in_channels <= INTEGRATION_CHANNEL_LIMIT {
-            let (t, e) = cost(profiles::bconv_fused(
-                out_pixels,
-                out_channels,
-                in_channels,
-                geom,
-                &policy,
-            ));
+            let (t, e) = cost(
+                profiles::bconv_fused(out_pixels, out_channels, in_channels, geom, &policy)
+                    .discount_reads(direct_discount_bytes),
+            );
             (t, e, 0)
         } else {
-            let (t_acc, e_acc) = cost(profiles::bconv_accum(
-                out_pixels,
-                out_channels,
-                in_channels,
-                geom,
-                &policy,
-            ));
+            let (t_acc, e_acc) = cost(
+                profiles::bconv_accum(out_pixels, out_channels, in_channels, geom, &policy)
+                    .discount_reads(direct_discount_bytes),
+            );
             let (t_pack, e_pack) = cost(profiles::binarize_pack(out_pixels, out_channels));
             (
                 t_acc + t_pack,
@@ -241,12 +268,10 @@ pub fn select_conv_path(
         };
 
     let gemm_is_view = geom.is_pointwise();
-    let (mut lowered_s, mut lowered_energy_j) = cost(bgemm::bgemm_profile(
-        out_pixels,
-        out_channels,
-        in_channels,
-        geom,
-    ));
+    let (mut lowered_s, mut lowered_energy_j) = cost(
+        bgemm::bgemm_profile(out_pixels, out_channels, in_channels, geom)
+            .discount_reads(lowered_discount_bytes),
+    );
     let mut lowered_arena_bytes = 0;
     if !gemm_is_view {
         let (t, e) = cost(bgemm::pack_windows_profile(out_pixels, in_channels, geom));

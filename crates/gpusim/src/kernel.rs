@@ -94,6 +94,17 @@ impl KernelProfile {
         self
     }
 
+    /// Subtracts `bytes` from the read traffic, clamping at zero — how
+    /// kernels account for dictionary-compressed weight banks whose raw
+    /// footprint the profile builders charged. A discount of 0 is exactly
+    /// the identity, so uncompressed paths are byte-identical.
+    pub fn discount_reads(mut self, bytes: f64) -> Self {
+        if bytes > 0.0 {
+            self.dram_read_bytes = (self.dram_read_bytes - bytes).max(0.0);
+        }
+        self
+    }
+
     /// Sets the coalescing efficiency.
     ///
     /// # Panics
@@ -251,6 +262,15 @@ mod tests {
         assert_eq!(b.coalescing, p.coalescing);
         assert_eq!(b.divergence, p.divergence);
         assert_eq!(p.clone().batched(1), p);
+    }
+
+    #[test]
+    fn discount_reads_clamps_and_preserves_identity() {
+        let p = KernelProfile::new("k", NdRange::linear(1)).reads(100.0);
+        assert_eq!(p.clone().discount_reads(0.0), p);
+        assert_eq!(p.clone().discount_reads(-5.0), p);
+        assert_eq!(p.clone().discount_reads(30.0).dram_read_bytes, 70.0);
+        assert_eq!(p.clone().discount_reads(500.0).dram_read_bytes, 0.0);
     }
 
     #[test]

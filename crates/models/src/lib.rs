@@ -13,5 +13,5 @@ pub mod synth;
 pub mod yolo;
 pub mod zoo;
 
-pub use synth::{fill_weights, synthetic_image, to_float_input};
+pub use synth::{fill_weights, fill_weights_clustered, synthetic_image, to_float_input};
 pub use zoo::{alexnet, alexnet_micro, vgg16, yolo_micro, yolov2_tiny, Variant};

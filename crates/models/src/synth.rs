@@ -87,6 +87,80 @@ pub fn fill_weights(arch: &NetworkArch, seed: u64) -> NetworkDef {
     def
 }
 
+/// Like [`fill_weights`], but convolution filters are drawn from a small
+/// pool of shared **sign prototypes**: each output channel copies one of
+/// `prototypes` prototype filters and scales it by a positive per-channel
+/// magnitude. Sign-binarization discards the magnitude, so channels that
+/// share a prototype pack to bit-identical filter rows — the redundancy
+/// pattern trained BNNs exhibit (filters cluster around a few sign
+/// motifs), which the weight-bank dictionary compressor exploits.
+///
+/// Dense layers and everything else keep the [`fill_weights`] statistics;
+/// they are never dictionary-compressed.
+pub fn fill_weights_clustered(arch: &NetworkArch, seed: u64, prototypes: usize) -> NetworkDef {
+    let pool = prototypes.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let infos = arch.infer();
+    let mut weights = Vec::with_capacity(arch.layers.len());
+    for (layer, info) in arch.layers.iter().zip(infos.iter()) {
+        weights.push(match layer {
+            LayerSpec::Conv(c) => {
+                let shape = FilterShape::new(c.out_channels, c.geom.kh, c.geom.kw, info.input.c);
+                let fan_in = (shape.filter_len() as f32).sqrt().recip();
+                let protos: Vec<Vec<f32>> = (0..pool)
+                    .map(|_| {
+                        (0..shape.filter_len())
+                            .map(|_| {
+                                // Keep prototypes away from zero so the
+                                // per-channel scale can't flip a sign.
+                                let v = gauss(&mut rng, fan_in);
+                                if v >= 0.0 {
+                                    v + 0.05 * fan_in
+                                } else {
+                                    v - 0.05 * fan_in
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mut filters = Filters::zeros(shape);
+                let fl = shape.filter_len();
+                for k in 0..c.out_channels {
+                    let proto = &protos[rng.gen_range(0..pool)];
+                    let scale = 0.5 + rng.gen::<f32>();
+                    let dst = &mut filters.as_mut_slice()[k * fl..(k + 1) * fl];
+                    for (d, p) in dst.iter_mut().zip(proto.iter()) {
+                        *d = p * scale;
+                    }
+                }
+                LayerWeights::Conv(ConvWeights {
+                    filters,
+                    bias: (0..c.out_channels).map(|_| gauss(&mut rng, 0.1)).collect(),
+                    bn: c.has_bn.then(|| random_bn(&mut rng, c.out_channels)),
+                })
+            }
+            LayerSpec::Dense(d) => {
+                let in_features = info.input.h * info.input.w * info.input.c;
+                let fan_in = (in_features as f32).sqrt().recip();
+                LayerWeights::Dense(DenseWeights {
+                    weights: (0..in_features * d.out_features)
+                        .map(|_| gauss(&mut rng, fan_in))
+                        .collect(),
+                    bias: (0..d.out_features).map(|_| gauss(&mut rng, 0.1)).collect(),
+                    bn: d.has_bn.then(|| random_bn(&mut rng, d.out_features)),
+                })
+            }
+            _ => LayerWeights::None,
+        });
+    }
+    let def = NetworkDef {
+        arch: arch.clone(),
+        weights,
+    };
+    def.validate();
+    def
+}
+
 /// A seeded synthetic 8-bit image with spatial structure (gradients +
 /// class-dependent texture), standing in for CIFAR-10 / VOC2007 frames.
 pub fn synthetic_image(shape: Shape4, seed: u64) -> Tensor<u8> {
@@ -168,6 +242,35 @@ mod tests {
             assert!(bn.sigma.iter().all(|&s| s > 0.0));
             assert!(bn.gamma.iter().all(|&g| g != 0.0));
             assert!(bn.gamma.iter().any(|&g| g < 0.0), "some gammas negative");
+        } else {
+            panic!("expected conv weights");
+        }
+    }
+
+    #[test]
+    fn clustered_weights_share_sign_patterns() {
+        let def = fill_weights_clustered(&arch(), 9, 4);
+        def.validate();
+        let a = fill_weights_clustered(&arch(), 9, 4);
+        assert_eq!(def, a, "deterministic per seed");
+        // The 16-channel binary conv drew from 4 prototypes: at sign level
+        // at most 4 distinct filters must appear.
+        if let LayerWeights::Conv(w) = &def.weights[2] {
+            let fl = w.filters.shape().filter_len();
+            let mut signs: Vec<Vec<bool>> = Vec::new();
+            for k in 0..w.filters.shape().k {
+                let s: Vec<bool> = w.filters.filter(k).iter().map(|&v| v >= 0.0).collect();
+                assert_eq!(s.len(), fl);
+                if !signs.contains(&s) {
+                    signs.push(s);
+                }
+            }
+            assert!(
+                signs.len() <= 4,
+                "expected <=4 sign prototypes, got {}",
+                signs.len()
+            );
+            assert!(signs.len() >= 2, "prototypes should differ");
         } else {
             panic!("expected conv weights");
         }

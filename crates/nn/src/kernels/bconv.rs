@@ -25,7 +25,8 @@
 use phonebit_gpusim::exec::par_chunks_mut;
 use phonebit_gpusim::queue::CommandQueue;
 use phonebit_gpusim::vector::xor_popcount_vec;
-use phonebit_tensor::bits::{BitTensor, BitWord, PackedFilters};
+use phonebit_tensor::bits::{BitTensor, BitWord};
+use phonebit_tensor::dict::FilterAccess;
 use phonebit_tensor::shape::{ConvGeometry, Layout, Shape4};
 use phonebit_tensor::tensor::Tensor;
 
@@ -42,7 +43,7 @@ use crate::workload::WorkloadPolicy;
 /// Panics when input channels disagree with filter channels.
 fn conv_output_shape<W: BitWord>(
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     geom: &ConvGeometry,
 ) -> Shape4 {
     let s = input.shape();
@@ -72,7 +73,7 @@ fn conv_output_shape<W: BitWord>(
 #[inline]
 pub fn window_dot<W: BitWord>(
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     geom: &ConvGeometry,
     n: usize,
     oy: usize,
@@ -111,7 +112,7 @@ pub fn window_dot<W: BitWord>(
 /// dot value feeds Eqn (9) logic and lands as one bit in the row span.
 pub fn compute_bconv_fused<W: BitWord>(
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     fused: &FusedBn,
     geom: &ConvGeometry,
     out: &mut BitTensor<W>,
@@ -138,7 +139,7 @@ pub fn compute_bconv_fused<W: BitWord>(
 /// `bench_bconv` / the ablation binary.
 pub fn compute_bconv_fused_reference<W: BitWord>(
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     fused: &FusedBn,
     geom: &ConvGeometry,
     out: &mut BitTensor<W>,
@@ -175,7 +176,7 @@ pub fn compute_bconv_fused_reference<W: BitWord>(
 pub fn bconv_fused<W: BitWord>(
     q: &mut CommandQueue,
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     fused: &FusedBn,
     geom: &ConvGeometry,
 ) -> BitTensor<W> {
@@ -189,7 +190,7 @@ pub fn bconv_fused<W: BitWord>(
 pub fn bconv_fused_into<W: BitWord>(
     q: &mut CommandQueue,
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     fused: &FusedBn,
     geom: &ConvGeometry,
     out: &mut BitTensor<W>,
@@ -202,7 +203,8 @@ pub fn bconv_fused_into<W: BitWord>(
     );
     out.reset(os);
     let policy = WorkloadPolicy::for_channels(input.shape().c);
-    let profile = profiles::bconv_fused(os.pixels(), os.c, input.shape().c, geom, &policy);
+    let profile = profiles::bconv_fused(os.pixels(), os.c, input.shape().c, geom, &policy)
+        .discount_reads(filters.dram_discount_bytes());
     q.launch(profile, || {
         compute_bconv_fused(input, filters, fused, geom, out)
     });
@@ -213,7 +215,7 @@ pub fn bconv_fused_into<W: BitWord>(
 /// `i32` accumulators instead of fused binarize+pack).
 pub fn compute_bconv_accum<W: BitWord>(
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     geom: &ConvGeometry,
     out: &mut Tensor<i32>,
 ) {
@@ -235,7 +237,7 @@ pub fn compute_bconv_accum<W: BitWord>(
 pub fn bconv_accum<W: BitWord>(
     q: &mut CommandQueue,
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     geom: &ConvGeometry,
 ) -> Tensor<i32> {
     let mut out = Tensor::<i32>::zeros(Shape4::new(0, 0, 0, 0), Layout::Nhwc);
@@ -248,14 +250,15 @@ pub fn bconv_accum<W: BitWord>(
 pub fn bconv_accum_into<W: BitWord>(
     q: &mut CommandQueue,
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     geom: &ConvGeometry,
     out: &mut Tensor<i32>,
 ) {
     let os = conv_output_shape(input, filters, geom);
     out.reset(os, Layout::Nhwc);
     let policy = WorkloadPolicy::for_channels(input.shape().c);
-    let profile = profiles::bconv_accum(os.pixels(), os.c, input.shape().c, geom, &policy);
+    let profile = profiles::bconv_accum(os.pixels(), os.c, input.shape().c, geom, &policy)
+        .discount_reads(filters.dram_discount_bytes());
     q.launch(profile, || compute_bconv_accum(input, filters, geom, out));
 }
 

@@ -13,6 +13,7 @@ use phonebit_gpusim::exec::par_chunks_mut;
 use phonebit_gpusim::queue::CommandQueue;
 use phonebit_gpusim::{KernelProfile, NdRange};
 use phonebit_tensor::bits::{merge_bits, BitTensor, BitWord, PackedFilters};
+use phonebit_tensor::dict::FilterAccess;
 use phonebit_tensor::shape::{ConvGeometry, FilterShape, Shape4};
 
 use crate::fuse::FusedBn;
@@ -198,7 +199,7 @@ pub fn bconv_lowered_with<W: BitWord>(
     q: &mut CommandQueue,
     input: &BitTensor<W>,
     filters: &PackedFilters<W>,
-    flat: &PackedFilters<W>,
+    flat: &(impl FilterAccess<W> + Sync),
     fused: &FusedBn,
     geom: &ConvGeometry,
 ) -> BitTensor<W> {
@@ -232,7 +233,7 @@ pub fn bconv_lowered_with_into<W: BitWord>(
     q: &mut CommandQueue,
     input: &BitTensor<W>,
     filters: &PackedFilters<W>,
-    flat: &PackedFilters<W>,
+    flat: &(impl FilterAccess<W> + Sync),
     fused: &FusedBn,
     geom: &ConvGeometry,
     windows: Option<&mut BitTensor<W>>,
@@ -274,7 +275,9 @@ pub fn bconv_lowered_with_into<W: BitWord>(
     );
     let window_bits = geom.taps() * s.c;
     out.reset(Shape4::new(s.n, oh, ow, fs.k));
-    q.launch(bgemm_profile(out_pixels, fs.k, s.c, geom), || {
+    let profile =
+        bgemm_profile(out_pixels, fs.k, s.c, geom).discount_reads(flat.dram_discount_bytes());
+    q.launch(profile, || {
         let wpp = out.words_per_pixel();
         let row_wpp = windows.words_per_pixel();
         par_chunks_mut(out.as_mut_words(), TILE_PIXELS * wpp, |tile, span| {

@@ -30,6 +30,7 @@ use phonebit_gpusim::KernelProfile;
 use phonebit_gpusim::NdRange;
 use phonebit_tensor::bitplane::BitPlanes;
 use phonebit_tensor::bits::{BitTensor, BitWord, PackedFilters};
+use phonebit_tensor::dict::FilterAccess;
 use phonebit_tensor::shape::{ConvGeometry, Shape4};
 use phonebit_tensor::tensor::Tensor;
 
@@ -223,7 +224,7 @@ fn pooled_rows<W: BitWord>(
 /// Functional body of the fused bconv→pool chain over packed input bits.
 pub fn compute_bconv_pool_chain<W: BitWord>(
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     fused: &FusedBn,
     geom: &ConvGeometry,
     pool: &PoolGeometry,
@@ -297,7 +298,7 @@ fn pooled_output_shape(conv_shape: Shape4, pool: Option<&PoolGeometry>) -> Shape
 pub fn bconv_pool_chain_into<W: BitWord>(
     q: &mut CommandQueue,
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     fused: &FusedBn,
     geom: &ConvGeometry,
     pool: &PoolGeometry,
@@ -326,7 +327,8 @@ pub fn bconv_pool_chain_into<W: BitWord>(
         geom,
         Some((os.pixels(), pool.size)),
         &policy,
-    );
+    )
+    .discount_reads(filters.dram_discount_bytes());
     q.launch(profile, || {
         compute_bconv_pool_chain(input, filters, fused, geom, pool, ring, out)
     });
@@ -342,7 +344,7 @@ pub fn bconv_pool_chain_into<W: BitWord>(
 pub fn pack_bconv_chain_into<W: BitWord>(
     q: &mut CommandQueue,
     input: &Tensor<f32>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     fused: &FusedBn,
     geom: &ConvGeometry,
     pool: Option<&PoolGeometry>,
@@ -374,7 +376,8 @@ pub fn pack_bconv_chain_into<W: BitWord>(
         geom,
         pool.map(|p| (os.pixels(), p.size)),
         &policy,
-    );
+    )
+    .discount_reads(filters.dram_discount_bytes());
     q.launch(profile, || {
         phonebit_tensor::pack::pack_f32_into(input, pack_tile);
         match pool {

@@ -10,7 +10,8 @@
 //! 1. **Window gather** ([`WindowGather`]): each output pixel's `kh*kw`
 //!    packed tap spans are materialized *once* into a contiguous scratch
 //!    buffer whose raster layout matches
-//!    [`PackedFilters::filter_words`], then reused across all `K` filters.
+//!    [`PackedFilters::filter_words`](phonebit_tensor::bits::PackedFilters::filter_words),
+//!    then reused across all `K` filters.
 //!    Each filter dot product becomes one streaming xor+popcount over two
 //!    contiguous spans — no per-tap slicing, no bounds checks.
 //! 2. **Interior/border split**: a convolution row is split into the span of
@@ -30,7 +31,8 @@
 //!    `bconv_accum` and the lowered bit-GEMM path.
 
 use phonebit_gpusim::vector::{xor_popcount_vec, ClVec};
-use phonebit_tensor::bits::{BitTensor, BitWord, PackedFilters};
+use phonebit_tensor::bits::{BitTensor, BitWord};
+use phonebit_tensor::dict::FilterAccess;
 use phonebit_tensor::shape::ConvGeometry;
 
 /// Filters multiplied per microkernel step (accumulator tile height).
@@ -205,13 +207,17 @@ pub fn interior_columns(
 }
 
 /// Disagreement count of one border pixel against filter `k`: xor+popcount
-/// over the valid row segments (read straight from the input rows, no
-/// gather) plus the precomputed popcount of the padding taps.
+/// over the valid tap spans (read straight from the input rows, no gather)
+/// plus the precomputed popcount of the padding taps.
+///
+/// Taps are resolved one span at a time through [`FilterAccess`], so
+/// dictionary-compressed banks work unchanged — the indices are chased
+/// here, outside the xor+popcount inner loop.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn border_disagreement<W: BitWord>(
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     geom: &ConvGeometry,
     span: &BorderSpan,
     n: usize,
@@ -219,19 +225,15 @@ fn border_disagreement<W: BitWord>(
     ox: usize,
     k: usize,
 ) -> u32 {
-    let wpt = filters.words_per_tap();
-    let seg_words = (span.j1 - span.j0) * wpt;
     let mut disagree = 0u32;
     let mut valid_pop = 0u32;
     for i in span.i0..span.i1 {
         let iy = oy * geom.stride_h + i - geom.pad_h;
-        let ix = ox * geom.stride_w + span.j0 - geom.pad_w;
-        let a0 = input.pixel_offset(n, iy, ix);
-        let f0 = filters.tap_offset(k, i, span.j0);
-        disagree += xor_popcount_vec::<W, 2>(
-            &input.as_words()[a0..a0 + seg_words],
-            &filters.as_words()[f0..f0 + seg_words],
-        );
+        for j in span.j0..span.j1 {
+            let ix = ox * geom.stride_w + j - geom.pad_w;
+            disagree +=
+                xor_popcount_vec::<W, 2>(input.pixel_words(n, iy, ix), filters.tap_words(k, i, j));
+        }
         valid_pop += filters.row_popcount_range(k, i, span.j0, span.j1);
     }
     // Padding taps: xor(0, w) = w, so they disagree popcount(w) times —
@@ -248,14 +250,50 @@ fn border_disagreement<W: BitWord>(
 /// the lowered bit-GEMM — tile geometry changes land in exactly one place.
 pub fn tile_filters<W: BitWord>(
     rows: &[&[W]],
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     mut emit: impl FnMut(usize, usize, u32),
 ) {
     debug_assert!(!rows.is_empty() && rows.len() <= TILE_PIXELS);
-    let k_total = filters.shape().k;
+    let fs = filters.shape();
+    let k_total = fs.k;
+    if k_total == 0 {
+        return;
+    }
+    if filters.contiguous_filter(0).is_none() {
+        // Dictionary-compressed multi-tap bank: no contiguous window span
+        // exists. Instead of re-walking every filter's taps, dot each of
+        // the window's taps against every *unique* dictionary row once,
+        // then resolve each filter as `kh*kw` table lookups through the
+        // index table — the shared-popcount trick that makes the
+        // dictionary *cheaper* than the raw walk whenever it deduped.
+        let (dict_rows, indices) = filters
+            .dictionary()
+            .expect("non-contiguous bank must expose its dictionary");
+        let wpt = filters.words_per_tap();
+        let taps = fs.kh * fs.kw;
+        let unique = dict_rows.len().checked_div(wpt).unwrap_or(0);
+        let mut table = vec![0u32; taps * unique];
+        for (p, row) in rows.iter().enumerate() {
+            for t in 0..taps {
+                let span = &row[t * wpt..(t + 1) * wpt];
+                for (r, slot) in table[t * unique..(t + 1) * unique].iter_mut().enumerate() {
+                    *slot = xor_popcount_vec::<W, 2>(span, &dict_rows[r * wpt..(r + 1) * wpt]);
+                }
+            }
+            for k in 0..k_total {
+                let mut d = 0u32;
+                for (t, &idx) in indices[k * taps..(k + 1) * taps].iter().enumerate() {
+                    d += table[t * unique + idx as usize];
+                }
+                emit(p, k, d);
+            }
+        }
+        return;
+    }
+    let filter = |k: usize| filters.contiguous_filter(k).expect("contiguous bank");
     let mut k = 0;
     while k + TILE_FILTERS <= k_total {
-        let filt: [&[W]; TILE_FILTERS] = std::array::from_fn(|f| filters.filter_words(k + f));
+        let filt: [&[W]; TILE_FILTERS] = std::array::from_fn(|f| filter(k + f));
         if rows.len() == TILE_PIXELS {
             let tile: [&[W]; TILE_PIXELS] = std::array::from_fn(|p| rows[p]);
             let acc = bit_dot_tile(&tile, &filt);
@@ -276,7 +314,7 @@ pub fn tile_filters<W: BitWord>(
         k += TILE_FILTERS;
     }
     while k < k_total {
-        let fw = filters.filter_words(k);
+        let fw = filter(k);
         for (p, row) in rows.iter().enumerate() {
             emit(p, k, xor_popcount_vec::<W, 2>(row, fw));
         }
@@ -296,7 +334,7 @@ pub fn tile_filters<W: BitWord>(
 #[allow(clippy::too_many_arguments)]
 pub fn conv_row_tiled<W: BitWord>(
     input: &BitTensor<W>,
-    filters: &PackedFilters<W>,
+    filters: &(impl FilterAccess<W> + Sync),
     geom: &ConvGeometry,
     gather: &mut WindowGather<W>,
     n: usize,
@@ -345,6 +383,7 @@ pub fn conv_row_tiled<W: BitWord>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phonebit_tensor::bits::PackedFilters;
     use phonebit_tensor::shape::{FilterShape, Shape4};
 
     fn filters<W: BitWord>(shape: FilterShape, seed: usize) -> PackedFilters<W> {

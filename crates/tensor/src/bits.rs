@@ -28,7 +28,16 @@ use crate::shape::{FilterShape, Shape4};
 /// Implemented for `u8`, `u16`, `u32` and `u64`, mirroring the OpenCL scalar
 /// types `uchar`, `ushort`, `uint` and `ulong` the paper packs into.
 pub trait BitWord:
-    Copy + Default + PartialEq + Eq + std::fmt::Debug + std::fmt::Binary + Send + Sync + 'static
+    Copy
+    + Default
+    + PartialEq
+    + Eq
+    + std::hash::Hash
+    + std::fmt::Debug
+    + std::fmt::Binary
+    + Send
+    + Sync
+    + 'static
 {
     /// Number of bits in the word.
     const BITS: usize;

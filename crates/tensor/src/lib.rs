@@ -9,6 +9,8 @@
 //! - [`tensor`] — dense host tensors over `f32`/`i32`/`i8`/`u8`.
 //! - [`bits`] — channel-packed binary tensors and the xor/popcount dot
 //!   products of the paper's Eqn (1).
+//! - [`dict`] — dictionary-compressed filter banks (unique tap rows +
+//!   narrow indices) behind the [`dict::FilterAccess`] read interface.
 //! - [`pack`] — binarization (sign at 0) and packing/unpacking.
 //! - [`bitplane`] — 8-bit input decomposition for the first layer (Eqn (2)).
 //! - [`pad`] — padding for float, `u8` and packed-binary tensors.
@@ -34,6 +36,7 @@
 
 pub mod bitplane;
 pub mod bits;
+pub mod dict;
 pub mod im2col;
 pub mod pack;
 pub mod pad;
@@ -42,5 +45,6 @@ pub mod shape;
 pub mod tensor;
 
 pub use bits::{BitTensor, PackWidth, PackedFilters};
+pub use dict::{FilterAccess, FilterDict};
 pub use shape::{ConvGeometry, FilterShape, Layout, Shape4};
 pub use tensor::{Filters, Tensor};
