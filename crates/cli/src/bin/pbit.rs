@@ -27,7 +27,7 @@ fn flag_values(args: &[String], flag: &str) -> Vec<String> {
 }
 
 /// Flags that take no value (every other `--flag` consumes the next token).
-const BOOL_FLAGS: &[&str] = &["--compress"];
+const BOOL_FLAGS: &[&str] = &["--compress", "--paging"];
 
 fn positional(args: &[String]) -> Vec<&String> {
     // Arguments that are not flags and not flag values.
@@ -89,6 +89,18 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
             };
             let batch = count_flag("--batch")?;
             let requests = count_flag("--requests")?.unwrap_or(16);
+            // Resident-weight cap in MB; paging streams the excess.
+            let weight_budget = flag_value(rest, "--weight-budget")
+                .map(|s| {
+                    s.parse::<f64>()
+                        .ok()
+                        .filter(|mb| mb.is_finite() && *mb > 0.0)
+                        .map(|mb| (mb * 1e6) as usize)
+                        .ok_or_else(|| {
+                            CliError::Usage(format!("bad --weight-budget `{s}` (MB > 0)"))
+                        })
+                })
+                .transpose()?;
             let slos: Vec<Option<f64>> = flag_values(rest, "--slo-ms")
                 .into_iter()
                 .map(|s| {
@@ -136,7 +148,14 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
                 let streams = count_flag("--streams")?.unwrap_or(2);
                 let paths: Vec<PathBuf> = models.iter().map(PathBuf::from).collect();
                 return cmd_serve_multitenant(
-                    &paths, &slos, &phone, batch, requests, streams, seed,
+                    &paths,
+                    &slos,
+                    &phone,
+                    batch,
+                    requests,
+                    streams,
+                    weight_budget,
+                    seed,
                 );
             }
             let path = match (&pos[..], &models[..]) {
@@ -156,6 +175,7 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
                 requests,
                 streams,
                 slos.first().copied().flatten(),
+                weight_budget,
                 seed,
             )
         }
@@ -174,12 +194,14 @@ fn dispatch(args: Vec<String>) -> Result<String, CliError> {
             };
             let pair = flag_value(rest, "--pair");
             let compress = rest.iter().any(|a| a == "--compress");
+            let paging = rest.iter().any(|a| a == "--paging");
             cmd_plan(
                 model,
                 count_flag("--batch", 4)?,
                 count_flag("--streams", 2)?,
                 pair.as_deref(),
                 compress,
+                paging,
                 seed,
             )
         }

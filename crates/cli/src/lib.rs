@@ -15,9 +15,9 @@ use std::path::Path;
 use phonebit_core::format::{load_file, save_file};
 use phonebit_core::{
     convert, estimate_arch, estimate_fleet, max_feasible_batch_multitenant,
-    max_feasible_batch_sharded, plan_multitenant, plan_on_sharded, zipf_rates, ArrivalProcess,
-    CompressionMode, ConvPath, DeviceRuntime, ExecutionPlan, FleetDeviceSpec, FleetEvent,
-    FleetOptions, FusionMode, OpenLoopOptions, OpenLoopWorkload, PbitLayer, PbitModel,
+    max_feasible_batch_sharded, paged_floor_bytes, plan_multitenant, plan_on_sharded, zipf_rates,
+    ArrivalProcess, CompressionMode, ConvPath, DeviceRuntime, ExecutionPlan, FleetDeviceSpec,
+    FleetEvent, FleetOptions, FusionMode, OpenLoopOptions, OpenLoopWorkload, PbitLayer, PbitModel,
     RouteOverrides, RoutePolicy, ServeOptions, ServeRuntime, Session, TenantSpec, TenantTraffic,
 };
 use phonebit_gpusim::{FaultPlan, Phone};
@@ -168,7 +168,7 @@ pub fn cmd_run(path: &Path, phone: &str, seed: u64) -> Result<String, CliError> 
 }
 
 /// `pbit serve <model.pbit> [--phone x9] [--batch N] [--requests R]
-/// [--streams S] [--slo-ms T]`: a serving loop.
+/// [--streams S] [--slo-ms T] [--weight-budget MB]`: a serving loop.
 ///
 /// With one stream and no SLO this is the PR 3 batched loop: the model is
 /// staged once with [`Session::new_batched`] (weights and GEMM banks
@@ -176,12 +176,17 @@ pub fn cmd_run(path: &Path, phone: &str, seed: u64) -> Result<String, CliError> 
 /// requests are fed in windows of `N`, and the report shows cold/steady
 /// window latency and steady-state images per second.
 ///
-/// With `--streams > 1` or `--slo-ms`, serving goes through the sharded
-/// [`ServeRuntime`]: the admission controller picks the window size from
-/// the sharded memory cap and the p95 latency SLO (an explicit `--batch`
-/// is honored up to the cap), requests are sharded across `S` concurrent
-/// streams contending for the GPU, and the report shows the observed
-/// p50/p95/p99 window latencies and aggregate throughput.
+/// With `--streams > 1`, `--slo-ms`, or `--weight-budget`, serving goes
+/// through the sharded [`ServeRuntime`]: the admission controller picks
+/// the window size from the sharded memory cap and the p95 latency SLO
+/// (an explicit `--batch` is honored up to the cap), requests are sharded
+/// across `S` concurrent streams contending for the GPU, and the report
+/// shows the observed p50/p95/p99 window latencies and aggregate
+/// throughput. `--weight-budget` caps resident weight bytes (`weight_budget`
+/// is in bytes here; the flag takes MB): when the model's weights exceed
+/// it, admission grants the paged floor and the runtime streams banks
+/// through the upload lane, and the report appends the paging verdict.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI flags one-to-one
 pub fn cmd_serve(
     path: &Path,
     phone: &str,
@@ -189,6 +194,7 @@ pub fn cmd_serve(
     requests: usize,
     streams: usize,
     slo_ms: Option<f64>,
+    weight_budget: Option<usize>,
     seed: u64,
 ) -> Result<String, CliError> {
     if batch == Some(0) || requests == 0 || streams == 0 {
@@ -199,8 +205,20 @@ pub fn cmd_serve(
     if slo_ms.is_some_and(|s| s <= 0.0) {
         return Err(CliError::Usage("serve needs --slo-ms > 0".into()));
     }
-    if streams > 1 || slo_ms.is_some() {
-        return cmd_serve_sharded(path, phone, batch, requests, streams, slo_ms, seed);
+    if weight_budget == Some(0) {
+        return Err(CliError::Usage("serve needs --weight-budget > 0".into()));
+    }
+    if streams > 1 || slo_ms.is_some() || weight_budget.is_some() {
+        return cmd_serve_sharded(
+            path,
+            phone,
+            batch,
+            requests,
+            streams,
+            slo_ms,
+            weight_budget,
+            seed,
+        );
     }
     let batch = batch.unwrap_or(4);
     let model = load_file(path)?;
@@ -269,7 +287,9 @@ pub fn cmd_serve(
     ))
 }
 
-/// The sharded (`--streams`/`--slo-ms`) arm of [`cmd_serve`].
+/// The sharded (`--streams`/`--slo-ms`/`--weight-budget`) arm of
+/// [`cmd_serve`].
+#[allow(clippy::too_many_arguments)] // mirrors the CLI flags one-to-one
 fn cmd_serve_sharded(
     path: &Path,
     phone: &str,
@@ -277,6 +297,7 @@ fn cmd_serve_sharded(
     requests: usize,
     streams: usize,
     slo_ms: Option<f64>,
+    weight_budget: Option<usize>,
     seed: u64,
 ) -> Result<String, CliError> {
     let model = load_file(path)?;
@@ -291,6 +312,7 @@ fn cmd_serve_sharded(
             streams,
             batch,
             slo_ms,
+            weight_budget,
             ..Default::default()
         },
     )
@@ -318,11 +340,31 @@ fn cmd_serve_sharded(
         ),
         None => "no slo".to_string(),
     };
+    let paging_line = match (weight_budget, adm.weight_grant_bytes) {
+        (None, _) => String::new(),
+        (Some(budget), None) => format!(
+            "\nweight paging: budget {:.2} MB holds all {:.2} MB of weights resident (no stalls)",
+            budget as f64 / 1e6,
+            runtime.total_weight_bytes() as f64 / 1e6,
+        ),
+        (Some(budget), Some(grant)) => {
+            let pg = runtime.staged().plan().paging.as_ref();
+            format!(
+                "\nweight paging: granted {:.2} MB hot set of {:.2} MB weights (budget {:.2} MB); \
+                 modeled stall {:.3} ms/window over {} evictions",
+                grant as f64 / 1e6,
+                runtime.total_weight_bytes() as f64 / 1e6,
+                budget as f64 / 1e6,
+                pg.map_or(0.0, |p| p.stall_s() * 1e3),
+                pg.map_or(0, |p| p.evictions()),
+            )
+        }
+    };
     Ok(format!(
         "served {} requests in {} windows of {} across {} streams on {} ({})\n\
          model `{name}`: admission batch {} (cap {}, modeled window {:.3} ms), {slo_line}\n\
          window latency p50/p95/p99 {:.3}/{:.3}/{:.3} ms, {:.1} imgs/s aggregate, \
-         resident {:.2} MiB (weights + {} x {} arena banks)",
+         resident {:.2} MiB (weights + {} x {} arena banks){paging_line}",
         report.served,
         report.windows,
         report.batch,
@@ -336,15 +378,21 @@ fn cmd_serve_sharded(
         report.p95_ms,
         report.p99_ms,
         report.imgs_per_s,
-        runtime.resident_bytes() as f64 / (1024.0 * 1024.0),
+        runtime.peak_resident_bytes() as f64 / (1024.0 * 1024.0),
         streams,
         runtime.staged().plan().banks,
     ))
 }
 
 /// `pbit serve --model a.pbit --model b.pbit [--slo-ms T]... [--phone x9]
-/// [--batch N] [--requests R] [--streams S]`: co-resident multi-tenant
-/// serving through the [`DeviceRuntime`].
+/// [--batch N] [--requests R] [--streams S] [--weight-budget MB]`:
+/// co-resident multi-tenant serving through the [`DeviceRuntime`].
+///
+/// With `--weight-budget`, admission hands out binary residency grants:
+/// tenants that fit stay fully resident, the rest stream their banks
+/// through the upload lane at their paged floor, and the report appends
+/// a per-tenant grant line — so a tenant set whose summed weights exceed
+/// the budget still admits.
 ///
 /// Every `--model` registers one tenant (an optional `--slo-ms` per
 /// position pairs with it); each tenant gets `requests` synthetic
@@ -354,6 +402,7 @@ fn cmd_serve_sharded(
 /// the work-stealing scheduler shards windows across `streams` pooled
 /// streams. Prints a per-tenant percentile table plus the pooled
 /// aggregate.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI flags one-to-one
 pub fn cmd_serve_multitenant(
     paths: &[std::path::PathBuf],
     slos: &[Option<f64>],
@@ -361,6 +410,7 @@ pub fn cmd_serve_multitenant(
     batch: Option<usize>,
     requests: usize,
     streams: usize,
+    weight_budget: Option<usize>,
     seed: u64,
 ) -> Result<String, CliError> {
     if batch == Some(0) || requests == 0 || streams == 0 {
@@ -370,6 +420,9 @@ pub fn cmd_serve_multitenant(
     }
     if slos.iter().flatten().any(|s| *s <= 0.0) {
         return Err(CliError::Usage("serve needs --slo-ms > 0".into()));
+    }
+    if weight_budget == Some(0) {
+        return Err(CliError::Usage("serve needs --weight-budget > 0".into()));
     }
     let phone = phone_by_name(phone)?;
     let mut specs = Vec::with_capacity(paths.len());
@@ -382,8 +435,8 @@ pub fn cmd_serve_multitenant(
         spec.slo_ms = slos.get(i).copied().flatten();
         specs.push(spec);
     }
-    let mut runtime =
-        DeviceRuntime::new(specs, &phone, streams).map_err(|e| CliError::Engine(e.to_string()))?;
+    let mut runtime = DeviceRuntime::new_with_budget(specs, &phone, streams, weight_budget)
+        .map_err(|e| CliError::Engine(e.to_string()))?;
 
     // Synthetic traffic per tenant (owned, then borrowed as TenantTraffic).
     let mut u8_reqs: Vec<Vec<phonebit_tensor::Tensor<u8>>> = Vec::new();
@@ -460,6 +513,27 @@ pub fn cmd_serve_multitenant(
         report.streams,
         runtime.pool_slice_bytes() as f64 / (1024.0 * 1024.0),
     );
+    if let Some(budget) = weight_budget {
+        let grants: Vec<String> = runtime
+            .tenants()
+            .iter()
+            .map(|t| {
+                let adm = t.admission();
+                match adm.weight_grant_bytes {
+                    Some(g) => format!("{} {:.2} MB paged", t.name(), g as f64 / 1e6),
+                    None => format!("{} full", t.name()),
+                }
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "weight budget {:.2} MB: sum of weights {:.2} MB, peak resident {:.2} MB; grants: {}",
+            budget as f64 / 1e6,
+            runtime.total_weight_bytes() as f64 / 1e6,
+            runtime.peak_resident_bytes() as f64 / 1e6,
+            grants.join(", "),
+        );
+    }
     Ok(out)
 }
 
@@ -470,8 +544,9 @@ pub fn cmd_serve_multitenant(
 ///
 /// Each `--arrival` pairs positionally with a `--model` (the last spec
 /// repeats for extra tenants): `poisson:<rate>`,
-/// `burst:<base>:<burst>:<period_ms>:<frac>`, or `heavytail:<rate>:<alpha>`
-/// (rates per second). Requests arrive on the seeded process over
+/// `burst:<base>:<burst>:<period_ms>:<frac>`, `heavytail:<rate>:<alpha>`,
+/// or `diurnal:<r1,r2,...>` (rates per second; diurnal buckets tile the
+/// horizon). Requests arrive on the seeded process over
 /// `--duration` milliseconds; deadlines anchor to arrival time (+SLO).
 /// `--fault` injects a seeded [`FaultPlan`]
 /// (`rate=<p>,throttle=<a>-<b>@<x>,burst=<a>-<b>@<p>,seed=<n>`); the
@@ -874,21 +949,26 @@ pub fn cmd_fleet(
 }
 
 /// `pbit plan <model> [--batch 4] [--streams 2] [--pair <model2>]
-/// [--compress] [--seed N]`: deployment planning per phone — weights, the
-/// solo arena peak, the sharded (`streams × banks × Σ slots`) peak, and
-/// `max_feasible_batch` both solo and sharded, so capacity planning sees
-/// the same numbers the serving runtime's admission controller uses. With
-/// `--pair`, adds the pooled multi-tenant peak of co-residing the two
-/// models (`Σ weights + streams × max(banks × Σ slots)`). With
-/// `--compress`, synthesizes clustered weights (seeded) and prints the
-/// weight-bank dictionary ledger: per-layer unique rows, dictionary +
-/// index bytes vs raw, and each compress/skip verdict.
+/// [--compress] [--paging] [--seed N]`: deployment planning per phone —
+/// weights, the solo arena peak, the sharded (`streams × banks × Σ slots`)
+/// peak, and `max_feasible_batch` both solo and sharded, so capacity
+/// planning sees the same numbers the serving runtime's admission
+/// controller uses. With `--pair`, adds the pooled multi-tenant peak of
+/// co-residing the two models (`Σ weights + streams × max(banks × Σ
+/// slots)`). With `--compress`, synthesizes clustered weights (seeded)
+/// and prints the weight-bank dictionary ledger: per-layer unique rows,
+/// dictionary + index bytes vs raw, and each compress/skip verdict. With
+/// `--paging`, prints the weight-paging residency ledger at the paged
+/// floor budget: per-step bank bytes, upload-lane issue/ready times, the
+/// stall each step charges, and the evict verdict — the exact schedule
+/// the estimator, admission controller, and engine all replay.
 pub fn cmd_plan(
     model: &str,
     batch: usize,
     streams: usize,
     pair: Option<&str>,
     compress: bool,
+    paging: bool,
     seed: u64,
 ) -> Result<String, CliError> {
     if batch == 0 || streams == 0 {
@@ -1064,6 +1144,84 @@ pub fn cmd_plan(
             );
         }
     }
+
+    if paging {
+        for phone in Phone::all() {
+            // A budget covering every bank yields a resident schedule whose
+            // rows carry the per-step bank bytes; the paged floor derived
+            // from them is the budget the streaming ledger is printed at.
+            let resident = ExecutionPlan::for_arch_batched_with(
+                &arch,
+                &phone.gpu,
+                batch,
+                RouteOverrides {
+                    weight_budget: Some(usize::MAX),
+                    ..Default::default()
+                },
+            );
+            let banks: Vec<usize> = resident
+                .paging
+                .as_ref()
+                .map(|pg| pg.steps.iter().map(|s| s.bank_bytes).collect())
+                .unwrap_or_default();
+            let floor = paged_floor_bytes(&banks);
+            let paged = ExecutionPlan::for_arch_batched_with(
+                &arch,
+                &phone.gpu,
+                batch,
+                RouteOverrides {
+                    weight_budget: Some(floor),
+                    ..Default::default()
+                },
+            );
+            let Some(pg) = paged.paging.as_ref() else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "\nweight-paging residency ledger on {} (batch {batch}, \
+                 budget = paged floor {:.3}MB)",
+                phone.name,
+                floor as f64 / 1e6,
+            );
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10} {:>11} {:>10} {:>10} {:>10} {:>6}",
+                "step", "bank", "upload(ms)", "issue(ms)", "ready(ms)", "stall(ms)", "evict"
+            );
+            for s in &pg.steps {
+                if s.bank_bytes == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>9}B {:>11.3} {:>10.3} {:>10.3} {:>10.3} {:>6}",
+                    s.name,
+                    s.bank_bytes,
+                    s.upload_s * 1e3,
+                    s.issue_s * 1e3,
+                    s.ready_s * 1e3,
+                    s.stall_s * 1e3,
+                    if s.evicted { "yes" } else { "no" },
+                );
+            }
+            let _ = writeln!(
+                out,
+                "hot peak {:.3}MB of {:.3}MB weights ({} evictions/window); \
+                 modeled stall {:.3} ms/window, upload lane busy {:.3} ms/window",
+                pg.hot_peak_bytes as f64 / 1e6,
+                pg.total_weight_bytes as f64 / 1e6,
+                pg.evictions(),
+                pg.stall_s() * 1e3,
+                pg.lane_busy_s() * 1e3,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "stall = compute time the window waits for a bank the depth-1 \
+             look-ahead could not hide; weightless steps are omitted"
+        );
+    }
     Ok(out)
 }
 
@@ -1096,24 +1254,33 @@ USAGE:
     pbit run   <model.pbit> [--phone x9] [--seed N]
                                                run one inference, per-layer report
     pbit serve <model.pbit> [--phone x9] [--batch 4] [--requests 16]
-               [--streams 1] [--slo-ms T] [--seed N]
+               [--streams 1] [--slo-ms T] [--weight-budget MB] [--seed N]
                                                serving loop; >1 stream (or an SLO)
                                                shards windows across concurrent
-                                               streams with admission control
+                                               streams with admission control;
+                                               --weight-budget caps resident weight
+                                               MB — oversubscribed weights page
+                                               through the upload lane (granted the
+                                               paged floor, stalls folded into the
+                                               modeled window)
     pbit serve --model <a.pbit> --model <b.pbit> [--slo-ms T]... [--phone x9]
-               [--batch N] [--requests 16] [--streams 2] [--seed N]
+               [--batch N] [--requests 16] [--streams 2] [--weight-budget MB]
+               [--seed N]
                                                co-resident multi-tenant serving: one
                                                tenant per --model (positional --slo-ms
                                                pairs with it), contention-aware
                                                admission, work-stealing scheduler,
-                                               per-tenant percentile table
+                                               per-tenant percentile table;
+                                               --weight-budget grants paged floors to
+                                               tenants that no longer fit resident
     pbit serve --model <a.pbit> [--model <b.pbit>]... --arrival <spec>...
                [--fault <spec>] [--duration 100] [--slo-ms T]... [--phone x9]
                [--batch 1] [--streams 2] [--seed N]
                                                open-loop fault-tolerant serving:
                                                seeded arrivals (poisson:<rate/s> |
                                                burst:<base>:<burst>:<period_ms>:<frac> |
-                                               heavytail:<rate/s>:<alpha>) over
+                                               heavytail:<rate/s>:<alpha> |
+                                               diurnal:<r1,r2,...>) over
                                                --duration ms, arrival-anchored
                                                deadlines, injected faults
                                                (rate=<p>,throttle=<a>-<b>@<x>,
@@ -1121,7 +1288,7 @@ USAGE:
                                                retry/backoff + deadline shedding;
                                                prints shed/retry/throttle counters
     pbit plan  <model> [--batch 4] [--streams 2] [--pair <model2>]
-               [--compress] [--seed N]
+               [--compress] [--paging] [--seed N]
                                                per-phone deployment plan: solo and
                                                sharded arena peaks, max feasible batch,
                                                fused vs unfused dispatches per image;
@@ -1130,7 +1297,10 @@ USAGE:
                                                dictionary ledger (per-layer unique
                                                rows, dict+index vs raw bytes,
                                                compress/skip verdicts) on clustered
-                                               seeded weights
+                                               seeded weights; --paging adds the
+                                               residency ledger at the paged-floor
+                                               budget (per-step bank bytes, upload
+                                               issue/ready, stalls, evictions)
     pbit fleet [--model <name>]... [--devices 4] [--policy p2c] [--zipf 1.0]
                [--rate 200] [--duration 400] [--streams 2] [--replicas 2]
                [--slo-ms T] [--fail <ms>@<dev>]... [--join <ms>@<phone>]...
@@ -1178,7 +1348,7 @@ mod tests {
     fn serve_round_trip_reports_steady_throughput() {
         let path = tmp("serve_micro.pbit");
         cmd_gen("yolo-micro", &path, 7).unwrap();
-        let out = cmd_serve(&path, "x9", Some(4), 10, 1, None, 5).unwrap();
+        let out = cmd_serve(&path, "x9", Some(4), 10, 1, None, None, 5).unwrap();
         assert!(
             out.contains("served 10 requests in 3 windows of 4"),
             "{out}"
@@ -1186,7 +1356,7 @@ mod tests {
         assert!(out.contains("imgs/s steady"), "{out}");
         assert!(out.contains("2 arena banks"), "{out}");
         // A batch-1 stream stages a single bank and says so.
-        let single = cmd_serve(&path, "x9", Some(1), 2, 1, None, 5).unwrap();
+        let single = cmd_serve(&path, "x9", Some(1), 2, 1, None, None, 5).unwrap();
         assert!(single.contains("1 arena bank"), "{single}");
         std::fs::remove_file(&path).ok();
     }
@@ -1195,7 +1365,7 @@ mod tests {
     fn serve_sharded_reports_admission_and_percentiles() {
         let path = tmp("serve_shard.pbit");
         cmd_gen("yolo-micro", &path, 7).unwrap();
-        let out = cmd_serve(&path, "x9", Some(2), 10, 2, None, 5).unwrap();
+        let out = cmd_serve(&path, "x9", Some(2), 10, 2, None, None, 5).unwrap();
         assert!(
             out.contains("served 10 requests in 5 windows of 2 across 2 streams"),
             "{out}"
@@ -1205,7 +1375,7 @@ mod tests {
         assert!(out.contains("imgs/s aggregate"), "{out}");
         // An SLO routes through the sharded path even at one stream, and
         // the verdict is printed.
-        let slo = cmd_serve(&path, "x9", None, 8, 1, Some(1000.0), 5).unwrap();
+        let slo = cmd_serve(&path, "x9", None, 8, 1, Some(1000.0), None, 5).unwrap();
         assert!(slo.contains("slo 1000.000 ms p95: MET"), "{slo}");
         std::fs::remove_file(&path).ok();
     }
@@ -1215,19 +1385,19 @@ mod tests {
         let path = tmp("serve_bad.pbit");
         cmd_gen("yolo-micro", &path, 7).unwrap();
         assert!(matches!(
-            cmd_serve(&path, "x9", Some(0), 10, 1, None, 5),
+            cmd_serve(&path, "x9", Some(0), 10, 1, None, None, 5),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_serve(&path, "x9", Some(4), 0, 1, None, 5),
+            cmd_serve(&path, "x9", Some(4), 0, 1, None, None, 5),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_serve(&path, "x9", Some(4), 8, 0, None, 5),
+            cmd_serve(&path, "x9", Some(4), 8, 0, None, None, 5),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_serve(&path, "x9", Some(4), 8, 2, Some(0.0), 5),
+            cmd_serve(&path, "x9", Some(4), 8, 2, Some(0.0), None, 5),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(&path).ok();
@@ -1235,7 +1405,7 @@ mod tests {
 
     #[test]
     fn plan_prints_sharded_peaks_for_both_phones() {
-        let out = cmd_plan("alexnet", 4, 2, None, false, 42).unwrap();
+        let out = cmd_plan("alexnet", 4, 2, None, false, false, 42).unwrap();
         assert!(
             out.contains("Xiaomi 5") && out.contains("Xiaomi 9"),
             "{out}"
@@ -1258,22 +1428,22 @@ mod tests {
             }
         }
         assert!(matches!(
-            cmd_plan("alexnet", 0, 2, None, false, 42),
+            cmd_plan("alexnet", 0, 2, None, false, false, 42),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_plan("alexnet", 4, 0, None, false, 42),
+            cmd_plan("alexnet", 4, 0, None, false, false, 42),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_plan("resnet", 4, 2, None, false, 42),
+            cmd_plan("resnet", 4, 2, None, false, false, 42),
             Err(CliError::Usage(_))
         ));
     }
 
     #[test]
     fn plan_compress_prints_the_dictionary_ledger() {
-        let out = cmd_plan("alexnet-micro", 1, 1, None, true, 7).unwrap();
+        let out = cmd_plan("alexnet-micro", 1, 1, None, true, false, 7).unwrap();
         assert!(out.contains("weight-bank dictionary ledger"), "{out}");
         assert!(out.contains("dict+idx"), "{out}");
         assert!(out.contains("verdict"), "{out}");
@@ -1283,13 +1453,13 @@ mod tests {
             "{out}"
         );
         // Without the flag, no ledger.
-        let plain = cmd_plan("alexnet-micro", 1, 1, None, false, 7).unwrap();
+        let plain = cmd_plan("alexnet-micro", 1, 1, None, false, false, 7).unwrap();
         assert!(!plain.contains("dictionary ledger"), "{plain}");
     }
 
     #[test]
     fn plan_pair_prints_the_pooled_co_resident_peak() {
-        let out = cmd_plan("alexnet", 4, 2, Some("yolov2-tiny"), false, 42).unwrap();
+        let out = cmd_plan("alexnet", 4, 2, Some("yolov2-tiny"), false, false, 42).unwrap();
         assert!(
             out.contains("pooled co-residency `AlexNet` + `YOLOv2-Tiny`"),
             "{out}"
@@ -1298,7 +1468,7 @@ mod tests {
         assert!(out.contains("unpooled peak"), "{out}");
         assert!(out.contains("max b pair"), "{out}");
         assert!(matches!(
-            cmd_plan("alexnet", 4, 2, Some("resnet"), false, 42),
+            cmd_plan("alexnet", 4, 2, Some("resnet"), false, false, 42),
             Err(CliError::Usage(_))
         ));
     }
@@ -1316,6 +1486,7 @@ mod tests {
             Some(2),
             6,
             2,
+            None,
             5,
         )
         .unwrap();
@@ -1329,15 +1500,127 @@ mod tests {
         assert!(out.contains("pooled arena slice"), "{out}");
         // Degenerate knobs are usage errors.
         assert!(matches!(
-            cmd_serve_multitenant(&[a.clone(), b.clone()], &[], "x9", Some(0), 6, 2, 5),
+            cmd_serve_multitenant(&[a.clone(), b.clone()], &[], "x9", Some(0), 6, 2, None, 5),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_serve_multitenant(&[a.clone(), b.clone()], &[Some(0.0)], "x9", None, 6, 2, 5),
+            cmd_serve_multitenant(
+                &[a.clone(), b.clone()],
+                &[Some(0.0)],
+                "x9",
+                None,
+                6,
+                2,
+                None,
+                5
+            ),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn serve_weight_budget_reports_the_paging_verdict() {
+        let path = tmp("serve_paged.pbit");
+        cmd_gen("yolo-micro", &path, 7).unwrap();
+        let total = {
+            let model = load_file(&path).unwrap();
+            let plan = ExecutionPlan::for_model_batched_with(
+                &model,
+                &phone_by_name("x9").unwrap().gpu,
+                1,
+                RouteOverrides::default(),
+            )
+            .unwrap();
+            plan.weights_bytes
+        };
+        // A budget one byte short of the weights forces a paged grant, and
+        // the verdict line shows the hot-set grant plus modeled stalls.
+        let paged = cmd_serve(&path, "x9", Some(2), 8, 2, None, Some(total - 1), 5).unwrap();
+        assert!(paged.contains("weight paging: granted"), "{paged}");
+        assert!(paged.contains("modeled stall"), "{paged}");
+        // A budget covering the weights holds them resident and says so.
+        let resident = cmd_serve(&path, "x9", Some(2), 8, 2, None, Some(total), 5).unwrap();
+        assert!(
+            resident.contains("weights resident (no stalls)"),
+            "{resident}"
+        );
+        // No budget, no paging line at all.
+        let plain = cmd_serve(&path, "x9", Some(2), 8, 2, None, None, 5).unwrap();
+        assert!(!plain.contains("weight paging"), "{plain}");
+        // Identical outputs modulo the verdict: paging off is byte-level
+        // inert, and a covering budget never changes the served report.
+        assert_eq!(
+            plain,
+            resident.lines().take(3).collect::<Vec<_>>().join("\n")
+        );
+        assert!(matches!(
+            cmd_serve(&path, "x9", Some(2), 8, 2, None, Some(0), 5),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_multitenant_weight_budget_prints_per_tenant_grants() {
+        let a = tmp("mt_paged_a.pbit");
+        let b = tmp("mt_paged_b.pbit");
+        cmd_gen("yolo-micro", &a, 7).unwrap();
+        cmd_gen("alexnet-micro", &b, 9).unwrap();
+        let (mut total, mut floors) = (0usize, 0usize);
+        for p in [&a, &b] {
+            let model = load_file(p).unwrap();
+            let plan = ExecutionPlan::for_model_batched_with(
+                &model,
+                &phone_by_name("x9").unwrap().gpu,
+                1,
+                RouteOverrides {
+                    weight_budget: Some(usize::MAX),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            total += plan.weights_bytes;
+            let banks: Vec<usize> = plan
+                .paging
+                .as_ref()
+                .map(|pg| pg.steps.iter().map(|s| s.bank_bytes).collect())
+                .unwrap_or_default();
+            floors += paged_floor_bytes(&banks);
+        }
+        // A budget between the summed floors and the summed weights
+        // oversubscribes the pair — at least one tenant must stream at
+        // its paged floor — yet stays admissible.
+        let out = cmd_serve_multitenant(
+            &[a.clone(), b.clone()],
+            &[None, None],
+            "x9",
+            Some(2),
+            6,
+            2,
+            Some((floors + total) / 2),
+            5,
+        )
+        .unwrap();
+        assert!(out.contains("weight budget"), "{out}");
+        assert!(out.contains("MB paged"), "{out}");
+        assert!(out.contains("grants:"), "{out}");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn plan_paging_prints_the_residency_ledger() {
+        let out = cmd_plan("alexnet-micro", 1, 1, None, false, true, 7).unwrap();
+        assert!(out.contains("weight-paging residency ledger"), "{out}");
+        assert!(out.contains("stall(ms)"), "{out}");
+        assert!(out.contains("evict"), "{out}");
+        assert!(out.contains("hot peak"), "{out}");
+        assert!(out.contains("upload lane busy"), "{out}");
+        // Without the flag, no ledger.
+        let plain = cmd_plan("alexnet-micro", 1, 1, None, false, false, 7).unwrap();
+        assert!(!plain.contains("residency ledger"), "{plain}");
     }
 
     #[test]

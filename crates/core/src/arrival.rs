@@ -7,7 +7,7 @@
 //! whether or not the device keeps up, and each request's deadline anchors
 //! to **its own arrival time**. This module generates those arrival
 //! timestamps: deterministic, seeded, dependency-free (the workspace `rand`
-//! shim is SplitMix64), in the three shapes serving papers sweep:
+//! shim is SplitMix64), in the four shapes serving papers sweep:
 //!
 //! - [`ArrivalProcess::Poisson`] — memoryless inter-arrivals at a fixed
 //!   mean rate; the M/x/1 baseline.
@@ -17,6 +17,9 @@
 //! - [`ArrivalProcess::HeavyTail`] — Pareto inter-arrivals with shape
 //!   `alpha`, scaled to the requested mean rate. Long quiet gaps and
 //!   clumps; the tail that breaks mean-based provisioning.
+//! - [`ArrivalProcess::Diurnal`] — a piecewise-constant day curve: equal
+//!   buckets at the given rates, Lewis-thinned at the peak. The
+//!   morning-ramp / evening-peak shape a day of real traffic takes.
 //!
 //! All rates are requests per second; all generated timestamps are
 //! milliseconds from stream start, strictly increasing, and bounded by the
@@ -60,6 +63,18 @@ pub enum ArrivalProcess {
         /// to exist).
         alpha: f64,
     },
+    /// A piecewise-constant "day curve": the run duration divides into
+    /// `rates_per_s.len()` equal consecutive buckets, bucket `i` a Poisson
+    /// regime at `rates_per_s[i]`. Sampled at the peak rate and thinned by
+    /// the local bucket's rate (Lewis thinning — exact, like
+    /// [`ArrivalProcess::Burst`]). Models the morning-ramp /
+    /// evening-peak / overnight-lull shape diurnal serving traffic takes.
+    Diurnal {
+        /// Per-bucket arrival rates, requests per second (buckets of
+        /// `duration / len` each; zero-rate quiet buckets are allowed, at
+        /// least one rate must be positive).
+        rates_per_s: Vec<f64>,
+    },
 }
 
 impl ArrivalProcess {
@@ -70,14 +85,18 @@ impl ArrivalProcess {
 
     /// The long-run mean arrival rate, requests per second.
     pub fn mean_rate_per_s(&self) -> f64 {
-        match *self {
-            Self::Poisson { rate_per_s } | Self::HeavyTail { rate_per_s, .. } => rate_per_s,
+        match self {
+            Self::Poisson { rate_per_s } | Self::HeavyTail { rate_per_s, .. } => *rate_per_s,
             Self::Burst {
                 base_per_s,
                 burst_per_s,
                 burst_frac,
                 ..
             } => burst_per_s * burst_frac + base_per_s * (1.0 - burst_frac),
+            // Equal buckets: the mean is the plain average of the curve.
+            Self::Diurnal { rates_per_s } => {
+                rates_per_s.iter().sum::<f64>() / rates_per_s.len().max(1) as f64
+            }
         }
     }
 
@@ -88,14 +107,17 @@ impl ArrivalProcess {
         let mut times = Vec::new();
         let mut t = 0.0_f64;
         while times.len() < MAX_ARRIVALS {
-            let gap_ms = match *self {
-                Self::Poisson { rate_per_s } => exponential_ms(&mut rng, rate_per_s),
+            let gap_ms = match self {
+                Self::Poisson { rate_per_s } => exponential_ms(&mut rng, *rate_per_s),
                 Self::Burst {
                     base_per_s,
                     burst_per_s,
                     ..
-                } => exponential_ms(&mut rng, base_per_s.max(burst_per_s)),
-                Self::HeavyTail { rate_per_s, alpha } => pareto_ms(&mut rng, rate_per_s, alpha),
+                } => exponential_ms(&mut rng, base_per_s.max(*burst_per_s)),
+                Self::HeavyTail { rate_per_s, alpha } => pareto_ms(&mut rng, *rate_per_s, *alpha),
+                Self::Diurnal { rates_per_s } => {
+                    exponential_ms(&mut rng, rates_per_s.iter().copied().fold(0.0, f64::max))
+                }
             };
             if !gap_ms.is_finite() {
                 break;
@@ -104,29 +126,41 @@ impl ArrivalProcess {
             if t >= duration_ms {
                 break;
             }
-            // Burst is a piecewise-constant-rate Poisson process: sample at
-            // the peak rate and thin each candidate by the local rate
-            // (Lewis thinning — exact, unlike drawing gaps at the regime
-            // rate, which lets long base-rate gaps jump whole bursts).
-            if let Self::Burst {
-                base_per_s,
-                burst_per_s,
-                period_ms,
-                burst_frac,
-            } = *self
-            {
-                let phase = if period_ms > 0.0 {
-                    (t / period_ms).fract() * period_ms
-                } else {
-                    0.0
-                };
-                let bursting = phase < burst_frac.clamp(0.0, 1.0) * period_ms;
-                let local = if bursting { burst_per_s } else { base_per_s };
-                let peak = base_per_s.max(burst_per_s);
-                let u: f64 = rng.gen();
-                if u >= local / peak {
-                    continue;
+            // Burst and Diurnal are piecewise-constant-rate Poisson
+            // processes: sample at the peak rate and thin each candidate by
+            // the local rate (Lewis thinning — exact, unlike drawing gaps
+            // at the regime rate, which lets long quiet-rate gaps jump
+            // whole high-rate regimes).
+            match self {
+                Self::Burst {
+                    base_per_s,
+                    burst_per_s,
+                    period_ms,
+                    burst_frac,
+                } => {
+                    let phase = if *period_ms > 0.0 {
+                        (t / period_ms).fract() * period_ms
+                    } else {
+                        0.0
+                    };
+                    let bursting = phase < burst_frac.clamp(0.0, 1.0) * period_ms;
+                    let local = if bursting { *burst_per_s } else { *base_per_s };
+                    let peak = base_per_s.max(*burst_per_s);
+                    let u: f64 = rng.gen();
+                    if u >= local / peak {
+                        continue;
+                    }
                 }
+                Self::Diurnal { rates_per_s } => {
+                    let peak = rates_per_s.iter().copied().fold(0.0, f64::max);
+                    let bucket = ((t / duration_ms) * rates_per_s.len() as f64) as usize;
+                    let local = rates_per_s[bucket.min(rates_per_s.len() - 1)];
+                    let u: f64 = rng.gen();
+                    if u >= local / peak {
+                        continue;
+                    }
+                }
+                _ => {}
             }
             times.push(t);
         }
@@ -138,6 +172,8 @@ impl ArrivalProcess {
     /// - `poisson:<rate>` — Poisson at `<rate>` req/s
     /// - `burst:<base>:<burst>:<period_ms>:<frac>` — square-wave rate
     /// - `heavytail:<rate>:<alpha>` — Pareto inter-arrivals
+    /// - `diurnal:<r1,r2,...>` — piecewise day curve: equal buckets at the
+    ///   comma-separated rates
     ///
     /// Every malformed spec is rejected with an error naming the offending
     /// token: an unknown kind, a field that is not a finite number, a
@@ -145,6 +181,39 @@ impl ArrivalProcess {
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut parts = spec.trim().split(':');
         let kind = parts.next().unwrap_or_default().trim();
+        // Diurnal's one field is a comma list, not a single number — take
+        // it before the generic per-field numeric parse below.
+        if kind == "diurnal" {
+            let fields: Vec<&str> = parts.collect();
+            if fields.len() != 1 {
+                return Err(format!(
+                    "`diurnal` takes 1 field (diurnal:<r1,r2,...>), got {} in `{spec}`",
+                    fields.len()
+                ));
+            }
+            let rates_per_s: Vec<f64> = fields[0]
+                .split(',')
+                .map(|p| {
+                    let v = p
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad arrival number `{p}` in `{spec}`"))?;
+                    if v.is_finite() && v >= 0.0 {
+                        Ok(v)
+                    } else {
+                        Err(format!(
+                            "diurnal rate `{v}` must be finite and >= 0 in `{spec}`"
+                        ))
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            if !rates_per_s.iter().any(|&r| r > 0.0) {
+                return Err(format!(
+                    "diurnal needs at least one positive rate in `{spec}`"
+                ));
+            }
+            return Ok(Self::Diurnal { rates_per_s });
+        }
         let nums: Vec<f64> = parts
             .map(|p| {
                 p.trim()
@@ -208,7 +277,8 @@ impl ArrivalProcess {
             }
             other => Err(format!(
                 "unknown arrival kind `{other}` in `{spec}` (want poisson:<rate>, \
-                 burst:<base>:<burst>:<period_ms>:<frac>, or heavytail:<rate>:<alpha>)"
+                 burst:<base>:<burst>:<period_ms>:<frac>, heavytail:<rate>:<alpha>, \
+                 or diurnal:<r1,r2,...>)"
             )),
         }
     }
@@ -295,6 +365,39 @@ mod tests {
     }
 
     #[test]
+    fn diurnal_follows_the_day_curve() {
+        // Quiet overnight, morning ramp, evening peak: four equal buckets.
+        let p = ArrivalProcess::Diurnal {
+            rates_per_s: vec![5.0, 50.0, 100.0, 25.0],
+        };
+        let a = p.times_ms(42, 40_000.0);
+        assert_eq!(a, p.times_ms(42, 40_000.0), "seeded determinism");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(a.iter().all(|&t| (0.0..40_000.0).contains(&t)));
+        // Mean rate: (5 + 50 + 100 + 25) / 4 = 45 req/s over 40 s.
+        assert!((p.mean_rate_per_s() - 45.0).abs() < 1e-12);
+        let n = a.len() as f64;
+        assert!((n - 45.0 * 40.0).abs() < 250.0, "got {n}");
+        // Per-bucket counts track the curve: the peak bucket dominates
+        // the quiet one by roughly the rate ratio.
+        let count = |lo: f64, hi: f64| a.iter().filter(|&&t| t >= lo && t < hi).count() as f64;
+        let quiet = count(0.0, 10_000.0);
+        let peak = count(20_000.0, 30_000.0);
+        assert!(peak > 8.0 * quiet, "peak {peak} vs quiet {quiet}");
+        // A zero-rate bucket stays silent; arrivals resume after it.
+        let gated = ArrivalProcess::Diurnal {
+            rates_per_s: vec![40.0, 0.0, 40.0],
+        };
+        let b = gated.times_ms(7, 30_000.0);
+        let mid = b
+            .iter()
+            .filter(|&&t| (10_000.0..20_000.0).contains(&t))
+            .count();
+        assert_eq!(mid, 0, "zero-rate bucket must stay silent");
+        assert!(b.iter().any(|&t| t < 10_000.0) && b.iter().any(|&t| t >= 20_000.0));
+    }
+
+    #[test]
     fn specs_parse_and_reject() {
         assert_eq!(
             ArrivalProcess::parse("poisson:25").unwrap(),
@@ -316,6 +419,18 @@ mod tests {
                 alpha: 1.5,
             }
         );
+        assert_eq!(
+            ArrivalProcess::parse("diurnal:5, 50,100 ,25").unwrap(),
+            ArrivalProcess::Diurnal {
+                rates_per_s: vec![5.0, 50.0, 100.0, 25.0],
+            }
+        );
+        assert_eq!(
+            ArrivalProcess::parse("diurnal:0,10,0").unwrap(),
+            ArrivalProcess::Diurnal {
+                rates_per_s: vec![0.0, 10.0, 0.0],
+            }
+        );
         for bad in [
             "poisson",
             "poisson:0",
@@ -326,6 +441,13 @@ mod tests {
             "heavytail:50:0.9",
             "uniform:10",
             "",
+            "diurnal",
+            "diurnal:",
+            "diurnal:5:50",
+            "diurnal:5,x,10",
+            "diurnal:0,0",
+            "diurnal:-5,10",
+            "diurnal:inf,10",
         ] {
             assert!(ArrivalProcess::parse(bad).is_err(), "`{bad}` should fail");
         }
@@ -373,9 +495,19 @@ mod tests {
         assert!(err.contains("0.9"), "{err}");
         let err = ArrivalProcess::parse("heavytail:50:nan").unwrap_err();
         assert!(err.to_lowercase().contains("nan"), "{err}");
-        // Unknown kinds name the kind.
+        // Unknown kinds name the kind (and advertise the diurnal shape).
         let err = ArrivalProcess::parse("uniform:10").unwrap_err();
-        assert!(err.contains("`uniform`"), "{err}");
+        assert!(
+            err.contains("`uniform`") && err.contains("diurnal"),
+            "{err}"
+        );
+        // Diurnal arity/field errors name the offender.
+        let err = ArrivalProcess::parse("diurnal:5:50").unwrap_err();
+        assert!(err.contains("`diurnal`") && err.contains("got 2"), "{err}");
+        let err = ArrivalProcess::parse("diurnal:5,x,10").unwrap_err();
+        assert!(err.contains("`x`"), "{err}");
+        let err = ArrivalProcess::parse("diurnal:-5,10").unwrap_err();
+        assert!(err.contains("-5"), "{err}");
         // Leading/trailing whitespace still parses.
         assert!(ArrivalProcess::parse("  poisson: 25 ").is_ok());
     }

@@ -55,6 +55,7 @@ use phonebit_tensor::shape::{Layout, Shape4};
 use phonebit_tensor::tensor::Tensor;
 
 use crate::model::{PbitLayer, PbitModel};
+use crate::paging::{BankState, PagingSchedule};
 use crate::plan::{ExecutionPlan, FusedKind, FusedMember, RouteOverrides, StepOp, ValueKind};
 use crate::planner::ConvPath;
 use crate::stats::{LayerRun, RunReport};
@@ -420,12 +421,22 @@ impl StagedModel {
                 }
             })?;
         let mut weight_residency = Vec::new();
-        for (i, layer) in model.layers.iter().enumerate() {
-            let bytes = layer
-                .param_bytes()
-                .saturating_sub(plan.compress_decision(i).map_or(0, |d| d.saved_bytes()));
-            if bytes > 0 {
-                weight_residency.push(ctx.alloc::<u8>(bytes)?);
+        if let Some(pg) = plan.paging.as_ref().filter(|p| !p.resident) {
+            // A streaming plan holds only the hot set on-device: one pool
+            // sized at the schedule's peak co-residency (current bank +
+            // the look-ahead's in-flight bank), through which every bank
+            // pages. The full Σ weights never has to fit.
+            if pg.hot_peak_bytes > 0 {
+                weight_residency.push(ctx.alloc::<u8>(pg.hot_peak_bytes)?);
+            }
+        } else {
+            for (i, layer) in model.layers.iter().enumerate() {
+                let bytes = layer
+                    .param_bytes()
+                    .saturating_sub(plan.compress_decision(i).map_or(0, |d| d.saved_bytes()));
+                if bytes > 0 {
+                    weight_residency.push(ctx.alloc::<u8>(bytes)?);
+                }
             }
         }
         // Pre-stage filter banks so per-inference runs pay neither the
@@ -492,9 +503,133 @@ impl StagedModel {
     }
 
     /// Device memory currently allocated across the shared weights and
-    /// **every** live stream's arena banks, bytes.
+    /// **every** live stream's arena banks, bytes. Under a streaming
+    /// [`PagingSchedule`] the weight half is the hot-set pool, not
+    /// Σ weights — the budget-relevant footprint.
     pub fn resident_bytes(&self) -> usize {
         self.ctx.used_bytes()
+    }
+
+    /// The fully-resident weight footprint, bytes — what the model would
+    /// hold with every bank on-device (net of dictionary compression),
+    /// regardless of any paging schedule.
+    pub fn total_weight_bytes(&self) -> usize {
+        self.plan.weights_bytes
+    }
+
+    /// Peak weight bytes this staging actually holds on-device: the
+    /// paging schedule's hot-set peak when streaming, Σ weights otherwise.
+    pub fn peak_weight_bytes(&self) -> usize {
+        self.plan.hot_weight_bytes()
+    }
+}
+
+/// Replays a plan's [`PagingSchedule`] for one window: owns the per-step
+/// weight-bank state machine (Resident / InFlight / Evicted), charges each
+/// step's precomputed upload stall on the window's queue, and enforces the
+/// residency invariants — a step never executes before its bank's upload
+/// completed, and a bank is only evicted after its step used it.
+///
+/// One manager lives in each stream lane's arena state and is rewound per
+/// window, so steady-state windows replay the schedule with zero heap
+/// allocation — the same discipline as the activation arena.
+#[derive(Debug)]
+pub struct ResidencyManager {
+    schedule: PagingSchedule,
+    states: Vec<BankState>,
+    /// Whether each step's bank completed its upload this window — keeps
+    /// an evicted-after-use bank from being re-promoted to `InFlight` by
+    /// the issue-time scan.
+    fetched: Vec<bool>,
+}
+
+impl ResidencyManager {
+    /// A manager for `schedule`; every weighted bank starts evicted.
+    pub fn new(schedule: PagingSchedule) -> Self {
+        let states = schedule
+            .steps
+            .iter()
+            .map(|s| {
+                if s.bank_bytes > 0 {
+                    BankState::Evicted
+                } else {
+                    BankState::Resident
+                }
+            })
+            .collect();
+        let fetched = vec![false; schedule.steps.len()];
+        Self {
+            schedule,
+            states,
+            fetched,
+        }
+    }
+
+    /// Rewinds every bank to its pre-window state (weighted banks
+    /// evicted) — called once per window, before the first step.
+    pub fn reset(&mut self) {
+        for (i, s) in self.schedule.steps.iter().enumerate() {
+            self.states[i] = if s.bank_bytes > 0 {
+                BankState::Evicted
+            } else {
+                BankState::Resident
+            };
+            self.fetched[i] = false;
+        }
+    }
+
+    /// The schedule this manager replays.
+    pub fn schedule(&self) -> &PagingSchedule {
+        &self.schedule
+    }
+
+    /// Current residency state of step `idx`'s bank.
+    pub fn state(&self, idx: usize) -> BankState {
+        self.states[idx]
+    }
+
+    /// Begins step `idx` at window time `queue.elapsed_s()`: promotes every
+    /// bank whose prefetch the schedule has issued by now to `InFlight`,
+    /// then waits out this step's precomputed stall (charged on `queue`
+    /// together with the bank's upload-lane time) and marks its bank
+    /// `Resident`. Panics (debug) if the replay would execute a step whose
+    /// bank the schedule never uploads — the invariant the paging proptests
+    /// pin.
+    pub fn begin_step(&mut self, queue: &mut CommandQueue, idx: usize) {
+        let now = queue.elapsed_s();
+        for (j, s) in self.schedule.steps.iter().enumerate() {
+            if s.bank_bytes > 0
+                && !self.fetched[j]
+                && self.states[j] == BankState::Evicted
+                && s.issue_s <= now
+            {
+                self.states[j] = BankState::InFlight;
+            }
+        }
+        let ps = &self.schedule.steps[idx];
+        queue.note_upload(ps.stall_s, ps.upload_s);
+        if ps.bank_bytes > 0 {
+            debug_assert_ne!(
+                self.states[idx],
+                BankState::Resident,
+                "a streaming bank cannot be resident before its upload lands"
+            );
+            self.states[idx] = BankState::Resident;
+            self.fetched[idx] = true;
+        }
+    }
+
+    /// Completes step `idx`: an evict-after-use bank leaves the device,
+    /// freeing its share of the hot-set pool for the look-ahead.
+    pub fn end_step(&mut self, idx: usize) {
+        debug_assert_eq!(
+            self.states[idx],
+            BankState::Resident,
+            "only a resident bank can have executed"
+        );
+        if self.schedule.steps[idx].evicted {
+            self.states[idx] = BankState::Evicted;
+        }
     }
 }
 
@@ -513,6 +648,10 @@ struct ArenaState {
     /// later windows' host prep overlaps GPU compute (double buffering)
     /// and the per-run framework overhead is no longer charged.
     primed: bool,
+    /// The weight-residency replay for streaming paged plans (`None` when
+    /// every bank is resident): rewound per window, it pages banks through
+    /// the hot-set pool and charges the schedule's stalls.
+    residency: Option<ResidencyManager>,
 }
 
 impl ArenaState {
@@ -527,10 +666,16 @@ impl ArenaState {
                 bank[v.slot].prepare(v.kind, v.shape);
             }
         }
+        let residency = plan
+            .paging
+            .as_ref()
+            .filter(|p| !p.resident)
+            .map(|p| ResidencyManager::new(p.clone()));
         Self {
             banks,
             bank: 0,
             primed: false,
+            residency,
         }
     }
 
@@ -833,11 +978,20 @@ fn run_window(
         queue.host_delay(overhead);
     }
     let bank = arena.bank;
+    if let Some(res) = arena.residency.as_mut() {
+        res.reset();
+    }
 
     let mut per_layer = Vec::with_capacity(staged.model.len());
     for idx in 0..plan.steps.len() {
         let t0 = queue.elapsed_s();
         let e0 = queue.timeline().len();
+        // Paged windows replay the residency schedule at every step
+        // boundary: the same precomputed stall `walk_plan` charges, so the
+        // executed window and the modeled one cannot drift.
+        if let Some(res) = arena.residency.as_mut() {
+            res.begin_step(queue, idx);
+        }
         // Field borrows are disjoint: the staged half is read-only,
         // the queue and arena bank are the mutable execution state.
         exec_step(
@@ -848,6 +1002,9 @@ fn run_window(
             &mut arena.banks[bank],
             idx,
         );
+        if let Some(res) = arena.residency.as_mut() {
+            res.end_step(idx);
+        }
         let step = &plan.steps[idx];
         let energy_j: f64 = queue.timeline()[e0..]
             .iter()

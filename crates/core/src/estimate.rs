@@ -248,6 +248,13 @@ pub(crate) fn walk_plan(
     for (idx, step) in plan.steps.iter().enumerate() {
         let t0 = q.elapsed_s();
         let e0 = q.timeline().len();
+        // Paged plans charge the residency schedule's precomputed upload
+        // stall at the step boundary — the identical charge `run_window`
+        // replays, so modeled and executed paged windows cannot drift.
+        if let Some(pg) = &plan.paging {
+            let ps = &pg.steps[idx];
+            q.note_upload(ps.stall_s, ps.upload_s);
+        }
         let in_shape = step.in_shape;
         let out_shape = step.out_shape;
         let in_c = in_shape.c;

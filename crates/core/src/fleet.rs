@@ -74,9 +74,9 @@ use rand::{Rng, SeedableRng};
 use crate::engine::{ActivationData, EngineError};
 use crate::plan::RouteOverrides;
 use crate::serve::{
-    admit_tenants, modeled_window_under, open_loop_windows, percentiles_ext, schedule_open_loop,
-    DeviceRuntime, OpenLoopLoad, OpenLoopOptions, OpenLoopWorkload, PlanSource, ShedReason,
-    TenantAsk, TenantSpec, TenantTraffic, WindowFate,
+    admit_tenants_budgeted, modeled_window_under, open_loop_windows, percentiles_ext,
+    schedule_open_loop, DeviceRuntime, OpenLoopLoad, OpenLoopOptions, OpenLoopWorkload, PlanSource,
+    ShedReason, TenantAsk, TenantSpec, TenantTraffic, WindowFate,
 };
 use phonebit_nn::graph::NetworkArch;
 use phonebit_tensor::tensor::Tensor;
@@ -150,6 +150,14 @@ pub struct FleetOptions {
     /// `max_replans = 0` so the batch the router charged is the batch the
     /// device executes.
     pub open_loop: OpenLoopOptions,
+    /// Admit tenants under **weight paging**: placement and migration
+    /// charge each tenant its paged floor
+    /// ([`paged_floor_bytes`](crate::paged_floor_bytes)) instead of its
+    /// summed weights, and every device runtime admits under a pooled
+    /// weight budget (its app budget minus the batch-1 arena pool), so an
+    /// oversubscribed tenant set becomes admissible on one device. `false`
+    /// (the default) is the exact fully-resident fleet.
+    pub weight_paging: bool,
 }
 
 impl Default for FleetOptions {
@@ -163,6 +171,7 @@ impl Default for FleetOptions {
                 max_replans: 0,
                 ..OpenLoopOptions::default()
             },
+            weight_paging: false,
         }
     }
 }
@@ -447,11 +456,35 @@ pub struct FleetOutcome {
 
 /// Batch-1 footprint and modeled solo cost of one tenant on one phone
 /// class — the currency of placement and migration feasibility.
-#[derive(Debug, Clone, Copy)]
+/// `paged_floor` is the smallest weight-residency grant that still
+/// overlaps every bank upload with compute — what the tenant charges
+/// under [`FleetOptions::weight_paging`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct FitEntry {
     weights: usize,
     arena1: usize,
     solo_ms: f64,
+    paged_floor: usize,
+}
+
+impl FitEntry {
+    /// The resident weight bytes this tenant charges at placement time:
+    /// its paged floor when the fleet pages, its full weights otherwise.
+    fn placed_weights(&self, paging: bool) -> usize {
+        if paging {
+            self.paged_floor
+        } else {
+            self.weights
+        }
+    }
+}
+
+/// The pooled weight budget a paged device admits under: its app budget
+/// minus the batch-1 arena pool. Placement checks
+/// `Σ floors + streams × arena ≤ budget`, so a placed roster's paged
+/// floors always fit this ceiling.
+fn device_weight_budget(budget: usize, streams: usize, arena1_max: usize) -> usize {
+    budget.saturating_sub(streams * arena1_max)
 }
 
 /// Places every tenant on up to `replicas` devices: candidates must fit
@@ -464,6 +497,7 @@ fn place_tenants(
     budgets: &[usize],
     streams: usize,
     replicas: usize,
+    paging: bool,
 ) -> Result<Vec<Vec<usize>>, usize> {
     let devices = budgets.len();
     let mut placement: Vec<Vec<usize>> = vec![Vec::new(); fit.len()];
@@ -472,8 +506,11 @@ fn place_tenants(
     for t in 0..fit.len() {
         let mut cands: Vec<usize> = (0..devices)
             .filter(|&d| {
-                let weights: usize =
-                    placed[d].iter().map(|&o| fit[o][d].weights).sum::<usize>() + fit[t][d].weights;
+                let weights: usize = placed[d]
+                    .iter()
+                    .map(|&o| fit[o][d].placed_weights(paging))
+                    .sum::<usize>()
+                    + fit[t][d].placed_weights(paging);
                 let arena = placed[d]
                     .iter()
                     .map(|&o| fit[o][d].arena1)
@@ -1050,14 +1087,20 @@ impl Fleet {
             fit.push(row);
         }
         let budgets: Vec<usize> = devices.iter().map(|d| d.phone.app_budget_bytes()).collect();
-        let placement = place_tenants(&fit, &budgets, fleet.opts.streams, fleet.opts.replicas)
-            .map_err(|t| EngineError::InputMismatch {
-                expected: format!(
-                    "a device able to host tenant `{}` at the batch-1 pooled floor",
-                    fleet.specs[t].name
-                ),
-                got: "no feasible device".into(),
-            })?;
+        let placement = place_tenants(
+            &fit,
+            &budgets,
+            fleet.opts.streams,
+            fleet.opts.replicas,
+            fleet.opts.weight_paging,
+        )
+        .map_err(|t| EngineError::InputMismatch {
+            expected: format!(
+                "a device able to host tenant `{}` at the batch-1 pooled floor",
+                fleet.specs[t].name
+            ),
+            got: "no feasible device".into(),
+        })?;
 
         let mut rosters: Vec<Vec<usize>> = vec![Vec::new(); devices.len()];
         for (t, devs) in placement.iter().enumerate() {
@@ -1073,7 +1116,12 @@ impl Fleet {
             } else {
                 let subset: Vec<TenantSpec> =
                     roster.iter().map(|&t| fleet.specs[t].clone()).collect();
-                let rt = DeviceRuntime::new(subset, &spec.phone, fleet.opts.streams)?;
+                let wb = fleet.opts.weight_paging.then(|| {
+                    let arena1 = roster.iter().map(|&t| fit[t][d].arena1).max().unwrap_or(0);
+                    device_weight_budget(budgets[d], fleet.opts.streams, arena1)
+                });
+                let rt =
+                    DeviceRuntime::new_with_budget(subset, &spec.phone, fleet.opts.streams, wb)?;
                 rt.clock().set_fault_plan(spec.fault.clone());
                 fleet.registry.register(&id, Arc::clone(rt.clock()));
                 Some(rt)
@@ -1104,10 +1152,12 @@ impl Fleet {
         let plan = source.plan_at(&phone.gpu, 1, spec.overrides)?;
         let extras = source.extras(&plan);
         let (cold_s, _) = modeled_window_under(&plan, &extras, &phone.gpu, 1, None);
+        let banks = crate::paging::step_bank_bytes(&plan, &source.layer_weight_bytes(&plan));
         let entry = FitEntry {
             weights: plan.weights_bytes,
             arena1: plan.staged_arena_bytes(),
             solo_ms: cold_s * 1e3,
+            paged_floor: crate::paging::paged_floor_bytes(&banks),
         };
         self.fit_cache.push(((tenant, phone.gpu.name), entry));
         Ok(entry)
@@ -1368,10 +1418,11 @@ impl RouteSubstrate for Fleet {
             return false;
         };
         let budget = dev.phone.app_budget_bytes();
+        let need = fit.placed_weights(self.opts.weight_paging);
         match dev.runtime.as_ref() {
-            None => fit.weights + self.opts.streams * fit.arena1 <= budget,
+            None => need + self.opts.streams * fit.arena1 <= budget,
             Some(rt) => {
-                fit.arena1 <= rt.pool_slice_bytes() && rt.resident_bytes() + fit.weights <= budget
+                fit.arena1 <= rt.pool_slice_bytes() && rt.peak_resident_bytes() + need <= budget
             }
         }
     }
@@ -1379,6 +1430,22 @@ impl RouteSubstrate for Fleet {
     fn try_migrate(&mut self, device: usize, tenant: usize, at_ms: f64) -> bool {
         let spec = self.specs[tenant].clone();
         let streams = self.opts.streams;
+        // A fresh device admits under its own weight budget when the
+        // fleet pages (the attach path reuses the budget its runtime was
+        // born with).
+        let wb = if self.opts.weight_paging && self.devices[device].runtime.is_none() {
+            let phone = self.devices[device].phone.clone();
+            let Ok(fit) = self.fit_for(tenant, &phone) else {
+                return false;
+            };
+            Some(device_weight_budget(
+                phone.app_budget_bytes(),
+                streams,
+                fit.arena1,
+            ))
+        } else {
+            None
+        };
         let dev = &mut self.devices[device];
         match dev.runtime.as_mut() {
             Some(rt) => match rt.attach(spec) {
@@ -1393,7 +1460,7 @@ impl RouteSubstrate for Fleet {
                 }
                 Err(_) => false,
             },
-            None => match DeviceRuntime::new(vec![spec], &dev.phone, streams) {
+            None => match DeviceRuntime::new_with_budget(vec![spec], &dev.phone, streams, wb) {
                 Ok(rt) => {
                     rt.clock().set_fault_plan(dev.fault.clone());
                     self.registry.register(&dev.id, Arc::clone(rt.clock()));
@@ -1410,6 +1477,7 @@ impl RouteSubstrate for Fleet {
     fn try_join(&mut self, phone: &Phone, fault: Option<FaultPlan>, _at_ms: f64) -> Vec<usize> {
         let budget = phone.app_budget_bytes();
         let streams = self.opts.streams;
+        let paging = self.opts.weight_paging;
         let mut hosted: Vec<usize> = Vec::new();
         let mut weights = 0usize;
         let mut arena = 0usize;
@@ -1417,9 +1485,10 @@ impl RouteSubstrate for Fleet {
             let Ok(fit) = self.fit_for(t, phone) else {
                 continue;
             };
-            if weights + fit.weights + streams * arena.max(fit.arena1) <= budget {
+            let need = fit.placed_weights(paging);
+            if weights + need + streams * arena.max(fit.arena1) <= budget {
                 hosted.push(t);
-                weights += fit.weights;
+                weights += need;
                 arena = arena.max(fit.arena1);
             }
         }
@@ -1429,7 +1498,8 @@ impl RouteSubstrate for Fleet {
             None
         } else {
             let subset: Vec<TenantSpec> = hosted.iter().map(|&t| self.specs[t].clone()).collect();
-            match DeviceRuntime::new(subset, phone, streams) {
+            let wb = paging.then(|| device_weight_budget(budget, streams, arena));
+            match DeviceRuntime::new_with_budget(subset, phone, streams, wb) {
                 Ok(rt) => {
                     rt.clock().set_fault_plan(fault.clone());
                     self.registry.register(&id, Arc::clone(rt.clock()));
@@ -1474,10 +1544,11 @@ struct EstFleet<'a> {
     devices: Vec<EstDevice>,
     fit: Vec<Vec<FitEntry>>,
     streams: usize,
+    paging: bool,
 }
 
 impl<'a> EstFleet<'a> {
-    fn fit_for(&mut self, tenant: usize, phone: &Phone) -> FitEntry {
+    fn fit_for(&self, tenant: usize, phone: &Phone) -> FitEntry {
         // The fit table is keyed by GPU class; extend lazily for joined
         // phone classes not present at build time.
         let have = self.fit[tenant]
@@ -1495,8 +1566,16 @@ impl<'a> EstFleet<'a> {
         fault: Option<FaultPlan>,
         roster: Vec<usize>,
     ) -> EstDevice {
+        let wb = self.paging.then(|| {
+            let arena1 = roster
+                .iter()
+                .map(|&t| self.fit_for(t, &phone).arena1)
+                .max()
+                .unwrap_or(0);
+            device_weight_budget(phone.app_budget_bytes(), self.streams, arena1)
+        });
         let (batch, cold_ms, steady_ms, slice, weights) =
-            est_admit(self.workloads, &roster, &phone, self.streams, None);
+            est_admit(self.workloads, &roster, &phone, self.streams, None, wb);
         EstDevice {
             id,
             phone,
@@ -1519,10 +1598,12 @@ fn est_fit(arch: &NetworkArch, phone: &Phone) -> FitEntry {
         .expect("arch plans lower infallibly");
     let extras = source.extras(&plan);
     let (cold_s, _) = modeled_window_under(&plan, &extras, &phone.gpu, 1, None);
+    let banks = crate::paging::step_bank_bytes(&plan, &source.layer_weight_bytes(&plan));
     FitEntry {
         weights: plan.weights_bytes,
         arena1: plan.staged_arena_bytes(),
         solo_ms: cold_s * 1e3,
+        paged_floor: crate::paging::paged_floor_bytes(&banks),
     }
 }
 
@@ -1535,6 +1616,7 @@ fn est_admit(
     phone: &Phone,
     streams: usize,
     pinned: Option<&[usize]>,
+    weight_budget: Option<usize>,
 ) -> (Vec<usize>, Vec<f64>, Vec<f64>, usize, usize) {
     if roster.is_empty() {
         return (Vec::new(), Vec::new(), Vec::new(), 0, 0);
@@ -1549,17 +1631,17 @@ fn est_admit(
             overrides: RouteOverrides::default(),
         })
         .collect();
-    let (admissions, mix) = admit_tenants(&asks, phone, streams)
+    let (admissions, mix, eff) = admit_tenants_budgeted(&asks, phone, streams, weight_budget)
         .expect("placement guarantees the batch-1 pooled floor fits");
     let mut batch = Vec::with_capacity(roster.len());
     let mut cold_ms = Vec::with_capacity(roster.len());
     let mut steady_ms = Vec::with_capacity(roster.len());
     let mut slice = 0usize;
     let mut weights = 0usize;
-    for (&t, adm) in roster.iter().zip(admissions.iter()) {
+    for (i, (&t, adm)) in roster.iter().zip(admissions.iter()).enumerate() {
         let source = PlanSource::Arch(workloads[t].arch);
         let plan = source
-            .plan_at(&phone.gpu, adm.batch, RouteOverrides::default())
+            .plan_at(&phone.gpu, adm.batch, eff[i])
             .expect("arch plans lower infallibly");
         let extras = source.extras(&plan);
         let (c, s) = modeled_window_under(&plan, &extras, &phone.gpu, streams, mix.as_deref());
@@ -1567,7 +1649,11 @@ fn est_admit(
         cold_ms.push(c * 1e3);
         steady_ms.push(s * 1e3);
         slice = slice.max(plan.staged_arena_bytes());
-        weights += plan.weights_bytes;
+        // A streamed tenant charges its hot-set grant, not its summed
+        // banks — mirrors the executing runtime's resident footprint.
+        weights += adm
+            .weight_grant_bytes
+            .map_or(plan.weights_bytes, |g| g.min(plan.weights_bytes));
     }
     (batch, cold_ms, steady_ms, slice, weights)
 }
@@ -1597,11 +1683,11 @@ impl RouteSubstrate for EstFleet<'_> {
             .copied()
             .unwrap_or_else(|| est_fit(self.workloads[tenant].arch, &dev.phone));
         let budget = dev.phone.app_budget_bytes();
+        let need = fit.placed_weights(self.paging);
         if dev.roster.is_empty() {
-            fit.weights + self.streams * fit.arena1 <= budget
+            need + self.streams * fit.arena1 <= budget
         } else {
-            fit.arena1 <= dev.slice
-                && dev.weights + self.streams * dev.slice + fit.weights <= budget
+            fit.arena1 <= dev.slice && dev.weights + self.streams * dev.slice + need <= budget
         }
     }
 
@@ -1635,8 +1721,22 @@ impl RouteSubstrate for EstFleet<'_> {
         let mut pinned = self.devices[device].batch.clone();
         roster.push(tenant);
         pinned.push(self.workloads[tenant].batch.unwrap_or(cap).clamp(1, cap));
-        let (batch, cold_ms, steady_ms, _slice, weights) =
-            est_admit(self.workloads, &roster, &phone, self.streams, Some(&pinned));
+        let wb = self.paging.then(|| {
+            let arena1 = roster
+                .iter()
+                .map(|&t| self.fit_for(t, &phone).arena1)
+                .max()
+                .unwrap_or(0);
+            device_weight_budget(phone.app_budget_bytes(), self.streams, arena1)
+        });
+        let (batch, cold_ms, steady_ms, _slice, weights) = est_admit(
+            self.workloads,
+            &roster,
+            &phone,
+            self.streams,
+            Some(&pinned),
+            wb,
+        );
         let dev = &mut self.devices[device];
         dev.roster = roster;
         dev.batch = batch;
@@ -1653,9 +1753,10 @@ impl RouteSubstrate for EstFleet<'_> {
         let mut arena = 0usize;
         for t in 0..self.workloads.len() {
             let fit = self.fit_for(t, phone);
-            if weights + fit.weights + self.streams * arena.max(fit.arena1) <= budget {
+            let need = fit.placed_weights(self.paging);
+            if weights + need + self.streams * arena.max(fit.arena1) <= budget {
                 hosted.push(t);
-                weights += fit.weights;
+                weights += need;
                 arena = arena.max(fit.arena1);
             }
         }
@@ -1704,8 +1805,14 @@ pub fn estimate_fleet(
         .map(|w| devices.iter().map(|d| est_fit(w.arch, &d.phone)).collect())
         .collect();
     let budgets: Vec<usize> = devices.iter().map(|d| d.phone.app_budget_bytes()).collect();
-    let placement = place_tenants(&fit, &budgets, opts.streams, opts.replicas)
-        .unwrap_or_else(|t| panic!("workload {t} fits no device at the batch-1 pooled floor"));
+    let placement = place_tenants(
+        &fit,
+        &budgets,
+        opts.streams,
+        opts.replicas,
+        opts.weight_paging,
+    )
+    .unwrap_or_else(|t| panic!("workload {t} fits no device at the batch-1 pooled floor"));
     let mut rosters: Vec<Vec<usize>> = vec![Vec::new(); devices.len()];
     for (t, devs) in placement.iter().enumerate() {
         for &d in devs {
@@ -1717,6 +1824,7 @@ pub fn estimate_fleet(
         devices: Vec::new(),
         fit,
         streams: opts.streams,
+        paging: opts.weight_paging,
     };
     for (d, spec) in devices.iter().enumerate() {
         let dev = est.build_device(
@@ -1849,43 +1957,26 @@ mod tests {
     #[test]
     fn placement_spreads_by_load_and_respects_budget() {
         // Two devices; tenant 0 fits both, tenant 1 only device 1.
+        let entry = |weights: usize, solo_ms: f64| FitEntry {
+            weights,
+            arena1: 10,
+            solo_ms,
+            paged_floor: weights / 4,
+        };
         let fit = vec![
-            vec![
-                FitEntry {
-                    weights: 100,
-                    arena1: 10,
-                    solo_ms: 5.0,
-                },
-                FitEntry {
-                    weights: 100,
-                    arena1: 10,
-                    solo_ms: 5.0,
-                },
-            ],
-            vec![
-                FitEntry {
-                    weights: 900,
-                    arena1: 10,
-                    solo_ms: 9.0,
-                },
-                FitEntry {
-                    weights: 100,
-                    arena1: 10,
-                    solo_ms: 9.0,
-                },
-            ],
+            vec![entry(100, 5.0), entry(100, 5.0)],
+            vec![entry(900, 9.0), entry(100, 9.0)],
         ];
         let budgets = vec![300, 300];
-        let placement = place_tenants(&fit, &budgets, 2, 1).expect("both fit");
+        let placement = place_tenants(&fit, &budgets, 2, 1, false).expect("both fit");
         assert_eq!(placement[0], vec![0]);
         assert_eq!(placement[1], vec![1]);
         // Unplaceable tenant reports its index.
-        let tight = vec![vec![FitEntry {
-            weights: 1000,
-            arena1: 10,
-            solo_ms: 1.0,
-        }]];
-        assert_eq!(place_tenants(&tight, &[300], 2, 1), Err(0));
+        let tight = vec![vec![entry(1000, 1.0)]];
+        assert_eq!(place_tenants(&tight, &[300], 2, 1, false), Err(0));
+        // Weight paging charges the floor instead: the same tenant places.
+        let paged = place_tenants(&tight, &[300], 2, 1, true).expect("floor fits");
+        assert_eq!(paged[0], vec![0]);
     }
 
     /// A substrate with fixed per-request service and unbounded hosting.

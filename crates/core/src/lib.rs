@@ -56,6 +56,7 @@ pub mod estimate;
 pub mod fleet;
 pub mod format;
 pub mod model;
+pub mod paging;
 pub mod plan;
 pub mod planner;
 pub mod serve;
@@ -64,7 +65,9 @@ pub mod stats;
 pub use arrival::ArrivalProcess;
 pub use builder::NetworkBuilder;
 pub use convert::convert;
-pub use engine::{ActivationData, EngineError, MultiStream, Session, StagedModel, Stream};
+pub use engine::{
+    ActivationData, EngineError, MultiStream, ResidencyManager, Session, StagedModel, Stream,
+};
 pub use estimate::{
     estimate_arch, estimate_arch_batched, estimate_arch_batched_opts, estimate_arch_opts,
     EstimateOptions,
@@ -75,6 +78,7 @@ pub use fleet::{
     RoutePolicy, RoutedRequest,
 };
 pub use model::{PbitLayer, PbitModel};
+pub use paging::{paged_floor_bytes, paged_min_bytes, BankState, PagingSchedule, PagingStep};
 pub use plan::{
     ChainDecision, CompressDecision, CompressStats, CompressionMode, ExecutionPlan, FusedKind,
     FusedMember, FusionMode, PlanStep, PlanValue, RouteOverrides, StepOp, ValueKind, ValueRole,
@@ -85,12 +89,12 @@ pub use planner::{
     select_conv_path_with, ConvPath, ConvPlan, MemoryPlan, MultiTenantPlan,
 };
 pub use serve::{
-    estimate_serve, estimate_serve_multitenant, estimate_serve_open_loop, schedule_open_loop,
-    schedule_windows, Admission, DeviceRuntime, MultiServeReport, MultiTenantEstimate,
-    OpenLoopAttempt, OpenLoopEstimate, OpenLoopLoad, OpenLoopOptions, OpenLoopReport,
-    OpenLoopSchedule, OpenLoopWindow, OpenLoopWorkload, RetryPolicy, ScheduledWindow,
-    ServeEstimate, ServeOptions, ServeReport, ServeRuntime, ShedReason, Tenant, TenantEstimate,
-    TenantLoad, TenantOpenLoopEstimate, TenantOpenLoopReport, TenantServeReport, TenantSpec,
-    TenantTraffic, TenantWorkload, WindowFate,
+    estimate_serve, estimate_serve_multitenant, estimate_serve_multitenant_budgeted,
+    estimate_serve_open_loop, schedule_open_loop, schedule_windows, Admission, DeviceRuntime,
+    MultiServeReport, MultiTenantEstimate, OpenLoopAttempt, OpenLoopEstimate, OpenLoopLoad,
+    OpenLoopOptions, OpenLoopReport, OpenLoopSchedule, OpenLoopWindow, OpenLoopWorkload,
+    RetryPolicy, ScheduledWindow, ServeEstimate, ServeOptions, ServeReport, ServeRuntime,
+    ShedReason, Tenant, TenantEstimate, TenantLoad, TenantOpenLoopEstimate, TenantOpenLoopReport,
+    TenantServeReport, TenantSpec, TenantTraffic, TenantWorkload, WindowFate,
 };
 pub use stats::{LayerRun, RunReport};

@@ -81,6 +81,7 @@ use phonebit_tensor::dict::FilterDict;
 use phonebit_tensor::shape::{ConvGeometry, Shape4};
 
 use crate::model::{PbitLayer, PbitModel};
+use crate::paging::{self, PagingSchedule};
 use crate::planner::{score_chain, select_conv_path_with, ConvPath, ConvPlan};
 
 /// Storage class of a planned value.
@@ -456,6 +457,12 @@ pub struct RouteOverrides {
     /// Weight-bank dictionary compression mode (default
     /// [`CompressionMode::Off`]).
     pub compression: CompressionMode,
+    /// Weight residency budget in bytes (default `None`: every bank stays
+    /// device-resident, the seed behavior). `Some(budget)` attaches a
+    /// [`PagingSchedule`] to the plan: banks stream through the upload
+    /// lane under the budget, and scheduler, estimator, and executor all
+    /// charge the schedule's precomputed stalls.
+    pub weight_budget: Option<usize>,
 }
 
 /// A domain inconsistency found at lowering time (e.g. a bitwise pool fed
@@ -515,6 +522,11 @@ pub struct ExecutionPlan {
     /// binary convolution (empty when lowered with
     /// [`CompressionMode::Off`] or from a weightless arch).
     pub compression: Vec<CompressDecision>,
+    /// The weight-residency schedule, present exactly when lowered with
+    /// [`RouteOverrides::weight_budget`]: per-step prefetch issue times,
+    /// upload stalls, and evictions that the estimator's walk and the
+    /// engine's window execution both replay verbatim (no-drift).
+    pub paging: Option<PagingSchedule>,
 }
 
 impl ExecutionPlan {
@@ -618,7 +630,7 @@ impl ExecutionPlan {
                 },
             })
             .collect();
-        lower(
+        let mut plan = lower(
             arch.name.clone(),
             arch.input,
             &descs,
@@ -630,7 +642,14 @@ impl ExecutionPlan {
             overrides,
             batch,
         )
-        .unwrap_or_else(|e| panic!("{}: {e}", arch.name))
+        .unwrap_or_else(|e| panic!("{}: {e}", arch.name));
+        plan.attach_paging(
+            &arch.binary_layer_bytes(),
+            device,
+            overrides,
+            &crate::estimate::activation_extras_arch(&plan, arch),
+        );
+        plan
     }
 
     /// Lowers a deployed model for `device` with cost-modeled routes.
@@ -789,7 +808,7 @@ impl ExecutionPlan {
                 _ => None,
             })
             .collect();
-        lower(
+        let mut plan = lower(
             model.name.clone(),
             model.input,
             &descs,
@@ -798,7 +817,27 @@ impl ExecutionPlan {
             device,
             overrides,
             batch,
-        )
+        )?;
+        // Banks page at their *staged* size: layers whose dictionary form
+        // won stream the dictionary + indices, not the raw bank — the same
+        // bytes the engine allocates.
+        let layer_bytes: Vec<usize> = model
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                layer
+                    .param_bytes()
+                    .saturating_sub(plan.compress_decision(i).map_or(0, |d| d.saved_bytes()))
+            })
+            .collect();
+        plan.attach_paging(
+            &layer_bytes,
+            device,
+            overrides,
+            &crate::estimate::activation_extras_model(&plan, model),
+        );
+        Ok(plan)
     }
 
     /// Bytes of one arena bank: the sum of slot sizes — the steady-state
@@ -852,6 +891,59 @@ impl ExecutionPlan {
             .iter()
             .map(CompressDecision::saved_bytes)
             .sum()
+    }
+
+    /// Peak resident weight bytes under this plan's residency schedule:
+    /// the hot-set peak when a paging schedule streams, the full
+    /// [`ExecutionPlan::weights_bytes`] otherwise. Admission and placement
+    /// budget against this, not Σ weights — the fits-with-paging verdict.
+    pub fn hot_weight_bytes(&self) -> usize {
+        self.paging
+            .as_ref()
+            .filter(|p| !p.resident)
+            .map_or(self.weights_bytes, |p| p.hot_peak_bytes)
+    }
+
+    /// Attaches the weight-residency schedule when the lowering carried a
+    /// budget ([`RouteOverrides::weight_budget`]): a solo, uncontended
+    /// walk of the just-lowered plan yields per-step durations, and the
+    /// depth-1 streaming replay precomputes every prefetch issue time and
+    /// stall against the device's upload lane. Runs exactly once per
+    /// lowering, while `paging` is still `None`, so the duration walk
+    /// charges no stalls itself.
+    fn attach_paging(
+        &mut self,
+        layer_bytes: &[usize],
+        device: &DeviceProfile,
+        overrides: RouteOverrides,
+        extras: &[f64],
+    ) {
+        let Some(budget) = overrides.weight_budget else {
+            return;
+        };
+        debug_assert!(self.paging.is_none());
+        let banks = paging::step_bank_bytes(self, layer_bytes);
+        let mut q = phonebit_gpusim::queue::CommandQueue::new(
+            device.clone(),
+            phonebit_gpusim::ExecutorClass::PhoneBitOpenCl,
+        );
+        let opts = crate::estimate::EstimateOptions {
+            force_unfused: overrides.force_unfused,
+            lowered_gemm: overrides.lowered_gemm,
+            fusion: overrides.fusion,
+            ..crate::estimate::EstimateOptions::default()
+        };
+        let durations: Vec<f64> = crate::estimate::walk_plan(&mut q, self, extras, opts)
+            .iter()
+            .map(|l| l.time_s)
+            .collect();
+        self.paging = Some(PagingSchedule::build(
+            self,
+            &banks,
+            &durations,
+            device.upload(),
+            budget,
+        ));
     }
 }
 
@@ -1256,6 +1348,10 @@ fn lower(
         banks,
         chains,
         compression,
+        // Attached by the lowering entry points once per-layer bank bytes
+        // are known (they are source-specific: archs derive them from
+        // shapes, models from staged parameters net of compression).
+        paging: None,
     })
 }
 

@@ -87,6 +87,11 @@ pub struct ServeOptions {
     /// [`RouteOverrides::fusion`] to serve fused chains; admission models
     /// the same overridden plan the streams execute.
     pub overrides: RouteOverrides,
+    /// Pooled weight-residency budget, bytes: when the model's binary
+    /// banks overflow it, the runtime pages them through a hot set at the
+    /// paged floor instead of refusing to stage. `None` (the default)
+    /// keeps every bank resident — the exact unpaged runtime.
+    pub weight_budget: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -96,6 +101,7 @@ impl Default for ServeOptions {
             batch: None,
             slo_ms: None,
             overrides: RouteOverrides::default(),
+            weight_budget: None,
         }
     }
 }
@@ -123,6 +129,15 @@ pub struct Admission {
     /// that batch's verdict only (a smaller window might still meet the
     /// target).
     pub slo_met: bool,
+    /// Weight-residency grant under paged admission: `None` when the
+    /// tenant's full weight set is resident (always, without a weight
+    /// budget), `Some(bytes)` when the tenant streams its banks through a
+    /// hot set of this size — its no-stall paged floor
+    /// ([`paged_floor_bytes`](crate::paged_floor_bytes)), or the hard
+    /// minimum ([`paged_min_bytes`](crate::paged_min_bytes)) when the
+    /// floors alone overflow the pooled budget. Modeled window latencies
+    /// already fold in the upload stalls the grant implies.
+    pub weight_grant_bytes: Option<usize>,
 }
 
 // ---------------------------------------------------------------------------
@@ -673,6 +688,27 @@ impl PlanSource<'_> {
             PlanSource::Arch(a) => activation_extras_arch(plan, a),
         }
     }
+
+    /// Per-layer binary weight-bank bytes as staged — dictionary-compressed
+    /// banks at their compressed size — indexed by layer. Must mirror the
+    /// accounting [`ExecutionPlan`] uses when attaching a paging schedule,
+    /// so the floors the admission controller grants are exactly the
+    /// budgets the lowered plans stream under.
+    pub(crate) fn layer_weight_bytes(&self, plan: &ExecutionPlan) -> Vec<usize> {
+        match self {
+            PlanSource::Model(m) => m
+                .layers
+                .iter()
+                .enumerate()
+                .map(|(i, layer)| {
+                    layer
+                        .param_bytes()
+                        .saturating_sub(plan.compress_decision(i).map_or(0, |d| d.saved_bytes()))
+                })
+                .collect(),
+            PlanSource::Arch(a) => a.binary_layer_bytes(),
+        }
+    }
 }
 
 /// One tenant's ask, as the admission controller sees it. Crate-visible so
@@ -778,6 +814,7 @@ fn admission_candidates(max_feasible: usize) -> Vec<usize> {
 fn measured_mix(
     asks: &[TenantAsk<'_>],
     batches: &[usize],
+    overrides: &[RouteOverrides],
     gpu: &DeviceProfile,
     streams: usize,
 ) -> Result<Option<Vec<QueueLoad>>, EngineError> {
@@ -786,9 +823,9 @@ fn measured_mix(
     }
     let loads: Vec<QueueLoad> = asks
         .iter()
-        .zip(batches.iter())
-        .map(|(a, &b)| {
-            let plan = a.source.plan_at(gpu, b, a.overrides)?;
+        .zip(batches.iter().zip(overrides.iter()))
+        .map(|(a, (&b, &ov))| {
+            let plan = a.source.plan_at(gpu, b, ov)?;
             Ok(measure_load(&plan, &a.source.extras(&plan), gpu))
         })
         .collect::<Result<_, EngineError>>()?;
@@ -819,16 +856,172 @@ pub(crate) fn admit_tenants(
     phone: &Phone,
     streams: usize,
 ) -> Result<(Vec<Admission>, Option<Vec<QueueLoad>>), EngineError> {
+    let (admissions, mix, _) = admit_tenants_budgeted(asks, phone, streams, None)?;
+    Ok((admissions, mix))
+}
+
+/// What [`admit_tenants_budgeted`] hands the runtime: per-tenant
+/// decisions, the registered mix, and the effective overrides (asked
+/// overrides plus any residency grant) to lower and stage with.
+type BudgetedAdmission = (Vec<Admission>, Option<Vec<QueueLoad>>, Vec<RouteOverrides>);
+
+/// [`admit_tenants`] with an optional pooled **weight budget**: the bytes
+/// of binary weight banks allowed resident across all tenants at once.
+/// `None` keeps every tenant fully resident — the exact unpaged controller,
+/// byte for byte.
+///
+/// With a budget below the tenants' summed weights, residency grants are
+/// **tiered**: a tenant is fully resident (its overrides untouched, so its
+/// plans stay byte-identical to the unpaged ones), granted exactly its
+/// *paged floor* — the smallest hot set that still overlaps every upload
+/// with the previous step's compute
+/// ([`paged_floor_bytes`](crate::paged_floor_bytes)) — or, when the
+/// no-stall floors alone overflow the budget, degraded to its *paged
+/// minimum* — the single largest bank
+/// ([`paged_min_bytes`](crate::paged_min_bytes)), under which uploads the
+/// look-ahead can no longer co-reside serialize against compute (more
+/// stalls, same bit-exact outputs). Budgets strictly between the tiers buy
+/// nothing: the streaming schedule evicts every bank after use regardless,
+/// so stalls only change at the tier boundaries. Everyone starts at the
+/// floor; tenants with the most floor-to-minimum headroom are degraded
+/// first until the sum fits, then tenants are upgraded back to full
+/// residency in ascending weight order while the budget still holds. If
+/// even the minima overflow the budget, the set is unservable —
+/// [`EngineError::OutOfMemory`].
+///
+/// Returns the per-tenant decisions, the registered mix, and the
+/// **effective overrides** (asked overrides plus any
+/// [`RouteOverrides::weight_budget`] grant) the runtime must lower and
+/// stage with — window latencies were modeled under these, stalls
+/// included, so scheduler, estimator, and executor roll identical stall
+/// decisions.
+pub(crate) fn admit_tenants_budgeted(
+    asks: &[TenantAsk<'_>],
+    phone: &Phone,
+    streams: usize,
+    weight_budget: Option<usize>,
+) -> Result<BudgetedAdmission, EngineError> {
     let gpu = &phone.gpu;
     let budget = phone.app_budget_bytes();
     let n = asks.len();
 
-    // Feasibility floor: every tenant at batch 1 must fit the pool.
+    // Base batch-1 plans under the *asked* overrides. Weight banks — and
+    // so paged floors and grants — are batch-invariant, so the grant
+    // decision is made once, here, before any batch probing.
     let base: Vec<ExecutionPlan> = asks
         .iter()
         .map(|a| a.source.plan_at(gpu, 1, a.overrides))
         .collect::<Result<_, _>>()?;
-    let weights_total: usize = base.iter().map(|p| p.weights_bytes).sum();
+    let weights: Vec<usize> = base.iter().map(|p| p.weights_bytes).collect();
+
+    // Binary residency grants: `None` = fully resident, `Some(floor)` =
+    // stream through a hot set of `floor` bytes. An ask whose overrides
+    // already carry a weight budget is **pinned** — live attach passes
+    // survivors this way, and a staged tenant cannot be re-granted — so
+    // it keeps its existing residency (streaming below its grant,
+    // effectively resident at or above it) and only contributes its
+    // pinned footprint to the pool.
+    let pinned: Vec<bool> = asks
+        .iter()
+        .map(|a| a.overrides.weight_budget.is_some())
+        .collect();
+    let mut grants: Vec<Option<usize>> = asks
+        .iter()
+        .zip(weights.iter())
+        .map(|(a, &w)| a.overrides.weight_budget.filter(|&g| g < w))
+        .collect();
+    if let Some(w_budget) = weight_budget {
+        let resident_total: usize = grants
+            .iter()
+            .zip(weights.iter())
+            .map(|(g, &w)| g.unwrap_or(w))
+            .sum();
+        if resident_total > w_budget {
+            let per_tenant_banks: Vec<Option<Vec<usize>>> = (0..n)
+                .map(|i| {
+                    (!pinned[i]).then(|| {
+                        crate::paging::step_bank_bytes(
+                            &base[i],
+                            &asks[i].source.layer_weight_bytes(&base[i]),
+                        )
+                    })
+                })
+                .collect();
+            let floors: Vec<usize> = (0..n)
+                .map(|i| match &per_tenant_banks[i] {
+                    Some(banks) => crate::paging::paged_floor_bytes(banks),
+                    None => grants[i].unwrap_or(weights[i]),
+                })
+                .collect();
+            let minima: Vec<usize> = (0..n)
+                .map(|i| match &per_tenant_banks[i] {
+                    Some(banks) => crate::paging::paged_min_bytes(banks),
+                    None => grants[i].unwrap_or(weights[i]),
+                })
+                .collect();
+            let mut granted = floors.clone();
+            let mut sum: usize = granted.iter().sum();
+            if sum > w_budget {
+                // No-stall floors overflow: degrade to the hard minimum,
+                // biggest floor-to-minimum headroom first, until the set
+                // fits (or cannot).
+                let mut order: Vec<usize> = (0..n).filter(|&i| !pinned[i]).collect();
+                order.sort_by_key(|&i| std::cmp::Reverse(floors[i] - minima[i]));
+                for i in order {
+                    if sum <= w_budget {
+                        break;
+                    }
+                    sum = sum - granted[i] + minima[i];
+                    granted[i] = minima[i];
+                }
+                if sum > w_budget {
+                    return Err(EngineError::OutOfMemory(SimError::OutOfMemory {
+                        requested: sum,
+                        in_use: 0,
+                        budget: w_budget,
+                    }));
+                }
+            }
+            for i in 0..n {
+                if !pinned[i] {
+                    grants[i] = Some(granted[i]);
+                }
+            }
+            // Upgrade the cheapest tenants back to full residency while
+            // the budget still holds: fewer streamed tenants, fewer
+            // modeled stalls.
+            let mut order: Vec<usize> = (0..n).filter(|&i| !pinned[i]).collect();
+            order.sort_by_key(|&i| weights[i]);
+            for i in order {
+                let upgraded = sum - granted[i] + weights[i];
+                if upgraded <= w_budget {
+                    sum = upgraded;
+                    grants[i] = None;
+                }
+            }
+        }
+    }
+    // Effective overrides: untouched for fully-resident tenants (their
+    // plans stay byte-identical), the granted floor for streamed ones.
+    let eff: Vec<RouteOverrides> = asks
+        .iter()
+        .zip(grants.iter())
+        .map(|(a, g)| {
+            let mut ov = a.overrides;
+            if let Some(floor) = *g {
+                ov.weight_budget = Some(floor);
+            }
+            ov
+        })
+        .collect();
+
+    // Pooled peak under the grants: a streamed tenant charges only its
+    // hot-set grant, not its summed weights — that is the whole point.
+    let weights_total: usize = grants
+        .iter()
+        .zip(weights.iter())
+        .map(|(g, &w)| g.unwrap_or(w))
+        .sum();
     let pooled_peak =
         |slices: &[usize]| weights_total + streams * slices.iter().copied().max().unwrap_or(0);
     let base_slices: Vec<usize> = base.iter().map(|p| p.staged_arena_bytes()).collect();
@@ -849,7 +1042,7 @@ pub(crate) fn admit_tenants(
         if batches[i] > 1 {
             let cap = crate::planner::largest_batch_where(|b| {
                 ask.source
-                    .plan_at(gpu, b, ask.overrides)
+                    .plan_at(gpu, b, eff[i])
                     .map(|p| {
                         let mut probe = base_slices.clone();
                         probe[i] = p.staged_arena_bytes();
@@ -863,11 +1056,12 @@ pub(crate) fn admit_tenants(
     let mut admissions: Vec<Admission> = Vec::new();
     for _pass in 0..2 {
         // Measure every tenant's mix at the current batches, then blend.
-        let mix = measured_mix(asks, &batches, gpu, streams)?;
+        let mix = measured_mix(asks, &batches, &eff, gpu, streams)?;
         let slices: Vec<usize> = asks
             .iter()
+            .enumerate()
             .zip(batches.iter())
-            .map(|(a, &b)| Ok(a.source.plan_at(gpu, b, a.overrides)?.staged_arena_bytes()))
+            .map(|((i, a), &b)| Ok(a.source.plan_at(gpu, b, eff[i])?.staged_arena_bytes()))
             .collect::<Result<_, EngineError>>()?;
 
         admissions.clear();
@@ -875,7 +1069,7 @@ pub(crate) fn admit_tenants(
             // Memory cap: grow tenant i's slice with every neighbor fixed.
             let max_feasible = crate::planner::largest_batch_where(|b| {
                 ask.source
-                    .plan_at(gpu, b, ask.overrides)
+                    .plan_at(gpu, b, eff[i])
                     .map(|p| {
                         let mut probe = slices.clone();
                         probe[i] = p.staged_arena_bytes();
@@ -894,7 +1088,7 @@ pub(crate) fn admit_tenants(
                 }));
             }
             let window_ms = |b: usize| -> Result<f64, EngineError> {
-                let plan = ask.source.plan_at(gpu, b, ask.overrides)?;
+                let plan = ask.source.plan_at(gpu, b, eff[i])?;
                 let extras = ask.source.extras(&plan);
                 let (_, steady) =
                     modeled_window_under(&plan, &extras, gpu, streams, mix.as_deref());
@@ -936,6 +1130,7 @@ pub(crate) fn admit_tenants(
                 modeled_window_ms: modeled,
                 slo_ms: ask.slo_ms,
                 slo_met: ask.slo_ms.is_none_or(|slo| modeled <= slo),
+                weight_grant_bytes: grants[i],
             });
         }
         if n == 1 {
@@ -944,8 +1139,8 @@ pub(crate) fn admit_tenants(
     }
     // The mix the runtime registers and the estimators model under: the
     // blend at the *chosen* batches.
-    let mix = measured_mix(asks, &batches, gpu, streams)?;
-    Ok((admissions, mix))
+    let mix = measured_mix(asks, &batches, &eff, gpu, streams)?;
+    Ok((admissions, mix, eff))
 }
 
 // ---------------------------------------------------------------------------
@@ -1270,6 +1465,10 @@ pub struct DeviceRuntime {
     /// The phone staged on — kept so live [`DeviceRuntime::attach`] can
     /// re-run admission against the same budget and device.
     phone: Phone,
+    /// The pooled weight budget admission granted under, if any — kept so
+    /// live [`DeviceRuntime::attach`] re-runs *paged* admission with the
+    /// same ceiling.
+    weight_budget: Option<usize>,
 }
 
 impl DeviceRuntime {
@@ -1288,6 +1487,33 @@ impl DeviceRuntime {
     ///
     /// Panics when `specs` is empty or `streams == 0`.
     pub fn new(specs: Vec<TenantSpec>, phone: &Phone, streams: usize) -> Result<Self, EngineError> {
+        Self::new_with_budget(specs, phone, streams, None)
+    }
+
+    /// [`DeviceRuntime::new`] under a pooled **weight budget**: the bytes
+    /// of binary weight banks allowed resident at once across all
+    /// tenants. Admission grants each tenant full residency, its no-stall
+    /// paged floor ([`paged_floor_bytes`](crate::paged_floor_bytes)), or
+    /// its hard minimum ([`paged_min_bytes`](crate::paged_min_bytes))
+    /// when the floors alone overflow the budget; streamed tenants are
+    /// staged against their hot-set grant and page banks through it at
+    /// run time, so a tenant set whose summed weights overflow the budget
+    /// can still be admitted. `None` is exactly [`DeviceRuntime::new`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceRuntime::new`], plus [`EngineError::OutOfMemory`] when
+    /// even the tenants' paged floors overflow the weight budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty or `streams == 0`.
+    pub fn new_with_budget(
+        specs: Vec<TenantSpec>,
+        phone: &Phone,
+        streams: usize,
+        weight_budget: Option<usize>,
+    ) -> Result<Self, EngineError> {
         assert!(!specs.is_empty(), "a device runtime needs >= 1 tenant");
         assert!(streams >= 1, "a device runtime needs >= 1 stream");
         let gpu = &phone.gpu;
@@ -1301,18 +1527,19 @@ impl DeviceRuntime {
             })
             .collect();
         // Admission also hands back the registered mix at the chosen
-        // batches (None for a single tenant: symmetric).
-        let (admissions, mix) = admit_tenants(&asks, phone, streams)?;
+        // batches (None for a single tenant: symmetric) and the effective
+        // overrides — asked overrides plus any paged-residency grant —
+        // that every staged plan below must be lowered with.
+        let (admissions, mix, eff) = admit_tenants_budgeted(&asks, phone, streams, weight_budget)?;
 
         let ctx = Context::new(gpu.clone(), phone.app_budget_bytes());
         let clock = DeviceClock::with_streams(gpu.clone(), streams);
         clock.set_mix(mix.clone());
 
         let mut tenants = Vec::with_capacity(specs.len());
-        for (spec, admission) in specs.into_iter().zip(admissions) {
+        for ((spec, admission), overrides) in specs.into_iter().zip(admissions).zip(eff) {
             let slo_ms = spec.slo_ms;
             let name = spec.name;
-            let overrides = spec.overrides;
             let staged =
                 StagedModel::stage_with_opts(spec.model, ctx.clone(), admission.batch, overrides)?;
             let extras = activation_extras_model(staged.plan(), staged.model());
@@ -1340,6 +1567,7 @@ impl DeviceRuntime {
             clock,
             ctx,
             phone: phone.clone(),
+            weight_budget,
         })
     }
 
@@ -1359,11 +1587,38 @@ impl DeviceRuntime {
         &self.clock
     }
 
-    /// Device bytes resident across every tenant's weights and every
-    /// stream's pooled arena slice
-    /// (`Σ weights + streams × max_tenant(banks × Σ slots)`).
+    /// Device bytes resident **right now**: every tenant's staged weight
+    /// footprint — a streamed tenant's hot-set pool, not its summed banks
+    /// — plus every stream's pooled arena slice
+    /// (`Σ peak_weight + streams × max_tenant(banks × Σ slots)`). This is
+    /// the *peak* the device must hold, the number budgets are checked
+    /// against; the unpaged total lives in
+    /// [`total_weight_bytes`](DeviceRuntime::total_weight_bytes). The two
+    /// coincide when no tenant streams.
     pub fn resident_bytes(&self) -> usize {
         self.ctx.used_bytes()
+    }
+
+    /// Alias of [`resident_bytes`](DeviceRuntime::resident_bytes) under
+    /// its precise name: the pooled peak actually held on the device.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.ctx.used_bytes()
+    }
+
+    /// Summed binary weight-bank bytes across every tenant as if all were
+    /// fully resident — the paged-out total, which can exceed
+    /// [`peak_resident_bytes`](DeviceRuntime::peak_resident_bytes) when
+    /// tenants stream under a weight budget.
+    pub fn total_weight_bytes(&self) -> usize {
+        self.tenants
+            .iter()
+            .map(|t| t.staged.total_weight_bytes())
+            .sum()
+    }
+
+    /// The pooled weight budget admission granted under, if any.
+    pub fn weight_budget(&self) -> Option<usize> {
+        self.weight_budget
     }
 
     /// One stream's pooled arena slice, bytes.
@@ -1604,7 +1859,7 @@ impl DeviceRuntime {
     pub fn attach(&mut self, spec: TenantSpec) -> Result<usize, EngineError> {
         let streams = self.streams.len();
         let gpu = self.phone.gpu.clone();
-        let (admissions, _) = {
+        let (admissions, eff) = {
             let mut asks: Vec<TenantAsk<'_>> = self
                 .tenants
                 .iter()
@@ -1621,18 +1876,24 @@ impl DeviceRuntime {
                 slo_ms: spec.slo_ms,
                 overrides: spec.overrides,
             });
-            admit_tenants(&asks, &self.phone, streams)?
+            // Survivors' asks carry their *effective* overrides (any paged
+            // grant included), so their pinned contribution to the weight
+            // budget is their hot-set grant, not their summed banks.
+            let (admissions, _, eff) =
+                admit_tenants_budgeted(&asks, &self.phone, streams, self.weight_budget)?;
+            (admissions, eff)
         };
         let mut admission = admissions
             .into_iter()
             .next_back()
             .expect("newcomer admission");
+        let overrides = eff.last().copied().expect("newcomer overrides");
         // Survivors keep their lanes: the newcomer must fit the existing
         // pooled slice, clamping its batch below the memory cap when the
         // slice binds first.
         let slice = self.pool_slice_bytes();
         let arena_at = |b: usize| {
-            ExecutionPlan::for_model_batched_with(&spec.model, &gpu, b, spec.overrides)
+            ExecutionPlan::for_model_batched_with(&spec.model, &gpu, b, overrides)
                 .map(|p| p.staged_arena_bytes())
                 .ok()
         };
@@ -1650,7 +1911,6 @@ impl DeviceRuntime {
         admission.batch = admission.batch.min(slice_cap);
         let slo_ms = spec.slo_ms;
         let name = spec.name;
-        let overrides = spec.overrides;
         let staged =
             StagedModel::stage_with_opts(spec.model, self.ctx.clone(), admission.batch, overrides)?;
         for stream in &mut self.streams {
@@ -2074,7 +2334,12 @@ impl ServeRuntime {
             overrides: opts.overrides,
         };
         Ok(Self {
-            inner: DeviceRuntime::new(vec![spec], phone, opts.streams)?,
+            inner: DeviceRuntime::new_with_budget(
+                vec![spec],
+                phone,
+                opts.streams,
+                opts.weight_budget,
+            )?,
         })
     }
 
@@ -2103,6 +2368,18 @@ impl ServeRuntime {
     /// single-tenant pool slice is exactly this model's staged arena).
     pub fn resident_bytes(&self) -> usize {
         self.inner.resident_bytes()
+    }
+
+    /// Peak device bytes actually held — see
+    /// [`DeviceRuntime::peak_resident_bytes`].
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.inner.peak_resident_bytes()
+    }
+
+    /// Σ weight bytes of the staged model when fully resident — see
+    /// [`DeviceRuntime::total_weight_bytes`].
+    pub fn total_weight_bytes(&self) -> usize {
+        self.inner.total_weight_bytes()
     }
 
     /// Serves a slice of 8-bit image requests: windows of the admitted
@@ -2351,6 +2628,31 @@ pub fn estimate_serve_multitenant(
     workloads: &[TenantWorkload<'_>],
     streams: usize,
 ) -> MultiTenantEstimate {
+    estimate_serve_multitenant_budgeted(phone, workloads, streams, None)
+}
+
+/// [`estimate_serve_multitenant`] under an optional pooled **weight
+/// budget**: admission grants streamed tenants their paged floors
+/// (tiered grants — see
+/// [`paged_floor_bytes`](crate::paged_floor_bytes) and
+/// [`paged_min_bytes`](crate::paged_min_bytes)), every modeled plan
+/// carries its paging schedule so window costs fold in the upload
+/// stalls, and the reported peak charges streamed tenants at their
+/// hot-set grants ([`MultiTenantPlan::paged_peak_bytes`]). `None` is
+/// exactly [`estimate_serve_multitenant`].
+///
+/// # Panics
+///
+/// As [`estimate_serve_multitenant`], plus when even the tenants' paged
+/// minima overflow the weight budget.
+///
+/// [`MultiTenantPlan::paged_peak_bytes`]: crate::planner::MultiTenantPlan::paged_peak_bytes
+pub fn estimate_serve_multitenant_budgeted(
+    phone: &Phone,
+    workloads: &[TenantWorkload<'_>],
+    streams: usize,
+    weight_budget: Option<usize>,
+) -> MultiTenantEstimate {
     assert!(!workloads.is_empty() && streams >= 1);
     assert!(workloads.iter().all(|w| w.windows >= 1));
     let gpu = &phone.gpu;
@@ -2363,13 +2665,13 @@ pub fn estimate_serve_multitenant(
             overrides: RouteOverrides::default(),
         })
         .collect();
-    let (admissions, mix) = admit_tenants(&asks, phone, streams)
+    let (admissions, mix, eff) = admit_tenants_budgeted(&asks, phone, streams, weight_budget)
         .expect("tenant set must lower cleanly and fit the phone's budget at batch 1");
 
     let plans: Vec<ExecutionPlan> = workloads
         .iter()
-        .zip(admissions.iter())
-        .map(|(w, adm)| ExecutionPlan::for_arch_batched(w.arch, gpu, adm.batch))
+        .zip(admissions.iter().zip(eff.iter()))
+        .map(|(w, (adm, &ov))| ExecutionPlan::for_arch_batched_with(w.arch, gpu, adm.batch, ov))
         .collect();
     let extras: Vec<Vec<f64>> = plans
         .iter()
@@ -2447,6 +2749,11 @@ pub fn estimate_serve_multitenant(
     let archs: Vec<&NetworkArch> = workloads.iter().map(|w| w.arch).collect();
     let batches: Vec<usize> = admissions.iter().map(|a| a.batch).collect();
     let mem = crate::planner::plan_multitenant(&archs, &batches, gpu, streams);
+    // Streamed tenants charge their hot-set grants, not their summed
+    // weights — the fits-with-paging peak. With no grants this is
+    // exactly `mem.peak_bytes`.
+    let grants: Vec<Option<usize>> = admissions.iter().map(|a| a.weight_grant_bytes).collect();
+    let peak_bytes = mem.paged_peak_bytes(&grants);
     MultiTenantEstimate {
         tenants,
         streams,
@@ -2464,7 +2771,7 @@ pub fn estimate_serve_multitenant(
         },
         weights_bytes: mem.weights_bytes,
         pool_slice_bytes: mem.pool_slice_bytes,
-        peak_bytes: mem.peak_bytes,
+        peak_bytes,
     }
 }
 

@@ -62,7 +62,7 @@ pub use buffer::{Buffer, Context, SimError};
 pub use calib::ExecutorClass;
 pub use clock::{ClockRegistry, DeviceClock, FaultBurst, FaultPlan, ThrottleEpoch};
 pub use cost::{Contention, QueueLoad};
-pub use device::{DeviceKind, DeviceProfile, Phone};
+pub use device::{DeviceKind, DeviceProfile, Phone, UploadProfile};
 pub use kernel::{KernelProfile, LaunchEvent, LaunchStats};
 pub use ndrange::NdRange;
 pub use queue::{CommandQueue, ExecMode};

@@ -141,6 +141,20 @@ impl CommandQueue {
         self.now_s += seconds;
     }
 
+    /// Charges one paged weight-bank upload at a step boundary: the
+    /// `stall_s` the compute timeline waits because the bank was not yet
+    /// resident (0 when prefetch hid the upload), and the `lane_s` the
+    /// upload lane was busy copying. The stall advances this queue's
+    /// timeline like a host delay; the lane time feeds the shared clock's
+    /// upload accounting without inflating compute contention — the lane
+    /// overlaps compute by construction.
+    pub fn note_upload(&mut self, stall_s: f64, lane_s: f64) {
+        self.now_s += stall_s.max(0.0);
+        if let Some(clock) = &self.clock {
+            clock.note_upload(lane_s.max(0.0));
+        }
+    }
+
     /// Simulated time elapsed since queue creation, seconds.
     pub fn elapsed_s(&self) -> f64 {
         self.now_s

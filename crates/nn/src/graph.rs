@@ -331,6 +331,33 @@ impl NetworkArch {
         bytes
     }
 
+    /// Per-layer weight-bank bytes after PhoneBit conversion — one entry
+    /// per layer, summing to [`NetworkArch::binary_bytes`]. Weightless layers
+    /// (pool, softmax) contribute 0. The residency planner pages these
+    /// banks individually, so it needs the per-layer split that
+    /// `binary_bytes` collapses.
+    pub fn binary_layer_bytes(&self) -> Vec<usize> {
+        let infos = self.infer();
+        self.layers
+            .iter()
+            .zip(infos.iter())
+            .map(|(layer, info)| {
+                let precision = match layer {
+                    LayerSpec::Conv(c) => Some(c.precision),
+                    LayerSpec::Dense(d) => Some(d.precision),
+                    _ => None,
+                };
+                match precision {
+                    Some(LayerPrecision::Binary) | Some(LayerPrecision::BinaryInput8) => {
+                        info.weight_params.div_ceil(8) + info.output.c * 5
+                    }
+                    Some(LayerPrecision::Float) => (info.weight_params + info.aux_params) * 4,
+                    None => 0,
+                }
+            })
+            .collect()
+    }
+
     /// The compression ratio PhoneBit's Table II reports.
     pub fn compression_ratio(&self) -> f64 {
         self.float_bytes() as f64 / self.binary_bytes() as f64

@@ -1,0 +1,426 @@
+//! Weight-paging invariants, property-tested: the precomputed
+//! [`PagingSchedule`] is causally consistent under arbitrary budgets (no
+//! step runs before its bank's upload lands, the upload lane is serial,
+//! the look-ahead respects the budget), the [`ResidencyManager`] replay
+//! uploads each bank exactly once per window and only evicts banks their
+//! step has used, and paged sessions are bit-exact with their fully
+//! resident twins on every conv route, through fused chains, and under
+//! dictionary compression.
+
+use proptest::prelude::*;
+
+use phonebit::core::plan::{CompressionMode, ExecutionPlan, FusionMode, RouteOverrides};
+use phonebit::core::{
+    convert, estimate_serve_multitenant_budgeted, paged_floor_bytes, paged_min_bytes,
+    ActivationData, BankState, ResidencyManager, Session, TenantWorkload,
+};
+use phonebit::gpusim::{CommandQueue, ExecutorClass, Phone};
+use phonebit::models::zoo::{self, Variant};
+use phonebit::models::{fill_weights, fill_weights_clustered, synthetic_image, to_float_input};
+use phonebit::nn::act::Activation;
+use phonebit::nn::graph::{LayerPrecision, NetworkArch};
+use phonebit::tensor::shape::Shape4;
+
+const EPS: f64 = 1e-12;
+
+/// A budgeted batch-1 plan for a micro-zoo arch on the Xiaomi 9.
+fn budgeted_plan(arch: &NetworkArch, budget: usize) -> ExecutionPlan {
+    ExecutionPlan::for_arch_batched_with(
+        arch,
+        &Phone::xiaomi_9().gpu,
+        1,
+        RouteOverrides {
+            weight_budget: Some(budget),
+            ..RouteOverrides::default()
+        },
+    )
+}
+
+/// Per-step bank bytes plus the paged floor, read off a covering budget's
+/// (resident) schedule.
+fn banks_and_floor(arch: &NetworkArch) -> (Vec<usize>, usize) {
+    let plan = budgeted_plan(arch, usize::MAX);
+    let banks: Vec<usize> = plan
+        .paging
+        .as_ref()
+        .expect("budgeted plan carries paging")
+        .steps
+        .iter()
+        .map(|s| s.bank_bytes)
+        .collect();
+    let floor = paged_floor_bytes(&banks);
+    (banks, floor)
+}
+
+fn micro_arch(idx: usize) -> NetworkArch {
+    if idx == 0 {
+        zoo::alexnet_micro(Variant::Binary)
+    } else {
+        zoo::yolo_micro(Variant::Binary)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Under any feasible budget the schedule never lets a step start
+    // before its upload completes: the charged stall closes exactly the
+    // gap between the compute timeline and the bank's ready time, the
+    // upload lane is serial, and the look-ahead's co-residency stays
+    // under the budget.
+    #[test]
+    fn schedule_is_causally_consistent_under_any_feasible_budget(
+        arch_idx in 0usize..2,
+        frac in 0.0f64..1.0,
+    ) {
+        let arch = micro_arch(arch_idx);
+        let (banks, floor) = banks_and_floor(&arch);
+        let total: usize = banks.iter().sum();
+        prop_assert!(floor < total, "micro nets have >2 weighted layers");
+        // Sample the whole feasible range, from the hard minimum (largest
+        // single bank — below the no-stall floor, uploads serialize
+        // behind evictions) up to fully resident.
+        let min = paged_min_bytes(&banks);
+        let budget = min + ((total - min) as f64 * frac) as usize;
+        let plan = budgeted_plan(&arch, budget);
+        let pg = plan.paging.as_ref().expect("paging attached");
+
+        prop_assert_eq!(pg.budget_bytes, budget);
+        prop_assert_eq!(pg.total_weight_bytes, total);
+        if budget >= total {
+            prop_assert!(pg.resident);
+            prop_assert_eq!(pg.stall_s(), 0.0);
+            prop_assert_eq!(pg.evictions(), 0);
+            return Ok(());
+        }
+        prop_assert!(!pg.resident);
+        prop_assert!(
+            pg.hot_peak_bytes <= budget,
+            "look-ahead co-residency {} exceeds budget {}",
+            pg.hot_peak_bytes, budget
+        );
+
+        let mut lane_free = 0.0f64;
+        let mut first = true;
+        for s in pg.steps.iter().filter(|s| s.bank_bytes > 0) {
+            // Upload accounting: ready = issue + lane time, never negative.
+            prop_assert!(s.upload_s > 0.0);
+            prop_assert!((s.ready_s - s.issue_s - s.upload_s).abs() < EPS);
+            // The lane is serial: uploads never overlap or rewind.
+            prop_assert!(
+                s.issue_s >= lane_free - EPS,
+                "upload issued at {} before lane free at {}",
+                s.issue_s, lane_free
+            );
+            lane_free = s.ready_s;
+            prop_assert!(s.stall_s >= 0.0);
+            prop_assert!(s.evicted, "streaming schedules evict after use");
+            if first {
+                // Nothing precedes the first bank, so its upload cannot
+                // hide: the stall is the whole upload.
+                prop_assert!((s.stall_s - s.upload_s).abs() < EPS);
+                first = false;
+            }
+        }
+        // Weightless steps charge nothing.
+        for s in pg.steps.iter().filter(|s| s.bank_bytes == 0) {
+            prop_assert_eq!(s.upload_s, 0.0);
+            prop_assert_eq!(s.stall_s, 0.0);
+            prop_assert!(!s.evicted);
+        }
+    }
+
+    // The `ResidencyManager` replay drives every weighted bank through
+    // `Evicted -> Resident -> Evicted` exactly once per window, no step
+    // executes on a non-resident bank, and `end_step` frees only the
+    // bank its own step used — never one another pending step still
+    // references. Replays after `reset` repeat identically.
+    #[test]
+    fn replay_uploads_once_and_never_evicts_a_pending_bank(
+        arch_idx in 0usize..2,
+        delays in proptest::collection::vec(0.0f64..2e-3, 64),
+        windows in 1usize..3,
+    ) {
+        let arch = micro_arch(arch_idx);
+        let (_, floor) = banks_and_floor(&arch);
+        let plan = budgeted_plan(&arch, floor);
+        let pg = plan.paging.clone().expect("paging attached");
+        let steps = pg.steps.len();
+        let mut res = ResidencyManager::new(pg.clone());
+        let mut first_window_states: Vec<Vec<BankState>> = Vec::new();
+
+        for w in 0..windows {
+            res.reset();
+            let mut queue =
+                CommandQueue::new(Phone::xiaomi_9().gpu.clone(), ExecutorClass::PhoneBitOpenCl);
+            let mut fetches = vec![0usize; steps];
+            for i in 0..steps {
+                let weighted = pg.steps[i].bank_bytes > 0;
+                if weighted {
+                    prop_assert!(
+                        res.state(i) != BankState::Resident,
+                        "step {i}: streaming bank resident before its upload"
+                    );
+                }
+                let before = queue.elapsed_s();
+                res.begin_step(&mut queue, i);
+                // The stall (plus lane time bookkeeping) is charged on the
+                // queue, and only then is the bank resident.
+                prop_assert!(
+                    queue.elapsed_s() >= before + pg.steps[i].stall_s - EPS
+                );
+                prop_assert_eq!(res.state(i), BankState::Resident);
+                if weighted {
+                    fetches[i] += 1;
+                }
+                // Compute for a while (arbitrary durations: the state
+                // machine's invariants cannot depend on timing).
+                queue.host_delay(delays[i % delays.len()]);
+                let snapshot: Vec<BankState> = (0..steps).map(|j| res.state(j)).collect();
+                res.end_step(i);
+                for (j, &was) in snapshot.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    // end_step(i) must not touch step j's bank.
+                    prop_assert_eq!(res.state(j), was);
+                }
+                if pg.steps[i].evicted {
+                    prop_assert_eq!(res.state(i), BankState::Evicted);
+                }
+            }
+            for (i, &n) in fetches.iter().enumerate() {
+                if pg.steps[i].bank_bytes > 0 {
+                    // Each bank uploads exactly once per window.
+                    prop_assert_eq!(n, 1);
+                }
+            }
+            let final_states: Vec<BankState> = (0..steps).map(|j| res.state(j)).collect();
+            if w == 0 {
+                first_window_states.push(final_states);
+            } else {
+                prop_assert_eq!(&first_window_states[0], &final_states);
+            }
+        }
+    }
+}
+
+/// A single binary conv (optionally behind an 8-bit first layer) plus a
+/// pool head, shaped to force one planner route (mirrors
+/// `tests/compress.rs`).
+fn routed_arch(name: &str, hw: usize, c: usize, k: usize, kernel: usize) -> NetworkArch {
+    NetworkArch::new(name, Shape4::new(1, hw, hw, c))
+        .conv(
+            "conv",
+            k,
+            kernel,
+            1,
+            if kernel == 3 { 1 } else { 0 },
+            LayerPrecision::Binary,
+            Activation::Linear,
+        )
+        .maxpool("pool", 2, 2)
+}
+
+fn assert_same_activation(a: &ActivationData, b: &ActivationData, what: &str) {
+    match (a, b) {
+        (ActivationData::Bits(x), ActivationData::Bits(y)) => assert_eq!(x, y, "{what}"),
+        (ActivationData::Floats(x), ActivationData::Floats(y)) => assert_eq!(x, y, "{what}"),
+        (ActivationData::Bytes(x), ActivationData::Bytes(y)) => assert_eq!(x, y, "{what}"),
+        _ => panic!("{what}: output domains diverged"),
+    }
+}
+
+fn run_once(session: &mut Session, input: Shape4, takes_u8: bool, seed: u64) -> ActivationData {
+    let img = synthetic_image(Shape4::new(1, input.h, input.w, input.c), seed);
+    if takes_u8 {
+        session.run_u8(&img).expect("run").output.unwrap()
+    } else {
+        let img = to_float_input(&img);
+        session.run_f32(&img).expect("run").output.unwrap()
+    }
+}
+
+/// Paging only moves weight bytes through time — it must never change a
+/// single output bit. Checked on all four conv routes at the paged-floor
+/// budget.
+#[test]
+fn paged_sessions_are_bit_exact_on_all_four_conv_routes() {
+    let phone = Phone::xiaomi_9();
+    let cases = [
+        routed_arch("direct", 20, 64, 64, 3),
+        routed_arch("unfused", 13, 512, 16, 3),
+        routed_arch("pointwise", 26, 128, 256, 1),
+        NetworkArch::new("in8", Shape4::new(1, 16, 16, 3))
+            .conv(
+                "conv",
+                16,
+                3,
+                1,
+                1,
+                LayerPrecision::BinaryInput8,
+                Activation::Linear,
+            )
+            .maxpool("pool", 2, 2),
+    ];
+    for arch in cases {
+        let (_, floor) = banks_and_floor(&arch);
+        let model = || convert(&fill_weights(&arch, 17));
+        let takes_u8 = model().takes_u8_input();
+        let mut plain = Session::new(model(), &phone).expect("fits");
+        let overrides = RouteOverrides {
+            weight_budget: Some(floor),
+            ..RouteOverrides::default()
+        };
+        let mut paged = Session::new_batched_opts(model(), &phone, 1, overrides).expect("fits");
+        for seed in 0..2u64 {
+            let want = run_once(&mut plain, arch.input, takes_u8, 90 + seed);
+            let got = run_once(&mut paged, arch.input, takes_u8, 90 + seed);
+            assert_same_activation(&got, &want, &format!("{} seed {seed}", arch.name));
+        }
+    }
+}
+
+/// The degraded tier: at the hard minimum grant (largest single bank —
+/// below the no-stall floor) the schedule pays strictly more stalls but
+/// outputs stay bit-exact, and a tenant set whose summed weights are 2×
+/// the pooled budget is still admitted, served without starvation, and
+/// keeps ≥ 0.6× its fully resident throughput — the oversubscription
+/// headline, encoded.
+#[test]
+fn minimum_grants_admit_a_two_x_oversubscribed_set_bit_exactly() {
+    let phone = Phone::xiaomi_9();
+
+    // Session-level bit-exactness at the minimum grant.
+    for arch in [zoo::alexnet_micro, zoo::yolo_micro] {
+        let arch = arch(Variant::Binary);
+        let (banks, floor) = banks_and_floor(&arch);
+        let min = paged_min_bytes(&banks);
+        assert!(
+            min < floor,
+            "{}: min tier must sit below the floor",
+            arch.name
+        );
+        let model = || convert(&fill_weights(&arch, 23));
+        let takes_u8 = model().takes_u8_input();
+        let mut plain = Session::new(model(), &phone).expect("fits");
+        let overrides = RouteOverrides {
+            weight_budget: Some(min),
+            ..RouteOverrides::default()
+        };
+        let mut paged = Session::new_batched_opts(model(), &phone, 1, overrides).expect("fits");
+        let pg = paged.plan().paging.clone().expect("paging attached");
+        assert!(!pg.resident);
+        assert!(pg.hot_peak_bytes <= min);
+        let floor_plan = budgeted_plan(&arch, floor);
+        let floor_stall = floor_plan.paging.as_ref().unwrap().stall_s();
+        assert!(
+            pg.stall_s() >= floor_stall - EPS,
+            "{}: the minimum grant cannot stall less than the floor",
+            arch.name
+        );
+        for seed in 0..2u64 {
+            let want = run_once(&mut plain, arch.input, takes_u8, 70 + seed);
+            let got = run_once(&mut paged, arch.input, takes_u8, 70 + seed);
+            assert_same_activation(&got, &want, &format!("{} min grant seed {seed}", arch.name));
+        }
+    }
+
+    // Admission-level: three co-resident detectors at half their summed
+    // weights — every tenant degraded to its minimum, nobody starved.
+    let yolo = zoo::yolov2_tiny(Variant::Binary);
+    let (banks, _) = banks_and_floor(&yolo);
+    let min = paged_min_bytes(&banks);
+    let workloads: Vec<TenantWorkload<'_>> = (0..3)
+        .map(|_| TenantWorkload {
+            arch: &yolo,
+            batch: None,
+            windows: 3,
+            slo_ms: None,
+        })
+        .collect();
+    let resident = estimate_serve_multitenant_budgeted(&phone, &workloads, 2, None);
+    let budget = resident.weights_bytes / 2;
+    assert!(
+        3 * min <= budget,
+        "the trio's minima must fit half its weights for the 2× claim"
+    );
+    let paged = estimate_serve_multitenant_budgeted(&phone, &workloads, 2, Some(budget));
+    for (p, r) in paged.tenants.iter().zip(resident.tenants.iter()) {
+        assert_eq!(
+            p.admission.weight_grant_bytes,
+            Some(min),
+            "every tenant degrades to its minimum grant"
+        );
+        assert_eq!(p.served, r.served, "paging must not starve {}", p.name);
+        assert!(p.slo_met);
+    }
+    assert!(paged.peak_bytes <= resident.peak_bytes);
+    assert!(
+        paged.imgs_per_s >= 0.6 * resident.imgs_per_s,
+        "oversubscribed throughput {} fell below 0.6x of resident {}",
+        paged.imgs_per_s,
+        resident.imgs_per_s
+    );
+}
+
+/// Paging composes with the other plan transforms: fused chains page
+/// their member banks as one unit, and dictionary-compressed banks page
+/// at their compressed size — outputs stay bit-exact either way, and the
+/// paged session holds strictly less weight residency.
+#[test]
+fn paged_micro_zoo_is_bit_exact_through_fusion_and_compression() {
+    let phone = Phone::xiaomi_9();
+    for arch in [zoo::alexnet_micro, zoo::yolo_micro] {
+        let arch = arch(Variant::Binary);
+        let (_, floor) = banks_and_floor(&arch);
+        let model = || convert(&fill_weights_clustered(&arch, 11, 4));
+        let takes_u8 = model().takes_u8_input();
+        let mut plain = Session::new(model(), &phone).expect("fits");
+        let combos = [
+            RouteOverrides {
+                weight_budget: Some(floor),
+                ..RouteOverrides::default()
+            },
+            RouteOverrides {
+                weight_budget: Some(floor),
+                fusion: FusionMode::Auto,
+                ..RouteOverrides::default()
+            },
+            RouteOverrides {
+                weight_budget: Some(floor),
+                compression: CompressionMode::Auto,
+                ..RouteOverrides::default()
+            },
+            RouteOverrides {
+                weight_budget: Some(floor),
+                fusion: FusionMode::Auto,
+                compression: CompressionMode::Auto,
+                ..RouteOverrides::default()
+            },
+        ];
+        for overrides in combos {
+            let mut paged = Session::new_batched_opts(model(), &phone, 1, overrides).expect("fits");
+            let pg = paged.plan().paging.clone().expect("paging attached");
+            // The floor was computed on the raw banks, so without
+            // compression it must force streaming; compressed banks may
+            // shrink under it.
+            if overrides.compression == CompressionMode::Off {
+                assert!(!pg.resident, "{}: floor budget must stream", arch.name);
+                assert!(pg.evictions() > 0);
+            }
+            for seed in 0..3u64 {
+                let want = run_once(&mut plain, arch.input, takes_u8, 40 + seed);
+                let got = run_once(&mut paged, arch.input, takes_u8, 40 + seed);
+                assert_same_activation(
+                    &got,
+                    &want,
+                    &format!(
+                        "{} (fusion {:?}, compression {:?}) seed {seed}",
+                        arch.name, overrides.fusion, overrides.compression
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -266,6 +266,7 @@ fn sharded_serving_consumes_fused_plans_bit_exactly() {
                 batch: Some(2),
                 slo_ms: None,
                 overrides,
+                weight_budget: None,
             },
         )
         .expect("fits");
